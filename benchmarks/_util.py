@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite."""
+
+import math
+
+
+def mean_seconds(benchmark) -> float:
+    """Mean measured time of a benchmark, or NaN when timing is
+    disabled (``--benchmark-disable``), so derived report values stay
+    printable and limit assertions can be made NaN-tolerant."""
+    stats = getattr(benchmark, "stats", None)
+    if not stats:
+        return math.nan
+    try:
+        return float(stats["mean"])
+    except (KeyError, TypeError):
+        return math.nan

@@ -1,0 +1,87 @@
+"""FIG3: the EMA seize-up prediction scenario end to end.
+
+The two Figure-3 machines against the simulated actuator: stiction is
+flagged on uncommanded spikes, commanded-motion transients are
+rejected, and the whole recognition pipeline runs at embedded rates.
+"""
+
+from benchmarks._util import mean_seconds
+
+import numpy as np
+
+from repro.plant.ema import EmaSimulator
+from repro.sbfr import SbfrSystem, build_spike_machine, build_stiction_machine
+
+
+
+def _system():
+    s = SbfrSystem(channels=["current", "cpos"])
+    s.add_machine(build_spike_machine(current_channel=0, self_index=0))
+    s.add_machine(build_stiction_machine(cpos_channel=1, spike_machine=0, self_index=1))
+    return s
+
+
+def test_stiction_detection_scenario(benchmark):
+    """Full scenario: healthy commanded phase then stiction onset;
+    measures recognition over 2000 control cycles."""
+
+    def scenario():
+        system = _system()
+        rng = np.random.default_rng(7)
+        ema = EmaSimulator(stiction_rate=0.0)
+        schedule = {i: float(i) / 100.0 for i in range(0, 600, 60)}
+        system.run(ema.run(600, rng, command_schedule=schedule))
+        healthy_count = int(system.states[1].locals[1])
+        ema.stiction_rate = 0.05
+        trace = ema.run(1400, rng)
+        system.run(trace)
+        return healthy_count, bool(system.status(1) & 1)
+
+    healthy_count, flagged = benchmark(scenario)
+    assert healthy_count == 0      # commanded transients rejected
+    assert flagged                 # stiction recognized
+    benchmark.extra_info["healthy_phase_counts"] = healthy_count
+    benchmark.extra_info["stiction_flagged"] = flagged
+
+
+def test_per_cycle_cost_two_machines(benchmark):
+    """Per-control-cycle cost of the Figure-3 pair (the embedded number
+    that matters for a 4 ms loop)."""
+    system = _system()
+    rng = np.random.default_rng(0)
+    ema = EmaSimulator(stiction_rate=0.03)
+
+    def one_cycle():
+        current, cpos = ema.cycle(rng)
+        system.cycle({"current": current, "cpos": cpos})
+
+    benchmark(one_cycle)
+    assert not (mean_seconds(benchmark) >= 4e-3)  # NaN-tolerant when timing disabled
+    benchmark.extra_info["mean_us"] = round(mean_seconds(benchmark) * 1e6, 2)
+
+
+def test_detection_latency_vs_stiction_rate(benchmark):
+    """Series: cycles until the flag trips as stiction worsens."""
+
+    def sweep():
+        out = {}
+        for rate in (0.01, 0.03, 0.1):
+            system = _system()
+            ema = EmaSimulator(stiction_rate=rate)
+            rng = np.random.default_rng(1)
+            tripped = None
+            for cycle in range(6000):
+                current, cpos = ema.cycle(rng)
+                system.cycle({"current": current, "cpos": cpos})
+                if system.status(1) & 1:
+                    tripped = cycle
+                    break
+            out[rate] = tripped
+        return out
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(v is not None for v in latencies.values())
+    # Worse stiction -> earlier warning.
+    assert latencies[0.1] < latencies[0.01]
+    for rate, cycles in latencies.items():
+        benchmark.extra_info[f"cycles_to_flag@rate={rate}"] = cycles

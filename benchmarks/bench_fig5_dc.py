@@ -1,0 +1,88 @@
+"""FIG5: the Data Concentrator acquisition chain.
+
+2 MUX x (4 banks x 4 channels) + 4-channel DSP + per-channel RMS
+detectors: sustained 32-channel survey throughput, the constant-
+alarming path, and alarm latency from fault onset.
+"""
+
+from benchmarks._util import mean_seconds
+
+import numpy as np
+
+from repro.dc.acquisition import AcquisitionChain, TOTAL_CHANNELS
+from repro.plant import MachineKinematics, VibrationSynthesizer
+from repro.plant.faults import FaultKind
+
+
+
+def _loaded_chain(sample_rate=16384.0, faulty_channel=9):
+    chain = AcquisitionChain(sample_rate)
+    synths = {}
+    for c in range(TOTAL_CHANNELS):
+        synth = VibrationSynthesizer(MachineKinematics(shaft_hz=59.3), sample_rate)
+        faults = {FaultKind.BEARING_WEAR: 0.9} if c == faulty_channel else None
+        chain.bind(
+            c,
+            lambda n, rng, s=synth, f=faults: s.synthesize(n, faults=f, rng=rng),
+        )
+        synths[c] = synth
+    return chain
+
+
+def test_full_survey_throughput(benchmark):
+    """Full 32-channel survey (8 bank acquisitions) of 4096-sample
+    blocks: the periodic vibration-test front end."""
+    chain = _loaded_chain()
+    rng = np.random.default_rng(0)
+    out = benchmark(chain.sweep, 4096, rng)
+    assert len(out) == 32
+    points = 32 * 4096
+    rate = points / mean_seconds(benchmark)
+    benchmark.extra_info["points_per_second"] = f"{rate:,.0f}"
+    benchmark.extra_info["realtime_factor_at_16k384"] = round(
+        rate / (4 * 16384.0), 1
+    )  # only 4 channels are live per acquisition
+
+
+def test_rms_constant_alarming(benchmark):
+    """The analog RMS path: every channel scanned regardless of bank
+    selection; the faulty channel alarms."""
+    chain = _loaded_chain()
+    for c in range(TOTAL_CHANNELS):
+        chain.detectors.set_threshold(c, 0.10)
+    rng = np.random.default_rng(1)
+    alarms = benchmark(chain.rms_scan, 1024, rng)
+    assert alarms[9]
+    assert alarms.sum() == 1
+    benchmark.extra_info["alarmed_channels"] = [int(c) for c in np.flatnonzero(alarms)]
+
+
+def test_alarm_latency_blocks(benchmark):
+    """Series: scans needed to latch the alarm after fault onset, per
+    threshold margin (tight thresholds alarm on the first block)."""
+
+    def latency_for(threshold):
+        chain = AcquisitionChain()
+        synth = VibrationSynthesizer(MachineKinematics(shaft_hz=59.3))
+        severity = {"s": 0.0}
+        chain.bind(
+            0,
+            lambda n, rng: synth.synthesize(
+                n, faults={FaultKind.BEARING_WEAR: severity["s"]}, rng=rng
+            ),
+        )
+        chain.detectors.set_threshold(0, threshold)
+        rng = np.random.default_rng(2)
+        severity["s"] = 0.9  # fault appears
+        for scan in range(1, 20):
+            if chain.rms_scan(1024, rng)[0]:
+                return scan
+        return None
+
+    def sweep():
+        return {thr: latency_for(thr) for thr in (0.08, 0.10, 0.12)}
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert latencies[0.08] is not None
+    for thr, scans in latencies.items():
+        benchmark.extra_info[f"scans_to_alarm@thr={thr}"] = scans

@@ -1,0 +1,103 @@
+"""FUZZY: the fourth suite's coverage (§1.1/§6.2).
+
+"Fuzzy Logic diagnostics and prognostics ... draws diagnostic and
+prognostic conclusions from non-vibrational data."  Reproduced shape:
+the process faults (refrigerant leak, fouling, oil, surge) are
+invisible to the vibration suite and caught by the fuzzy suite, and
+vice versa for the mechanical faults.
+"""
+
+from benchmarks._util import mean_seconds
+
+import numpy as np
+
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.algorithms.fuzzy.inference import MamdaniEngine
+from repro.algorithms.fuzzy.rules import chiller_rulebase, chiller_variables
+from repro.plant import FaultKind
+from repro.validation import SeededFaultCampaign
+from repro.validation.seeded import process_only, vibration_only
+
+
+
+def test_process_faults_need_the_fuzzy_suite(benchmark):
+    """Coverage matrix: per fault class, which suite detects."""
+
+    def run():
+        out = {}
+        for label, sources, faults in (
+            ("dli_on_process", [DliExpertSystem()], process_only()),
+            ("fuzzy_on_process", [FuzzyDiagnostics()], process_only()),
+            ("fuzzy_on_vibration", [FuzzyDiagnostics()],
+             (FaultKind.MOTOR_IMBALANCE, FaultKind.BEARING_WEAR)),
+        ):
+            campaign = SeededFaultCampaign(
+                sources=sources, faults=faults,
+                duration=1500.0, scan_period=120.0,
+                rng=np.random.default_rng(0),
+            )
+            records = campaign.run(healthy_controls=0)
+            metrics = campaign.score(records, onset=campaign.onset)
+            out[label] = metrics.detection_rate
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rates["fuzzy_on_process"] == 1.0
+    assert rates["dli_on_process"] == 0.0       # invisible to vibration
+    assert rates["fuzzy_on_vibration"] == 0.0   # invisible to process data
+    for k, v in rates.items():
+        benchmark.extra_info[k] = v
+
+
+def test_inference_cost(benchmark):
+    """Per-scan Mamdani inference cost over the full rulebase."""
+    engine = MamdaniEngine(chiller_variables(), chiller_rulebase())
+    readings = {
+        "superheat_c": 15.0,
+        "evap_pressure_kpa": 255.0,
+        "cond_pressure_kpa": 1150.0,
+        "cond_water_temp_c": 34.0,
+        "chw_supply_temp_c": 9.5,
+        "oil_pressure_kpa": 150.0,
+        "oil_temp_c": 66.0,
+        "cond_pressure_std": 50.0,
+    }
+    conclusions = benchmark(engine.infer, readings)
+    assert len(conclusions) >= 4
+    benchmark.extra_info["inferences_per_second"] = f"{1.0 / mean_seconds(benchmark):,.0f}"
+    benchmark.extra_info["conditions_fired"] = [c.condition_id for c in conclusions]
+
+
+def test_fuzzy_severity_tracks_fault_severity(benchmark):
+    """Series: defuzzified severity vs injected leak severity."""
+    from repro.algorithms.base import SourceContext
+    from repro.plant import ChillerSimulator
+    from repro.plant.faults import seeded
+
+    def sweep():
+        out = {}
+        for sev in (0.3, 0.6, 0.9):
+            sim = ChillerSimulator(rng=np.random.default_rng(3))
+            sim.inject(seeded(FaultKind.REFRIGERANT_LEAK, 0.0, sev))
+            fz = FuzzyDiagnostics()
+            last = 0.0
+            history = []
+            for _ in range(20):
+                sim.step(60.0)
+                process = sim.sample_process().values
+                history.append(process)
+                ctx = SourceContext(
+                    sensed_object_id="obj:c", timestamp=sim.time,
+                    process=process, history=history[-16:],
+                )
+                for r in fz.analyze(ctx):
+                    if r.machine_condition_id == "mc:refrigerant-leak":
+                        last = r.severity
+            out[sev] = last
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert series[0.9] > series[0.3]
+    for sev, reported in series.items():
+        benchmark.extra_info[f"reported_severity@injected={sev}"] = round(reported, 2)

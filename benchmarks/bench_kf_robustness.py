@@ -1,0 +1,134 @@
+"""KF-LAT: knowledge fusion under hostile input (§5.1).
+
+"The knowledge fusion components must be able to accommodate inputs
+which are incomplete, time-disordered, fragmentary, and which have
+gaps, inconsistencies, and contradictions."  The bench feeds
+adversarial report streams and measures that the engine neither
+crashes nor corrupts its state, plus raw ingest throughput.
+"""
+
+from benchmarks._util import mean_seconds
+
+import numpy as np
+
+from repro.common.units import months, weeks
+from repro.fusion import KnowledgeFusionEngine
+from repro.fusion.groups import default_chiller_groups
+from repro.protocol import FailurePredictionReport, PrognosticVector
+
+
+CONDITIONS = [
+    "mc:motor-imbalance", "mc:shaft-misalignment", "mc:bearing-wear",
+    "mc:motor-rotor-bar", "mc:oil-contamination", "mc:refrigerant-leak",
+]
+
+
+def _report(rng, t=None):
+    cond = CONDITIONS[int(rng.integers(0, len(CONDITIONS)))]
+    pairs = []
+    if rng.random() < 0.5:
+        t1 = float(rng.uniform(weeks(1), months(3)))
+        pairs = [(t1, float(rng.uniform(0.1, 0.6))), (t1 * 2, float(rng.uniform(0.6, 1.0)))]
+    return FailurePredictionReport(
+        knowledge_source_id=f"ks:{int(rng.integers(0, 4))}",
+        sensed_object_id=f"obj:{int(rng.integers(0, 3))}",
+        machine_condition_id=cond,
+        severity=float(rng.uniform(0, 1)),
+        belief=float(rng.uniform(0, 0.95)),
+        timestamp=t if t is not None else float(rng.uniform(0, 10_000)),
+        prognostic=PrognosticVector.from_pairs(pairs),
+    )
+
+
+def test_ingest_throughput(benchmark):
+    """Raw fused-report intake rate (reports/second)."""
+    rng = np.random.default_rng(0)
+    reports = [_report(rng) for _ in range(200)]
+    state = {"engine": KnowledgeFusionEngine(default_chiller_groups())}
+
+    def ingest_all():
+        engine = KnowledgeFusionEngine(default_chiller_groups())
+        for r in reports:
+            engine.ingest(r)
+        state["engine"] = engine
+
+    benchmark(ingest_all)
+    rate = len(reports) / mean_seconds(benchmark)
+    benchmark.extra_info["reports_per_second"] = f"{rate:,.0f}"
+    assert state["engine"].stats.ingested == len(reports)
+
+
+def test_time_disordered_stream(benchmark):
+    """Reports arriving in shuffled time order fuse without error and
+    the prognostic state honours the newest time seen."""
+    rng = np.random.default_rng(1)
+    times = np.linspace(0, 5000, 64)
+    rng.shuffle(times)
+
+    def run():
+        engine = KnowledgeFusionEngine(default_chiller_groups())
+        for t in times:
+            engine.ingest(
+                FailurePredictionReport(
+                    knowledge_source_id="ks:dli",
+                    sensed_object_id="obj:m",
+                    machine_condition_id="mc:bearing-wear",
+                    severity=0.5,
+                    belief=0.2,
+                    timestamp=float(t),
+                    prognostic=PrognosticVector.from_pairs([(weeks(2), 0.5)]),
+                )
+            )
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert engine.stats.rejected == 0
+    ttf = engine.time_to_failure("obj:m", "mc:bearing-wear")
+    assert 0 < ttf <= weeks(2)
+    benchmark.extra_info["ingested"] = engine.stats.ingested
+
+
+def test_contradictory_and_fragmentary_stream(benchmark):
+    """Contradictions within a group, empty reports, certainty clashes:
+    counted and contained, never fatal."""
+    rng = np.random.default_rng(2)
+
+    def run():
+        engine = KnowledgeFusionEngine(default_chiller_groups())
+        for i in range(150):
+            r = _report(rng)
+            engine.ingest(r)
+            if i % 10 == 0:
+                # Fragmentary: neither belief nor prognosis.
+                engine.ingest(
+                    FailurePredictionReport(
+                        knowledge_source_id="ks:x",
+                        sensed_object_id="obj:frag",
+                        machine_condition_id="mc:motor-imbalance",
+                        severity=0.0,
+                        belief=0.0,
+                        timestamp=float(i),
+                    )
+                )
+            if i % 25 == 0:
+                # Contradiction with certainty: belief 1.0 both ways.
+                for cond in ("mc:motor-imbalance", "mc:shaft-misalignment"):
+                    engine.ingest(
+                        FailurePredictionReport(
+                            knowledge_source_id="ks:liar",
+                            sensed_object_id="obj:clash",
+                            machine_condition_id=cond,
+                            severity=1.0,
+                            belief=1.0,
+                            timestamp=float(i),
+                        )
+                    )
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    # The stream was hostile: some rejects are expected, no crashes.
+    assert engine.stats.ingested > 150
+    assert engine.stats.diagnostic_updates > 100
+    benchmark.extra_info["ingested"] = engine.stats.ingested
+    benchmark.extra_info["rejected"] = engine.stats.rejected
+    benchmark.extra_info["errors_contained"] = len(engine.stats.errors)

@@ -1,0 +1,77 @@
+"""PROG-EX: prognostic knowledge fusion (§5.4).
+
+Regenerates both worked examples from the text, benchmarks the
+conservative envelope at scale, and ablates it against the noisy-or
+combination rule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.units import months
+from repro.protocol import PrognosticVector
+from repro.fusion import conservative_envelope, noisy_or_envelope
+
+PAPER_A = PrognosticVector.from_pairs(
+    [(months(3), 0.01), (months(4), 0.5), (months(5), 0.99)]
+)
+
+
+def test_paper_example_mild_ignored(benchmark):
+    """((4.5 mo, .12)) against the 3/4/5-month curve is ignored."""
+    b = PrognosticVector.from_pairs([(months(4.5), 0.12)])
+    fused = benchmark(conservative_envelope, [PAPER_A, b])
+    ts = np.linspace(0, months(6), 100)
+    assert np.allclose(fused.probability_at(ts), PAPER_A.probability_at(ts), atol=1e-9)
+    benchmark.extra_info["dominated"] = "second report ignored (matches paper)"
+
+
+def test_paper_example_pessimistic_dominates(benchmark):
+    """((4.5 mo, .95)) dominates and pulls certainty earlier."""
+    b = PrognosticVector.from_pairs([(months(4.5), 0.95)])
+    fused = benchmark(conservative_envelope, [PAPER_A, b])
+    assert fused.probability_at(months(4.5)) == pytest.approx(0.95)
+    t99_fused = fused.time_to_probability(0.99)
+    t99_orig = PAPER_A.time_to_probability(0.99)
+    assert t99_fused < t99_orig
+    benchmark.extra_info["t99_original_months"] = round(t99_orig / months(1), 3)
+    benchmark.extra_info["t99_fused_months"] = round(t99_fused / months(1), 3)
+
+
+def _random_vectors(n, rng):
+    out = []
+    for _ in range(n):
+        k = int(rng.integers(1, 6))
+        times = np.sort(rng.uniform(months(0.5), months(12), k))
+        probs = np.sort(rng.uniform(0, 1, k))
+        out.append(PrognosticVector.from_pairs(list(zip(times, probs))))
+    return out
+
+
+@pytest.mark.parametrize("n_vectors", [4, 16, 64])
+def test_envelope_scaling(benchmark, n_vectors):
+    """Fusion cost as the number of contributing sources grows."""
+    vectors = _random_vectors(n_vectors, np.random.default_rng(0))
+    fused = benchmark(conservative_envelope, vectors)
+    assert len(fused) >= 1
+    benchmark.extra_info["n_vectors"] = n_vectors
+    benchmark.extra_info["fused_knots"] = len(fused)
+
+
+def test_ablation_noisy_or_vs_conservative(benchmark):
+    """Noisy-or is systematically more pessimistic; with many weak
+    sources it predicts failure far earlier than the paper's rule."""
+    weak = [PrognosticVector.from_pairs([(months(4), 0.25)]) for _ in range(6)]
+    cons = conservative_envelope(weak)
+    nor = benchmark(noisy_or_envelope, weak)
+    t50_cons = cons.time_to_probability(0.5)
+    t50_nor = nor.time_to_probability(0.5)
+    assert nor.probability_at(months(4)) > cons.probability_at(months(4))
+    benchmark.extra_info["p_at_4mo_conservative"] = round(float(cons.probability_at(months(4))), 3)
+    benchmark.extra_info["p_at_4mo_noisy_or"] = round(float(nor.probability_at(months(4))), 3)
+    benchmark.extra_info["t50_conservative_months"] = (
+        round(t50_cons / months(1), 2) if np.isfinite(t50_cons) else "inf"
+    )
+    benchmark.extra_info["t50_noisy_or_months"] = (
+        round(t50_nor / months(1), 2) if np.isfinite(t50_nor) else "inf"
+    )

@@ -1,0 +1,81 @@
+"""SBFR-CYCLE: "can cycle with a period of less than 4 milliseconds"
+for 100 parallel machines (§6.3), plus the interpreter-vs-vectorized
+execution ablation.
+"""
+
+from benchmarks._util import mean_seconds
+
+import numpy as np
+import pytest
+
+from repro.sbfr import (
+
+    SbfrSystem,
+    VectorizedAlarmBank,
+    build_spike_machine,
+    build_stiction_machine,
+    level_alarm_machine,
+)
+
+PAPER_CYCLE_LIMIT = 4e-3  # seconds
+
+
+def _hundred_machine_system():
+    system = SbfrSystem(channels=[f"c{i}" for i in range(50)])
+    for i in range(50):
+        system.add_machine(build_spike_machine(current_channel=i, self_index=2 * i))
+        system.add_machine(
+            build_stiction_machine(cpos_channel=i, spike_machine=2 * i, self_index=2 * i + 1)
+        )
+    return system
+
+
+def test_hundred_machine_cycle(benchmark):
+    """One interpreter cycle over 100 machines vs the 4 ms budget."""
+    system = _hundred_machine_system()
+    rng = np.random.default_rng(0)
+    sample = rng.random(50)
+
+    def one_cycle():
+        system.cycle(sample)
+
+    benchmark(one_cycle)
+    assert not (mean_seconds(benchmark) >= PAPER_CYCLE_LIMIT)  # NaN-tolerant
+    benchmark.extra_info["paper_limit_ms"] = PAPER_CYCLE_LIMIT * 1e3
+    benchmark.extra_info["mean_ms"] = round(mean_seconds(benchmark) * 1e3, 4)
+
+
+@pytest.mark.parametrize("n_machines", [100, 400, 1600])
+def test_interpreter_alarm_bank_cycle(benchmark, n_machines):
+    """Generic interpreter running n identical level alarms."""
+    system = SbfrSystem(channels=[f"c{i}" for i in range(n_machines)])
+    for i in range(n_machines):
+        system.add_machine(level_alarm_machine(channel=i, threshold=0.7, hold_cycles=2))
+    sample = np.random.default_rng(0).random(n_machines)
+    benchmark(system.cycle, sample)
+    benchmark.extra_info["n_machines"] = n_machines
+
+
+@pytest.mark.parametrize("n_machines", [100, 400, 1600])
+def test_vectorized_alarm_bank_cycle(benchmark, n_machines):
+    """Vectorized bank running the same alarms: the ablation pair."""
+    bank = VectorizedAlarmBank(np.full(n_machines, 0.7), hold_cycles=2)
+    sample = np.random.default_rng(0).random(n_machines)
+    benchmark(bank.cycle, sample)
+    benchmark.extra_info["n_machines"] = n_machines
+
+
+def test_vectorized_block_throughput(benchmark):
+    """Whole-block execution rate of the vectorized bank
+    (cycles x channels per second)."""
+    n_channels, n_cycles = 256, 512
+    bank = VectorizedAlarmBank(np.full(n_channels, 0.7), hold_cycles=2)
+    samples = np.random.default_rng(0).random((n_cycles, n_channels))
+
+    def run_block():
+        bank.reset()
+        bank.run(samples)
+
+    benchmark(run_block)
+    rate = n_channels * n_cycles / mean_seconds(benchmark)
+    benchmark.extra_info["machine_cycles_per_s"] = f"{rate:,.0f}"

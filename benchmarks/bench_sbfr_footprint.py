@@ -1,0 +1,63 @@
+"""SBFR-SIZE: the §6.3 footprint claims.
+
+Paper numbers: spike machine 229 B, stiction machine 93 B, interpreter
+≈ 2000 B, and "100 state machines operating in parallel and their
+interpreter can fit in less than 32K bytes".  The bench measures our
+encoded machines and interpreter bytecode against each.
+"""
+
+from repro.hpc.budget import PAPER_SBFR_BUDGET, check_sbfr_budget, interpreter_code_bytes
+from repro.sbfr import (
+    build_spike_machine,
+    build_stiction_machine,
+    decode_machine,
+    encode_machine,
+    encoded_size,
+)
+
+
+def test_machine_encoding_sizes(benchmark):
+    """Encoded machine sizes vs the paper's 229/93 bytes."""
+    spike = build_spike_machine(0)
+    stiction = build_stiction_machine(1)
+    data = benchmark(encode_machine, spike)
+    spike_b = len(data)
+    stiction_b = encoded_size(stiction)
+    # Same embedded ballpark as the paper (well under 512 B each).
+    assert spike_b < 512 and stiction_b < 256
+    assert stiction_b < spike_b
+    benchmark.extra_info["spike_bytes"] = spike_b
+    benchmark.extra_info["spike_bytes_paper"] = 229
+    benchmark.extra_info["stiction_bytes"] = stiction_b
+    benchmark.extra_info["stiction_bytes_paper"] = 93
+
+
+def test_interpreter_footprint(benchmark):
+    """Interpreter executable-core size vs the paper's ≈2000 bytes."""
+    size = benchmark(interpreter_code_bytes)
+    assert size < 8000
+    benchmark.extra_info["interpreter_bytes"] = size
+    benchmark.extra_info["interpreter_bytes_paper"] = 2000
+
+
+def test_hundred_machines_under_32k(benchmark):
+    """100 machines + interpreter vs the 32 KB ceiling."""
+    machines = [build_spike_machine(i % 16, self_index=2 * i) for i in range(50)]
+    machines += [
+        build_stiction_machine(i % 16, spike_machine=2 * i, self_index=2 * i + 1)
+        for i in range(50)
+    ]
+    report = benchmark(check_sbfr_budget, machines, 1e-3)
+    assert report.fits_memory
+    benchmark.extra_info["total_bytes"] = report.total_bytes
+    benchmark.extra_info["budget_bytes"] = PAPER_SBFR_BUDGET.total_bytes
+    benchmark.extra_info["verdict"] = report.describe()
+
+
+def test_download_roundtrip(benchmark):
+    """§6.3: 'new finite-state machines may be downloaded into the
+    smart sensor' — decode speed of the wire form."""
+    data = encode_machine(build_spike_machine(0))
+    decoded = benchmark(decode_machine, data)
+    assert len(decoded.transitions) == 7
+    assert len(decoded.states) == 4

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""§9/§10: the destructive chiller test, simulated.
+
+"Honeywell has donated a surplus centrifugal chiller for use by the
+prognostics/diagnostics community" — ours is synthetic: a bearing-wear
+fault grows linearly to functional failure while the monitoring stack
+watches; the run records first detection, prognostic lead time, and
+how the fused time-to-failure estimate tightened as the end approached.
+
+Run:  python examples/destructive_test.py
+"""
+
+import numpy as np
+
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.plant.faults import FaultKind
+from repro.validation import run_destructive_test
+
+
+def main() -> None:
+    ttf_actual = 7200.0  # two hours to seize
+    print("Destructive test: bearing wear grown to failure over "
+          f"{ttf_actual / 3600.0:.0f} h of continuous monitoring\n")
+    result = run_destructive_test(
+        sources=[DliExpertSystem(), FuzzyDiagnostics()],
+        fault=FaultKind.BEARING_WEAR,
+        time_to_failure=ttf_actual,
+        scan_period=240.0,
+        rng=np.random.default_rng(0),
+    )
+    if not result.detected:
+        print("The stack never called the failing condition — no warning.")
+        return
+    print(f"first correct diagnosis at t = {result.first_detection:.0f} s")
+    print(f"prognostic lead time:        {result.lead_time:.0f} s "
+          f"({result.lead_time / ttf_actual * 100:.0f}% of life remaining)\n")
+    print(f"{'t (s)':>8} {'severity grade era':>22} {'fused TTF estimate':>22} {'actual TTF':>12}")
+    for t, est in result.ttf_track:
+        actual = result.failure_time - t
+        est_str = f"{est / 86400.0:9.1f} d" if np.isfinite(est) else "—"
+        era = ("early (months-scale)" if est > 30 * 86400
+               else "serious (weeks-scale)" if est > 7 * 86400
+               else "extreme (days-scale)")
+        print(f"{t:>8.0f} {era:>22} {est_str:>22} {actual / 3600.0:>10.1f} h")
+    print("\nThe elementary grade-based prognosis is coarse (months/weeks/")
+    print("days categories, §6.1) but tightens monotonically toward failure.")
+
+
+if __name__ == "__main__":
+    main()

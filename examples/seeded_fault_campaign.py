@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""§9 validation: a seeded-fault campaign over the 12 FMEA modes.
+
+Seeds each candidate failure mode into its own simulated chiller, runs
+the DLI + fuzzy + SBFR suites continuously, scores detection /
+precision / latency, and replays every automated diagnosis past the
+synthetic analyst to reproduce the §6.1 agreement statistic and
+believability factors.
+
+Run:  python examples/seeded_fault_campaign.py
+"""
+
+import numpy as np
+
+from repro.algorithms.dli.believability import ReversalDatabase
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.algorithms.sbfr_source import SbfrKnowledgeSource
+from repro.validation import SeededFaultCampaign, SyntheticAnalyst
+from repro.validation.analyst import AgreementStudy
+
+
+def main() -> None:
+    print("Seeded-fault campaign: 12 FMEA candidate modes + healthy controls")
+    campaign = SeededFaultCampaign(
+        sources=[DliExpertSystem(), FuzzyDiagnostics(), SbfrKnowledgeSource()],
+        duration=1800.0,
+        scan_period=120.0,
+        rng=np.random.default_rng(0),
+    )
+    records = campaign.run(healthy_controls=2)
+
+    print(f"\n{'fault':<34} {'detected at':>12}  conditions reported")
+    for r in records:
+        label = r.fault.condition_id if r.fault else "(healthy control)"
+        when = f"{r.first_detection:.0f}s" if r.first_detection < float("inf") else "—"
+        print(f"{label:<34} {when:>12}  {sorted(r.predicted_conditions)}")
+
+    metrics = campaign.score(records, onset=campaign.onset)
+    print(f"\nCampaign metrics: {metrics.describe()}")
+
+    # §6.1: analyst agreement + believability factors.
+    study = AgreementStudy(
+        analyst=SyntheticAnalyst(np.random.default_rng(1), error_rate=0.02),
+        database=ReversalDatabase(),
+    )
+    for record in records:
+        for report in record.reports:
+            study.review(report, record.true_severities)
+    print(f"\nAnalyst agreement: {study.agreement * 100:.1f}% "
+          f"(paper: 'exceeds 95%')")
+    print("Believability factors learned from reversals:")
+    for condition in study.database.conditions():
+        approved, reversed_ = study.database.counts(condition)
+        print(f"  {condition:<34} alpha={study.database.believability(condition):.2f} "
+              f"({approved} approved / {reversed_} reversed)")
+
+
+if __name__ == "__main__":
+    main()

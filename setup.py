@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-build-isolation --no-use-pep517` (and
+plain `pip install -e .` where wheel is available). All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

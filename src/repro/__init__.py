@@ -1,0 +1,27 @@
+"""MPROS — Machinery Prognostics and Diagnostics System.
+
+A full reproduction of "Condition-Based Maintenance: Algorithms and
+Applications for Embedded High Performance Computing" (IPPS 1999):
+the distributed MPROS architecture (Data Concentrators, the PDME, the
+Object-Oriented Ship Model), the four diagnostic/prognostic algorithm
+suites (DLI-style vibration expert system, SBFR, wavelet neural
+network, fuzzy logic), Dempster-Shafer knowledge fusion with logical
+failure groups, conservative prognostic fusion, and a simulated
+shipboard chilled-water plant to drive it all.
+
+Quick start::
+
+    from repro import build_mpros_system
+
+    system = build_mpros_system(seed=0)
+    system.run(hours=2.0)
+    print(system.browser_screen(system.units[0].motor))
+
+See ``examples/quickstart.py`` for the narrated version.
+"""
+
+from repro.system import MprosSystem, build_mpros_system
+
+__all__ = ["MprosSystem", "build_mpros_system"]
+
+__version__ = "0.1.0"

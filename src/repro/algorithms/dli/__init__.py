@@ -1,0 +1,30 @@
+"""§6.1 The DLI-style vibration expert system.
+
+"All standard machinery vibration FFT analysis and associated
+diagnostics in the Data Concentrator are handled by the DLI expert
+system ... The frame based rules application method employed allows the
+spectral vibration features to be analyzed in conjunction with process
+parameters such as load or bearing temperatures."
+
+DLI's actual Expert Alert rulebase is proprietary; this package
+reproduces the *mechanism*: frame-based rules over averaged spectra,
+sensitization to process parameters, a numeric severity score graded
+Slight/Moderate/Serious/Extreme, and believability factors derived from
+a reversal-statistics database.
+"""
+
+from repro.algorithms.dli.believability import ReversalDatabase
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.dli.frames import RuleFrame, RuleResult
+from repro.algorithms.dli.rules import standard_rulebase
+from repro.algorithms.dli.severity import prognostic_from_grade, score_to_grade
+
+__all__ = [
+    "ReversalDatabase",
+    "DliExpertSystem",
+    "RuleFrame",
+    "RuleResult",
+    "standard_rulebase",
+    "prognostic_from_grade",
+    "score_to_grade",
+]

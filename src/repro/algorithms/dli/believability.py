@@ -1,0 +1,64 @@
+"""Believability factors from reversal statistics (§6.1).
+
+"These believability factors are based on DLI's statistical database
+that demonstrates the individual accuracy of each diagnosis by tracking
+how often each was reversed or modified by a human analyst prior to
+report approval."
+
+The database records, per machine condition, how many automated calls a
+human analyst approved vs reversed; the believability factor is the
+Laplace-smoothed approval rate.  The validation harness
+(:mod:`repro.validation.analyst`) populates it during seeded-fault
+campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import MprosError
+
+
+@dataclass
+class ReversalDatabase:
+    """Per-condition approval/reversal tallies with smoothing.
+
+    Parameters
+    ----------
+    prior_approvals / prior_reversals:
+        Laplace pseudo-counts so fresh conditions start at a sensible
+        believability instead of 0/0.
+    """
+
+    prior_approvals: float = 8.0
+    prior_reversals: float = 1.0
+    _approved: dict[str, int] = field(default_factory=dict)
+    _reversed: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.prior_approvals < 0 or self.prior_reversals < 0:
+            raise MprosError("priors must be non-negative")
+        if self.prior_approvals + self.prior_reversals <= 0:
+            raise MprosError("priors must not both be zero")
+
+    def record(self, condition_id: str, reversed_by_analyst: bool) -> None:
+        """Record one analyst adjudication of an automated diagnosis."""
+        table = self._reversed if reversed_by_analyst else self._approved
+        table[condition_id] = table.get(condition_id, 0) + 1
+
+    def believability(self, condition_id: str) -> float:
+        """Smoothed approval rate for a condition, in (0, 1)."""
+        a = self._approved.get(condition_id, 0) + self.prior_approvals
+        r = self._reversed.get(condition_id, 0) + self.prior_reversals
+        return a / (a + r)
+
+    def counts(self, condition_id: str) -> tuple[int, int]:
+        """(approved, reversed) raw counts for a condition."""
+        return (
+            self._approved.get(condition_id, 0),
+            self._reversed.get(condition_id, 0),
+        )
+
+    def conditions(self) -> list[str]:
+        """Every condition with at least one recorded adjudication."""
+        return sorted(set(self._approved) | set(self._reversed))

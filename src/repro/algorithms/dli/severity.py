@@ -1,0 +1,51 @@
+"""Severity grading and the elementary prognostic (§6.1).
+
+"An elementary level of machinery prognostics has always been provided
+by the DLI expert system which ... has provided a numerical severity
+score along with the fault diagnosis.  This numerical score is
+interpreted through empirical methods which map it into four gradient
+categories ... Slight, Moderate, Serious and Extreme and correspond to
+expected lengths of time to failure described loosely as: no
+foreseeable failure, failure in months, weeks, and days of operation."
+"""
+
+from __future__ import annotations
+
+from repro.common.units import days, months, weeks
+from repro.protocol.prognostic import PrognosticVector
+from repro.protocol.severity import SeverityGrade, grade_from_score
+
+
+def score_to_grade(score: float) -> SeverityGrade:
+    """Map the numeric severity score to its gradient category."""
+    return grade_from_score(score)
+
+
+#: Per-grade prognostic vector templates: the loose "months / weeks /
+#: days" horizons expressed as (time, probability) knots.
+_GRADE_VECTORS: dict[SeverityGrade, tuple[tuple[float, float], ...]] = {
+    # "no foreseeable failure": low probability even far out.
+    SeverityGrade.SLIGHT: ((months(6.0), 0.02), (months(24.0), 0.10)),
+    # "failure in months"
+    SeverityGrade.MODERATE: ((months(1.0), 0.10), (months(3.0), 0.50), (months(6.0), 0.90)),
+    # "failure in weeks"
+    SeverityGrade.SERIOUS: ((weeks(1.0), 0.15), (weeks(2.0), 0.50), (weeks(6.0), 0.95)),
+    # "failure in days"
+    SeverityGrade.EXTREME: ((days(1.0), 0.25), (days(3.0), 0.60), (days(10.0), 0.97)),
+}
+
+
+def prognostic_from_grade(grade: SeverityGrade) -> PrognosticVector:
+    """The elementary DLI prognostic vector for a severity grade.
+
+    >>> v = prognostic_from_grade(SeverityGrade.SERIOUS)
+    >>> from repro.common.units import weeks
+    >>> v.time_to_probability(0.5) == weeks(2.0)
+    True
+    """
+    return PrognosticVector.from_pairs(list(_GRADE_VECTORS[grade]))
+
+
+def prognostic_from_score(score: float) -> PrognosticVector:
+    """Convenience: grade the score, then emit its vector."""
+    return prognostic_from_grade(score_to_grade(score))

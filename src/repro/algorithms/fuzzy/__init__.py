@@ -1,0 +1,32 @@
+"""§6.2 Fuzzy-logic diagnostics and prognostics on non-vibration data.
+
+The fourth algorithm suite "draws diagnostic and prognostic conclusions
+from non-vibrational data": chiller process variables (pressures,
+temperatures, superheat, oil system) evaluated through a Mamdani
+rulebase with centroid defuzzification, plus trend-based prognostic
+vectors.
+"""
+
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.algorithms.fuzzy.inference import FuzzyRule, MamdaniEngine
+from repro.algorithms.fuzzy.prognosis import trend_prognostic
+from repro.algorithms.fuzzy.rules import chiller_rulebase, chiller_variables
+from repro.algorithms.fuzzy.sets import (
+    Gaussian,
+    LinguisticVariable,
+    Trapezoid,
+    Triangle,
+)
+
+__all__ = [
+    "FuzzyDiagnostics",
+    "FuzzyRule",
+    "MamdaniEngine",
+    "trend_prognostic",
+    "chiller_rulebase",
+    "chiller_variables",
+    "Gaussian",
+    "LinguisticVariable",
+    "Trapezoid",
+    "Triangle",
+]

@@ -1,0 +1,65 @@
+"""Fuzzy prognostics: trend-extrapolated failure probability.
+
+The suite is "diagnostics *and prognostics*" (§1.1).  Prognosis here
+extrapolates the severity trend over the recent history window: a
+least-squares severity slope projects when severity will cross the
+failure region, and that projection becomes a §7 prognostic vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MprosError
+from repro.common.units import days, months
+from repro.protocol.prognostic import PrognosticVector
+
+
+def trend_prognostic(
+    severities: list[float] | np.ndarray,
+    dt_seconds: float,
+    failure_severity: float = 0.95,
+) -> PrognosticVector:
+    """Project a severity history into a prognostic vector.
+
+    Parameters
+    ----------
+    severities:
+        Severity samples, oldest first, uniformly spaced.
+    dt_seconds:
+        Spacing between samples.
+    failure_severity:
+        Severity level treated as functional failure.
+
+    Behaviour
+    ---------
+    * Fewer than 3 samples or a non-increasing trend: a long-horizon,
+      low-probability vector (no foreseeable failure).
+    * Increasing trend: failure time = when the fitted line crosses
+      ``failure_severity``; the vector brackets it with rising
+      probabilities (uncertainty widens the bracket).
+    """
+    s = np.asarray(severities, dtype=np.float64)
+    if dt_seconds <= 0:
+        raise MprosError("dt_seconds must be positive")
+    if s.ndim != 1:
+        raise MprosError("severities must be 1-D")
+    far = PrognosticVector.from_pairs([(months(6.0), 0.02), (months(24.0), 0.10)])
+    if s.size < 3:
+        return far
+    t = np.arange(s.size) * dt_seconds
+    slope, intercept = np.polyfit(t, s, 1)
+    if slope <= 1e-12:
+        return far
+    now = t[-1]
+    current = slope * now + intercept
+    if current >= failure_severity:
+        # Already at failure level: imminent.
+        return PrognosticVector.from_pairs(
+            [(days(1.0), 0.5), (days(3.0), 0.9), (days(7.0), 0.99)]
+        )
+    t_fail = (failure_severity - intercept) / slope - now
+    # Bracket the crossing at 0.6x / 1.0x / 1.6x the projected time.
+    return PrognosticVector.from_pairs(
+        [(0.6 * t_fail, 0.15), (t_fail, 0.5), (1.6 * t_fail, 0.9)]
+    )

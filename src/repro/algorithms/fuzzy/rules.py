@@ -1,0 +1,131 @@
+"""The chiller process rulebase.
+
+Linguistic variables over the DC's process channels (nominal values
+from :data:`repro.plant.chiller.NOMINALS`) and the Mamdani rules tying
+symptom patterns to the process-visible FMEA failure modes.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.fuzzy.inference import FuzzyRule
+from repro.algorithms.fuzzy.sets import LinguisticVariable, Trapezoid, Triangle
+
+
+def chiller_variables() -> dict[str, LinguisticVariable]:
+    """Linguistic terms for the monitored chiller process variables.
+
+    ``cond_pressure_std`` is a derived variable: the standard deviation
+    of head pressure over the recent history window (surge shows as
+    oscillation, not as a level shift).
+    """
+    v: dict[str, LinguisticVariable] = {}
+    v["evap_pressure_kpa"] = LinguisticVariable(
+        "evap_pressure_kpa",
+        {
+            "low": Trapezoid(150.0, 150.0, 270.0, 310.0),
+            "normal": Trapezoid(290.0, 320.0, 370.0, 400.0),
+            "high": Trapezoid(380.0, 420.0, 600.0, 600.0),
+        },
+    )
+    v["cond_pressure_kpa"] = LinguisticVariable(
+        "cond_pressure_kpa",
+        {
+            "low": Trapezoid(500.0, 500.0, 800.0, 870.0),
+            "normal": Trapezoid(850.0, 900.0, 1050.0, 1100.0),
+            "high": Trapezoid(1080.0, 1150.0, 1600.0, 1600.0),
+        },
+    )
+    v["superheat_c"] = LinguisticVariable(
+        "superheat_c",
+        {
+            "normal": Trapezoid(1.0, 2.5, 6.0, 8.0),
+            "high": Trapezoid(7.0, 10.0, 40.0, 40.0),
+        },
+    )
+    v["chw_supply_temp_c"] = LinguisticVariable(
+        "chw_supply_temp_c",
+        {
+            "normal": Trapezoid(4.0, 5.5, 7.5, 8.5),
+            "high": Trapezoid(8.0, 9.5, 25.0, 25.0),
+        },
+    )
+    v["cond_water_temp_c"] = LinguisticVariable(
+        "cond_water_temp_c",
+        {
+            "normal": Trapezoid(24.0, 26.0, 31.0, 33.0),
+            "high": Trapezoid(31.5, 33.5, 50.0, 50.0),
+        },
+    )
+    v["oil_pressure_kpa"] = LinguisticVariable(
+        "oil_pressure_kpa",
+        {
+            "low": Trapezoid(0.0, 0.0, 170.0, 230.0),
+            "normal": Trapezoid(220.0, 250.0, 320.0, 350.0),
+        },
+    )
+    v["oil_temp_c"] = LinguisticVariable(
+        "oil_temp_c",
+        {
+            "normal": Trapezoid(40.0, 45.0, 58.0, 62.0),
+            "high": Trapezoid(60.0, 64.0, 100.0, 100.0),
+        },
+    )
+    v["cond_pressure_std"] = LinguisticVariable(
+        "cond_pressure_std",
+        {
+            "steady": Trapezoid(0.0, 0.0, 12.0, 22.0),
+            "oscillating": Trapezoid(18.0, 35.0, 300.0, 300.0),
+        },
+    )
+    return v
+
+
+def chiller_rulebase() -> tuple[FuzzyRule, ...]:
+    """Symptom patterns → process failure modes."""
+    return (
+        # Refrigerant loss: starving evaporator.
+        FuzzyRule(
+            (("superheat_c", "high"), ("evap_pressure_kpa", "low")),
+            "mc:refrigerant-leak",
+            "severe",
+        ),
+        FuzzyRule(
+            (("superheat_c", "high"), ("evap_pressure_kpa", "normal")),
+            "mc:refrigerant-leak",
+            "moderate",
+        ),
+        # Condenser fouling: head pressure up, condenser water hot.
+        FuzzyRule(
+            (("cond_pressure_kpa", "high"), ("cond_water_temp_c", "high")),
+            "mc:condenser-fouling",
+            "severe",
+        ),
+        FuzzyRule(
+            (("cond_pressure_kpa", "high"), ("cond_water_temp_c", "normal")),
+            "mc:condenser-fouling",
+            "moderate",
+        ),
+        # Evaporator fouling: warm chilled water at normal suction.
+        FuzzyRule(
+            (("chw_supply_temp_c", "high"), ("evap_pressure_kpa", "normal")),
+            "mc:evaporator-fouling",
+            "moderate",
+        ),
+        # Oil system.
+        FuzzyRule(
+            (("oil_pressure_kpa", "low"),),
+            "mc:oil-pressure-low",
+            "severe",
+        ),
+        FuzzyRule(
+            (("oil_temp_c", "high"), ("oil_pressure_kpa", "normal")),
+            "mc:oil-contamination",
+            "moderate",
+        ),
+        # Surge: oscillating head pressure.
+        FuzzyRule(
+            (("cond_pressure_std", "oscillating"),),
+            "mc:surge",
+            "severe",
+        ),
+    )

@@ -1,0 +1,196 @@
+"""SBFR as a knowledge source (§6.3).
+
+"SBFR embedded in the DC will take as input the raw sensor data and the
+output of other algorithms ... and perform trending analysis, feature
+extraction, and some diagnostics and prognostics."
+
+This adapter runs a persistent :class:`~repro.sbfr.interpreter.SbfrSystem`
+of sustained-level alarm machines over the process channels, with a
+layered count-threshold machine per condition: repeated alarms (the
+trend, not one excursion) produce a §7 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.dli.severity import prognostic_from_grade, score_to_grade
+from repro.common.errors import MprosError
+from repro.common.ids import ObjectId
+from repro.protocol.report import FailurePredictionReport
+from repro.sbfr.interpreter import SbfrSystem
+from repro.sbfr.library import count_threshold_machine, level_alarm_machine
+
+
+@dataclass(frozen=True)
+class SbfrWatch:
+    """One monitored condition: a process channel and its alarm level.
+
+    Attributes
+    ----------
+    channel:
+        Process-variable name to watch.
+    threshold:
+        Alarm level (crossings must be *sustained*).
+    condition_id:
+        Machine condition asserted when the layered machine fires.
+    invert:
+        Watch for the value dropping *below* threshold instead.
+    severity:
+        Severity reported when fired.
+    """
+
+    channel: str
+    threshold: float
+    condition_id: str
+    invert: bool = False
+    severity: float = 0.6
+
+
+def default_chiller_watches() -> tuple[SbfrWatch, ...]:
+    """Trend watches on the chiller process channels."""
+    return (
+        SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),
+        SbfrWatch("cond_pressure_kpa", 1120.0, "mc:condenser-fouling"),
+        SbfrWatch("oil_pressure_kpa", 210.0, "mc:oil-pressure-low", invert=True),
+        SbfrWatch("oil_temp_c", 63.0, "mc:oil-contamination"),
+        SbfrWatch("chw_supply_temp_c", 9.0, "mc:evaporator-fouling"),
+    )
+
+
+class SbfrKnowledgeSource:
+    """State-based feature recognition over process snapshots.
+
+    Each watch gets a level-alarm machine (hold = ``hold_cycles``) and
+    a counter machine that fires after ``repeat_count`` alarms — the
+    §6.3 layered architecture.  State persists across ``analyze``
+    calls: each call feeds exactly one new snapshot (one SBFR cycle).
+    """
+
+    def __init__(
+        self,
+        watches: tuple[SbfrWatch, ...] | None = None,
+        knowledge_source_id: ObjectId = "ks:sbfr",
+        hold_cycles: int = 2,
+        repeat_count: int = 3,
+    ) -> None:
+        self.knowledge_source_id = knowledge_source_id
+        self.watches = watches if watches is not None else default_chiller_watches()
+        if not self.watches:
+            raise MprosError("need at least one watch")
+        self.hold_cycles = hold_cycles
+        self.repeat_count = repeat_count
+        channels = [w.channel for w in self.watches]
+        if len(set(channels)) != len(channels):
+            raise MprosError("duplicate watch channels")
+        self._system = SbfrSystem(channels=channels)
+        self._counter_index: dict[SbfrWatch, int] = {}
+        # Downloaded "closer look" machines: index -> (condition, severity).
+        self._custom: dict[int, tuple[ObjectId, float]] = {}
+        for i, w in enumerate(self.watches):
+            # Inverted watches negate the sample, so the level machine
+            # always looks for "above threshold".
+            thr = -w.threshold if w.invert else w.threshold
+            alarm_idx = self._system.add_machine(
+                level_alarm_machine(channel=i, threshold=thr, hold_cycles=hold_cycles)
+            )
+            counter_idx = self._system.add_machine(
+                count_threshold_machine(watched_machine=alarm_idx, count=repeat_count)
+            )
+            self._counter_index[w] = counter_idx
+
+    def install_machine(
+        self, spec, condition_id: ObjectId, severity: float = 0.6
+    ) -> int:
+        """Install a downloaded machine (§6.3's 'closer look').
+
+        "Under control of the System Executive running in the PDME ...
+        new finite-state machines may be downloaded into the smart
+        sensor.  This will allow the behavior of the sensor to adapt to
+        its data" — the machine's input channel indices refer to this
+        source's watch-channel order; when it raises its status bit, a
+        report for ``condition_id`` is emitted and the bit is consumed.
+
+        Returns the installed machine's index.  The spec's channel /
+        local / peer references are validated against this system
+        before installation; a mis-authored machine is rejected here
+        (surfacing as an RPC error to the downloading PDME) rather
+        than crashing interpreter cycles later.
+        """
+        from repro.sbfr.spec import validate_references
+
+        validate_references(
+            spec,
+            n_channels=len(self._system.channels),
+            n_machines=len(self._system.machines) + 1,
+        )
+        idx = self._system.add_machine(spec)
+        self._custom[idx] = (condition_id, float(severity))
+        return idx
+
+    def analyze(self, ctx: SourceContext) -> list[FailurePredictionReport]:
+        """Feed one snapshot; report every newly fired condition."""
+        if not ctx.process:
+            return []
+        sample: dict[str, float] = {}
+        for w in self.watches:
+            if w.channel in ctx.process:
+                value = float(ctx.process[w.channel])
+                sample[w.channel] = -value if w.invert else value
+        if not sample:
+            return []
+        self._system.cycle(sample)
+        reports: list[FailurePredictionReport] = []
+        for idx, (condition_id, severity) in self._custom.items():
+            if self._system.status(idx) & 1:
+                grade = score_to_grade(severity)
+                reports.append(
+                    FailurePredictionReport(
+                        knowledge_source_id=self.knowledge_source_id,
+                        sensed_object_id=ctx.sensed_object_id,
+                        machine_condition_id=condition_id,
+                        severity=severity,
+                        belief=0.7,
+                        timestamp=ctx.timestamp,
+                        dc_id=ctx.dc_id,
+                        explanation="SBFR: downloaded closer-look machine fired",
+                        prognostic=prognostic_from_grade(grade),
+                    )
+                )
+                self._system.set_status(idx, 0)
+        for w, counter_idx in self._counter_index.items():
+            if self._system.status(counter_idx) & 1:
+                grade = score_to_grade(w.severity)
+                reports.append(
+                    FailurePredictionReport(
+                        knowledge_source_id=self.knowledge_source_id,
+                        sensed_object_id=ctx.sensed_object_id,
+                        machine_condition_id=w.condition_id,
+                        severity=w.severity,
+                        belief=0.7,
+                        timestamp=ctx.timestamp,
+                        dc_id=ctx.dc_id,
+                        explanation=(
+                            f"SBFR: {self.repeat_count}+ sustained excursions of "
+                            f"{w.channel} past {w.threshold}"
+                        ),
+                        prognostic=prognostic_from_grade(grade),
+                    )
+                )
+                # Consume the flag so the report fires once per episode.
+                self._system.set_status(counter_idx, 0)
+        return reports
+
+    def channel_index(self, name: str) -> int:
+        """Index of a watch channel (for authoring downloadable
+        machines against this source's channel table)."""
+        return self._system.channel_index(name)
+
+    def channel_names(self) -> list[str]:
+        """The watch-channel table, in index order."""
+        return list(self._system.channels)
+
+    def reset(self) -> None:
+        """Forget all trend state (e.g. after maintenance)."""
+        self._system.reset()

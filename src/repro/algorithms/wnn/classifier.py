@@ -1,0 +1,221 @@
+"""The WNN suite as a knowledge source.
+
+"In most cases, the direct output of the WNN must be decoded in order
+to produce a feasible format for display or action" — the classifier
+decodes class indices back to machine-condition ids, estimates severity
+with a ridge regressor on the same features, and emits §7 reports with
+the elementary grade-based prognostic.
+
+The suite is trained on short windows (transitory phenomena are its
+specialty); :meth:`WnnFaultClassifier.fit_on_plant` generates a
+labelled dataset from the plant simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.dli.severity import prognostic_from_grade, score_to_grade
+from repro.algorithms.wnn.features import assemble_features
+from repro.algorithms.wnn.network import WaveletNeuralNetwork
+from repro.algorithms.wnn.train import TrainConfig, TrainResult, train_network
+from repro.common.errors import MprosError
+from repro.common.ids import ObjectId
+from repro.protocol.report import FailurePredictionReport
+
+#: Label 0 is always "healthy": no report is emitted for it.
+HEALTHY = "healthy"
+
+
+@dataclass
+class WnnFaultClassifier:
+    """Wavelet-neural-network fault classifier + severity regressor.
+
+    Parameters
+    ----------
+    conditions:
+        Machine-condition ids the classifier can call (class 0 is
+        implicit 'healthy').
+    window:
+        Analysis window length in samples (multiple of 64).
+    n_hidden:
+        Wavelon count.
+    min_confidence:
+        Softmax probability below which no report is emitted.
+    vote_fraction:
+        Fraction of windows that must agree before a condition is
+        reported.  The default (1/3) suppresses one-off noise on
+        persistent faults; set it near zero when hunting *transitory*
+        phenomena, where the whole point is that only a couple of
+        windows contain the event (§6.2).
+    """
+
+    conditions: tuple[str, ...]
+    knowledge_source_id: ObjectId = "ks:wnn"
+    window: int = 1024
+    n_hidden: int = 24
+    min_confidence: float = 0.55
+    vote_fraction: float = 1.0 / 3.0
+    _net: WaveletNeuralNetwork | None = field(default=None, repr=False)
+    _ridge: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise MprosError("classifier needs at least one condition")
+        if self.window % 64:
+            raise MprosError("window must be a multiple of 64")
+
+    # -- training ------------------------------------------------------------
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """All class labels, healthy first."""
+        return (HEALTHY,) + self.conditions
+
+    def fit(
+        self,
+        X: np.ndarray,
+        labels: np.ndarray,
+        severities: np.ndarray | None = None,
+        config: TrainConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> TrainResult:
+        """Train on a prepared feature matrix and integer labels.
+
+        ``severities`` (same length, in [0, 1]) trains the ridge
+        severity regressor; defaults to 1.0 for faulty samples.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        X = np.asarray(X, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        net = WaveletNeuralNetwork(
+            n_inputs=X.shape[1],
+            n_hidden=self.n_hidden,
+            n_classes=len(self.classes),
+            rng=rng,
+        )
+        result = train_network(net, X, labels, config, rng)
+        self._net = net
+        # Ridge severity regressor on standardized features.
+        sev = (
+            np.asarray(severities, dtype=np.float64)
+            if severities is not None
+            else (labels > 0).astype(np.float64)
+        )
+        Xn = (X - net.mu) / net.sigma
+        A = np.hstack([Xn, np.ones((X.shape[0], 1))])
+        lam = 1e-3 * np.eye(A.shape[1])
+        self._ridge = np.linalg.solve(A.T @ A + lam, A.T @ sev)
+        return result
+
+    # -- inference -----------------------------------------------------------
+    def _require_net(self) -> WaveletNeuralNetwork:
+        if self._net is None:
+            raise MprosError("classifier is untrained; call fit() first")
+        return self._net
+
+    def classify_window(
+        self, window: np.ndarray, sample_rate: float, process: dict[str, float] | None = None
+    ) -> tuple[str, float, float]:
+        """Classify one window: (condition, confidence, severity)."""
+        net = self._require_net()
+        x = assemble_features(window, sample_rate, process)
+        proba = net.predict_proba(x)[0]
+        cls = int(np.argmax(proba))
+        Xn = (x - net.mu) / net.sigma
+        sev = float(np.clip(np.append(Xn, 1.0) @ self._ridge, 0.0, 1.0))
+        return self.classes[cls], float(proba[cls]), sev
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the trained network + severity head to an .npz file.
+
+        "Preparation plans for shipboard deployment include continued
+        testing and monitoring, as the installed system will be
+        disconnected from our labs for months at a time" (§3.4) — the
+        WNN is trained ashore and shipped as weights.
+        """
+        net = self._require_net()
+        np.savez(
+            path,
+            conditions=np.array(self.conditions, dtype=object),
+            window=self.window,
+            min_confidence=self.min_confidence,
+            vote_fraction=self.vote_fraction,
+            W=net.W, t=net.t, a=net.a, V=net.V, c=net.c,
+            mu=net.mu, sigma=net.sigma,
+            ridge=self._ridge,
+        )
+
+    @classmethod
+    def load(cls, path, knowledge_source_id: ObjectId = "ks:wnn") -> "WnnFaultClassifier":
+        """Restore a classifier saved by :meth:`save`."""
+        data = np.load(path, allow_pickle=True)
+        clf = cls(
+            conditions=tuple(str(c) for c in data["conditions"]),
+            knowledge_source_id=knowledge_source_id,
+            window=int(data["window"]),
+            min_confidence=float(data["min_confidence"]),
+            vote_fraction=float(data["vote_fraction"]),
+        )
+        net = WaveletNeuralNetwork(
+            n_inputs=int(data["W"].shape[1]),
+            n_hidden=int(data["W"].shape[0]),
+            n_classes=len(clf.classes),
+        )
+        net.W = data["W"]
+        net.t = data["t"]
+        net.a = data["a"]
+        net.V = data["V"]
+        net.c = data["c"]
+        net.mu = data["mu"]
+        net.sigma = data["sigma"]
+        clf._net = net
+        clf._ridge = data["ridge"]
+        return clf
+
+    def analyze(self, ctx: SourceContext) -> list[FailurePredictionReport]:
+        """Slide the window over the context's waveform; majority-vote
+        windows into at most one report per condition."""
+        if ctx.waveform is None or ctx.waveform.size < self.window:
+            return []
+        net = self._require_net()
+        wave = np.asarray(ctx.waveform, dtype=np.float64)
+        n_windows = wave.size // self.window
+        votes: dict[str, list[tuple[float, float]]] = {}
+        for i in range(n_windows):
+            seg = wave[i * self.window : (i + 1) * self.window]
+            cond, conf, sev = self.classify_window(seg, ctx.sample_rate, ctx.process)
+            if cond == HEALTHY or conf < self.min_confidence:
+                continue
+            votes.setdefault(cond, []).append((conf, sev))
+        reports: list[FailurePredictionReport] = []
+        for cond, hits in votes.items():
+            # Require agreement from enough windows to suppress one-off
+            # noise (persistent-fault default: a third of them).
+            if len(hits) <= n_windows * self.vote_fraction:
+                continue
+            confs = np.array([c for c, _ in hits])
+            sevs = np.array([s for _, s in hits])
+            severity = float(np.clip(np.median(sevs), 0.0, 1.0))
+            belief = float(np.clip(confs.mean() * len(hits) / n_windows, 0.0, 1.0))
+            grade = score_to_grade(severity)
+            reports.append(
+                FailurePredictionReport(
+                    knowledge_source_id=self.knowledge_source_id,
+                    sensed_object_id=ctx.sensed_object_id,
+                    machine_condition_id=cond,
+                    severity=severity,
+                    belief=belief,
+                    timestamp=ctx.timestamp,
+                    dc_id=ctx.dc_id,
+                    explanation=(
+                        f"WNN: {len(hits)}/{n_windows} windows classified as {cond} "
+                        f"(mean confidence {confs.mean():.2f})"
+                    ),
+                    prognostic=prognostic_from_grade(grade),
+                )
+            )
+        return reports

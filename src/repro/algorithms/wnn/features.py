@@ -1,0 +1,88 @@
+"""The WNN feature vector (§6.2).
+
+"Features extracted from input data are organized into a feature
+vector, which is fed into the WNN."  The assembly mirrors the paper's
+list: signal peak, standard deviation, cepstrum, DCT coefficients,
+wavelet maps (as per-band energies), plus available process scalars
+(temperature, speed, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MprosError
+from repro.dsp.cepstrum import real_cepstrum
+from repro.dsp.dct import dct_features
+from repro.dsp.features import scalar_features
+from repro.dsp.wavelet import wavedec_energies
+
+#: Process scalars appended when present (zeros otherwise) so the
+#: vector length is fixed regardless of instrumentation coverage.
+PROCESS_KEYS: tuple[str, ...] = (
+    "oil_temp_c",
+    "superheat_c",
+    "motor_current_a",
+    "prv_position_pct",
+)
+
+_N_CEPS = 8
+_N_DCT = 8
+_N_WAVELET_LEVELS = 6
+
+FEATURE_NAMES: tuple[str, ...] = (
+    ("peak", "rms", "std", "crest", "kurtosis")
+    + tuple(f"ceps{i}" for i in range(1, _N_CEPS + 1))
+    + tuple(f"dct{i}" for i in range(1, _N_DCT + 1))
+    + tuple(f"wav{i}" for i in range(_N_WAVELET_LEVELS + 1))
+    + PROCESS_KEYS
+)
+
+
+def assemble_features(
+    waveform: np.ndarray,
+    sample_rate: float,
+    process: dict[str, float] | None = None,
+) -> np.ndarray:
+    """Build the fixed-length WNN feature vector for one window.
+
+    Parameters
+    ----------
+    waveform:
+        Short analysis window; length must be a multiple of
+        ``2 ** 6`` = 64 for the 6-level wavelet decomposition.
+    sample_rate:
+        Unused by the scale-free features but kept for interface
+        symmetry (and future band features).
+    process:
+        Process scalars; missing keys contribute 0.
+    """
+    x = np.asarray(waveform, dtype=np.float64)
+    if x.ndim != 1 or x.size < 64:
+        raise MprosError(f"need a 1-D window of >= 64 samples, got shape {x.shape}")
+    if x.size % (2**_N_WAVELET_LEVELS):
+        raise MprosError(
+            f"window length {x.size} must be a multiple of {2**_N_WAVELET_LEVELS}"
+        )
+    s = scalar_features(x)
+    parts = [
+        np.array([s["peak"], s["rms"], s["std"], s["crest"], s["kurtosis"]]),
+        real_cepstrum(x, n_coeffs=_N_CEPS + 1)[1:],
+        dct_features(x, n_coeffs=_N_DCT),
+        wavedec_energies(x, "db4", levels=_N_WAVELET_LEVELS),
+    ]
+    proc = process or {}
+    parts.append(np.array([float(proc.get(k, 0.0)) for k in PROCESS_KEYS]))
+    vec = np.concatenate(parts)
+    assert vec.shape == (len(FEATURE_NAMES),)
+    return vec
+
+
+def assemble_batch(
+    windows: np.ndarray, sample_rate: float, process: dict[str, float] | None = None
+) -> np.ndarray:
+    """Feature matrix for a (n_windows, window_len) batch."""
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 2:
+        raise MprosError("windows must be 2-D (n_windows, window_len)")
+    return np.vstack([assemble_features(w, sample_rate, process) for w in windows])

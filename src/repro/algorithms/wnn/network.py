@@ -1,0 +1,153 @@
+"""The wavelet neural network, implemented in plain numpy.
+
+Architecture: a single hidden layer of *wavelons*.  Wavelon ``j``
+computes ``psi((w_j . x - t_j) / a_j)`` where ``psi`` is the Mexican-hat
+mother wavelet, ``t_j`` a learnable translation and ``a_j`` a learnable
+dilation — the multi-resolution/localization structure the paper
+credits the WNN with.  A linear softmax head classifies faults.
+
+Training is full manual backprop (no autograd available offline), with
+Adam updates in :mod:`repro.algorithms.wnn.train`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+_A_MIN = 1e-2  # dilations are kept away from zero
+
+
+def mexican_hat(z: np.ndarray) -> np.ndarray:
+    """psi(z) = (1 - z^2) exp(-z^2 / 2)."""
+    z2 = z * z
+    return (1.0 - z2) * np.exp(-0.5 * z2)
+
+
+def mexican_hat_prime(z: np.ndarray) -> np.ndarray:
+    """psi'(z) = (z^3 - 3 z) exp(-z^2 / 2)."""
+    z2 = z * z
+    return (z2 - 3.0) * z * np.exp(-0.5 * z2)
+
+
+@dataclass
+class WaveletNeuralNetwork:
+    """A wavelon-layer classifier.
+
+    Parameters
+    ----------
+    n_inputs / n_hidden / n_classes:
+        Layer sizes.
+    rng:
+        Generator for weight initialization.
+    """
+
+    n_inputs: int
+    n_hidden: int
+    n_classes: int
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        if min(self.n_inputs, self.n_hidden, self.n_classes) < 1:
+            raise MprosError("all layer sizes must be >= 1")
+        scale = 1.0 / np.sqrt(self.n_inputs)
+        self.W = self.rng.normal(0.0, scale, (self.n_hidden, self.n_inputs))
+        self.t = self.rng.normal(0.0, 0.5, self.n_hidden)
+        self.a = np.ones(self.n_hidden)
+        self.V = self.rng.normal(0.0, 1.0 / np.sqrt(self.n_hidden), (self.n_classes, self.n_hidden))
+        self.c = np.zeros(self.n_classes)
+        # Input standardization learned by fit-time calibration.
+        self.mu = np.zeros(self.n_inputs)
+        self.sigma = np.ones(self.n_inputs)
+
+    # -- normalization ------------------------------------------------------
+    def calibrate(self, X: np.ndarray) -> None:
+        """Fit input standardization to the training distribution."""
+        X = self._check_X(X)
+        self.mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        self.sigma = np.where(sigma > 1e-12, sigma, 1.0)
+
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_inputs:
+            raise MprosError(f"expected {self.n_inputs} features, got {X.shape[1]}")
+        return X
+
+    # -- forward ------------------------------------------------------------
+    def hidden(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Wavelon pre-activations and activations for a batch."""
+        Xn = (self._check_X(X) - self.mu) / self.sigma
+        Z = (Xn @ self.W.T - self.t) / self.a
+        return Z, mexican_hat(Z)
+
+    def logits(self, X: np.ndarray) -> np.ndarray:
+        """Class scores for a batch."""
+        _, H = self.hidden(X)
+        return H @ self.V.T + self.c
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities, shape (n, n_classes)."""
+        L = self.logits(X)
+        L = L - L.max(axis=1, keepdims=True)
+        e = np.exp(L)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Arg-max class indices."""
+        return np.argmax(self.logits(X), axis=1)
+
+    # -- loss / gradients -------------------------------------------------------
+    def loss_and_grads(
+        self, X: np.ndarray, y: np.ndarray, l2: float = 1e-4
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Cross-entropy loss and parameter gradients for a batch.
+
+        ``y`` holds integer class labels.
+        """
+        X = self._check_X(X)
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (X.shape[0],):
+            raise MprosError(f"labels shape {y.shape} != batch size {X.shape[0]}")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise MprosError("label out of range")
+        n = X.shape[0]
+        Xn = (X - self.mu) / self.sigma
+        Z = (Xn @ self.W.T - self.t) / self.a
+        H = mexican_hat(Z)
+        L = H @ self.V.T + self.c
+        L = L - L.max(axis=1, keepdims=True)
+        e = np.exp(L)
+        P = e / e.sum(axis=1, keepdims=True)
+        nll = -np.log(np.maximum(P[np.arange(n), y], 1e-300)).mean()
+        loss = nll + 0.5 * l2 * (np.sum(self.W**2) + np.sum(self.V**2))
+
+        dL = P.copy()
+        dL[np.arange(n), y] -= 1.0
+        dL /= n                                  # (n, C)
+        dV = dL.T @ H + l2 * self.V              # (C, H)
+        dc = dL.sum(axis=0)
+        dH = dL @ self.V                         # (n, H)
+        dZ = dH * mexican_hat_prime(Z)           # (n, H)
+        dW = (dZ / self.a).T @ Xn + l2 * self.W  # (H, d)
+        dt = -(dZ / self.a).sum(axis=0)
+        da = -(dZ * Z / self.a).sum(axis=0)
+        return float(loss), {"W": dW, "t": dt, "a": da, "V": dV, "c": dc}
+
+    def apply_update(self, deltas: dict[str, np.ndarray]) -> None:
+        """Add parameter deltas in place (dilations clipped positive)."""
+        self.W += deltas["W"]
+        self.t += deltas["t"]
+        self.a += deltas["a"]
+        np.clip(self.a, _A_MIN, None, out=self.a)
+        self.V += deltas["V"]
+        self.c += deltas["c"]
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Live parameter arrays (for optimizer state shapes)."""
+        return {"W": self.W, "t": self.t, "a": self.a, "V": self.V, "c": self.c}

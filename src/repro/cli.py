@@ -1,0 +1,165 @@
+"""The ``mpros`` command-line interface.
+
+Small operational surface over the library: run a demo scenario, a
+seeded-fault validation campaign, the Figure-3 EMA demo, or print the
+fleet data-rate accounting.
+
+Examples
+--------
+::
+
+    mpros demo --fault mc:refrigerant-leak --hours 2
+    mpros campaign --duration 1800
+    mpros ema
+    mpros fleet
+    mpros list-faults
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_list_faults(args: argparse.Namespace) -> int:
+    from repro.plant.faults import FMEA_CANDIDATES, FaultKind, PROCESS_FAULTS
+
+    print("Machine conditions the simulator can inject:")
+    for kind in FaultKind:
+        tags = []
+        if kind in FMEA_CANDIDATES:
+            tags.append("FMEA")
+        tags.append("process" if kind in PROCESS_FAULTS else "vibration")
+        print(f"  {kind.condition_id:<34} [{', '.join(tags)}]")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import build_mpros_system
+    from repro.plant.faults import FaultKind, progressive
+
+    try:
+        fault = FaultKind(args.fault)
+    except ValueError:
+        print(f"unknown fault {args.fault!r}; see `mpros list-faults`", file=sys.stderr)
+        return 2
+    system = build_mpros_system(n_chillers=args.chillers, seed=args.seed)
+    motor = system.units[0].motor
+    system.inject_fault(
+        motor,
+        progressive(fault, onset=0.0, end=args.hours * 3600.0, shape="exponential"),
+    )
+    system.run(hours=args.hours)
+    print(system.browser_screen(motor))
+    print()
+    print(system.priority_screen())
+    print(f"\nreports received: {system.reports_received()}; "
+          f"uplink backlog: {system.uplink_backlog()}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.algorithms.dli.engine import DliExpertSystem
+    from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+    from repro.algorithms.sbfr_source import SbfrKnowledgeSource
+    from repro.validation import SeededFaultCampaign
+
+    campaign = SeededFaultCampaign(
+        sources=[DliExpertSystem(), FuzzyDiagnostics(), SbfrKnowledgeSource()],
+        duration=args.duration,
+        scan_period=args.scan,
+        rng=np.random.default_rng(args.seed),
+    )
+    records = campaign.run(healthy_controls=2)
+    print(f"{'fault':<34} {'detected at':>12}  reported conditions")
+    for r in records:
+        label = r.fault.condition_id if r.fault else "(healthy control)"
+        when = f"{r.first_detection:.0f}s" if np.isfinite(r.first_detection) else "—"
+        print(f"{label:<34} {when:>12}  {sorted(r.predicted_conditions)}")
+    print(f"\n{campaign.score(records, onset=campaign.onset).describe()}")
+    return 0
+
+
+def _cmd_ema(args: argparse.Namespace) -> int:
+    from repro.plant.ema import EmaSimulator
+    from repro.sbfr import SbfrSystem, build_spike_machine, build_stiction_machine
+
+    system = SbfrSystem(channels=["current", "cpos"])
+    system.add_machine(build_spike_machine(0, self_index=0))
+    system.add_machine(build_stiction_machine(1, spike_machine=0, self_index=1))
+    rng = np.random.default_rng(args.seed)
+    ema = EmaSimulator(stiction_rate=args.stiction_rate)
+    for cycle in range(args.cycles):
+        current, cpos = ema.cycle(rng)
+        system.cycle({"current": current, "cpos": cpos})
+        if system.status(1) & 1:
+            count = int(system.states[1].locals[1])
+            print(f"stiction flagged at cycle {cycle} "
+                  f"after {count} uncommanded spikes — seize-up imminent")
+            return 0
+    print(f"no stiction detected in {args.cycles} cycles "
+          f"(rate {args.stiction_rate})")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.hpc import FleetConfig, fleet_data_rate
+
+    config = FleetConfig(n_ships=args.ships, dcs_per_ship=args.dcs)
+    rates = fleet_data_rate(config)
+    print("Fleet data-rate accounting (§1):")
+    print(f"  per DC:   {rates.per_dc:>14,.0f} points/s")
+    print(f"  per ship: {rates.per_ship:>14,.0f} points/s ({config.dcs_per_ship} DCs)")
+    print(f"  fleet:    {rates.fleet:>14,.0f} points/s ({config.n_ships} ships)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``mpros`` argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="mpros",
+        description="MPROS condition-based-maintenance demonstrator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="run a full-system fault scenario")
+    p.add_argument("--fault", default="mc:motor-imbalance")
+    p.add_argument("--hours", type=float, default=2.0)
+    p.add_argument("--chillers", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("campaign", help="seeded-fault validation campaign")
+    p.add_argument("--duration", type=float, default=1800.0)
+    p.add_argument("--scan", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("ema", help="Figure-3 EMA stiction demo")
+    p.add_argument("--cycles", type=int, default=4000)
+    p.add_argument("--stiction-rate", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_ema)
+
+    p = sub.add_parser("fleet", help="fleet data-rate accounting")
+    p.add_argument("--ships", type=int, default=30)
+    p.add_argument("--dcs", type=int, default=200)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("list-faults", help="injectable machine conditions")
+    p.set_defaults(func=_cmd_list_faults)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

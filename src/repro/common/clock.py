@@ -1,0 +1,66 @@
+"""Explicit simulated time.
+
+No component of the model reads wall-clock time; everything that needs
+"now" holds a :class:`Clock`.  This keeps whole-system runs
+deterministic and lets the discrete-event kernel (:mod:`repro.netsim`)
+drive time forward explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now()`` returning simulated seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class SimulatedClock:
+    """A manually-advanced clock measured in simulated seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default 0.0).
+
+    Examples
+    --------
+    >>> clk = SimulatedClock()
+    >>> clk.advance(2.5)
+    2.5
+    >>> clk.now()
+    2.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time.
+
+        ``dt`` must be non-negative; simulated time never runs backwards.
+        """
+        if dt < 0:
+            raise ValueError(f"clock cannot run backwards (dt={dt})")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump to absolute time ``t`` (must not precede the present)."""
+        if t < self._now:
+            raise ValueError(f"cannot rewind clock from {self._now} to {t}")
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.6g}s)"

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the MPROS reproduction.
+
+A single root (:class:`MprosError`) lets callers catch "anything the
+library raised deliberately" while still being able to discriminate
+per-subsystem failures.
+"""
+
+from __future__ import annotations
+
+
+class MprosError(Exception):
+    """Root of every deliberate error raised by :mod:`repro`."""
+
+
+class ProtocolError(MprosError):
+    """A failure-prediction report violates the §7 reporting protocol."""
+
+
+class OosmError(MprosError):
+    """Object-Oriented Ship Model misuse (unknown entity, bad relation...)."""
+
+
+class SbfrError(MprosError):
+    """State-Based Feature Recognition spec/encoding/interpreter error."""
+
+
+class FusionError(MprosError):
+    """Knowledge-fusion error (invalid masses, empty frames, bad vectors)."""
+
+
+class AcquisitionError(MprosError):
+    """Data-concentrator acquisition chain error (MUX/DSP/RMS misuse)."""
+
+
+class SchedulingError(MprosError):
+    """Event-scheduler misuse (past deadline, unknown task...)."""
+
+
+class NetworkError(MprosError):
+    """Simulated ship-network / RPC failure surfaced to the caller."""

@@ -1,0 +1,55 @@
+"""MPROS object identifiers.
+
+The §7 reporting protocol keys everything on "unique MPROS object IDs"
+(knowledge sources, sensed objects, machine conditions).  We model an
+id as an opaque string with a typed prefix (``mc:0042``), allocated by
+a per-run :class:`IdAllocator` so ids are dense, stable and sortable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ObjectId = str
+
+
+@dataclass
+class IdAllocator:
+    """Allocates dense, prefixed object ids.
+
+    Examples
+    --------
+    >>> alloc = IdAllocator()
+    >>> alloc.new("mc")
+    'mc:0000'
+    >>> alloc.new("mc")
+    'mc:0001'
+    >>> alloc.new("ks")
+    'ks:0000'
+    """
+
+    _counters: dict[str, int] = field(default_factory=dict)
+
+    def new(self, prefix: str) -> ObjectId:
+        """Return the next id for ``prefix``."""
+        if not prefix or ":" in prefix:
+            raise ValueError(f"invalid id prefix {prefix!r}")
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}:{n:04d}"
+
+    def peek(self, prefix: str) -> int:
+        """Number of ids already allocated for ``prefix``."""
+        return self._counters.get(prefix, 0)
+
+
+def prefix_of(object_id: ObjectId) -> str:
+    """Extract the type prefix of an object id.
+
+    >>> prefix_of("mc:0042")
+    'mc'
+    """
+    head, _, _ = object_id.partition(":")
+    if not head:
+        raise ValueError(f"malformed object id {object_id!r}")
+    return head

@@ -1,0 +1,109 @@
+"""A numpy-backed ring buffer for streaming sensor samples.
+
+The DC acquisition chain (:mod:`repro.dc.acquisition`) and the HPC
+pipelines stream blocks of samples through fixed-size buffers; a ring
+buffer avoids reallocating or shifting memory on every block (the
+"in place operations / be easy on the memory" guidance from the HPC
+guides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO of float samples with vectorized block I/O.
+
+    Writes past capacity overwrite the oldest samples (the DC keeps the
+    most recent window of each channel; stale vibration data is useless
+    for alarming).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of samples retained.
+    dtype:
+        Element dtype (default ``float64``).
+    """
+
+    __slots__ = ("_buf", "_head", "_size")
+
+    def __init__(self, capacity: int, dtype: np.dtype | type = np.float64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buf = np.zeros(int(capacity), dtype=dtype)
+        self._head = 0  # index where the *next* sample will be written
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained sample count."""
+        return self._buf.shape[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """True once the buffer has wrapped at least once."""
+        return self._size == self.capacity
+
+    def extend(self, samples: np.ndarray) -> None:
+        """Append a block of samples, overwriting the oldest on overflow."""
+        samples = np.asarray(samples, dtype=self._buf.dtype).ravel()
+        n = samples.shape[0]
+        cap = self.capacity
+        if n >= cap:
+            # Only the trailing `cap` samples survive.
+            self._buf[:] = samples[-cap:]
+            self._head = 0
+            self._size = cap
+            return
+        end = self._head + n
+        if end <= cap:
+            self._buf[self._head : end] = samples
+        else:
+            first = cap - self._head
+            self._buf[self._head :] = samples[:first]
+            self._buf[: end - cap] = samples[first:]
+        self._head = end % cap
+        self._size = min(cap, self._size + n)
+
+    def append(self, sample: float) -> None:
+        """Append a single sample (scalar convenience wrapper)."""
+        cap = self.capacity
+        self._buf[self._head] = sample
+        self._head = (self._head + 1) % cap
+        self._size = min(cap, self._size + 1)
+
+    def view_ordered(self) -> np.ndarray:
+        """Return the retained samples, oldest first.
+
+        Returns a *copy-free view* when the data happens to be
+        contiguous, else a single concatenation; callers must not
+        mutate the result.
+        """
+        if self._size < self.capacity:
+            return self._buf[: self._size]
+        if self._head == 0:
+            return self._buf
+        return np.concatenate((self._buf[self._head :], self._buf[: self._head]))
+
+    def latest(self, n: int) -> np.ndarray:
+        """Return the most recent ``n`` samples, oldest first."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        n = min(n, self._size)
+        if n == 0:
+            return self._buf[:0]
+        ordered = self.view_ordered()
+        return ordered[-n:]
+
+    def clear(self) -> None:
+        """Drop all retained samples (capacity unchanged)."""
+        self._head = 0
+        self._size = 0
+
+    def __repr__(self) -> str:
+        return f"RingBuffer(size={self._size}/{self.capacity})"

@@ -1,0 +1,47 @@
+"""Randomness discipline.
+
+Every stochastic component takes an explicit
+:class:`numpy.random.Generator`.  Components never call
+``np.random.default_rng()`` themselves; the application (or test) makes
+one root generator and *derives* independent child streams from it so
+that adding a new consumer never perturbs the draws seen by existing
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a root generator.
+
+    A default seed of 0 (rather than None) keeps example scripts and
+    benches reproducible unless the caller explicitly opts out with
+    ``seed=None``.
+    """
+    return np.random.default_rng(seed)
+
+
+def derive_rng(parent: np.random.Generator, *tags: str | int) -> np.random.Generator:
+    """Derive an independent child stream keyed by ``tags``.
+
+    The child's seed is produced by hashing the tag tuple together with
+    fresh entropy drawn from ``parent``, so distinct tags give
+    decorrelated streams while the whole tree stays a pure function of
+    the root seed.
+
+    Examples
+    --------
+    >>> root = make_rng(42)
+    >>> a = derive_rng(root, "sensor", 3)
+    >>> b = derive_rng(root, "sensor", 4)
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+    salt = int(parent.integers(0, 2**32))
+    digest = hashlib.sha256(repr((salt,) + tags).encode()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(seed)

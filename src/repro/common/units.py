@@ -1,0 +1,43 @@
+"""Time and frequency unit helpers.
+
+The paper quotes prognostic horizons in weeks/months and machinery
+speeds in RPM; internally everything is seconds and hertz.  Months are
+the 30-day months used informally in the paper's prognostic examples.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24.0 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7.0 * SECONDS_PER_DAY
+SECONDS_PER_MONTH = 30.0 * SECONDS_PER_DAY
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return n * SECONDS_PER_HOUR
+
+
+def days(n: float) -> float:
+    """``n`` days in seconds."""
+    return n * SECONDS_PER_DAY
+
+
+def weeks(n: float) -> float:
+    """``n`` weeks in seconds."""
+    return n * SECONDS_PER_WEEK
+
+
+def months(n: float) -> float:
+    """``n`` 30-day months in seconds."""
+    return n * SECONDS_PER_MONTH
+
+
+def rpm_to_hz(rpm: float) -> float:
+    """Shaft speed in revolutions/minute to rotations/second."""
+    return rpm / 60.0
+
+
+def hz(f: float) -> float:
+    """Identity marker for frequencies already in hertz (readability)."""
+    return float(f)

@@ -1,0 +1,28 @@
+"""§5.8 The Data Concentrator.
+
+"The data concentrator is a open architecture ODBC compliant relational
+database designed to store all of the instrumentation configuration
+information, machinery configuration information, test schedules,
+resultant measurements, diagnostic results, and condition reports.
+The DC software is coordinated by an event scheduler."
+
+Plus the Figure-5 acquisition hardware in simulation: two 16x4 MUX
+cards with per-channel RMS detectors and a 4-channel DSP card.
+"""
+
+from repro.dc.acquisition import AcquisitionChain, DspCard, MuxCard, RmsDetectorBank
+from repro.dc.concentrator import DataConcentrator, MonitoredMachine
+from repro.dc.database import DcDatabase
+from repro.dc.scheduler import EventScheduler, PeriodicTask
+
+__all__ = [
+    "AcquisitionChain",
+    "DspCard",
+    "MuxCard",
+    "RmsDetectorBank",
+    "DataConcentrator",
+    "MonitoredMachine",
+    "DcDatabase",
+    "EventScheduler",
+    "PeriodicTask",
+]

@@ -1,0 +1,210 @@
+"""The Figure-5 acquisition chain, simulated.
+
+* Two 16x4 MUX cards: each switches between 4 banks of 4 channels
+  (32 channels total, 24 with ICP accelerometer power).
+* A 4-channel PCMCIA DSP card sampling "exceeding 40,000 Hz"; board
+  select picks which MUX feeds it.
+* Per-channel RMS detectors ahead of the MUX: "all channels are
+  equipped with an RMS detector which can be configured to provide a
+  digital signal when the RMS of the incoming signal exceeds a
+  programmed value.  This allows for real-time and constant alarming
+  for all sensors" — alarming works even for banks not currently
+  digitized.
+
+Channel sources are callables ``(n_samples, rng) -> waveform`` bound by
+the DC; the chain does not know about chillers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import AcquisitionError
+from repro.dsp.features import rms
+
+SignalSource = Callable[[int, np.random.Generator], np.ndarray]
+
+N_BANKS = 4
+CHANNELS_PER_BANK = 4
+CHANNELS_PER_MUX = N_BANKS * CHANNELS_PER_BANK  # 16
+N_MUX = 2
+TOTAL_CHANNELS = N_MUX * CHANNELS_PER_MUX        # 32
+ICP_CHANNELS = 24                                # accelerometer-capable
+
+#: Figure-5: "Highest sampling rate exceeds 40,000 Hz."
+MAX_SAMPLE_RATE = 40000.0
+
+
+class MuxCard:
+    """One 16x4 multiplexer card with ICP power and bank switching."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.selected_bank = 0
+        self._sources: dict[int, SignalSource] = {}
+
+    def bind(self, channel: int, source: SignalSource) -> None:
+        """Attach a signal source to a local channel (0..15)."""
+        if not 0 <= channel < CHANNELS_PER_MUX:
+            raise AcquisitionError(f"MUX channel must be 0..15, got {channel}")
+        self._sources[channel] = source
+
+    def select_bank(self, bank: int) -> None:
+        """Switch the live bank (0..3); only its 4 channels reach the DSP."""
+        if not 0 <= bank < N_BANKS:
+            raise AcquisitionError(f"bank must be 0..3, got {bank}")
+        self.selected_bank = bank
+
+    def live_channels(self) -> tuple[int, ...]:
+        """Local channel indices currently routed to the outputs."""
+        base = self.selected_bank * CHANNELS_PER_BANK
+        return tuple(range(base, base + CHANNELS_PER_BANK))
+
+    def read_output(
+        self, output: int, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Analog output ``output`` (0..3) of the selected bank."""
+        if not 0 <= output < CHANNELS_PER_BANK:
+            raise AcquisitionError(f"MUX output must be 0..3, got {output}")
+        channel = self.selected_bank * CHANNELS_PER_BANK + output
+        source = self._sources.get(channel)
+        if source is None:
+            return np.zeros(n_samples)  # unterminated input floats at 0
+        return np.asarray(source(n_samples, rng), dtype=np.float64)
+
+    def source_for(self, channel: int) -> SignalSource | None:
+        """The bound source for a local channel (None if unbound)."""
+        return self._sources.get(channel)
+
+
+@dataclass
+class DspCard:
+    """The 4-channel spectrum-analyzer card."""
+
+    sample_rate: float = 16384.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sample_rate <= MAX_SAMPLE_RATE:
+            raise AcquisitionError(
+                f"sample_rate must be in (0, {MAX_SAMPLE_RATE}], got {self.sample_rate}"
+            )
+
+    def digitize(
+        self, mux: MuxCard, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simultaneously sample the 4 outputs of the selected MUX.
+
+        Returns shape (4, n_samples).
+        """
+        if n_samples < 1:
+            raise AcquisitionError("n_samples must be >= 1")
+        out = np.empty((CHANNELS_PER_BANK, n_samples))
+        for o in range(CHANNELS_PER_BANK):
+            out[o] = mux.read_output(o, n_samples, rng)
+        return out
+
+
+class RmsDetectorBank:
+    """Per-channel analog RMS detectors with programmable thresholds.
+
+    The detectors sit ahead of the MUX, so they see *every* channel on
+    every scan regardless of bank selection.  ``scan`` is vectorized
+    across channels (the HPC-guide idiom: one pass, no copies).
+    """
+
+    def __init__(self, n_channels: int = TOTAL_CHANNELS) -> None:
+        if n_channels < 1:
+            raise AcquisitionError("need at least one channel")
+        self.thresholds = np.full(n_channels, np.inf)
+        self.alarms = np.zeros(n_channels, dtype=bool)
+        self.last_rms = np.zeros(n_channels)
+
+    def set_threshold(self, channel: int, level: float) -> None:
+        """Program one channel's alarm level (inf disables)."""
+        if not 0 <= channel < self.thresholds.size:
+            raise AcquisitionError(f"channel out of range: {channel}")
+        if level <= 0:
+            raise AcquisitionError(f"threshold must be positive, got {level}")
+        self.thresholds[channel] = level
+
+    def scan(self, blocks: np.ndarray) -> np.ndarray:
+        """Update every detector from a (n_channels, n_samples) block.
+
+        Returns the boolean alarm vector (latched until the next scan).
+        """
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.ndim != 2 or blocks.shape[0] != self.thresholds.size:
+            raise AcquisitionError(
+                f"blocks must be ({self.thresholds.size}, n), got {blocks.shape}"
+            )
+        self.last_rms = np.asarray(rms(blocks, axis=1))
+        self.alarms = self.last_rms > self.thresholds
+        return self.alarms
+
+
+class AcquisitionChain:
+    """The assembled Figure-5 front end: 2 MUX + DSP + RMS detectors."""
+
+    def __init__(self, sample_rate: float = 16384.0) -> None:
+        self.muxes = [MuxCard(0), MuxCard(1)]
+        self.dsp = DspCard(sample_rate)
+        self.detectors = RmsDetectorBank(TOTAL_CHANNELS)
+
+    def bind(self, global_channel: int, source: SignalSource) -> None:
+        """Attach a source to a global channel (0..31).
+
+        Channels 0..15 live on MUX 0, 16..31 on MUX 1.  Channels beyond
+        :data:`ICP_CHANNELS` cannot power accelerometers but still
+        sample DC voltage signals — the binding is the caller's
+        responsibility; the chain only enforces the range.
+        """
+        if not 0 <= global_channel < TOTAL_CHANNELS:
+            raise AcquisitionError(f"global channel must be 0..31, got {global_channel}")
+        self.muxes[global_channel // CHANNELS_PER_MUX].bind(
+            global_channel % CHANNELS_PER_MUX, source
+        )
+
+    def acquire_bank(
+        self, board: int, bank: int, n_samples: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray]:
+        """Board/bank select, then digitize 4 channels simultaneously.
+
+        Returns (global channel ids, (4, n_samples) waveforms).
+        """
+        if not 0 <= board < N_MUX:
+            raise AcquisitionError(f"board must be 0..1, got {board}")
+        mux = self.muxes[board]
+        mux.select_bank(bank)
+        data = self.dsp.digitize(mux, n_samples, rng)
+        channels = tuple(
+            board * CHANNELS_PER_MUX + c for c in mux.live_channels()
+        )
+        return channels, data
+
+    def sweep(
+        self, n_samples: int, rng: np.random.Generator
+    ) -> dict[int, np.ndarray]:
+        """Full 32-channel survey: 8 sequential bank acquisitions."""
+        out: dict[int, np.ndarray] = {}
+        for board in range(N_MUX):
+            for bank in range(N_BANKS):
+                channels, data = self.acquire_bank(board, bank, n_samples, rng)
+                for i, ch in enumerate(channels):
+                    out[ch] = data[i]
+        return out
+
+    def rms_scan(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """One constant-alarming pass: every detector sees its channel.
+
+        Models the analog RMS path that bypasses the MUX entirely.
+        """
+        blocks = np.zeros((TOTAL_CHANNELS, n_samples))
+        for board, mux in enumerate(self.muxes):
+            for local in range(CHANNELS_PER_MUX):
+                source = mux.source_for(local)
+                if source is not None:
+                    blocks[board * CHANNELS_PER_MUX + local] = source(n_samples, rng)
+        return self.detectors.scan(blocks)

@@ -1,0 +1,285 @@
+"""The assembled Data Concentrator.
+
+Wires the Figure-5 acquisition chain, the §5.8 database and event
+scheduler, and the four algorithm suites into one unit per machinery
+space.  Conclusions flow out through a report sink — in the full system
+an RPC call to the PDME, in tests any callable.
+
+"The data is processed and then sent to an expert system DLL which
+applies stored rules for each equipment type and derives the diagnoses.
+The DLL then passes the results back to the DC database."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import KnowledgeSource, SourceContext
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.algorithms.sbfr_source import SbfrKnowledgeSource
+from repro.common.errors import AcquisitionError
+from repro.common.ids import ObjectId
+from repro.dc.acquisition import AcquisitionChain
+from repro.dc.database import DcDatabase
+from repro.dc.scheduler import EventScheduler
+from repro.dsp.features import peak_amplitude, rms
+from repro.netsim.kernel import EventKernel
+from repro.plant.chiller import ChillerSimulator
+from repro.plant.rotating import MachineKinematics
+from repro.protocol.report import FailurePredictionReport
+
+ReportSink = Callable[[FailurePredictionReport], None]
+
+
+@dataclass
+class MonitoredMachine:
+    """One machine this DC is responsible for."""
+
+    machine_id: ObjectId
+    name: str
+    kinematics: MachineKinematics
+    simulator: ChillerSimulator
+    vibration_channel: int
+    process_history: list[dict[str, float]] = field(default_factory=list)
+
+
+class DataConcentrator:
+    """A DC instance: acquisition + database + scheduler + algorithms.
+
+    Parameters
+    ----------
+    dc_id:
+        §7 DC ID carried on every report.
+    kernel:
+        Shared discrete-event kernel (time base for schedules).
+    sink:
+        Callable receiving every produced report (PDME uplink).
+    sources:
+        Knowledge sources to run; defaults to DLI + fuzzy + SBFR (the
+        WNN source needs training first, so it is opt-in via
+        :meth:`add_source`).
+    """
+
+    def __init__(
+        self,
+        dc_id: ObjectId,
+        kernel: EventKernel,
+        sink: ReportSink,
+        rng: np.random.Generator,
+        sample_rate: float = 16384.0,
+        sources: list[KnowledgeSource] | None = None,
+    ) -> None:
+        self.dc_id = dc_id
+        self.kernel = kernel
+        self.sink = sink
+        self.rng = rng
+        self.database = DcDatabase()
+        self.acquisition = AcquisitionChain(sample_rate)
+        self.scheduler = EventScheduler(kernel)
+        self.machines: dict[ObjectId, MonitoredMachine] = {}
+        if sources is None:
+            self.sources: list[KnowledgeSource] = [
+                DliExpertSystem(),
+                FuzzyDiagnostics(),
+                SbfrKnowledgeSource(),
+            ]
+        else:
+            self.sources = list(sources)
+        self.reports_sent = 0
+        #: (knowledge source id, exception) pairs from isolated suites.
+        self.source_errors: list[tuple[str, Exception]] = []
+
+    # -- configuration -------------------------------------------------------
+    def add_source(self, source: KnowledgeSource) -> None:
+        """Install an additional algorithm suite (e.g. a trained WNN)."""
+        self.sources.append(source)
+
+    def attach_machine(
+        self,
+        machine_id: ObjectId,
+        name: str,
+        simulator: ChillerSimulator,
+        vibration_channel: int,
+        rms_alarm: float | None = 1.0,
+    ) -> MonitoredMachine:
+        """Bind a simulated machine to an acquisition channel."""
+        if machine_id in self.machines:
+            raise AcquisitionError(f"machine {machine_id!r} already attached")
+        machine = MonitoredMachine(
+            machine_id=machine_id,
+            name=name,
+            kinematics=simulator.config.kinematics,
+            simulator=simulator,
+            vibration_channel=vibration_channel,
+        )
+        self.machines[machine_id] = machine
+        self.acquisition.bind(
+            vibration_channel,
+            lambda n, rng, sim=simulator: sim.sample_vibration(n),
+        )
+        if rms_alarm is not None:
+            self.acquisition.detectors.set_threshold(vibration_channel, rms_alarm)
+        self.database.register_machine(
+            machine_id, name, {"shaft_hz": simulator.config.kinematics.shaft_hz}
+        )
+        self.database.register_channel(
+            vibration_channel, f"accel:{machine_id}", machine_id, "accelerometer",
+            rms_alarm,
+        )
+        return machine
+
+    def schedule_standard_tests(
+        self, vibration_period: float = 600.0, process_period: float = 60.0
+    ) -> None:
+        """Install the standard periodic test schedule."""
+        self.scheduler.add_periodic(
+            "vibration-test", vibration_period, lambda t: self.run_vibration_tests(t)
+        )
+        self.scheduler.add_periodic(
+            "process-scan", process_period, lambda t: self.run_process_scan(t)
+        )
+        self.database.register_schedule("vibration-test", vibration_period, "vibration")
+        self.database.register_schedule("process-scan", process_period, "process")
+
+    # -- test routines -----------------------------------------------------------
+    def _advance_simulators(self, now: float) -> None:
+        for m in self.machines.values():
+            if m.simulator.time < now:
+                m.simulator.step(now - m.simulator.time)
+
+    def _dispatch(self, ctx: SourceContext) -> list[FailurePredictionReport]:
+        """Run every suite on one context.
+
+        Suites are isolated from each other: one misbehaving algorithm
+        (§1.1 anticipates adding third-party suites) must not silence
+        the rest of the DC.  Failures are recorded in
+        :attr:`source_errors`.
+        """
+        reports: list[FailurePredictionReport] = []
+        for source in self.sources:
+            try:
+                reports.extend(source.analyze(ctx))
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.source_errors.append(
+                    (getattr(source, "knowledge_source_id", repr(source)), exc)
+                )
+        for r in reports:
+            self.database.store_report(r)
+            self.sink(r)
+            self.reports_sent += 1
+        return reports
+
+    def run_vibration_tests(self, now: float, n_samples: int = 32768) -> int:
+        """Acquire a vibration block per machine and run the vibration
+        suites; returns reports produced."""
+        self._advance_simulators(now)
+        produced = 0
+        for m in self.machines.values():
+            wave = m.simulator.sample_vibration(n_samples)
+            self.database.store_measurements(
+                [
+                    (now, "rms", float(rms(wave)), m.vibration_channel, m.machine_id),
+                    (now, "peak", float(peak_amplitude(wave)), m.vibration_channel, m.machine_id),
+                ]
+            )
+            process = m.simulator.sample_process().values
+            ctx = SourceContext(
+                sensed_object_id=m.machine_id,
+                timestamp=now,
+                waveform=wave,
+                sample_rate=self.acquisition.dsp.sample_rate,
+                process=process,
+                kinematics=m.kinematics,
+                history=m.process_history[-16:],
+                dc_id=self.dc_id,
+            )
+            produced += len(self._dispatch(ctx))
+        return produced
+
+    def run_process_scan(self, now: float) -> int:
+        """Sample process variables per machine and run the
+        non-vibration suites; returns reports produced."""
+        self._advance_simulators(now)
+        produced = 0
+        for m in self.machines.values():
+            sample = m.simulator.sample_process()
+            m.process_history.append(sample.values)
+            if len(m.process_history) > 256:
+                del m.process_history[:-256]
+            self.database.store_measurements(
+                [
+                    (now, key, value, None, m.machine_id)
+                    for key, value in sample.values.items()
+                ]
+            )
+            ctx = SourceContext(
+                sensed_object_id=m.machine_id,
+                timestamp=now,
+                process=sample.values,
+                history=m.process_history[-16:],
+                kinematics=m.kinematics,
+                dc_id=self.dc_id,
+            )
+            produced += len(self._dispatch(ctx))
+        return produced
+
+    # -- remote control (§5.8, §6.3) -----------------------------------------
+    def serve_on(self, endpoint) -> None:
+        """Expose DC control methods on an RPC endpoint.
+
+        "In this way, the PDME or any other client can command the
+        scheduler to conduct another test and analysis routine" (§5.8),
+        and "new finite-state machines may be downloaded into the smart
+        sensor" for a closer look (§6.3).
+        """
+        endpoint.register("command_test", self._rpc_command_test)
+        endpoint.register("download_machine", self._rpc_download_machine)
+        endpoint.register("list_channels", self._rpc_list_channels)
+        endpoint.register("get_measurements", self._rpc_get_measurements)
+
+    def _rpc_command_test(self, payload: dict) -> dict:
+        name = str(payload.get("name", ""))
+        self.scheduler.command(name)
+        return {"ran": name, "at": self.kernel.now()}
+
+    def _sbfr_source(self) -> SbfrKnowledgeSource:
+        for source in self.sources:
+            if isinstance(source, SbfrKnowledgeSource):
+                return source
+        raise AcquisitionError("this DC runs no SBFR source to download into")
+
+    def _rpc_download_machine(self, payload: dict) -> dict:
+        import base64
+
+        from repro.sbfr.encode import decode_machine
+
+        data = base64.b64decode(str(payload["machine_b64"]))
+        spec = decode_machine(data, name=str(payload.get("name", "downloaded")))
+        source = self._sbfr_source()
+        idx = source.install_machine(
+            spec,
+            condition_id=str(payload["condition_id"]),
+            severity=float(payload.get("severity", 0.6)),
+        )
+        return {"installed": idx, "bytes": len(data)}
+
+    def _rpc_list_channels(self, payload: dict) -> dict:
+        return {"channels": self._sbfr_source().channel_names()}
+
+    def _rpc_get_measurements(self, payload: dict) -> dict:
+        """Raw-data access for ICAS-class clients (§5.8: the DC database
+        'can be accessed by client PC's on the network')."""
+        machine_id = str(payload["machine_id"])
+        kind = str(payload["kind"])
+        limit = int(payload.get("limit", 100))
+        history = self.database.measurement_history(machine_id, kind, limit)
+        return {"machine_id": machine_id, "kind": kind, "history": history}
+
+    def rms_alarm_scan(self, n_samples: int = 256) -> list[int]:
+        """Run the constant-alarming RMS pass; returns alarmed channels."""
+        alarms = self.acquisition.rms_scan(n_samples, self.rng)
+        return [int(c) for c in np.flatnonzero(alarms)]

@@ -1,0 +1,101 @@
+"""The DC event scheduler (§5.8).
+
+"The DC software is coordinated by an event scheduler.  It coordinates
+standard vibration test[s] ... wavelet and neural network testing and
+analysis, and state based feature recognition routines ... the PDME or
+any other client can command the scheduler to conduct another test."
+
+Periodic tasks run on the shared discrete-event kernel; on-demand
+commands enqueue the same actions immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import SchedulingError
+from repro.netsim.kernel import EventKernel
+
+TaskAction = Callable[[float], None]
+
+
+@dataclass
+class PeriodicTask:
+    """A named repeating activity."""
+
+    name: str
+    period: float
+    action: TaskAction
+    enabled: bool = True
+    runs: int = 0
+    last_run: float = field(default=float("nan"))
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise SchedulingError(f"task {self.name!r} period must be positive")
+
+
+class EventScheduler:
+    """Periodic + on-demand task coordination on an event kernel."""
+
+    def __init__(self, kernel: EventKernel) -> None:
+        self.kernel = kernel
+        self._tasks: dict[str, PeriodicTask] = {}
+        self.errors: list[tuple[str, Exception]] = []
+
+    def add_periodic(self, name: str, period: float, action: TaskAction) -> PeriodicTask:
+        """Register a task and schedule its first run one period out."""
+        if name in self._tasks:
+            raise SchedulingError(f"task {name!r} already scheduled")
+        task = PeriodicTask(name, period, action)
+        self._tasks[name] = task
+        self.kernel.schedule(period, lambda: self._fire(task))
+        return task
+
+    def _fire(self, task: PeriodicTask) -> None:
+        if task.name not in self._tasks:
+            return  # removed
+        if task.enabled:
+            self._run(task)
+        self.kernel.schedule(task.period, lambda: self._fire(task))
+
+    def _run(self, task: PeriodicTask) -> None:
+        now = self.kernel.now()
+        try:
+            task.action(now)
+        except Exception as exc:  # noqa: BLE001 - a bad test must not kill the DC
+            self.errors.append((task.name, exc))
+        else:
+            task.runs += 1
+            task.last_run = now
+
+    def command(self, name: str) -> None:
+        """Run a task now, out of schedule (the PDME 'conduct another
+        test and analysis routine' path)."""
+        task = self._tasks.get(name)
+        if task is None:
+            raise SchedulingError(f"no task {name!r}")
+        self._run(task)
+
+    def enable(self, name: str, enabled: bool = True) -> None:
+        """Pause/resume a periodic task (it stays scheduled)."""
+        task = self._tasks.get(name)
+        if task is None:
+            raise SchedulingError(f"no task {name!r}")
+        task.enabled = enabled
+
+    def remove(self, name: str) -> None:
+        """Unregister a task entirely."""
+        self._tasks.pop(name, None)
+
+    def task(self, name: str) -> PeriodicTask:
+        """Look up a task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SchedulingError(f"no task {name!r}") from None
+
+    def tasks(self) -> list[PeriodicTask]:
+        """All registered tasks."""
+        return list(self._tasks.values())

@@ -1,0 +1,134 @@
+"""Store-and-forward report uplink (§4.9 / §3.4).
+
+"Power supply and communications are stable in our labs but may not be
+the same on board the ships.  Simulating the range of problems that may
+arise will let us improve robustness to the point of long-term
+unattended operation" — and "the installed system will be disconnected
+from our labs for months at a time."
+
+The uplink queues every report, transmits over RPC, and only discards a
+report on a positive PDME acknowledgement; failures (drops, outages,
+PDME restarts) leave it queued for the next flush.  The queue is
+bounded: under a prolonged outage the *oldest* reports are shed first
+(fresh condition data supersedes stale data, matching the DC's
+ring-buffer philosophy).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.common.errors import NetworkError
+from repro.netsim.rpc import RpcEndpoint, RpcError
+from repro.protocol.report import FailurePredictionReport
+from repro.protocol.wire import encode_report
+
+
+@dataclass
+class UplinkStats:
+    """Counters for monitoring the uplink."""
+
+    queued: int = 0
+    delivered: int = 0
+    rejected: int = 0      # PDME refused (malformed/unknown object)
+    shed: int = 0          # dropped from a full queue during an outage
+    retries: int = 0       # re-flushes of previously failed reports
+
+
+class ReportUplink:
+    """Reliable-ish DC→PDME report delivery over the unreliable network.
+
+    Parameters
+    ----------
+    endpoint:
+        The DC's RPC endpoint.
+    pdme_name:
+        Network name of the PDME endpoint.
+    capacity:
+        Maximum queued (unacknowledged) reports before shedding.
+    """
+
+    def __init__(
+        self, endpoint: RpcEndpoint, pdme_name: str = "pdme", capacity: int = 512
+    ) -> None:
+        if capacity < 1:
+            raise NetworkError("uplink capacity must be >= 1")
+        self.endpoint = endpoint
+        self.pdme_name = pdme_name
+        self.capacity = capacity
+        self._queue: OrderedDict[int, FailurePredictionReport] = OrderedDict()
+        self._next_key = 0
+        self._in_flight: set[int] = set()
+        self._ever_sent: set[int] = set()
+        self.stats = UplinkStats()
+
+    # -- intake ----------------------------------------------------------
+    def submit(self, report: FailurePredictionReport) -> None:
+        """Queue a report and immediately attempt delivery."""
+        if len(self._queue) >= self.capacity:
+            # Shed the oldest non-in-flight report.
+            for key in self._queue:
+                if key not in self._in_flight:
+                    del self._queue[key]
+                    self.stats.shed += 1
+                    break
+            else:
+                # Everything is in flight; shed the eldest anyway.
+                key, _ = self._queue.popitem(last=False)
+                self._in_flight.discard(key)
+                self.stats.shed += 1
+        key = self._next_key
+        self._next_key += 1
+        self._queue[key] = report
+        self.stats.queued += 1
+        self._transmit(key)
+
+    # -- delivery -----------------------------------------------------------
+    def _transmit(self, key: int) -> None:
+        if key in self._in_flight or key not in self._queue:
+            return
+        report = self._queue[key]
+        self._in_flight.add(key)
+        if key in self._ever_sent:
+            self.stats.retries += 1
+        self._ever_sent.add(key)
+
+        def on_reply(result: dict, key=key) -> None:
+            self._in_flight.discard(key)
+            if key not in self._queue:
+                return
+            if result.get("accepted", False):
+                del self._queue[key]
+                self.stats.delivered += 1
+            else:
+                # PDME actively refused: retrying is pointless.
+                del self._queue[key]
+                self.stats.rejected += 1
+
+        def on_error(exc: RpcError, key=key) -> None:
+            # Keep queued; the next flush retries.
+            self._in_flight.discard(key)
+
+        self.endpoint.call(
+            self.pdme_name, "post_report", encode_report(report),
+            on_reply=on_reply, on_error=on_error,
+        )
+
+    def flush(self) -> int:
+        """Re-attempt every queued, non-in-flight report.
+
+        Wire this to the DC scheduler (e.g. once a minute) for
+        unattended recovery after outages.  Returns attempts made.
+        """
+        attempts = 0
+        for key in list(self._queue):
+            if key not in self._in_flight:
+                self._transmit(key)
+                attempts += 1
+        return attempts
+
+    @property
+    def backlog(self) -> int:
+        """Reports queued and not yet acknowledged."""
+        return len(self._queue)

@@ -1,0 +1,49 @@
+"""Signal-processing substrate for the diagnostic algorithm suites.
+
+Everything the DLI expert system, the wavelet neural network and SBFR
+feature extraction need from "standard machinery vibration FFT
+analysis": windowed averaged spectra, order tracking, scalar statistics
+(RMS, crest, kurtosis), cepstrum, DCT features, a from-scratch discrete
+wavelet transform, and envelope analysis for bearing faults.
+"""
+
+from repro.dsp.cepstrum import real_cepstrum
+from repro.dsp.dct import dct2, dct_features
+from repro.dsp.envelope import envelope, envelope_spectrum
+from repro.dsp.features import (
+    band_rms,
+    crest_factor,
+    kurtosis_excess,
+    peak_amplitude,
+    rms,
+    scalar_features,
+)
+from repro.dsp.fft import Spectrum, averaged_spectrum, order_amplitudes, spectrum
+from repro.dsp.stft import Spectrogram, stft, transient_events
+from repro.dsp.wavelet import WaveletMap, dwt, dwt_multilevel, idwt, wavedec_energies
+
+__all__ = [
+    "real_cepstrum",
+    "dct2",
+    "dct_features",
+    "envelope",
+    "envelope_spectrum",
+    "band_rms",
+    "crest_factor",
+    "kurtosis_excess",
+    "peak_amplitude",
+    "rms",
+    "scalar_features",
+    "Spectrum",
+    "averaged_spectrum",
+    "order_amplitudes",
+    "spectrum",
+    "Spectrogram",
+    "stft",
+    "transient_events",
+    "WaveletMap",
+    "dwt",
+    "dwt_multilevel",
+    "idwt",
+    "wavedec_energies",
+]

@@ -1,0 +1,40 @@
+"""Real cepstrum.
+
+Gear trains and rolling-element bearings produce families of equally
+spaced spectral harmonics and sidebands; the cepstrum collapses each
+family into a single quefrency peak, which is why the WNN's feature
+vector includes it (§6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+
+def real_cepstrum(x: np.ndarray, n_coeffs: int | None = None, floor_db: float = -120.0) -> np.ndarray:
+    """Real cepstrum: IFFT of the log magnitude spectrum.
+
+    Parameters
+    ----------
+    x:
+        1-D signal.
+    n_coeffs:
+        Number of leading cepstral coefficients to return (default:
+        all).  Coefficient 0 (overall log level) is included.
+    floor_db:
+        Spectral magnitude floor, keeping log() finite for silent bins.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size < 8:
+        raise MprosError(f"need a 1-D signal of >= 8 samples, got shape {x.shape}")
+    mag = np.abs(np.fft.rfft(x))
+    floor = 10.0 ** (floor_db / 20.0) * (mag.max() if mag.max() > 0 else 1.0)
+    log_mag = np.log(np.maximum(mag, floor))
+    ceps = np.fft.irfft(log_mag, n=x.size)
+    if n_coeffs is not None:
+        if n_coeffs < 1:
+            raise MprosError("n_coeffs must be >= 1")
+        ceps = ceps[:n_coeffs]
+    return ceps

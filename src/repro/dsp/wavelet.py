@@ -1,0 +1,177 @@
+"""Discrete wavelet transform, from scratch (§6.2).
+
+"The Wavelet Neural Network belongs to a new class of neural networks
+with such unique capabilities as multi-resolution and localization."
+The WNN's inputs include "wavelet maps"; this module provides a
+classical Mallat-cascade DWT with Haar and Daubechies (db2/db4)
+filters, multilevel decomposition, perfect-reconstruction inverse, and
+per-level energy summaries.
+
+Periodic (circular) signal extension is used so every level halves the
+length exactly and reconstruction is exact for lengths divisible by
+``2**levels``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+_SQRT2 = np.sqrt(2.0)
+
+#: Orthonormal scaling (low-pass) filters.
+_FILTERS: dict[str, np.ndarray] = {
+    "haar": np.array([1.0, 1.0]) / _SQRT2,
+    "db2": np.array(
+        [0.48296291314469025, 0.836516303737469, 0.22414386804185735, -0.12940952255092145]
+    ),
+    "db4": np.array(
+        [
+            0.23037781330885523,
+            0.7148465705525415,
+            0.6308807679295904,
+            -0.02798376941698385,
+            -0.18703481171888114,
+            0.030841381835986965,
+            0.032883011666982945,
+            -0.010597401784997278,
+        ]
+    ),
+}
+
+
+def _filters(wavelet: str) -> tuple[np.ndarray, np.ndarray]:
+    try:
+        lo = _FILTERS[wavelet]
+    except KeyError:
+        raise MprosError(f"unknown wavelet {wavelet!r}; choose from {sorted(_FILTERS)}") from None
+    # Quadrature mirror: g[k] = (-1)^k h[L-1-k].
+    hi = lo[::-1].copy()
+    hi[1::2] *= -1.0
+    return lo, hi
+
+
+def dwt(x: np.ndarray, wavelet: str = "db4") -> tuple[np.ndarray, np.ndarray]:
+    """One DWT level: returns (approximation, detail), each length n/2.
+
+    Requires even length; uses periodic extension.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise MprosError("dwt expects a 1-D signal")
+    if x.size % 2 or x.size == 0:
+        raise MprosError(f"dwt needs a non-empty even-length signal, got {x.size}")
+    lo, hi = _filters(wavelet)
+    L = lo.size
+    # Circular convolution evaluated at even phases, vectorized:
+    # y[m] = sum_k f[k] * x[(2m + k) mod n]
+    idx = (2 * np.arange(x.size // 2)[:, None] + np.arange(L)[None, :]) % x.size
+    windows = x[idx]  # (n/2, L)
+    approx = windows @ lo
+    detail = windows @ hi
+    return approx, detail
+
+
+def idwt(approx: np.ndarray, detail: np.ndarray, wavelet: str = "db4") -> np.ndarray:
+    """Inverse of :func:`dwt` (perfect reconstruction)."""
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    if approx.shape != detail.shape or approx.ndim != 1:
+        raise MprosError("approx and detail must be equal-length 1-D arrays")
+    lo, hi = _filters(wavelet)
+    L = lo.size
+    n = 2 * approx.size
+    x = np.zeros(n)
+    # Transpose of the analysis operator (orthonormal => inverse).
+    for m in range(approx.size):
+        pos = (2 * m + np.arange(L)) % n
+        np.add.at(x, pos, lo * approx[m] + hi * detail[m])
+    return x
+
+
+def dwt_multilevel(
+    x: np.ndarray, wavelet: str = "db4", levels: int | None = None
+) -> list[np.ndarray]:
+    """Mallat cascade: returns ``[a_L, d_L, d_{L-1}, ..., d_1]``.
+
+    ``levels`` defaults to the maximum the signal length allows.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    max_levels = 0
+    n = x.size
+    while n >= 2 and n % 2 == 0:
+        max_levels += 1
+        n //= 2
+    if levels is None:
+        levels = max_levels
+    if levels < 1 or levels > max_levels:
+        raise MprosError(
+            f"levels must be in [1, {max_levels}] for length {x.size}, got {levels}"
+        )
+    details: list[np.ndarray] = []
+    approx = x
+    for _ in range(levels):
+        approx, detail = dwt(approx, wavelet)
+        details.append(detail)
+    return [approx] + details[::-1]
+
+
+def waverec(coeffs: list[np.ndarray], wavelet: str = "db4") -> np.ndarray:
+    """Reconstruct a signal from :func:`dwt_multilevel` output."""
+    if len(coeffs) < 2:
+        raise MprosError("need at least [approx, detail]")
+    approx = coeffs[0]
+    for detail in coeffs[1:]:
+        approx = idwt(approx, detail, wavelet)
+    return approx
+
+
+def wavedec_energies(x: np.ndarray, wavelet: str = "db4", levels: int | None = None) -> np.ndarray:
+    """Relative energy per decomposition band (the classic WNN input).
+
+    Returns shape (levels+1,): fraction of total energy in
+    ``[a_L, d_L, ..., d_1]``.  Sums to 1 for non-silent signals.
+    """
+    coeffs = dwt_multilevel(x, wavelet, levels)
+    energies = np.array([float(np.sum(c**2)) for c in coeffs])
+    total = energies.sum()
+    if total <= 0:
+        return np.zeros_like(energies)
+    return energies / total
+
+
+@dataclass(frozen=True)
+class WaveletMap:
+    """A time-scale magnitude map (the §6.2 "wavelet map" feature).
+
+    Attributes
+    ----------
+    scales:
+        One row per detail level, coarse to fine; each row is the
+        detail magnitudes upsampled to a common time axis.
+    wavelet:
+        Filter family used.
+    """
+
+    scales: np.ndarray
+    wavelet: str
+
+    @property
+    def n_levels(self) -> int:
+        """Number of detail levels in the map."""
+        return self.scales.shape[0]
+
+
+def wavelet_map(x: np.ndarray, wavelet: str = "db4", levels: int | None = None) -> WaveletMap:
+    """Build a dense time-scale map from the DWT detail magnitudes."""
+    coeffs = dwt_multilevel(x, wavelet, levels)
+    details = coeffs[1:]
+    n = np.asarray(x).size
+    rows = []
+    for d in details:
+        reps = n // d.size
+        rows.append(np.repeat(np.abs(d), reps))
+    return WaveletMap(scales=np.vstack(rows), wavelet=wavelet)

@@ -1,0 +1,64 @@
+"""§5 Knowledge Fusion — the paper's central contribution.
+
+Diagnostic fusion uses Dempster-Shafer rules of evidence over *logical
+failure groups*; prognostic fusion combines (time, probability) vectors
+with a conservative envelope.  :class:`KnowledgeFusionEngine` wires
+both to the OOSM event stream.
+"""
+
+from repro.fusion.dempster_shafer import (
+    MassFunction,
+    combine,
+    combine_many,
+    conflict,
+)
+from repro.fusion.diagnostic import DiagnosticFusion, FusedDiagnosis
+from repro.fusion.groups import GroupRegistry, LogicalGroup
+from repro.fusion.prognostic import (
+    PrognosticFusion,
+    conservative_envelope,
+    noisy_or_envelope,
+)
+from repro.fusion.engine import KnowledgeFusionEngine
+from repro.fusion.bayes import BayesDiagnosticFusion, BayesNet, learn_source_model
+from repro.fusion.hierarchy import HealthRollup
+from repro.fusion.spatial import (
+    flow_contamination_candidates,
+    transmitted_vibration_candidates,
+)
+from repro.fusion.temporal import EpisodeTracker, TemporalAnalyzer
+from repro.fusion.survival import (
+    LifeRecord,
+    WeibullFit,
+    fit_weibull,
+    kaplan_meier,
+    survival_refined_prognostic,
+)
+
+__all__ = [
+    "EpisodeTracker",
+    "TemporalAnalyzer",
+    "BayesDiagnosticFusion",
+    "BayesNet",
+    "learn_source_model",
+    "HealthRollup",
+    "flow_contamination_candidates",
+    "transmitted_vibration_candidates",
+    "LifeRecord",
+    "WeibullFit",
+    "fit_weibull",
+    "kaplan_meier",
+    "survival_refined_prognostic",
+    "MassFunction",
+    "combine",
+    "combine_many",
+    "conflict",
+    "DiagnosticFusion",
+    "FusedDiagnosis",
+    "GroupRegistry",
+    "LogicalGroup",
+    "PrognosticFusion",
+    "conservative_envelope",
+    "noisy_or_envelope",
+    "KnowledgeFusionEngine",
+]

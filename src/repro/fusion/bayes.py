@@ -1,0 +1,271 @@
+"""Bayesian-network diagnostic fusion (§10.1, the planned successor).
+
+"We expect to implement a Bayesian Network probability theory when
+sufficient data exists for a priori dependence calculations" (§1) and
+"Bayes' Nets seem to be a promising approach to diagnostic knowledge
+fusion when causal relations and a priori relationships can be teased
+out of historical data" (§10.1).
+
+The simulated plant *is* the historical data we were missing, so this
+module closes that loop: a small discrete Bayesian network engine
+(variable elimination over binary nodes, written from scratch), CPT
+learning from labelled campaign records, and a diagnostic-fusion
+adapter comparable head-to-head with the Dempster-Shafer path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import FusionError
+from repro.common.ids import ObjectId
+
+
+@dataclass(frozen=True)
+class Node:
+    """One binary variable: parents and its CPT.
+
+    ``cpt`` maps each combination of parent values (a tuple of bools in
+    parent order) to P(node = True | parents).
+    """
+
+    name: str
+    parents: tuple[str, ...]
+    cpt: dict[tuple[bool, ...], float]
+
+    def __post_init__(self) -> None:
+        expected = 2 ** len(self.parents)
+        if len(self.cpt) != expected:
+            raise FusionError(
+                f"node {self.name!r}: CPT needs {expected} rows, got {len(self.cpt)}"
+            )
+        for key, p in self.cpt.items():
+            if len(key) != len(self.parents):
+                raise FusionError(f"node {self.name!r}: bad CPT key {key}")
+            if not 0.0 <= p <= 1.0:
+                raise FusionError(f"node {self.name!r}: P={p} out of range")
+
+    def probability(self, value: bool, parent_values: tuple[bool, ...]) -> float:
+        """P(node = value | parents = parent_values)."""
+        p_true = self.cpt[parent_values]
+        return p_true if value else 1.0 - p_true
+
+
+class BayesNet:
+    """A discrete (binary) Bayesian network with exact inference.
+
+    Inference is by enumeration over the ancestors of the query and
+    evidence (exact; fine at diagnostic-network sizes where a logical
+    group has a handful of faults and a few sources).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._order: list[str] = []
+
+    def add(self, name: str, parents: tuple[str, ...] = (), cpt=None, prior: float | None = None) -> Node:
+        """Add a node.  For root nodes pass ``prior``; otherwise pass a
+        full ``cpt`` mapping parent-value tuples to P(True)."""
+        if name in self._nodes:
+            raise FusionError(f"node {name!r} already exists")
+        for p in parents:
+            if p not in self._nodes:
+                raise FusionError(f"parent {p!r} of {name!r} not yet added (order matters)")
+        if parents:
+            if cpt is None:
+                raise FusionError(f"non-root node {name!r} needs a CPT")
+            node = Node(name, tuple(parents), dict(cpt))
+        else:
+            if prior is None:
+                raise FusionError(f"root node {name!r} needs a prior")
+            node = Node(name, (), {(): float(prior)})
+        self._nodes[name] = node
+        self._order.append(name)
+        return node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> list[str]:
+        """Node names in topological (insertion) order."""
+        return list(self._order)
+
+    def _relevant(self, targets: set[str]) -> list[str]:
+        """Ancestral closure of the target set, topologically ordered."""
+        needed: set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            frontier.extend(self._nodes[name].parents)
+        return [n for n in self._order if n in needed]
+
+    def joint(self, assignment: dict[str, bool]) -> float:
+        """Joint probability of a full assignment over given nodes
+        (must cover every node's parents)."""
+        p = 1.0
+        for name, value in assignment.items():
+            node = self._nodes[name]
+            parent_values = tuple(assignment[q] for q in node.parents)
+            p *= node.probability(value, parent_values)
+        return p
+
+    def posterior(self, query: str, evidence: dict[str, bool]) -> float:
+        """P(query = True | evidence) by enumeration.
+
+        >>> net = BayesNet()
+        >>> _ = net.add("rain", prior=0.2)
+        >>> _ = net.add("wet", ("rain",), {(True,): 0.9, (False,): 0.1})
+        >>> round(net.posterior("rain", {"wet": True}), 3)
+        0.692
+        """
+        if query not in self._nodes:
+            raise FusionError(f"unknown query node {query!r}")
+        for e in evidence:
+            if e not in self._nodes:
+                raise FusionError(f"unknown evidence node {e!r}")
+        relevant = self._relevant({query, *evidence})
+        hidden = [n for n in relevant if n != query and n not in evidence]
+        totals = {True: 0.0, False: 0.0}
+        for qv in (True, False):
+            base = dict(evidence)
+            base[query] = qv
+            for values in itertools.product((True, False), repeat=len(hidden)):
+                assignment = dict(base)
+                assignment.update(zip(hidden, values))
+                totals[qv] += self.joint({n: assignment[n] for n in relevant})
+        z = totals[True] + totals[False]
+        if z <= 0:
+            raise FusionError("evidence has zero probability under the network")
+        return totals[True] / z
+
+
+# ---------------------------------------------------------------------------
+# Learning + diagnostic adapter
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LearnedSourceModel:
+    """Per (knowledge source, condition) detection statistics.
+
+    ``tpr`` = P(source reports condition | condition present);
+    ``fpr`` = P(source reports condition | condition absent).
+    Laplace-smoothed.
+    """
+
+    tpr: dict[tuple[str, str], float] = field(default_factory=dict)
+    fpr: dict[tuple[str, str], float] = field(default_factory=dict)
+    priors: dict[str, float] = field(default_factory=dict)
+
+    def rates(self, source: str, condition: str) -> tuple[float, float]:
+        """(tpr, fpr) with conservative defaults for unseen pairs."""
+        return (
+            self.tpr.get((source, condition), 0.6),
+            self.fpr.get((source, condition), 0.05),
+        )
+
+
+def learn_source_model(
+    records,  # list[CampaignRecord]
+    prior_floor: float = 0.02,
+) -> LearnedSourceModel:
+    """Estimate detection statistics from labelled campaign records.
+
+    Each record contributes one trial per (source, condition): did that
+    source report that condition, and was it actually present?
+    """
+    present: dict[tuple[str, str], list[bool]] = {}
+    absent: dict[tuple[str, str], list[bool]] = {}
+    fault_runs: dict[str, int] = {}
+    n_runs = 0
+    sources: set[str] = set()
+    conditions: set[str] = set()
+    for record in records:
+        n_runs += 1
+        truth = record.truth
+        for c in truth:
+            fault_runs[c] = fault_runs.get(c, 0) + 1
+            conditions.add(c)
+        reported = {}
+        for r in record.reports:
+            sources.add(r.knowledge_source_id)
+            conditions.add(r.machine_condition_id)
+            reported.setdefault(
+                (r.knowledge_source_id, r.machine_condition_id), True
+            )
+        for s in sources:
+            for c in conditions:
+                hit = (s, c) in reported
+                (present if c in truth else absent).setdefault((s, c), []).append(hit)
+    model = LearnedSourceModel()
+    for key, hits in present.items():
+        model.tpr[key] = (sum(hits) + 1.0) / (len(hits) + 2.0)
+    for key, hits in absent.items():
+        model.fpr[key] = (sum(hits) + 0.5) / (len(hits) + 10.0)
+    for c in conditions:
+        model.priors[c] = max(prior_floor, fault_runs.get(c, 0) / max(1, n_runs))
+    return model
+
+
+class BayesDiagnosticFusion:
+    """The §10.1 alternative to Dempster-Shafer diagnostic fusion.
+
+    Per (object, condition) it builds a two-layer network — fault node
+    with learned prior, one report node per knowledge source with
+    learned TPR/FPR — and exposes the posterior given which sources
+    have (and importantly, have *not*) reported.
+
+    Parameters
+    ----------
+    model:
+        Learned detection statistics.
+    sources:
+        The knowledge sources whose silence counts as evidence of
+        absence (a source that never analyzes the machine should not be
+        listed).
+    """
+
+    def __init__(self, model: LearnedSourceModel, sources: tuple[str, ...]) -> None:
+        if not sources:
+            raise FusionError("need at least one knowledge source")
+        self.model = model
+        self.sources = tuple(sources)
+        # (object, condition) -> set of sources that reported it.
+        self._observed: dict[tuple[ObjectId, str], set[str]] = {}
+
+    def ingest(self, report) -> None:
+        """Record that a source reported a condition on an object."""
+        key = (report.sensed_object_id, report.machine_condition_id)
+        self._observed.setdefault(key, set()).add(report.knowledge_source_id)
+
+    def posterior(self, sensed_object_id: ObjectId, condition: str) -> float:
+        """P(condition present | who reported and who stayed silent)."""
+        net = BayesNet()
+        prior = self.model.priors.get(condition, 0.05)
+        net.add("fault", prior=prior)
+        evidence: dict[str, bool] = {}
+        reported_by = self._observed.get((sensed_object_id, condition), set())
+        for s in self.sources:
+            tpr, fpr = self.model.rates(s, condition)
+            node = f"report:{s}"
+            net.add(node, ("fault",), {(True,): tpr, (False,): fpr})
+            evidence[node] = s in reported_by
+        return net.posterior("fault", evidence)
+
+    def suspects(
+        self, threshold: float = 0.5
+    ) -> list[tuple[ObjectId, str, float]]:
+        """(object, condition, posterior) above threshold, strongest
+        first — the same surface as DiagnosticFusion.suspects."""
+        out = []
+        for (obj, condition) in self._observed:
+            p = self.posterior(obj, condition)
+            if p >= threshold:
+                out.append((obj, condition, p))
+        out.sort(key=lambda t: -t[2])
+        return out

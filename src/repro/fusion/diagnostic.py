@@ -1,0 +1,206 @@
+"""Knowledge fusion for diagnostics (§5.3, §5.6).
+
+"Diagnostic knowledge fusion generates a new fused belief whenever a
+diagnostic report arrives for a suspect component.  This updates the
+belief for that suspect component and for every other failure in the
+logical group for that component.  It also updates the belief of
+'unknown' failure for that logical group for that component."
+
+State is kept per (sensed object, logical group): the Dempster-Shafer
+orthogonal sum of every report received so far, discounted by source
+believability where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.errors import FusionError
+from repro.common.ids import ObjectId
+from repro.fusion.dempster_shafer import MassFunction, combine, conflict
+from repro.fusion.groups import UNKNOWN, GroupRegistry, LogicalGroup
+from repro.protocol.report import FailurePredictionReport
+
+
+@dataclass(frozen=True)
+class FusedDiagnosis:
+    """The fused state of one logical group on one sensed object.
+
+    Attributes
+    ----------
+    sensed_object_id / group_name:
+        Which machine and which logical failure group.
+    beliefs:
+        Bel(condition) per condition in the group — the fused support
+        committed to each specific failure.
+    plausibilities:
+        Pl(condition) per condition — the support not contradicting it.
+    unknown:
+        Mass on "some failure in this group we have not enumerated"
+        plus total ignorance (Θ), the §5.6 "belief of unknown failure".
+    severity:
+        Max severity reported so far for any condition in the group.
+    report_count:
+        Number of reports fused into this state.
+    conflict:
+        The Dempster-Shafer conflict K of the *latest* combination —
+        how much of the incoming report's mass contradicted the fused
+        state (0 = purely reinforcing, →1 = purely conflicting).  This
+        is the quantitative form of §3.2's "some conflicting and some
+        reinforcing".
+    """
+
+    sensed_object_id: ObjectId
+    group_name: str
+    beliefs: dict[ObjectId, float]
+    plausibilities: dict[ObjectId, float]
+    unknown: float
+    severity: float
+    report_count: int
+    conflict: float = 0.0
+
+    def ranked(self) -> list[tuple[ObjectId, float]]:
+        """Conditions sorted by fused belief, strongest first."""
+        return sorted(self.beliefs.items(), key=lambda kv: -kv[1])
+
+    def top(self) -> tuple[ObjectId, float] | None:
+        """The strongest suspect condition, if any evidence exists."""
+        ranked = self.ranked()
+        if not ranked or ranked[0][1] <= 0.0:
+            return None
+        return ranked[0]
+
+
+def discounted_support(
+    group: LogicalGroup, condition: ObjectId, belief: float, believability: float = 1.0
+) -> MassFunction:
+    """Convert one diagnostic report into a mass function on the group
+    frame, applying Shafer discounting by the source's believability.
+
+    A report (condition, belief b) from a source with believability α
+    becomes m({condition}) = α·b with the rest on Θ — exactly the
+    "believability factors" treatment of §6.1.
+    """
+    if not 0.0 <= believability <= 1.0:
+        raise FusionError(f"believability must be in [0, 1], got {believability}")
+    if condition not in group:
+        raise FusionError(f"condition {condition!r} is not in group {group.name!r}")
+    return MassFunction(group.frame, {condition: belief * believability})
+
+
+class DiagnosticFusion:
+    """Per-(object, group) Dempster-Shafer accumulation of reports.
+
+    Parameters
+    ----------
+    registry:
+        Logical-group registry mapping machine conditions to groups.
+    believability:
+        Optional mapping ``knowledge_source_id -> α`` used to discount
+        each source's reports (defaults to 1.0, full trust).
+    """
+
+    def __init__(
+        self,
+        registry: GroupRegistry,
+        believability: dict[ObjectId, float] | None = None,
+    ) -> None:
+        self._registry = registry
+        self._believability = dict(believability or {})
+        self._state: dict[tuple[ObjectId, str], MassFunction] = {}
+        self._severity: dict[tuple[ObjectId, str], float] = {}
+        self._counts: dict[tuple[ObjectId, str], int] = {}
+        self._last_conflict: dict[tuple[ObjectId, str], float] = {}
+
+    # -- intake ----------------------------------------------------------
+    def ingest(self, report: FailurePredictionReport) -> FusedDiagnosis:
+        """Fuse one diagnostic report; returns the updated group state."""
+        group = self._registry.group_of(report.machine_condition_id)
+        key = (report.sensed_object_id, group.name)
+        alpha = self._believability.get(report.knowledge_source_id, 1.0)
+        evidence = discounted_support(
+            group, report.machine_condition_id, report.belief, alpha
+        )
+        prior = self._state.get(key)
+        if prior is None:
+            fused = evidence
+            self._last_conflict[key] = 0.0
+        else:
+            self._last_conflict[key] = conflict(prior, evidence)
+            fused = combine(prior, evidence)
+        self._state[key] = fused
+        self._severity[key] = max(self._severity.get(key, 0.0), report.severity)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        return self._snapshot(report.sensed_object_id, group)
+
+    def ingest_many(
+        self, reports: Iterable[FailurePredictionReport]
+    ) -> list[FusedDiagnosis]:
+        """Fuse a batch of reports, returning each post-update state."""
+        return [self.ingest(r) for r in reports]
+
+    # -- queries -----------------------------------------------------------
+    def _snapshot(self, obj: ObjectId, group: LogicalGroup) -> FusedDiagnosis:
+        key = (obj, group.name)
+        mass = self._state.get(key)
+        if mass is None:
+            beliefs = {c: 0.0 for c in group.conditions}
+            plaus = {c: 1.0 for c in group.conditions}
+            return FusedDiagnosis(obj, group.name, beliefs, plaus, 1.0, 0.0, 0)
+        beliefs = {c: mass.belief(c) for c in group.conditions}
+        plaus = {c: mass.plausibility(c) for c in group.conditions}
+        # "Unknown" per §5.6: explicit UNKNOWN support plus ignorance (Θ).
+        unknown = mass.plausibility(UNKNOWN)
+        return FusedDiagnosis(
+            obj,
+            group.name,
+            beliefs,
+            plaus,
+            unknown,
+            self._severity.get(key, 0.0),
+            self._counts.get(key, 0),
+            self._last_conflict.get(key, 0.0),
+        )
+
+    def _resolve_group(self, group_name: str) -> LogicalGroup:
+        """Look up a registered group, reconstructing implicit
+        catch-all singleton groups (named ``auto:<condition>``)."""
+        if group_name.startswith("auto:"):
+            return LogicalGroup(group_name, frozenset((group_name[5:],)))
+        return self._registry.get(group_name)
+
+    def state(self, sensed_object_id: ObjectId, group_name: str) -> FusedDiagnosis:
+        """Current fused state for an (object, group) pair."""
+        return self._snapshot(sensed_object_id, self._resolve_group(group_name))
+
+    def states_for_object(self, sensed_object_id: ObjectId) -> list[FusedDiagnosis]:
+        """All group states touched so far on one sensed object."""
+        out = []
+        for (obj, gname), _ in self._state.items():
+            if obj == sensed_object_id:
+                out.append(self._snapshot(obj, self._resolve_group(gname)))
+        return out
+
+    def suspects(self, threshold: float = 0.5) -> list[tuple[ObjectId, ObjectId, float]]:
+        """All (object, condition, belief) with fused belief ≥ threshold,
+        strongest first — the raw material of the PDME's prioritized
+        maintenance list.
+        """
+        found: list[tuple[ObjectId, ObjectId, float]] = []
+        for (obj, gname), mass in self._state.items():
+            group = self._resolve_group(gname)
+            for c in group.conditions:
+                b = mass.belief(c)
+                if b >= threshold:
+                    found.append((obj, c, b))
+        found.sort(key=lambda t: -t[2])
+        return found
+
+    def reset(self, sensed_object_id: ObjectId, group_name: str) -> None:
+        """Forget fused state for an (object, group) pair (maintenance
+        performed; evidence no longer applies)."""
+        self._state.pop((sensed_object_id, group_name), None)
+        self._severity.pop((sensed_object_id, group_name), None)
+        self._counts.pop((sensed_object_id, group_name), None)
+        self._last_conflict.pop((sensed_object_id, group_name), None)

@@ -1,0 +1,125 @@
+"""The Knowledge Fusion engine (§5.1).
+
+Follows the paper's general format:
+
+1. New reports arriving at the PDME are posted in the OOSM.
+2. New posts generate "new data" messages to the KF components.
+3. KF accesses the newly arrived data and performs diagnostic and
+   prognostic fusion.
+4. Conclusions are posted back (to the OOSM / user displays).
+
+The engine is deliberately decoupled from the OOSM type: it consumes
+:class:`~repro.protocol.report.FailurePredictionReport` objects pushed
+at it (by the OOSM event bridge in :mod:`repro.pdme.executive`, by
+tests, or by anything else) and emits conclusions through a sink
+callback.  §5.1 requires tolerance of "incomplete, time-disordered,
+fragmentary" inputs with "gaps, inconsistencies, and contradictions" —
+hence the per-report error isolation and the out-of-order handling in
+the prognostic path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import MprosError
+from repro.common.ids import ObjectId
+from repro.fusion.diagnostic import DiagnosticFusion, FusedDiagnosis
+from repro.fusion.groups import GroupRegistry
+from repro.fusion.prognostic import FusedPrognosis, PrognosticFusion, conservative_envelope
+from repro.protocol.report import FailurePredictionReport
+
+
+@dataclass(frozen=True)
+class FusionConclusion:
+    """What KF posts after ingesting one report."""
+
+    report: FailurePredictionReport
+    diagnosis: FusedDiagnosis | None
+    prognosis: FusedPrognosis | None
+
+
+@dataclass
+class EngineStats:
+    """Counters for monitoring and the robustness bench."""
+
+    ingested: int = 0
+    diagnostic_updates: int = 0
+    prognostic_updates: int = 0
+    rejected: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class KnowledgeFusionEngine:
+    """Drives diagnostic + prognostic fusion from a report stream.
+
+    Parameters
+    ----------
+    registry:
+        Logical failure groups for diagnostic fusion.
+    believability:
+        Optional per-knowledge-source discount factors.
+    envelope:
+        Prognostic combination rule (paper default: conservative).
+    sink:
+        Optional callback invoked with each :class:`FusionConclusion`.
+    """
+
+    def __init__(
+        self,
+        registry: GroupRegistry,
+        believability: dict[ObjectId, float] | None = None,
+        envelope=conservative_envelope,
+        sink: Callable[[FusionConclusion], None] | None = None,
+    ) -> None:
+        self.diagnostic = DiagnosticFusion(registry, believability)
+        self.prognostic = PrognosticFusion(envelope)
+        self._sink = sink
+        self.stats = EngineStats()
+        self._max_seen_time = 0.0
+
+    def ingest(self, report: FailurePredictionReport) -> FusionConclusion | None:
+        """Fuse one report; malformed evidence is counted, not fatal.
+
+        Returns the conclusion, or None if the report was rejected.
+        """
+        self.stats.ingested += 1
+        self._max_seen_time = max(self._max_seen_time, report.timestamp)
+        diagnosis: FusedDiagnosis | None = None
+        prognosis: FusedPrognosis | None = None
+        try:
+            if report.belief > 0.0:
+                diagnosis = self.diagnostic.ingest(report)
+                self.stats.diagnostic_updates += 1
+            if len(report.prognostic):
+                # Fuse as of the latest time we have seen so that a
+                # time-disordered (stale) report is properly age-shifted.
+                prognosis = self.prognostic.ingest(report, now=self._max_seen_time)
+                self.stats.prognostic_updates += 1
+        except MprosError as exc:
+            self.stats.rejected += 1
+            self.stats.errors.append(f"{report.summary()}: {exc}")
+            return None
+        if diagnosis is None and prognosis is None:
+            # Carried neither usable diagnosis nor prognosis.
+            self.stats.rejected += 1
+            return None
+        conclusion = FusionConclusion(report, diagnosis, prognosis)
+        if self._sink is not None:
+            self._sink(conclusion)
+        return conclusion
+
+    # -- convenience queries ----------------------------------------------
+    def suspects(self, threshold: float = 0.5):
+        """Delegates to :meth:`DiagnosticFusion.suspects`."""
+        return self.diagnostic.suspects(threshold)
+
+    def time_to_failure(
+        self, sensed_object_id: ObjectId, machine_condition_id: ObjectId,
+        probability: float = 0.5, now: float | None = None,
+    ) -> float:
+        """Fused time-to-failure estimate for a pair, in seconds."""
+        t = now if now is not None else self._max_seen_time
+        state = self.prognostic.state(sensed_object_id, machine_condition_id, t)
+        return state.time_to_failure(probability)

@@ -1,0 +1,137 @@
+"""Multi-level health reasoning (§10.1, first extension).
+
+"First, multi-level data is represented [in] the object-oriented ship
+model.  We are not currently exploiting this fully.  For example, we
+could reason about the health of a system based on the health of a
+constituent part.  Currently, only the parts are tracked."
+
+This module rolls fused part-level state up the OOSM part-of tree: the
+health of an assembly is the health of its worst constituent, weighted
+by how critical that constituent is, yielding a health score in [0, 1]
+per entity at every level (machine → chiller → deck → ship).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import ObjectId
+from repro.fusion.engine import KnowledgeFusionEngine
+from repro.oosm.model import ShipModel
+
+
+@dataclass(frozen=True)
+class HealthAssessment:
+    """Health of one entity, with the part chain that explains it.
+
+    Attributes
+    ----------
+    entity_id:
+        The assessed entity.
+    health:
+        1.0 = no evidence of trouble; 0.0 = confirmed severe failure.
+    worst_part:
+        The constituent (possibly itself) driving the score.
+    worst_condition:
+        The machine condition on that constituent (None if healthy).
+    suspect_parts:
+        Every direct-or-transitive part with health below 1.
+    """
+
+    entity_id: ObjectId
+    health: float
+    worst_part: ObjectId
+    worst_condition: ObjectId | None
+    suspect_parts: dict[ObjectId, float] = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """No evidence of any problem anywhere below this entity."""
+        return self.health >= 0.999
+
+
+def part_health(
+    engine: KnowledgeFusionEngine, entity_id: ObjectId
+) -> tuple[float, ObjectId | None]:
+    """Health of one part from its fused diagnostic state.
+
+    Health = 1 − max over groups of (belief × (0.5 + 0.5·severity)):
+    a fully-believed, fully-severe condition zeroes the part's health;
+    a believed-but-mild one costs half.
+    Returns (health, worst condition id or None).
+    """
+    worst = 0.0
+    worst_condition: ObjectId | None = None
+    for state in engine.diagnostic.states_for_object(entity_id):
+        top = state.top()
+        if top is None:
+            continue
+        condition, belief = top
+        impact = belief * (0.5 + 0.5 * state.severity)
+        if impact > worst:
+            worst = impact
+            worst_condition = condition
+    return 1.0 - min(1.0, worst), worst_condition
+
+
+@dataclass
+class HealthRollup:
+    """Computes system-level health over the OOSM part-of tree.
+
+    Parameters
+    ----------
+    model:
+        The ship model (structure source).
+    engine:
+        The fusion engine (evidence source).
+    criticality:
+        Optional per-entity weights in (0, 1]: how much a constituent's
+        ill health degrades its parent (default 1.0 — a dead part makes
+        the assembly dead).
+    """
+
+    model: ShipModel
+    engine: KnowledgeFusionEngine
+    criticality: dict[ObjectId, float] = field(default_factory=dict)
+
+    def _weight(self, entity_id: ObjectId) -> float:
+        w = self.criticality.get(entity_id, 1.0)
+        return min(1.0, max(0.0, w))
+
+    def assess(self, entity_id: ObjectId) -> HealthAssessment:
+        """Assess an entity from its own state and all its parts."""
+        self.model.get(entity_id)  # existence check
+        members = {entity_id} | self.model.parts_closure_ids(entity_id)
+        worst_health = 1.0
+        worst_part = entity_id
+        worst_condition: ObjectId | None = None
+        suspects: dict[ObjectId, float] = {}
+        for part in members:
+            h, condition = part_health(self.engine, part)
+            if h < 1.0:
+                # Criticality discounts how far a sick part drags the
+                # assembly: effective health = 1 - w * (1 - h).
+                effective = 1.0 - self._weight(part) * (1.0 - h)
+                suspects[part] = h
+                if effective < worst_health:
+                    worst_health = effective
+                    worst_part = part
+                    worst_condition = condition
+        return HealthAssessment(
+            entity_id=entity_id,
+            health=worst_health,
+            worst_part=worst_part,
+            worst_condition=worst_condition,
+            suspect_parts=suspects,
+        )
+
+    def ship_summary(self, ship_id: ObjectId) -> list[HealthAssessment]:
+        """Assessments for the ship and each of its direct subsystems,
+        worst first — the multi-level view §10.1 asks for."""
+        out = [self.assess(ship_id)]
+        for child in self.model.related_in(ship_id, "part-of"):
+            out.append(self.assess(child))
+            for grandchild in self.model.related_in(child, "part-of"):
+                out.append(self.assess(grandchild))
+        out.sort(key=lambda a: a.health)
+        return out

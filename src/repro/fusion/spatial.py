@@ -1,0 +1,177 @@
+"""Spatial and flow reasoning (§10.1, second extension).
+
+"Second, spatial reasoning using the object-oriented ship model could
+lead us to fuse information about spatially related components.
+Examples of spatial relations are proximity (for example, a device is
+vibrating because a component next to it is broken and vibrating
+wildly) and flow.  Flows are relationships that represent either fluid
+flow through the system (one component passing fouled fluids on to
+other components downstream), electrical flow or mechanical flow."
+
+Two analyses over the fused state:
+
+* :func:`transmitted_vibration_candidates` — a vibration condition on
+  machine A with a *stronger* vibration condition on a proximate
+  machine B may be B's vibration transmitted through the structure;
+  the candidate carries a discount suggestion for A's belief.
+* :func:`flow_contamination_candidates` — a fluid-borne condition
+  downstream of a component with the matching source condition is
+  plausibly secondary (fouled fluid passed along), pointing repair at
+  the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.ids import ObjectId
+from repro.fusion.engine import KnowledgeFusionEngine
+from repro.oosm.model import ShipModel
+from repro.oosm.query import proximate_entities, upstream_of
+
+#: Vibration-borne machine conditions (transmissible through structure).
+VIBRATION_CONDITIONS: frozenset[str] = frozenset(
+    {
+        "mc:motor-imbalance",
+        "mc:shaft-misalignment",
+        "mc:bearing-wear",
+        "mc:bearing-housing-looseness",
+        "mc:gear-tooth-wear",
+        "mc:gear-mesh-misalignment",
+    }
+)
+
+#: Fluid-borne conditions: (downstream symptom) -> (upstream source
+#: conditions that can explain it by contamination/starvation).
+FLOW_SOURCES: dict[str, frozenset[str]] = {
+    "mc:oil-contamination": frozenset({"mc:oil-contamination", "mc:gear-tooth-wear",
+                                       "mc:bearing-wear"}),
+    "mc:evaporator-fouling": frozenset({"mc:condenser-fouling"}),
+    "mc:oil-pressure-low": frozenset({"mc:oil-contamination"}),
+}
+
+
+@dataclass(frozen=True)
+class TransmissionCandidate:
+    """A possibly-transmitted vibration diagnosis."""
+
+    victim: ObjectId            # machine whose report may be spurious
+    victim_condition: ObjectId
+    victim_belief: float
+    source: ObjectId            # proximate machine vibrating harder
+    source_condition: ObjectId
+    source_belief: float
+    discount: float             # suggested multiplier for the victim's belief
+
+    def describe(self) -> str:
+        """One display line for maintenance personnel."""
+        return (
+            f"{self.victim}:{self.victim_condition} (bel {self.victim_belief:.2f}) "
+            f"may be vibration transmitted from {self.source}:"
+            f"{self.source_condition} (bel {self.source_belief:.2f}); "
+            f"suggest belief x{self.discount:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class ContaminationCandidate:
+    """A possibly-secondary fluid-borne diagnosis."""
+
+    victim: ObjectId
+    victim_condition: ObjectId
+    source: ObjectId
+    source_condition: ObjectId
+    source_belief: float
+
+    def describe(self) -> str:
+        """One display line."""
+        return (
+            f"{self.victim}:{self.victim_condition} is downstream of "
+            f"{self.source}:{self.source_condition} (bel {self.source_belief:.2f}); "
+            f"treat the source first"
+        )
+
+
+def _vibration_suspects(
+    engine: KnowledgeFusionEngine, threshold: float
+) -> list[tuple[ObjectId, ObjectId, float]]:
+    return [
+        (obj, cond, belief)
+        for obj, cond, belief in engine.suspects(threshold=threshold)
+        if cond in VIBRATION_CONDITIONS
+    ]
+
+
+def transmitted_vibration_candidates(
+    model: ShipModel,
+    engine: KnowledgeFusionEngine,
+    threshold: float = 0.3,
+    dominance: float = 1.5,
+    hops: int = 1,
+) -> list[TransmissionCandidate]:
+    """Vibration calls that a stronger proximate source may explain.
+
+    A candidate requires the source's belief to exceed the victim's by
+    ``dominance``; the suggested discount shrinks with that margin.
+    """
+    suspects = _vibration_suspects(engine, threshold)
+    by_object: dict[ObjectId, list[tuple[ObjectId, float]]] = {}
+    for obj, cond, belief in suspects:
+        by_object.setdefault(obj, []).append((cond, belief))
+    out: list[TransmissionCandidate] = []
+    for victim, victim_calls in by_object.items():
+        neighbours = proximate_entities(model, victim, hops=hops)
+        for source in neighbours & set(by_object):
+            source_cond, source_belief = max(by_object[source], key=lambda t: t[1])
+            for victim_cond, victim_belief in victim_calls:
+                if source == victim:
+                    continue
+                if source_belief >= dominance * victim_belief:
+                    margin = source_belief / max(victim_belief, 1e-9)
+                    discount = max(0.2, 1.0 / margin)
+                    out.append(
+                        TransmissionCandidate(
+                            victim=victim,
+                            victim_condition=victim_cond,
+                            victim_belief=victim_belief,
+                            source=source,
+                            source_condition=source_cond,
+                            source_belief=source_belief,
+                            discount=round(discount, 3),
+                        )
+                    )
+    out.sort(key=lambda c: c.discount)
+    return out
+
+
+def flow_contamination_candidates(
+    model: ShipModel,
+    engine: KnowledgeFusionEngine,
+    threshold: float = 0.3,
+) -> list[ContaminationCandidate]:
+    """Downstream symptoms explainable by an upstream source condition."""
+    suspects = engine.suspects(threshold=threshold)
+    by_object: dict[ObjectId, dict[ObjectId, float]] = {}
+    for obj, cond, belief in suspects:
+        by_object.setdefault(obj, {})[cond] = belief
+    out: list[ContaminationCandidate] = []
+    for victim, calls in by_object.items():
+        sources_upstream = upstream_of(model, victim)
+        for victim_cond in calls:
+            explaining = FLOW_SOURCES.get(victim_cond)
+            if not explaining:
+                continue
+            for source in sources_upstream & set(by_object):
+                for source_cond, source_belief in by_object[source].items():
+                    if source_cond in explaining:
+                        out.append(
+                            ContaminationCandidate(
+                                victim=victim,
+                                victim_condition=victim_cond,
+                                source=source,
+                                source_condition=source_cond,
+                                source_belief=source_belief,
+                            )
+                        )
+    out.sort(key=lambda c: -c.source_belief)
+    return out

@@ -1,0 +1,26 @@
+"""The ship's network and DCOM substitute.
+
+"Communication among the DC's and the PDME is done using DCOM."  We
+have no Windows; what the architecture actually relies on is an RPC
+boundary over an unreliable shipboard network.  This package provides a
+discrete-event simulation kernel, link models with latency, jitter,
+drop and reordering, a byte-level transport, and an RPC façade with
+timeouts and retries — enough to exercise §4.9's "power supply and
+communications ... may not be the same on board the ships" scenarios.
+"""
+
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Link, LinkConfig, Network
+from repro.netsim.rpc import RpcEndpoint, RpcError
+from repro.netsim.transport import decode_message, encode_message
+
+__all__ = [
+    "EventKernel",
+    "Link",
+    "LinkConfig",
+    "Network",
+    "RpcEndpoint",
+    "RpcError",
+    "decode_message",
+    "encode_message",
+]

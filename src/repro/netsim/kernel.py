@@ -1,0 +1,92 @@
+"""A minimal discrete-event simulation kernel.
+
+Time is simulated seconds on a :class:`~repro.common.clock.SimulatedClock`;
+events are (time, seq, callback) entries in a heap.  Everything in the
+network simulation — link deliveries, RPC timeouts, DC test schedules —
+runs on one kernel so whole-system runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import SchedulingError
+
+
+class EventKernel:
+    """Priority-queue event loop over simulated time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimulatedClock(start)
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._cancelled: set[int] = set()
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` ``delay`` seconds from now; returns an id
+        usable with :meth:`cancel`."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now() + delay, self._seq, callback))
+        return self._seq
+
+    def schedule_at(self, t: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at absolute time ``t`` (>= now)."""
+        return self.schedule(t - self.now(), callback)
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        self._cancelled.add(event_id)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            t, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.clock.advance_to(t)
+            callback()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> int:
+        """Run every event scheduled at or before ``t_end``; advances
+        the clock to exactly ``t_end``.  Returns events executed."""
+        if t_end < self.now():
+            raise SchedulingError(f"t_end {t_end} is in the past ({self.now()})")
+        executed = 0
+        while self._heap:
+            t, seq, callback = self._heap[0]
+            if t > t_end:
+                break
+            heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.clock.advance_to(t)
+            callback()
+            executed += 1
+        self.clock.advance_to(t_end)
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded); returns events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SchedulingError(f"kernel exceeded {max_events} events — runaway schedule?")
+        return executed

@@ -1,0 +1,156 @@
+"""Link and network models.
+
+A :class:`Network` connects named endpoints over :class:`Link` models
+with latency, jitter, drop and reordering — the shipboard conditions
+§4.9 warns about.  Delivery is a callback on the receiving endpoint,
+scheduled on the shared event kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import NetworkError
+from repro.netsim.kernel import EventKernel
+
+Receiver = Callable[[str, bytes], None]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Stochastic link characteristics.
+
+    Attributes
+    ----------
+    latency:
+        Base one-way delay in seconds.
+    jitter:
+        Uniform extra delay in [0, jitter] per frame (jitter > 0 also
+        produces reordering: two frames' delays are drawn
+        independently).
+    drop_rate:
+        Probability a frame is silently lost.
+    corrupt_rate:
+        Probability a delivered frame arrives with flipped bits
+        (EMI on shipboard cable runs); receivers must treat such
+        frames as noise, not die.
+    bandwidth_bps:
+        Bytes-per-second serialization limit (0 = infinite); adds
+        len(frame)/bandwidth to the delay and serializes back-to-back
+        frames.
+    """
+
+    latency: float = 0.002
+    jitter: float = 0.0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    bandwidth_bps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0 or self.bandwidth_bps < 0:
+            raise NetworkError("latency/jitter/bandwidth must be >= 0")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise NetworkError(f"drop_rate must be in [0, 1], got {self.drop_rate}")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise NetworkError(f"corrupt_rate must be in [0, 1], got {self.corrupt_rate}")
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    def __init__(
+        self, kernel: EventKernel, config: LinkConfig, rng: np.random.Generator
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.rng = rng
+        self._busy_until = 0.0
+        self.sent = 0
+        self.dropped = 0
+        self.corrupted = 0
+        self.bytes_sent = 0
+        #: Hard outage flag (cable cut / power loss): drops everything.
+        self.down = False
+
+    def send(self, sender: str, frame: bytes, deliver: Receiver) -> bool:
+        """Queue a frame for delivery; returns False if dropped."""
+        self.sent += 1
+        if self.down:
+            self.dropped += 1
+            return False
+        if self.config.drop_rate > 0 and self.rng.random() < self.config.drop_rate:
+            self.dropped += 1
+            return False
+        self.bytes_sent += len(frame)
+        if self.config.corrupt_rate > 0 and self.rng.random() < self.config.corrupt_rate:
+            corrupted = bytearray(frame)
+            pos = int(self.rng.integers(0, len(corrupted))) if corrupted else 0
+            if corrupted:
+                corrupted[pos] ^= int(self.rng.integers(1, 256))
+            frame = bytes(corrupted)
+            self.corrupted += 1
+        delay = self.config.latency
+        if self.config.jitter > 0:
+            delay += float(self.rng.uniform(0.0, self.config.jitter))
+        if self.config.bandwidth_bps > 0:
+            serialize = len(frame) / self.config.bandwidth_bps
+            start = max(self.kernel.now(), self._busy_until)
+            self._busy_until = start + serialize
+            delay += (start - self.kernel.now()) + serialize
+        self.kernel.schedule(delay, lambda: deliver(sender, frame))
+        return True
+
+
+class Network:
+    """Named endpoints joined by per-pair links."""
+
+    def __init__(self, kernel: EventKernel, rng: np.random.Generator) -> None:
+        self.kernel = kernel
+        self.rng = rng
+        self._receivers: dict[str, Receiver] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._default_config = LinkConfig()
+
+    def attach(self, name: str, receiver: Receiver) -> None:
+        """Register an endpoint's delivery callback."""
+        if name in self._receivers:
+            raise NetworkError(f"endpoint {name!r} already attached")
+        self._receivers[name] = receiver
+
+    def connect(self, a: str, b: str, config: LinkConfig | None = None) -> None:
+        """Create (or replace) the bidirectional link between a and b."""
+        cfg = config if config is not None else self._default_config
+        self._links[(a, b)] = Link(self.kernel, cfg, self.rng)
+        self._links[(b, a)] = Link(self.kernel, cfg, self.rng)
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link from src to dst (auto-created default)."""
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = Link(self.kernel, self._default_config, self.rng)
+        return self._links[key]
+
+    def send(self, src: str, dst: str, frame: bytes) -> bool:
+        """Send a frame; returns False if the link dropped it."""
+        if dst not in self._receivers:
+            raise NetworkError(f"no endpoint {dst!r} attached")
+        receiver = self._receivers[dst]
+        return self.link(src, dst).send(src, frame, receiver)
+
+    def set_down(self, a: str, b: str, down: bool = True) -> None:
+        """Take the a<->b link down (or bring it back up) — the §4.9
+        shipboard power/communications outage."""
+        self.link(a, b).down = down
+        self.link(b, a).down = down
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate frame counters across all links."""
+        return {
+            "sent": sum(l.sent for l in self._links.values()),
+            "dropped": sum(l.dropped for l in self._links.values()),
+            "corrupted": sum(l.corrupted for l in self._links.values()),
+            "bytes": sum(l.bytes_sent for l in self._links.values()),
+        }

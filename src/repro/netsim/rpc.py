@@ -1,0 +1,184 @@
+"""RPC façade over the simulated network — the DCOM stand-in.
+
+Endpoints register named methods; callers issue asynchronous requests
+with timeouts and bounded retries.  Responses are matched by request
+id.  This is the boundary the DC and PDME talk across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import NetworkError
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Network
+from repro.netsim.transport import decode_message, encode_message
+
+
+class RpcError(NetworkError):
+    """A remote call failed permanently (all retries exhausted)."""
+
+
+@dataclass
+class _Pending:
+    on_reply: Callable[[dict[str, Any]], None]
+    on_error: Callable[[RpcError], None] | None
+    method: str
+    payload: dict[str, Any]
+    dst: str
+    retries_left: int
+    timeout_event: int = 0
+    done: bool = False
+
+
+class RpcEndpoint:
+    """One RPC party on the network.
+
+    Parameters
+    ----------
+    name:
+        Network endpoint name.
+    network / kernel:
+        The shared fabric.
+    timeout:
+        Seconds to wait for a response before retrying.
+    retries:
+        Additional attempts after the first.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        kernel: EventKernel,
+        timeout: float = 0.5,
+        retries: int = 2,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.kernel = kernel
+        self.timeout = timeout
+        self.retries = retries
+        self._methods: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+        self._pending: dict[int, _Pending] = {}
+        self._next_id = 0
+        self.stats = {"calls": 0, "retries": 0, "failures": 0, "served": 0}
+        network.attach(name, self._receive)
+
+    # -- server side ------------------------------------------------------
+    def register(self, method: str, handler: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
+        """Expose ``handler`` as a callable method."""
+        if method in self._methods:
+            raise NetworkError(f"method {method!r} already registered on {self.name!r}")
+        self._methods[method] = handler
+
+    # -- client side ------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: dict[str, Any],
+        on_reply: Callable[[dict[str, Any]], None] | None = None,
+        on_error: Callable[[RpcError], None] | None = None,
+    ) -> int:
+        """Issue an asynchronous call; returns the request id.
+
+        ``on_reply`` receives the result dict; ``on_error`` (optional)
+        is invoked after all retries fail.  With no ``on_error`` the
+        failure is only counted in :attr:`stats` — reports are
+        re-sendable and the PDME tolerates gaps (§5.1).
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        self.stats["calls"] += 1
+        pending = _Pending(
+            on_reply=on_reply or (lambda r: None),
+            on_error=on_error,
+            method=method,
+            payload=payload,
+            dst=dst,
+            retries_left=self.retries,
+        )
+        self._pending[req_id] = pending
+        self._transmit(req_id, pending)
+        return req_id
+
+    def _transmit(self, req_id: int, pending: _Pending) -> None:
+        frame = encode_message(
+            {
+                "kind": "request",
+                "id": req_id,
+                "reply_to": self.name,
+                "method": pending.method,
+                "payload": pending.payload,
+            }
+        )
+        self.network.send(self.name, pending.dst, frame)
+        pending.timeout_event = self.kernel.schedule(
+            self.timeout, lambda: self._on_timeout(req_id)
+        )
+
+    def _on_timeout(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None or pending.done:
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            self.stats["retries"] += 1
+            self._transmit(req_id, pending)
+            return
+        pending.done = True
+        del self._pending[req_id]
+        self.stats["failures"] += 1
+        if pending.on_error is not None:
+            pending.on_error(
+                RpcError(f"{pending.method} to {pending.dst} failed after retries")
+            )
+
+    # -- wire ---------------------------------------------------------------
+    def _receive(self, sender: str, frame: bytes) -> None:
+        try:
+            msg = decode_message(frame)
+        except NetworkError:
+            # A corrupted frame is line noise: count it and move on.
+            # The sender's timeout/retry machinery recovers the loss.
+            self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+            return
+        kind = msg.get("kind")
+        if kind == "request":
+            handler = self._methods.get(msg.get("method", ""))
+            if handler is None:
+                result = {"error": f"no method {msg.get('method')!r}"}
+            else:
+                try:
+                    result = {"result": handler(msg.get("payload", {}))}
+                except Exception as exc:  # noqa: BLE001 - fault isolation
+                    result = {"error": f"{type(exc).__name__}: {exc}"}
+            self.stats["served"] += 1
+            reply = encode_message(
+                {"kind": "reply", "id": msg["id"], **result}
+            )
+            try:
+                self.network.send(self.name, str(msg.get("reply_to", "")), reply)
+            except NetworkError:
+                # A corrupted reply_to address points nowhere: the
+                # caller's timeout machinery recovers.
+                self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+        elif kind == "reply":
+            req_id = msg.get("id")
+            pending = self._pending.get(req_id)
+            if pending is None or pending.done:
+                return  # late duplicate after retry — ignore
+            pending.done = True
+            self.kernel.cancel(pending.timeout_event)
+            del self._pending[req_id]
+            if "error" in msg:
+                self.stats["failures"] += 1
+                if pending.on_error is not None:
+                    pending.on_error(RpcError(str(msg["error"])))
+            else:
+                pending.on_reply(msg.get("result", {}))
+        else:
+            # Valid JSON but nonsense structure: also line noise.
+            self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1

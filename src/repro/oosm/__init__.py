@@ -1,0 +1,54 @@
+"""§4 Object-Oriented Ship Model.
+
+A persistent repository for machinery state used for communication
+between the prognostic and diagnostic software modules.  Entities have
+properties and relationships (part-of, proximity, kind-of, refers-to,
+flow); clients are notified of changes through the event model instead
+of polling; persistence maps objects onto a relational database
+(sqlite3) in the background.
+"""
+
+from repro.oosm.events import (
+    EntityCreated,
+    EntityDeleted,
+    EventBus,
+    PropertyChanged,
+    RelationshipAdded,
+    RelationshipRemoved,
+    ReportPosted,
+)
+from repro.oosm.model import Entity, Relationship, ShipModel
+from repro.oosm.persistence import load_model, save_model
+from repro.oosm.query import (
+    downstream_of,
+    parts_closure,
+    proximate_entities,
+    system_of,
+    to_graph,
+)
+from repro.oosm.schema import EntityType, TypeRegistry, default_types
+from repro.oosm.shipyard import build_chilled_water_ship
+
+__all__ = [
+    "EntityCreated",
+    "EntityDeleted",
+    "EventBus",
+    "PropertyChanged",
+    "RelationshipAdded",
+    "RelationshipRemoved",
+    "ReportPosted",
+    "Entity",
+    "Relationship",
+    "ShipModel",
+    "load_model",
+    "save_model",
+    "downstream_of",
+    "parts_closure",
+    "proximate_entities",
+    "system_of",
+    "to_graph",
+    "EntityType",
+    "TypeRegistry",
+    "default_types",
+    "build_chilled_water_ship",
+]

@@ -1,0 +1,137 @@
+"""§4.6 database mapping: OOSM persistence on a relational database.
+
+"Object types are mapped to tables and properties and relationships are
+mapped to columns and helper tables."  We keep the same shape in
+sqlite3: an entity table, a property helper table (one row per
+property), a relationship helper table and a report table.  As in the
+paper, persistence is "entirely managed in the background": callers use
+:func:`save_model` / :func:`load_model` and never see SQL.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.common.errors import OosmError
+from repro.oosm.model import ShipModel
+from repro.oosm.schema import TypeRegistry
+from repro.protocol.wire import decode_report, encode_report
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entity_types (
+    name   TEXT PRIMARY KEY,
+    parent TEXT
+);
+CREATE TABLE IF NOT EXISTS entities (
+    id   TEXT PRIMARY KEY,
+    type TEXT NOT NULL REFERENCES entity_types(name)
+);
+CREATE TABLE IF NOT EXISTS properties (
+    entity_id TEXT NOT NULL REFERENCES entities(id),
+    name      TEXT NOT NULL,
+    value     TEXT NOT NULL,          -- JSON-encoded
+    PRIMARY KEY (entity_id, name)
+);
+CREATE TABLE IF NOT EXISTS relationships (
+    kind      TEXT NOT NULL,
+    source_id TEXT NOT NULL REFERENCES entities(id),
+    target_id TEXT NOT NULL REFERENCES entities(id),
+    PRIMARY KEY (kind, source_id, target_id)
+);
+CREATE TABLE IF NOT EXISTS reports (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    payload TEXT NOT NULL             -- JSON-encoded wire form
+);
+"""
+
+
+def save_model(model: ShipModel, path: str | Path) -> None:
+    """Persist a ship model (entities, properties, relationships,
+    retained reports) to a sqlite database file, replacing previous
+    contents."""
+    conn = sqlite3.connect(str(path))
+    try:
+        with conn:
+            conn.executescript(_SCHEMA)
+            conn.execute("DELETE FROM reports")
+            conn.execute("DELETE FROM relationships")
+            conn.execute("DELETE FROM properties")
+            conn.execute("DELETE FROM entities")
+            conn.execute("DELETE FROM entity_types")
+            conn.executemany(
+                "INSERT INTO entity_types (name, parent) VALUES (?, ?)",
+                [(t.name, t.parent) for t in model.types],
+            )
+            conn.executemany(
+                "INSERT INTO entities (id, type) VALUES (?, ?)",
+                [(e.id, e.type_name) for e in model.entities()],
+            )
+            prop_rows = []
+            for e in model.entities():
+                for name, value in e.properties.items():
+                    try:
+                        encoded = json.dumps(value)
+                    except TypeError as exc:
+                        raise OosmError(
+                            f"property {name!r} of {e.id!r} is not JSON-persistable: {exc}"
+                        ) from exc
+                    prop_rows.append((e.id, name, encoded))
+            conn.executemany(
+                "INSERT INTO properties (entity_id, name, value) VALUES (?, ?, ?)",
+                prop_rows,
+            )
+            conn.executemany(
+                "INSERT INTO relationships (kind, source_id, target_id) VALUES (?, ?, ?)",
+                [(r.kind, r.source_id, r.target_id) for r in model.relationships()],
+            )
+            conn.executemany(
+                "INSERT INTO reports (payload) VALUES (?)",
+                [(json.dumps(encode_report(r)),) for r in model.all_reports()],
+            )
+    finally:
+        conn.close()
+
+
+def load_model(path: str | Path) -> ShipModel:
+    """Reload a ship model saved by :func:`save_model`.
+
+    The returned model has a fresh event bus (subscriptions are not
+    persisted state).
+    """
+    p = Path(path)
+    if not p.exists():
+        raise OosmError(f"no OOSM database at {p}")
+    conn = sqlite3.connect(str(p))
+    try:
+        types = TypeRegistry()
+        rows = conn.execute("SELECT name, parent FROM entity_types").fetchall()
+        # Parents must exist before children: insert in dependency order.
+        pending = {name: parent for name, parent in rows}
+        pending.pop("entity", None)
+        while pending:
+            progressed = False
+            for name, parent in list(pending.items()):
+                if parent is None or parent in types:
+                    types.add(name, parent if parent is not None else "entity")
+                    del pending[name]
+                    progressed = True
+            if not progressed:
+                raise OosmError(f"cyclic or dangling entity types: {sorted(pending)}")
+        model = ShipModel(types=types)
+        for eid, type_name in conn.execute("SELECT id, type FROM entities"):
+            model.create(type_name, id=eid)
+        for eid, name, value in conn.execute(
+            "SELECT entity_id, name, value FROM properties"
+        ):
+            model.get(eid).properties[name] = json.loads(value)
+        for kind, src, dst in conn.execute(
+            "SELECT kind, source_id, target_id FROM relationships"
+        ):
+            model.relate(src, kind, dst)
+        for (payload,) in conn.execute("SELECT payload FROM reports ORDER BY seq"):
+            model.post_report(decode_report(json.loads(payload)))
+        return model
+    finally:
+        conn.close()

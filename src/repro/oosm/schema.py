@@ -1,0 +1,117 @@
+"""Entity-type registry: the OOSM "kind-of" lattice (§4.2).
+
+"Some of the OOSM objects represent physical entities such as sensors,
+motors, compressors, decks, and ships while other OOSM objects
+represent more abstract items such as a failure prediction report or a
+knowledge source."  Types form a single-inheritance tree rooted at
+``entity``; ``kind-of`` queries walk the ancestry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import OosmError
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """A named entity type with an optional parent type."""
+
+    name: str
+    parent: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OosmError("entity type needs a non-empty name")
+
+
+class TypeRegistry:
+    """Single-inheritance type tree with kind-of queries."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, EntityType] = {"entity": EntityType("entity")}
+
+    def add(self, name: str, parent: str = "entity") -> EntityType:
+        """Register a type under ``parent`` (default: the root)."""
+        if name in self._types:
+            raise OosmError(f"entity type {name!r} already registered")
+        if parent not in self._types:
+            raise OosmError(f"unknown parent type {parent!r}")
+        t = EntityType(name, parent)
+        self._types[name] = t
+        return t
+
+    def get(self, name: str) -> EntityType:
+        """Look up a type by name."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise OosmError(f"unknown entity type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[EntityType]:
+        return iter(self._types.values())
+
+    def ancestry(self, name: str) -> list[str]:
+        """The type and its ancestors, most specific first."""
+        out = []
+        cur: str | None = name
+        while cur is not None:
+            t = self.get(cur)
+            out.append(t.name)
+            cur = t.parent
+        return out
+
+    def is_kind_of(self, name: str, ancestor: str) -> bool:
+        """True if ``name`` is ``ancestor`` or descends from it.
+
+        >>> reg = default_types()
+        >>> reg.is_kind_of("centrifugal-compressor", "rotating-machine")
+        True
+        >>> reg.is_kind_of("deck", "rotating-machine")
+        False
+        """
+        return ancestor in self.ancestry(name)
+
+
+def default_types() -> TypeRegistry:
+    """The type tree for the chilled-water prototype.
+
+    Physical entities per §4.2/§4.3 (ships, decks, chillers, motors,
+    compressors, evaporators, pumps, sensors) plus the abstract items
+    (knowledge sources, machine conditions, reports).
+    """
+    reg = TypeRegistry()
+    # Physical taxonomy.
+    reg.add("physical")
+    reg.add("ship", "physical")
+    reg.add("deck", "physical")
+    reg.add("compartment", "physical")
+    reg.add("machine", "physical")
+    reg.add("rotating-machine", "machine")
+    reg.add("induction-motor", "rotating-machine")
+    reg.add("gearset", "rotating-machine")
+    reg.add("pump", "rotating-machine")
+    reg.add("centrifugal-compressor", "rotating-machine")
+    reg.add("heat-exchanger", "machine")
+    reg.add("evaporator", "heat-exchanger")
+    reg.add("condenser", "heat-exchanger")
+    reg.add("chiller", "machine")
+    reg.add("actuator", "machine")
+    reg.add("ema", "actuator")
+    reg.add("sensor", "physical")
+    reg.add("accelerometer", "sensor")
+    reg.add("rtd", "sensor")               # temperature (the RIMS MEMS stand-in)
+    reg.add("pressure-transducer", "sensor")
+    reg.add("current-probe", "sensor")
+    reg.add("data-concentrator", "physical")
+    # Abstract items.
+    reg.add("abstract")
+    reg.add("knowledge-source", "abstract")
+    reg.add("machine-condition", "abstract")
+    reg.add("failure-prediction-report", "abstract")
+    return reg

@@ -1,0 +1,153 @@
+"""Builders for the prototype ship model (§4.3).
+
+"We have modeled a portion of the information about the system under
+observation in the OOSM.  This includes information about the motors,
+compressors and evaporators in the chillers we are working with."
+
+:func:`build_chilled_water_ship` assembles a hospital-ship stand-in
+(the Mercy of §10) with a chilled-water plant: per chiller an induction
+motor, gear transmission, centrifugal compressor, evaporator, condenser
+and chilled-water pump, each instrumented with accelerometers and
+process sensors, wired with part-of / proximity / flow relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.ids import ObjectId
+from repro.oosm.model import Entity, ShipModel
+
+
+@dataclass(frozen=True)
+class ChillerUnit:
+    """Ids of one assembled chiller's components."""
+
+    chiller: ObjectId
+    motor: ObjectId
+    gearset: ObjectId
+    compressor: ObjectId
+    evaporator: ObjectId
+    condenser: ObjectId
+    pump: ObjectId
+    sensors: tuple[ObjectId, ...]
+
+    def machines(self) -> tuple[ObjectId, ...]:
+        """The monitored rotating/heat-exchange machinery ids."""
+        return (
+            self.motor,
+            self.gearset,
+            self.compressor,
+            self.evaporator,
+            self.condenser,
+            self.pump,
+        )
+
+
+def build_chiller(
+    model: ShipModel, index: int, deck_id: ObjectId, *, shaft_rpm: float = 3560.0
+) -> ChillerUnit:
+    """Assemble one centrifugal chiller on the given deck.
+
+    The drive train mirrors §2: "induction motors, gear transmissions,
+    pumps, and centrifugal compressors ... with a fluid power cycle".
+    """
+    n = index + 1
+    chiller = model.create(
+        "chiller", name=f"A/C Chiller {n}", capacity_tons=350, manufacturer="York"
+    )
+    motor = model.create(
+        "induction-motor",
+        name=f"A/C Compressor Motor {n}",
+        rated_kw=300.0,
+        shaft_rpm=shaft_rpm,
+        poles=2,
+    )
+    gearset = model.create(
+        "gearset", name=f"A/C Gearbox {n}", ratio=3.2, teeth_in=32, teeth_out=103
+    )
+    compressor = model.create(
+        "centrifugal-compressor",
+        name=f"A/C Compressor {n}",
+        impeller_vanes=17,
+        design_rpm=shaft_rpm * 3.2,
+    )
+    evaporator = model.create("evaporator", name=f"A/C Evaporator {n}")
+    condenser = model.create("condenser", name=f"A/C Condenser {n}")
+    pump = model.create(
+        "pump", name=f"Chilled Water Pump {n}", vanes=6, shaft_rpm=1780.0
+    )
+
+    for part in (motor, gearset, compressor, evaporator, condenser, pump):
+        model.relate(part.id, "part-of", chiller.id)
+    model.relate(chiller.id, "part-of", deck_id)
+
+    # Mechanical/fluid energy flow through the unit (§10.1 flows).
+    model.relate(motor.id, "flow", gearset.id)
+    model.relate(gearset.id, "flow", compressor.id)
+    model.relate(compressor.id, "flow", condenser.id)
+    model.relate(condenser.id, "flow", evaporator.id)
+    model.relate(evaporator.id, "flow", compressor.id)
+    model.relate(evaporator.id, "flow", pump.id)
+
+    # Machinery-room adjacency.
+    model.relate(motor.id, "proximate-to", gearset.id)
+    model.relate(gearset.id, "proximate-to", compressor.id)
+    model.relate(motor.id, "proximate-to", pump.id)
+
+    sensors: list[ObjectId] = []
+    for machine, axes in (
+        (motor, ("de-h", "de-v", "nde-h")),     # drive/non-drive end accels
+        (gearset, ("mesh-h",)),
+        (compressor, ("de-h", "de-v")),
+        (pump, ("de-h",)),
+    ):
+        for axis in axes:
+            s = model.create(
+                "accelerometer",
+                name=f"{machine.get('name')} accel {axis}",
+                axis=axis,
+                sensitivity_mv_per_g=100.0,
+            )
+            model.relate(s.id, "monitors", machine.id)
+            sensors.append(s.id)
+    for machine, kind, prop in (
+        (evaporator, "rtd", "chilled-water-supply-temp"),
+        (condenser, "rtd", "condenser-water-return-temp"),
+        (compressor, "pressure-transducer", "discharge-pressure"),
+        (evaporator, "pressure-transducer", "suction-pressure"),
+        (motor, "current-probe", "stator-current"),
+    ):
+        s = model.create(kind, name=f"{machine.get('name')} {prop}", measures=prop)
+        model.relate(s.id, "monitors", machine.id)
+        sensors.append(s.id)
+
+    return ChillerUnit(
+        chiller=chiller.id,
+        motor=motor.id,
+        gearset=gearset.id,
+        compressor=compressor.id,
+        evaporator=evaporator.id,
+        condenser=condenser.id,
+        pump=pump.id,
+        sensors=tuple(sensors),
+    )
+
+
+def build_chilled_water_ship(
+    model: ShipModel | None = None, n_chillers: int = 2
+) -> tuple[ShipModel, Entity, list[ChillerUnit]]:
+    """Build the prototype ship with its chilled-water plant.
+
+    Returns ``(model, ship_entity, chiller_units)``.
+    """
+    model = model if model is not None else ShipModel()
+    ship = model.create("ship", name="USNS Mercy (T-AH-19)", hull="T-AH-19")
+    deck = model.create("deck", name="Machinery Deck 3")
+    model.relate(deck.id, "part-of", ship.id)
+    units = [build_chiller(model, i, deck.id) for i in range(n_chillers)]
+    # Chillers in the same machinery room are mutually proximate.
+    for i in range(len(units)):
+        for j in range(i + 1, len(units)):
+            model.relate(units[i].chiller, "proximate-to", units[j].chiller)
+    return model, ship, units

@@ -1,0 +1,19 @@
+"""§3.1 The Prognostic/Diagnostic Monitoring Engine.
+
+"The PDME is the logical center of the MPROS system.  Diagnostic and
+prognostic conclusions are collected from DC-resident algorithms ...
+Fusion of conflicting and reinforcing source conclusions is performed
+to form a prioritized list for the use of maintenance personnel."
+"""
+
+from repro.pdme.browser import render_machine_screen, render_priority_list
+from repro.pdme.executive import PdmeExecutive
+from repro.pdme.priorities import PriorityEntry, prioritize
+
+__all__ = [
+    "render_machine_screen",
+    "render_priority_list",
+    "PdmeExecutive",
+    "PriorityEntry",
+    "prioritize",
+]

@@ -1,0 +1,140 @@
+"""The PDME executive: report intake, OOSM posting, KF dispatch.
+
+Implements the §5.1 loop end to end:
+
+1. Reports arriving (over RPC or locally) are posted in the OOSM.
+2. The OOSM's :class:`~repro.oosm.events.ReportPosted` event is the
+   "new data" message.
+3. The subscribed Knowledge Fusion engine fuses diagnostics and
+   prognostics.
+4. Conclusions are retained for the browser/priority list (and pushed
+   to any registered display callback).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import MprosError, ProtocolError
+from repro.common.ids import ObjectId
+from repro.fusion.engine import FusionConclusion, KnowledgeFusionEngine
+from repro.fusion.groups import GroupRegistry, default_chiller_groups
+from repro.fusion.temporal import TemporalAnalyzer
+from repro.netsim.rpc import RpcEndpoint
+from repro.oosm.events import ReportPosted
+from repro.oosm.model import ShipModel
+from repro.pdme.priorities import PriorityEntry, prioritize
+from repro.protocol.report import FailurePredictionReport
+from repro.protocol.wire import decode_report
+
+
+class PdmeExecutive:
+    """The PDME server object.
+
+    Parameters
+    ----------
+    model:
+        The OOSM instance this PDME owns.
+    registry:
+        Logical failure groups (defaults to the chiller set).
+    believability:
+        Optional per-source discount factors for diagnostic fusion.
+    on_update:
+        Optional display callback invoked with each fusion conclusion
+        ("this display is updated as new reports arrive", §3.2).
+    """
+
+    def __init__(
+        self,
+        model: ShipModel,
+        registry: GroupRegistry | None = None,
+        believability: dict[ObjectId, float] | None = None,
+        on_update: Callable[[FusionConclusion], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.engine = KnowledgeFusionEngine(
+            registry if registry is not None else default_chiller_groups(),
+            believability=believability,
+            sink=self._on_conclusion,
+        )
+        self._on_update = on_update
+        self.conclusions: list[FusionConclusion] = []
+        self.intake_errors: list[str] = []
+        self.duplicates_dropped = 0
+        self._seen_fingerprints: set[int] = set()
+        #: §10.1 temporal reasoning: fused-belief trajectories per
+        #: (object, condition), fed from every conclusion.
+        self.temporal = TemporalAnalyzer()
+        # §5.1 steps 2-3: KF subscribes to OOSM "new data" events.
+        model.bus.subscribe(ReportPosted, self._on_report_posted)
+
+    # -- intake -----------------------------------------------------------
+    def submit(self, report: FailurePredictionReport) -> None:
+        """Post one report into the OOSM (which triggers fusion)."""
+        self.model.post_report(report)
+
+    def _on_report_posted(self, event: ReportPosted) -> None:
+        self.engine.ingest(event.report)
+
+    def _on_conclusion(self, conclusion: FusionConclusion) -> None:
+        self.conclusions.append(conclusion)
+        if conclusion.diagnosis is not None:
+            report = conclusion.report
+            belief = conclusion.diagnosis.beliefs.get(
+                report.machine_condition_id, 0.0
+            )
+            try:
+                self.temporal.observe(
+                    report.sensed_object_id,
+                    report.machine_condition_id,
+                    report.timestamp,
+                    belief,
+                )
+            except MprosError:
+                pass  # time-disordered report: temporal view skips it
+        if self._on_update is not None:
+            self._on_update(conclusion)
+
+    # -- RPC server (the DC uplink) -------------------------------------------
+    def serve_on(self, endpoint: RpcEndpoint) -> None:
+        """Expose the reporting protocol on an RPC endpoint."""
+        endpoint.register("post_report", self._rpc_post_report)
+        endpoint.register("ping", lambda p: {"pdme": "ok"})
+
+    def _rpc_post_report(self, payload: dict[str, Any]) -> dict[str, Any]:
+        try:
+            report = decode_report(payload)
+            # At-least-once delivery from the DC uplinks means retried
+            # reports can arrive more than once (a lost ack, not a lost
+            # report).  Intake is idempotent: duplicates are positively
+            # acknowledged but not re-fused.
+            fingerprint = hash((
+                report.knowledge_source_id,
+                report.sensed_object_id,
+                report.machine_condition_id,
+                report.timestamp,
+                report.severity,
+                report.belief,
+            ))
+            if fingerprint in self._seen_fingerprints:
+                self.duplicates_dropped += 1
+                return {"accepted": True, "duplicate": True}
+            self.submit(report)
+            self._seen_fingerprints.add(fingerprint)
+        except (ProtocolError, MprosError) as exc:
+            # §5.1: inconsistent input is recorded, never fatal.
+            self.intake_errors.append(str(exc))
+            return {"accepted": False, "error": str(exc)}
+        return {"accepted": True}
+
+    # -- queries -------------------------------------------------------------
+    def priorities(self, now: float | None = None) -> list[PriorityEntry]:
+        """The prioritized maintenance list (§3.1), including the
+        §10.1 temporal view: an intermittent condition whose episodes
+        recur ever faster gets its projected saturation time as a
+        conservative TTF input."""
+        return prioritize(self.engine, now=now, temporal=self.temporal)
+
+    def report_count(self) -> int:
+        """Reports retained in the OOSM."""
+        return self.model.report_count

@@ -1,0 +1,44 @@
+"""Synthetic shipboard machinery — the paper-data substitution.
+
+The original program collected live data from instrumented chillers on
+ships and in labs; we have none of that, so this package synthesizes
+it: rotating-machinery kinematics with textbook fault signatures
+(imbalance, misalignment, bearing defects, gear wear, rotor-bar
+damage), a physics-lite centrifugal-chiller process model, sensor
+noise models, progressive fault-severity profiles for the 12 FMEA
+candidate failure modes, and the EMA drive-current simulator behind
+Figure 3.  See DESIGN.md §2 for why each substitution preserves the
+behaviour the algorithms exercise.
+"""
+
+from repro.plant.chiller import ChillerConfig, ChillerSimulator, ProcessSample
+from repro.plant.ema import EmaSimulator
+from repro.plant.faults import (
+    FMEA_CANDIDATES,
+    ActiveFault,
+    FaultKind,
+    SeverityProfile,
+    VIBRATION_FAULTS,
+    PROCESS_FAULTS,
+)
+from repro.plant.rotating import BearingGeometry, MachineKinematics, bearing_frequencies
+from repro.plant.sensors import SensorModel
+from repro.plant.signals import VibrationSynthesizer
+
+__all__ = [
+    "ChillerConfig",
+    "ChillerSimulator",
+    "ProcessSample",
+    "EmaSimulator",
+    "FMEA_CANDIDATES",
+    "ActiveFault",
+    "FaultKind",
+    "SeverityProfile",
+    "VIBRATION_FAULTS",
+    "PROCESS_FAULTS",
+    "BearingGeometry",
+    "MachineKinematics",
+    "bearing_frequencies",
+    "SensorModel",
+    "VibrationSynthesizer",
+]

@@ -1,0 +1,205 @@
+"""Physics-lite centrifugal-chiller process model.
+
+§2: the A/C plant "combine[s] several rotating machinery equipment
+types ... with a fluid power cycle to form a complex system with
+several different parameters to monitor.  ...  Slower changing
+parameters such as temperatures and pressures must also be monitored,
+but at a lower frequency and can be treated as scalars."
+
+The model is a steady-state refrigeration-cycle map plus first-order
+lags: good enough that every process fault moves the right variables in
+the right directions with the right couplings, which is what the fuzzy
+suite, SBFR trending and rule sensitization consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import MprosError
+from repro.plant.faults import ActiveFault, FaultKind
+from repro.plant.rotating import MachineKinematics
+from repro.plant.signals import VibrationSynthesizer
+
+#: The process variables a DC samples from a chiller (§5.8's "process
+#: variables"), with healthy full-load nominal values.
+NOMINALS: dict[str, float] = {
+    "evap_pressure_kpa": 355.0,        # suction
+    "cond_pressure_kpa": 990.0,        # discharge/head
+    "chw_supply_temp_c": 6.7,          # chilled water out
+    "chw_return_temp_c": 12.2,
+    "cond_water_temp_c": 29.4,
+    "superheat_c": 4.5,
+    "oil_pressure_kpa": 280.0,
+    "oil_temp_c": 54.0,
+    "motor_current_a": 420.0,
+    "prv_position_pct": 100.0,         # pre-rotation vane = load indicator
+}
+
+
+@dataclass(frozen=True)
+class ChillerConfig:
+    """Static configuration of one simulated chiller."""
+
+    name: str = "A/C Chiller 1"
+    kinematics: MachineKinematics = MachineKinematics()
+    process_noise: float = 0.004        # fractional 1-sigma sensor-level noise
+    lag_seconds: float = 30.0           # first-order process lag
+
+
+@dataclass(frozen=True)
+class ProcessSample:
+    """One scalar snapshot of the process variables."""
+
+    time: float
+    values: dict[str, float]
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+class ChillerSimulator:
+    """Time-stepped chiller with progressive fault injection.
+
+    Parameters
+    ----------
+    config:
+        Static plant configuration.
+    rng:
+        Random stream for process noise and vibration synthesis.
+    load:
+        Initial load fraction (0..1).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sim = ChillerSimulator(rng=np.random.default_rng(0))
+    >>> sim.step(60.0)
+    >>> s = sim.sample_process()
+    >>> 300 < s["evap_pressure_kpa"] < 400
+    True
+    """
+
+    def __init__(
+        self,
+        config: ChillerConfig | None = None,
+        rng: np.random.Generator | None = None,
+        load: float = 0.9,
+    ) -> None:
+        self.config = config if config is not None else ChillerConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._load = self._check_load(load)
+        self.time = 0.0
+        self.faults: list[ActiveFault] = []
+        self._state = dict(NOMINALS)
+        self._state.update(self._targets())
+        self.vibration = VibrationSynthesizer(self.config.kinematics)
+
+    @staticmethod
+    def _check_load(load: float) -> float:
+        if not 0.0 <= load <= 1.0:
+            raise MprosError(f"load must be in [0, 1], got {load}")
+        return float(load)
+
+    # -- fault / load control ------------------------------------------------
+    def inject(self, fault: ActiveFault) -> None:
+        """Add a fault (its profile decides when it becomes active)."""
+        self.faults.append(fault)
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault (maintenance performed)."""
+        self.faults.clear()
+
+    @property
+    def load(self) -> float:
+        """Current load fraction."""
+        return self._load
+
+    def set_load(self, load: float) -> None:
+        """Change the operating load (0..1)."""
+        self._load = self._check_load(load)
+
+    def severities(self) -> dict[FaultKind, float]:
+        """Current severity per fault kind (max over active faults)."""
+        out: dict[FaultKind, float] = {}
+        for f in self.faults:
+            s = f.severity_at(self.time)
+            if s > 0:
+                out[f.kind] = max(out.get(f.kind, 0.0), s)
+        return out
+
+    # -- process model ------------------------------------------------------
+    def _targets(self) -> dict[str, float]:
+        """Steady-state process-variable targets for the current load
+        and fault severities."""
+        load = self._load
+        sev = self.severities() if hasattr(self, "faults") else {}
+        g = lambda k: sev.get(k, 0.0)  # noqa: E731
+
+        leak = g(FaultKind.REFRIGERANT_LEAK)
+        cond_foul = g(FaultKind.CONDENSER_FOULING)
+        evap_foul = g(FaultKind.EVAPORATOR_FOULING)
+        oil_low = g(FaultKind.OIL_PRESSURE_LOW)
+        oil_cont = g(FaultKind.OIL_CONTAMINATION)
+        surge = g(FaultKind.SURGE)
+        rotor = g(FaultKind.MOTOR_ROTOR_BAR)
+        phase = g(FaultKind.MOTOR_PHASE_IMBALANCE)
+
+        t: dict[str, float] = {}
+        # Load mapping: evap pressure drops slightly with load; head rises.
+        t["evap_pressure_kpa"] = 355.0 - 25.0 * load - 90.0 * leak
+        t["cond_pressure_kpa"] = 900.0 + 100.0 * load + 220.0 * cond_foul
+        # Chilled water: fouling and leak erode capacity -> temps rise.
+        t["chw_supply_temp_c"] = 6.7 + 2.5 * evap_foul + 3.0 * leak * load
+        t["chw_return_temp_c"] = t["chw_supply_temp_c"] + 4.0 + 1.5 * load
+        t["cond_water_temp_c"] = 29.4 + 3.0 * cond_foul
+        # Superheat climbs as charge is lost.
+        t["superheat_c"] = 4.5 + 9.0 * leak
+        # Oil system.
+        t["oil_pressure_kpa"] = 280.0 - 120.0 * oil_low - 25.0 * oil_cont
+        t["oil_temp_c"] = 54.0 + 12.0 * oil_cont + 4.0 * oil_low
+        # Motor: current tracks load; electrical faults raise it.
+        t["motor_current_a"] = 420.0 * (0.35 + 0.65 * load) * (
+            1.0 + 0.12 * rotor + 0.10 * phase + 0.15 * cond_foul
+        )
+        t["prv_position_pct"] = 100.0 * load
+        # Surge: oscillation handled in step(); mean discharge sags.
+        t["cond_pressure_kpa"] -= 60.0 * surge
+        return t
+
+    def step(self, dt: float) -> None:
+        """Advance the process model by ``dt`` seconds (first-order lag
+        toward the current steady-state targets)."""
+        if dt <= 0:
+            raise MprosError(f"dt must be positive, got {dt}")
+        self.time += dt
+        targets = self._targets()
+        alpha = 1.0 - np.exp(-dt / self.config.lag_seconds)
+        for key, target in targets.items():
+            self._state[key] += alpha * (target - self._state[key])
+        # Surge instability: bounded oscillation on head pressure and current.
+        surge = self.severities().get(FaultKind.SURGE, 0.0)
+        if surge > 0:
+            # ~7.3 s surge cycle; deliberately incommensurate with
+            # typical 10/30/60 s sampling so the oscillation is visible
+            # at any process-scan rate instead of aliasing away.
+            wobble = np.sin(2 * np.pi * self.time / 7.3)
+            self._state["cond_pressure_kpa"] += 80.0 * surge * wobble
+            self._state["motor_current_a"] += 35.0 * surge * wobble
+
+    def sample_process(self) -> ProcessSample:
+        """Read every process variable with sensor noise applied."""
+        noisy = {}
+        for key, value in self._state.items():
+            sigma = abs(NOMINALS[key]) * self.config.process_noise
+            noisy[key] = float(value + self.rng.normal(0.0, sigma))
+        return ProcessSample(time=self.time, values=noisy)
+
+    def sample_vibration(self, n_samples: int = 16384) -> np.ndarray:
+        """Acquire a vibration block from the drive-train measurement
+        point, carrying the currently active vibration faults."""
+        return self.vibration.synthesize(
+            n_samples, faults=self.severities(), load=self._load, rng=self.rng
+        )

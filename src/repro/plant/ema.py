@@ -1,0 +1,100 @@
+"""EMA drive-current simulator (the Figure-3 scenario).
+
+"EMAs are essentially large solenoids meant to replace hydraulic
+actuators for the steering of rocket engines.  Prediction of this fault
+was done by recognizing stiction in the mechanism" — stiction makes the
+drive current spike as the mechanism momentarily sticks and breaks
+free, *without* a commanded position change.
+
+The simulator emits per-cycle (current, commanded_position) pairs:
+commanded moves cause smooth current rises while the actuator travels;
+stiction causes sharp 1–2-cycle spikes at rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+
+@dataclass
+class EmaSimulator:
+    """Electro-mechanical actuator with injectable stiction.
+
+    Parameters
+    ----------
+    base_current:
+        Holding current in amps.
+    move_current:
+        Extra current drawn while travelling.
+    spike_amplitude:
+        Stiction spike height in amps.
+    stiction_rate:
+        Mean stiction spikes per cycle while degraded (0 = healthy).
+    """
+
+    base_current: float = 1.0
+    move_current: float = 1.5
+    spike_amplitude: float = 2.5
+    stiction_rate: float = 0.0
+    noise_rms: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.stiction_rate < 0:
+            raise MprosError("stiction_rate must be >= 0")
+        self._position = 0.0
+        self._target = 0.0
+        self._spike_cooldown = 0
+
+    def command(self, position: float) -> None:
+        """Issue a commanded position change (CPOS)."""
+        self._target = float(position)
+
+    @property
+    def position(self) -> float:
+        """Current commanded-position readback (CPOS channel)."""
+        return self._position
+
+    def cycle(self, rng: np.random.Generator) -> tuple[float, float]:
+        """One control cycle; returns (drive_current, cpos)."""
+        moving = abs(self._target - self._position) > 1e-9
+        if moving:
+            # Actuator travel is slow relative to the control cycle —
+            # about 10 cycles per unit of commanded position.  That
+            # separation of time scales is what lets the Figure-3 spike
+            # machine reject commanded-motion transients by their ∆T.
+            step = np.clip(self._target - self._position, -0.1, 0.1)
+            self._position += float(step)
+        current = self.base_current + (self.move_current if moving else 0.0)
+        # Stiction spikes only at rest (that is what makes them a fault
+        # signature rather than commanded-motion transients).
+        if not moving and self._spike_cooldown == 0 and self.stiction_rate > 0:
+            if rng.random() < self.stiction_rate:
+                current += self.spike_amplitude
+                self._spike_cooldown = 8  # refractory gap between spikes
+        elif self._spike_cooldown > 0:
+            self._spike_cooldown -= 1
+        current += float(rng.normal(0.0, self.noise_rms))
+        return current, self._position
+
+    def run(
+        self,
+        n_cycles: int,
+        rng: np.random.Generator,
+        command_schedule: dict[int, float] | None = None,
+    ) -> np.ndarray:
+        """Run ``n_cycles`` cycles; returns shape (n_cycles, 2) of
+        (current, cpos).  ``command_schedule`` maps cycle → commanded
+        position."""
+        if n_cycles < 1:
+            raise MprosError("n_cycles must be >= 1")
+        schedule = command_schedule or {}
+        out = np.empty((n_cycles, 2))
+        for i in range(n_cycles):
+            if i in schedule:
+                self.command(schedule[i])
+            out[i] = self.cycle(rng)
+        return out

@@ -1,0 +1,155 @@
+"""The fault catalog and progressive severity profiles.
+
+§3.3: "A failure effects mode analysis (FMEA) was completed and used to
+select 12 candidate failure modes."  The FMEA itself is not in the
+paper, so the 12 candidates here are our selection over the machinery
+the prototype monitors, aligned with the machine-condition ids used by
+the knowledge-fusion logical groups and with the §5.5 examples ("motor
+imbalance, motor rotor bar problem, pump bearing housing looseness").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+
+class FaultKind(enum.Enum):
+    """Machine conditions the simulator can inject.
+
+    Values double as the §7 machine-condition object ids.
+    """
+
+    # Vibration-visible faults.
+    MOTOR_IMBALANCE = "mc:motor-imbalance"
+    SHAFT_MISALIGNMENT = "mc:shaft-misalignment"
+    BEARING_WEAR = "mc:bearing-wear"
+    BEARING_HOUSING_LOOSENESS = "mc:bearing-housing-looseness"
+    GEAR_TOOTH_WEAR = "mc:gear-tooth-wear"
+    GEAR_MESH_MISALIGNMENT = "mc:gear-mesh-misalignment"
+    MOTOR_ROTOR_BAR = "mc:motor-rotor-bar"
+    MOTOR_PHASE_IMBALANCE = "mc:motor-phase-imbalance"
+    # Process-visible (non-vibration) faults.
+    REFRIGERANT_LEAK = "mc:refrigerant-leak"
+    CONDENSER_FOULING = "mc:condenser-fouling"
+    EVAPORATOR_FOULING = "mc:evaporator-fouling"
+    OIL_PRESSURE_LOW = "mc:oil-pressure-low"
+    OIL_CONTAMINATION = "mc:oil-contamination"
+    SURGE = "mc:surge"
+
+    @property
+    def condition_id(self) -> str:
+        """The machine-condition object id for §7 reports."""
+        return self.value
+
+
+#: Faults whose primary signature is in the vibration spectrum.
+VIBRATION_FAULTS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.MOTOR_IMBALANCE,
+        FaultKind.SHAFT_MISALIGNMENT,
+        FaultKind.BEARING_WEAR,
+        FaultKind.BEARING_HOUSING_LOOSENESS,
+        FaultKind.GEAR_TOOTH_WEAR,
+        FaultKind.GEAR_MESH_MISALIGNMENT,
+        FaultKind.MOTOR_ROTOR_BAR,
+        FaultKind.MOTOR_PHASE_IMBALANCE,
+    }
+)
+
+#: Faults whose primary signature is in process variables.
+PROCESS_FAULTS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.REFRIGERANT_LEAK,
+        FaultKind.CONDENSER_FOULING,
+        FaultKind.EVAPORATOR_FOULING,
+        FaultKind.OIL_PRESSURE_LOW,
+        FaultKind.OIL_CONTAMINATION,
+        FaultKind.SURGE,
+    }
+)
+
+#: The §3.3 "12 candidate failure modes" of the prototype.
+FMEA_CANDIDATES: tuple[FaultKind, ...] = (
+    FaultKind.MOTOR_IMBALANCE,
+    FaultKind.SHAFT_MISALIGNMENT,
+    FaultKind.BEARING_WEAR,
+    FaultKind.BEARING_HOUSING_LOOSENESS,
+    FaultKind.GEAR_TOOTH_WEAR,
+    FaultKind.MOTOR_ROTOR_BAR,
+    FaultKind.MOTOR_PHASE_IMBALANCE,
+    FaultKind.REFRIGERANT_LEAK,
+    FaultKind.CONDENSER_FOULING,
+    FaultKind.EVAPORATOR_FOULING,
+    FaultKind.OIL_PRESSURE_LOW,
+    FaultKind.SURGE,
+)
+
+
+@dataclass(frozen=True)
+class SeverityProfile:
+    """Severity as a function of time — progressive degradation.
+
+    ``shape`` choices:
+
+    * ``"step"``        — 0 before onset, ``peak`` after (seeded faults)
+    * ``"linear"``      — ramps from 0 at onset to ``peak`` at end
+    * ``"exponential"`` — accelerating growth, the classic wear-out
+      curve (slow early drift, rapid terminal phase)
+
+    Times are simulated seconds.
+    """
+
+    onset: float
+    end: float
+    peak: float = 1.0
+    shape: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.onset:
+            raise MprosError(f"end ({self.end}) must follow onset ({self.onset})")
+        if not 0.0 < self.peak <= 1.0:
+            raise MprosError(f"peak severity must be in (0, 1], got {self.peak}")
+        if self.shape not in ("step", "linear", "exponential"):
+            raise MprosError(f"unknown severity shape {self.shape!r}")
+
+    def severity_at(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Severity in [0, peak] at simulated time ``t``."""
+        t_arr = np.asarray(t, dtype=np.float64)
+        frac = np.clip((t_arr - self.onset) / (self.end - self.onset), 0.0, 1.0)
+        if self.shape == "step":
+            out = np.where(t_arr >= self.onset, self.peak, 0.0)
+        elif self.shape == "linear":
+            out = self.peak * frac
+        else:  # exponential: normalized (e^{k x} - 1)/(e^k - 1), k = 4
+            k = 4.0
+            out = self.peak * (np.expm1(k * frac) / np.expm1(k))
+        return float(out) if np.isscalar(t) else out
+
+
+@dataclass(frozen=True)
+class ActiveFault:
+    """One injected fault: what, where, and how it grows."""
+
+    kind: FaultKind
+    profile: SeverityProfile
+
+    def severity_at(self, t: float) -> float:
+        """Current severity of this fault."""
+        return float(self.profile.severity_at(t))
+
+
+def seeded(kind: FaultKind, onset: float, severity: float = 0.8) -> ActiveFault:
+    """A §9 'seeded fault': steps straight to ``severity`` at onset."""
+    return ActiveFault(kind, SeverityProfile(onset, onset + 1.0, severity, "step"))
+
+
+def progressive(
+    kind: FaultKind, onset: float, end: float, peak: float = 1.0, shape: str = "exponential"
+) -> ActiveFault:
+    """A progressive degradation from onset to end-of-life."""
+    return ActiveFault(kind, SeverityProfile(onset, end, peak, shape))

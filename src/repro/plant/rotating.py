@@ -1,0 +1,126 @@
+"""Rotating-machinery kinematics.
+
+The characteristic frequencies every vibration analyst (and the DLI
+rulebase) reasons about: shaft orders, rolling-element bearing defect
+frequencies (BPFO/BPFI/BSF/FTF), gear mesh, and induction-motor
+electrical frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import MprosError
+
+
+@dataclass(frozen=True)
+class BearingGeometry:
+    """Rolling-element bearing geometry.
+
+    Attributes
+    ----------
+    n_balls:
+        Number of rolling elements.
+    ball_diameter / pitch_diameter:
+        Element and pitch diameters (same unit).
+    contact_angle_cos:
+        Cosine of the contact angle (1.0 for deep-groove radial).
+    """
+
+    n_balls: int = 9
+    ball_diameter: float = 7.94
+    pitch_diameter: float = 39.04
+    contact_angle_cos: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_balls < 2:
+            raise MprosError("bearing needs at least 2 rolling elements")
+        if not 0 < self.ball_diameter < self.pitch_diameter:
+            raise MprosError("need 0 < ball_diameter < pitch_diameter")
+
+
+@dataclass(frozen=True)
+class BearingFrequencies:
+    """Defect frequencies in Hz for a given shaft speed."""
+
+    bpfo: float  # ball pass frequency, outer race
+    bpfi: float  # ball pass frequency, inner race
+    bsf: float   # ball spin frequency
+    ftf: float   # fundamental train (cage) frequency
+
+
+def bearing_frequencies(geometry: BearingGeometry, shaft_hz: float) -> BearingFrequencies:
+    """Classical bearing defect frequencies for a rotating inner race.
+
+    >>> f = bearing_frequencies(BearingGeometry(), 60.0)
+    >>> f.bpfo < f.bpfi        # outer-race rate is always the lower
+    True
+    """
+    if shaft_hz <= 0:
+        raise MprosError(f"shaft_hz must be positive, got {shaft_hz}")
+    g = geometry
+    ratio = (g.ball_diameter / g.pitch_diameter) * g.contact_angle_cos
+    ftf = 0.5 * shaft_hz * (1.0 - ratio)
+    bpfo = g.n_balls * ftf
+    bpfi = g.n_balls * 0.5 * shaft_hz * (1.0 + ratio)
+    bsf = (g.pitch_diameter / (2.0 * g.ball_diameter)) * shaft_hz * (1.0 - ratio**2)
+    return BearingFrequencies(bpfo=bpfo, bpfi=bpfi, bsf=bsf, ftf=ftf)
+
+
+@dataclass(frozen=True)
+class MachineKinematics:
+    """Everything frequency-related about one monitored machine.
+
+    Attributes
+    ----------
+    shaft_hz:
+        Input (motor) shaft speed in Hz.
+    line_hz:
+        Electrical supply frequency.
+    gear_teeth:
+        Pinion tooth count (0 = no gears on this machine).
+    gear_ratio:
+        Speed-increasing ratio of the transmission (output/input).
+    bearing:
+        Bearing geometry on the monitored shaft.
+    n_poles:
+        Motor pole count (for slip/pole-pass frequencies).
+    """
+
+    shaft_hz: float = 59.3
+    line_hz: float = 60.0
+    gear_teeth: int = 32
+    gear_ratio: float = 3.2
+    bearing: BearingGeometry = BearingGeometry()
+    n_poles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shaft_hz <= 0:
+            raise MprosError("shaft_hz must be positive")
+        if self.gear_ratio <= 0:
+            raise MprosError("gear_ratio must be positive")
+
+    @property
+    def gear_mesh_hz(self) -> float:
+        """Gear mesh frequency (pinion teeth × shaft speed)."""
+        return self.gear_teeth * self.shaft_hz
+
+    @property
+    def output_shaft_hz(self) -> float:
+        """High-speed (compressor) shaft frequency."""
+        return self.shaft_hz * self.gear_ratio
+
+    @property
+    def slip_hz(self) -> float:
+        """Induction-motor slip: synchronous speed minus shaft speed."""
+        sync = 2.0 * self.line_hz / self.n_poles
+        return max(0.0, sync - self.shaft_hz)
+
+    @property
+    def pole_pass_hz(self) -> float:
+        """Pole-pass frequency: slip × pole count (rotor-bar sidebands)."""
+        return self.slip_hz * self.n_poles
+
+    def bearing_defect_frequencies(self) -> BearingFrequencies:
+        """Bearing defect rates at the current shaft speed."""
+        return bearing_frequencies(self.bearing, self.shaft_hz)

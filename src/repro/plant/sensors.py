@@ -1,0 +1,70 @@
+"""Sensor imperfection models.
+
+The DC sees sensors, not physics: gain error, bias drift, dropout and
+saturation all happen between the machine and the MUX terminal block.
+The validation harness uses these to exercise §5.1's "incomplete ...
+fragmentary" inputs and §4.9's robustness scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+
+@dataclass
+class SensorModel:
+    """A sensor channel's transfer function and failure behaviour.
+
+    Parameters
+    ----------
+    gain:
+        Multiplicative gain error (1.0 = perfect).
+    bias:
+        Additive offset in engineering units.
+    noise_rms:
+        Additive white noise sigma.
+    dropout_rate:
+        Probability per sample of returning NaN (wiring fault, §4.9's
+        unstable shipboard power/communications).
+    saturation:
+        Absolute full-scale clip level (None = unclipped).
+    """
+
+    gain: float = 1.0
+    bias: float = 0.0
+    noise_rms: float = 0.0
+    dropout_rate: float = 0.0
+    saturation: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise MprosError(f"dropout_rate must be in [0, 1], got {self.dropout_rate}")
+        if self.saturation is not None and self.saturation <= 0:
+            raise MprosError("saturation must be positive")
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Pass a clean signal through the sensor (returns a new array)."""
+        x = np.asarray(x, dtype=np.float64)
+        out = self.gain * x + self.bias
+        if self.noise_rms > 0:
+            out = out + rng.normal(0.0, self.noise_rms, x.shape)
+        if self.saturation is not None:
+            np.clip(out, -self.saturation, self.saturation, out=out)
+        if self.dropout_rate > 0:
+            mask = rng.random(x.shape) < self.dropout_rate
+            out = np.where(mask, np.nan, out)
+        return out
+
+
+def healthy() -> SensorModel:
+    """A well-behaved accelerometer channel."""
+    return SensorModel(noise_rms=0.002)
+
+
+def degraded() -> SensorModel:
+    """A drifting, noisy, occasionally-dropping channel."""
+    return SensorModel(gain=0.92, bias=0.05, noise_rms=0.02, dropout_rate=0.002)

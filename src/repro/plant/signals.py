@@ -1,0 +1,220 @@
+"""Vibration waveform synthesis.
+
+Given a machine's kinematics, its active vibration faults and the
+operating point, synthesize an accelerometer waveform carrying the
+textbook signature of each fault:
+
+* imbalance               — raised 1× shaft order
+* misalignment            — raised 2× (and some 3×)
+* bearing wear            — repetitive bursts at BPFO exciting a
+                            structural resonance (envelope lines,
+                            raised kurtosis)
+* housing looseness       — a raft of shaft harmonics plus a ½×
+                            subharmonic, *stronger at low load* (the
+                            §6.1 sensitization example)
+* gear tooth wear         — gear-mesh harmonics with 1× sidebands
+* gear mesh misalignment  — raised 2× gear mesh
+* rotor-bar damage        — pole-pass sidebands around 1× plus 2× line
+* phase imbalance         — raised 2× line frequency
+
+All synthesis is vectorized; one call produces a whole block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import MprosError
+from repro.plant.faults import ActiveFault, FaultKind, VIBRATION_FAULTS
+from repro.plant.rotating import MachineKinematics
+
+
+@dataclass
+class VibrationSynthesizer:
+    """Stateful vibration source for one measurement point.
+
+    Parameters
+    ----------
+    kinematics:
+        Machine frequency content.
+    sample_rate:
+        Waveform sampling rate in Hz (the DC's DSP card samples
+        "exceeding 40,000 Hz"; default matches a typical vibration
+        test).
+    noise_floor:
+        Gaussian background acceleration RMS in g.
+    baseline_orders:
+        Healthy-machine amplitudes at 1×, 2×, 3× shaft speed.
+    """
+
+    kinematics: MachineKinematics
+    sample_rate: float = 16384.0
+    noise_floor: float = 0.01
+    baseline_orders: tuple[float, float, float] = (0.05, 0.02, 0.01)
+    resonance_hz: float = 3200.0
+    #: Fractional 1-sigma speed drift per block (slip varies with
+    #: load); every shaft-locked component scales together.
+    speed_jitter: float = 0.0
+    _phase: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise MprosError("sample_rate must be positive")
+        nyq = self.sample_rate / 2
+        if self.kinematics.gear_mesh_hz * 2.5 > nyq:
+            # Gear-mesh harmonics must be representable.
+            raise MprosError(
+                f"sample_rate {self.sample_rate} too low for gear mesh "
+                f"{self.kinematics.gear_mesh_hz} Hz"
+            )
+
+    # -- internals -------------------------------------------------------
+    def _tones(
+        self, t: np.ndarray, comps: list[tuple[float, float]], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sum of sinusoids: [(freq, amplitude), ...] with one random
+        phase per distinct frequency.
+
+        Components at the same frequency are summed coherently first —
+        a fault raising 1x adds to the machine's existing 1x vector, it
+        does not beat against it.
+        """
+        merged: dict[float, float] = {}
+        for freq, amp in comps:
+            if amp <= 0 or freq <= 0 or freq >= self.sample_rate / 2:
+                continue
+            merged[freq] = merged.get(freq, 0.0) + amp
+        out = np.zeros_like(t)
+        for freq, amp in merged.items():
+            out += amp * np.sin(2 * np.pi * freq * (t + self._phase) + rng.uniform(0, 2 * np.pi))
+        return out
+
+    def _bearing_bursts(
+        self, n: int, rate_hz: float, amplitude: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Decaying resonance bursts repeating at the defect rate."""
+        out = np.zeros(n)
+        period = max(2, int(self.sample_rate / rate_hz))
+        burst_len = min(96, period)
+        decay = np.exp(-np.arange(burst_len) / 14.0)
+        t_burst = np.arange(burst_len) / self.sample_rate
+        carrier = np.sin(2 * np.pi * self.resonance_hz * t_burst)
+        template = amplitude * decay * carrier
+        start = int(rng.integers(0, period))
+        while start < n:
+            length = min(burst_len, n - start)
+            jitter = 1.0 + rng.normal(0.0, 0.08)
+            out[start : start + length] += template[:length] * jitter
+            start += period
+        return out
+
+    # -- public API ----------------------------------------------------------
+    def synthesize(
+        self,
+        n_samples: int,
+        faults: dict[FaultKind, float] | None = None,
+        load: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One waveform block.
+
+        Parameters
+        ----------
+        n_samples:
+            Block length.
+        faults:
+            Mapping fault kind → severity in [0, 1] (non-vibration
+            faults are ignored here; they act on the process model).
+        load:
+            Operating load fraction in [0, 1]; affects the looseness
+            signature per §6.1.
+        rng:
+            Random generator (required for reproducibility discipline).
+        """
+        if n_samples < 16:
+            raise MprosError("n_samples must be >= 16")
+        if not 0.0 <= load <= 1.0:
+            raise MprosError(f"load must be in [0, 1], got {load}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        faults = faults or {}
+        for kind, sev in faults.items():
+            if not 0.0 <= sev <= 1.0:
+                raise MprosError(f"severity for {kind} must be in [0, 1], got {sev}")
+
+        k = self.kinematics
+        if self.speed_jitter > 0:
+            # Slip varies with load: the whole shaft-locked family
+            # (orders, gear mesh, bearing rates, pole-pass) moves
+            # together while the line frequency stays fixed.
+            from dataclasses import replace as _replace
+
+            drift = 1.0 + float(rng.normal(0.0, self.speed_jitter))
+            k = _replace(k, shaft_hz=k.shaft_hz * max(0.5, drift))
+        t = np.arange(n_samples) / self.sample_rate
+        s1, s2, s3 = self.baseline_orders
+        comps: list[tuple[float, float]] = [
+            (k.shaft_hz, s1),
+            (2 * k.shaft_hz, s2),
+            (3 * k.shaft_hz, s3),
+        ]
+        if k.gear_teeth:
+            comps.append((k.gear_mesh_hz, 0.03))
+        # §6.1: "some compressors vibrate more at certain frequencies
+        # when unloaded" — flow recirculation at low load adds a mild
+        # harmonic raft and a half-order component even on a healthy
+        # machine.  This is the false-positive trap that the DLI rule
+        # sensitization exists to avoid.
+        unload = 1.0 - load
+        if unload > 0:
+            comps.append((0.5 * k.shaft_hz, 0.015 * unload))
+            for order in range(3, 9):
+                comps.append((order * k.shaft_hz, 0.03 * unload))
+
+        sev = {kind: faults.get(kind, 0.0) for kind in VIBRATION_FAULTS}
+
+        # Imbalance: 1x grows strongly.
+        comps.append((k.shaft_hz, 0.5 * sev[FaultKind.MOTOR_IMBALANCE]))
+        # Misalignment: 2x dominant, some 3x.
+        comps.append((2 * k.shaft_hz, 0.4 * sev[FaultKind.SHAFT_MISALIGNMENT]))
+        comps.append((3 * k.shaft_hz, 0.15 * sev[FaultKind.SHAFT_MISALIGNMENT]))
+        # Housing looseness: harmonic raft + 1/2x subharmonic; worse
+        # when unloaded (the DLI sensitization example).
+        loose = sev[FaultKind.BEARING_HOUSING_LOOSENESS]
+        if loose > 0:
+            unload_gain = 1.0 + 1.5 * (1.0 - load)
+            comps.append((0.5 * k.shaft_hz, 0.10 * loose * unload_gain))
+            for order in range(1, 9):
+                comps.append((order * k.shaft_hz, 0.08 * loose * unload_gain / order**0.5))
+        # Gear tooth wear: mesh harmonics + shaft-rate sidebands.
+        gw = sev[FaultKind.GEAR_TOOTH_WEAR]
+        if gw > 0 and k.gear_teeth:
+            comps.append((k.gear_mesh_hz, 0.30 * gw))
+            comps.append((2 * k.gear_mesh_hz, 0.15 * gw))
+            for sb in (1, 2):
+                comps.append((k.gear_mesh_hz + sb * k.shaft_hz, 0.10 * gw / sb))
+                comps.append((k.gear_mesh_hz - sb * k.shaft_hz, 0.10 * gw / sb))
+        # Gear mesh misalignment: 2x mesh dominant.
+        gm = sev[FaultKind.GEAR_MESH_MISALIGNMENT]
+        if gm > 0 and k.gear_teeth:
+            comps.append((2 * k.gear_mesh_hz, 0.35 * gm))
+        # Rotor bar: pole-pass sidebands around 1x, plus 2x line.
+        rb = sev[FaultKind.MOTOR_ROTOR_BAR]
+        if rb > 0:
+            pp = max(k.pole_pass_hz, 0.5)
+            comps.append((k.shaft_hz + pp, 0.20 * rb))
+            comps.append((k.shaft_hz - pp, 0.20 * rb))
+            comps.append((2 * k.line_hz, 0.10 * rb))
+        # Phase imbalance: strong 2x line frequency.
+        comps.append((2 * k.line_hz, 0.45 * sev[FaultKind.MOTOR_PHASE_IMBALANCE]))
+
+        x = self._tones(t, comps, rng)
+        # Bearing wear: impulsive bursts at BPFO.
+        bw = sev[FaultKind.BEARING_WEAR]
+        if bw > 0:
+            bf = k.bearing_defect_frequencies()
+            x += self._bearing_bursts(n_samples, bf.bpfo, 0.8 * bw, rng)
+        x += rng.normal(0.0, self.noise_floor, n_samples)
+        self._phase += n_samples / self.sample_rate
+        return x

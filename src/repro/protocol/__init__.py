@@ -1,0 +1,23 @@
+"""§7 Failure Prediction Reporting Protocol.
+
+The standard report every knowledge source emits toward the PDME:
+identifiers, machine condition, severity, belief, human-readable text
+and an optional prognostic vector of (probability, time) pairs.
+"""
+
+from repro.protocol.prognostic import PrognosticPoint, PrognosticVector
+from repro.protocol.report import FailurePredictionReport, ReportKind
+from repro.protocol.severity import SeverityGrade, grade_from_score, grade_to_horizon
+from repro.protocol.wire import decode_report, encode_report
+
+__all__ = [
+    "PrognosticPoint",
+    "PrognosticVector",
+    "FailurePredictionReport",
+    "ReportKind",
+    "SeverityGrade",
+    "grade_from_score",
+    "grade_to_horizon",
+    "decode_report",
+    "encode_report",
+]

@@ -1,0 +1,218 @@
+"""Prognostic vectors (§5.4, §7.3).
+
+"Prognostics are defined in this system as time point, probability
+pairs, and lists of these pairs."  A pair ``(t, p)`` asserts
+probability ``p`` that the machine condition leads to failure within
+``t`` seconds from the report's effective time.
+
+A well-formed vector has strictly increasing times and non-decreasing
+probabilities in [0, 1] — the probability of having failed *by* a
+later time can never be smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.common.errors import ProtocolError
+
+
+@dataclass(frozen=True, order=True)
+class PrognosticPoint:
+    """One (time, probability) pair.
+
+    Attributes
+    ----------
+    time:
+        Horizon in seconds from the report's effective timestamp.
+    probability:
+        Probability of failure within ``time`` seconds.
+    """
+
+    time: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ProtocolError(f"prognostic time must be >= 0, got {self.time}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ProtocolError(
+                f"prognostic probability must be in [0, 1], got {self.probability}"
+            )
+
+
+class PrognosticVector:
+    """An ordered list of :class:`PrognosticPoint`.
+
+    Immutable after construction.  Provides the numeric views that
+    knowledge fusion needs (times/probabilities arrays, interpolation
+    and extrapolation of failure probability at arbitrary horizons).
+
+    Examples
+    --------
+    >>> from repro.common.units import months
+    >>> v = PrognosticVector.from_pairs(
+    ...     [(months(3), 0.01), (months(4), 0.5), (months(5), 0.99)])
+    >>> len(v)
+    3
+    >>> round(v.probability_at(months(4)), 2)
+    0.5
+    """
+
+    __slots__ = ("_points", "_times", "_probs")
+
+    def __init__(self, points: Iterable[PrognosticPoint]) -> None:
+        pts = sorted(points, key=lambda p: p.time)
+        times = np.array([p.time for p in pts], dtype=np.float64)
+        probs = np.array([p.probability for p in pts], dtype=np.float64)
+        if times.size:
+            if np.any(np.diff(times) <= 0):
+                raise ProtocolError(f"prognostic times must be strictly increasing: {times}")
+            if np.any(np.diff(probs) < 0):
+                raise ProtocolError(
+                    f"failure probabilities must be non-decreasing in time: {probs}"
+                )
+        self._points = tuple(pts)
+        self._times = times
+        self._probs = probs
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[float, float]]) -> "PrognosticVector":
+        """Build from ``(time_seconds, probability)`` tuples."""
+        return cls(PrognosticPoint(t, p) for t, p in pairs)
+
+    @classmethod
+    def empty(cls) -> "PrognosticVector":
+        """The zero-length vector ('zero to n ordered pairs', §7.3)."""
+        return cls(())
+
+    # -- container protocol -------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[PrognosticPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, i: int) -> PrognosticPoint:
+        return self._points[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrognosticVector):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    # -- numeric views -------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Horizon times in seconds (read-only view)."""
+        v = self._times.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Failure probabilities (read-only view)."""
+        v = self._probs.view()
+        v.flags.writeable = False
+        return v
+
+    def probability_at(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Failure probability by horizon ``t``, linearly interpolated.
+
+        Before the first point the curve ramps linearly from (0, 0);
+        past the last point it extrapolates along the final segment's
+        slope, clipped to 1.0 (and held at the last value for a
+        single-point vector).
+        """
+        t_arr = np.asarray(t, dtype=np.float64)
+        if len(self) == 0:
+            out = np.zeros_like(t_arr)
+            return float(out) if np.isscalar(t) else out
+
+        times = self._times
+        probs = self._probs
+        # Anchor at (0, 0) unless the vector already starts at t=0.
+        if times[0] > 0:
+            times = np.concatenate(([0.0], times))
+            probs = np.concatenate(([0.0], probs))
+        out = np.interp(t_arr, times, probs)
+        # Linear extrapolation beyond the last knot (single-point
+        # vectors hold their value: one observation defines no slope).
+        if len(self) >= 2:
+            slope = (probs[-1] - probs[-2]) / (times[-1] - times[-2])
+            beyond = t_arr > times[-1]
+            out = np.where(beyond, probs[-1] + slope * (t_arr - times[-1]), out)
+        out = np.clip(out, 0.0, 1.0)
+        return float(out) if np.isscalar(t) else out
+
+    def time_to_probability(self, p: float) -> float:
+        """Earliest horizon at which failure probability reaches ``p``.
+
+        Used for "time to failure" estimates (§3.3): e.g.
+        ``time_to_probability(0.5)`` is the median predicted life.
+        Returns ``inf`` if the (extrapolated) curve never reaches ``p``.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ProtocolError(f"probability threshold must be in (0, 1], got {p}")
+        if len(self) == 0:
+            return float("inf")
+        times = self._times
+        probs = self._probs
+        if times[0] > 0:
+            times = np.concatenate(([0.0], times))
+            probs = np.concatenate(([0.0], probs))
+        idx = int(np.searchsorted(probs, p, side="left"))
+        if idx < probs.size:
+            if idx == 0:
+                return float(times[0])
+            t0, t1 = times[idx - 1], times[idx]
+            p0, p1 = probs[idx - 1], probs[idx]
+            if p1 == p0:
+                return float(t1)
+            return float(t0 + (p - p0) * (t1 - t0) / (p1 - p0))
+        # Extrapolate along the final segment.
+        if len(self) >= 2:
+            slope = (probs[-1] - probs[-2]) / (times[-1] - times[-2])
+            if slope > 0:
+                return float(times[-1] + (p - probs[-1]) / slope)
+        return float("inf")
+
+    def shifted(self, dt: float) -> "PrognosticVector":
+        """Re-base the vector by ``dt`` seconds (report-age correction).
+
+        A vector issued ``dt`` seconds ago asserting failure within
+        ``t`` is, from *now*, a claim about ``t - dt``; horizons that
+        have already elapsed are clamped to a zero-time point.
+        """
+        if dt == 0 or len(self) == 0:
+            return self
+        pairs: list[tuple[float, float]] = []
+        for p in self._points:
+            pairs.append((max(0.0, p.time - dt), p.probability))
+        # Clamping can create duplicate zero times; keep the max prob.
+        dedup: dict[float, float] = {}
+        for t, pr in pairs:
+            dedup[t] = max(dedup.get(t, 0.0), pr)
+        out = sorted(dedup.items())
+        # Enforce monotone probabilities after dedup.
+        mono: list[tuple[float, float]] = []
+        running = 0.0
+        for t, pr in out:
+            running = max(running, pr)
+            mono.append((t, running))
+        return PrognosticVector.from_pairs(mono)
+
+    def to_pairs(self) -> list[tuple[float, float]]:
+        """Plain ``[(time, probability), ...]`` list (wire form)."""
+        return [(p.time, p.probability) for p in self._points]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({p.time:.6g}s, {p.probability:.3g})" for p in self._points)
+        return f"PrognosticVector([{inner}])"

@@ -1,0 +1,83 @@
+"""DLI severity grades (§6.1).
+
+The DLI expert system "has provided a numerical severity score along
+with the fault diagnosis", interpreted through empirical methods into
+four gradient categories — Slight, Moderate, Serious and Extreme —
+corresponding to expected time to failure of roughly: no foreseeable
+failure, months, weeks and days of operation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.units import days, months, weeks
+
+
+class SeverityGrade(enum.IntEnum):
+    """The four empirical severity categories, ordered by urgency."""
+
+    SLIGHT = 0
+    MODERATE = 1
+    SERIOUS = 2
+    EXTREME = 3
+
+    @property
+    def label(self) -> str:
+        """Human-readable capitalized label ('Slight', ...)."""
+        return self.name.capitalize()
+
+
+#: Default numeric-score thresholds (score in [0, 1]) separating the
+#: grades.  The paper calls the mapping "empirical"; these cut points
+#: are our calibration and can be overridden per installation.
+DEFAULT_THRESHOLDS: tuple[float, float, float] = (0.25, 0.50, 0.75)
+
+#: Nominal expected-time-to-failure horizon per grade, in seconds.
+#: "no foreseeable failure, failure in months, weeks, and days".
+#: SLIGHT uses a 2-year stand-in for "no foreseeable failure".
+GRADE_HORIZONS: dict[SeverityGrade, float] = {
+    SeverityGrade.SLIGHT: months(24.0),
+    SeverityGrade.MODERATE: months(3.0),
+    SeverityGrade.SERIOUS: weeks(2.0),
+    SeverityGrade.EXTREME: days(3.0),
+}
+
+
+def grade_from_score(
+    score: float, thresholds: tuple[float, float, float] = DEFAULT_THRESHOLDS
+) -> SeverityGrade:
+    """Map a numeric severity score in [0, 1] to a grade.
+
+    Parameters
+    ----------
+    score:
+        Severity score; values outside [0, 1] are rejected.
+    thresholds:
+        Ascending cut points ``(slight|moderate, moderate|serious,
+        serious|extreme)``.
+
+    Examples
+    --------
+    >>> grade_from_score(0.1).label
+    'Slight'
+    >>> grade_from_score(0.9).label
+    'Extreme'
+    """
+    if not 0.0 <= score <= 1.0:
+        raise ValueError(f"severity score must be in [0, 1], got {score}")
+    t1, t2, t3 = thresholds
+    if not (0.0 < t1 < t2 < t3 < 1.0):
+        raise ValueError(f"thresholds must be strictly ascending in (0,1): {thresholds}")
+    if score < t1:
+        return SeverityGrade.SLIGHT
+    if score < t2:
+        return SeverityGrade.MODERATE
+    if score < t3:
+        return SeverityGrade.SERIOUS
+    return SeverityGrade.EXTREME
+
+
+def grade_to_horizon(grade: SeverityGrade) -> float:
+    """Expected time-to-failure horizon (seconds) for a grade."""
+    return GRADE_HORIZONS[grade]

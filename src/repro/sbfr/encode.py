@@ -1,0 +1,238 @@
+"""Compact binary encoding of SBFR machines.
+
+The paper stresses embeddability: "the sizes of the current spike
+machine and the stiction machine are respectively 229 and 93 bytes",
+"100 state machines operating in parallel and their interpreter can fit
+in less than 32K bytes", and new machines "may be downloaded into the
+smart sensor".  This module provides the wire/flash format: a postfix
+bytecode for conditions, a fixed action encoding, and framing.  The
+byte sizes it produces are what the SBFR footprint bench reports
+against the paper's numbers.
+
+Format (little-endian)::
+
+    header:      magic 'SB' | version u8 | n_states u8 | n_locals u8 |
+                 n_transitions u8
+    transition:  source u8 | target u8 | cond_len u16 | cond bytes |
+                 n_actions u8 | action bytes
+    condition:   postfix opcodes (operands push, comparisons/logic pop)
+    action:      opcode u8 + operands
+
+State and machine *names* are deliberately not encoded — an embedded
+target keeps no strings, so decoded machines get synthetic names.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import SbfrError
+from repro.sbfr.spec import (
+    Action,
+    Always,
+    And,
+    Compare,
+    Condition,
+    Const,
+    Delta,
+    Elapsed,
+    Expr,
+    IncrLocal,
+    Input,
+    Local,
+    MachineSpec,
+    Not,
+    Or,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    State,
+    Status,
+    Transition,
+)
+
+_MAGIC = b"SB"
+_VERSION = 1
+
+# Expression opcodes (push one value).
+_OP_INPUT = 0x01
+_OP_DELTA = 0x02
+_OP_LOCAL = 0x03
+_OP_STATUS = 0x04
+_OP_ELAPSED = 0x05
+_OP_CONST = 0x06
+# Comparison opcodes (pop two values, push bool).
+_OP_CMP = {"<": 0x10, ">": 0x11, "<=": 0x12, ">=": 0x13, "==": 0x14, "!=": 0x15}
+_CMP_BY_OP = {v: k for k, v in _OP_CMP.items()}
+# Logic opcodes.
+_OP_AND = 0x20
+_OP_OR = 0x21
+_OP_NOT = 0x22
+_OP_TRUE = 0x23
+# Action opcodes.
+_OP_SET_STATUS = 0x30
+_OP_OR_STATUS = 0x31
+_OP_SET_LOCAL = 0x32
+_OP_INCR_LOCAL = 0x33
+
+
+def _encode_expr(e: Expr, out: bytearray) -> None:
+    if isinstance(e, Input):
+        out += struct.pack("<BB", _OP_INPUT, e.channel)
+    elif isinstance(e, Delta):
+        out += struct.pack("<BB", _OP_DELTA, e.channel)
+    elif isinstance(e, Local):
+        out += struct.pack("<BB", _OP_LOCAL, e.index)
+    elif isinstance(e, Status):
+        out += struct.pack("<Bb", _OP_STATUS, e.machine)
+    elif isinstance(e, Elapsed):
+        out += struct.pack("<B", _OP_ELAPSED)
+    elif isinstance(e, Const):
+        out += struct.pack("<Bf", _OP_CONST, e.v)
+    else:
+        raise SbfrError(f"cannot encode expression {e!r}")
+
+
+def _encode_cond(c: Condition, out: bytearray) -> None:
+    if isinstance(c, Compare):
+        _encode_expr(c.lhs, out)
+        _encode_expr(c.rhs, out)
+        out.append(_OP_CMP[c.op])
+    elif isinstance(c, And):
+        _encode_cond(c.a, out)
+        _encode_cond(c.b, out)
+        out.append(_OP_AND)
+    elif isinstance(c, Or):
+        _encode_cond(c.a, out)
+        _encode_cond(c.b, out)
+        out.append(_OP_OR)
+    elif isinstance(c, Not):
+        _encode_cond(c.a, out)
+        out.append(_OP_NOT)
+    elif isinstance(c, Always):
+        out.append(_OP_TRUE)
+    else:
+        raise SbfrError(f"cannot encode condition {c!r}")
+
+
+def _encode_action(a: Action, out: bytearray) -> None:
+    if isinstance(a, SetStatus):
+        out += struct.pack("<Bbb", _OP_SET_STATUS, a.machine, a.value)
+    elif isinstance(a, OrStatus):
+        out += struct.pack("<BbB", _OP_OR_STATUS, a.machine, a.mask)
+    elif isinstance(a, SetLocal):
+        out += struct.pack("<BBf", _OP_SET_LOCAL, a.index, a.value)
+    elif isinstance(a, IncrLocal):
+        out += struct.pack("<BBf", _OP_INCR_LOCAL, a.index, a.amount)
+    else:
+        raise SbfrError(f"cannot encode action {a!r}")
+
+
+def encode_machine(spec: MachineSpec) -> bytes:
+    """Serialize a machine spec to its compact binary form."""
+    out = bytearray()
+    out += _MAGIC
+    out += struct.pack(
+        "<BBBB", _VERSION, len(spec.states), spec.n_locals, len(spec.transitions)
+    )
+    for t in spec.transitions:
+        cond = bytearray()
+        _encode_cond(t.condition, cond)
+        if len(cond) > 0xFFFF:
+            raise SbfrError("condition bytecode too long")
+        out += struct.pack("<BBH", t.source, t.target, len(cond))
+        out += cond
+        out += struct.pack("<B", len(t.actions))
+        for a in t.actions:
+            _encode_action(a, out)
+    return bytes(out)
+
+
+def encoded_size(spec: MachineSpec) -> int:
+    """Byte size of the encoded machine (the paper's footprint metric)."""
+    return len(encode_machine(spec))
+
+
+def _decode_cond(buf: bytes, pos: int, end: int) -> tuple[Condition, int]:
+    """Decode a postfix condition stream spanning buf[pos:end]."""
+    stack: list[object] = []
+    while pos < end:
+        op = buf[pos]
+        pos += 1
+        if op == _OP_INPUT:
+            stack.append(Input(buf[pos])); pos += 1
+        elif op == _OP_DELTA:
+            stack.append(Delta(buf[pos])); pos += 1
+        elif op == _OP_LOCAL:
+            stack.append(Local(buf[pos])); pos += 1
+        elif op == _OP_STATUS:
+            (m,) = struct.unpack_from("<b", buf, pos)
+            stack.append(Status(m)); pos += 1
+        elif op == _OP_ELAPSED:
+            stack.append(Elapsed())
+        elif op == _OP_CONST:
+            (v,) = struct.unpack_from("<f", buf, pos)
+            stack.append(Const(v)); pos += 4
+        elif op in _CMP_BY_OP:
+            rhs = stack.pop(); lhs = stack.pop()
+            if not isinstance(lhs, Expr) or not isinstance(rhs, Expr):
+                raise SbfrError("comparison operands must be expressions")
+            stack.append(Compare(_CMP_BY_OP[op], lhs, rhs))
+        elif op == _OP_AND:
+            b = stack.pop(); a = stack.pop()
+            stack.append(And(a, b))  # type: ignore[arg-type]
+        elif op == _OP_OR:
+            b = stack.pop(); a = stack.pop()
+            stack.append(Or(a, b))  # type: ignore[arg-type]
+        elif op == _OP_NOT:
+            stack.append(Not(stack.pop()))  # type: ignore[arg-type]
+        elif op == _OP_TRUE:
+            stack.append(Always())
+        else:
+            raise SbfrError(f"unknown condition opcode 0x{op:02x}")
+    if len(stack) != 1 or not isinstance(stack[0], Condition):
+        raise SbfrError("malformed condition bytecode")
+    return stack[0], pos
+
+
+def decode_machine(data: bytes, name: str = "downloaded") -> MachineSpec:
+    """Deserialize a machine produced by :func:`encode_machine`.
+
+    Supports the §6.3 download path: "new finite-state machines may be
+    downloaded into the smart sensor".
+    """
+    if data[:2] != _MAGIC:
+        raise SbfrError("not an SBFR machine (bad magic)")
+    version, n_states, n_locals, n_transitions = struct.unpack_from("<BBBB", data, 2)
+    if version != _VERSION:
+        raise SbfrError(f"unsupported SBFR encoding version {version}")
+    pos = 6
+    transitions: list[Transition] = []
+    for _ in range(n_transitions):
+        source, target, cond_len = struct.unpack_from("<BBH", data, pos)
+        pos += 4
+        cond, pos = _decode_cond(data, pos, pos + cond_len)
+        (n_actions,) = struct.unpack_from("<B", data, pos)
+        pos += 1
+        actions: list[Action] = []
+        for _ in range(n_actions):
+            op = data[pos]
+            if op == _OP_SET_STATUS:
+                _, m, v = struct.unpack_from("<Bbb", data, pos)
+                actions.append(SetStatus(m, v)); pos += 3
+            elif op == _OP_OR_STATUS:
+                _, m, mask = struct.unpack_from("<BbB", data, pos)
+                actions.append(OrStatus(m, mask)); pos += 3
+            elif op == _OP_SET_LOCAL:
+                _, i, v = struct.unpack_from("<BBf", data, pos)
+                actions.append(SetLocal(i, v)); pos += 6
+            elif op == _OP_INCR_LOCAL:
+                _, i, v = struct.unpack_from("<BBf", data, pos)
+                actions.append(IncrLocal(i, v)); pos += 6
+            else:
+                raise SbfrError(f"unknown action opcode 0x{op:02x}")
+        transitions.append(Transition(source, target, cond, tuple(actions)))
+    if pos != len(data):
+        raise SbfrError(f"trailing bytes after machine ({len(data) - pos})")
+    states = tuple(State(f"s{i}") for i in range(n_states))
+    return MachineSpec(name, states, tuple(transitions), n_locals)

@@ -1,0 +1,208 @@
+"""The SBFR interpreter: many machines, one cycle at a time.
+
+Per cycle the interpreter presents one sample per input channel to
+every machine.  Machines are evaluated in index order; for each, the
+first enabled transition out of its current state fires (actions run,
+state changes, the ∆T timer resets on a state *change*).  Effects are
+visible immediately — Figure 3 depends on this: the stiction machine
+resets the spike machine's status "so that it can continue looking for
+spikes in parallel with the actions of any other state machines".
+
+The paper's embedded implementation cycles 100 machines in under 4 ms;
+``benchmarks/bench_sbfr_cycle.py`` measures ours against that figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import SbfrError
+from repro.sbfr.spec import MachineSpec
+
+
+@dataclass
+class MachineState:
+    """Mutable runtime state of one machine instance."""
+
+    state: int = 0
+    status: int = 0
+    entered_cycle: int = 0
+    locals: np.ndarray | None = None
+
+
+class SbfrSystem:
+    """A set of SBFR machines sharing input channels and status registers.
+
+    Parameters
+    ----------
+    channels:
+        Ordered input channel names; conditions reference channels by
+        index into this list.
+    """
+
+    def __init__(self, channels: list[str]) -> None:
+        if len(set(channels)) != len(channels):
+            raise SbfrError("duplicate channel names")
+        self.channels = list(channels)
+        self._chan_index = {c: i for i, c in enumerate(channels)}
+        self.machines: list[MachineSpec] = []
+        self.states: list[MachineState] = []
+        self._inputs = np.zeros(len(channels))
+        self._prev_inputs = np.zeros(len(channels))
+        self._have_prev = False
+        self.cycle_count = 0
+
+    # -- construction -----------------------------------------------------
+    def add_machine(self, spec: MachineSpec) -> int:
+        """Register a machine; returns its index."""
+        self.machines.append(spec)
+        self.states.append(
+            MachineState(locals=np.zeros(max(1, spec.n_locals)))
+        )
+        return len(self.machines) - 1
+
+    def channel_index(self, name: str) -> int:
+        """Index of a named channel."""
+        try:
+            return self._chan_index[name]
+        except KeyError:
+            raise SbfrError(f"unknown channel {name!r}") from None
+
+    # -- EvalContext protocol ------------------------------------------------
+    # All index accesses are bounds-checked with SbfrError: machines can
+    # be *downloaded* (§6.3), and a machine referencing a channel, local
+    # or peer that does not exist on this DC must fail loudly and
+    # containably, never crash the interpreter with a raw IndexError.
+    def _check_channel(self, channel: int) -> int:
+        if not 0 <= channel < self._inputs.shape[0]:
+            raise SbfrError(f"machine references unknown channel {channel}")
+        return channel
+
+    def _check_machine(self, machine: int) -> int:
+        if not 0 <= machine < len(self.states):
+            raise SbfrError(f"machine references unknown peer machine {machine}")
+        return machine
+
+    def _check_local(self, machine: int, index: int) -> int:
+        if not 0 <= index < self.states[machine].locals.shape[0]:
+            raise SbfrError(
+                f"machine {machine} references unknown local variable {index}"
+            )
+        return index
+
+    def input_value(self, channel: int) -> float:
+        return float(self._inputs[self._check_channel(channel)])
+
+    def input_delta(self, channel: int) -> float:
+        self._check_channel(channel)
+        if not self._have_prev:
+            return 0.0
+        return float(self._inputs[channel] - self._prev_inputs[channel])
+
+    def local_value(self, machine: int, index: int) -> float:
+        self._check_machine(machine)
+        return float(self.states[machine].locals[self._check_local(machine, index)])
+
+    def status_value(self, machine: int) -> int:
+        return self.states[self._check_machine(machine)].status
+
+    def elapsed_cycles(self, machine: int) -> int:
+        return self.cycle_count - self.states[self._check_machine(machine)].entered_cycle
+
+    def set_status(self, machine: int, value: int) -> None:
+        self.states[self._check_machine(machine)].status = int(value)
+
+    def or_status(self, machine: int, mask: int) -> None:
+        self.states[self._check_machine(machine)].status |= int(mask)
+
+    def set_local(self, machine: int, index: int, value: float) -> None:
+        self._check_machine(machine)
+        self.states[machine].locals[self._check_local(machine, index)] = value
+
+    def incr_local(self, machine: int, index: int, amount: float) -> None:
+        self._check_machine(machine)
+        self.states[machine].locals[self._check_local(machine, index)] += amount
+
+    # -- execution ---------------------------------------------------------
+    def cycle(self, sample: dict[str, float] | np.ndarray) -> list[int]:
+        """Advance all machines by one cycle.
+
+        Parameters
+        ----------
+        sample:
+            Either a mapping ``channel name -> value`` (missing
+            channels hold their previous value — §5.1's fragmentary
+            input tolerance) or an array of length ``len(channels)``.
+
+        Returns
+        -------
+        Indices of machines that changed state this cycle.
+        """
+        self._prev_inputs, self._inputs = self._inputs, self._prev_inputs
+        if isinstance(sample, dict):
+            np.copyto(self._inputs, self._prev_inputs)
+            for name, value in sample.items():
+                self._inputs[self.channel_index(name)] = value
+        else:
+            arr = np.asarray(sample, dtype=np.float64)
+            if arr.shape != self._inputs.shape:
+                raise SbfrError(
+                    f"sample shape {arr.shape} != channel count {self._inputs.shape}"
+                )
+            np.copyto(self._inputs, arr)
+
+        changed: list[int] = []
+        for idx, (spec, st) in enumerate(zip(self.machines, self.states)):
+            for t in spec.transitions:
+                if t.source != st.state:
+                    continue
+                if t.condition.evaluate(self, idx):
+                    for action in t.actions:
+                        action.execute(self, idx)
+                    if t.target != st.state:
+                        st.state = t.target
+                        st.entered_cycle = self.cycle_count
+                        changed.append(idx)
+                    break
+        self.cycle_count += 1
+        self._have_prev = True
+        return changed
+
+    def run(self, samples: np.ndarray) -> list[tuple[int, int, int]]:
+        """Feed a (n_cycles, n_channels) block; returns the state-change
+        log as (cycle, machine, new_state) tuples."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != len(self.channels):
+            raise SbfrError(
+                f"samples must be (n, {len(self.channels)}), got {samples.shape}"
+            )
+        log: list[tuple[int, int, int]] = []
+        for row in samples:
+            cycle_no = self.cycle_count
+            for m in self.cycle(row):
+                log.append((cycle_no, m, self.states[m].state))
+        return log
+
+    # -- inspection -----------------------------------------------------------
+    def state_name(self, machine: int) -> str:
+        """Display name of a machine's current state."""
+        spec = self.machines[machine]
+        return spec.states[self.states[machine].state].name
+
+    def status(self, machine: int) -> int:
+        """Status register of a machine."""
+        return self.states[machine].status
+
+    def reset(self) -> None:
+        """Return every machine to its initial state and clear I/O."""
+        for st in self.states:
+            st.state = 0
+            st.status = 0
+            st.entered_cycle = 0
+            st.locals[:] = 0.0
+        self._inputs[:] = 0.0
+        self._prev_inputs[:] = 0.0
+        self._have_prev = False
+        self.cycle_count = 0

@@ -1,0 +1,219 @@
+"""Machine library, including the Figure-3 EMA machines.
+
+"The two state machine system shown in Figure 3 was used to predict a
+seize-up failure mode in an electro-mechanical actuator (EMA) ...
+Machine 0 recognizes spikes in the drive motor current.  Machine 1
+counts the spikes that are not associated with a commanded position
+change (CPOS).  When the count is greater than 4, a stiction condition
+is flagged, and higher level software (e.g., the PDME) can conclude
+that a seize-up failure is imminent."
+"""
+
+from __future__ import annotations
+
+from repro.sbfr.spec import (
+    And,
+    Delta,
+    Elapsed,
+    IncrLocal,
+    Input,
+    Local,
+    MachineSpec,
+    Not,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    State,
+    Status,
+    Transition,
+    cmp,
+)
+
+
+def build_spike_machine(
+    current_channel: int,
+    self_index: int = 0,
+    rise_threshold: float = 0.5,
+    max_cycles: int = 4,
+) -> MachineSpec:
+    """Figure 3's Current SPIKE Machine (Machine 0).
+
+    Four states and seven transitions.  A spike is a fast rise in the
+    drive-motor current followed by a fast fall back and stabilization;
+    the intermediate Possible-SPIKE states and the ∆T bounds make the
+    recognizer "relatively noise free".  On recognition the machine
+    ORs 1 into its own status register and waits in SPIKE until some
+    other agent (Figure 3: the stiction machine) resets the register.
+
+    Parameters
+    ----------
+    current_channel:
+        Input channel index carrying the drive-motor current.
+    self_index:
+        Index this machine will occupy in the system (its status
+        register address).
+    rise_threshold:
+        Minimum per-cycle current change that counts as an
+        increase/decrease.
+    max_cycles:
+        The figure's ∆T bound (4) on each spike phase.
+    """
+    WAIT, P1, P2, SPIKE = 0, 1, 2, 3
+    rising = cmp(Delta(current_channel), ">", rise_threshold)
+    falling = cmp(Delta(current_channel), "<", -rise_threshold)
+    quick = cmp(Elapsed(), "<=", max_cycles)
+    slow = cmp(Elapsed(), ">", max_cycles)
+    return MachineSpec(
+        name="Current SPIKE Machine",
+        states=(State("Wait"), State("PossibleSPIKE1"), State("PossibleSPIKE2"), State("SPIKE")),
+        transitions=(
+            # 1. Wait -> PossibleSPIKE1: current increase.
+            Transition(WAIT, P1, rising),
+            # 2. PossibleSPIKE1 -> PossibleSPIKE2: quick decrease.
+            Transition(P1, P2, And(falling, quick)),
+            # 3. PossibleSPIKE1 -> Wait: rise lasted too long (∆T > 4).
+            Transition(P1, WAIT, slow),
+            # 4. PossibleSPIKE2 -> PossibleSPIKE1: rises again quickly —
+            #    restart the possible-spike timing.
+            Transition(P2, P1, And(rising, quick)),
+            # 5. PossibleSPIKE2 -> SPIKE: current stabilized quickly after
+            #    the fall: a spike is recognized; set own status bit 0.
+            Transition(
+                P2,
+                SPIKE,
+                And(And(Not(rising), Not(falling)), quick),
+                (OrStatus(self_index, 1),),
+            ),
+            # 6. PossibleSPIKE2 -> Wait: decrease too slow (∆T > 4).
+            Transition(P2, WAIT, slow),
+            # 7. SPIKE -> Wait: someone reset our status register.
+            Transition(SPIKE, WAIT, cmp(Status(self_index), "==", 0)),
+        ),
+        n_locals=0,
+    )
+
+
+def build_stiction_machine(
+    cpos_channel: int,
+    spike_machine: int = 0,
+    self_index: int = 1,
+    spike_count: int = 4,
+) -> MachineSpec:
+    """Figure 3's EMA Stiction Machine (Machine 1).
+
+    Counts spikes (via Machine 0's status register) that are not
+    associated with a commanded position change; when local variable 1
+    exceeds ``spike_count`` it enters Stiction and sets its own status
+    bit.  The agent that consumes the stiction flag resets this
+    machine's status register, which sends it back to Wait and clears
+    the count.
+
+    Local variable layout: index 1 is the spike count, matching the
+    figure's ``Local:1`` (index 0 is unused, also matching).
+    """
+    WAIT, STICTION = 0, 1
+    spike_seen = cmp(Status(spike_machine), "!=", 0)
+    cpos_unchanged = cmp(Delta(cpos_channel), "==", 0)
+    cpos_changed = cmp(Delta(cpos_channel), "!=", 0)
+    return MachineSpec(
+        name="EMA Stiction Machine",
+        states=(State("Wait"), State("Stiction")),
+        transitions=(
+            # Stiction is declared first so the count threshold is
+            # checked before another spike is consumed.
+            Transition(
+                WAIT,
+                STICTION,
+                cmp(Local(1), ">", spike_count),
+                (OrStatus(self_index, 1),),
+            ),
+            # Count an uncommanded spike; reset Machine 0 so it can
+            # continue looking for spikes.
+            Transition(
+                WAIT,
+                WAIT,
+                And(spike_seen, cpos_unchanged),
+                (SetStatus(spike_machine, 0), IncrLocal(1, 1.0)),
+            ),
+            # A spike during a commanded position change is expected:
+            # discard it without counting.
+            Transition(
+                WAIT,
+                WAIT,
+                And(spike_seen, cpos_changed),
+                (SetStatus(spike_machine, 0),),
+            ),
+            # Consumer reset our status: clear the count, start over.
+            Transition(
+                STICTION,
+                WAIT,
+                cmp(Status(self_index), "==", 0),
+                (SetLocal(1, 0.0),),
+            ),
+        ),
+        n_locals=2,
+    )
+
+
+def level_alarm_machine(
+    channel: int, threshold: float, hold_cycles: int = 3, self_index: int = -1
+) -> MachineSpec:
+    """A generic sustained-level alarm: enter Alarm after the input
+    stays above ``threshold`` for ``hold_cycles`` cycles; self-clearing
+    when it falls back.  Used by the DC's process-variable monitoring.
+
+    ``self_index`` of -1 means "this machine" (resolved at runtime).
+    """
+    WAIT, HIGH, ALARM = 0, 1, 2
+    above = cmp(Input(channel), ">", threshold)
+    return MachineSpec(
+        name=f"Level alarm ch{channel}",
+        states=(State("Wait"), State("High"), State("Alarm")),
+        transitions=(
+            Transition(WAIT, HIGH, above),
+            Transition(HIGH, WAIT, Not(above)),
+            Transition(
+                HIGH, ALARM, And(above, cmp(Elapsed(), ">=", hold_cycles)),
+                (OrStatus(self_index, 1),),
+            ),
+            Transition(ALARM, WAIT, Not(above), (SetStatus(self_index, 0),)),
+            # While the alarm persists, keep re-asserting the flag after
+            # a consumer clears it — a *sustained* abnormality is a
+            # recurring event to the layered machines above, not a
+            # one-shot.
+            Transition(
+                ALARM, ALARM, And(above, cmp(Status(self_index), "==", 0)),
+                (OrStatus(self_index, 1),),
+            ),
+        ),
+        n_locals=0,
+    )
+
+
+def count_threshold_machine(
+    watched_machine: int, count: int, self_index: int = -1
+) -> MachineSpec:
+    """A generic layered-recognition machine: counts status flags of a
+    lower-level machine and raises its own flag after ``count`` of
+    them — the §6.3 "layered architecture" building block.
+    """
+    WAIT, FIRED = 0, 1
+    return MachineSpec(
+        name=f"Count>= {count} of machine {watched_machine}",
+        states=(State("Wait"), State("Fired")),
+        transitions=(
+            Transition(
+                WAIT, FIRED, cmp(Local(0), ">=", count), (OrStatus(self_index, 1),)
+            ),
+            Transition(
+                WAIT,
+                WAIT,
+                cmp(Status(watched_machine), "!=", 0),
+                (SetStatus(watched_machine, 0), IncrLocal(0, 1.0)),
+            ),
+            Transition(
+                FIRED, WAIT, cmp(Status(self_index), "==", 0), (SetLocal(0, 0.0),)
+            ),
+        ),
+        n_locals=1,
+    )

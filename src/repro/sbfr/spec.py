@@ -1,0 +1,413 @@
+"""SBFR machine specification: states, conditions, actions.
+
+Conditions are a tiny expression AST closed under logical combination,
+with exactly the atoms §6.3 lists: sensor input (value or cycle-to-
+cycle delta), the machine's own locals, another machine's status
+register, and elapsed time in the current state.
+
+Actions mutate status registers and local variables — the only side
+effects the paper's machines use ("set the status register of Machine 0
+back to 0 ... increment local variable 1").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.common.errors import SbfrError
+
+
+class EvalContext(Protocol):
+    """What conditions/actions need from the interpreter."""
+
+    def input_value(self, channel: int) -> float: ...
+    def input_delta(self, channel: int) -> float: ...
+    def local_value(self, machine: int, index: int) -> float: ...
+    def status_value(self, machine: int) -> int: ...
+    def elapsed_cycles(self, machine: int) -> int: ...
+    def set_status(self, machine: int, value: int) -> None: ...
+    def or_status(self, machine: int, mask: int) -> None: ...
+    def set_local(self, machine: int, index: int, value: float) -> None: ...
+    def incr_local(self, machine: int, index: int, amount: float) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# Condition AST
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """Base class; subclasses implement ``evaluate``."""
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class Expr:
+    """Base class for numeric sub-expressions."""
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Input(Expr):
+    """Current value of input channel ``channel``."""
+
+    channel: int
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        return ctx.input_value(self.channel)
+
+
+@dataclass(frozen=True)
+class Delta(Expr):
+    """Cycle-to-cycle change of input channel ``channel``.
+
+    "Current Increase" in Figure 3 is ``Delta(ch) > threshold``;
+    "CPOS unchanged" is ``Delta(cpos_ch) == 0``.
+    """
+
+    channel: int
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        return ctx.input_delta(self.channel)
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """Local variable ``index`` of this machine."""
+
+    index: int
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        return ctx.local_value(self_index, self.index)
+
+
+@dataclass(frozen=True)
+class Status(Expr):
+    """Status register of machine ``machine`` (readable by any machine).
+
+    A negative index refers to the evaluating machine itself, so specs
+    can be written before their system index is known.
+    """
+
+    machine: int
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        target = self_index if self.machine < 0 else self.machine
+        return float(ctx.status_value(target))
+
+
+@dataclass(frozen=True)
+class Elapsed(Expr):
+    """Cycles spent in the current state (the figure's ∆T)."""
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        return float(ctx.elapsed_cycles(self_index))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    v: float
+
+    def value(self, ctx: EvalContext, self_index: int) -> float:
+        return self.v
+
+
+_CMP_OPS = {
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Condition):
+    """``lhs <op> rhs`` over numeric sub-expressions."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise SbfrError(f"unknown comparison {self.op!r}")
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:
+        return bool(
+            _CMP_OPS[self.op](self.lhs.value(ctx, self_index), self.rhs.value(ctx, self_index))
+        )
+
+
+def cmp(lhs: Expr | float, op: str, rhs: Expr | float) -> Compare:
+    """Convenience constructor: ``cmp(Delta(0), '>', 0.5)``."""
+    if not isinstance(lhs, Expr):
+        lhs = Const(float(lhs))
+    if not isinstance(rhs, Expr):
+        rhs = Const(float(rhs))
+    return Compare(op, lhs, rhs)
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Logical conjunction."""
+
+    a: Condition
+    b: Condition
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:
+        return self.a.evaluate(ctx, self_index) and self.b.evaluate(ctx, self_index)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Logical disjunction."""
+
+    a: Condition
+    b: Condition
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:
+        return self.a.evaluate(ctx, self_index) or self.b.evaluate(ctx, self_index)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Logical negation."""
+
+    a: Condition
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:
+        return not self.a.evaluate(ctx, self_index)
+
+
+@dataclass(frozen=True)
+class Always(Condition):
+    """The unconditional transition guard."""
+
+    def evaluate(self, ctx: EvalContext, self_index: int) -> bool:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+class Action:
+    """Base class; subclasses implement ``execute``."""
+
+    def execute(self, ctx: EvalContext, self_index: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetStatus(Action):
+    """Assign a machine's status register (-1 targets self)."""
+
+    machine: int
+    value: int
+
+    def execute(self, ctx: EvalContext, self_index: int) -> None:
+        target = self_index if self.machine < 0 else self.machine
+        ctx.set_status(target, self.value)
+
+
+@dataclass(frozen=True)
+class OrStatus(Action):
+    """OR a mask into a machine's status register (-1 targets self).
+
+    Figure 3's ``Status:1 <- Status:1 ∨ 1`` — "only the lowest bit is
+    set to one, since we would like to save the option of using other
+    bits for some other purpose".
+    """
+
+    machine: int
+    mask: int
+
+    def execute(self, ctx: EvalContext, self_index: int) -> None:
+        target = self_index if self.machine < 0 else self.machine
+        ctx.or_status(target, self.mask)
+
+
+@dataclass(frozen=True)
+class SetLocal(Action):
+    """Assign one of this machine's local variables."""
+
+    index: int
+    value: float
+
+    def execute(self, ctx: EvalContext, self_index: int) -> None:
+        ctx.set_local(self_index, self.index, self.value)
+
+
+@dataclass(frozen=True)
+class IncrLocal(Action):
+    """Increment one of this machine's local variables."""
+
+    index: int
+    amount: float = 1.0
+
+    def execute(self, ctx: EvalContext, self_index: int) -> None:
+        ctx.incr_local(self_index, self.index, self.amount)
+
+
+# ---------------------------------------------------------------------------
+# Machine spec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Transition:
+    """One guarded transition with side effects."""
+
+    source: int
+    target: int
+    condition: Condition
+    actions: tuple[Action, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.target < 0:
+            raise SbfrError("transition state indices must be >= 0")
+
+
+@dataclass(frozen=True)
+class State:
+    """A named state (name is for display; index is identity)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete enhanced finite-state machine.
+
+    Attributes
+    ----------
+    name:
+        Display name ("Current SPIKE Machine").
+    states:
+        State tuple; index 0 is the initial state.
+    transitions:
+        Evaluated in declaration order; the first enabled one fires
+        (at most one transition per machine per cycle).
+    n_locals:
+        Number of local variables (all initialized to 0).
+    """
+
+    name: str
+    states: tuple[State, ...]
+    transitions: tuple[Transition, ...]
+    n_locals: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise SbfrError(f"machine {self.name!r} needs at least one state")
+        n = len(self.states)
+        for t in self.transitions:
+            if t.source >= n or t.target >= n:
+                raise SbfrError(
+                    f"machine {self.name!r}: transition {t.source}->{t.target} "
+                    f"references a state >= {n}"
+                )
+
+    def transitions_from(self, state: int) -> tuple[Transition, ...]:
+        """Transitions leaving ``state``, in declaration order."""
+        return tuple(t for t in self.transitions if t.source == state)
+
+    def state_index(self, name: str) -> int:
+        """Index of the state with the given name."""
+        for i, s in enumerate(self.states):
+            if s.name == name:
+                return i
+        raise SbfrError(f"machine {self.name!r} has no state {name!r}")
+
+
+def validate_references(
+    spec: MachineSpec, n_channels: int, n_machines: int
+) -> None:
+    """Check every channel/local/peer reference in a machine spec.
+
+    Used at machine-download time (§6.3): a machine authored against
+    the wrong channel table must be rejected at the RPC boundary, not
+    crash the interpreter cycles later.
+    """
+    def check_expr(e: Expr) -> None:
+        if isinstance(e, (Input, Delta)) and not 0 <= e.channel < n_channels:
+            raise SbfrError(
+                f"machine {spec.name!r} references channel {e.channel}; "
+                f"this system has {n_channels}"
+            )
+        if isinstance(e, Local) and not 0 <= e.index < max(1, spec.n_locals):
+            raise SbfrError(
+                f"machine {spec.name!r} references local {e.index} but "
+                f"declares n_locals={spec.n_locals}"
+            )
+        if isinstance(e, Status) and e.machine >= n_machines:
+            raise SbfrError(
+                f"machine {spec.name!r} references peer machine {e.machine}; "
+                f"this system will have {n_machines}"
+            )
+
+    def check_cond(c: Condition) -> None:
+        if isinstance(c, Compare):
+            check_expr(c.lhs)
+            check_expr(c.rhs)
+        elif isinstance(c, (And, Or)):
+            check_cond(c.a)
+            check_cond(c.b)
+        elif isinstance(c, Not):
+            check_cond(c.a)
+
+    for t in spec.transitions:
+        check_cond(t.condition)
+        for a in t.actions:
+            if isinstance(a, (SetStatus, OrStatus)) and a.machine >= n_machines:
+                raise SbfrError(
+                    f"machine {spec.name!r} writes status of peer {a.machine}; "
+                    f"this system will have {n_machines}"
+                )
+            if isinstance(a, (SetLocal, IncrLocal)) and not (
+                0 <= a.index < max(1, spec.n_locals)
+            ):
+                raise SbfrError(
+                    f"machine {spec.name!r} writes local {a.index} but "
+                    f"declares n_locals={spec.n_locals}"
+                )
+
+
+def referenced_channels(spec: MachineSpec) -> set[int]:
+    """All input channels a machine's conditions read."""
+    channels: set[int] = set()
+
+    def walk_expr(e: Expr) -> None:
+        if isinstance(e, (Input, Delta)):
+            channels.add(e.channel)
+
+    def walk_cond(c: Condition) -> None:
+        if isinstance(c, Compare):
+            walk_expr(c.lhs)
+            walk_expr(c.rhs)
+        elif isinstance(c, (And, Or)):
+            walk_cond(c.a)
+            walk_cond(c.b)
+        elif isinstance(c, Not):
+            walk_cond(c.a)
+
+    for t in spec.transitions:
+        walk_cond(t.condition)
+    return channels

@@ -1,0 +1,156 @@
+"""Whole-system assembly — Figure 1 in one object.
+
+Builds the ship model, a PDME (OOSM + knowledge fusion) behind an RPC
+endpoint, and one Data Concentrator per chiller with the algorithm
+suites and standard test schedules, all on one discrete-event kernel.
+``run()`` advances simulated time; reports flow DC → network → PDME →
+OOSM → KF exactly as §5.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import MprosError
+from repro.common.rng import derive_rng, make_rng
+from repro.dc.concentrator import DataConcentrator
+from repro.dc.uplink import ReportUplink
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import LinkConfig, Network
+from repro.netsim.rpc import RpcEndpoint
+from repro.oosm.model import ShipModel
+from repro.oosm.shipyard import ChillerUnit, build_chilled_water_ship
+from repro.pdme.browser import render_machine_screen, render_priority_list
+from repro.pdme.executive import PdmeExecutive
+from repro.pdme.icas import register_icas_interface
+from repro.plant.chiller import ChillerSimulator
+from repro.plant.faults import ActiveFault
+
+
+@dataclass
+class MprosSystem:
+    """An assembled MPROS installation (simulation-backed)."""
+
+    kernel: EventKernel
+    network: Network
+    model: ShipModel
+    pdme: PdmeExecutive
+    dcs: list[DataConcentrator]
+    units: list[ChillerUnit]
+    simulators: dict[str, ChillerSimulator]
+    uplinks: list[ReportUplink] = field(default_factory=list)
+    _dc_endpoints: list[RpcEndpoint] = field(default_factory=list)
+
+    def inject_fault(self, machine_id: str, fault: ActiveFault) -> None:
+        """Inject a fault into the simulator monitored as ``machine_id``."""
+        try:
+            sim = self.simulators[machine_id]
+        except KeyError:
+            raise MprosError(f"no simulator bound to {machine_id!r}") from None
+        sim.inject(fault)
+
+    def run(self, hours: float = 1.0) -> None:
+        """Advance the whole system by ``hours`` of simulated time."""
+        if hours <= 0:
+            raise MprosError("hours must be positive")
+        self.kernel.run_until(self.kernel.now() + hours * 3600.0)
+
+    # -- views ------------------------------------------------------------
+    def browser_screen(self, machine_id: str) -> str:
+        """The Fig. 2 browser screen for one machine."""
+        return render_machine_screen(
+            self.model, self.pdme.engine, machine_id, now=self.kernel.now()
+        )
+
+    def priority_screen(self) -> str:
+        """The ship-wide prioritized maintenance list."""
+        return render_priority_list(self.pdme.priorities(now=self.kernel.now()))
+
+    def reports_received(self) -> int:
+        """Reports retained by the PDME's OOSM."""
+        return self.model.report_count
+
+    def uplink_backlog(self) -> int:
+        """Reports queued DC-side awaiting PDME acknowledgement."""
+        return sum(u.backlog for u in self.uplinks)
+
+    def set_network_outage(self, dc_index: int, down: bool = True) -> None:
+        """Cut (or restore) one DC's link to the PDME (§4.9 scenario).
+
+        Reports produced during the outage are held in the DC's
+        store-and-forward uplink and delivered after recovery by the
+        scheduled flush."""
+        self.network.set_down(f"dc:{dc_index}", "pdme", down)
+
+
+def build_mpros_system(
+    n_chillers: int = 2,
+    seed: int = 0,
+    vibration_period: float = 600.0,
+    process_period: float = 60.0,
+    link: LinkConfig | None = None,
+) -> MprosSystem:
+    """Assemble the Figure-1 system.
+
+    One DC per chiller; each DC monitors its chiller's drive train
+    through the chiller simulator, runs the standard test schedule and
+    uplinks §7 reports to the PDME over the simulated ship network.
+    """
+    if n_chillers < 1:
+        raise MprosError("need at least one chiller")
+    root = make_rng(seed)
+    kernel = EventKernel()
+    network = Network(kernel, derive_rng(root, "network"))
+    model, ship, units = build_chilled_water_ship(n_chillers=n_chillers)
+    pdme = PdmeExecutive(model)
+    pdme_ep = RpcEndpoint("pdme", network, kernel)
+    pdme.serve_on(pdme_ep)
+    register_icas_interface(pdme, pdme_ep)
+
+    dcs: list[DataConcentrator] = []
+    simulators: dict[str, ChillerSimulator] = {}
+    endpoints: list[RpcEndpoint] = []
+    uplinks: list[ReportUplink] = []
+    for i, unit in enumerate(units):
+        dc_name = f"dc:{i}"
+        if link is not None:
+            network.connect(dc_name, "pdme", link)
+        dc_ep = RpcEndpoint(dc_name, network, kernel)
+        endpoints.append(dc_ep)
+        uplink = ReportUplink(dc_ep, "pdme")
+        uplinks.append(uplink)
+
+        dc = DataConcentrator(
+            dc_id=dc_name,
+            kernel=kernel,
+            sink=uplink.submit,
+            rng=derive_rng(root, "dc", i),
+        )
+        sim = ChillerSimulator(rng=derive_rng(root, "chiller", i))
+        dc.attach_machine(
+            unit.motor, f"A/C Compressor Motor {i + 1}", sim, vibration_channel=0
+        )
+        dc.schedule_standard_tests(
+            vibration_period=vibration_period, process_period=process_period
+        )
+        # Unattended recovery: retry unacknowledged reports each minute.
+        dc.scheduler.add_periodic(
+            "uplink-flush", 60.0, lambda t, u=uplink: u.flush()
+        )
+        # PDME -> DC control path (command tests, download machines).
+        dc.serve_on(dc_ep)
+        simulators[unit.motor] = sim
+        dcs.append(dc)
+    return MprosSystem(
+        kernel=kernel,
+        network=network,
+        model=model,
+        pdme=pdme,
+        dcs=dcs,
+        units=units,
+        simulators=simulators,
+        uplinks=uplinks,
+        _dc_endpoints=endpoints,
+    )

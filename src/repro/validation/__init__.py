@@ -1,0 +1,33 @@
+"""§9 Validation.
+
+"How are you going to prove that your system does what you say it
+does?"  The paper's answers, reproduced on the simulated plant: seeded
+faults, destructive (run-to-failure) testing, archived maintenance
+data, and human-expert agreement — plus the metrics to score them.
+"""
+
+from repro.validation.analyst import AnalystDecision, SyntheticAnalyst
+from repro.validation.archives import MaintenanceRecord, generate_archive
+from repro.validation.destructive import DestructiveTestResult, run_destructive_test
+from repro.validation.metrics import (
+    CampaignMetrics,
+    detection_latency,
+    precision_recall,
+    prognostic_error,
+)
+from repro.validation.seeded import CampaignRecord, SeededFaultCampaign
+
+__all__ = [
+    "AnalystDecision",
+    "SyntheticAnalyst",
+    "MaintenanceRecord",
+    "generate_archive",
+    "DestructiveTestResult",
+    "run_destructive_test",
+    "CampaignMetrics",
+    "detection_latency",
+    "precision_recall",
+    "prognostic_error",
+    "CampaignRecord",
+    "SeededFaultCampaign",
+]

@@ -1,0 +1,108 @@
+"""The synthetic human analyst (§6.1's agreement study, reproduced).
+
+"In one study, it was found that the system exceeds 95% agreement with
+human expert analysts for machinery aboard the Nimitz class ships" and
+the believability factors track "how often each [diagnosis] was
+reversed or modified by a human analyst prior to report approval."
+
+We have no analysts; we have ground truth (the injected faults) and a
+calibrated disagreement model: the analyst almost always adjudicates
+correctly against truth, but occasionally errs (misses a real fault or
+accepts a spurious call).  Agreement is then measured exactly as the
+original study did — the fraction of automated diagnoses the analyst
+approves — on data where we also know who was actually right.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.dli.believability import ReversalDatabase
+from repro.common.errors import MprosError
+from repro.plant.faults import FaultKind
+from repro.protocol.report import FailurePredictionReport
+
+
+class AnalystDecision(enum.Enum):
+    """The analyst's adjudication of one automated diagnosis."""
+
+    APPROVED = "approved"
+    REVERSED = "reversed"
+
+
+@dataclass
+class SyntheticAnalyst:
+    """Adjudicates reports against ground truth with calibrated noise.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability the analyst's own judgment is wrong on any one
+        report (flips the truth-based decision).
+    severity_floor:
+        Conditions injected below this severity are treated as not
+        confirmable by the analyst (too early to see by hand).
+    """
+
+    rng: np.random.Generator
+    error_rate: float = 0.02
+    severity_floor: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 0.5:
+            raise MprosError("error_rate must be in [0, 0.5)")
+
+    def adjudicate(
+        self,
+        report: FailurePredictionReport,
+        true_faults: dict[FaultKind, float],
+    ) -> AnalystDecision:
+        """Approve or reverse one automated diagnosis.
+
+        ``true_faults`` maps the actually-injected fault kinds to their
+        severities at report time.
+        """
+        truth_ids = {
+            k.condition_id for k, sev in true_faults.items() if sev >= self.severity_floor
+        }
+        correct = report.machine_condition_id in truth_ids
+        decision = AnalystDecision.APPROVED if correct else AnalystDecision.REVERSED
+        if self.rng.random() < self.error_rate:
+            decision = (
+                AnalystDecision.REVERSED
+                if decision is AnalystDecision.APPROVED
+                else AnalystDecision.APPROVED
+            )
+        return decision
+
+
+@dataclass
+class AgreementStudy:
+    """Accumulates adjudications into the §6.1 statistics."""
+
+    analyst: SyntheticAnalyst
+    database: ReversalDatabase
+    approved: int = 0
+    reversed_: int = 0
+
+    def review(
+        self, report: FailurePredictionReport, true_faults: dict[FaultKind, float]
+    ) -> AnalystDecision:
+        """Adjudicate one report, updating counters and the reversal DB."""
+        decision = self.analyst.adjudicate(report, true_faults)
+        reversed_flag = decision is AnalystDecision.REVERSED
+        self.database.record(report.machine_condition_id, reversed_flag)
+        if reversed_flag:
+            self.reversed_ += 1
+        else:
+            self.approved += 1
+        return decision
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of automated diagnoses the analyst approved."""
+        total = self.approved + self.reversed_
+        return self.approved / total if total else 0.0

@@ -1,0 +1,94 @@
+"""Synthetic maintenance archives (§9).
+
+"Honeywell, York, DLI, NRL, and WM Engineering have archives of
+maintenance data that we will take full advantage of in constructing
+our prognostic and diagnostic models."  We synthesize the archive: a
+history of inspections and repairs with what was found, generated from
+the same fault statistics the simulator uses — enough to seed
+believability priors and exercise historical-data code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.dli.believability import ReversalDatabase
+from repro.common.errors import MprosError
+from repro.common.units import days
+from repro.plant.faults import FMEA_CANDIDATES, FaultKind
+
+
+@dataclass(frozen=True)
+class MaintenanceRecord:
+    """One line of the maintenance history."""
+
+    time: float                 # simulated seconds since epoch
+    machine_id: str
+    reported_condition: str     # what the monitoring called
+    found_condition: str | None # what the mechanic actually found
+    action: str
+
+    @property
+    def confirmed(self) -> bool:
+        """Did the tear-down confirm the automated call?"""
+        return self.found_condition == self.reported_condition
+
+
+def generate_archive(
+    rng: np.random.Generator,
+    n_records: int = 500,
+    n_machines: int = 20,
+    confirm_rate: float = 0.9,
+    faults: tuple[FaultKind, ...] = FMEA_CANDIDATES,
+) -> list[MaintenanceRecord]:
+    """Generate a plausible maintenance history.
+
+    ``confirm_rate`` is the probability the mechanic confirms the
+    automated diagnosis; otherwise they find a different condition from
+    the same catalog (or nothing at all).
+    """
+    if n_records < 1 or n_machines < 1:
+        raise MprosError("n_records and n_machines must be >= 1")
+    if not 0.0 <= confirm_rate <= 1.0:
+        raise MprosError("confirm_rate must be in [0, 1]")
+    condition_ids = [f.condition_id for f in faults]
+    records: list[MaintenanceRecord] = []
+    t = 0.0
+    for _ in range(n_records):
+        t += float(rng.exponential(days(3.0)))
+        machine = f"obj:machine-{int(rng.integers(0, n_machines)):03d}"
+        reported = condition_ids[int(rng.integers(0, len(condition_ids)))]
+        if rng.random() < confirm_rate:
+            found: str | None = reported
+            action = "repaired as diagnosed"
+        elif rng.random() < 0.5:
+            others = [c for c in condition_ids if c != reported]
+            found = others[int(rng.integers(0, len(others)))]
+            action = "repaired different condition"
+        else:
+            found = None
+            action = "no fault found"
+        records.append(
+            MaintenanceRecord(
+                time=t,
+                machine_id=machine,
+                reported_condition=reported,
+                found_condition=found,
+                action=action,
+            )
+        )
+    return records
+
+
+def believability_from_archive(records: list[MaintenanceRecord]) -> ReversalDatabase:
+    """Build the §6.1 reversal database from a maintenance archive.
+
+    A confirmed record counts as an approval; anything else as a
+    reversal — exactly the statistic DLI tracked.
+    """
+    db = ReversalDatabase()
+    for r in records:
+        db.record(r.reported_condition, reversed_by_analyst=not r.confirmed)
+    return db

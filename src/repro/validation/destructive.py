@@ -1,0 +1,107 @@
+"""The destructive chiller test (§9, §10).
+
+"We have managed to acquire one of these chillers ... we are now
+constructing a test plan to collect data from this chiller through
+carefully orchestrated destructive testing."
+
+The simulated version: a progressive fault grows to functional failure;
+the monitoring stack watches continuously; the result records when the
+system first called the fault, how its time-to-failure estimates
+tracked the true remaining life, and the prognostic lead time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import KnowledgeSource, SourceContext
+from repro.common.errors import MprosError
+from repro.fusion.engine import KnowledgeFusionEngine
+from repro.fusion.groups import default_chiller_groups
+from repro.plant.chiller import ChillerSimulator
+from repro.plant.faults import FaultKind, progressive
+
+
+@dataclass
+class DestructiveTestResult:
+    """Outcome of one run-to-failure experiment."""
+
+    fault: FaultKind
+    failure_time: float                  # when severity reached 1.0
+    first_detection: float               # first correct report (inf = never)
+    ttf_track: list[tuple[float, float]] = field(default_factory=list)
+    # (time, fused TTF estimate) samples after detection
+
+    @property
+    def detected(self) -> bool:
+        """Did the stack ever call the failing condition?"""
+        return math.isfinite(self.first_detection)
+
+    @property
+    def lead_time(self) -> float:
+        """Warning time before failure (negative = called too late)."""
+        return self.failure_time - self.first_detection
+
+    def mean_ttf_error(self) -> float:
+        """Mean relative error of fused TTF estimates vs actual."""
+        errors = []
+        for t, est in self.ttf_track:
+            actual = self.failure_time - t
+            if actual > 0 and math.isfinite(est):
+                errors.append(abs(est - actual) / actual)
+        return sum(errors) / len(errors) if errors else math.inf
+
+
+def run_destructive_test(
+    sources: list[KnowledgeSource],
+    fault: FaultKind = FaultKind.BEARING_WEAR,
+    time_to_failure: float = 6000.0,
+    scan_period: float = 120.0,
+    rng: np.random.Generator | None = None,
+) -> DestructiveTestResult:
+    """Grow ``fault`` to end of life under continuous monitoring."""
+    if time_to_failure <= 0 or scan_period <= 0:
+        raise MprosError("time_to_failure and scan_period must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sim = ChillerSimulator(rng=rng)
+    sim.inject(progressive(fault, onset=0.0, end=time_to_failure, shape="linear"))
+    engine = KnowledgeFusionEngine(default_chiller_groups())
+    truth_id = fault.condition_id
+    first_detection = math.inf
+    ttf_track: list[tuple[float, float]] = []
+    history: list[dict[str, float]] = []
+    t = 0.0
+    while t < time_to_failure:
+        t += scan_period
+        sim.step(scan_period)
+        process = sim.sample_process().values
+        history.append(process)
+        ctx = SourceContext(
+            sensed_object_id="obj:destructive-chiller",
+            timestamp=t,
+            waveform=sim.sample_vibration(16384),
+            sample_rate=sim.vibration.sample_rate,
+            process=process,
+            kinematics=sim.config.kinematics,
+            history=history[-16:],
+            dc_id="dc:york",
+        )
+        for source in sources:
+            for report in source.analyze(ctx):
+                engine.ingest(report)
+                if report.machine_condition_id == truth_id:
+                    first_detection = min(first_detection, t)
+        if math.isfinite(first_detection):
+            est = engine.time_to_failure(
+                "obj:destructive-chiller", truth_id, probability=0.5, now=t
+            )
+            ttf_track.append((t, est))
+    return DestructiveTestResult(
+        fault=fault,
+        failure_time=time_to_failure,
+        first_detection=first_detection,
+        ttf_track=ttf_track,
+    )

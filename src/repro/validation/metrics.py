@@ -1,0 +1,107 @@
+"""Scoring metrics for validation campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.errors import MprosError
+
+
+def detection_latency(
+    detection_times: Iterable[float], onset: float
+) -> float:
+    """Seconds from fault onset to the first detection (inf if never)."""
+    valid = [t for t in detection_times if t >= onset]
+    return min(valid) - onset if valid else math.inf
+
+
+def precision_recall(
+    predicted: set[str], truth: set[str]
+) -> tuple[float, float]:
+    """Set precision/recall of predicted condition ids vs ground truth.
+
+    Empty-prediction precision is defined as 1.0 when truth is also
+    empty (a quiet system on a healthy machine is perfect), else 0.0.
+    """
+    if not predicted:
+        return (1.0, 1.0) if not truth else (0.0, 0.0)
+    tp = len(predicted & truth)
+    precision = tp / len(predicted)
+    recall = tp / len(truth) if truth else (1.0 if not predicted else 0.0)
+    return precision, recall
+
+
+def prognostic_error(predicted_ttf: float, actual_ttf: float) -> float:
+    """Relative time-to-failure error |pred − actual| / actual.
+
+    Infinite predictions score inf (the system missed the prognosis).
+    """
+    if actual_ttf <= 0:
+        raise MprosError("actual_ttf must be positive")
+    if math.isinf(predicted_ttf):
+        return math.inf
+    return abs(predicted_ttf - actual_ttf) / actual_ttf
+
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Aggregate scores over a seeded-fault campaign."""
+
+    n_runs: int
+    n_detected: int
+    mean_latency: float          # over detected runs, seconds
+    precision: float             # micro-averaged over all runs
+    recall: float
+    false_alarms: int            # reports on healthy runs
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of faulty runs detected at all."""
+        return self.n_detected / self.n_runs if self.n_runs else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for harness output."""
+        lat = "—" if math.isinf(self.mean_latency) else f"{self.mean_latency:.0f}s"
+        return (
+            f"{self.n_detected}/{self.n_runs} detected, mean latency {lat}, "
+            f"precision {self.precision:.2f}, recall {self.recall:.2f}, "
+            f"{self.false_alarms} false alarm(s)"
+        )
+
+
+def summarize(
+    per_run: list[tuple[set[str], set[str], float]],
+    onset: float,
+) -> CampaignMetrics:
+    """Aggregate (predicted, truth, first_detection_time) run records.
+
+    Runs with empty truth are healthy controls; their predictions count
+    as false alarms instead of entering precision/recall.
+    """
+    tp = fp = fn = 0
+    latencies: list[float] = []
+    n_faulty = n_detected = false_alarms = 0
+    for predicted, truth, first_detection in per_run:
+        if not truth:
+            false_alarms += len(predicted)
+            continue
+        n_faulty += 1
+        tp += len(predicted & truth)
+        fp += len(predicted - truth)
+        fn += len(truth - predicted)
+        if predicted & truth:
+            n_detected += 1
+            latencies.append(max(0.0, first_detection - onset))
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    mean_latency = sum(latencies) / len(latencies) if latencies else math.inf
+    return CampaignMetrics(
+        n_runs=n_faulty,
+        n_detected=n_detected,
+        mean_latency=mean_latency,
+        precision=precision,
+        recall=recall,
+        false_alarms=false_alarms,
+    )

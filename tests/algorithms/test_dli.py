@@ -1,0 +1,238 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.dli import (
+    DliExpertSystem,
+    ReversalDatabase,
+    RuleFrame,
+    prognostic_from_grade,
+    score_to_grade,
+    standard_rulebase,
+)
+from repro.algorithms.dli.frames import load_sensitizer
+from repro.common.errors import MprosError
+from repro.common.units import days, months, weeks
+from repro.plant import FaultKind, MachineKinematics, VibrationSynthesizer
+from repro.protocol.severity import SeverityGrade
+
+KIN = MachineKinematics(shaft_hz=59.3)
+
+
+def make_ctx(faults=None, load=1.0, seed=0, n=32768, process_extra=None):
+    synth = VibrationSynthesizer(KIN)
+    rng = np.random.default_rng(seed)
+    wave = synth.synthesize(n, faults=faults, load=load, rng=rng)
+    process = {"prv_position_pct": 100.0 * load}
+    process.update(process_extra or {})
+    return SourceContext(
+        sensed_object_id="obj:motor1",
+        timestamp=10.0,
+        waveform=wave,
+        sample_rate=synth.sample_rate,
+        process=process,
+        kinematics=KIN,
+        dc_id="dc:0",
+    )
+
+
+def conditions(reports):
+    return {r.machine_condition_id for r in reports}
+
+
+@pytest.fixture(scope="module")
+def dli():
+    return DliExpertSystem()
+
+
+# -- detection on synthesized faults ------------------------------------------
+
+def test_healthy_machine_no_reports(dli):
+    assert dli.analyze(make_ctx()) == []
+
+
+@pytest.mark.parametrize(
+    "fault,expected",
+    [
+        (FaultKind.MOTOR_IMBALANCE, "mc:motor-imbalance"),
+        (FaultKind.SHAFT_MISALIGNMENT, "mc:shaft-misalignment"),
+        (FaultKind.BEARING_WEAR, "mc:bearing-wear"),
+        (FaultKind.BEARING_HOUSING_LOOSENESS, "mc:bearing-housing-looseness"),
+        (FaultKind.GEAR_TOOTH_WEAR, "mc:gear-tooth-wear"),
+        (FaultKind.MOTOR_ROTOR_BAR, "mc:motor-rotor-bar"),
+        (FaultKind.MOTOR_PHASE_IMBALANCE, "mc:motor-phase-imbalance"),
+    ],
+)
+def test_detects_each_seeded_fault(dli, fault, expected):
+    reports = dli.analyze(make_ctx({fault: 0.85}, seed=3))
+    assert expected in conditions(reports)
+
+
+def test_severity_tracks_fault_severity(dli):
+    mild = dli.analyze(make_ctx({FaultKind.MOTOR_IMBALANCE: 0.35}, seed=1))
+    severe = dli.analyze(make_ctx({FaultKind.MOTOR_IMBALANCE: 0.95}, seed=1))
+    get = lambda rs: next(
+        r.severity for r in rs if r.machine_condition_id == "mc:motor-imbalance"
+    )
+    assert get(severe) > get(mild)
+
+
+def test_report_fields_are_complete(dli):
+    reports = dli.analyze(make_ctx({FaultKind.MOTOR_IMBALANCE: 0.9}, seed=2))
+    r = next(x for x in reports if x.machine_condition_id == "mc:motor-imbalance")
+    assert r.knowledge_source_id == "ks:dli"
+    assert r.dc_id == "dc:0"
+    assert r.explanation and r.recommendations
+    assert len(r.prognostic) > 0
+    assert 0 < r.belief <= 1
+
+
+# -- the §6.1 load sensitization ---------------------------------------------
+
+def test_low_load_looseness_false_positive_avoided():
+    """Unloaded compressors vibrate more; without sensitization the
+    looseness rule false-alarms, with it, it does not."""
+    # A machine with NO looseness fault, running unloaded: the
+    # synthesizer adds the low-load flow-recirculation excess.
+    synth = VibrationSynthesizer(KIN)
+    rng = np.random.default_rng(5)
+    wave = synth.synthesize(32768, faults=None, load=0.1, rng=rng)
+
+    sensitized = standard_rulebase()
+    unsensitized = tuple(
+        RuleFrame(
+            f.condition_id, f.strength, f.threshold, f.full_scale, (), f.describe
+        )
+        for f in sensitized
+    )
+    ctx_kwargs = dict(
+        sensed_object_id="obj:comp",
+        timestamp=0.0,
+        waveform=wave,
+        sample_rate=synth.sample_rate,
+        kinematics=KIN,
+        process={"prv_position_pct": 10.0},
+    )
+    with_sens = DliExpertSystem(rulebase=sensitized).analyze(SourceContext(**ctx_kwargs))
+    without_sens = DliExpertSystem(rulebase=unsensitized).analyze(SourceContext(**ctx_kwargs))
+    loose_with = "mc:bearing-housing-looseness" in conditions(with_sens)
+    loose_without = "mc:bearing-housing-looseness" in conditions(without_sens)
+    assert loose_without and not loose_with
+
+
+def test_true_looseness_still_detected_at_low_load(dli):
+    reports = dli.analyze(
+        make_ctx({FaultKind.BEARING_HOUSING_LOOSENESS: 0.95}, load=0.1, seed=6)
+    )
+    assert "mc:bearing-housing-looseness" in conditions(reports)
+
+
+def test_load_sensitizer_bounds():
+    s = load_sensitizer(gain=2.0)
+    assert s({"prv_position_pct": 100.0}) == pytest.approx(1.0)
+    assert s({"prv_position_pct": 0.0}) == pytest.approx(3.0)
+    assert s({}) == 1.0
+
+
+def test_sensitizer_below_one_rejected():
+    frame = RuleFrame(
+        "mc:x", lambda s, w, fs, k: 1.0, sensitizers=(lambda p: 0.5,)
+    )
+    from repro.dsp.fft import spectrum
+
+    wave = np.random.default_rng(0).normal(size=1024)
+    with pytest.raises(MprosError):
+        frame.evaluate(spectrum(wave, 8192.0), wave, 8192.0, KIN, {})
+
+
+# -- grading (§6.1 Slight/Moderate/Serious/Extreme) ----------------------------
+
+def test_grade_boundaries():
+    assert score_to_grade(0.1) is SeverityGrade.SLIGHT
+    assert score_to_grade(0.3) is SeverityGrade.MODERATE
+    assert score_to_grade(0.6) is SeverityGrade.SERIOUS
+    assert score_to_grade(0.9) is SeverityGrade.EXTREME
+
+
+def test_grade_prognostic_horizons_ordered():
+    """Slight -> no foreseeable failure; Extreme -> days."""
+    t50 = {
+        g: prognostic_from_grade(g).time_to_probability(0.5)
+        for g in SeverityGrade
+    }
+    assert t50[SeverityGrade.EXTREME] < t50[SeverityGrade.SERIOUS]
+    assert t50[SeverityGrade.SERIOUS] < t50[SeverityGrade.MODERATE]
+    assert t50[SeverityGrade.MODERATE] < t50[SeverityGrade.SLIGHT]
+    assert t50[SeverityGrade.EXTREME] <= days(10)
+    assert weeks(1) <= t50[SeverityGrade.SERIOUS] <= weeks(6)
+    assert months(1) <= t50[SeverityGrade.MODERATE] <= months(6)
+
+
+# -- believability (§6.1 reversal statistics) -----------------------------------
+
+def test_reversal_database_smoothing():
+    db = ReversalDatabase(prior_approvals=8, prior_reversals=1)
+    assert db.believability("mc:new") == pytest.approx(8 / 9)
+
+
+def test_reversal_database_learns():
+    db = ReversalDatabase()
+    for _ in range(50):
+        db.record("mc:flaky", reversed_by_analyst=True)
+    for _ in range(50):
+        db.record("mc:solid", reversed_by_analyst=False)
+    assert db.believability("mc:flaky") < 0.25
+    assert db.believability("mc:solid") > 0.9
+    assert db.counts("mc:flaky") == (0, 50)
+    assert set(db.conditions()) == {"mc:flaky", "mc:solid"}
+
+
+def test_reversal_database_validation():
+    with pytest.raises(MprosError):
+        ReversalDatabase(prior_approvals=-1)
+    with pytest.raises(MprosError):
+        ReversalDatabase(prior_approvals=0, prior_reversals=0)
+
+
+def test_believability_discounts_report_belief():
+    db = ReversalDatabase()
+    for _ in range(100):
+        db.record("mc:motor-imbalance", reversed_by_analyst=True)
+    trusting = DliExpertSystem()
+    skeptical = DliExpertSystem(reversal_db=db)
+    ctx = make_ctx({FaultKind.MOTOR_IMBALANCE: 0.9}, seed=7)
+    b_trust = next(
+        r.belief for r in trusting.analyze(ctx)
+        if r.machine_condition_id == "mc:motor-imbalance"
+    )
+    b_skept = next(
+        r.belief for r in skeptical.analyze(ctx)
+        if r.machine_condition_id == "mc:motor-imbalance"
+    )
+    assert b_skept < 0.3 * b_trust
+
+
+# -- misc -----------------------------------------------------------------------
+
+def test_process_only_context_produces_nothing(dli):
+    ctx = SourceContext(
+        sensed_object_id="obj:x", timestamp=0.0, process={"superheat_c": 20.0}
+    )
+    assert dli.analyze(ctx) == []
+
+
+def test_frame_validation():
+    with pytest.raises(MprosError):
+        RuleFrame("", lambda *a: 0.0)
+    with pytest.raises(MprosError):
+        RuleFrame("mc:x", lambda *a: 0.0, threshold=0.9, full_scale=0.5)
+
+
+def test_prognostic_from_score_convenience():
+    from repro.algorithms.dli.severity import prognostic_from_score
+    from repro.common.units import days
+
+    v = prognostic_from_score(0.9)  # Extreme
+    assert v.time_to_probability(0.5) <= days(10)
+    v2 = prognostic_from_score(0.1)  # Slight
+    assert v2.probability_at(days(180)) < 0.1

@@ -1,0 +1,247 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.fuzzy import (
+    FuzzyDiagnostics,
+    FuzzyRule,
+    Gaussian,
+    LinguisticVariable,
+    MamdaniEngine,
+    Trapezoid,
+    Triangle,
+    chiller_rulebase,
+    chiller_variables,
+    trend_prognostic,
+)
+from repro.common.errors import MprosError
+from repro.common.units import days, months
+from repro.plant import ChillerSimulator, FaultKind
+from repro.plant.faults import seeded
+
+
+# -- membership functions ------------------------------------------------------
+
+def test_triangle_shape():
+    mf = Triangle(0.0, 5.0, 10.0)
+    assert mf(5.0) == 1.0
+    assert mf(0.0) == 0.0 and mf(10.0) == 0.0
+    assert mf(2.5) == pytest.approx(0.5)
+    assert mf(-1.0) == 0.0 and mf(11.0) == 0.0
+
+
+def test_triangle_validation():
+    with pytest.raises(MprosError):
+        Triangle(5.0, 4.0, 10.0)
+
+
+def test_trapezoid_plateau_and_shoulders():
+    mf = Trapezoid(0.0, 2.0, 4.0, 6.0)
+    assert mf(3.0) == 1.0
+    assert mf(1.0) == pytest.approx(0.5)
+    assert mf(5.0) == pytest.approx(0.5)
+    # Left-shoulder form: a == b.
+    sh = Trapezoid(10.0, 10.0, 20.0, 25.0)
+    assert sh(10.0) == 1.0
+    assert sh(9.99) == 0.0
+
+
+def test_trapezoid_validation():
+    with pytest.raises(MprosError):
+        Trapezoid(0, 3, 2, 5)
+
+
+def test_gaussian():
+    mf = Gaussian(0.0, 1.0)
+    assert mf(0.0) == 1.0
+    assert mf(1.0) == pytest.approx(np.exp(-0.5))
+    with pytest.raises(MprosError):
+        Gaussian(0.0, 0.0)
+
+
+def test_linguistic_variable():
+    v = LinguisticVariable("x", {"low": Triangle(0, 0, 1)})
+    assert v.membership("low", 0.0) == 1.0
+    with pytest.raises(MprosError):
+        v.membership("high", 0.0)
+    with pytest.raises(MprosError):
+        LinguisticVariable("", {})
+
+
+# -- Mamdani engine ---------------------------------------------------------------
+
+@pytest.fixture
+def engine():
+    return MamdaniEngine(chiller_variables(), chiller_rulebase())
+
+
+def test_rule_validation(engine):
+    with pytest.raises(MprosError):
+        FuzzyRule((), "mc:x")
+    with pytest.raises(MprosError):
+        FuzzyRule((("a", "b"),), "mc:x", severity_term="catastrophic")
+    with pytest.raises(MprosError):
+        MamdaniEngine(chiller_variables(), (FuzzyRule((("nope", "low"),), "mc:x"),))
+    with pytest.raises(MprosError):
+        MamdaniEngine(
+            chiller_variables(),
+            (FuzzyRule((("superheat_c", "nope"),), "mc:x"),),
+        )
+
+
+def test_healthy_readings_fire_nothing(engine):
+    readings = {
+        "evap_pressure_kpa": 340.0,
+        "cond_pressure_kpa": 990.0,
+        "superheat_c": 4.5,
+        "chw_supply_temp_c": 6.7,
+        "cond_water_temp_c": 29.4,
+        "oil_pressure_kpa": 280.0,
+        "oil_temp_c": 54.0,
+        "cond_pressure_std": 4.0,
+    }
+    assert engine.infer(readings) == []
+
+
+def test_refrigerant_leak_pattern_fires(engine):
+    readings = {"superheat_c": 15.0, "evap_pressure_kpa": 255.0}
+    out = engine.infer(readings)
+    assert out and out[0].condition_id == "mc:refrigerant-leak"
+    assert out[0].belief == 1.0
+    assert out[0].severity > 0.6        # the "severe" consequent dominates
+
+
+def test_missing_variable_disables_rule(engine):
+    # Superheat alone cannot fire the two-antecedent leak rules.
+    assert engine.infer({"superheat_c": 15.0}) == []
+
+
+def test_partial_membership_scales_belief(engine):
+    mild = engine.infer({"superheat_c": 8.0, "evap_pressure_kpa": 300.0})
+    strong = engine.infer({"superheat_c": 15.0, "evap_pressure_kpa": 255.0})
+    if mild:  # mild pattern may fire weakly
+        assert mild[0].belief < strong[0].belief
+
+
+def test_surge_fires_on_oscillation(engine):
+    out = engine.infer({"cond_pressure_std": 60.0})
+    assert out[0].condition_id == "mc:surge"
+
+
+def test_oil_rules(engine):
+    out = engine.infer({"oil_pressure_kpa": 120.0})
+    assert out[0].condition_id == "mc:oil-pressure-low"
+    out = engine.infer({"oil_temp_c": 70.0, "oil_pressure_kpa": 280.0})
+    assert out[0].condition_id == "mc:oil-contamination"
+
+
+def test_conclusions_sorted_by_belief(engine):
+    readings = {
+        "superheat_c": 15.0,
+        "evap_pressure_kpa": 255.0,
+        "oil_temp_c": 63.0,          # borderline
+        "oil_pressure_kpa": 280.0,
+    }
+    out = engine.infer(readings)
+    beliefs = [c.belief for c in out]
+    assert beliefs == sorted(beliefs, reverse=True)
+
+
+# -- trend prognostic ----------------------------------------------------------------
+
+def test_trend_flat_history_far_horizon():
+    v = trend_prognostic([0.3, 0.3, 0.3, 0.3], dt_seconds=60.0)
+    assert v.probability_at(months(1)) < 0.1
+
+
+def test_trend_rising_history_projects_crossing():
+    # Severity rising 0.1 per hour from 0.2: hits 0.95 in ~7.5 hours.
+    sev = [0.2 + 0.1 * i for i in range(5)]
+    v = trend_prognostic(sev, dt_seconds=3600.0)
+    t50 = v.time_to_probability(0.5)
+    assert 0 < t50 < days(1)
+
+
+def test_trend_already_failed_imminent():
+    v = trend_prognostic([0.5, 0.8, 0.97], dt_seconds=60.0)
+    assert v.time_to_probability(0.5) <= days(1)
+
+
+def test_trend_validation():
+    with pytest.raises(MprosError):
+        trend_prognostic([0.1, 0.2, 0.3], dt_seconds=0.0)
+    with pytest.raises(MprosError):
+        trend_prognostic(np.zeros((2, 2)), dt_seconds=1.0)
+
+
+def test_trend_short_history_far_horizon():
+    v = trend_prognostic([0.9], dt_seconds=1.0)
+    assert v.probability_at(months(1)) < 0.1
+
+
+# -- FuzzyDiagnostics knowledge source ---------------------------------------------
+
+def run_sim_reports(fault_kind, seconds=1200.0):
+    sim = ChillerSimulator(rng=np.random.default_rng(0))
+    sim.inject(seeded(fault_kind, onset=0.0, severity=0.9))
+    fz = FuzzyDiagnostics()
+    history = []
+    reports = []
+    for _ in range(int(seconds / 60.0)):
+        sim.step(60.0)
+        sample = sim.sample_process()
+        history.append(sample.values)
+        ctx = SourceContext(
+            sensed_object_id="obj:chiller",
+            timestamp=sim.time,
+            process=sample.values,
+            history=history[-16:],
+            dc_id="dc:0",
+        )
+        reports.extend(fz.analyze(ctx))
+    return reports
+
+
+@pytest.mark.parametrize(
+    "fault,expected",
+    [
+        (FaultKind.REFRIGERANT_LEAK, "mc:refrigerant-leak"),
+        (FaultKind.CONDENSER_FOULING, "mc:condenser-fouling"),
+        (FaultKind.OIL_PRESSURE_LOW, "mc:oil-pressure-low"),
+        (FaultKind.SURGE, "mc:surge"),
+    ],
+)
+def test_detects_process_faults_on_simulator(fault, expected):
+    reports = run_sim_reports(fault)
+    assert any(r.machine_condition_id == expected for r in reports)
+
+
+def test_healthy_simulator_quiet():
+    sim = ChillerSimulator(rng=np.random.default_rng(1))
+    fz = FuzzyDiagnostics()
+    history = []
+    reports = []
+    for _ in range(20):
+        sim.step(60.0)
+        sample = sim.sample_process()
+        history.append(sample.values)
+        ctx = SourceContext(
+            sensed_object_id="obj:chiller", timestamp=sim.time,
+            process=sample.values, history=history[-16:],
+        )
+        reports.extend(fz.analyze(ctx))
+    assert reports == []
+
+
+def test_no_process_no_reports():
+    fz = FuzzyDiagnostics()
+    assert fz.analyze(SourceContext(sensed_object_id="o", timestamp=0.0)) == []
+
+
+def test_report_fields():
+    reports = run_sim_reports(FaultKind.REFRIGERANT_LEAK)
+    r = reports[-1]
+    assert r.knowledge_source_id == "ks:fuzzy"
+    assert 0 < r.belief <= 1 and 0 <= r.severity <= 1
+    assert "fuzzy" in r.explanation
+    assert len(r.prognostic) > 0

@@ -1,0 +1,155 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.sbfr_source import SbfrKnowledgeSource, SbfrWatch
+from repro.common.errors import MprosError
+from repro.plant import ChillerSimulator, FaultKind
+from repro.plant.faults import seeded
+
+
+def feed(source, values_by_cycle, obj="obj:chiller"):
+    reports = []
+    for t, proc in enumerate(values_by_cycle):
+        ctx = SourceContext(
+            sensed_object_id=obj, timestamp=float(t), process=proc, dc_id="dc:0"
+        )
+        reports.extend(source.analyze(ctx))
+    return reports
+
+
+def test_validation():
+    with pytest.raises(MprosError):
+        SbfrKnowledgeSource(watches=())
+    with pytest.raises(MprosError):
+        SbfrKnowledgeSource(
+            watches=(
+                SbfrWatch("a", 1.0, "mc:x"),
+                SbfrWatch("a", 2.0, "mc:y"),
+            )
+        )
+
+
+def test_sustained_repeated_excursions_fire():
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+        hold_cycles=1,
+        repeat_count=2,
+    )
+    # Three sustained episodes above 10, separated by dips.
+    stream = []
+    for _ in range(3):
+        stream += [{"superheat_c": 15.0}] * 4
+        stream += [{"superheat_c": 4.0}] * 2
+    reports = feed(src, stream)
+    assert any(r.machine_condition_id == "mc:refrigerant-leak" for r in reports)
+
+
+def test_short_excursion_does_not_fire():
+    """An excursion that clears before accumulating repeat_count
+    alarm-cycles stays unreported."""
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+        hold_cycles=1,
+        repeat_count=3,
+    )
+    stream = [{"superheat_c": 15.0}] * 3 + [{"superheat_c": 4.0}] * 10
+    assert feed(src, stream) == []
+
+
+def test_persistent_abnormality_fires():
+    """A fault that stays abnormal (never dipping) accumulates
+    alarm-cycles and is reported — the persistent-leak case."""
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+        hold_cycles=2,
+        repeat_count=3,
+    )
+    stream = [{"superheat_c": 15.0}] * 12
+    reports = feed(src, stream)
+    assert any(r.machine_condition_id == "mc:refrigerant-leak" for r in reports)
+
+
+def test_brief_spikes_do_not_fire():
+    """One-cycle blips never satisfy the hold requirement."""
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+        hold_cycles=3,
+        repeat_count=1,
+    )
+    stream = []
+    for _ in range(10):
+        stream += [{"superheat_c": 15.0}, {"superheat_c": 4.0}]
+    assert feed(src, stream) == []
+
+
+def test_inverted_watch_fires_on_low_values():
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("oil_pressure_kpa", 210.0, "mc:oil-pressure-low", invert=True),),
+        hold_cycles=1,
+        repeat_count=2,
+    )
+    stream = []
+    for _ in range(3):
+        stream += [{"oil_pressure_kpa": 150.0}] * 4
+        stream += [{"oil_pressure_kpa": 280.0}] * 2
+    reports = feed(src, stream)
+    assert any(r.machine_condition_id == "mc:oil-pressure-low" for r in reports)
+
+
+def test_report_fires_once_per_episode():
+    src = SbfrKnowledgeSource(
+        watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+        hold_cycles=1,
+        repeat_count=1,
+    )
+    stream = [{"superheat_c": 15.0}] * 3 + [{"superheat_c": 4.0}] * 3
+    reports = feed(src, stream)
+    assert len(reports) == 1
+
+
+def test_missing_channels_tolerated():
+    src = SbfrKnowledgeSource()
+    assert feed(src, [{"unrelated": 1.0}]) == []
+    assert feed(src, [{}]) == []
+
+
+def test_reset_clears_trend_state():
+    def episode():
+        return [{"superheat_c": 15.0}] * 3 + [{"superheat_c": 4.0}] * 2
+
+    def fresh():
+        return SbfrKnowledgeSource(
+            watches=(SbfrWatch("superheat_c", 10.0, "mc:refrigerant-leak"),),
+            hold_cycles=1,
+            repeat_count=4,
+        )
+
+    # Control: two episodes accumulate enough alarm-cycles to fire.
+    src = fresh()
+    assert feed(src, episode()) == []
+    assert feed(src, episode()) != []
+    # With a reset in between, the second episode starts from zero.
+    src = fresh()
+    feed(src, episode())
+    src.reset()
+    assert feed(src, episode()) == []
+
+
+def test_detects_leak_on_simulator():
+    sim = ChillerSimulator(rng=np.random.default_rng(0))
+    sim.inject(seeded(FaultKind.REFRIGERANT_LEAK, onset=0.0, severity=0.9))
+    src = SbfrKnowledgeSource(hold_cycles=2, repeat_count=1)
+    reports = []
+    for _ in range(30):
+        sim.step(60.0)
+        ctx = SourceContext(
+            sensed_object_id="obj:chiller",
+            timestamp=sim.time,
+            process=sim.sample_process().values,
+        )
+        reports.extend(src.analyze(ctx))
+    assert any(r.machine_condition_id == "mc:refrigerant-leak" for r in reports)
+    r = reports[0]
+    assert r.knowledge_source_id == "ks:sbfr"
+    assert len(r.prognostic) > 0

@@ -1,0 +1,229 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.base import SourceContext
+from repro.algorithms.wnn import (
+    FEATURE_NAMES,
+    TrainConfig,
+    WaveletNeuralNetwork,
+    WnnFaultClassifier,
+    assemble_features,
+    train_network,
+)
+from repro.algorithms.wnn.features import assemble_batch
+from repro.algorithms.wnn.network import mexican_hat, mexican_hat_prime
+from repro.common.errors import MprosError
+from repro.plant import FaultKind, MachineKinematics, VibrationSynthesizer
+
+KIN = MachineKinematics(shaft_hz=59.3)
+CONDITIONS = ("mc:motor-imbalance", "mc:bearing-wear")
+
+
+def make_dataset(n_per_class=30, window=1024, seed=0):
+    """Labelled feature dataset from the plant synthesizer."""
+    synth = VibrationSynthesizer(KIN)
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    classes = [None, {FaultKind.MOTOR_IMBALANCE: 0.8}, {FaultKind.BEARING_WEAR: 0.8}]
+    for label, faults in enumerate(classes):
+        for _ in range(n_per_class):
+            wave = synth.synthesize(window, faults=faults, rng=rng)
+            X.append(assemble_features(wave, synth.sample_rate))
+            y.append(label)
+    return np.vstack(X), np.array(y)
+
+
+# -- features -----------------------------------------------------------------
+
+def test_feature_vector_shape_and_names():
+    x = assemble_features(np.random.default_rng(0).normal(size=1024), 16384.0)
+    assert x.shape == (len(FEATURE_NAMES),)
+    assert np.all(np.isfinite(x))
+
+
+def test_feature_vector_includes_process_scalars():
+    wave = np.random.default_rng(0).normal(size=1024)
+    x0 = assemble_features(wave, 16384.0)
+    x1 = assemble_features(wave, 16384.0, {"oil_temp_c": 70.0})
+    idx = FEATURE_NAMES.index("oil_temp_c")
+    assert x0[idx] == 0.0 and x1[idx] == 70.0
+
+
+def test_feature_validation():
+    with pytest.raises(MprosError):
+        assemble_features(np.zeros(32), 16384.0)
+    with pytest.raises(MprosError):
+        assemble_features(np.zeros(100), 16384.0)  # not multiple of 64
+    with pytest.raises(MprosError):
+        assemble_batch(np.zeros(128), 16384.0)
+
+
+def test_batch_matches_loop():
+    rng = np.random.default_rng(1)
+    windows = rng.normal(size=(3, 256))
+    batch = assemble_batch(windows, 16384.0)
+    for i in range(3):
+        assert np.allclose(batch[i], assemble_features(windows[i], 16384.0))
+
+
+# -- network mechanics -----------------------------------------------------------
+
+def test_mexican_hat_properties():
+    assert mexican_hat(np.array(0.0)) == pytest.approx(1.0)
+    assert mexican_hat(np.array(1.0)) == pytest.approx(0.0)
+    assert mexican_hat(np.array(5.0)) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_mexican_hat_prime_matches_numeric():
+    z = np.linspace(-3, 3, 31)
+    h = 1e-6
+    numeric = (mexican_hat(z + h) - mexican_hat(z - h)) / (2 * h)
+    assert np.allclose(mexican_hat_prime(z), numeric, atol=1e-6)
+
+
+def test_network_validates_shapes():
+    with pytest.raises(MprosError):
+        WaveletNeuralNetwork(0, 4, 2)
+    net = WaveletNeuralNetwork(5, 4, 2)
+    with pytest.raises(MprosError):
+        net.predict(np.zeros((3, 7)))
+    with pytest.raises(MprosError):
+        net.loss_and_grads(np.zeros((2, 5)), np.array([0, 5]))
+
+
+def test_softmax_probabilities_normalized():
+    net = WaveletNeuralNetwork(4, 8, 3, rng=np.random.default_rng(0))
+    P = net.predict_proba(np.random.default_rng(1).normal(size=(10, 4)))
+    assert P.shape == (10, 3)
+    assert np.allclose(P.sum(axis=1), 1.0)
+    assert np.all(P >= 0)
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(0)
+    net = WaveletNeuralNetwork(3, 4, 2, rng=rng)
+    X = rng.normal(size=(6, 3))
+    y = rng.integers(0, 2, 6)
+    _, grads = net.loss_and_grads(X, y, l2=0.0)
+    h = 1e-6
+    for key in ("W", "t", "a", "V", "c"):
+        param = net.parameters()[key]
+        flat_idx = 0  # check the first element of each parameter
+        orig = param.flat[flat_idx]
+        param.flat[flat_idx] = orig + h
+        lp, _ = net.loss_and_grads(X, y, l2=0.0)
+        param.flat[flat_idx] = orig - h
+        lm, _ = net.loss_and_grads(X, y, l2=0.0)
+        param.flat[flat_idx] = orig
+        numeric = (lp - lm) / (2 * h)
+        assert grads[key].flat[flat_idx] == pytest.approx(numeric, abs=1e-4), key
+
+
+def test_training_reduces_loss_and_learns():
+    X, y = make_dataset(n_per_class=25)
+    net = WaveletNeuralNetwork(X.shape[1], 16, 3, rng=np.random.default_rng(0))
+    result = train_network(net, X, y, TrainConfig(epochs=80, patience=15),
+                           rng=np.random.default_rng(1))
+    assert result.train_losses[-1] < result.train_losses[0]
+    assert result.best_val_accuracy >= 0.8
+
+
+def test_train_config_validation():
+    with pytest.raises(MprosError):
+        TrainConfig(epochs=0)
+    with pytest.raises(MprosError):
+        TrainConfig(validation_fraction=1.0)
+
+
+# -- classifier end-to-end ----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained():
+    clf = WnnFaultClassifier(conditions=CONDITIONS, n_hidden=24, min_confidence=0.45)
+    X, y = make_dataset(n_per_class=50)
+    clf.fit(X, y, config=TrainConfig(epochs=150, patience=25),
+            rng=np.random.default_rng(2))
+    return clf
+
+
+def test_classifier_validation():
+    with pytest.raises(MprosError):
+        WnnFaultClassifier(conditions=())
+    with pytest.raises(MprosError):
+        WnnFaultClassifier(conditions=("mc:x",), window=100)
+    with pytest.raises(MprosError):
+        WnnFaultClassifier(conditions=("mc:x",)).classify_window(
+            np.zeros(1024), 16384.0
+        )
+
+
+def test_classifier_identifies_faults(trained):
+    """Majority of fresh fault windows classify correctly."""
+    synth = VibrationSynthesizer(KIN)
+    rng = np.random.default_rng(10)
+    correct = 0
+    for _ in range(8):
+        wave = synth.synthesize(1024, faults={FaultKind.MOTOR_IMBALANCE: 0.8}, rng=rng)
+        cond, conf, sev = trained.classify_window(wave, synth.sample_rate)
+        assert 0.0 <= sev <= 1.0 and 0.0 <= conf <= 1.0
+        if cond == "mc:motor-imbalance":
+            correct += 1
+    assert correct >= 5
+
+
+def test_classifier_healthy_no_reports(trained):
+    synth = VibrationSynthesizer(KIN)
+    wave = synth.synthesize(8192, rng=np.random.default_rng(11))
+    ctx = SourceContext(
+        sensed_object_id="obj:m", timestamp=0.0,
+        waveform=wave, sample_rate=synth.sample_rate, kinematics=KIN,
+    )
+    assert trained.analyze(ctx) == []
+
+
+def test_classifier_analyze_emits_report(trained):
+    synth = VibrationSynthesizer(KIN)
+    wave = synth.synthesize(
+        8192, faults={FaultKind.BEARING_WEAR: 0.8}, rng=np.random.default_rng(12)
+    )
+    ctx = SourceContext(
+        sensed_object_id="obj:m", timestamp=5.0,
+        waveform=wave, sample_rate=synth.sample_rate, kinematics=KIN, dc_id="dc:0",
+    )
+    reports = trained.analyze(ctx)
+    assert any(r.machine_condition_id == "mc:bearing-wear" for r in reports)
+    r = next(r for r in reports if r.machine_condition_id == "mc:bearing-wear")
+    assert r.knowledge_source_id == "ks:wnn"
+    assert len(r.prognostic) > 0
+
+
+def test_classifier_short_waveform_no_reports(trained):
+    ctx = SourceContext(
+        sensed_object_id="obj:m", timestamp=0.0,
+        waveform=np.zeros(100), sample_rate=16384.0,
+    )
+    assert trained.analyze(ctx) == []
+
+
+def test_save_load_roundtrip(trained, tmp_path):
+    """A trained classifier ships as weights and classifies
+    identically after reload (§3.4 deployment)."""
+    path = tmp_path / "wnn.npz"
+    trained.save(path)
+    restored = WnnFaultClassifier.load(path)
+    assert restored.classes == trained.classes
+    synth = VibrationSynthesizer(KIN)
+    rng = np.random.default_rng(20)
+    for faults in (None, {FaultKind.MOTOR_IMBALANCE: 0.8}, {FaultKind.BEARING_WEAR: 0.8}):
+        wave = synth.synthesize(1024, faults=faults, rng=rng)
+        a = trained.classify_window(wave, synth.sample_rate)
+        b = restored.classify_window(wave, synth.sample_rate)
+        assert a[0] == b[0]
+        assert a[1] == pytest.approx(b[1], abs=1e-12)
+        assert a[2] == pytest.approx(b[2], abs=1e-12)
+
+
+def test_save_untrained_rejected(tmp_path):
+    clf = WnnFaultClassifier(conditions=("mc:x",))
+    with pytest.raises(MprosError):
+        clf.save(tmp_path / "x.npz")

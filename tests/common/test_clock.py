@@ -1,0 +1,53 @@
+import pytest
+
+from repro.common import Clock, SimulatedClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimulatedClock().now() == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimulatedClock(12.5).now() == 12.5
+
+
+def test_advance_accumulates():
+    clk = SimulatedClock()
+    clk.advance(1.0)
+    clk.advance(2.5)
+    assert clk.now() == pytest.approx(3.5)
+
+
+def test_advance_returns_new_time():
+    clk = SimulatedClock(1.0)
+    assert clk.advance(2.0) == pytest.approx(3.0)
+
+
+def test_advance_zero_is_allowed():
+    clk = SimulatedClock(5.0)
+    assert clk.advance(0.0) == 5.0
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimulatedClock().advance(-0.1)
+
+
+def test_advance_to_jumps_forward():
+    clk = SimulatedClock()
+    clk.advance_to(100.0)
+    assert clk.now() == 100.0
+
+
+def test_advance_to_rejects_rewind():
+    clk = SimulatedClock(10.0)
+    with pytest.raises(ValueError):
+        clk.advance_to(9.0)
+
+
+def test_satisfies_clock_protocol():
+    assert isinstance(SimulatedClock(), Clock)
+
+
+def test_repr_mentions_time():
+    assert "3" in repr(SimulatedClock(3.0))

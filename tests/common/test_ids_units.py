@@ -1,0 +1,47 @@
+import pytest
+
+from repro.common import IdAllocator, days, hours, months, rpm_to_hz, weeks
+from repro.common.ids import prefix_of
+
+
+def test_ids_are_dense_per_prefix():
+    alloc = IdAllocator()
+    assert alloc.new("mc") == "mc:0000"
+    assert alloc.new("mc") == "mc:0001"
+    assert alloc.new("ks") == "ks:0000"
+
+
+def test_peek_counts_allocations():
+    alloc = IdAllocator()
+    alloc.new("dc")
+    alloc.new("dc")
+    assert alloc.peek("dc") == 2
+    assert alloc.peek("other") == 0
+
+
+def test_invalid_prefix_rejected():
+    alloc = IdAllocator()
+    with pytest.raises(ValueError):
+        alloc.new("")
+    with pytest.raises(ValueError):
+        alloc.new("a:b")
+
+
+def test_prefix_of():
+    assert prefix_of("mc:0042") == "mc"
+
+
+def test_prefix_of_malformed():
+    with pytest.raises(ValueError):
+        prefix_of(":oops")
+
+
+def test_time_units_compose():
+    assert hours(24) == days(1)
+    assert days(7) == weeks(1)
+    assert months(1) == days(30)
+
+
+def test_rpm_conversion():
+    assert rpm_to_hz(3600) == pytest.approx(60.0)
+    assert rpm_to_hz(1800) == pytest.approx(30.0)

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import RingBuffer
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+    with pytest.raises(ValueError):
+        RingBuffer(-3)
+
+
+def test_empty_state():
+    rb = RingBuffer(4)
+    assert len(rb) == 0
+    assert not rb.full
+    assert rb.view_ordered().size == 0
+
+
+def test_append_and_view():
+    rb = RingBuffer(4)
+    for x in (1.0, 2.0, 3.0):
+        rb.append(x)
+    assert np.allclose(rb.view_ordered(), [1, 2, 3])
+
+
+def test_wraparound_keeps_latest():
+    rb = RingBuffer(3)
+    for x in range(5):
+        rb.append(float(x))
+    assert rb.full
+    assert np.allclose(rb.view_ordered(), [2, 3, 4])
+
+
+def test_extend_block_smaller_than_capacity():
+    rb = RingBuffer(8)
+    rb.extend(np.arange(5.0))
+    assert np.allclose(rb.view_ordered(), np.arange(5.0))
+
+
+def test_extend_block_spanning_wrap():
+    rb = RingBuffer(4)
+    rb.extend(np.arange(3.0))   # [0,1,2]
+    rb.extend(np.array([3.0, 4.0]))  # wraps
+    assert np.allclose(rb.view_ordered(), [1, 2, 3, 4])
+
+
+def test_extend_block_larger_than_capacity():
+    rb = RingBuffer(3)
+    rb.extend(np.arange(10.0))
+    assert np.allclose(rb.view_ordered(), [7, 8, 9])
+
+
+def test_latest_returns_most_recent():
+    rb = RingBuffer(5)
+    rb.extend(np.arange(5.0))
+    assert np.allclose(rb.latest(2), [3, 4])
+
+
+def test_latest_clamps_to_size():
+    rb = RingBuffer(5)
+    rb.extend(np.arange(3.0))
+    assert np.allclose(rb.latest(10), [0, 1, 2])
+
+
+def test_latest_rejects_negative():
+    with pytest.raises(ValueError):
+        RingBuffer(3).latest(-1)
+
+
+def test_clear_resets_size_not_capacity():
+    rb = RingBuffer(3)
+    rb.extend(np.arange(3.0))
+    rb.clear()
+    assert len(rb) == 0
+    assert rb.capacity == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    blocks=st.lists(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=40),
+        max_size=10,
+    ),
+)
+def test_matches_reference_tail(capacity, blocks):
+    """Property: buffer contents always equal the tail of everything written."""
+    rb = RingBuffer(capacity)
+    written: list[float] = []
+    for block in blocks:
+        rb.extend(np.array(block, dtype=np.float64))
+        written.extend(float(x) for x in block)
+    expect = np.array(written[-capacity:], dtype=np.float64)
+    assert len(rb) == expect.size
+    assert np.allclose(rb.view_ordered(), expect, equal_nan=True)

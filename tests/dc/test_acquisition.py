@@ -1,0 +1,146 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import AcquisitionError
+from repro.dc.acquisition import (
+    AcquisitionChain,
+    DspCard,
+    MAX_SAMPLE_RATE,
+    MuxCard,
+    RmsDetectorBank,
+    TOTAL_CHANNELS,
+)
+
+
+def constant(value):
+    return lambda n, rng: np.full(n, value)
+
+
+# -- MUX ------------------------------------------------------------------------
+
+def test_mux_bank_selection_routes_channels():
+    mux = MuxCard(0)
+    assert mux.live_channels() == (0, 1, 2, 3)
+    mux.select_bank(2)
+    assert mux.live_channels() == (8, 9, 10, 11)
+
+
+def test_mux_validation():
+    mux = MuxCard(0)
+    with pytest.raises(AcquisitionError):
+        mux.select_bank(4)
+    with pytest.raises(AcquisitionError):
+        mux.bind(16, constant(1.0))
+    with pytest.raises(AcquisitionError):
+        mux.read_output(4, 8, np.random.default_rng(0))
+
+
+def test_mux_unbound_channel_reads_zero():
+    mux = MuxCard(0)
+    out = mux.read_output(0, 16, np.random.default_rng(0))
+    assert np.all(out == 0.0)
+
+
+def test_mux_reads_selected_bank_only():
+    mux = MuxCard(0)
+    mux.bind(0, constant(1.0))   # bank 0
+    mux.bind(4, constant(2.0))   # bank 1
+    rng = np.random.default_rng(0)
+    assert mux.read_output(0, 4, rng)[0] == 1.0
+    mux.select_bank(1)
+    assert mux.read_output(0, 4, rng)[0] == 2.0
+
+
+# -- DSP ------------------------------------------------------------------------
+
+def test_dsp_samples_four_channels():
+    mux = MuxCard(0)
+    for c in range(4):
+        mux.bind(c, constant(float(c)))
+    dsp = DspCard()
+    data = dsp.digitize(mux, 64, np.random.default_rng(0))
+    assert data.shape == (4, 64)
+    assert np.allclose(data[:, 0], [0, 1, 2, 3])
+
+
+def test_dsp_rate_limits():
+    assert DspCard(40000.0).sample_rate == 40000.0
+    with pytest.raises(AcquisitionError):
+        DspCard(MAX_SAMPLE_RATE + 1)
+    with pytest.raises(AcquisitionError):
+        DspCard(0.0)
+    with pytest.raises(AcquisitionError):
+        DspCard().digitize(MuxCard(0), 0, np.random.default_rng(0))
+
+
+# -- RMS detectors -----------------------------------------------------------------
+
+def test_rms_detectors_alarm_on_threshold():
+    bank = RmsDetectorBank(4)
+    bank.set_threshold(1, 0.5)
+    blocks = np.zeros((4, 100))
+    blocks[1] = 1.0  # RMS 1.0 > 0.5
+    alarms = bank.scan(blocks)
+    assert alarms.tolist() == [False, True, False, False]
+    assert bank.last_rms[1] == pytest.approx(1.0)
+
+
+def test_rms_detectors_default_disabled():
+    bank = RmsDetectorBank(2)
+    assert not bank.scan(np.ones((2, 10)) * 100).any()
+
+
+def test_rms_detector_validation():
+    bank = RmsDetectorBank(2)
+    with pytest.raises(AcquisitionError):
+        bank.set_threshold(5, 1.0)
+    with pytest.raises(AcquisitionError):
+        bank.set_threshold(0, -1.0)
+    with pytest.raises(AcquisitionError):
+        bank.scan(np.zeros((3, 10)))
+    with pytest.raises(AcquisitionError):
+        RmsDetectorBank(0)
+
+
+# -- assembled chain -----------------------------------------------------------------
+
+def test_chain_global_channel_mapping():
+    chain = AcquisitionChain()
+    chain.bind(0, constant(1.0))     # MUX 0 bank 0
+    chain.bind(20, constant(2.0))    # MUX 1, local 4 -> bank 1
+    rng = np.random.default_rng(0)
+    channels, data = chain.acquire_bank(0, 0, 8, rng)
+    assert channels == (0, 1, 2, 3)
+    assert data[0, 0] == 1.0
+    channels, data = chain.acquire_bank(1, 1, 8, rng)
+    assert channels == (20, 21, 22, 23)
+    assert data[0, 0] == 2.0
+
+
+def test_chain_bind_validation():
+    chain = AcquisitionChain()
+    with pytest.raises(AcquisitionError):
+        chain.bind(32, constant(0.0))
+    with pytest.raises(AcquisitionError):
+        chain.acquire_bank(2, 0, 8, np.random.default_rng(0))
+
+
+def test_sweep_covers_all_32_channels():
+    chain = AcquisitionChain()
+    for c in range(TOTAL_CHANNELS):
+        chain.bind(c, constant(float(c)))
+    out = chain.sweep(4, np.random.default_rng(0))
+    assert set(out) == set(range(32))
+    assert all(out[c][0] == float(c) for c in range(32))
+
+
+def test_rms_scan_sees_unselected_banks():
+    """Constant alarming: detectors fire even for channels the DSP is
+    not currently digitizing."""
+    chain = AcquisitionChain()
+    chain.bind(9, constant(3.0))     # MUX 0 bank 2 — never selected here
+    chain.detectors.set_threshold(9, 1.0)
+    chain.muxes[0].select_bank(0)
+    alarms = chain.rms_scan(64, np.random.default_rng(0))
+    assert alarms[9]
+    assert not alarms[0]

@@ -1,0 +1,140 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.dc.uplink import ReportUplink
+from repro.netsim import EventKernel, LinkConfig, Network, RpcEndpoint
+from repro.oosm import build_chilled_water_ship
+from repro.pdme import PdmeExecutive
+from repro.protocol import FailurePredictionReport
+
+
+def make_world(link_config=None, seed=0, capacity=512):
+    kernel = EventKernel()
+    net = Network(kernel, np.random.default_rng(seed))
+    if link_config is not None:
+        net.connect("dc:0", "pdme", link_config)
+    dc_ep = RpcEndpoint("dc:0", net, kernel, timeout=0.2, retries=1)
+    pdme_ep = RpcEndpoint("pdme", net, kernel)
+    model, ship, units = build_chilled_water_ship(n_chillers=1)
+    pdme = PdmeExecutive(model)
+    pdme.serve_on(pdme_ep)
+    uplink = ReportUplink(dc_ep, "pdme", capacity=capacity)
+    return kernel, net, pdme, uplink, units[0]
+
+
+def report(obj, i=0):
+    return FailurePredictionReport(
+        knowledge_source_id="ks:dli",
+        sensed_object_id=obj,
+        machine_condition_id="mc:motor-imbalance",
+        severity=0.5,
+        belief=0.4,
+        timestamp=float(i),
+    )
+
+
+def test_capacity_validation():
+    kernel = EventKernel()
+    net = Network(kernel, np.random.default_rng(0))
+    ep = RpcEndpoint("dc:0", net, kernel)
+    with pytest.raises(NetworkError):
+        ReportUplink(ep, capacity=0)
+
+
+def test_clean_link_delivers_and_clears_queue():
+    kernel, net, pdme, uplink, unit = make_world()
+    for i in range(5):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    assert uplink.backlog == 0
+    assert uplink.stats.delivered == 5
+    assert pdme.report_count() == 5
+
+
+def test_rejected_report_not_retried_forever():
+    kernel, net, pdme, uplink, unit = make_world()
+    uplink.submit(report("obj:ghost"))  # unknown object -> PDME refuses
+    kernel.run()
+    assert uplink.backlog == 0
+    assert uplink.stats.rejected == 1
+    assert pdme.report_count() == 0
+
+
+def test_outage_queues_then_flush_recovers():
+    """§4.9: reports produced during a comms outage survive and are
+    delivered after recovery."""
+    kernel, net, pdme, uplink, unit = make_world(LinkConfig(latency=0.01))
+    net.set_down("dc:0", "pdme", True)
+    for i in range(10):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    assert pdme.report_count() == 0
+    assert uplink.backlog == 10
+    # Link restored; scheduled flush retries everything.
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush()
+    kernel.run()
+    assert uplink.backlog == 0
+    assert pdme.report_count() == 10
+    assert uplink.stats.retries >= 10
+
+
+def test_flush_is_idempotent_on_empty_queue():
+    kernel, net, pdme, uplink, unit = make_world()
+    assert uplink.flush() == 0
+
+
+def test_bounded_queue_sheds_oldest():
+    kernel, net, pdme, uplink, unit = make_world(
+        LinkConfig(latency=0.01), capacity=4
+    )
+    net.set_down("dc:0", "pdme", True)
+    for i in range(10):
+        uplink.submit(report(unit.motor, i))
+        kernel.run()  # let the failed attempts resolve
+    assert uplink.backlog == 4
+    assert uplink.stats.shed == 6
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush()
+    kernel.run()
+    # The four newest survive.
+    times = sorted(r.timestamp for r in pdme.model.all_reports())
+    assert times == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_lossy_link_eventually_delivers_with_flushes():
+    """At-least-once delivery: retransmissions may reach the PDME more
+    than once, but idempotent intake fuses each report exactly once."""
+    kernel, net, pdme, uplink, unit = make_world(
+        LinkConfig(latency=0.01, drop_rate=0.6), seed=3
+    )
+    for i in range(10):
+        uplink.submit(report(unit.motor, i))
+    for _ in range(30):  # periodic flush simulation
+        kernel.run()
+        if uplink.backlog == 0:
+            break
+        uplink.flush()
+    assert uplink.backlog == 0
+    assert uplink.stats.delivered == 10
+    assert pdme.report_count() == 10        # duplicates dropped at intake
+    assert pdme.duplicates_dropped >= 0
+
+
+def test_lost_ack_retransmission_is_idempotent():
+    """Drop-prone link where some *acks* are lost: the report reaches
+    the PDME once (fused once), the uplink counts one delivery, even
+    though retransmissions occurred."""
+    kernel, net, pdme, uplink, unit = make_world(
+        LinkConfig(latency=0.01, drop_rate=0.5), seed=7
+    )
+    uplink.submit(report(unit.motor))
+    for _ in range(30):
+        kernel.run()
+        if uplink.backlog == 0:
+            break
+        uplink.flush()
+    assert uplink.backlog == 0
+    assert uplink.stats.delivered == 1
+    assert pdme.report_count() == 1

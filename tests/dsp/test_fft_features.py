@@ -1,0 +1,183 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MprosError
+from repro.dsp import (
+    averaged_spectrum,
+    band_rms,
+    crest_factor,
+    kurtosis_excess,
+    order_amplitudes,
+    peak_amplitude,
+    rms,
+    scalar_features,
+    spectrum,
+)
+
+FS = 4096.0
+
+
+def sine(freq, amp=1.0, n=4096, fs=FS, phase=0.0):
+    t = np.arange(n) / fs
+    return amp * np.sin(2 * np.pi * freq * t + phase)
+
+
+# -- spectrum -----------------------------------------------------------
+
+def test_sine_peak_amplitude_recovered():
+    s = spectrum(sine(100.0, amp=2.0), FS)
+    assert s.amplitude_at(100.0) == pytest.approx(2.0, rel=0.05)
+
+
+def test_spectrum_frequency_resolution():
+    s = spectrum(sine(100.0), FS)
+    assert s.resolution == pytest.approx(FS / 4096)
+
+
+def test_amplitude_at_out_of_range_is_zero():
+    s = spectrum(sine(100.0), FS)
+    assert s.amplitude_at(-5.0) == 0.0
+    assert s.amplitude_at(FS) == 0.0
+
+
+def test_band_amplitude_catches_tone():
+    s = spectrum(sine(100.0, amp=1.0), FS)
+    assert s.band_amplitude(90.0, 110.0) > 0.8
+    assert s.band_amplitude(400.0, 500.0) < 0.05
+
+
+def test_two_tones_resolved():
+    x = sine(100.0, 1.0) + sine(300.0, 0.5)
+    s = spectrum(x, FS)
+    assert s.amplitude_at(100.0) == pytest.approx(1.0, rel=0.1)
+    assert s.amplitude_at(300.0) == pytest.approx(0.5, rel=0.1)
+
+
+def test_spectrum_validates_input():
+    with pytest.raises(MprosError):
+        spectrum(np.zeros(4), FS)
+    with pytest.raises(MprosError):
+        spectrum(sine(10), -1.0)
+    with pytest.raises(MprosError):
+        spectrum(sine(10), FS, window="flat-top")
+
+
+def test_averaged_spectrum_reduces_noise_floor_variance():
+    rng = np.random.default_rng(0)
+    x = sine(100.0) + rng.normal(0, 1.0, 4096)
+    single = spectrum(x, FS)
+    avg = averaged_spectrum(x, FS, n_averages=8)
+    # Away from the tone, averaged bins vary less.
+    noise_single = single.amps[(single.freqs > 500) & (single.freqs < 1500)]
+    noise_avg = avg.amps[(avg.freqs > 500) & (avg.freqs < 1500)]
+    assert np.std(noise_avg) < np.std(noise_single)
+
+
+def test_averaged_spectrum_validates():
+    with pytest.raises(MprosError):
+        averaged_spectrum(sine(10), FS, overlap=1.5)
+    with pytest.raises(MprosError):
+        averaged_spectrum(sine(10), FS, n_averages=0)
+
+
+def test_order_amplitudes_shape_and_peaks():
+    shaft = 60.0
+    x = sine(shaft, 1.0) + sine(2 * shaft, 0.4)
+    s = spectrum(x, FS)
+    orders = order_amplitudes(s, shaft, max_order=5)
+    assert orders.shape == (5,)
+    assert orders[0] == pytest.approx(1.0, rel=0.1)
+    assert orders[1] == pytest.approx(0.4, rel=0.15)
+    assert orders[3] < 0.05
+
+
+def test_order_amplitudes_validates():
+    s = spectrum(sine(100.0), FS)
+    with pytest.raises(MprosError):
+        order_amplitudes(s, 0.0)
+
+
+# -- scalar features ---------------------------------------------------------
+
+def test_rms_of_sine():
+    assert rms(sine(100.0, amp=2.0)) == pytest.approx(2.0 / np.sqrt(2), rel=1e-3)
+
+
+def test_peak_amplitude():
+    assert peak_amplitude(sine(100.0, amp=3.0)) == pytest.approx(3.0, rel=1e-3)
+
+
+def test_crest_factor_of_sine():
+    assert crest_factor(sine(100.0)) == pytest.approx(np.sqrt(2), rel=1e-2)
+
+
+def test_crest_factor_zero_signal():
+    assert crest_factor(np.zeros(100)) == 0.0
+
+
+def test_kurtosis_gaussian_near_zero():
+    rng = np.random.default_rng(1)
+    assert abs(kurtosis_excess(rng.normal(0, 1, 200_000))) < 0.1
+
+
+def test_kurtosis_impulsive_positive():
+    rng = np.random.default_rng(2)
+    x = rng.normal(0, 0.1, 10_000)
+    x[::500] += 5.0
+    assert kurtosis_excess(x) > 3.0
+
+
+def test_kurtosis_constant_signal_zero():
+    assert kurtosis_excess(np.ones(64)) == 0.0
+
+
+def test_features_batch_axis():
+    x = np.vstack([sine(100.0), 2 * sine(100.0)])
+    r = rms(x, axis=-1)
+    assert r.shape == (2,)
+    assert r[1] == pytest.approx(2 * r[0])
+
+
+def test_band_rms_parseval():
+    """Band RMS over the whole band equals time-domain RMS."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(0, 1, 4096)
+    assert band_rms(x, FS, 0.0, FS) == pytest.approx(rms(x), rel=1e-9)
+
+
+def test_band_rms_isolates_tone():
+    x = sine(100.0, 1.0) + sine(1000.0, 1.0)
+    in_band = band_rms(x, FS, 50.0, 150.0)
+    assert in_band == pytest.approx(1.0 / np.sqrt(2), rel=0.05)
+
+
+def test_band_rms_validates():
+    with pytest.raises(MprosError):
+        band_rms(np.zeros((2, 4)), FS, 0, 10)
+    with pytest.raises(MprosError):
+        band_rms(np.zeros(16), FS, 10, 5)
+
+
+def test_scalar_features_keys():
+    f = scalar_features(sine(50.0))
+    assert set(f) == {"peak", "rms", "std", "crest", "kurtosis", "mean"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(amp=st.floats(min_value=0.01, max_value=100.0),
+       freq=st.floats(min_value=20.0, max_value=1500.0))
+def test_spectrum_peak_scales_linearly(amp, freq):
+    # Worst-case Hann scalloping loss (tone between bins) is ~15 %.
+    s = spectrum(sine(freq, amp=amp), FS)
+    assert s.amplitude_at(freq) == pytest.approx(amp, rel=0.2)
+
+
+def test_total_amplitude_excludes_dc():
+    x = sine(100.0, amp=1.0) + 5.0  # large DC offset
+    s = spectrum(x, FS)
+    total = s.total_amplitude()
+    # Dominated by the tone (Hann mainlobe RSS = sqrt(1.5) of peak),
+    # not by the 5x larger DC offset.
+    assert total == pytest.approx(np.sqrt(1.5), rel=0.05)

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import MprosError
+from repro.dsp.stft import Spectrogram, stft, transient_events
+
+FS = 8192.0
+
+
+def test_validation():
+    with pytest.raises(MprosError):
+        stft(np.zeros((2, 8)), FS)
+    with pytest.raises(MprosError):
+        stft(np.zeros(64), FS, frame=8)
+    with pytest.raises(MprosError):
+        stft(np.zeros(64), FS, frame=128)
+    with pytest.raises(MprosError):
+        stft(np.zeros(64), FS, overlap=1.0)
+    with pytest.raises(MprosError):
+        stft(np.zeros(64), -1.0, frame=32)
+
+
+def test_stationary_tone_amplitude_calibrated():
+    t = np.arange(4096) / FS
+    x = 2.0 * np.sin(2 * np.pi * 512.0 * t)
+    sg = stft(x, FS, frame=256)
+    bin_idx = int(np.argmin(np.abs(sg.freqs - 512.0)))
+    assert np.allclose(sg.amps[:, bin_idx], 2.0, rtol=0.05)
+
+
+def test_shapes_and_times():
+    sg = stft(np.zeros(1024), FS, frame=256, overlap=0.5)
+    assert sg.freqs.shape == (129,)
+    assert sg.amps.shape == (sg.n_frames, 129)
+    assert sg.times[0] == pytest.approx(128 / FS)
+    assert np.all(np.diff(sg.times) > 0)
+
+
+def test_chirp_moves_through_bins():
+    """A swept tone's peak frequency rises over time."""
+    n = 8192
+    t = np.arange(n) / FS
+    f0, f1 = 200.0, 3000.0
+    phase = 2 * np.pi * (f0 * t + (f1 - f0) * t**2 / (2 * t[-1]))
+    sg = stft(np.sin(phase), FS, frame=256, overlap=0.75)
+    peak_freqs = sg.freqs[np.argmax(sg.amps, axis=1)]
+    early = peak_freqs[: sg.n_frames // 4].mean()
+    late = peak_freqs[-sg.n_frames // 4 :].mean()
+    assert late > 3 * early
+
+
+def test_peak_frame_localizes_burst():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 0.01, 8192)
+    t0 = 5000
+    x[t0 : t0 + 64] += np.sin(2 * np.pi * 2000.0 * np.arange(64) / FS)
+    sg = stft(x, FS, frame=256, overlap=0.75)
+    t_peak, f_peak = sg.peak_frame()
+    assert t_peak == pytest.approx(t0 / FS, abs=0.02)
+    assert f_peak == pytest.approx(2000.0, abs=100.0)
+
+
+def test_band_profile_shape():
+    sg = stft(np.zeros(1024), FS, frame=256)
+    profile = sg.band_profile(100.0, 1000.0)
+    assert profile.shape == (sg.n_frames,)
+
+
+def test_transient_events_detected_and_merged():
+    rng = np.random.default_rng(1)
+    x = rng.normal(0, 0.01, 16384)
+    for t0 in (3000, 9000, 14000):
+        x[t0 : t0 + 96] += 0.8 * np.sin(2 * np.pi * 2500.0 * np.arange(96) / FS)
+    sg = stft(x, FS, frame=256, overlap=0.75)
+    events = transient_events(sg, band=(2000.0, 3000.0))
+    assert len(events) == 3
+    times = [e[0] for e in events]
+    for expected, got in zip((3000, 9000, 14000), times):
+        assert got == pytest.approx(expected / FS, abs=0.03)
+
+
+def test_no_events_in_stationary_noise():
+    rng = np.random.default_rng(2)
+    sg = stft(rng.normal(0, 1.0, 8192), FS, frame=256)
+    assert transient_events(sg, band=(1000.0, 3000.0), threshold_sigma=6.0) == []

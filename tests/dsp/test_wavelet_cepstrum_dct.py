@@ -1,0 +1,172 @@
+import numpy as np
+import pytest
+import scipy.fft
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MprosError
+from repro.dsp import dct2, dct_features, dwt, dwt_multilevel, idwt, real_cepstrum, wavedec_energies
+from repro.dsp.wavelet import _FILTERS, wavelet_map, waverec
+
+
+def sine(freq, n=1024, fs=4096.0):
+    return np.sin(2 * np.pi * freq * np.arange(n) / fs)
+
+
+# -- DWT filters --------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(_FILTERS))
+def test_scaling_filters_orthonormal(name):
+    lo = _FILTERS[name]
+    assert np.sum(lo**2) == pytest.approx(1.0, abs=1e-10)
+    assert np.sum(lo) == pytest.approx(np.sqrt(2), abs=1e-10)
+
+
+@pytest.mark.parametrize("name", sorted(_FILTERS))
+def test_perfect_reconstruction_one_level(name):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=128)
+    a, d = dwt(x, name)
+    assert a.size == d.size == 64
+    xr = idwt(a, d, name)
+    assert np.allclose(xr, x, atol=1e-10)
+
+
+@pytest.mark.parametrize("name", sorted(_FILTERS))
+def test_perfect_reconstruction_multilevel(name):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=256)
+    coeffs = dwt_multilevel(x, name, levels=4)
+    assert len(coeffs) == 5
+    xr = waverec(coeffs, name)
+    assert np.allclose(xr, x, atol=1e-9)
+
+
+def test_dwt_validates():
+    with pytest.raises(MprosError):
+        dwt(np.zeros(7))          # odd length
+    with pytest.raises(MprosError):
+        dwt(np.zeros((4, 4)))
+    with pytest.raises(MprosError):
+        dwt(np.zeros(8), "sym13")
+    with pytest.raises(MprosError):
+        dwt_multilevel(np.zeros(16), levels=10)
+
+
+def test_energy_conservation():
+    """Orthonormal transform preserves energy (Parseval)."""
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=256)
+    coeffs = dwt_multilevel(x, "db4", levels=3)
+    e = sum(float(np.sum(c**2)) for c in coeffs)
+    assert e == pytest.approx(float(np.sum(x**2)), rel=1e-10)
+
+
+def test_wavedec_energies_sum_to_one():
+    e = wavedec_energies(sine(100.0, n=512), "db4", levels=4)
+    assert e.shape == (5,)
+    assert e.sum() == pytest.approx(1.0)
+
+
+def test_wavedec_energies_zero_signal():
+    assert wavedec_energies(np.zeros(64), "haar").sum() == 0.0
+
+
+def test_low_frequency_energy_lands_in_approximation():
+    e = wavedec_energies(sine(10.0, n=1024), "db4", levels=5)
+    assert e[0] > 0.9
+
+
+def test_high_frequency_energy_lands_in_fine_details():
+    e = wavedec_energies(sine(1900.0, n=1024), "db4", levels=5)
+    assert e[-1] > 0.5
+
+
+def test_transient_localized_in_wavelet_map():
+    x = np.zeros(512)
+    x[300] = 1.0  # impulse
+    wm = wavelet_map(x, "haar", levels=4)
+    assert wm.n_levels == 4
+    finest = wm.scales[-1]
+    assert np.argmax(finest) == pytest.approx(300, abs=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 9999), levels=st.integers(1, 5))
+def test_reconstruction_property(seed, levels):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=256)
+    assert np.allclose(waverec(dwt_multilevel(x, "db2", levels), "db2"), x, atol=1e-9)
+
+
+# -- cepstrum ------------------------------------------------------------------
+
+def test_cepstrum_shape_and_truncation():
+    x = sine(100.0)
+    c = real_cepstrum(x)
+    assert c.shape == x.shape
+    assert real_cepstrum(x, n_coeffs=20).shape == (20,)
+
+
+def test_cepstrum_validates():
+    with pytest.raises(MprosError):
+        real_cepstrum(np.zeros(4))
+    with pytest.raises(MprosError):
+        real_cepstrum(sine(100.0), n_coeffs=0)
+
+
+def test_cepstrum_detects_harmonic_family():
+    """A harmonic series at f0 creates rahmonic peaks at k/f0."""
+    fs, n, f0 = 4096.0, 4096, 123.0
+    rng = np.random.default_rng(0)
+    t = np.arange(n) / fs
+    x = sum(np.sin(2 * np.pi * k * f0 * t) for k in range(1, 9))
+    x = np.asarray(x) + rng.normal(0, 0.01, n)
+    c = np.abs(real_cepstrum(x))
+    quefrency = fs / f0  # ~33.3 samples
+    lo, hi = int(quefrency) - 2, int(quefrency) + 3
+    background = np.median(c[16:300])
+    assert c[lo:hi].max() > 3 * background
+
+
+def test_cepstrum_finite_for_silent_signal():
+    c = real_cepstrum(np.zeros(64))
+    assert np.all(np.isfinite(c))
+
+
+# -- DCT ------------------------------------------------------------------------
+
+def test_dct2_matches_scipy():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=129)
+    assert np.allclose(dct2(x), scipy.fft.dct(x, type=2, norm="ortho"), atol=1e-10)
+
+
+def test_dct2_unnormalized_matches_scipy():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=64)
+    assert np.allclose(dct2(x, norm=None), scipy.fft.dct(x, type=2), atol=1e-9)
+
+
+def test_dct2_energy_preserved_ortho():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=128)
+    assert np.sum(dct2(x) ** 2) == pytest.approx(np.sum(x**2), rel=1e-10)
+
+
+def test_dct2_validates():
+    with pytest.raises(MprosError):
+        dct2(np.zeros(0))
+    with pytest.raises(MprosError):
+        dct2(np.zeros((2, 3)))
+    with pytest.raises(MprosError):
+        dct2(np.zeros(8), norm="bogus")
+
+
+def test_dct_features_excludes_dc():
+    x = np.ones(64) * 5.0  # pure DC
+    f = dct_features(x, n_coeffs=8)
+    assert f.shape == (8,)
+    assert np.allclose(f, 0.0, atol=1e-10)
+    with pytest.raises(MprosError):
+        dct_features(x, n_coeffs=0)

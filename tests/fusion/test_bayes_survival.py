@@ -1,0 +1,271 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FusionError
+from repro.common.units import days
+from repro.fusion.bayes import (
+    BayesDiagnosticFusion,
+    BayesNet,
+    LearnedSourceModel,
+    learn_source_model,
+)
+from repro.fusion.survival import (
+    KaplanMeier,
+    LifeRecord,
+    WeibullFit,
+    fit_weibull,
+    kaplan_meier,
+    survival_refined_prognostic,
+)
+from repro.protocol import FailurePredictionReport, PrognosticVector
+
+
+def report(obj="obj:m", cond="mc:bearing-wear", ks="ks:dli"):
+    return FailurePredictionReport(
+        knowledge_source_id=ks,
+        sensed_object_id=obj,
+        machine_condition_id=cond,
+        severity=0.5,
+        belief=0.7,
+        timestamp=1.0,
+    )
+
+
+# -- BayesNet core ----------------------------------------------------------------
+
+def test_net_validation():
+    net = BayesNet()
+    net.add("a", prior=0.5)
+    with pytest.raises(FusionError):
+        net.add("a", prior=0.5)                    # duplicate
+    with pytest.raises(FusionError):
+        net.add("b", ("ghost",), {(True,): 0.5, (False,): 0.5})
+    with pytest.raises(FusionError):
+        net.add("b", ("a",), {(True,): 0.5})       # incomplete CPT
+    with pytest.raises(FusionError):
+        net.add("b", ("a",), {(True,): 1.5, (False,): 0.5})
+    with pytest.raises(FusionError):
+        net.add("c", ("a",))                       # missing CPT
+    with pytest.raises(FusionError):
+        net.add("d")                               # missing prior
+    with pytest.raises(FusionError):
+        net.posterior("ghost", {})
+    with pytest.raises(FusionError):
+        net.posterior("a", {"ghost": True})
+
+
+def test_prior_recovered_without_evidence():
+    net = BayesNet()
+    net.add("f", prior=0.3)
+    assert net.posterior("f", {}) == pytest.approx(0.3)
+
+
+def test_textbook_rain_sprinkler():
+    """Classic explaining-away structure, hand-checked numbers."""
+    net = BayesNet()
+    net.add("rain", prior=0.2)
+    net.add("sprinkler", prior=0.1)
+    net.add(
+        "wet", ("rain", "sprinkler"),
+        {(True, True): 0.99, (True, False): 0.9,
+         (False, True): 0.8, (False, False): 0.01},
+    )
+    p_rain_given_wet = net.posterior("rain", {"wet": True})
+    assert p_rain_given_wet > 0.2  # evidence raises rain
+    # Explaining away: learning the sprinkler ran lowers rain belief.
+    p_rain_both = net.posterior("rain", {"wet": True, "sprinkler": True})
+    assert p_rain_both < p_rain_given_wet
+
+
+def test_bayes_chain_inference():
+    net = BayesNet()
+    net.add("root", prior=0.5)
+    net.add("mid", ("root",), {(True,): 0.9, (False,): 0.1})
+    net.add("leaf", ("mid",), {(True,): 0.9, (False,): 0.1})
+    p = net.posterior("root", {"leaf": True})
+    # By hand: P(leaf|root)=0.9*0.9+0.1*0.1=0.82; P(leaf|¬root)=0.18.
+    assert p == pytest.approx(0.82 / (0.82 + 0.18))
+
+
+def test_zero_probability_evidence_raises():
+    net = BayesNet()
+    net.add("a", prior=1.0)
+    net.add("b", ("a",), {(True,): 1.0, (False,): 0.0})
+    with pytest.raises(FusionError):
+        net.posterior("a", {"b": False})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prior=st.floats(min_value=0.01, max_value=0.99),
+    tpr=st.floats(min_value=0.5, max_value=0.99),
+    fpr=st.floats(min_value=0.01, max_value=0.4),
+)
+def test_two_node_posterior_matches_bayes_rule(prior, tpr, fpr):
+    net = BayesNet()
+    net.add("f", prior=prior)
+    net.add("r", ("f",), {(True,): tpr, (False,): fpr})
+    expected = prior * tpr / (prior * tpr + (1 - prior) * fpr)
+    assert net.posterior("f", {"r": True}) == pytest.approx(expected, rel=1e-9)
+
+
+# -- learned diagnostic fusion -----------------------------------------------------
+
+class FakeRecord:
+    def __init__(self, truth, reports):
+        self.truth = truth
+        self.reports = reports
+
+
+def test_learn_source_model_rates():
+    # 10 faulty runs: ks:good reports 9 times, ks:bad reports 2 times.
+    records = []
+    for i in range(10):
+        reports = []
+        if i < 9:
+            reports.append(report(ks="ks:good"))
+        if i < 2:
+            reports.append(report(ks="ks:bad"))
+        records.append(FakeRecord({"mc:bearing-wear"}, reports))
+    # 10 healthy runs: ks:bad false-alarms 4 times.
+    for i in range(10):
+        reports = [report(ks="ks:bad")] if i < 4 else []
+        records.append(FakeRecord(set(), reports))
+    model = learn_source_model(records)
+    tpr_good, fpr_good = model.rates("ks:good", "mc:bearing-wear")
+    tpr_bad, fpr_bad = model.rates("ks:bad", "mc:bearing-wear")
+    assert tpr_good > 0.75
+    assert tpr_bad < 0.35
+    assert fpr_bad > fpr_good
+    assert model.priors["mc:bearing-wear"] == pytest.approx(0.5)
+
+
+def test_bayes_fusion_reinforcement_and_silence():
+    model = LearnedSourceModel(
+        tpr={("ks:a", "mc:x"): 0.8, ("ks:b", "mc:x"): 0.8},
+        fpr={("ks:a", "mc:x"): 0.05, ("ks:b", "mc:x"): 0.05},
+        priors={"mc:x": 0.1},
+    )
+    fusion = BayesDiagnosticFusion(model, sources=("ks:a", "ks:b"))
+    fusion.ingest(report(cond="mc:x", ks="ks:a"))
+    one = fusion.posterior("obj:m", "mc:x")
+    fusion.ingest(report(cond="mc:x", ks="ks:b"))
+    both = fusion.posterior("obj:m", "mc:x")
+    assert both > one > model.priors["mc:x"]
+    # Silence from a capable source on another machine keeps it low.
+    assert fusion.posterior("obj:other", "mc:x") < model.priors["mc:x"]
+
+
+def test_bayes_fusion_discounts_flaky_source():
+    model = LearnedSourceModel(
+        tpr={("ks:solid", "mc:x"): 0.9, ("ks:flaky", "mc:x"): 0.6},
+        fpr={("ks:solid", "mc:x"): 0.02, ("ks:flaky", "mc:x"): 0.4},
+        priors={"mc:x": 0.1},
+    )
+    solid = BayesDiagnosticFusion(model, sources=("ks:solid",))
+    flaky = BayesDiagnosticFusion(model, sources=("ks:flaky",))
+    solid.ingest(report(cond="mc:x", ks="ks:solid"))
+    flaky.ingest(report(cond="mc:x", ks="ks:flaky"))
+    assert solid.posterior("obj:m", "mc:x") > flaky.posterior("obj:m", "mc:x")
+
+
+def test_bayes_fusion_suspects_surface():
+    model = LearnedSourceModel(priors={"mc:x": 0.2})
+    fusion = BayesDiagnosticFusion(model, sources=("ks:a",))
+    fusion.ingest(report(cond="mc:x", ks="ks:a"))
+    suspects = fusion.suspects(threshold=0.5)
+    assert suspects and suspects[0][1] == "mc:x"
+    with pytest.raises(FusionError):
+        BayesDiagnosticFusion(model, sources=())
+
+
+# -- Kaplan-Meier -------------------------------------------------------------------
+
+def test_km_simple_steps():
+    km = kaplan_meier([LifeRecord(10.0), LifeRecord(20.0), LifeRecord(30.0)])
+    assert km.at(5.0) == 1.0
+    assert km.at(15.0) == pytest.approx(2 / 3)
+    assert km.at(25.0) == pytest.approx(1 / 3)
+    assert km.at(35.0) == pytest.approx(0.0)
+
+
+def test_km_censoring_reduces_risk_set():
+    km = kaplan_meier(
+        [LifeRecord(10.0), LifeRecord(15.0, failed=False), LifeRecord(20.0)]
+    )
+    # After the censor at 15, only 1 unit is at risk at t=20.
+    assert km.at(12.0) == pytest.approx(2 / 3)
+    assert km.at(25.0) == pytest.approx(0.0)
+
+
+def test_km_all_censored():
+    km = kaplan_meier([LifeRecord(10.0, failed=False)])
+    assert km.at(100.0) == 1.0
+
+
+def test_km_validation():
+    with pytest.raises(FusionError):
+        kaplan_meier([])
+    with pytest.raises(FusionError):
+        LifeRecord(0.0)
+
+
+# -- Weibull --------------------------------------------------------------------------
+
+def test_weibull_fit_recovers_parameters():
+    rng = np.random.default_rng(0)
+    beta_true, eta_true = 2.5, days(200)
+    samples = eta_true * rng.weibull(beta_true, 400)
+    fit = fit_weibull([LifeRecord(float(t)) for t in samples])
+    assert fit.beta == pytest.approx(beta_true, rel=0.15)
+    assert fit.eta == pytest.approx(eta_true, rel=0.1)
+
+
+def test_weibull_quantiles_monotone():
+    fit = WeibullFit(beta=2.0, eta=100.0)
+    assert fit.quantile(0.1) < fit.quantile(0.5) < fit.quantile(0.9)
+    assert fit.failure_probability(fit.eta) == pytest.approx(1 - np.exp(-1))
+    with pytest.raises(FusionError):
+        fit.quantile(1.5)
+
+
+def test_weibull_fit_needs_failures():
+    with pytest.raises(FusionError):
+        fit_weibull([LifeRecord(10.0, failed=False)] * 5)
+
+
+# -- survival-refined prognostics ------------------------------------------------------
+
+def test_refinement_is_conservative_max():
+    """History can only pull failure earlier (§5.4 conservatism)."""
+    live = PrognosticVector.from_pairs([(days(30), 0.1), (days(60), 0.3)])
+    fit = WeibullFit(beta=3.0, eta=days(50))
+    refined = survival_refined_prognostic(live, fit, age=days(40))
+    for t in (days(30), days(60)):
+        assert refined.probability_at(t) >= live.probability_at(t) - 1e-9
+    # An old unit on a steep wear-out curve: history dominates.
+    assert refined.probability_at(days(30)) > 0.5
+
+
+def test_refinement_with_empty_live_vector():
+    fit = WeibullFit(beta=2.0, eta=days(100))
+    refined = survival_refined_prognostic(PrognosticVector.empty(), fit, age=0.0)
+    assert len(refined) == 3
+    assert refined.probability_at(fit.quantile(0.9)) >= 0.85
+
+
+def test_refinement_young_unit_keeps_live_curve():
+    """A young unit on a long-life fleet curve: the live evidence
+    dominates the blend."""
+    live = PrognosticVector.from_pairs([(days(10), 0.6)])
+    fit = WeibullFit(beta=2.0, eta=days(1000))
+    refined = survival_refined_prognostic(live, fit, age=days(1))
+    assert refined.probability_at(days(10)) == pytest.approx(0.6, abs=0.01)
+
+
+def test_refinement_validation():
+    fit = WeibullFit(beta=2.0, eta=100.0)
+    with pytest.raises(FusionError):
+        survival_refined_prognostic(PrognosticVector.empty(), fit, age=-1.0)

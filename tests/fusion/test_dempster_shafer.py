@@ -1,0 +1,222 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FusionError
+from repro.fusion import MassFunction, combine, combine_many, conflict
+from repro.fusion.dempster_shafer import from_simple_support
+
+FRAME = frozenset({"A", "B", "C"})
+
+
+# -- construction -------------------------------------------------------
+
+def test_empty_frame_rejected():
+    with pytest.raises(FusionError):
+        MassFunction(set())
+
+
+def test_residual_goes_to_unknown():
+    m = MassFunction(FRAME, {"A": 0.4})
+    assert m.unknown() == pytest.approx(0.6)
+    assert m.total() == pytest.approx(1.0)
+
+
+def test_vacuous_when_no_masses():
+    assert MassFunction(FRAME).is_vacuous()
+
+
+def test_negative_mass_rejected():
+    with pytest.raises(FusionError):
+        MassFunction(FRAME, {"A": -0.1})
+
+
+def test_masses_over_one_rejected():
+    with pytest.raises(FusionError):
+        MassFunction(FRAME, {"A": 0.7, "B": 0.7})
+
+
+def test_hypothesis_outside_frame_rejected():
+    with pytest.raises(FusionError):
+        MassFunction(FRAME, {"Z": 0.3})
+
+
+def test_empty_focal_element_rejected():
+    with pytest.raises(FusionError):
+        MassFunction(FRAME, {(): 0.3})
+
+
+def test_duplicate_focal_elements_accumulate():
+    m = MassFunction(FRAME, {("A", "B"): 0.2, ("B", "A"): 0.3})
+    assert m.mass(("A", "B")) == pytest.approx(0.5)
+
+
+# -- belief / plausibility ----------------------------------------------
+
+def test_belief_sums_subsets():
+    m = MassFunction(FRAME, {"A": 0.3, ("A", "B"): 0.2})
+    assert m.belief("A") == pytest.approx(0.3)
+    assert m.belief(("A", "B")) == pytest.approx(0.5)
+
+
+def test_plausibility_counts_intersections():
+    m = MassFunction(FRAME, {"A": 0.3, ("A", "B"): 0.2})
+    # Θ mass (0.5) intersects everything.
+    assert m.plausibility("A") == pytest.approx(1.0)
+    assert m.plausibility("C") == pytest.approx(0.5)
+
+
+def test_belief_le_plausibility():
+    m = MassFunction(FRAME, {"A": 0.5, ("B", "C"): 0.2})
+    for h in FRAME:
+        assert m.belief(h) <= m.plausibility(h) + 1e-12
+
+
+def test_pignistic_distributes_evenly():
+    m = MassFunction(FRAME, {("A", "B"): 0.6})
+    bet = m.pignistic()
+    assert bet["A"] == pytest.approx(0.3 + 0.4 / 3)
+    assert bet["C"] == pytest.approx(0.4 / 3)
+    assert sum(bet.values()) == pytest.approx(1.0)
+
+
+# -- the paper's §5.3 worked example ------------------------------------
+
+def test_paper_worked_example():
+    """m1(A)=.40, m2(B∨C)=.75 ⇒ A 14%, B∨C 64%, unknown ~21-22%."""
+    m1 = MassFunction(FRAME, {"A": 0.40})
+    m2 = MassFunction(FRAME, {("B", "C"): 0.75})
+    fused = combine(m1, m2)
+    assert fused.mass("A") == pytest.approx(0.10 / 0.70, abs=1e-9)   # 14.28%
+    assert fused.mass(("B", "C")) == pytest.approx(0.45 / 0.70, abs=1e-9)  # 64.29%
+    assert fused.unknown() == pytest.approx(0.15 / 0.70, abs=1e-9)   # 21.43%
+    assert round(fused.mass("A"), 2) == 0.14
+    assert round(fused.mass(("B", "C")), 2) == 0.64
+
+
+def test_paper_example_conflict_value():
+    m1 = MassFunction(FRAME, {"A": 0.40})
+    m2 = MassFunction(FRAME, {("B", "C"): 0.75})
+    assert conflict(m1, m2) == pytest.approx(0.30)
+
+
+# -- combination properties ----------------------------------------------
+
+def test_combine_requires_same_frame():
+    with pytest.raises(FusionError):
+        combine(MassFunction({"A"}), MassFunction({"B"}))
+
+
+def test_total_conflict_raises():
+    m1 = MassFunction({"A", "B"}, {"A": 1.0})
+    m2 = MassFunction({"A", "B"}, {"B": 1.0})
+    with pytest.raises(FusionError):
+        combine(m1, m2)
+
+
+def test_vacuous_is_identity():
+    m = MassFunction(FRAME, {"A": 0.4, ("B", "C"): 0.3})
+    assert combine(m, MassFunction(FRAME)) == m
+
+
+def test_combination_is_commutative():
+    m1 = MassFunction(FRAME, {"A": 0.4, ("A", "B"): 0.2})
+    m2 = MassFunction(FRAME, {"B": 0.5})
+    assert combine(m1, m2) == combine(m2, m1)
+
+
+def test_combination_is_associative():
+    m1 = MassFunction(FRAME, {"A": 0.4})
+    m2 = MassFunction(FRAME, {("B", "C"): 0.5})
+    m3 = MassFunction(FRAME, {"B": 0.3})
+    left = combine(combine(m1, m2), m3)
+    right = combine(m1, combine(m2, m3))
+    assert left == right
+
+
+def test_combine_many_matches_fold():
+    ms = [
+        MassFunction(FRAME, {"A": 0.3}),
+        MassFunction(FRAME, {"A": 0.3}),
+        MassFunction(FRAME, {("B", "C"): 0.2}),
+    ]
+    assert combine_many(ms) == combine(combine(ms[0], ms[1]), ms[2])
+
+
+def test_combine_many_empty_raises():
+    with pytest.raises(FusionError):
+        combine_many([])
+
+
+def test_reinforcement_increases_belief():
+    """Two agreeing reports yield more belief than either alone."""
+    m = from_simple_support(FRAME, "A", 0.6)
+    fused = combine(m, from_simple_support(FRAME, "A", 0.6))
+    assert fused.belief("A") > 0.6
+    assert fused.belief("A") == pytest.approx(1 - 0.4 * 0.4)
+
+
+def test_simple_support_validates_belief():
+    with pytest.raises(FusionError):
+        from_simple_support(FRAME, "A", 1.5)
+
+
+# -- property-based invariants --------------------------------------------
+
+@st.composite
+def mass_functions(draw):
+    hyps = ["A", "B", "C", "D"]
+    n = draw(st.integers(min_value=1, max_value=4))
+    raw = draw(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n)
+    )
+    total = sum(raw)
+    if total < 1e-6:
+        return MassFunction(hyps)  # vacuous
+    scale = draw(st.floats(min_value=0.0, max_value=1.0)) / total
+    subsets = draw(
+        st.lists(
+            st.sets(st.sampled_from(hyps), min_size=1, max_size=4),
+            min_size=n, max_size=n,
+        )
+    )
+    masses = {}
+    for s, v in zip(subsets, raw):
+        masses[frozenset(s)] = masses.get(frozenset(s), 0.0) + v * scale
+    return MassFunction(hyps, masses)
+
+
+@settings(max_examples=80, deadline=None)
+@given(m=mass_functions())
+def test_mass_always_normalized(m):
+    assert m.total() == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(m1=mass_functions(), m2=mass_functions())
+def test_combined_mass_normalized_and_bounded(m1, m2):
+    try:
+        fused = combine(m1, m2)
+    except FusionError:
+        assert conflict(m1, m2) == pytest.approx(1.0, abs=1e-9)
+        return
+    assert fused.total() == pytest.approx(1.0)
+    for h in fused.frame:
+        b, p = fused.belief(h), fused.plausibility(h)
+        assert -1e-9 <= b <= p <= 1 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(m=mass_functions())
+def test_combining_with_vacuous_is_identity(m):
+    assert combine(m, MassFunction(m.frame)) == m
+
+
+@settings(max_examples=50, deadline=None)
+@given(m1=mass_functions(), m2=mass_functions())
+def test_conflict_symmetric_and_bounded(m1, m2):
+    k = conflict(m1, m2)
+    assert 0.0 - 1e-12 <= k <= 1.0 + 1e-12
+    assert k == pytest.approx(conflict(m2, m1))

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.fusion import KnowledgeFusionEngine
+from repro.fusion.groups import default_chiller_groups
+from repro.protocol import FailurePredictionReport, PrognosticVector
+
+
+def report(cond="mc:motor-imbalance", belief=0.6, pairs=(), t=0.0, obj="obj:m1",
+           ks="ks:dli"):
+    return FailurePredictionReport(
+        knowledge_source_id=ks,
+        sensed_object_id=obj,
+        machine_condition_id=cond,
+        severity=0.5,
+        belief=belief,
+        timestamp=t,
+        prognostic=PrognosticVector.from_pairs(list(pairs)),
+    )
+
+
+@pytest.fixture
+def engine():
+    return KnowledgeFusionEngine(default_chiller_groups())
+
+
+def test_diagnostic_only_report(engine):
+    c = engine.ingest(report(belief=0.7))
+    assert c is not None
+    assert c.diagnosis is not None and c.prognosis is None
+    assert engine.stats.diagnostic_updates == 1
+    assert engine.stats.prognostic_updates == 0
+
+
+def test_prognostic_only_report(engine):
+    c = engine.ingest(report(belief=0.0, pairs=[(100.0, 0.5)]))
+    assert c.diagnosis is None and c.prognosis is not None
+    assert engine.stats.prognostic_updates == 1
+
+
+def test_combined_report_updates_both(engine):
+    c = engine.ingest(report(belief=0.5, pairs=[(100.0, 0.5)]))
+    assert c.diagnosis is not None and c.prognosis is not None
+
+
+def test_empty_report_rejected_not_fatal(engine):
+    """A report with neither belief nor prognosis is counted, skipped."""
+    c = engine.ingest(report(belief=0.0))
+    assert c is None
+    assert engine.stats.rejected == 1
+    assert engine.stats.ingested == 1
+
+
+def test_sink_receives_conclusions():
+    seen = []
+    engine = KnowledgeFusionEngine(default_chiller_groups(), sink=seen.append)
+    engine.ingest(report())
+    assert len(seen) == 1
+    assert seen[0].report.machine_condition_id == "mc:motor-imbalance"
+
+
+def test_time_disordered_reports_handled(engine):
+    """§5.1: inputs may be time-disordered; late-arriving stale
+    prognostics are age-shifted against the newest time seen."""
+    engine.ingest(report(belief=0.0, pairs=[(100.0, 0.4)], t=50.0))
+    engine.ingest(report(belief=0.0, pairs=[(100.0, 0.8)], t=0.0, ks="ks:wnn"))
+    # Second report is 50 s stale: its 100 s horizon is 50 s away now.
+    ttf = engine.time_to_failure("obj:m1", "mc:motor-imbalance", probability=0.75)
+    assert ttf < 100.0
+
+
+def test_suspects_passthrough(engine):
+    engine.ingest(report(belief=0.9))
+    assert engine.suspects(0.5)[0][1] == "mc:motor-imbalance"
+
+
+def test_stats_count_errors_without_raising(engine):
+    # Force an internal FusionError path: conflicting certainty.
+    engine.ingest(report(cond="mc:motor-imbalance", belief=1.0))
+    c = engine.ingest(report(cond="mc:shaft-misalignment", belief=1.0))
+    assert c is None
+    assert engine.stats.rejected == 1
+    assert engine.stats.errors
+
+
+def test_multisource_reinforcement_via_engine(engine):
+    engine.ingest(report(belief=0.6, ks="ks:dli"))
+    c = engine.ingest(report(belief=0.6, ks="ks:sbfr"))
+    assert c.diagnosis.beliefs["mc:motor-imbalance"] == pytest.approx(1 - 0.16)

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.common.errors import FusionError
+from repro.fusion import GroupRegistry, LogicalGroup
+from repro.fusion.groups import UNKNOWN, default_chiller_groups
+
+
+def test_group_requires_name_and_conditions():
+    with pytest.raises(FusionError):
+        LogicalGroup("", frozenset({"mc:x"}))
+    with pytest.raises(FusionError):
+        LogicalGroup("g", frozenset())
+
+
+def test_unknown_sentinel_reserved():
+    with pytest.raises(FusionError):
+        LogicalGroup("g", frozenset({UNKNOWN}))
+
+
+def test_frame_adds_unknown():
+    g = LogicalGroup("g", frozenset({"mc:a", "mc:b"}))
+    assert g.frame == {"mc:a", "mc:b", UNKNOWN}
+    assert len(g) == 2
+    assert "mc:a" in g
+
+
+def test_registry_add_and_lookup():
+    reg = GroupRegistry()
+    g = reg.add("electrical", ["mc:rotor", "mc:stator"])
+    assert reg.group_of("mc:rotor") is g
+    assert reg.get("electrical") is g
+    assert "electrical" in reg
+    assert len(reg) == 1
+
+
+def test_registry_rejects_duplicate_name():
+    reg = GroupRegistry()
+    reg.add("g", ["mc:a"])
+    with pytest.raises(FusionError):
+        reg.add("g", ["mc:b"])
+
+
+def test_registry_rejects_condition_claimed_twice():
+    reg = GroupRegistry()
+    reg.add("g1", ["mc:a"])
+    with pytest.raises(FusionError):
+        reg.add("g2", ["mc:a", "mc:b"])
+
+
+def test_unknown_condition_gets_auto_group():
+    reg = GroupRegistry()
+    g = reg.group_of("mc:novel")
+    assert g.name == "auto:mc:novel"
+    assert g.conditions == {"mc:novel"}
+
+
+def test_get_unknown_group_raises():
+    with pytest.raises(FusionError):
+        GroupRegistry().get("nope")
+
+
+def test_default_chiller_groups_cover_fmea():
+    reg = default_chiller_groups()
+    names = {g.name for g in reg.groups()}
+    assert {"electrical", "lubricant", "rotating-mechanical",
+            "transmission", "refrigeration"} <= names
+    # Paper's §3.3: FMEA selected 12 candidate failure modes; our
+    # default registry enumerates at least that many conditions.
+    total = sum(len(g) for g in reg.groups())
+    assert total >= 12
+
+
+def test_default_groups_examples_from_paper():
+    reg = default_chiller_groups()
+    # "one group might be electrical failures, another lubricant failures"
+    assert reg.group_of("mc:motor-rotor-bar").name == "electrical"
+    assert reg.group_of("mc:oil-contamination").name == "lubricant"

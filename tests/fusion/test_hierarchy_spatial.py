@@ -1,0 +1,159 @@
+import pytest
+
+from repro.fusion import KnowledgeFusionEngine
+from repro.fusion.groups import default_chiller_groups
+from repro.fusion.hierarchy import HealthRollup, part_health
+from repro.fusion.spatial import (
+    flow_contamination_candidates,
+    transmitted_vibration_candidates,
+)
+from repro.oosm import build_chilled_water_ship
+from repro.protocol import FailurePredictionReport
+
+
+def report(obj, cond="mc:motor-imbalance", belief=0.8, sev=0.6, ks="ks:dli"):
+    return FailurePredictionReport(
+        knowledge_source_id=ks,
+        sensed_object_id=obj,
+        machine_condition_id=cond,
+        severity=sev,
+        belief=belief,
+        timestamp=1.0,
+    )
+
+
+@pytest.fixture
+def world():
+    model, ship, units = build_chilled_water_ship(n_chillers=2)
+    engine = KnowledgeFusionEngine(default_chiller_groups())
+    return model, ship, units, engine
+
+
+# -- multi-level health rollup -------------------------------------------------
+
+def test_part_health_healthy_is_one(world):
+    _, _, units, engine = world
+    h, cond = part_health(engine, units[0].motor)
+    assert h == 1.0 and cond is None
+
+
+def test_part_health_drops_with_evidence(world):
+    _, _, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.8, sev=1.0))
+    h, cond = part_health(engine, units[0].motor)
+    assert h == pytest.approx(0.2, abs=0.01)
+    assert cond == "mc:motor-imbalance"
+
+
+def test_rollup_propagates_to_ship(world):
+    """§10.1: 'reason about the health of a system based on the health
+    of a constituent part'."""
+    model, ship, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.9, sev=0.8))
+    rollup = HealthRollup(model, engine)
+    ship_health = rollup.assess(ship.id)
+    assert ship_health.health < 0.3
+    assert ship_health.worst_part == units[0].motor
+    assert ship_health.worst_condition == "mc:motor-imbalance"
+    assert units[0].motor in ship_health.suspect_parts
+
+
+def test_rollup_sibling_unaffected(world):
+    model, _, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.9))
+    rollup = HealthRollup(model, engine)
+    assert rollup.assess(units[1].chiller).healthy
+    assert not rollup.assess(units[0].chiller).healthy
+
+
+def test_rollup_criticality_discount(world):
+    model, ship, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.9, sev=1.0))
+    harsh = HealthRollup(model, engine).assess(ship.id)
+    soft = HealthRollup(
+        model, engine, criticality={units[0].motor: 0.3}
+    ).assess(ship.id)
+    assert soft.health > harsh.health
+
+
+def test_ship_summary_sorted_worst_first(world):
+    model, ship, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.9, sev=0.9))
+    engine.ingest(report(units[1].pump, cond="mc:bearing-wear", belief=0.3, sev=0.3))
+    rollup = HealthRollup(model, engine)
+    summary = rollup.ship_summary(ship.id)
+    healths = [a.health for a in summary]
+    assert healths == sorted(healths)
+
+
+# -- spatial (proximity) reasoning ------------------------------------------------
+
+def test_transmitted_vibration_candidate_found(world):
+    """'a device is vibrating because a component next to it is broken
+    and vibrating wildly'."""
+    model, _, units, engine = world
+    motor, gearset = units[0].motor, units[0].gearset  # proximate
+    # Gearset broken and vibrating wildly; motor shows a weak call.
+    for _ in range(3):
+        engine.ingest(report(gearset, cond="mc:gear-tooth-wear", belief=0.8, sev=0.9))
+    engine.ingest(report(motor, cond="mc:motor-imbalance", belief=0.35, sev=0.3))
+    candidates = transmitted_vibration_candidates(model, engine, threshold=0.3)
+    assert candidates
+    c = candidates[0]
+    assert c.victim == motor and c.source == gearset
+    assert c.source_condition == "mc:gear-tooth-wear"
+    assert c.discount < 1.0
+    assert "transmitted" in c.describe()
+
+
+def test_no_candidate_when_beliefs_comparable(world):
+    model, _, units, engine = world
+    engine.ingest(report(units[0].motor, belief=0.7))
+    engine.ingest(report(units[0].gearset, cond="mc:gear-tooth-wear", belief=0.7))
+    assert transmitted_vibration_candidates(model, engine, dominance=1.5) == []
+
+
+def test_no_candidate_for_distant_machines(world):
+    model, _, units, engine = world
+    # units[1].pump is not proximate to units[0].motor.
+    for _ in range(3):
+        engine.ingest(report(units[1].pump, cond="mc:bearing-wear", belief=0.9, sev=0.9))
+    engine.ingest(report(units[0].motor, belief=0.3))
+    candidates = transmitted_vibration_candidates(model, engine, threshold=0.2)
+    assert all(c.victim != units[0].motor for c in candidates)
+
+
+def test_process_conditions_not_treated_as_transmissible(world):
+    model, _, units, engine = world
+    for _ in range(3):
+        engine.ingest(report(units[0].gearset, cond="mc:oil-contamination", belief=0.9))
+    engine.ingest(report(units[0].motor, cond="mc:motor-imbalance", belief=0.3))
+    candidates = transmitted_vibration_candidates(model, engine, threshold=0.2)
+    assert all(c.source_condition != "mc:oil-contamination" for c in candidates)
+
+
+# -- flow reasoning ------------------------------------------------------------------
+
+def test_flow_contamination_candidate(world):
+    """'one component passing fouled fluids on to other components
+    downstream'."""
+    model, _, units, engine = world
+    gearset, compressor = units[0].gearset, units[0].compressor
+    # Gear wear sheds metal; downstream compressor shows oil contamination.
+    engine.ingest(report(gearset, cond="mc:gear-tooth-wear", belief=0.8))
+    engine.ingest(report(compressor, cond="mc:oil-contamination", belief=0.6))
+    candidates = flow_contamination_candidates(model, engine, threshold=0.3)
+    assert candidates
+    c = candidates[0]
+    assert c.victim == compressor and c.source == gearset
+    assert "source first" in c.describe()
+
+
+def test_flow_requires_upstream_relation(world):
+    model, _, units, engine = world
+    # Pump is downstream of evaporator, not of the motor's gear train...
+    # give the *pump* gear wear (nonsensical but upstream-less) and the
+    # *motor* oil contamination: motor has no upstream, no candidate.
+    engine.ingest(report(units[0].pump, cond="mc:gear-tooth-wear", belief=0.9))
+    engine.ingest(report(units[0].motor, cond="mc:oil-contamination", belief=0.6))
+    assert flow_contamination_candidates(model, engine, threshold=0.3) == []

@@ -1,0 +1,147 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FusionError
+from repro.fusion.temporal import Episode, EpisodeTracker, TemporalAnalyzer
+
+
+def feed_episodes(tracker, starts, duration=5.0):
+    """Feed synthetic belief pulses starting at the given times."""
+    t = 0.0
+    for s in starts:
+        tracker.observe(s, 0.9)
+        tracker.observe(s + duration, 0.1)
+        t = s + duration
+    return t
+
+
+# -- tracker mechanics ----------------------------------------------------------
+
+def test_hysteresis_validation():
+    with pytest.raises(FusionError):
+        EpisodeTracker(onset=0.3, clear=0.5)
+    with pytest.raises(FusionError):
+        EpisodeTracker(onset=0.5, clear=0.0)
+
+
+def test_time_must_not_go_backwards():
+    tr = EpisodeTracker()
+    tr.observe(10.0, 0.1)
+    with pytest.raises(FusionError):
+        tr.observe(5.0, 0.1)
+
+
+def test_episode_segmentation():
+    tr = EpisodeTracker(onset=0.5, clear=0.3)
+    for t, b in [(0, 0.1), (10, 0.6), (20, 0.7), (30, 0.2), (40, 0.8), (50, 0.1)]:
+        tr.observe(float(t), b)
+    assert tr.episodes == [Episode(10.0, 30.0), Episode(40.0, 50.0)]
+    assert not tr.active
+
+
+def test_hysteresis_does_not_fragment():
+    """Belief dipping between clear and onset keeps the episode open."""
+    tr = EpisodeTracker(onset=0.5, clear=0.3)
+    for t, b in [(0, 0.6), (10, 0.4), (20, 0.6), (30, 0.1)]:
+        tr.observe(float(t), b)
+    assert len(tr.episodes) == 1
+    assert tr.episodes[0] == Episode(0.0, 30.0)
+
+
+def test_open_episode_counts_in_intervals():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 100.0])
+    tr.observe(150.0, 0.9)  # third episode, still open
+    assert tr.active
+    assert np.allclose(tr.intervals(), [100.0, 50.0])
+
+
+# -- acceleration ------------------------------------------------------------------
+
+def test_steady_recurrence_acceleration_one():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 100.0, 200.0, 300.0])
+    assert tr.acceleration() == pytest.approx(1.0)
+
+
+def test_shrinking_recurrence_detected():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 100.0, 150.0, 175.0])  # halving intervals
+    assert tr.acceleration() == pytest.approx(0.5, rel=0.05)
+
+
+def test_too_few_episodes_neutral():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 50.0])
+    assert tr.acceleration() == 1.0
+
+
+# -- projection --------------------------------------------------------------------
+
+def test_steady_fault_projects_far_horizon():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 100.0, 200.0, 300.0])
+    v = tr.project(now=310.0)
+    assert v.probability_at(30 * 86400.0) < 0.1
+
+
+def test_accelerating_fault_projects_near_failure():
+    tr = EpisodeTracker()
+    feed_episodes(tr, [0.0, 100.0, 150.0, 175.0, 187.0])
+    v = tr.project(now=190.0)
+    # Geometric series with r=0.5 from ~12s: saturates within ~tens of
+    # seconds, far sooner than a steady fault.
+    t60 = v.time_to_probability(0.6)
+    assert t60 < 3600.0
+
+
+def test_faster_acceleration_means_earlier_projection():
+    slow = EpisodeTracker()
+    feed_episodes(slow, [0.0, 100.0, 180.0, 244.0])       # r = 0.8
+    fast = EpisodeTracker()
+    feed_episodes(fast, [0.0, 100.0, 140.0, 156.0])       # r = 0.4
+    t_slow = slow.project(now=250.0).time_to_probability(0.6)
+    t_fast = fast.project(now=160.0).time_to_probability(0.6)
+    assert t_fast < t_slow
+
+
+@settings(max_examples=40, deadline=None)
+@given(r=st.floats(min_value=0.3, max_value=0.9), first=st.floats(min_value=10.0, max_value=1e4))
+def test_projection_is_valid_vector(r, first):
+    tr = EpisodeTracker()
+    starts = [0.0]
+    iv = first
+    for _ in range(5):
+        starts.append(starts[-1] + iv)
+        iv *= r
+    # Pulses must be shorter than the smallest recurrence gap.
+    duration = 0.25 * first * r**5
+    feed_episodes(tr, starts, duration=duration)
+    v = tr.project(now=starts[-1] + 1.0)
+    assert len(v) >= 2
+    assert np.all(np.diff(v.times) > 0)
+    assert np.all(np.diff(v.probabilities) >= 0)
+
+
+# -- analyzer -----------------------------------------------------------------------
+
+def test_analyzer_tracks_pairs_independently():
+    an = TemporalAnalyzer()
+    for s in [0.0, 100.0, 150.0, 175.0]:
+        an.observe("obj:a", "mc:x", s, 0.9)
+        an.observe("obj:a", "mc:x", s + 5.0, 0.1)
+    for s in [0.0, 100.0, 200.0, 300.0]:
+        an.observe("obj:b", "mc:x", s, 0.9)
+        an.observe("obj:b", "mc:x", s + 5.0, 0.1)
+    acc = an.accelerating(threshold=0.9)
+    assert [(o, c) for o, c, _ in acc] == [("obj:a", "mc:x")]
+    v = an.projection("obj:a", "mc:x", now=180.0)
+    assert v.time_to_probability(0.6) < an.projection("obj:b", "mc:x", 310.0).time_to_probability(0.6)
+
+
+def test_analyzer_unknown_pair_far_horizon():
+    an = TemporalAnalyzer()
+    v = an.projection("obj:ghost", "mc:x", now=0.0)
+    assert v.probability_at(30 * 86400.0) < 0.1

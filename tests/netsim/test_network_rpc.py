@@ -1,0 +1,216 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.netsim import EventKernel, LinkConfig, Network, RpcEndpoint, RpcError
+from repro.netsim.transport import encode_message
+
+
+def make_net(seed=0):
+    kernel = EventKernel()
+    return kernel, Network(kernel, np.random.default_rng(seed))
+
+
+# -- network / links -----------------------------------------------------------
+
+def test_delivery_with_latency():
+    kernel, net = make_net()
+    inbox = []
+    net.attach("b", lambda s, f: inbox.append((s, f, kernel.now())))
+    net.connect("a", "b", LinkConfig(latency=0.25))
+    net.send("a", "b", b"\x04\x00\x00\x00ping")
+    kernel.run()
+    assert inbox[0][0] == "a"
+    assert inbox[0][2] == pytest.approx(0.25)
+
+
+def test_send_to_unattached_endpoint_rejected():
+    _, net = make_net()
+    with pytest.raises(NetworkError):
+        net.send("a", "ghost", b"x")
+
+
+def test_attach_twice_rejected():
+    _, net = make_net()
+    net.attach("a", lambda s, f: None)
+    with pytest.raises(NetworkError):
+        net.attach("a", lambda s, f: None)
+
+
+def test_drop_rate_loses_frames():
+    kernel, net = make_net(seed=1)
+    inbox = []
+    net.attach("b", lambda s, f: inbox.append(f))
+    net.connect("a", "b", LinkConfig(drop_rate=0.5))
+    for _ in range(200):
+        net.send("a", "b", b"\x01\x00\x00\x00x")
+    kernel.run()
+    assert 60 < len(inbox) < 140
+    stats = net.stats()
+    assert stats["dropped"] == 200 - len(inbox)
+
+
+def test_jitter_reorders():
+    kernel, net = make_net(seed=3)
+    order = []
+    net.attach("b", lambda s, f: order.append(f))
+    net.connect("a", "b", LinkConfig(latency=0.01, jitter=0.1))
+    frames = [bytes([1, 0, 0, 0, i]) for i in range(20)]
+    for f in frames:
+        net.send("a", "b", f)
+    kernel.run()
+    assert sorted(order) == sorted(frames)
+    assert order != frames  # some reordering occurred
+
+
+def test_bandwidth_serializes():
+    kernel, net = make_net()
+    times = []
+    net.attach("b", lambda s, f: times.append(kernel.now()))
+    net.connect("a", "b", LinkConfig(latency=0.0, bandwidth_bps=1000.0))
+    net.send("a", "b", b"x" * 500)   # 0.5 s serialization
+    net.send("a", "b", b"x" * 500)   # queued behind the first
+    kernel.run()
+    assert times[0] == pytest.approx(0.5)
+    assert times[1] == pytest.approx(1.0)
+
+
+def test_link_config_validation():
+    with pytest.raises(NetworkError):
+        LinkConfig(latency=-1.0)
+    with pytest.raises(NetworkError):
+        LinkConfig(drop_rate=1.5)
+
+
+# -- RPC ------------------------------------------------------------------------
+
+def make_rpc_pair(config=None, seed=0, timeout=0.5, retries=2):
+    kernel, net = make_net(seed)
+    if config is not None:
+        net.connect("client", "server", config)
+    client = RpcEndpoint("client", net, kernel, timeout=timeout, retries=retries)
+    server = RpcEndpoint("server", net, kernel, timeout=timeout, retries=retries)
+    return kernel, client, server
+
+
+def test_basic_call_reply():
+    kernel, client, server = make_rpc_pair()
+    server.register("add", lambda p: {"sum": p["a"] + p["b"]})
+    replies = []
+    client.call("server", "add", {"a": 2, "b": 3}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"sum": 5}]
+    assert client.stats["failures"] == 0
+    assert server.stats["served"] == 1
+
+
+def test_unknown_method_is_error():
+    kernel, client, server = make_rpc_pair()
+    errors = []
+    client.call("server", "nope", {}, on_error=errors.append)
+    kernel.run()
+    assert len(errors) == 1
+    assert isinstance(errors[0], RpcError)
+
+
+def test_handler_exception_propagates_as_error():
+    kernel, client, server = make_rpc_pair()
+
+    def boom(p):
+        raise ValueError("broken")
+
+    server.register("boom", boom)
+    errors = []
+    client.call("server", "boom", {}, on_error=errors.append)
+    kernel.run()
+    assert "broken" in str(errors[0])
+
+
+def test_register_twice_rejected():
+    _, client, server = make_rpc_pair()
+    server.register("m", lambda p: {})
+    with pytest.raises(NetworkError):
+        server.register("m", lambda p: {})
+
+
+def test_retry_recovers_from_lossy_link():
+    """With 40% drop and 3 retries the call almost surely succeeds."""
+    kernel, client, server = make_rpc_pair(
+        config=LinkConfig(latency=0.01, drop_rate=0.4), seed=5, retries=5
+    )
+    server.register("echo", lambda p: p)
+    replies = []
+    client.call("server", "echo", {"v": 1}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"v": 1}]
+    assert client.stats["retries"] >= 0
+
+
+def test_total_loss_exhausts_retries():
+    kernel, client, server = make_rpc_pair(
+        config=LinkConfig(drop_rate=1.0), retries=2
+    )
+    server.register("echo", lambda p: p)
+    errors = []
+    client.call("server", "echo", {}, on_error=errors.append)
+    kernel.run()
+    assert len(errors) == 1
+    assert client.stats["failures"] == 1
+    assert client.stats["retries"] == 2
+
+
+def test_duplicate_reply_after_retry_ignored():
+    """A slow (not lost) reply racing a retry must not double-deliver."""
+    kernel, client, server = make_rpc_pair(
+        config=LinkConfig(latency=0.3, jitter=0.5), seed=7, timeout=0.45, retries=5
+    )
+    server.register("echo", lambda p: p)
+    replies = []
+    client.call("server", "echo", {"v": 1}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"v": 1}]
+
+
+def test_many_concurrent_calls():
+    kernel, client, server = make_rpc_pair()
+    server.register("sq", lambda p: {"out": p["x"] ** 2})
+    out = {}
+    for x in range(50):
+        client.call("server", "sq", {"x": x},
+                    on_reply=lambda r, x=x: out.__setitem__(x, r["out"]))
+    kernel.run()
+    assert out == {x: x**2 for x in range(50)}
+
+
+def test_corrupt_frames_counted_and_dropped():
+    """Bit flips on the wire are line noise: the receiver counts them
+    and the RPC retry machinery recovers."""
+    kernel, client, server = make_rpc_pair(
+        config=LinkConfig(latency=0.01, corrupt_rate=0.5), seed=11, retries=8
+    )
+    server.register("echo", lambda p: p)
+    replies = []
+    for i in range(5):
+        client.call("server", "echo", {"v": i}, on_reply=replies.append)
+    kernel.run()
+    assert sorted(r["v"] for r in replies) == [0, 1, 2, 3, 4]
+    corrupt_seen = client.stats.get("corrupt_frames", 0) + server.stats.get(
+        "corrupt_frames", 0
+    )
+    assert corrupt_seen > 0
+
+
+def test_corrupt_rate_validation():
+    with pytest.raises(NetworkError):
+        LinkConfig(corrupt_rate=1.5)
+
+
+def test_total_corruption_exhausts_retries():
+    kernel, client, server = make_rpc_pair(
+        config=LinkConfig(corrupt_rate=1.0), retries=2
+    )
+    server.register("echo", lambda p: p)
+    errors = []
+    client.call("server", "echo", {}, on_error=errors.append)
+    kernel.run()
+    assert len(errors) == 1

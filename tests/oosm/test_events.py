@@ -1,0 +1,73 @@
+from repro.oosm import EventBus, PropertyChanged, ReportPosted
+
+
+def test_subscribe_and_publish():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(PropertyChanged, seen.append)
+    ev = PropertyChanged("e:1", "x", 1, 2)
+    assert bus.publish(ev) == 1
+    assert seen == [ev]
+
+
+def test_publish_without_handlers_returns_zero():
+    assert EventBus().publish(PropertyChanged("e:1", "x", 1, 2)) == 0
+
+
+def test_handlers_filtered_by_class():
+    bus = EventBus()
+    props, reports = [], []
+    bus.subscribe(PropertyChanged, props.append)
+    bus.subscribe(ReportPosted, reports.append)
+    bus.publish(PropertyChanged("e:1", "x", 1, 2))
+    assert len(props) == 1 and len(reports) == 0
+
+
+def test_wildcard_subscription_sees_everything():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(object, seen.append)
+    bus.publish(PropertyChanged("e:1", "x", 1, 2))
+    assert len(seen) == 1
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    seen = []
+    unsub = bus.subscribe(PropertyChanged, seen.append)
+    unsub()
+    bus.publish(PropertyChanged("e:1", "x", 1, 2))
+    assert seen == []
+    assert bus.handler_count(PropertyChanged) == 0
+
+
+def test_unsubscribe_twice_is_safe():
+    bus = EventBus()
+    unsub = bus.subscribe(PropertyChanged, lambda e: None)
+    unsub()
+    unsub()
+
+
+def test_failing_handler_does_not_block_others():
+    bus = EventBus()
+    seen = []
+
+    def bad(_):
+        raise RuntimeError("boom")
+
+    bus.subscribe(PropertyChanged, bad)
+    bus.subscribe(PropertyChanged, seen.append)
+    delivered = bus.publish(PropertyChanged("e:1", "x", 1, 2))
+    assert delivered == 1
+    assert len(seen) == 1
+    assert len(bus.delivery_errors) == 1
+    assert isinstance(bus.delivery_errors[0][1], RuntimeError)
+
+
+def test_multiple_handlers_all_called():
+    bus = EventBus()
+    a, b = [], []
+    bus.subscribe(PropertyChanged, a.append)
+    bus.subscribe(PropertyChanged, b.append)
+    assert bus.publish(PropertyChanged("e:1", "x", 1, 2)) == 2
+    assert len(a) == len(b) == 1

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.common.errors import OosmError
+from repro.oosm import TypeRegistry, default_types
+
+
+def test_root_exists():
+    reg = TypeRegistry()
+    assert "entity" in reg
+
+
+def test_add_and_get():
+    reg = TypeRegistry()
+    t = reg.add("machine")
+    assert reg.get("machine") is t
+    assert t.parent == "entity"
+
+
+def test_add_duplicate_rejected():
+    reg = TypeRegistry()
+    reg.add("machine")
+    with pytest.raises(OosmError):
+        reg.add("machine")
+
+
+def test_add_unknown_parent_rejected():
+    with pytest.raises(OosmError):
+        TypeRegistry().add("x", parent="nope")
+
+
+def test_get_unknown_raises():
+    with pytest.raises(OosmError):
+        TypeRegistry().get("nope")
+
+
+def test_ancestry_most_specific_first():
+    reg = default_types()
+    anc = reg.ancestry("induction-motor")
+    assert anc[0] == "induction-motor"
+    assert anc[-1] == "entity"
+    assert "rotating-machine" in anc
+
+
+def test_is_kind_of():
+    reg = default_types()
+    assert reg.is_kind_of("accelerometer", "sensor")
+    assert reg.is_kind_of("centrifugal-compressor", "rotating-machine")
+    assert reg.is_kind_of("chiller", "machine")
+    assert not reg.is_kind_of("deck", "machine")
+    assert reg.is_kind_of("ship", "entity")
+
+
+def test_is_kind_of_self():
+    reg = default_types()
+    assert reg.is_kind_of("pump", "pump")
+
+
+def test_default_types_cover_paper_entities():
+    """§4.2 names sensors, motors, compressors, decks, ships, failure
+    prediction reports and knowledge sources."""
+    reg = default_types()
+    for name in ("sensor", "induction-motor", "centrifugal-compressor",
+                 "deck", "ship", "failure-prediction-report", "knowledge-source",
+                 "evaporator", "machine-condition"):
+        assert name in reg
+
+
+def test_iter_lists_all():
+    reg = TypeRegistry()
+    reg.add("a")
+    reg.add("b", "a")
+    assert {t.name for t in reg} == {"entity", "a", "b"}

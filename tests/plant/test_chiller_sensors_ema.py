@@ -1,0 +1,227 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import MprosError
+from repro.plant import ChillerSimulator, EmaSimulator, FaultKind, SensorModel
+from repro.plant.faults import progressive, seeded
+from repro.plant.sensors import degraded, healthy
+
+
+def sim(load=0.9, seed=0):
+    return ChillerSimulator(rng=np.random.default_rng(seed), load=load)
+
+
+def settle(s, seconds=600.0, dt=10.0):
+    for _ in range(int(seconds / dt)):
+        s.step(dt)
+
+
+# -- chiller process model ------------------------------------------------------
+
+def test_load_validation():
+    with pytest.raises(MprosError):
+        sim(load=1.4)
+    s = sim()
+    with pytest.raises(MprosError):
+        s.set_load(-0.1)
+    with pytest.raises(MprosError):
+        s.step(0.0)
+
+
+def test_healthy_steady_state_near_nominal():
+    s = sim(load=1.0)
+    settle(s)
+    p = s.sample_process()
+    assert p["evap_pressure_kpa"] == pytest.approx(330.0, abs=20)
+    assert p["cond_pressure_kpa"] == pytest.approx(1000.0, abs=40)
+    assert p["superheat_c"] == pytest.approx(4.5, abs=1.0)
+    assert p["prv_position_pct"] == pytest.approx(100.0, abs=5)
+
+
+def test_load_moves_current_and_prv():
+    hi, lo = sim(load=1.0, seed=1), sim(load=0.2, seed=2)
+    settle(hi), settle(lo)
+    assert hi.sample_process()["motor_current_a"] > lo.sample_process()["motor_current_a"]
+    assert lo.sample_process()["prv_position_pct"] == pytest.approx(20.0, abs=5)
+
+
+def test_refrigerant_leak_signature():
+    s = sim()
+    s.inject(seeded(FaultKind.REFRIGERANT_LEAK, onset=0.0, severity=0.9))
+    settle(s)
+    p = s.sample_process()
+    assert p["evap_pressure_kpa"] < 300.0       # suction down
+    assert p["superheat_c"] > 10.0              # superheat up
+
+
+def test_condenser_fouling_signature():
+    s = sim()
+    s.inject(seeded(FaultKind.CONDENSER_FOULING, onset=0.0, severity=0.9))
+    settle(s)
+    p = s.sample_process()
+    assert p["cond_pressure_kpa"] > 1100.0
+    assert p["motor_current_a"] > 420.0 * (0.35 + 0.65 * 0.9)
+
+
+def test_oil_pressure_low_signature():
+    s = sim()
+    s.inject(seeded(FaultKind.OIL_PRESSURE_LOW, onset=0.0, severity=1.0))
+    settle(s)
+    assert s.sample_process()["oil_pressure_kpa"] < 200.0
+
+
+def test_surge_oscillates_head_pressure():
+    s = sim()
+    s.inject(seeded(FaultKind.SURGE, onset=0.0, severity=1.0))
+    settle(s, seconds=100.0, dt=1.0)
+    readings = []
+    for _ in range(32):
+        s.step(1.0)
+        readings.append(s.sample_process()["cond_pressure_kpa"])
+    assert np.std(readings) > 30.0
+
+
+def test_progressive_fault_grows():
+    s = sim()
+    s.inject(progressive(FaultKind.REFRIGERANT_LEAK, onset=0.0, end=10_000.0))
+    settle(s, seconds=1_000.0)
+    early = s.sample_process()["superheat_c"]
+    settle(s, seconds=9_500.0)
+    late = s.sample_process()["superheat_c"]
+    assert late > early + 3.0
+
+
+def test_clear_faults_recovers():
+    s = sim()
+    s.inject(seeded(FaultKind.CONDENSER_FOULING, onset=0.0, severity=1.0))
+    settle(s)
+    fouled = s.sample_process()["cond_pressure_kpa"]
+    s.clear_faults()
+    settle(s)
+    assert s.sample_process()["cond_pressure_kpa"] < fouled - 100.0
+
+
+def test_severities_reports_active_faults():
+    s = sim()
+    s.inject(seeded(FaultKind.SURGE, onset=100.0))
+    assert s.severities() == {}
+    settle(s, seconds=200.0)
+    assert FaultKind.SURGE in s.severities()
+
+
+def test_vibration_reflects_injected_fault():
+    s = sim()
+    s.inject(seeded(FaultKind.MOTOR_IMBALANCE, onset=0.0, severity=0.9))
+    settle(s, seconds=10.0)
+    from repro.dsp import order_amplitudes, spectrum
+
+    x = s.sample_vibration()
+    spec = spectrum(x, s.vibration.sample_rate)
+    o = order_amplitudes(spec, s.config.kinematics.shaft_hz, max_order=3)
+    assert o[0] > 0.3
+
+
+def test_deterministic_given_seed():
+    a, b = sim(seed=42), sim(seed=42)
+    settle(a, 100.0), settle(b, 100.0)
+    assert a.sample_process().values == b.sample_process().values
+
+
+# -- sensor models ------------------------------------------------------------
+
+def test_sensor_gain_bias():
+    m = SensorModel(gain=2.0, bias=1.0)
+    out = m.apply(np.array([1.0, 2.0]), np.random.default_rng(0))
+    assert np.allclose(out, [3.0, 5.0])
+
+
+def test_sensor_saturation():
+    m = SensorModel(saturation=1.0)
+    out = m.apply(np.array([-5.0, 0.5, 5.0]), np.random.default_rng(0))
+    assert np.allclose(out, [-1.0, 0.5, 1.0])
+
+
+def test_sensor_dropout_rate():
+    m = SensorModel(dropout_rate=0.5)
+    out = m.apply(np.zeros(10_000), np.random.default_rng(0))
+    frac = np.isnan(out).mean()
+    assert 0.4 < frac < 0.6
+
+
+def test_sensor_validation():
+    with pytest.raises(MprosError):
+        SensorModel(dropout_rate=2.0)
+    with pytest.raises(MprosError):
+        SensorModel(saturation=-1.0)
+
+
+def test_presets():
+    assert healthy().dropout_rate == 0.0
+    assert degraded().dropout_rate > 0.0
+
+
+# -- EMA ------------------------------------------------------------------------
+
+def test_ema_healthy_flat_current():
+    ema = EmaSimulator(stiction_rate=0.0)
+    trace = ema.run(500, np.random.default_rng(0))
+    current = trace[:, 0]
+    assert np.all(np.abs(np.diff(current)) < 1.0)  # no spikes
+
+
+def test_ema_stiction_produces_spikes():
+    ema = EmaSimulator(stiction_rate=0.05)
+    trace = ema.run(2000, np.random.default_rng(0))
+    jumps = np.abs(np.diff(trace[:, 0])) > 1.5
+    assert jumps.sum() >= 10
+
+
+def test_ema_commanded_move_changes_cpos_and_current():
+    ema = EmaSimulator()
+    trace = ema.run(40, np.random.default_rng(0), command_schedule={10: 1.0})
+    cpos = trace[:, 1]
+    assert cpos[5] == 0.0
+    assert cpos[-1] == pytest.approx(1.0)
+    moving_current = trace[11:14, 0]
+    assert np.all(moving_current > ema.base_current + 1.0)
+
+
+def test_ema_validation():
+    with pytest.raises(MprosError):
+        EmaSimulator(stiction_rate=-1.0)
+    with pytest.raises(MprosError):
+        EmaSimulator().run(0, np.random.default_rng(0))
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plant.faults import FaultKind as _FK, seeded as _seeded
+
+_ALL_FAULTS = list(_FK)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    load=st.floats(min_value=0.0, max_value=1.0),
+    picks=st.lists(st.sampled_from(_ALL_FAULTS), max_size=3, unique=True),
+    sev=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_process_variables_stay_physical(seed, load, picks, sev):
+    """Property: under any load and any fault mix the process model
+    never leaves physically meaningful ranges."""
+    s = ChillerSimulator(rng=np.random.default_rng(seed), load=load)
+    for kind in picks:
+        s.inject(_seeded(kind, onset=0.0, severity=sev))
+    for _ in range(30):
+        s.step(30.0)
+    p = s.sample_process()
+    assert 100.0 < p["evap_pressure_kpa"] < 700.0
+    assert 500.0 < p["cond_pressure_kpa"] < 1700.0
+    assert -5.0 < p["chw_supply_temp_c"] < 30.0
+    assert 0.0 < p["superheat_c"] < 50.0
+    assert 50.0 < p["oil_pressure_kpa"] < 400.0
+    assert 30.0 < p["oil_temp_c"] < 110.0
+    assert 0.0 < p["motor_current_a"] < 800.0
+    assert -5.0 <= p["prv_position_pct"] <= 110.0

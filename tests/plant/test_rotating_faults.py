@@ -1,0 +1,170 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MprosError
+from repro.plant import (
+    FMEA_CANDIDATES,
+    BearingGeometry,
+    FaultKind,
+    MachineKinematics,
+    PROCESS_FAULTS,
+    SeverityProfile,
+    VIBRATION_FAULTS,
+    bearing_frequencies,
+)
+from repro.plant.faults import progressive, seeded
+
+
+# -- bearing kinematics ------------------------------------------------------
+
+def test_bearing_frequency_ordering():
+    f = bearing_frequencies(BearingGeometry(), 60.0)
+    assert f.ftf < f.bpfo < f.bpfi
+    assert 0 < f.ftf < 60.0
+
+
+def test_bpfo_plus_bpfi_equals_nz():
+    """BPFO + BPFI = n_balls × shaft rate (identity of the formulas)."""
+    g = BearingGeometry(n_balls=11)
+    f = bearing_frequencies(g, 47.5)
+    assert f.bpfo + f.bpfi == pytest.approx(11 * 47.5, rel=1e-12)
+
+
+def test_bearing_frequencies_scale_with_speed():
+    g = BearingGeometry()
+    f1 = bearing_frequencies(g, 30.0)
+    f2 = bearing_frequencies(g, 60.0)
+    assert f2.bpfo == pytest.approx(2 * f1.bpfo)
+
+
+def test_bearing_geometry_validation():
+    with pytest.raises(MprosError):
+        BearingGeometry(n_balls=1)
+    with pytest.raises(MprosError):
+        BearingGeometry(ball_diameter=50.0, pitch_diameter=40.0)
+    with pytest.raises(MprosError):
+        bearing_frequencies(BearingGeometry(), 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=20),
+    ratio=st.floats(min_value=0.05, max_value=0.5),
+    shaft=st.floats(min_value=1.0, max_value=200.0),
+)
+def test_bearing_frequencies_positive(n, ratio, shaft):
+    g = BearingGeometry(n_balls=n, ball_diameter=ratio * 40.0, pitch_diameter=40.0)
+    f = bearing_frequencies(g, shaft)
+    assert f.bpfo > 0 and f.bpfi > 0 and f.bsf > 0 and f.ftf > 0
+
+
+# -- machine kinematics --------------------------------------------------------
+
+def test_gear_mesh_and_output_shaft():
+    k = MachineKinematics(shaft_hz=60.0, gear_teeth=30, gear_ratio=3.0)
+    assert k.gear_mesh_hz == 1800.0
+    assert k.output_shaft_hz == 180.0
+
+
+def test_slip_and_pole_pass():
+    k = MachineKinematics(shaft_hz=59.3, line_hz=60.0, n_poles=2)
+    assert k.slip_hz == pytest.approx(0.7)
+    assert k.pole_pass_hz == pytest.approx(1.4)
+
+
+def test_kinematics_validation():
+    with pytest.raises(MprosError):
+        MachineKinematics(shaft_hz=0.0)
+    with pytest.raises(MprosError):
+        MachineKinematics(gear_ratio=0.0)
+
+
+# -- fault catalog ----------------------------------------------------------------
+
+def test_fmea_selects_twelve_modes():
+    """§3.3: the FMEA selected 12 candidate failure modes."""
+    assert len(FMEA_CANDIDATES) == 12
+    assert len(set(FMEA_CANDIDATES)) == 12
+
+
+def test_vibration_and_process_faults_partition():
+    assert VIBRATION_FAULTS & PROCESS_FAULTS == frozenset()
+    assert VIBRATION_FAULTS | PROCESS_FAULTS == frozenset(FaultKind)
+
+
+def test_condition_ids_match_protocol_style():
+    for kind in FaultKind:
+        assert kind.condition_id.startswith("mc:")
+
+
+def test_paper_example_conditions_present():
+    """§5.5 names motor imbalance, rotor bar, bearing housing looseness."""
+    ids = {k.condition_id for k in FaultKind}
+    assert {"mc:motor-imbalance", "mc:motor-rotor-bar",
+            "mc:bearing-housing-looseness"} <= ids
+
+
+# -- severity profiles --------------------------------------------------------------
+
+def test_profile_validation():
+    with pytest.raises(MprosError):
+        SeverityProfile(10.0, 5.0)
+    with pytest.raises(MprosError):
+        SeverityProfile(0.0, 1.0, peak=0.0)
+    with pytest.raises(MprosError):
+        SeverityProfile(0.0, 1.0, shape="quadratic")
+
+
+def test_step_profile():
+    p = SeverityProfile(100.0, 101.0, peak=0.8, shape="step")
+    assert p.severity_at(99.0) == 0.0
+    assert p.severity_at(100.0) == pytest.approx(0.8)
+    assert p.severity_at(500.0) == pytest.approx(0.8)
+
+
+def test_linear_profile():
+    p = SeverityProfile(0.0, 100.0, peak=1.0, shape="linear")
+    assert p.severity_at(50.0) == pytest.approx(0.5)
+    assert p.severity_at(200.0) == 1.0
+
+
+def test_exponential_profile_accelerates():
+    p = SeverityProfile(0.0, 100.0, shape="exponential")
+    early = p.severity_at(25.0)
+    late = p.severity_at(75.0) - p.severity_at(50.0)
+    assert early < 0.2            # slow start
+    assert p.severity_at(100.0) == pytest.approx(1.0)
+    assert late > early           # accelerating
+
+
+def test_profile_vectorized():
+    p = SeverityProfile(0.0, 10.0)
+    out = p.severity_at(np.array([-1.0, 5.0, 20.0]))
+    assert out.shape == (3,)
+    assert out[0] == 0.0 and out[2] == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    onset=st.floats(min_value=0, max_value=1e5),
+    dur=st.floats(min_value=1.0, max_value=1e5),
+    peak=st.floats(min_value=0.01, max_value=1.0),
+    shape=st.sampled_from(["step", "linear", "exponential"]),
+    t=st.floats(min_value=0, max_value=3e5),
+)
+def test_severity_always_in_bounds_and_monotone(onset, dur, peak, shape, t):
+    p = SeverityProfile(onset, onset + dur, peak, shape)
+    s = p.severity_at(t)
+    assert 0.0 <= s <= peak + 1e-12
+    assert p.severity_at(t + dur / 3) >= s - 1e-12
+
+
+def test_seeded_and_progressive_helpers():
+    f = seeded(FaultKind.BEARING_WEAR, onset=50.0, severity=0.7)
+    assert f.severity_at(49.0) == 0.0
+    assert f.severity_at(51.0) == pytest.approx(0.7)
+    g = progressive(FaultKind.GEAR_TOOTH_WEAR, 0.0, 1000.0)
+    assert g.severity_at(0.0) == 0.0
+    assert g.severity_at(1000.0) == pytest.approx(1.0)

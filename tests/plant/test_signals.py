@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import MprosError
+from repro.dsp import kurtosis_excess, order_amplitudes, spectrum
+from repro.dsp.envelope import envelope_spectrum
+from repro.plant import FaultKind, MachineKinematics, VibrationSynthesizer
+
+
+@pytest.fixture
+def synth():
+    return VibrationSynthesizer(MachineKinematics(shaft_hz=59.3))
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+def acquire(synth, faults=None, load=1.0, n=16384):
+    return synth.synthesize(n, faults=faults, load=load, rng=rng())
+
+
+def orders(synth, x, n=5):
+    s = spectrum(x, synth.sample_rate)
+    return order_amplitudes(s, synth.kinematics.shaft_hz, max_order=n)
+
+
+# -- validation ------------------------------------------------------------
+
+def test_validates_inputs(synth):
+    with pytest.raises(MprosError):
+        synth.synthesize(4, rng=rng())
+    with pytest.raises(MprosError):
+        synth.synthesize(1024, load=1.5, rng=rng())
+    with pytest.raises(MprosError):
+        synth.synthesize(1024, faults={FaultKind.MOTOR_IMBALANCE: 2.0}, rng=rng())
+
+
+def test_sample_rate_must_cover_gear_mesh():
+    with pytest.raises(MprosError):
+        VibrationSynthesizer(MachineKinematics(shaft_hz=60.0, gear_teeth=100), sample_rate=8192.0)
+
+
+# -- healthy baseline ----------------------------------------------------------
+
+def test_healthy_signal_has_baseline_orders(synth):
+    o = orders(synth, acquire(synth))
+    assert o[0] == pytest.approx(0.05, rel=0.3)   # 1x
+    assert o[1] == pytest.approx(0.02, rel=0.4)   # 2x
+
+
+def test_healthy_kurtosis_near_gaussian(synth):
+    x = acquire(synth)
+    assert abs(kurtosis_excess(x)) < 1.0
+
+
+# -- fault signatures -------------------------------------------------------------
+
+def test_imbalance_raises_1x(synth):
+    healthy = orders(synth, acquire(synth))
+    faulty = orders(synth, acquire(synth, {FaultKind.MOTOR_IMBALANCE: 0.8}))
+    assert faulty[0] > 4 * healthy[0]
+    assert faulty[1] == pytest.approx(healthy[1], rel=0.5)  # 2x unaffected
+
+
+def test_misalignment_raises_2x_over_1x(synth):
+    faulty = orders(synth, acquire(synth, {FaultKind.SHAFT_MISALIGNMENT: 0.8}))
+    assert faulty[1] > faulty[0]
+
+
+def test_severity_scales_signature(synth):
+    mild = orders(synth, acquire(synth, {FaultKind.MOTOR_IMBALANCE: 0.2}))
+    severe = orders(synth, acquire(synth, {FaultKind.MOTOR_IMBALANCE: 0.9}))
+    assert severe[0] > 2 * mild[0]
+
+
+def test_bearing_wear_raises_kurtosis_and_envelope_line(synth):
+    x = acquire(synth, {FaultKind.BEARING_WEAR: 0.9})
+    assert kurtosis_excess(x) > 1.5
+    bf = synth.kinematics.bearing_defect_frequencies()
+    es = envelope_spectrum(x, synth.sample_rate, band=(2000.0, 4500.0))
+    line = es.amplitude_at(bf.bpfo, tolerance_bins=3)
+    off = es.amplitude_at(bf.bpfo * 1.45, tolerance_bins=3)
+    assert line > 2.5 * off
+
+
+def test_looseness_creates_harmonic_raft_and_subharmonic(synth):
+    x = acquire(synth, {FaultKind.BEARING_HOUSING_LOOSENESS: 0.9})
+    s = spectrum(x, synth.sample_rate)
+    shaft = synth.kinematics.shaft_hz
+    sub = s.amplitude_at(0.5 * shaft)
+    assert sub > 0.03
+    high_orders = order_amplitudes(s, shaft, max_order=8)
+    assert np.all(high_orders[:6] > 0.01)
+
+
+def test_looseness_worse_at_low_load(synth):
+    """§6.1: 'some compressors vibrate more at certain frequencies when
+    unloaded' — the false-positive trap the rule sensitization avoids."""
+    loaded = acquire(synth, {FaultKind.BEARING_HOUSING_LOOSENESS: 0.5}, load=1.0)
+    unloaded = acquire(synth, {FaultKind.BEARING_HOUSING_LOOSENESS: 0.5}, load=0.1)
+    o_loaded = orders(synth, loaded, n=8)
+    o_unloaded = orders(synth, unloaded, n=8)
+    assert o_unloaded[3:7].sum() > 1.5 * o_loaded[3:7].sum()
+
+
+def test_gear_wear_raises_mesh_and_sidebands(synth):
+    x = acquire(synth, {FaultKind.GEAR_TOOTH_WEAR: 0.9})
+    s = spectrum(x, synth.sample_rate)
+    mesh = synth.kinematics.gear_mesh_hz
+    shaft = synth.kinematics.shaft_hz
+    assert s.amplitude_at(mesh) > 0.15
+    assert s.amplitude_at(mesh + shaft) > 0.05
+
+
+def test_rotor_bar_sidebands(synth):
+    x = acquire(synth, {FaultKind.MOTOR_ROTOR_BAR: 0.9}, n=65536)
+    s = spectrum(x, synth.sample_rate)
+    k = synth.kinematics
+    sb = s.amplitude_at(k.shaft_hz + k.pole_pass_hz, tolerance_bins=1)
+    assert sb > 0.08
+    assert s.amplitude_at(2 * k.line_hz, tolerance_bins=1) > 0.04
+
+
+def test_phase_imbalance_raises_twice_line(synth):
+    x = acquire(synth, {FaultKind.MOTOR_PHASE_IMBALANCE: 0.9}, n=65536)
+    s = spectrum(x, synth.sample_rate)
+    assert s.amplitude_at(2 * synth.kinematics.line_hz, tolerance_bins=1) > 0.25
+
+
+def test_process_faults_do_not_change_vibration(synth):
+    clean = acquire(synth)
+    leaky = acquire(synth, {FaultKind.REFRIGERANT_LEAK: 1.0})
+    assert np.std(clean) == pytest.approx(np.std(leaky), rel=0.1)
+
+
+def test_blocks_are_phase_continuous(synth):
+    """Consecutive blocks continue in time (no restart transient)."""
+    r = rng()
+    a = synth.synthesize(1024, rng=r)
+    b = synth.synthesize(1024, rng=r)
+    assert not np.allclose(a, b)

@@ -1,0 +1,171 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.common.units import months
+from repro.protocol import PrognosticPoint, PrognosticVector
+
+
+def vec(*pairs):
+    return PrognosticVector.from_pairs(list(pairs))
+
+
+# -- validation ---------------------------------------------------------
+
+def test_point_rejects_negative_time():
+    with pytest.raises(ProtocolError):
+        PrognosticPoint(-1.0, 0.5)
+
+
+def test_point_rejects_probability_out_of_range():
+    with pytest.raises(ProtocolError):
+        PrognosticPoint(1.0, 1.5)
+    with pytest.raises(ProtocolError):
+        PrognosticPoint(1.0, -0.1)
+
+
+def test_vector_sorts_points_by_time():
+    v = vec((10.0, 0.9), (5.0, 0.5))
+    assert list(v.times) == [5.0, 10.0]
+
+
+def test_vector_rejects_duplicate_times():
+    with pytest.raises(ProtocolError):
+        vec((5.0, 0.1), (5.0, 0.2))
+
+
+def test_vector_rejects_decreasing_probability():
+    with pytest.raises(ProtocolError):
+        vec((1.0, 0.9), (2.0, 0.1))
+
+
+def test_empty_vector():
+    v = PrognosticVector.empty()
+    assert len(v) == 0
+    assert v.probability_at(100.0) == 0.0
+    assert v.time_to_probability(0.5) == math.inf
+
+
+# -- the paper's example vector (§5.4) ---------------------------------
+
+PAPER = [(months(3), 0.01), (months(4), 0.5), (months(5), 0.99)]
+
+
+def test_paper_vector_knots_exact():
+    v = PrognosticVector.from_pairs(PAPER)
+    assert v.probability_at(months(3)) == pytest.approx(0.01)
+    assert v.probability_at(months(4)) == pytest.approx(0.5)
+    assert v.probability_at(months(5)) == pytest.approx(0.99)
+
+
+def test_interpolation_between_knots():
+    v = PrognosticVector.from_pairs(PAPER)
+    p = v.probability_at(months(4.5))
+    assert 0.5 < p < 0.99
+    assert p == pytest.approx((0.5 + 0.99) / 2, rel=1e-6)
+
+
+def test_ramp_from_zero_before_first_knot():
+    v = PrognosticVector.from_pairs(PAPER)
+    assert v.probability_at(0.0) == 0.0
+    assert 0.0 < v.probability_at(months(1.5)) < 0.01
+
+
+def test_extrapolation_beyond_last_knot_clipped():
+    v = PrognosticVector.from_pairs(PAPER)
+    assert v.probability_at(months(5.1)) > 0.99
+    assert v.probability_at(months(12)) == 1.0
+
+
+def test_time_to_probability_interpolates():
+    v = PrognosticVector.from_pairs(PAPER)
+    t50 = v.time_to_probability(0.5)
+    assert t50 == pytest.approx(months(4), rel=1e-9)
+    t25 = v.time_to_probability(0.25)
+    assert months(3) < t25 < months(4)
+
+
+def test_time_to_probability_extrapolates():
+    v = PrognosticVector.from_pairs(PAPER)
+    t_sure = v.time_to_probability(0.999)
+    assert t_sure > months(5)
+    assert t_sure < months(6)
+
+
+def test_single_point_vector_holds_value():
+    v = vec((months(2), 0.3))
+    assert v.probability_at(months(4)) == pytest.approx(0.3)
+    assert v.time_to_probability(0.5) == math.inf
+
+
+# -- shifting -----------------------------------------------------------
+
+def test_shift_rebases_times():
+    v = PrognosticVector.from_pairs(PAPER).shifted(months(1))
+    assert v.times[0] == pytest.approx(months(2))
+    assert v.probabilities[0] == pytest.approx(0.01)
+
+
+def test_shift_clamps_elapsed_horizons():
+    v = PrognosticVector.from_pairs(PAPER).shifted(months(4))
+    assert v.times[0] == 0.0
+    # The strongest already-elapsed claim survives at t=0.
+    assert v.probabilities[0] == pytest.approx(0.5)
+
+
+def test_shift_zero_is_identity():
+    v = PrognosticVector.from_pairs(PAPER)
+    assert v.shifted(0.0) is v
+
+
+def test_vectors_hash_and_compare():
+    assert PrognosticVector.from_pairs(PAPER) == PrognosticVector.from_pairs(PAPER)
+    assert hash(PrognosticVector.from_pairs(PAPER)) == hash(
+        PrognosticVector.from_pairs(PAPER)
+    )
+
+
+# -- properties ---------------------------------------------------------
+
+@st.composite
+def prognostic_vectors(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=1e8),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+    )
+    probs = sorted(
+        draw(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n))
+    )
+    return PrognosticVector.from_pairs(list(zip(times, probs)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=prognostic_vectors(), t=st.floats(min_value=0.0, max_value=2e8))
+def test_probability_at_always_in_unit_interval(v, t):
+    p = v.probability_at(t)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=prognostic_vectors())
+def test_probability_curve_is_monotone(v):
+    ts = np.linspace(0.0, float(v.times[-1]) * 1.5 + 1.0, 64)
+    ps = v.probability_at(ts)
+    assert np.all(np.diff(ps) >= -1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=prognostic_vectors(), dt=st.floats(min_value=0.0, max_value=1e8))
+def test_shift_preserves_validity(v, dt):
+    w = v.shifted(dt)
+    assert np.all(np.diff(w.times) > 0) or len(w) <= 1
+    assert np.all(np.diff(w.probabilities) >= 0) or len(w) <= 1

@@ -1,0 +1,231 @@
+import numpy as np
+import pytest
+
+from repro.common.errors import SbfrError
+from repro.sbfr import (
+    MachineSpec,
+    SbfrSystem,
+    State,
+    Transition,
+    build_spike_machine,
+    build_stiction_machine,
+    cmp,
+    count_threshold_machine,
+    level_alarm_machine,
+)
+from repro.sbfr.spec import Always, Delta, Elapsed, Input, OrStatus
+
+
+def spike_train(n_spikes, gap=20, amplitude=2.0, base=1.0):
+    """Synthetic drive-current trace with sharp spikes."""
+    sig = [base] * 10
+    for _ in range(n_spikes):
+        sig += [base + amplitude, base]          # sharp up, sharp down
+        sig += [base] * gap
+    return np.array(sig)
+
+
+def make_ema_system():
+    sys = SbfrSystem(channels=["current", "cpos"])
+    sys.add_machine(build_spike_machine(current_channel=0, self_index=0))
+    sys.add_machine(build_stiction_machine(cpos_channel=1, spike_machine=0, self_index=1))
+    return sys
+
+
+# -- basics ---------------------------------------------------------------
+
+def test_duplicate_channels_rejected():
+    with pytest.raises(SbfrError):
+        SbfrSystem(channels=["a", "a"])
+
+
+def test_unknown_channel_rejected():
+    sys = SbfrSystem(channels=["a"])
+    with pytest.raises(SbfrError):
+        sys.cycle({"b": 1.0})
+
+
+def test_wrong_sample_shape_rejected():
+    sys = SbfrSystem(channels=["a", "b"])
+    with pytest.raises(SbfrError):
+        sys.cycle(np.zeros(3))
+    with pytest.raises(SbfrError):
+        sys.run(np.zeros((5, 3)))
+
+
+def test_missing_dict_channels_hold_previous_value():
+    """§5.1: inputs may be fragmentary; missing channels hold."""
+    sys = SbfrSystem(channels=["a", "b"])
+    sys.add_machine(level_alarm_machine(channel=1, threshold=0.5, hold_cycles=0))
+    sys.cycle({"a": 0.0, "b": 1.0})
+    for _ in range(3):
+        sys.cycle({"a": 0.0})  # b holds at 1.0
+    assert sys.status(0) == 1
+
+
+def test_elapsed_counts_cycles_in_state():
+    spec = MachineSpec(
+        "t", (State("w"), State("x")),
+        (Transition(0, 1, cmp(Elapsed(), ">=", 3)),),
+    )
+    sys = SbfrSystem(channels=["a"])
+    sys.add_machine(spec)
+    for _ in range(3):
+        sys.cycle({"a": 0.0})
+        assert sys.state_name(0) == "w"
+    sys.cycle({"a": 0.0})
+    assert sys.state_name(0) == "x"
+
+
+def test_first_enabled_transition_wins():
+    spec = MachineSpec(
+        "t", (State("w"), State("x"), State("y")),
+        (
+            Transition(0, 1, Always()),
+            Transition(0, 2, Always()),
+        ),
+    )
+    sys = SbfrSystem(channels=["a"])
+    sys.add_machine(spec)
+    sys.cycle({"a": 0.0})
+    assert sys.state_name(0) == "x"
+
+
+def test_delta_is_zero_on_first_cycle():
+    spec = MachineSpec(
+        "t", (State("w"), State("x")),
+        (Transition(0, 1, cmp(Delta(0), ">", 0.0)),),
+    )
+    sys = SbfrSystem(channels=["a"])
+    sys.add_machine(spec)
+    sys.cycle({"a": 5.0})       # no previous sample: delta treated as 0
+    assert sys.state_name(0) == "w"
+    sys.cycle({"a": 6.0})
+    assert sys.state_name(0) == "x"
+
+
+def test_reset_restores_initial_state():
+    sys = make_ema_system()
+    current = spike_train(6)
+    sys.run(np.column_stack([current, np.zeros_like(current)]))
+    sys.reset()
+    assert sys.state_name(0) == "Wait" and sys.state_name(1) == "Wait"
+    assert sys.status(0) == 0 and sys.status(1) == 0
+    assert sys.cycle_count == 0
+
+
+def test_run_returns_state_change_log():
+    sys = SbfrSystem(channels=["a"])
+    sys.add_machine(level_alarm_machine(channel=0, threshold=0.5, hold_cycles=1))
+    log = sys.run(np.array([[0.0], [1.0], [1.0], [1.0], [0.0]]))
+    machines = [m for _, m, _ in log]
+    assert machines.count(0) >= 2  # entered High, Alarm, back to Wait
+
+
+# -- Figure 3: the EMA spike/stiction pair -----------------------------------
+
+def test_spike_machine_recognizes_sharp_spike():
+    sys = make_ema_system()
+    current = np.array([1.0, 1.0, 3.0, 1.0, 1.0, 1.0])
+    for c in current:
+        sys.cycle({"current": c, "cpos": 0.0})
+    # The stiction machine consumed and reset the spike flag, and
+    # counted it.
+    assert sys.states[1].locals[1] == 1
+
+
+def test_slow_ramp_is_not_a_spike():
+    sys = make_ema_system()
+    # Slow rise over many cycles, slow fall: never a spike.
+    current = np.concatenate([
+        np.full(5, 1.0),
+        np.linspace(1.0, 3.0, 40),
+        np.linspace(3.0, 1.0, 40),
+    ])
+    for c in current:
+        sys.cycle({"current": c, "cpos": 0.0})
+    assert sys.states[1].locals[1] == 0
+    assert sys.status(1) == 0
+
+
+def test_stiction_flag_after_five_uncommanded_spikes():
+    """'When the count is greater than 4, a stiction condition is
+    flagged' — the fifth uncommanded spike trips the machine."""
+    sys = make_ema_system()
+    current = spike_train(5)
+    cpos = np.zeros_like(current)
+    sys.run(np.column_stack([current, cpos]))
+    assert sys.state_name(1) == "Stiction"
+    assert sys.status(1) & 1
+
+
+def test_four_spikes_do_not_flag():
+    sys = make_ema_system()
+    current = spike_train(4)
+    sys.run(np.column_stack([current, np.zeros_like(current)]))
+    assert sys.state_name(1) == "Wait"
+    assert sys.status(1) == 0
+
+
+def test_commanded_spikes_are_not_counted():
+    """Spikes during commanded position changes (CPOS) are expected and
+    must not count toward stiction."""
+    sys = make_ema_system()
+    current = spike_train(8)
+    # The actuator moves over a few cycles around each spike, so CPOS
+    # is changing while the spike is being recognized.
+    deltas = np.diff(current, prepend=current[0])
+    cpos = np.zeros_like(current)
+    for i in np.flatnonzero(deltas > 0.5):
+        for k in range(4):
+            j = min(i + k, len(cpos) - 1)
+            cpos[j:] += 0.25
+    sys.run(np.column_stack([current, cpos]))
+    assert sys.states[1].locals[1] == 0
+    assert sys.state_name(1) == "Wait"
+
+
+def test_consumer_reset_restarts_counting():
+    """'That agent has the responsibility to then reset Machine 1's
+    status register to 0 allowing the machine itself to set the count
+    back to 0 and start over.'"""
+    sys = make_ema_system()
+    current = spike_train(5)
+    sys.run(np.column_stack([current, np.zeros_like(current)]))
+    assert sys.state_name(1) == "Stiction"
+    # Higher-level software consumes the flag and resets the register.
+    sys.set_status(1, 0)
+    sys.cycle({"current": 1.0, "cpos": 0.0})
+    assert sys.state_name(1) == "Wait"
+    assert sys.states[1].locals[1] == 0
+    # Counting starts over: five more spikes trip it again.
+    current2 = spike_train(5)
+    sys.run(np.column_stack([current2, np.zeros_like(current2)]))
+    assert sys.state_name(1) == "Stiction"
+
+
+def test_spike_machine_keeps_looking_while_stiction_waits():
+    """Machine 1 resets Machine 0's status after each spike so Machine 0
+    'can continue looking for spikes in parallel'."""
+    sys = make_ema_system()
+    current = spike_train(3)
+    sys.run(np.column_stack([current, np.zeros_like(current)]))
+    assert sys.states[1].locals[1] == 3
+    assert sys.status(0) == 0  # always consumed
+    assert sys.state_name(0) == "Wait"
+
+
+# -- layered recognition -------------------------------------------------------
+
+def test_count_threshold_machine_layers_on_alarm():
+    """§6.3 layered architecture: a counter machine watches a level
+    alarm and fires after repeated alarms."""
+    sys = SbfrSystem(channels=["x"])
+    alarm_idx = sys.add_machine(level_alarm_machine(channel=0, threshold=0.5, hold_cycles=0))
+    counter_idx = sys.add_machine(count_threshold_machine(watched_machine=0, count=2))
+    burst = [1.0, 1.0, 0.0, 0.0]
+    for _ in range(3):
+        for v in burst:
+            sys.cycle({"x": v})
+    assert sys.status(counter_idx) & 1
+    assert sys.state_name(counter_idx) == "Fired"

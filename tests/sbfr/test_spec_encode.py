@@ -1,0 +1,171 @@
+import pytest
+
+from repro.common.errors import SbfrError
+from repro.sbfr import (
+    And,
+    Const,
+    Delta,
+    Elapsed,
+    IncrLocal,
+    Input,
+    Local,
+    MachineSpec,
+    Not,
+    Or,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    State,
+    Status,
+    Transition,
+    build_spike_machine,
+    build_stiction_machine,
+    cmp,
+    decode_machine,
+    encode_machine,
+    encoded_size,
+)
+from repro.sbfr.spec import Always, referenced_channels
+
+
+def simple_machine():
+    return MachineSpec(
+        name="toy",
+        states=(State("a"), State("b")),
+        transitions=(
+            Transition(0, 1, cmp(Input(0), ">", 0.5), (OrStatus(-1, 1),)),
+            Transition(1, 0, cmp(Status(-1), "==", 0), (SetLocal(0, 0.0),)),
+        ),
+        n_locals=1,
+    )
+
+
+# -- spec validation --------------------------------------------------------
+
+def test_machine_needs_states():
+    with pytest.raises(SbfrError):
+        MachineSpec("x", (), ())
+
+
+def test_transition_state_bounds_checked():
+    with pytest.raises(SbfrError):
+        MachineSpec("x", (State("a"),), (Transition(0, 5, Always()),))
+
+
+def test_transition_negative_state_rejected():
+    with pytest.raises(SbfrError):
+        Transition(-1, 0, Always())
+
+
+def test_unknown_comparison_rejected():
+    with pytest.raises(SbfrError):
+        cmp(Input(0), "~", 1.0)
+
+
+def test_cmp_wraps_floats_in_const():
+    c = cmp(0.5, "<", Input(0))
+    assert isinstance(c.lhs, Const)
+
+
+def test_state_index_lookup():
+    m = simple_machine()
+    assert m.state_index("b") == 1
+    with pytest.raises(SbfrError):
+        m.state_index("zz")
+
+
+def test_transitions_from():
+    m = simple_machine()
+    assert len(m.transitions_from(0)) == 1
+    assert m.transitions_from(0)[0].target == 1
+
+
+def test_condition_operators_compose():
+    c = (cmp(Input(0), ">", 1) & cmp(Input(1), "<", 2)) | ~cmp(Local(0), "==", 0)
+    assert isinstance(c, Or)
+    assert isinstance(c.a, And)
+    assert isinstance(c.b, Not)
+
+
+def test_referenced_channels():
+    m = build_spike_machine(current_channel=3)
+    assert referenced_channels(m) == {3}
+    s = build_stiction_machine(cpos_channel=1)
+    assert referenced_channels(s) == {1}
+
+
+# -- encoding ---------------------------------------------------------------
+
+def test_roundtrip_simple_machine():
+    m = simple_machine()
+    decoded = decode_machine(encode_machine(m))
+    assert len(decoded.states) == 2
+    assert decoded.n_locals == 1
+    assert decoded.transitions == m.transitions
+
+
+def test_roundtrip_fig3_machines():
+    for m in (build_spike_machine(0), build_stiction_machine(1)):
+        decoded = decode_machine(encode_machine(m))
+        assert decoded.transitions == m.transitions
+        assert len(decoded.states) == len(m.states)
+
+
+def test_roundtrip_all_node_types():
+    m = MachineSpec(
+        name="everything",
+        states=(State("a"), State("b")),
+        transitions=(
+            Transition(
+                0, 1,
+                Or(
+                    And(cmp(Delta(2), ">=", 0.25), Not(cmp(Elapsed(), "!=", 3))),
+                    cmp(Status(1), "<=", Local(0)),
+                ),
+                (SetStatus(1, 0), OrStatus(-1, 3), SetLocal(1, 2.5), IncrLocal(0, -1.0)),
+            ),
+            Transition(1, 0, Always()),
+        ),
+        n_locals=2,
+    )
+    decoded = decode_machine(encode_machine(m))
+    assert decoded.transitions == m.transitions
+
+
+def test_decode_bad_magic():
+    with pytest.raises(SbfrError):
+        decode_machine(b"XX\x01\x01\x00\x00")
+
+
+def test_decode_trailing_bytes_rejected():
+    data = encode_machine(simple_machine()) + b"\x00"
+    with pytest.raises(SbfrError):
+        decode_machine(data)
+
+
+# -- the paper's footprint claims (§6.3) -------------------------------------
+
+def test_spike_machine_size_order_of_paper():
+    """Paper: spike machine 229 bytes. Ours must land in the same
+    small-embedded ballpark (well under 512 B)."""
+    size = encoded_size(build_spike_machine(0))
+    assert 40 <= size <= 512
+
+
+def test_stiction_machine_size_order_of_paper():
+    """Paper: stiction machine 93 bytes."""
+    size = encoded_size(build_stiction_machine(1))
+    assert 30 <= size <= 256
+
+
+def test_stiction_smaller_than_spike():
+    assert encoded_size(build_stiction_machine(1)) < encoded_size(build_spike_machine(0))
+
+
+def test_hundred_machines_under_32k():
+    """Paper: '100 state machines operating in parallel and their
+    interpreter can fit in less than 32K bytes'."""
+    total = 50 * encoded_size(build_spike_machine(0)) + 50 * encoded_size(
+        build_stiction_machine(1)
+    )
+    assert total < 32 * 1024

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_faults(capsys):
+    assert main(["list-faults"]) == 0
+    out = capsys.readouterr().out
+    assert "mc:motor-imbalance" in out
+    assert "[FMEA, vibration]" in out
+    assert "mc:refrigerant-leak" in out
+
+
+def test_fleet_accounting(capsys):
+    assert main(["fleet", "--ships", "10", "--dcs", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "per DC:" in out and "fleet:" in out
+
+
+def test_ema_detects(capsys):
+    assert main(["ema", "--stiction-rate", "0.08", "--cycles", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "stiction flagged" in out
+
+
+def test_ema_healthy_reports_nothing(capsys):
+    assert main(["ema", "--stiction-rate", "0.0", "--cycles", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "no stiction detected" in out
+
+
+def test_demo_runs_scenario(capsys):
+    assert main(["demo", "--hours", "1", "--chillers", "1",
+                 "--fault", "mc:motor-imbalance"]) == 0
+    out = capsys.readouterr().out
+    assert "MPROS Browser" in out
+    assert "prioritized maintenance list" in out
+    assert "reports received:" in out
+
+
+def test_demo_unknown_fault_errors(capsys):
+    assert main(["demo", "--fault", "mc:warp-core-breach"]) == 2
+    assert "unknown fault" in capsys.readouterr().err
+
+
+def test_campaign_summary(capsys):
+    assert main(["campaign", "--duration", "600", "--scan", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert "(healthy control)" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

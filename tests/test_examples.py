@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Each example's ``main()`` is executed with stdout captured; these are
+the scripts a new user runs first, so they must never rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,expect",
+    [
+        ("quickstart", "Top suspect: mc:motor-imbalance"),
+        ("ema_stiction", "Stiction condition flagged"),
+        ("fleet_scale", "Fleet data-rate accounting"),
+        ("destructive_test", "prognostic lead time"),
+        ("future_directions", "Multi-level health rollup"),
+        ("closer_look", "closer-look confirmations"),
+    ],
+)
+def test_example_runs(name, expect, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert expect in out
+
+
+def test_campaign_example_runs(capsys):
+    # The campaign example is the slowest; assert its headline numbers.
+    module = load_example("seeded_fault_campaign")
+    module.main()
+    out = capsys.readouterr().out
+    assert "12/12 detected" in out
+    assert "Analyst agreement" in out
+
+
+def test_all_examples_have_smoke_tests():
+    tested = {
+        "quickstart", "ema_stiction", "fleet_scale", "destructive_test",
+        "future_directions", "seeded_fault_campaign", "closer_look",
+    }
+    shipped = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert shipped == tested, f"untested examples: {shipped - tested}"

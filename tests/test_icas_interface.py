@@ -1,0 +1,84 @@
+"""The §1 open interface: machinery condition and raw sensor data
+served to other shipboard systems (ICAS)."""
+
+import pytest
+
+from repro import build_mpros_system
+from repro.common.errors import MprosError
+from repro.netsim.rpc import RpcEndpoint
+from repro.pdme.icas import IcasClient
+from repro.plant.faults import FaultKind, seeded
+
+
+@pytest.fixture
+def world():
+    system = build_mpros_system(n_chillers=2, seed=0)
+    motor = system.units[0].motor
+    system.inject_fault(motor, seeded(FaultKind.MOTOR_IMBALANCE, 0.0, 0.9))
+    system.run(hours=1.0)
+    client_ep = RpcEndpoint("icas:client", system.network, system.kernel)
+    client = IcasClient(client_ep)
+    return system, client, motor
+
+
+def test_get_condition(world):
+    system, client, motor = world
+    out = client.fetch(system.kernel, "get_condition", {"machine_id": motor})
+    assert out["machine_id"] == motor
+    groups = {g["group"]: g for g in out["groups"]}
+    assert "rotating-mechanical" in groups
+    g = groups["rotating-mechanical"]
+    assert g["beliefs"]["mc:motor-imbalance"] > 0.9
+    assert 0.0 <= g["unknown"] <= 1.0
+    assert g["reports"] > 0
+
+
+def test_get_condition_unknown_machine_is_rpc_error(world):
+    system, client, motor = world
+    with pytest.raises(MprosError):
+        client.fetch(system.kernel, "get_condition", {"machine_id": "obj:ghost"})
+
+
+def test_get_priorities(world):
+    system, client, motor = world
+    out = client.fetch(system.kernel, "get_priorities", {"limit": 5})
+    assert out["entries"]
+    top = out["entries"][0]
+    assert top["machine_id"] == motor
+    assert top["condition_id"] == "mc:motor-imbalance"
+    assert top["urgency"] > 0
+    assert top["time_to_failure_s"] is None or top["time_to_failure_s"] > 0
+
+
+def test_get_health_rollup(world):
+    system, client, motor = world
+    ship_id = next(e.id for e in system.model.entities(type_name="ship"))
+    out = client.fetch(system.kernel, "get_health", {"entity_id": ship_id})
+    assert out["health"] < 1.0
+    assert out["worst_part"] == motor
+    assert motor in out["suspect_parts"]
+
+
+def test_get_reports_wire_form(world):
+    system, client, motor = world
+    out = client.fetch(system.kernel, "get_reports", {"machine_id": motor, "limit": 3})
+    assert 1 <= len(out["reports"]) <= 3
+    r = out["reports"][0]
+    assert r["sensed_object_id"] == motor
+    assert "belief" in r and "prognostic" in r
+
+
+def test_dc_raw_measurements(world):
+    system, client, motor = world
+    ep = RpcEndpoint("icas:raw", system.network, system.kernel)
+    box = []
+    ep.call("dc:0", "get_measurements",
+            {"machine_id": motor, "kind": "rms", "limit": 10},
+            on_reply=box.append)
+    system.kernel.run_until(system.kernel.now() + 1.0)
+    assert box
+    history = box[0]["history"]
+    assert history
+    times = [t for t, v in history]
+    assert times == sorted(times)
+    assert all(v > 0 for _, v in history)

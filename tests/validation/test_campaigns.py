@@ -1,0 +1,132 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.common.errors import MprosError
+from repro.plant import FaultKind
+from repro.validation import (
+    SeededFaultCampaign,
+    generate_archive,
+    run_destructive_test,
+)
+from repro.validation.archives import believability_from_archive
+from repro.validation.seeded import process_only, vibration_only
+
+
+# -- seeded campaigns ------------------------------------------------------------
+
+def test_campaign_validation():
+    with pytest.raises(MprosError):
+        SeededFaultCampaign(sources=[])
+    with pytest.raises(MprosError):
+        SeededFaultCampaign(sources=[DliExpertSystem()], severity=0.0)
+
+
+def test_fault_filters():
+    vib = vibration_only()
+    proc = process_only()
+    assert FaultKind.MOTOR_IMBALANCE in vib
+    assert FaultKind.REFRIGERANT_LEAK in proc
+    assert not set(vib) & set(proc)
+
+
+def test_vibration_campaign_detects_and_scores():
+    campaign = SeededFaultCampaign(
+        sources=[DliExpertSystem()],
+        faults=(FaultKind.MOTOR_IMBALANCE, FaultKind.BEARING_WEAR),
+        duration=1200.0,
+        scan_period=300.0,
+        rng=np.random.default_rng(0),
+    )
+    records = campaign.run(healthy_controls=1)
+    assert len(records) == 3
+    metrics = campaign.score(records)
+    assert metrics.n_runs == 2
+    assert metrics.detection_rate == 1.0
+    assert metrics.mean_latency < math.inf
+    # Detections happen only after onset.
+    for r in records:
+        if r.fault is not None:
+            assert r.first_detection >= campaign.onset
+
+
+def test_process_campaign_with_fuzzy():
+    campaign = SeededFaultCampaign(
+        sources=[FuzzyDiagnostics()],
+        faults=(FaultKind.REFRIGERANT_LEAK,),
+        duration=1800.0,
+        scan_period=120.0,
+        rng=np.random.default_rng(1),
+    )
+    records = campaign.run(healthy_controls=1)
+    metrics = campaign.score(records)
+    assert metrics.detection_rate == 1.0
+    assert metrics.false_alarms == 0
+
+
+def test_healthy_control_record_shape():
+    campaign = SeededFaultCampaign(
+        sources=[DliExpertSystem()],
+        faults=(),
+        duration=600.0,
+        scan_period=300.0,
+        rng=np.random.default_rng(2),
+    )
+    records = campaign.run(healthy_controls=1)
+    assert len(records) == 1
+    assert records[0].truth == set()
+
+
+# -- destructive test ---------------------------------------------------------------
+
+def test_destructive_run_detects_before_failure():
+    result = run_destructive_test(
+        sources=[DliExpertSystem()],
+        fault=FaultKind.MOTOR_IMBALANCE,
+        time_to_failure=3000.0,
+        scan_period=300.0,
+        rng=np.random.default_rng(0),
+    )
+    assert result.detected
+    assert result.lead_time > 0
+    assert result.ttf_track  # TTF estimates were recorded
+    # The elementary grade-based prognosis is coarse (months/weeks/days
+    # categories) but must *tighten* as the fault worsens: the final
+    # estimate is far shorter than the first.
+    assert result.ttf_track[-1][1] < 0.2 * result.ttf_track[0][1]
+    assert math.isfinite(result.mean_ttf_error())
+
+
+def test_destructive_validation():
+    with pytest.raises(MprosError):
+        run_destructive_test([DliExpertSystem()], time_to_failure=0.0)
+
+
+# -- archives -------------------------------------------------------------------------
+
+def test_archive_generation_shape():
+    records = generate_archive(np.random.default_rng(0), n_records=100)
+    assert len(records) == 100
+    times = [r.time for r in records]
+    assert times == sorted(times)
+    assert any(r.confirmed for r in records)
+    assert any(not r.confirmed for r in records)
+
+
+def test_archive_validation():
+    with pytest.raises(MprosError):
+        generate_archive(np.random.default_rng(0), n_records=0)
+    with pytest.raises(MprosError):
+        generate_archive(np.random.default_rng(0), confirm_rate=1.5)
+
+
+def test_believability_from_archive_tracks_confirm_rate():
+    records = generate_archive(
+        np.random.default_rng(3), n_records=600, confirm_rate=0.9
+    )
+    db = believability_from_archive(records)
+    values = [db.believability(c) for c in db.conditions()]
+    assert np.mean(values) == pytest.approx(0.9, abs=0.06)

@@ -1,0 +1,121 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dli.believability import ReversalDatabase
+from repro.common.errors import MprosError
+from repro.plant import FaultKind
+from repro.protocol import FailurePredictionReport
+from repro.validation import (
+    AnalystDecision,
+    SyntheticAnalyst,
+    detection_latency,
+    precision_recall,
+    prognostic_error,
+)
+from repro.validation.analyst import AgreementStudy
+from repro.validation.metrics import summarize
+
+
+def report(cond, t=100.0):
+    return FailurePredictionReport(
+        knowledge_source_id="ks:dli",
+        sensed_object_id="obj:m",
+        machine_condition_id=cond,
+        severity=0.6,
+        belief=0.7,
+        timestamp=t,
+    )
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_detection_latency():
+    assert detection_latency([150.0, 300.0], onset=100.0) == 50.0
+    assert detection_latency([], onset=100.0) == math.inf
+    assert detection_latency([50.0], onset=100.0) == math.inf  # pre-onset noise
+
+
+def test_precision_recall():
+    assert precision_recall({"a", "b"}, {"a"}) == (0.5, 1.0)
+    assert precision_recall({"a"}, {"a", "b"}) == (1.0, 0.5)
+    assert precision_recall(set(), set()) == (1.0, 1.0)
+    assert precision_recall(set(), {"a"}) == (0.0, 0.0)
+    assert precision_recall({"a"}, set())[0] == 0.0
+
+
+def test_prognostic_error():
+    assert prognostic_error(80.0, 100.0) == pytest.approx(0.2)
+    assert prognostic_error(math.inf, 100.0) == math.inf
+    with pytest.raises(MprosError):
+        prognostic_error(10.0, 0.0)
+
+
+def test_summarize_counts_false_alarms_separately():
+    per_run = [
+        ({"mc:a"}, {"mc:a"}, 400.0),       # detected at 400
+        ({"mc:b"}, {"mc:a"}, math.inf),    # wrong call
+        ({"mc:x"}, set(), math.inf),       # healthy control false alarm
+        (set(), set(), math.inf),          # clean healthy control
+    ]
+    m = summarize(per_run, onset=300.0)
+    assert m.n_runs == 2
+    assert m.n_detected == 1
+    assert m.false_alarms == 1
+    assert m.mean_latency == pytest.approx(100.0)
+    assert m.detection_rate == 0.5
+    assert "detected" in m.describe()
+
+
+# -- synthetic analyst ---------------------------------------------------------
+
+def test_analyst_approves_correct_diagnosis():
+    analyst = SyntheticAnalyst(np.random.default_rng(0), error_rate=0.0)
+    decision = analyst.adjudicate(
+        report("mc:motor-imbalance"), {FaultKind.MOTOR_IMBALANCE: 0.8}
+    )
+    assert decision is AnalystDecision.APPROVED
+
+
+def test_analyst_reverses_wrong_diagnosis():
+    analyst = SyntheticAnalyst(np.random.default_rng(0), error_rate=0.0)
+    decision = analyst.adjudicate(report("mc:bearing-wear"), {FaultKind.MOTOR_IMBALANCE: 0.8})
+    assert decision is AnalystDecision.REVERSED
+
+
+def test_analyst_ignores_subthreshold_faults():
+    analyst = SyntheticAnalyst(np.random.default_rng(0), error_rate=0.0,
+                               severity_floor=0.5)
+    decision = analyst.adjudicate(
+        report("mc:motor-imbalance"), {FaultKind.MOTOR_IMBALANCE: 0.2}
+    )
+    assert decision is AnalystDecision.REVERSED
+
+
+def test_analyst_error_rate_flips_sometimes():
+    analyst = SyntheticAnalyst(np.random.default_rng(1), error_rate=0.3)
+    decisions = [
+        analyst.adjudicate(report("mc:motor-imbalance"), {FaultKind.MOTOR_IMBALANCE: 0.8})
+        for _ in range(200)
+    ]
+    reversed_count = sum(d is AnalystDecision.REVERSED for d in decisions)
+    assert 30 < reversed_count < 90  # ~30% of 200
+
+
+def test_analyst_validation():
+    with pytest.raises(MprosError):
+        SyntheticAnalyst(np.random.default_rng(0), error_rate=0.7)
+
+
+def test_agreement_study_tracks_database():
+    study = AgreementStudy(
+        analyst=SyntheticAnalyst(np.random.default_rng(0), error_rate=0.0),
+        database=ReversalDatabase(),
+    )
+    for _ in range(9):
+        study.review(report("mc:motor-imbalance"), {FaultKind.MOTOR_IMBALANCE: 0.8})
+    study.review(report("mc:bearing-wear"), {FaultKind.MOTOR_IMBALANCE: 0.8})
+    assert study.agreement == pytest.approx(0.9)
+    assert study.database.counts("mc:motor-imbalance") == (9, 0)
+    assert study.database.counts("mc:bearing-wear") == (0, 1)
