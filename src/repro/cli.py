@@ -12,6 +12,7 @@ Examples
     mpros campaign --duration 1800
     mpros ema
     mpros fleet
+    mpros metrics --hours 1 --fault mc:motor-imbalance
     mpros list-faults
 """
 
@@ -105,6 +106,43 @@ def _cmd_ema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scripted DC→PDME run, then dump the unified metrics snapshot."""
+    import json
+
+    from repro import build_mpros_system
+    from repro.obs import MetricsRegistry, export_jsonl, snapshot_json
+    from repro.plant.faults import FaultKind, progressive
+
+    registry = MetricsRegistry()
+    system = build_mpros_system(
+        n_chillers=args.chillers, seed=args.seed, metrics=registry
+    )
+    if args.fault:
+        try:
+            fault = FaultKind(args.fault)
+        except ValueError:
+            print(f"unknown fault {args.fault!r}; see `mpros list-faults`",
+                  file=sys.stderr)
+            return 2
+        system.inject_fault(
+            system.units[0].motor,
+            progressive(fault, onset=0.0, end=args.hours * 3600.0,
+                        shape="exponential"),
+        )
+    system.run(hours=args.hours)
+    if args.jsonl:
+        tracer = system.dcs[0].tracer if system.dcs else None
+        with open(args.jsonl, "w", encoding="utf-8") as fp:
+            lines = export_jsonl(registry, fp, clock=system.kernel.clock,
+                                 tracer=tracer)
+        print(f"wrote {lines} series to {args.jsonl}", file=sys.stderr)
+    doc = json.loads(snapshot_json(registry))
+    doc["subsystems"] = registry.subsystems()
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.hpc import FleetConfig, fleet_data_rate
 
@@ -143,6 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stiction-rate", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_ema)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a scripted DC→PDME scenario and dump the metrics snapshot",
+    )
+    p.add_argument("--fault", default="mc:motor-imbalance",
+                   help="machine condition to inject ('' for a healthy run)")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--chillers", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jsonl", default="",
+                   help="also export JSON-lines records to this path")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("fleet", help="fleet data-rate accounting")
     p.add_argument("--ships", type=int, default=30)

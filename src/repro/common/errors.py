@@ -38,3 +38,7 @@ class SchedulingError(MprosError):
 
 class NetworkError(MprosError):
     """Simulated ship-network / RPC failure surfaced to the caller."""
+
+
+class ObservabilityError(MprosError):
+    """Metrics/trace misuse (decreasing counter, conflicting series...)."""

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.common.errors import AcquisitionError
 from repro.dsp.features import rms
+from repro.obs.registry import MetricsRegistry, default_registry
 
 SignalSource = Callable[[int, np.random.Generator], np.ndarray]
 
@@ -148,10 +149,18 @@ class RmsDetectorBank:
 class AcquisitionChain:
     """The assembled Figure-5 front end: 2 MUX + DSP + RMS detectors."""
 
-    def __init__(self, sample_rate: float = 16384.0) -> None:
+    def __init__(
+        self, sample_rate: float = 16384.0, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.muxes = [MuxCard(0), MuxCard(1)]
         self.dsp = DspCard(sample_rate)
         self.detectors = RmsDetectorBank(TOTAL_CHANNELS)
+        reg = metrics if metrics is not None else default_registry()
+        self._m_banks = reg.counter("dc.acquisition.bank_acquisitions")
+        self._m_samples = reg.counter("dc.acquisition.samples_digitized")
+        self._m_sweeps = reg.counter("dc.acquisition.sweeps")
+        self._m_scans = reg.counter("dc.acquisition.rms_scans")
+        self._m_alarms = reg.counter("dc.acquisition.rms_alarms")
 
     def bind(self, global_channel: int, source: SignalSource) -> None:
         """Attach a source to a global channel (0..31).
@@ -179,6 +188,8 @@ class AcquisitionChain:
         mux = self.muxes[board]
         mux.select_bank(bank)
         data = self.dsp.digitize(mux, n_samples, rng)
+        self._m_banks.inc()
+        self._m_samples.inc(data.size)
         channels = tuple(
             board * CHANNELS_PER_MUX + c for c in mux.live_channels()
         )
@@ -194,6 +205,7 @@ class AcquisitionChain:
                 channels, data = self.acquire_bank(board, bank, n_samples, rng)
                 for i, ch in enumerate(channels):
                     out[ch] = data[i]
+        self._m_sweeps.inc()
         return out
 
     def rms_scan(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
@@ -207,4 +219,7 @@ class AcquisitionChain:
                 source = mux.source_for(local)
                 if source is not None:
                     blocks[board * CHANNELS_PER_MUX + local] = source(n_samples, rng)
-        return self.detectors.scan(blocks)
+        alarms = self.detectors.scan(blocks)
+        self._m_scans.inc()
+        self._m_alarms.inc(int(np.count_nonzero(alarms)))
+        return alarms

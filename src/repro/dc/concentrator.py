@@ -26,8 +26,10 @@ from repro.common.ids import ObjectId
 from repro.dc.acquisition import AcquisitionChain
 from repro.dc.database import DcDatabase
 from repro.dc.scheduler import EventScheduler
-from repro.dsp.features import peak_amplitude, rms
+from repro.hpc.pipeline import FeaturePipeline
 from repro.netsim.kernel import EventKernel
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.spans import Tracer
 from repro.plant.chiller import ChillerSimulator
 from repro.plant.rotating import MachineKinematics
 from repro.protocol.report import FailurePredictionReport
@@ -72,15 +74,22 @@ class DataConcentrator:
         rng: np.random.Generator,
         sample_rate: float = 16384.0,
         sources: list[KnowledgeSource] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.dc_id = dc_id
         self.kernel = kernel
         self.sink = sink
         self.rng = rng
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = Tracer(kernel.clock, self.metrics)
         self.database = DcDatabase()
-        self.acquisition = AcquisitionChain(sample_rate)
-        self.scheduler = EventScheduler(kernel)
+        self.acquisition = AcquisitionChain(sample_rate, metrics=self.metrics)
+        self.scheduler = EventScheduler(kernel, metrics=self.metrics, owner=str(dc_id))
         self.machines: dict[ObjectId, MonitoredMachine] = {}
+        #: Block-reduction pipelines keyed by block length (the scalar
+        #: indicators for every vibration test flow through these, so
+        #: ``hpc.pipeline.*`` counts the DC's real reduction workload).
+        self._pipelines: dict[int, FeaturePipeline] = {}
         if sources is None:
             self.sources: list[KnowledgeSource] = [
                 DliExpertSystem(),
@@ -92,6 +101,11 @@ class DataConcentrator:
         self.reports_sent = 0
         #: (knowledge source id, exception) pairs from isolated suites.
         self.source_errors: list[tuple[str, Exception]] = []
+        dc = str(dc_id)
+        self._m_reports = self.metrics.counter("dc.reports_produced", dc=dc)
+        self._m_source_errors = self.metrics.counter("dc.source_errors", dc=dc)
+        self._m_vib_tests = self.metrics.counter("dc.vibration_tests", dc=dc)
+        self._m_scans = self.metrics.counter("dc.process_scans", dc=dc)
 
     # -- configuration -------------------------------------------------------
     def add_source(self, source: KnowledgeSource) -> None:
@@ -142,8 +156,14 @@ class DataConcentrator:
         self.scheduler.add_periodic(
             "process-scan", process_period, lambda t: self.run_process_scan(t)
         )
+        # The Figure-5 "real-time and constant alarming" pass: every
+        # RMS detector sees its channel regardless of bank selection.
+        self.scheduler.add_periodic(
+            "rms-scan", process_period, lambda t: self.rms_alarm_scan()
+        )
         self.database.register_schedule("vibration-test", vibration_period, "vibration")
         self.database.register_schedule("process-scan", process_period, "process")
+        self.database.register_schedule("rms-scan", process_period, "alarm")
 
     # -- test routines -----------------------------------------------------------
     def _advance_simulators(self, now: float) -> None:
@@ -160,30 +180,49 @@ class DataConcentrator:
         :attr:`source_errors`.
         """
         reports: list[FailurePredictionReport] = []
-        for source in self.sources:
-            try:
-                reports.extend(source.analyze(ctx))
-            except Exception as exc:  # noqa: BLE001 - isolation by design
-                self.source_errors.append(
-                    (getattr(source, "knowledge_source_id", repr(source)), exc)
-                )
+        with self.tracer.span("dc.dispatch", dc=str(self.dc_id)):
+            for source in self.sources:
+                source_id = getattr(source, "knowledge_source_id", repr(source))
+                with self.tracer.span(f"suite.{source_id}"):
+                    try:
+                        reports.extend(source.analyze(ctx))
+                    except Exception as exc:  # noqa: BLE001 - isolation by design
+                        self.source_errors.append((source_id, exc))
+                        self._m_source_errors.inc()
         for r in reports:
             self.database.store_report(r)
             self.sink(r)
             self.reports_sent += 1
+            self._m_reports.inc()
         return reports
+
+    def _pipeline_for(self, n_samples: int) -> FeaturePipeline:
+        """Single-channel reduction pipeline for this block length."""
+        pipe = self._pipelines.get(n_samples)
+        if pipe is None:
+            pipe = FeaturePipeline(
+                1, n_samples, self.acquisition.dsp.sample_rate, metrics=self.metrics
+            )
+            self._pipelines[n_samples] = pipe
+        return pipe
 
     def run_vibration_tests(self, now: float, n_samples: int = 32768) -> int:
         """Acquire a vibration block per machine and run the vibration
         suites; returns reports produced."""
         self._advance_simulators(now)
+        self._m_vib_tests.inc()
         produced = 0
+        pipe = self._pipeline_for(n_samples)
         for m in self.machines.values():
             wave = m.simulator.sample_vibration(n_samples)
+            # Scalar indicators come from the block-reduction pipeline
+            # (same math as the ad-hoc rms/peak calls it replaced, but
+            # measured: hpc.pipeline.* now counts the DC's hot path).
+            summary = pipe.process(wave[np.newaxis, :])
             self.database.store_measurements(
                 [
-                    (now, "rms", float(rms(wave)), m.vibration_channel, m.machine_id),
-                    (now, "peak", float(peak_amplitude(wave)), m.vibration_channel, m.machine_id),
+                    (now, "rms", float(summary.rms[0]), m.vibration_channel, m.machine_id),
+                    (now, "peak", float(summary.peak[0]), m.vibration_channel, m.machine_id),
                 ]
             )
             process = m.simulator.sample_process().values
@@ -204,6 +243,7 @@ class DataConcentrator:
         """Sample process variables per machine and run the
         non-vibration suites; returns reports produced."""
         self._advance_simulators(now)
+        self._m_scans.inc()
         produced = 0
         for m in self.machines.values():
             sample = m.simulator.sample_process()

@@ -11,11 +11,13 @@ commands enqueue the same actions immediately.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import SchedulingError
 from repro.netsim.kernel import EventKernel
+from repro.obs.registry import MetricsRegistry, default_registry
 
 TaskAction = Callable[[float], None]
 
@@ -39,10 +41,23 @@ class PeriodicTask:
 class EventScheduler:
     """Periodic + on-demand task coordination on an event kernel."""
 
-    def __init__(self, kernel: EventKernel) -> None:
+    def __init__(
+        self,
+        kernel: EventKernel,
+        metrics: MetricsRegistry | None = None,
+        owner: str = "",
+    ) -> None:
         self.kernel = kernel
         self._tasks: dict[str, PeriodicTask] = {}
         self.errors: list[tuple[str, Exception]] = []
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.owner = owner
+
+    def _labels(self, task_name: str) -> dict[str, str]:
+        labels = {"task": task_name}
+        if self.owner:
+            labels["owner"] = self.owner
+        return labels
 
     def add_periodic(self, name: str, period: float, action: TaskAction) -> PeriodicTask:
         """Register a task and schedule its first run one period out."""
@@ -62,13 +77,23 @@ class EventScheduler:
 
     def _run(self, task: PeriodicTask) -> None:
         now = self.kernel.now()
+        labels = self._labels(task.name)
         try:
             task.action(now)
         except Exception as exc:  # noqa: BLE001 - a bad test must not kill the DC
             self.errors.append((task.name, exc))
+            self.metrics.counter("dc.scheduler.errors", **labels).inc()
         else:
+            if not math.isnan(task.last_run):
+                # Dispatch cadence: the realized interval between runs;
+                # drift beyond the nominal period means the DC fell
+                # behind its test schedule.
+                self.metrics.histogram(
+                    "dc.scheduler.interval_seconds", **labels
+                ).observe(now - task.last_run)
             task.runs += 1
             task.last_run = now
+            self.metrics.counter("dc.scheduler.runs", **labels).inc()
 
     def command(self, name: str) -> None:
         """Run a task now, out of schedule (the PDME 'conduct another
@@ -76,6 +101,7 @@ class EventScheduler:
         task = self._tasks.get(name)
         if task is None:
             raise SchedulingError(f"no task {name!r}")
+        self.metrics.counter("dc.scheduler.commands", **self._labels(name)).inc()
         self._run(task)
 
     def enable(self, name: str, enabled: bool = True) -> None:

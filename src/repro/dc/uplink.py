@@ -12,28 +12,44 @@ PDME restarts) leave it queued for the next flush.  The queue is
 bounded: under a prolonged outage the *oldest* reports are shed first
 (fresh condition data supersedes stale data, matching the DC's
 ring-buffer philosophy).
+
+Retries are paced by per-report exponential backoff: after each failed
+delivery attempt a report waits ``retry_base * retry_factor**(n-1)``
+seconds (capped at ``retry_cap``) before :meth:`flush` will re-send it.
+During a §4.9 outage this stops the periodic flush from hammering a
+dead link with the whole backlog every tick, while still converging to
+one cheap probe per report per cap interval.  Time comes from the
+endpoint's simulated clock — deterministic, testable with a fake clock.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.common.clock import Clock
 from repro.common.errors import NetworkError
 from repro.netsim.rpc import RpcEndpoint, RpcError
+from repro.obs.registry import MetricsRegistry, default_registry
 from repro.protocol.report import FailurePredictionReport
 from repro.protocol.wire import encode_report
 
 
 @dataclass
 class UplinkStats:
-    """Counters for monitoring the uplink."""
+    """Counters for monitoring the uplink.
+
+    Kept as a plain attribute view for callers and tests; every field
+    is mirrored into the process metrics registry under
+    ``dc.uplink.*`` so fleet-level aggregation sees the same numbers.
+    """
 
     queued: int = 0
     delivered: int = 0
     rejected: int = 0      # PDME refused (malformed/unknown object)
     shed: int = 0          # dropped from a full queue during an outage
     retries: int = 0       # re-flushes of previously failed reports
+    deferred: int = 0      # flush skips while a report waits out backoff
 
 
 class ReportUplink:
@@ -47,21 +63,76 @@ class ReportUplink:
         Network name of the PDME endpoint.
     capacity:
         Maximum queued (unacknowledged) reports before shedding.
+    retry_base / retry_factor / retry_cap:
+        Exponential-backoff schedule for re-flushing failed reports:
+        attempt ``n`` waits ``min(retry_cap, retry_base *
+        retry_factor**(n-1))`` seconds after the failure.
+    clock:
+        Time source for the backoff deadlines (defaults to the
+        endpoint kernel's simulated clock).
+    metrics:
+        Metrics registry (default: the process-wide registry).
     """
 
     def __init__(
-        self, endpoint: RpcEndpoint, pdme_name: str = "pdme", capacity: int = 512
+        self,
+        endpoint: RpcEndpoint,
+        pdme_name: str = "pdme",
+        capacity: int = 512,
+        retry_base: float = 1.0,
+        retry_factor: float = 2.0,
+        retry_cap: float = 60.0,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise NetworkError("uplink capacity must be >= 1")
+        if retry_base <= 0 or retry_factor < 1.0 or retry_cap < retry_base:
+            raise NetworkError(
+                "need retry_base > 0, retry_factor >= 1, retry_cap >= retry_base"
+            )
         self.endpoint = endpoint
         self.pdme_name = pdme_name
         self.capacity = capacity
+        self.retry_base = retry_base
+        self.retry_factor = retry_factor
+        self.retry_cap = retry_cap
+        self.clock: Clock = clock if clock is not None else endpoint.kernel.clock
         self._queue: OrderedDict[int, FailurePredictionReport] = OrderedDict()
         self._next_key = 0
         self._in_flight: set[int] = set()
         self._ever_sent: set[int] = set()
+        self._attempts: dict[int, int] = {}
+        self._next_retry: dict[int, float] = {}
         self.stats = UplinkStats()
+        reg = metrics if metrics is not None else default_registry()
+        dc = str(endpoint.name)
+        self._m_queued = reg.counter("dc.uplink.queued", dc=dc)
+        self._m_delivered = reg.counter("dc.uplink.delivered", dc=dc)
+        self._m_rejected = reg.counter("dc.uplink.rejected", dc=dc)
+        self._m_shed = reg.counter("dc.uplink.shed", dc=dc)
+        self._m_retries = reg.counter("dc.uplink.retries", dc=dc)
+        self._m_deferred = reg.counter("dc.uplink.deferred", dc=dc)
+        self._m_depth = reg.gauge("dc.uplink.queue_depth", dc=dc)
+        self._m_ack_latency = reg.histogram("dc.uplink.ack_latency_seconds", dc=dc)
+        self._submit_time: dict[int, float] = {}
+
+    # -- backoff ---------------------------------------------------------
+    def retry_delay(self, attempts: int) -> float:
+        """Backoff delay after ``attempts`` failed sends (>= 1)."""
+        if attempts < 1:
+            raise NetworkError(f"attempts must be >= 1, got {attempts}")
+        return min(self.retry_cap, self.retry_base * self.retry_factor ** (attempts - 1))
+
+    def next_retry_at(self, key: int) -> float:
+        """Earliest time :meth:`flush` will re-send a queued report
+        (``-inf`` if it has never failed)."""
+        return self._next_retry.get(key, float("-inf"))
+
+    def _forget(self, key: int) -> None:
+        self._attempts.pop(key, None)
+        self._next_retry.pop(key, None)
+        self._submit_time.pop(key, None)
 
     # -- intake ----------------------------------------------------------
     def submit(self, report: FailurePredictionReport) -> None:
@@ -71,17 +142,24 @@ class ReportUplink:
             for key in self._queue:
                 if key not in self._in_flight:
                     del self._queue[key]
+                    self._forget(key)
                     self.stats.shed += 1
+                    self._m_shed.inc()
                     break
             else:
                 # Everything is in flight; shed the eldest anyway.
                 key, _ = self._queue.popitem(last=False)
                 self._in_flight.discard(key)
+                self._forget(key)
                 self.stats.shed += 1
+                self._m_shed.inc()
         key = self._next_key
         self._next_key += 1
         self._queue[key] = report
+        self._submit_time[key] = self.clock.now()
         self.stats.queued += 1
+        self._m_queued.inc()
+        self._m_depth.set(len(self._queue))
         self._transmit(key)
 
     # -- delivery -----------------------------------------------------------
@@ -92,40 +170,60 @@ class ReportUplink:
         self._in_flight.add(key)
         if key in self._ever_sent:
             self.stats.retries += 1
+            self._m_retries.inc()
         self._ever_sent.add(key)
 
         def on_reply(result: dict, key=key) -> None:
             self._in_flight.discard(key)
             if key not in self._queue:
                 return
+            submitted = self._submit_time.get(key)
             if result.get("accepted", False):
                 del self._queue[key]
                 self.stats.delivered += 1
+                self._m_delivered.inc()
+                if submitted is not None:
+                    self._m_ack_latency.observe(self.clock.now() - submitted)
             else:
                 # PDME actively refused: retrying is pointless.
                 del self._queue[key]
                 self.stats.rejected += 1
+                self._m_rejected.inc()
+            self._forget(key)
+            self._m_depth.set(len(self._queue))
 
         def on_error(exc: RpcError, key=key) -> None:
-            # Keep queued; the next flush retries.
+            # Keep queued; flush retries it once its backoff expires.
             self._in_flight.discard(key)
+            if key not in self._queue:
+                return
+            attempts = self._attempts.get(key, 0) + 1
+            self._attempts[key] = attempts
+            self._next_retry[key] = self.clock.now() + self.retry_delay(attempts)
 
         self.endpoint.call(
             self.pdme_name, "post_report", encode_report(report),
             on_reply=on_reply, on_error=on_error,
         )
 
-    def flush(self) -> int:
-        """Re-attempt every queued, non-in-flight report.
+    def flush(self, force: bool = False) -> int:
+        """Re-attempt queued, non-in-flight reports whose backoff has
+        expired (all of them with ``force=True``).
 
         Wire this to the DC scheduler (e.g. once a minute) for
         unattended recovery after outages.  Returns attempts made.
         """
+        now = self.clock.now()
         attempts = 0
         for key in list(self._queue):
-            if key not in self._in_flight:
-                self._transmit(key)
-                attempts += 1
+            if key in self._in_flight:
+                continue
+            if not force and self._next_retry.get(key, float("-inf")) > now:
+                self.stats.deferred += 1
+                self._m_deferred.inc()
+                continue
+            self._transmit(key)
+            attempts += 1
         return attempts
 
     @property

@@ -28,6 +28,7 @@ from repro.common.ids import ObjectId
 from repro.fusion.diagnostic import DiagnosticFusion, FusedDiagnosis
 from repro.fusion.groups import GroupRegistry
 from repro.fusion.prognostic import FusedPrognosis, PrognosticFusion, conservative_envelope
+from repro.obs.registry import MetricsRegistry, default_registry
 from repro.protocol.report import FailurePredictionReport
 
 
@@ -72,12 +73,21 @@ class KnowledgeFusionEngine:
         believability: dict[ObjectId, float] | None = None,
         envelope=conservative_envelope,
         sink: Callable[[FusionConclusion], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.diagnostic = DiagnosticFusion(registry, believability)
         self.prognostic = PrognosticFusion(envelope)
         self._sink = sink
         self.stats = EngineStats()
         self._max_seen_time = 0.0
+        reg = metrics if metrics is not None else default_registry()
+        self._m_ingested = reg.counter("fusion.ingested")
+        self._m_diag = reg.counter("fusion.diagnostic_updates")
+        self._m_prog = reg.counter("fusion.prognostic_updates")
+        self._m_rejected = reg.counter("fusion.rejected")
+        #: How stale a report is when fused (now - report timestamp):
+        #: the §5.1 "time-disordered, fragmentary" tolerance, measured.
+        self._m_age = reg.histogram("fusion.report_age_seconds")
 
     def ingest(self, report: FailurePredictionReport) -> FusionConclusion | None:
         """Fuse one report; malformed evidence is counted, not fatal.
@@ -85,25 +95,31 @@ class KnowledgeFusionEngine:
         Returns the conclusion, or None if the report was rejected.
         """
         self.stats.ingested += 1
+        self._m_ingested.inc()
         self._max_seen_time = max(self._max_seen_time, report.timestamp)
+        self._m_age.observe(self._max_seen_time - report.timestamp)
         diagnosis: FusedDiagnosis | None = None
         prognosis: FusedPrognosis | None = None
         try:
             if report.belief > 0.0:
                 diagnosis = self.diagnostic.ingest(report)
                 self.stats.diagnostic_updates += 1
+                self._m_diag.inc()
             if len(report.prognostic):
                 # Fuse as of the latest time we have seen so that a
                 # time-disordered (stale) report is properly age-shifted.
                 prognosis = self.prognostic.ingest(report, now=self._max_seen_time)
                 self.stats.prognostic_updates += 1
+                self._m_prog.inc()
         except MprosError as exc:
             self.stats.rejected += 1
+            self._m_rejected.inc()
             self.stats.errors.append(f"{report.summary()}: {exc}")
             return None
         if diagnosis is None and prognosis is None:
             # Carried neither usable diagnosis nor prognosis.
             self.stats.rejected += 1
+            self._m_rejected.inc()
             return None
         conclusion = FusionConclusion(report, diagnosis, prognosis)
         if self._sink is not None:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import MprosError
+from repro.obs.registry import MetricsRegistry, default_registry
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,7 @@ class FeaturePipeline:
         block_samples: int,
         sample_rate: float,
         bands: tuple[tuple[float, float], ...] = ((0.0, 500.0), (500.0, 2000.0), (2000.0, 8000.0)),
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n_channels < 1 or block_samples < 8:
             raise MprosError("need n_channels >= 1 and block_samples >= 8")
@@ -68,6 +70,9 @@ class FeaturePipeline:
         self._band = np.empty((n_channels, len(bands)))
         self.blocks_processed = 0
         self.points_processed = 0
+        reg = metrics if metrics is not None else default_registry()
+        self._m_blocks = reg.counter("hpc.pipeline.blocks")
+        self._m_points = reg.counter("hpc.pipeline.points")
 
     def process(self, block: np.ndarray) -> ChannelSummary:
         """Reduce one block; returns views into the internal buffers.
@@ -96,6 +101,8 @@ class FeaturePipeline:
         self._band /= self.block_samples**2
         self.blocks_processed += 1
         self.points_processed += block.size
+        self._m_blocks.inc()
+        self._m_points.inc(block.size)
         return ChannelSummary(
             rms=self._rms, peak=self._peak, crest=self._crest, band_energy=self._band
         )

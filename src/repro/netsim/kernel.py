@@ -13,16 +13,21 @@ from typing import Callable
 
 from repro.common.clock import SimulatedClock
 from repro.common.errors import SchedulingError
+from repro.obs.registry import MetricsRegistry, default_registry
 
 
 class EventKernel:
     """Priority-queue event loop over simulated time."""
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, metrics: MetricsRegistry | None = None) -> None:
         self.clock = SimulatedClock(start)
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._cancelled: set[int] = set()
+        reg = metrics if metrics is not None else default_registry()
+        self._m_scheduled = reg.counter("netsim.kernel.scheduled")
+        self._m_executed = reg.counter("netsim.kernel.executed")
+        self._m_pending = reg.gauge("netsim.kernel.pending")
 
     def now(self) -> float:
         """Current simulated time."""
@@ -35,6 +40,8 @@ class EventKernel:
             raise SchedulingError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now() + delay, self._seq, callback))
+        self._m_scheduled.inc()
+        self._m_pending.set(len(self._heap))
         return self._seq
 
     def schedule_at(self, t: float, callback: Callable[[], None]) -> int:
@@ -58,8 +65,11 @@ class EventKernel:
                 self._cancelled.discard(seq)
                 continue
             self.clock.advance_to(t)
+            self._m_executed.inc()
+            self._m_pending.set(len(self._heap))
             callback()
             return True
+        self._m_pending.set(0)
         return False
 
     def run_until(self, t_end: float) -> int:
@@ -77,6 +87,8 @@ class EventKernel:
                 self._cancelled.discard(seq)
                 continue
             self.clock.advance_to(t)
+            self._m_executed.inc()
+            self._m_pending.set(len(self._heap))
             callback()
             executed += 1
         self.clock.advance_to(t_end)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.common.errors import NetworkError
 from repro.netsim.kernel import EventKernel
+from repro.obs.registry import MetricsRegistry, default_registry
 
 Receiver = Callable[[str, bytes], None]
 
@@ -62,7 +63,11 @@ class Link:
     """One direction of a point-to-point link."""
 
     def __init__(
-        self, kernel: EventKernel, config: LinkConfig, rng: np.random.Generator
+        self,
+        kernel: EventKernel,
+        config: LinkConfig,
+        rng: np.random.Generator,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.kernel = kernel
         self.config = config
@@ -74,17 +79,27 @@ class Link:
         self.bytes_sent = 0
         #: Hard outage flag (cable cut / power loss): drops everything.
         self.down = False
+        reg = metrics if metrics is not None else default_registry()
+        self._m_sent = reg.counter("netsim.link.frames_sent")
+        self._m_dropped = reg.counter("netsim.link.frames_dropped")
+        self._m_corrupted = reg.counter("netsim.link.frames_corrupted")
+        self._m_bytes = reg.counter("netsim.link.bytes_sent")
+        self._m_delay = reg.histogram("netsim.link.delay_seconds")
 
     def send(self, sender: str, frame: bytes, deliver: Receiver) -> bool:
         """Queue a frame for delivery; returns False if dropped."""
         self.sent += 1
+        self._m_sent.inc()
         if self.down:
             self.dropped += 1
+            self._m_dropped.inc()
             return False
         if self.config.drop_rate > 0 and self.rng.random() < self.config.drop_rate:
             self.dropped += 1
+            self._m_dropped.inc()
             return False
         self.bytes_sent += len(frame)
+        self._m_bytes.inc(len(frame))
         if self.config.corrupt_rate > 0 and self.rng.random() < self.config.corrupt_rate:
             corrupted = bytearray(frame)
             pos = int(self.rng.integers(0, len(corrupted))) if corrupted else 0
@@ -92,6 +107,7 @@ class Link:
                 corrupted[pos] ^= int(self.rng.integers(1, 256))
             frame = bytes(corrupted)
             self.corrupted += 1
+            self._m_corrupted.inc()
         delay = self.config.latency
         if self.config.jitter > 0:
             delay += float(self.rng.uniform(0.0, self.config.jitter))
@@ -100,6 +116,7 @@ class Link:
             start = max(self.kernel.now(), self._busy_until)
             self._busy_until = start + serialize
             delay += (start - self.kernel.now()) + serialize
+        self._m_delay.observe(delay)
         self.kernel.schedule(delay, lambda: deliver(sender, frame))
         return True
 
@@ -107,9 +124,15 @@ class Link:
 class Network:
     """Named endpoints joined by per-pair links."""
 
-    def __init__(self, kernel: EventKernel, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        kernel: EventKernel,
+        rng: np.random.Generator,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.kernel = kernel
         self.rng = rng
+        self.metrics = metrics if metrics is not None else default_registry()
         self._receivers: dict[str, Receiver] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._default_config = LinkConfig()
@@ -123,14 +146,14 @@ class Network:
     def connect(self, a: str, b: str, config: LinkConfig | None = None) -> None:
         """Create (or replace) the bidirectional link between a and b."""
         cfg = config if config is not None else self._default_config
-        self._links[(a, b)] = Link(self.kernel, cfg, self.rng)
-        self._links[(b, a)] = Link(self.kernel, cfg, self.rng)
+        self._links[(a, b)] = Link(self.kernel, cfg, self.rng, self.metrics)
+        self._links[(b, a)] = Link(self.kernel, cfg, self.rng, self.metrics)
 
     def link(self, src: str, dst: str) -> Link:
         """The directed link from src to dst (auto-created default)."""
         key = (src, dst)
         if key not in self._links:
-            self._links[key] = Link(self.kernel, self._default_config, self.rng)
+            self._links[key] = Link(self.kernel, self._default_config, self.rng, self.metrics)
         return self._links[key]
 
     def send(self, src: str, dst: str, frame: bytes) -> bool:

@@ -14,6 +14,7 @@ from repro.common.errors import NetworkError
 from repro.netsim.kernel import EventKernel
 from repro.netsim.network import Network
 from repro.netsim.transport import decode_message, encode_message
+from repro.obs.registry import MetricsRegistry, default_registry
 
 
 class RpcError(NetworkError):
@@ -28,6 +29,7 @@ class _Pending:
     payload: dict[str, Any]
     dst: str
     retries_left: int
+    issued: float = 0.0
     timeout_event: int = 0
     done: bool = False
 
@@ -54,6 +56,7 @@ class RpcEndpoint:
         kernel: EventKernel,
         timeout: float = 0.5,
         retries: int = 2,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
         self.network = network
@@ -64,6 +67,14 @@ class RpcEndpoint:
         self._pending: dict[int, _Pending] = {}
         self._next_id = 0
         self.stats = {"calls": 0, "retries": 0, "failures": 0, "served": 0}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_calls = self.metrics.counter("netsim.rpc.calls", endpoint=name)
+        self._m_retries = self.metrics.counter("netsim.rpc.retries", endpoint=name)
+        self._m_failures = self.metrics.counter("netsim.rpc.failures", endpoint=name)
+        self._m_served = self.metrics.counter("netsim.rpc.served", endpoint=name)
+        self._m_corrupt = self.metrics.counter("netsim.rpc.corrupt_frames", endpoint=name)
+        self._m_rtt = self.metrics.histogram("netsim.rpc.roundtrip_seconds", endpoint=name)
+        self._m_inflight = self.metrics.gauge("netsim.rpc.in_flight", endpoint=name)
         network.attach(name, self._receive)
 
     # -- server side ------------------------------------------------------
@@ -92,6 +103,7 @@ class RpcEndpoint:
         self._next_id += 1
         req_id = self._next_id
         self.stats["calls"] += 1
+        self._m_calls.inc()
         pending = _Pending(
             on_reply=on_reply or (lambda r: None),
             on_error=on_error,
@@ -99,8 +111,10 @@ class RpcEndpoint:
             payload=payload,
             dst=dst,
             retries_left=self.retries,
+            issued=self.kernel.now(),
         )
         self._pending[req_id] = pending
+        self._m_inflight.set(len(self._pending))
         self._transmit(req_id, pending)
         return req_id
 
@@ -112,7 +126,8 @@ class RpcEndpoint:
                 "reply_to": self.name,
                 "method": pending.method,
                 "payload": pending.payload,
-            }
+            },
+            self.metrics,
         )
         self.network.send(self.name, pending.dst, frame)
         pending.timeout_event = self.kernel.schedule(
@@ -126,11 +141,14 @@ class RpcEndpoint:
         if pending.retries_left > 0:
             pending.retries_left -= 1
             self.stats["retries"] += 1
+            self._m_retries.inc()
             self._transmit(req_id, pending)
             return
         pending.done = True
         del self._pending[req_id]
+        self._m_inflight.set(len(self._pending))
         self.stats["failures"] += 1
+        self._m_failures.inc()
         if pending.on_error is not None:
             pending.on_error(
                 RpcError(f"{pending.method} to {pending.dst} failed after retries")
@@ -139,11 +157,12 @@ class RpcEndpoint:
     # -- wire ---------------------------------------------------------------
     def _receive(self, sender: str, frame: bytes) -> None:
         try:
-            msg = decode_message(frame)
+            msg = decode_message(frame, self.metrics)
         except NetworkError:
             # A corrupted frame is line noise: count it and move on.
             # The sender's timeout/retry machinery recovers the loss.
             self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+            self._m_corrupt.inc()
             return
         kind = msg.get("kind")
         if kind == "request":
@@ -156,8 +175,9 @@ class RpcEndpoint:
                 except Exception as exc:  # noqa: BLE001 - fault isolation
                     result = {"error": f"{type(exc).__name__}: {exc}"}
             self.stats["served"] += 1
+            self._m_served.inc()
             reply = encode_message(
-                {"kind": "reply", "id": msg["id"], **result}
+                {"kind": "reply", "id": msg["id"], **result}, self.metrics
             )
             try:
                 self.network.send(self.name, str(msg.get("reply_to", "")), reply)
@@ -165,6 +185,7 @@ class RpcEndpoint:
                 # A corrupted reply_to address points nowhere: the
                 # caller's timeout machinery recovers.
                 self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+                self._m_corrupt.inc()
         elif kind == "reply":
             req_id = msg.get("id")
             pending = self._pending.get(req_id)
@@ -173,8 +194,11 @@ class RpcEndpoint:
             pending.done = True
             self.kernel.cancel(pending.timeout_event)
             del self._pending[req_id]
+            self._m_inflight.set(len(self._pending))
+            self._m_rtt.observe(self.kernel.now() - pending.issued)
             if "error" in msg:
                 self.stats["failures"] += 1
+                self._m_failures.inc()
                 if pending.on_error is not None:
                     pending.on_error(RpcError(str(msg["error"])))
             else:
@@ -182,3 +206,4 @@ class RpcEndpoint:
         else:
             # Valid JSON but nonsense structure: also line noise.
             self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+            self._m_corrupt.inc()

@@ -15,6 +15,7 @@ import zlib
 from typing import Any
 
 from repro.common.errors import NetworkError
+from repro.obs.registry import MetricsRegistry, default_registry
 
 #: Maximum frame size; a shipboard report should never be megabytes.
 MAX_FRAME = 16 * 1024 * 1024
@@ -22,35 +23,51 @@ MAX_FRAME = 16 * 1024 * 1024
 _HEADER = struct.Struct("<II")  # body length, CRC32(body)
 
 
-def encode_message(payload: dict[str, Any]) -> bytes:
+def encode_message(
+    payload: dict[str, Any], metrics: MetricsRegistry | None = None
+) -> bytes:
     """Frame a JSON-compatible dict as length+CRC-prefixed bytes."""
+    reg = metrics if metrics is not None else default_registry()
     try:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise NetworkError(f"payload is not JSON-encodable: {exc}") from exc
     if len(body) > MAX_FRAME:
         raise NetworkError(f"frame too large ({len(body)} bytes)")
+    reg.counter("netsim.transport.frames_encoded").inc()
+    reg.counter("netsim.transport.bytes_encoded").inc(_HEADER.size + len(body))
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
-def decode_message(frame: bytes) -> dict[str, Any]:
+def decode_message(
+    frame: bytes, metrics: MetricsRegistry | None = None
+) -> dict[str, Any]:
     """Decode a frame produced by :func:`encode_message`.
 
     Raises :class:`NetworkError` on truncation, checksum mismatch, or
     malformed content — the receiver treats all of these as line noise.
     """
+    reg = metrics if metrics is not None else default_registry()
+
+    def reject(reason: str, detail: str) -> NetworkError:
+        reg.counter("netsim.transport.decode_errors", reason=reason).inc()
+        return NetworkError(detail)
+
     if len(frame) < _HEADER.size:
-        raise NetworkError("truncated frame (incomplete header)")
+        raise reject("truncated", "truncated frame (incomplete header)")
     length, crc = _HEADER.unpack_from(frame, 0)
     body = frame[_HEADER.size :]
     if len(body) != length:
-        raise NetworkError(f"frame length mismatch: header {length}, body {len(body)}")
+        raise reject(
+            "length", f"frame length mismatch: header {length}, body {len(body)}"
+        )
     if zlib.crc32(body) != crc:
-        raise NetworkError("frame checksum mismatch (corrupted in transit)")
+        raise reject("checksum", "frame checksum mismatch (corrupted in transit)")
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise NetworkError(f"corrupt frame: {exc}") from exc
+        raise reject("json", f"corrupt frame: {exc}") from exc
     if not isinstance(payload, dict):
-        raise NetworkError("frame payload must be a JSON object")
+        raise reject("structure", "frame payload must be a JSON object")
+    reg.counter("netsim.transport.frames_decoded").inc()
     return payload

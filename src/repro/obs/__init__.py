@@ -1,0 +1,35 @@
+"""Unified observability: metrics, trace spans, exporters.
+
+One registry, one span tracer, one export format for the whole
+DC→network→PDME path — see :mod:`repro.obs.registry` for the design
+rules (no wall-clock calls, fixed histogram edges, deterministic
+snapshots).
+"""
+
+from repro.obs.export import export_jsonl, snapshot_json
+from repro.obs.registry import (
+    DEFAULT_TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    render_series,
+    use_registry,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "DEFAULT_TIME_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "export_jsonl",
+    "render_series",
+    "snapshot_json",
+    "use_registry",
+]

@@ -1,0 +1,69 @@
+"""Snapshot serialization: JSON documents and JSON-lines streams.
+
+The JSON-lines form is the shipboard export format: one self-contained
+record per line, append-only, so a months-long unattended run can dump
+periodic snapshots to flash and a shore-side consumer can tail/merge
+them without parsing state.  Timestamps come from an explicit
+:class:`repro.common.clock.Clock` — never the wall clock — so exports
+are as deterministic as the runs that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.common.clock import Clock
+from repro.obs.registry import MetricsRegistry, render_series
+from repro.obs.spans import Tracer
+
+
+def snapshot_json(
+    metrics: MetricsRegistry, tracer: Tracer | None = None, indent: int | None = None
+) -> str:
+    """One JSON document: the full registry (and optional span) state."""
+    doc = metrics.snapshot()
+    if tracer is not None:
+        doc["spans"] = tracer.snapshot()
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def export_jsonl(
+    metrics: MetricsRegistry,
+    fp: IO[str],
+    clock: Clock | None = None,
+    tracer: Tracer | None = None,
+) -> int:
+    """Write one JSON-lines record per series (and span) to ``fp``.
+
+    Returns the number of lines written.  Records carry ``t`` (the
+    clock's simulated now) when a clock is given, so successive dumps
+    interleave into a single orderable stream.
+    """
+    t = clock.now() if clock is not None else None
+
+    def line(record: dict) -> str:
+        if t is not None:
+            record["t"] = t
+        return json.dumps(record, sort_keys=True)
+
+    written = 0
+    for metric in metrics.series():
+        record: dict = {
+            "name": metric.name,
+            "series": render_series(metric.name, metric.labels),
+            "labels": dict(metric.labels),
+            "type": type(metric).__name__.lower(),
+        }
+        body = metric.snapshot()
+        if isinstance(body, dict):
+            record.update(body)
+        else:
+            record["value"] = body
+        fp.write(line(record) + "\n")
+        written += 1
+    if tracer is not None:
+        for span in tracer.snapshot():
+            fp.write(line({"type": "span", **span}) + "\n")
+            written += 1
+    return written

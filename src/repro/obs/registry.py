@@ -1,0 +1,294 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+MPROS is meant for "long-term unattended operation" on ships that are
+"disconnected from our labs for months at a time" (§4.9) — which is
+impossible to trust without instrumentation.  Every subsystem on the
+DC→PDME path publishes into one registry so there is a single way to
+observe the system, instead of the per-module ad-hoc counters the seed
+code grew.
+
+Design rules:
+
+* **No wall-clock calls.**  Metrics are pure accumulators; anything
+  that needs "now" (the JSON-lines exporter, trace spans) is handed an
+  explicit :class:`repro.common.clock.Clock`.  Snapshots are therefore
+  a pure function of the work performed — deterministic under the
+  :mod:`repro.common.rng` seed discipline.
+* **Fixed histogram bucket edges.**  Edges are declared at creation
+  and never move, so snapshots from different runs (or different DCs
+  in a fleet) are directly comparable and mergeable.
+* **Cheap hot path.**  Components bind metric objects once at
+  construction; recording is an attribute increment, not a registry
+  lookup.
+
+A module-level default registry makes instrumentation zero-config:
+components accept ``metrics=None`` and fall back to
+:func:`default_registry`.  Tests that need isolation either pass a
+fresh :class:`MetricsRegistry` explicitly or wrap construction in
+:func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.common.errors import ObservabilityError
+
+LabelItems = tuple[tuple[str, str], ...]
+
+#: Default bucket edges for simulated-seconds histograms (link delays,
+#: scheduler intervals, report ages).  Spanning 1 ms .. 10 min covers
+#: everything from LAN frame delays to the DC's test periods.
+DEFAULT_TIME_EDGES: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+def _label_items(labels: dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_series(name: str, labels: LabelItems) -> str:
+    """Render ``name{k=v,...}`` (labels sorted) — the snapshot key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount`` (>= 0; counters never go backwards)."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({render_series(self.name, self.labels)}={self._value:g})"
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, backlog sizes)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> float:
+        self._value = float(value)
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        self._value += amount
+        return self._value
+
+    def dec(self, amount: float = 1.0) -> float:
+        self._value -= amount
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({render_series(self.name, self.labels)}={self._value:g})"
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    ``edges`` are the strictly-increasing upper boundaries; bucket ``i``
+    holds observations in ``[edges[i-1], edges[i])`` with an implicit
+    underflow bucket below ``edges[0]`` and an overflow bucket at the
+    end, so ``len(counts) == len(edges) + 1`` and every observation
+    lands somewhere.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self, name: str, edges: tuple[float, ...], labels: LabelItems = ()
+    ) -> None:
+        if len(edges) < 1:
+            raise ObservabilityError(f"histogram {name!r} needs at least one edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} edges must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.labels = labels
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        out: dict = {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({render_series(self.name, self.labels)}: "
+            f"n={self.count}, sum={self.sum:g})"
+        )
+
+
+class MetricsRegistry:
+    """Named metric series, each a counter, gauge, or histogram.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call for a ``(name, labels)`` pair creates the series; later calls
+    return the same object.  Requesting an existing series as a
+    different kind (or a histogram with different edges) raises
+    :class:`~repro.common.errors.ObservabilityError` — one name, one
+    meaning.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, LabelItems], Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, kind: type, name: str, labels: dict[str, str], *args):
+        key = (name, _label_items(labels))
+        existing = self._series.get(key)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise ObservabilityError(
+                    f"{render_series(*key)} already registered as "
+                    f"{type(existing).__name__}, requested {kind.__name__}"
+                )
+            return existing
+        metric = kind(name, *args, labels=key[1]) if args else kind(name, labels=key[1])
+        self._series[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        edges: tuple[float, ...] = DEFAULT_TIME_EDGES,
+        **labels: str,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, labels, tuple(edges))
+        if metric.edges != tuple(float(e) for e in edges):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with edges "
+                f"{metric.edges}, requested {tuple(edges)}"
+            )
+        return metric
+
+    # -- introspection ----------------------------------------------------
+    def series(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered series, sorted by rendered name."""
+        return [
+            self._series[key]
+            for key in sorted(self._series, key=lambda k: render_series(*k))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def subsystems(self) -> list[str]:
+        """Distinct dotted-name prefixes (e.g. ``dc.uplink``) observed."""
+        out = {m.name.rsplit(".", 1)[0] for m in self._series.values()}
+        return sorted(out)
+
+    def snapshot(self) -> dict:
+        """A deterministic, JSON-ready view of every series.
+
+        Keys within each section are sorted rendered names; the result
+        depends only on the work recorded, never on wall-clock time or
+        insertion order.
+        """
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for metric in self.series():
+            rendered = render_series(metric.name, metric.labels)
+            if isinstance(metric, Counter):
+                counters[rendered] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                gauges[rendered] = metric.snapshot()
+            else:
+                histograms[rendered] = metric.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: The process-wide default registry stack; ``use_registry`` pushes
+#: temporary replacements (tests, isolated scripted runs).
+_REGISTRY_STACK: list[MetricsRegistry] = [MetricsRegistry()]
+
+
+def default_registry() -> MetricsRegistry:
+    """The current process-wide registry (innermost ``use_registry``)."""
+    return _REGISTRY_STACK[-1]
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the default registry (fresh one if None).
+
+    ::
+
+        with use_registry() as reg:
+            system = build_mpros_system()   # instruments into reg
+            ...
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    _REGISTRY_STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _REGISTRY_STACK.pop()

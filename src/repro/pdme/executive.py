@@ -21,6 +21,7 @@ from repro.fusion.engine import FusionConclusion, KnowledgeFusionEngine
 from repro.fusion.groups import GroupRegistry, default_chiller_groups
 from repro.fusion.temporal import TemporalAnalyzer
 from repro.netsim.rpc import RpcEndpoint
+from repro.obs.registry import MetricsRegistry, default_registry
 from repro.oosm.events import ReportPosted
 from repro.oosm.model import ShipModel
 from repro.pdme.priorities import PriorityEntry, prioritize
@@ -50,13 +51,20 @@ class PdmeExecutive:
         registry: GroupRegistry | None = None,
         believability: dict[ObjectId, float] | None = None,
         on_update: Callable[[FusionConclusion], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.model = model
+        self.metrics = metrics if metrics is not None else default_registry()
         self.engine = KnowledgeFusionEngine(
             registry if registry is not None else default_chiller_groups(),
             believability=believability,
             sink=self._on_conclusion,
+            metrics=self.metrics,
         )
+        self._m_accepted = self.metrics.counter("pdme.reports_accepted")
+        self._m_duplicates = self.metrics.counter("pdme.duplicates_dropped")
+        self._m_refused = self.metrics.counter("pdme.reports_refused")
+        self._m_conclusions = self.metrics.counter("pdme.conclusions")
         self._on_update = on_update
         self.conclusions: list[FusionConclusion] = []
         self.intake_errors: list[str] = []
@@ -78,6 +86,7 @@ class PdmeExecutive:
 
     def _on_conclusion(self, conclusion: FusionConclusion) -> None:
         self.conclusions.append(conclusion)
+        self._m_conclusions.inc()
         if conclusion.diagnosis is not None:
             report = conclusion.report
             belief = conclusion.diagnosis.beliefs.get(
@@ -118,13 +127,16 @@ class PdmeExecutive:
             ))
             if fingerprint in self._seen_fingerprints:
                 self.duplicates_dropped += 1
+                self._m_duplicates.inc()
                 return {"accepted": True, "duplicate": True}
             self.submit(report)
             self._seen_fingerprints.add(fingerprint)
         except (ProtocolError, MprosError) as exc:
             # §5.1: inconsistent input is recorded, never fatal.
             self.intake_errors.append(str(exc))
+            self._m_refused.inc()
             return {"accepted": False, "error": str(exc)}
+        self._m_accepted.inc()
         return {"accepted": True}
 
     # -- queries -------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.dc.uplink import ReportUplink
 from repro.netsim.kernel import EventKernel
 from repro.netsim.network import LinkConfig, Network
 from repro.netsim.rpc import RpcEndpoint
+from repro.obs.registry import MetricsRegistry, default_registry
 from repro.oosm.model import ShipModel
 from repro.oosm.shipyard import ChillerUnit, build_chilled_water_ship
 from repro.pdme.browser import render_machine_screen, render_priority_list
@@ -42,6 +43,8 @@ class MprosSystem:
     simulators: dict[str, ChillerSimulator]
     uplinks: list[ReportUplink] = field(default_factory=list)
     _dc_endpoints: list[RpcEndpoint] = field(default_factory=list)
+    #: The one registry every subsystem on the DC→PDME path reports to.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def inject_fault(self, machine_id: str, fault: ActiveFault) -> None:
         """Inject a fault into the simulator monitored as ``machine_id``."""
@@ -76,6 +79,10 @@ class MprosSystem:
         """Reports queued DC-side awaiting PDME acknowledgement."""
         return sum(u.backlog for u in self.uplinks)
 
+    def metrics_snapshot(self) -> dict:
+        """Deterministic JSON-ready view of every instrumented series."""
+        return self.metrics.snapshot()
+
     def set_network_outage(self, dc_index: int, down: bool = True) -> None:
         """Cut (or restore) one DC's link to the PDME (§4.9 scenario).
 
@@ -91,21 +98,26 @@ def build_mpros_system(
     vibration_period: float = 600.0,
     process_period: float = 60.0,
     link: LinkConfig | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> MprosSystem:
     """Assemble the Figure-1 system.
 
     One DC per chiller; each DC monitors its chiller's drive train
     through the chiller simulator, runs the standard test schedule and
     uplinks §7 reports to the PDME over the simulated ship network.
+    Every subsystem publishes into ``metrics`` (default: the
+    process-wide registry), so ``system.metrics.snapshot()`` is the one
+    observability surface for the whole DC→PDME path.
     """
     if n_chillers < 1:
         raise MprosError("need at least one chiller")
+    metrics = metrics if metrics is not None else default_registry()
     root = make_rng(seed)
-    kernel = EventKernel()
-    network = Network(kernel, derive_rng(root, "network"))
+    kernel = EventKernel(metrics=metrics)
+    network = Network(kernel, derive_rng(root, "network"), metrics=metrics)
     model, ship, units = build_chilled_water_ship(n_chillers=n_chillers)
-    pdme = PdmeExecutive(model)
-    pdme_ep = RpcEndpoint("pdme", network, kernel)
+    pdme = PdmeExecutive(model, metrics=metrics)
+    pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
     pdme.serve_on(pdme_ep)
     register_icas_interface(pdme, pdme_ep)
 
@@ -117,9 +129,9 @@ def build_mpros_system(
         dc_name = f"dc:{i}"
         if link is not None:
             network.connect(dc_name, "pdme", link)
-        dc_ep = RpcEndpoint(dc_name, network, kernel)
+        dc_ep = RpcEndpoint(dc_name, network, kernel, metrics=metrics)
         endpoints.append(dc_ep)
-        uplink = ReportUplink(dc_ep, "pdme")
+        uplink = ReportUplink(dc_ep, "pdme", metrics=metrics)
         uplinks.append(uplink)
 
         dc = DataConcentrator(
@@ -127,6 +139,7 @@ def build_mpros_system(
             kernel=kernel,
             sink=uplink.submit,
             rng=derive_rng(root, "dc", i),
+            metrics=metrics,
         )
         sim = ChillerSimulator(rng=derive_rng(root, "chiller", i))
         dc.attach_machine(
@@ -153,4 +166,5 @@ def build_mpros_system(
         simulators=simulators,
         uplinks=uplinks,
         _dc_endpoints=endpoints,
+        metrics=metrics,
     )

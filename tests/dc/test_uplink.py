@@ -71,8 +71,10 @@ def test_outage_queues_then_flush_recovers():
     kernel.run()
     assert pdme.report_count() == 0
     assert uplink.backlog == 10
-    # Link restored; scheduled flush retries everything.
+    # Link restored; once the retry backoff expires the scheduled
+    # flush retries everything.
     net.set_down("dc:0", "pdme", False)
+    kernel.run_until(kernel.now() + uplink.retry_cap)
     uplink.flush()
     kernel.run()
     assert uplink.backlog == 0
@@ -96,6 +98,7 @@ def test_bounded_queue_sheds_oldest():
     assert uplink.backlog == 4
     assert uplink.stats.shed == 6
     net.set_down("dc:0", "pdme", False)
+    kernel.run_until(kernel.now() + uplink.retry_cap)
     uplink.flush()
     kernel.run()
     # The four newest survive.
@@ -115,6 +118,7 @@ def test_lossy_link_eventually_delivers_with_flushes():
         kernel.run()
         if uplink.backlog == 0:
             break
+        kernel.run_until(kernel.now() + 60.0)  # one flush period later
         uplink.flush()
     assert uplink.backlog == 0
     assert uplink.stats.delivered == 10
@@ -134,6 +138,7 @@ def test_lost_ack_retransmission_is_idempotent():
         kernel.run()
         if uplink.backlog == 0:
             break
+        kernel.run_until(kernel.now() + 60.0)  # one flush period later
         uplink.flush()
     assert uplink.backlog == 0
     assert uplink.stats.delivered == 1

@@ -1,0 +1,129 @@
+import io
+import json
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.obs import MetricsRegistry, Tracer, export_jsonl, snapshot_json
+
+
+def make_tracer(max_spans: int = 1024):
+    reg = MetricsRegistry()
+    clock = SimulatedClock()
+    return reg, clock, Tracer(clock, reg, max_spans=max_spans)
+
+
+def test_span_nesting_parent_child():
+    reg, clock, tracer = make_tracer()
+    with tracer.span("outer") as outer:
+        clock.advance(1.0)
+        with tracer.span("inner") as inner:
+            clock.advance(0.5)
+        with tracer.span("inner2") as inner2:
+            pass
+    assert outer.parent_id is None and outer.depth == 0
+    assert inner.parent_id == outer.span_id and inner.depth == 1
+    assert inner2.parent_id == outer.span_id and inner2.depth == 1
+    assert inner.duration == 0.5
+    assert outer.duration == 1.5
+    # Children finish before their parent.
+    assert [s.name for s in tracer.finished] == ["inner", "inner2", "outer"]
+
+
+def test_active_span_tracking():
+    _, _, tracer = make_tracer()
+    assert tracer.active is None
+    with tracer.span("a") as a:
+        assert tracer.active is a
+        with tracer.span("b") as b:
+            assert tracer.active is b
+        assert tracer.active is a
+    assert tracer.active is None
+
+
+def test_span_closed_on_exception():
+    _, clock, tracer = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            clock.advance(2.0)
+            raise RuntimeError("suite died")
+    assert tracer.active is None
+    assert tracer.finished[-1].name == "boom"
+    assert tracer.finished[-1].duration == 2.0
+
+
+def test_span_durations_feed_histograms():
+    reg, clock, tracer = make_tracer()
+    for _ in range(3):
+        with tracer.span("dc.dispatch"):
+            clock.advance(0.2)
+    h = reg.histogram("trace.dc.dispatch.seconds")
+    assert h.count == 3
+    assert h.sum == pytest.approx(0.6)
+
+
+def test_finished_ring_is_bounded():
+    _, _, tracer = make_tracer(max_spans=4)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert tracer.started == 10
+    assert [s.name for s in tracer.finished] == ["s6", "s7", "s8", "s9"]
+
+
+def test_open_span_duration_raises():
+    _, _, tracer = make_tracer()
+    with tracer.span("open") as s:
+        with pytest.raises(ValueError):
+            _ = s.duration
+
+
+def test_snapshot_json_includes_spans():
+    reg, clock, tracer = make_tracer()
+    reg.counter("c").inc()
+    with tracer.span("op", dc="dc:0"):
+        clock.advance(1.0)
+    doc = json.loads(snapshot_json(reg, tracer))
+    assert doc["counters"]["c"] == 1.0
+    (span,) = doc["spans"]
+    assert span["name"] == "op"
+    assert span["attrs"] == {"dc": "dc:0"}
+    assert span["end"] - span["start"] == 1.0
+
+
+def test_export_jsonl_roundtrips():
+    reg, clock, tracer = make_tracer()
+    reg.counter("dc.uplink.delivered", dc="dc:0").inc(5)
+    reg.gauge("dc.uplink.queue_depth", dc="dc:0").set(2)
+    reg.histogram("netsim.link.delay_seconds").observe(0.004)
+    with tracer.span("op"):
+        clock.advance(1.5)
+    buf = io.StringIO()
+    n = export_jsonl(reg, buf, clock=clock, tracer=tracer)
+    lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+    assert n == len(lines) == 5  # trace histogram + 3 metrics + 1 span
+    by_series = {l.get("series"): l for l in lines if "series" in l}
+    counter = by_series["dc.uplink.delivered{dc=dc:0}"]
+    assert counter["type"] == "counter"
+    assert counter["value"] == 5.0
+    assert counter["labels"] == {"dc": "dc:0"}
+    assert counter["t"] == 1.5  # simulated clock, not wall time
+    hist = by_series["netsim.link.delay_seconds"]
+    assert hist["type"] == "histogram"
+    assert sum(hist["counts"]) == 1
+    (span,) = [l for l in lines if l["type"] == "span"]
+    assert span["name"] == "op"
+
+
+def test_export_jsonl_deterministic():
+    def dump() -> str:
+        reg, clock, tracer = make_tracer()
+        with tracer.span("a"):
+            clock.advance(1.0)
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        buf = io.StringIO()
+        export_jsonl(reg, buf, clock=clock, tracer=tracer)
+        return buf.getvalue()
+
+    assert dump() == dump()

@@ -50,6 +50,31 @@ def test_campaign_summary(capsys):
     assert "(healthy control)" in out
 
 
+def test_metrics_snapshot_covers_subsystems(capsys, tmp_path):
+    jsonl = tmp_path / "metrics.jsonl"
+    assert main(["metrics", "--hours", "1", "--chillers", "1",
+                 "--jsonl", str(jsonl)]) == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    # Acceptance: counters/histograms from >= 5 instrumented subsystems
+    # after a scripted DC->PDME run.
+    assert len(doc["subsystems"]) >= 5
+    for prefix in ("dc.uplink", "netsim.rpc", "hpc.pipeline", "fusion", "pdme"):
+        assert prefix in doc["subsystems"]
+    assert doc["counters"]["fusion.ingested"] > 0
+    assert any(k.startswith("netsim.link.delay_seconds")
+               for k in doc["histograms"])
+    lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+    assert any(l["type"] == "span" for l in lines)
+    assert any(l["type"] == "histogram" for l in lines)
+
+
+def test_metrics_unknown_fault_errors(capsys):
+    assert main(["metrics", "--fault", "mc:warp-core-breach"]) == 2
+    assert "unknown fault" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
