@@ -1,0 +1,152 @@
+"""Declarative chaos scenarios.
+
+A scenario is data, not code: a list of :class:`ChaosAction` entries on
+a relative timeline.  The engine turns them into kernel events, which
+keeps scenarios serializable, diffable in review, and trivially
+deterministic — the same scenario + the same system seed replays the
+same run, event for event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import MprosError
+
+#: The structural fault vocabulary the engine understands.
+ACTION_KINDS = frozenset(
+    {
+        "partition",        # DC<->PDME link hard down for `duration`
+        "flap",             # link repeatedly down/up (params: flaps, period)
+        "storm",            # drop/corrupt-rate spike (params: drop_rate, corrupt_rate)
+        "sensor_dropout",   # accelerometer reads zeros (params: channel)
+        "sensor_stuck",     # accelerometer reads a DC level (params: channel, level)
+        "clock_hold",       # DC scheduler frozen for `duration` (hung process)
+        "crash",            # DC process dies; restarted after `duration`
+        "machinery_fault",  # seeded machine degradation (params: fault, severity)
+    }
+)
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled structural fault.
+
+    Attributes
+    ----------
+    at:
+        Onset, seconds after the scenario starts.
+    kind:
+        One of :data:`ACTION_KINDS`.
+    dc_index:
+        Which DC (and its PDME link) the fault targets.
+    duration:
+        Fault window in seconds; 0 means instantaneous/one-shot.
+    params:
+        Kind-specific knobs (see :data:`ACTION_KINDS` comments).
+    """
+
+    at: float
+    kind: str
+    dc_index: int = 0
+    duration: float = 0.0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise MprosError(
+                f"unknown chaos action {self.kind!r}; know {sorted(ACTION_KINDS)}"
+            )
+        if self.at < 0:
+            raise MprosError(f"action onset must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise MprosError(f"action duration must be >= 0, got {self.duration}")
+        if self.dc_index < 0:
+            raise MprosError(f"dc_index must be >= 0, got {self.dc_index}")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, seeded fault schedule plus the total run length.
+
+    ``duration`` must cover every action's full window — a scenario that
+    ends mid-fault would report unrecovered state as a failure of the
+    *system* rather than of the schedule.
+    """
+
+    name: str
+    duration: float
+    actions: tuple[ChaosAction, ...]
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MprosError("scenario needs a name")
+        if self.duration <= 0:
+            raise MprosError(f"scenario duration must be positive, got {self.duration}")
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for action in self.actions:
+            if action.at + action.duration > self.duration:
+                raise MprosError(
+                    f"action {action.kind!r} at t+{action.at}s runs past the "
+                    f"scenario end ({self.duration}s); extend the scenario"
+                )
+
+    def max_dc_index(self) -> int:
+        """Highest DC index any action touches (for sizing the system)."""
+        return max((a.dc_index for a in self.actions), default=0)
+
+
+def canonical_scenario(seed: int = 7) -> ChaosScenario:
+    """The reference survivability drill.
+
+    Exercises the three §2 shipboard failure classes in one run, with
+    real report traffic flowing throughout (machinery faults seeded at
+    t=0 on both chillers so every structural fault hits a stream of §7
+    reports, not a quiet system):
+
+    * a stuck accelerometer on DC 0 (t+5 min, 20 min) that must drive the
+      RMS-alarm quarantine into degraded-mode reporting — DC 0's
+      refrigerant leak is process-visible, so reports keep flowing with
+      ``degraded=True`` instead of the machine going silent,
+    * a full crash of DC 1 at t+20 min — 3 ms after its vibration-test
+      reports went on the wire, so the PDME has posted them but the DC
+      dies before the acks land.  The restart 10 minutes later must
+      replay the persisted backlog and the PDME must absorb the replays
+      as duplicates: the strictest exactly-once case,
+    * a 10-minute DC 0 <-> PDME partition at t+40 min that the breaker
+      must fail fast through and the store-and-forward uplink must
+      absorb.
+
+    Two hours total leaves room for every recovery to complete: the
+    acceptance bar is zero lost and zero duplicated reports at the OOSM,
+    every breaker re-closed, and degraded (not absent) reports while the
+    sensor was quarantined.
+    """
+    return ChaosScenario(
+        name="canonical",
+        seed=seed,
+        duration=2 * 3600.0,
+        description="crash/restart + partition + stuck sensor survivability drill",
+        actions=(
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=0,
+                params={"fault": "mc:refrigerant-leak", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=1,
+                params={"fault": "mc:motor-imbalance", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=300.0, kind="sensor_stuck", dc_index=0, duration=1200.0,
+                params={"channel": 0, "level": 6.0},
+            ),
+            # 1200.003: after the t=1200 vibration test's report frames
+            # are delivered (one-way latency 2 ms) but before the acks
+            # return (4 ms round trip) — the crash eats the acks.
+            ChaosAction(at=1200.003, kind="crash", dc_index=1, duration=600.0),
+            ChaosAction(at=2400.0, kind="partition", dc_index=0, duration=600.0),
+        ),
+    )

@@ -14,6 +14,7 @@ Examples
     mpros fleet
     mpros metrics --hours 1 --fault mc:motor-imbalance
     mpros list-faults
+    mpros chaos --seed 7
 """
 
 from __future__ import annotations
@@ -143,6 +144,26 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a chaos scenario and print the resilience report.
+
+    Exit code 1 when the run misses the survivability bar (lost or
+    duplicated reports, shedding, or a breaker stuck open), so CI can
+    gate on it directly.
+    """
+    from repro.chaos import canonical_scenario, run_scenario
+    from repro.obs.registry import use_registry
+
+    if args.scenario != "canonical":
+        print(f"unknown scenario {args.scenario!r}; know: canonical", file=sys.stderr)
+        return 2
+    scenario = canonical_scenario(seed=args.seed)
+    with use_registry():
+        report = run_scenario(scenario, n_chillers=args.chillers or None)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.hpc import FleetConfig, fleet_data_rate
 
@@ -194,6 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", default="",
                    help="also export JSON-lines records to this path")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos scenario and print the resilience report",
+    )
+    p.add_argument("--scenario", default="canonical")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--chillers", type=int, default=0,
+                   help="system size (0 = sized from the scenario)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fleet", help="fleet data-rate accounting")
     p.add_argument("--ships", type=int, default=30)

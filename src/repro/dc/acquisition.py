@@ -120,6 +120,7 @@ class RmsDetectorBank:
         if n_channels < 1:
             raise AcquisitionError("need at least one channel")
         self.thresholds = np.full(n_channels, np.inf)
+        self.floors = np.zeros(n_channels)
         self.alarms = np.zeros(n_channels, dtype=bool)
         self.last_rms = np.zeros(n_channels)
 
@@ -130,6 +131,19 @@ class RmsDetectorBank:
         if level <= 0:
             raise AcquisitionError(f"threshold must be positive, got {level}")
         self.thresholds[channel] = level
+
+    def set_floor(self, channel: int, level: float) -> None:
+        """Program one channel's dead-band floor (0 disables).
+
+        An accelerometer reading below the floor is an open circuit —
+        a live machine always produces *some* broadband energy — so
+        the detector alarms on suspiciously quiet channels too.
+        """
+        if not 0 <= channel < self.floors.size:
+            raise AcquisitionError(f"channel out of range: {channel}")
+        if level < 0:
+            raise AcquisitionError(f"floor must be >= 0, got {level}")
+        self.floors[channel] = level
 
     def scan(self, blocks: np.ndarray) -> np.ndarray:
         """Update every detector from a (n_channels, n_samples) block.
@@ -142,7 +156,9 @@ class RmsDetectorBank:
                 f"blocks must be ({self.thresholds.size}, n), got {blocks.shape}"
             )
         self.last_rms = np.asarray(rms(blocks, axis=1))
-        self.alarms = self.last_rms > self.thresholds
+        self.alarms = (self.last_rms > self.thresholds) | (
+            self.last_rms < self.floors
+        )
         return self.alarms
 
 

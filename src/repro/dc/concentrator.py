@@ -12,7 +12,7 @@ The DLL then passes the results back to the DC database."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -31,8 +31,10 @@ from repro.netsim.kernel import EventKernel
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.spans import Tracer
 from repro.plant.chiller import ChillerSimulator
+from repro.plant.faults import SensorFault
 from repro.plant.rotating import MachineKinematics
 from repro.protocol.report import FailurePredictionReport
+from repro.supervisor.quarantine import SensorQuarantine
 
 ReportSink = Callable[[FailurePredictionReport], None]
 
@@ -84,7 +86,20 @@ class DataConcentrator:
         self.tracer = Tracer(kernel.clock, self.metrics)
         self.database = DcDatabase()
         self.acquisition = AcquisitionChain(sample_rate, metrics=self.metrics)
-        self.scheduler = EventScheduler(kernel, metrics=self.metrics, owner=str(dc_id))
+        # Scheduler cursors persist into the DC database after every
+        # run so a restarted DC resumes its schedules where they stood.
+        self.scheduler = EventScheduler(
+            kernel,
+            metrics=self.metrics,
+            owner=str(dc_id),
+            cursor_store=self.database.save_scheduler_cursor,
+        )
+        #: RMS-alarm-driven sensor quarantine (degraded-mode operation).
+        self.quarantine = SensorQuarantine(
+            kernel.clock, metrics=self.metrics, owner=str(dc_id)
+        )
+        #: Injected instrumentation faults by acquisition channel.
+        self._sensor_faults: dict[int, SensorFault] = {}
         self.machines: dict[ObjectId, MonitoredMachine] = {}
         #: Block-reduction pipelines keyed by block length (the scalar
         #: indicators for every vibration test flow through these, so
@@ -99,10 +114,12 @@ class DataConcentrator:
         else:
             self.sources = list(sources)
         self.reports_sent = 0
+        self.reports_degraded = 0
         #: (knowledge source id, exception) pairs from isolated suites.
         self.source_errors: list[tuple[str, Exception]] = []
         dc = str(dc_id)
         self._m_reports = self.metrics.counter("dc.reports_produced", dc=dc)
+        self._m_degraded = self.metrics.counter("dc.reports_degraded", dc=dc)
         self._m_source_errors = self.metrics.counter("dc.source_errors", dc=dc)
         self._m_vib_tests = self.metrics.counter("dc.vibration_tests", dc=dc)
         self._m_scans = self.metrics.counter("dc.process_scans", dc=dc)
@@ -119,6 +136,7 @@ class DataConcentrator:
         simulator: ChillerSimulator,
         vibration_channel: int,
         rms_alarm: float | None = 1.0,
+        rms_floor: float | None = 1e-3,
     ) -> MonitoredMachine:
         """Bind a simulated machine to an acquisition channel."""
         if machine_id in self.machines:
@@ -131,12 +149,16 @@ class DataConcentrator:
             vibration_channel=vibration_channel,
         )
         self.machines[machine_id] = machine
+        # Route acquisition through the DC so injected sensor faults
+        # (dropout / stuck-at) affect RMS scans and vibration tests alike.
         self.acquisition.bind(
             vibration_channel,
-            lambda n, rng, sim=simulator: sim.sample_vibration(n),
+            lambda n, rng, m=machine: self._read_vibration(m, n),
         )
         if rms_alarm is not None:
             self.acquisition.detectors.set_threshold(vibration_channel, rms_alarm)
+        if rms_floor is not None:
+            self.acquisition.detectors.set_floor(vibration_channel, rms_floor)
         self.database.register_machine(
             machine_id, name, {"shaft_hz": simulator.config.kinematics.shaft_hz}
         )
@@ -165,19 +187,48 @@ class DataConcentrator:
         self.database.register_schedule("process-scan", process_period, "process")
         self.database.register_schedule("rms-scan", process_period, "alarm")
 
+    # -- sensor faults (instrumentation failures, not machinery faults) -------
+    def inject_sensor_fault(self, channel: int, fault: SensorFault) -> None:
+        """Install an instrumentation fault on an acquisition channel.
+
+        Unlike :meth:`ChillerSimulator.inject_fault` (a machinery
+        degradation the suites should *detect*), a sensor fault corrupts
+        the measurement itself — the condition the RMS-alarm quarantine
+        exists to contain."""
+        self._sensor_faults[int(channel)] = fault
+
+    def clear_sensor_fault(self, channel: int) -> None:
+        """Remove any injected fault from a channel."""
+        self._sensor_faults.pop(int(channel), None)
+
+    def _read_vibration(self, machine: MonitoredMachine, n_samples: int) -> np.ndarray:
+        """Sample one machine's accelerometer, through any active fault."""
+        wave = machine.simulator.sample_vibration(n_samples)
+        fault = self._sensor_faults.get(machine.vibration_channel)
+        if fault is not None:
+            now = self.kernel.now()
+            if fault.active_at(now):
+                wave = fault.apply(wave, now)
+        return wave
+
     # -- test routines -----------------------------------------------------------
     def _advance_simulators(self, now: float) -> None:
         for m in self.machines.values():
             if m.simulator.time < now:
                 m.simulator.step(now - m.simulator.time)
 
-    def _dispatch(self, ctx: SourceContext) -> list[FailurePredictionReport]:
+    def _dispatch(
+        self, ctx: SourceContext, degraded: bool = False
+    ) -> list[FailurePredictionReport]:
         """Run every suite on one context.
 
         Suites are isolated from each other: one misbehaving algorithm
         (§1.1 anticipates adding third-party suites) must not silence
         the rest of the DC.  Failures are recorded in
-        :attr:`source_errors`.
+        :attr:`source_errors`.  With ``degraded=True`` (a quarantined
+        sensor forced a reduced-evidence analysis) every report is
+        flagged so downstream fusion knows the DC is reporting with
+        less than full instrumentation rather than going silent.
         """
         reports: list[FailurePredictionReport] = []
         with self.tracer.span("dc.dispatch", dc=str(self.dc_id)):
@@ -189,11 +240,16 @@ class DataConcentrator:
                     except Exception as exc:  # noqa: BLE001 - isolation by design
                         self.source_errors.append((source_id, exc))
                         self._m_source_errors.inc()
+        if degraded:
+            reports = [replace(r, degraded=True) for r in reports]
         for r in reports:
             self.database.store_report(r)
             self.sink(r)
             self.reports_sent += 1
             self._m_reports.inc()
+            if r.degraded:
+                self.reports_degraded += 1
+                self._m_degraded.inc()
         return reports
 
     def _pipeline_for(self, n_samples: int) -> FeaturePipeline:
@@ -214,7 +270,23 @@ class DataConcentrator:
         produced = 0
         pipe = self._pipeline_for(n_samples)
         for m in self.machines.values():
-            wave = m.simulator.sample_vibration(n_samples)
+            if self.quarantine.is_quarantined(m.vibration_channel):
+                # Degraded mode: the accelerometer is quarantined, so
+                # its waveform is untrusted.  Run the process-variable
+                # suites only and flag every report instead of letting
+                # the machine drop off the PDME's radar.
+                process = m.simulator.sample_process().values
+                ctx = SourceContext(
+                    sensed_object_id=m.machine_id,
+                    timestamp=now,
+                    process=process,
+                    history=m.process_history[-16:],
+                    kinematics=m.kinematics,
+                    dc_id=self.dc_id,
+                )
+                produced += len(self._dispatch(ctx, degraded=True))
+                continue
+            wave = self._read_vibration(m, n_samples)
             # Scalar indicators come from the block-reduction pipeline
             # (same math as the ad-hoc rms/peak calls it replaced, but
             # measured: hpc.pipeline.* now counts the DC's hot path).
@@ -320,6 +392,19 @@ class DataConcentrator:
         return {"machine_id": machine_id, "kind": kind, "history": history}
 
     def rms_alarm_scan(self, n_samples: int = 256) -> list[int]:
-        """Run the constant-alarming RMS pass; returns alarmed channels."""
+        """Run the constant-alarming RMS pass; returns alarmed channels.
+
+        Every scan also feeds the sensor quarantine: a channel alarming
+        on enough *consecutive* scans is treated as failed
+        instrumentation and pulled out of the vibration-suite inputs
+        until its cooldown expires."""
         alarms = self.acquisition.rms_scan(n_samples, self.rng)
-        return [int(c) for c in np.flatnonzero(alarms)]
+        alarmed = [int(c) for c in np.flatnonzero(alarms)]
+        self.quarantine.observe(alarmed)
+        return alarmed
+
+    # -- crash/restart recovery -----------------------------------------------
+    def restore_cursors(self) -> int:
+        """Reapply persisted scheduler cursors after a restart; returns
+        how many tasks were restored."""
+        return self.scheduler.restore_cursors(self.database.scheduler_cursors())

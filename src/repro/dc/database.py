@@ -50,6 +50,16 @@ CREATE TABLE IF NOT EXISTS condition_reports (
     machine_id  TEXT NOT NULL,
     payload     TEXT NOT NULL            -- §7 wire JSON
 );
+CREATE TABLE IF NOT EXISTS uplink_backlog (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    report_id   TEXT UNIQUE NOT NULL,    -- uplink-assigned exactly-once id
+    payload     TEXT NOT NULL            -- §7 wire JSON + report_id
+);
+CREATE TABLE IF NOT EXISTS scheduler_cursors (
+    name        TEXT PRIMARY KEY,        -- scheduler task name
+    runs        INTEGER NOT NULL,
+    last_run    REAL NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_meas_machine ON measurements(machine_id, kind);
 CREATE INDEX IF NOT EXISTS idx_reports_machine ON condition_reports(machine_id);
 """
@@ -197,3 +207,49 @@ class DcDatabase:
         return int(
             self._conn.execute("SELECT COUNT(*) FROM condition_reports").fetchone()[0]
         )
+
+    # -- uplink backlog persistence (crash/restart recovery) -----------------
+    def uplink_put(self, report_id: str, payload: dict[str, Any]) -> None:
+        """Persist one unacknowledged uplink report under its id."""
+        if not report_id:
+            raise MprosError("uplink report_id must be non-empty")
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO uplink_backlog (report_id, payload) VALUES (?, ?)",
+                (report_id, json.dumps(payload)),
+            )
+
+    def uplink_delete(self, report_id: str) -> None:
+        """Drop one report from the persisted backlog (it was acked,
+        rejected, or deliberately shed)."""
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM uplink_backlog WHERE report_id = ?", (report_id,)
+            )
+
+    def uplink_rows(self) -> list[tuple[str, dict[str, Any]]]:
+        """Persisted (report_id, wire payload) rows, oldest first."""
+        rows = self._conn.execute(
+            "SELECT report_id, payload FROM uplink_backlog ORDER BY seq"
+        ).fetchall()
+        return [(rid, json.loads(p)) for rid, p in rows]
+
+    def uplink_count(self) -> int:
+        """Persisted backlog size."""
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM uplink_backlog").fetchone()[0]
+        )
+
+    # -- scheduler cursors (crash/restart recovery) --------------------------
+    def save_scheduler_cursor(self, name: str, runs: int, last_run: float) -> None:
+        """Persist one task's progress cursor after a run."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO scheduler_cursors VALUES (?, ?, ?)",
+                (name, int(runs), float(last_run)),
+            )
+
+    def scheduler_cursors(self) -> dict[str, tuple[int, float]]:
+        """All persisted task cursors as ``name -> (runs, last_run)``."""
+        rows = self._conn.execute("SELECT name, runs, last_run FROM scheduler_cursors")
+        return {name: (int(runs), float(last)) for name, runs, last in rows}

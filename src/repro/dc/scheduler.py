@@ -46,12 +46,18 @@ class EventScheduler:
         kernel: EventKernel,
         metrics: MetricsRegistry | None = None,
         owner: str = "",
+        cursor_store: Callable[[str, int, float], None] | None = None,
     ) -> None:
         self.kernel = kernel
         self._tasks: dict[str, PeriodicTask] = {}
         self.errors: list[tuple[str, Exception]] = []
         self.metrics = metrics if metrics is not None else default_registry()
         self.owner = owner
+        #: Optional durable cursor sink ``(name, runs, last_run)`` called
+        #: after every successful run — the DC persists these into its
+        #: database so a restarted DC knows where its schedules stood.
+        self.cursor_store = cursor_store
+        self._suspended = False
 
     def _labels(self, task_name: str) -> dict[str, str]:
         labels = {"task": task_name}
@@ -71,7 +77,7 @@ class EventScheduler:
     def _fire(self, task: PeriodicTask) -> None:
         if task.name not in self._tasks:
             return  # removed
-        if task.enabled:
+        if task.enabled and not self._suspended:
             self._run(task)
         self.kernel.schedule(task.period, lambda: self._fire(task))
 
@@ -94,6 +100,8 @@ class EventScheduler:
             task.runs += 1
             task.last_run = now
             self.metrics.counter("dc.scheduler.runs", **labels).inc()
+            if self.cursor_store is not None:
+                self.cursor_store(task.name, task.runs, task.last_run)
 
     def command(self, name: str) -> None:
         """Run a task now, out of schedule (the PDME 'conduct another
@@ -103,6 +111,37 @@ class EventScheduler:
             raise SchedulingError(f"no task {name!r}")
         self.metrics.counter("dc.scheduler.commands", **self._labels(name)).inc()
         self._run(task)
+
+    # -- crash/restart choreography ---------------------------------------
+    @property
+    def suspended(self) -> bool:
+        """Is the whole scheduler held (crashed or clock-held DC)?"""
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Freeze every task (cadence continues, runs are skipped) — a
+        crashed or clock-held DC stops doing work but simulated time
+        marches on around it."""
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Release a suspended scheduler; tasks fire again on their
+        existing cadence."""
+        self._suspended = False
+
+    def restore_cursors(self, cursors: dict[str, tuple[int, float]]) -> int:
+        """Restore persisted ``name -> (runs, last_run)`` progress into
+        matching tasks (a restarted DC resuming where it crashed).
+        Unknown task names are ignored; returns cursors applied."""
+        applied = 0
+        for name, (runs, last_run) in cursors.items():
+            task = self._tasks.get(name)
+            if task is None:
+                continue
+            task.runs = int(runs)
+            task.last_run = float(last_run)
+            applied += 1
+        return applied
 
     def enable(self, name: str, enabled: bool = True) -> None:
         """Pause/resume a periodic task (it stays scheduled)."""

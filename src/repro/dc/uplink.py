@@ -20,6 +20,13 @@ During a §4.9 outage this stops the periodic flush from hammering a
 dead link with the whole backlog every tick, while still converging to
 one cheap probe per report per cap interval.  Time comes from the
 endpoint's simulated clock — deterministic, testable with a fake clock.
+
+Crash/restart recovery: every queued report carries a durable
+``report_id`` (``<dc>#<seq>``) and, when a store is bound via
+:meth:`bind_store`, is persisted until positively acknowledged.  A
+restarted DC calls :meth:`recover` to reload its backlog — with the
+*same* ids, so PDME-side dedup makes replays exactly-once at the OOSM
+even when the crash ate the acks.
 """
 
 from __future__ import annotations
@@ -27,12 +34,24 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from typing import Any, Protocol
+
 from repro.common.clock import Clock
 from repro.common.errors import NetworkError
 from repro.netsim.rpc import RpcEndpoint, RpcError
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.protocol.report import FailurePredictionReport
-from repro.protocol.wire import encode_report
+from repro.protocol.wire import decode_report, encode_report
+
+
+class BacklogStore(Protocol):
+    """Durable storage for unacknowledged reports (the DC database)."""
+
+    def uplink_put(self, report_id: str, payload: dict[str, Any]) -> None: ...
+
+    def uplink_delete(self, report_id: str) -> None: ...
+
+    def uplink_rows(self) -> list[tuple[str, dict[str, Any]]]: ...
 
 
 @dataclass
@@ -70,6 +89,10 @@ class ReportUplink:
     clock:
         Time source for the backoff deadlines (defaults to the
         endpoint kernel's simulated clock).
+    store:
+        Optional durable :class:`BacklogStore` (typically the DC
+        database); when bound, unacked reports survive a DC crash and
+        :meth:`recover` reloads them with their original ids.
     metrics:
         Metrics registry (default: the process-wide registry).
     """
@@ -83,6 +106,7 @@ class ReportUplink:
         retry_factor: float = 2.0,
         retry_cap: float = 60.0,
         clock: Clock | None = None,
+        store: BacklogStore | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
@@ -98,6 +122,7 @@ class ReportUplink:
         self.retry_factor = retry_factor
         self.retry_cap = retry_cap
         self.clock: Clock = clock if clock is not None else endpoint.kernel.clock
+        self.store = store
         self._queue: OrderedDict[int, FailurePredictionReport] = OrderedDict()
         self._next_key = 0
         self._in_flight: set[int] = set()
@@ -114,6 +139,8 @@ class ReportUplink:
         self._m_retries = reg.counter("dc.uplink.retries", dc=dc)
         self._m_deferred = reg.counter("dc.uplink.deferred", dc=dc)
         self._m_depth = reg.gauge("dc.uplink.queue_depth", dc=dc)
+        self._m_backlog = reg.gauge("dc.uplink.backlog", dc=dc)
+        self._m_recovered = reg.counter("dc.uplink.recovered", dc=dc)
         self._m_ack_latency = reg.histogram("dc.uplink.ack_latency_seconds", dc=dc)
         self._submit_time: dict[int, float] = {}
 
@@ -129,10 +156,34 @@ class ReportUplink:
         (``-inf`` if it has never failed)."""
         return self._next_retry.get(key, float("-inf"))
 
+    def report_id(self, key: int) -> str:
+        """The durable exactly-once id of one queued report."""
+        return f"{self.endpoint.name}#{key}"
+
     def _forget(self, key: int) -> None:
         self._attempts.pop(key, None)
         self._next_retry.pop(key, None)
         self._submit_time.pop(key, None)
+        if self.store is not None:
+            self.store.uplink_delete(self.report_id(key))
+
+    def _sync_depth(self) -> None:
+        depth = len(self._queue)
+        self._m_depth.set(depth)
+        self._m_backlog.set(depth)
+
+    def bind_store(self, store: BacklogStore) -> None:
+        """Attach the durable backlog store (the DC database).
+
+        Separate from construction because the uplink is built before
+        the DC that owns the database; must be bound before any report
+        is submitted or the persisted and in-memory views diverge.
+        """
+        if self.store is not None:
+            raise NetworkError("uplink store already bound")
+        if self._queue:
+            raise NetworkError("cannot bind a store to an uplink with queued reports")
+        self.store = store
 
     # -- intake ----------------------------------------------------------
     def submit(self, report: FailurePredictionReport) -> None:
@@ -157,9 +208,13 @@ class ReportUplink:
         self._next_key += 1
         self._queue[key] = report
         self._submit_time[key] = self.clock.now()
+        if self.store is not None:
+            payload = encode_report(report)
+            payload["report_id"] = self.report_id(key)
+            self.store.uplink_put(self.report_id(key), payload)
         self.stats.queued += 1
         self._m_queued.inc()
-        self._m_depth.set(len(self._queue))
+        self._sync_depth()
         self._transmit(key)
 
     # -- delivery -----------------------------------------------------------
@@ -190,7 +245,7 @@ class ReportUplink:
                 self.stats.rejected += 1
                 self._m_rejected.inc()
             self._forget(key)
-            self._m_depth.set(len(self._queue))
+            self._sync_depth()
 
         def on_error(exc: RpcError, key=key) -> None:
             # Keep queued; flush retries it once its backoff expires.
@@ -201,8 +256,10 @@ class ReportUplink:
             self._attempts[key] = attempts
             self._next_retry[key] = self.clock.now() + self.retry_delay(attempts)
 
+        payload = encode_report(report)
+        payload["report_id"] = self.report_id(key)
         self.endpoint.call(
-            self.pdme_name, "post_report", encode_report(report),
+            self.pdme_name, "post_report", payload,
             on_reply=on_reply, on_error=on_error,
         )
 
@@ -225,6 +282,50 @@ class ReportUplink:
             self._transmit(key)
             attempts += 1
         return attempts
+
+    # -- crash/restart recovery ------------------------------------------
+    def crash(self) -> None:
+        """Simulate process death: every *volatile* structure is wiped
+        (queue, in-flight tracking, backoff state).  The durable store,
+        if bound, keeps the unacked backlog for :meth:`recover`."""
+        self._queue.clear()
+        self._in_flight.clear()
+        self._ever_sent.clear()
+        self._attempts.clear()
+        self._next_retry.clear()
+        self._submit_time.clear()
+        self._sync_depth()
+
+    def recover(self) -> int:
+        """Reload the persisted backlog after a restart.
+
+        Reports come back with their original ids, so re-delivery of a
+        report whose ack was lost in the crash is deduplicated PDME-side
+        — exactly-once at the OOSM.  Returns reports recovered.  The
+        queue must be empty (call :meth:`crash` first when simulating).
+        """
+        if self.store is None:
+            raise NetworkError("uplink has no durable store to recover from")
+        if self._queue:
+            raise NetworkError("cannot recover into a non-empty uplink queue")
+        now = self.clock.now()
+        recovered = 0
+        for report_id, payload in self.store.uplink_rows():
+            prefix, sep, seq = report_id.rpartition("#")
+            if not sep or prefix != str(self.endpoint.name) or not seq.isdigit():
+                raise NetworkError(
+                    f"persisted report id {report_id!r} does not belong to "
+                    f"uplink {self.endpoint.name!r}"
+                )
+            key = int(seq)
+            self._queue[key] = decode_report(payload)
+            self._submit_time[key] = now
+            self._next_key = max(self._next_key, key + 1)
+            recovered += 1
+        self.stats.queued += recovered
+        self._m_recovered.inc(recovered)
+        self._sync_depth()
+        return recovered
 
     @property
     def backlog(self) -> int:

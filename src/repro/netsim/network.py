@@ -149,18 +149,36 @@ class Network:
         self._links[(a, b)] = Link(self.kernel, cfg, self.rng, self.metrics)
         self._links[(b, a)] = Link(self.kernel, cfg, self.rng, self.metrics)
 
+    def attached(self, name: str) -> bool:
+        """Is an endpoint with this name attached?"""
+        return name in self._receivers
+
     def link(self, src: str, dst: str) -> Link:
-        """The directed link from src to dst (auto-created default)."""
+        """The directed link from src to dst (auto-created default).
+
+        Raises :class:`NetworkError` naming both endpoints for an
+        unusable pair (empty or identical names) instead of letting a
+        malformed address corrupt the link table.
+        """
+        if not src or not dst or src == dst:
+            raise NetworkError(f"cannot link {src!r} -> {dst!r}: invalid endpoint pair")
         key = (src, dst)
         if key not in self._links:
             self._links[key] = Link(self.kernel, self._default_config, self.rng, self.metrics)
         return self._links[key]
 
     def send(self, src: str, dst: str, frame: bytes) -> bool:
-        """Send a frame; returns False if the link dropped it."""
-        if dst not in self._receivers:
-            raise NetworkError(f"no endpoint {dst!r} attached")
-        receiver = self._receivers[dst]
+        """Send a frame; returns False if the link dropped it.
+
+        Raises :class:`NetworkError` naming both endpoints when the
+        destination was never :meth:`attach`\\ ed, so supervisor code can
+        catch addressing failures uniformly.
+        """
+        receiver = self._receivers.get(dst)
+        if receiver is None:
+            raise NetworkError(
+                f"cannot send {src!r} -> {dst!r}: endpoint {dst!r} was never attached"
+            )
         return self.link(src, dst).send(src, frame, receiver)
 
     def set_down(self, a: str, b: str, down: bool = True) -> None:

@@ -154,6 +154,17 @@ class RpcEndpoint:
                 RpcError(f"{pending.method} to {pending.dst} failed after retries")
             )
 
+    def reset(self) -> None:
+        """Drop every pending client-side call without invoking
+        callbacks — the crash/restart simulation: a rebooted host has no
+        memory of its in-flight requests, and late replies addressed to
+        the old incarnation must be ignored."""
+        for pending in self._pending.values():
+            pending.done = True
+            self.kernel.cancel(pending.timeout_event)
+        self._pending.clear()
+        self._m_inflight.set(0)
+
     # -- wire ---------------------------------------------------------------
     def _receive(self, sender: str, frame: bytes) -> None:
         try:
@@ -166,6 +177,11 @@ class RpcEndpoint:
             return
         kind = msg.get("kind")
         if kind == "request":
+            if "id" not in msg:
+                # A request we cannot correlate a reply to is unanswerable.
+                self.stats["corrupt_frames"] = self.stats.get("corrupt_frames", 0) + 1
+                self._m_corrupt.inc()
+                return
             handler = self._methods.get(msg.get("method", ""))
             if handler is None:
                 result = {"error": f"no method {msg.get('method')!r}"}

@@ -70,6 +70,7 @@ class PdmeExecutive:
         self.intake_errors: list[str] = []
         self.duplicates_dropped = 0
         self._seen_fingerprints: set[int] = set()
+        self._seen_report_ids: set[str] = set()
         #: §10.1 temporal reasoning: fused-belief trajectories per
         #: (object, condition), fed from every conclusion.
         self.temporal = TemporalAnalyzer()
@@ -112,11 +113,20 @@ class PdmeExecutive:
 
     def _rpc_post_report(self, payload: dict[str, Any]) -> dict[str, Any]:
         try:
-            report = decode_report(payload)
             # At-least-once delivery from the DC uplinks means retried
             # reports can arrive more than once (a lost ack, not a lost
-            # report).  Intake is idempotent: duplicates are positively
-            # acknowledged but not re-fused.
+            # report) — including replays from a crashed-and-restarted
+            # DC whose acks died with it.  Intake is idempotent:
+            # duplicates are positively acknowledged but not re-fused.
+            # The durable uplink-assigned report_id is authoritative;
+            # the content fingerprint covers id-less senders.
+            rid = payload.get("report_id")
+            rid = rid if isinstance(rid, str) and rid else None
+            if rid is not None and rid in self._seen_report_ids:
+                self.duplicates_dropped += 1
+                self._m_duplicates.inc()
+                return {"accepted": True, "duplicate": True}
+            report = decode_report(payload)
             fingerprint = hash((
                 report.knowledge_source_id,
                 report.sensed_object_id,
@@ -125,12 +135,14 @@ class PdmeExecutive:
                 report.severity,
                 report.belief,
             ))
-            if fingerprint in self._seen_fingerprints:
+            if rid is None and fingerprint in self._seen_fingerprints:
                 self.duplicates_dropped += 1
                 self._m_duplicates.inc()
                 return {"accepted": True, "duplicate": True}
             self.submit(report)
             self._seen_fingerprints.add(fingerprint)
+            if rid is not None:
+                self._seen_report_ids.add(rid)
         except (ProtocolError, MprosError) as exc:
             # §5.1: inconsistent input is recorded, never fatal.
             self.intake_errors.append(str(exc))

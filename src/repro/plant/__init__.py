@@ -17,9 +17,13 @@ from repro.plant.faults import (
     FMEA_CANDIDATES,
     ActiveFault,
     FaultKind,
+    SensorFault,
+    SensorFaultMode,
     SeverityProfile,
     VIBRATION_FAULTS,
     PROCESS_FAULTS,
+    sensor_dropout,
+    sensor_stuck,
 )
 from repro.plant.rotating import BearingGeometry, MachineKinematics, bearing_frequencies
 from repro.plant.sensors import SensorModel
@@ -33,7 +37,11 @@ __all__ = [
     "FMEA_CANDIDATES",
     "ActiveFault",
     "FaultKind",
+    "SensorFault",
+    "SensorFaultMode",
     "SeverityProfile",
+    "sensor_dropout",
+    "sensor_stuck",
     "VIBRATION_FAULTS",
     "PROCESS_FAULTS",
     "BearingGeometry",

@@ -153,3 +153,66 @@ def progressive(
 ) -> ActiveFault:
     """A progressive degradation from onset to end-of-life."""
     return ActiveFault(kind, SeverityProfile(onset, end, peak, shape))
+
+
+# -- instrumentation (sensor) faults ------------------------------------------
+#
+# §4.9 worries about the monitoring chain itself: "power supply and
+# communications are stable in our labs but may not be the same on
+# board the ships."  A flaky accelerometer channel is a fault of the
+# *instrumentation*, not the machinery — it must not masquerade as a
+# machine condition, and the DC must keep operating through it.
+
+
+class SensorFaultMode(enum.Enum):
+    """How a failed sensor channel misbehaves."""
+
+    DROPOUT = "dropout"   # open circuit / lost power: channel reads zero
+    STUCK = "stuck"       # DC-railed amplifier: channel pinned at a level
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """A time-windowed fault on one acquisition channel.
+
+    Attributes
+    ----------
+    mode:
+        :class:`SensorFaultMode` (dropout or stuck-at).
+    start / end:
+        Active window in simulated seconds (``end`` may be ``inf`` for
+        a hard failure that only maintenance clears).
+    level:
+        The stuck-at value (ignored for dropout).
+    """
+
+    mode: SensorFaultMode
+    start: float
+    end: float = float("inf")
+    level: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise MprosError(f"end ({self.end}) must follow start ({self.start})")
+
+    def active_at(self, t: float) -> bool:
+        """Is the fault active at simulated time ``t``?"""
+        return self.start <= t < self.end
+
+    def apply(self, waveform: np.ndarray, t: float) -> np.ndarray:
+        """The waveform the DC actually digitizes at time ``t``."""
+        if not self.active_at(t):
+            return waveform
+        if self.mode is SensorFaultMode.DROPOUT:
+            return np.zeros_like(waveform)
+        return np.full_like(waveform, self.level)
+
+
+def sensor_dropout(start: float, end: float = float("inf")) -> SensorFault:
+    """An open-circuit channel: reads zero while active."""
+    return SensorFault(SensorFaultMode.DROPOUT, start, end)
+
+
+def sensor_stuck(level: float, start: float, end: float = float("inf")) -> SensorFault:
+    """A railed channel: pinned at ``level`` while active."""
+    return SensorFault(SensorFaultMode.STUCK, start, end, level)

@@ -56,6 +56,11 @@ class FailurePredictionReport:
     prognostic:
         Optional prognostic vector; an empty vector means the source
         offers no failure projection ("zero to n ordered pairs").
+    degraded:
+        True when the issuing DC produced this report in degraded mode
+        (e.g. its vibration channel is quarantined and the analysis ran
+        on process variables only).  Consumers should weight such
+        conclusions accordingly rather than treat the DC as silent.
     """
 
     knowledge_source_id: ObjectId
@@ -69,6 +74,7 @@ class FailurePredictionReport:
     recommendations: str = ""
     additional_info: str = ""
     prognostic: PrognosticVector = field(default_factory=PrognosticVector.empty)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         for name in ("knowledge_source_id", "sensed_object_id", "machine_condition_id"):
@@ -106,11 +112,13 @@ class FailurePredictionReport:
             recommendations=self.recommendations,
             additional_info=self.additional_info,
             prognostic=self.prognostic,
+            degraded=self.degraded,
         )
 
     def summary(self) -> str:
         """One-line human-readable summary for logs and the browser."""
         tail = f", {len(self.prognostic)}-pt prognosis" if len(self.prognostic) else ""
+        tail += ", degraded" if self.degraded else ""
         return (
             f"[{self.timestamp:.1f}s] {self.knowledge_source_id} -> "
             f"{self.sensed_object_id}: {self.machine_condition_id} "

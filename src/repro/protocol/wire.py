@@ -43,6 +43,7 @@ def encode_report(report: FailurePredictionReport) -> dict[str, Any]:
         "recommendations": report.recommendations,
         "additional_info": report.additional_info,
         "prognostic": report.prognostic.to_pairs(),
+        "degraded": report.degraded,
     }
 
 
@@ -72,6 +73,7 @@ def decode_report(payload: Mapping[str, Any]) -> FailurePredictionReport:
         recommendations=str(payload.get("recommendations", "")),
         additional_info=str(payload.get("additional_info", "")),
         prognostic=prognostic,
+        degraded=bool(payload.get("degraded", False)),
     )
 
 

@@ -1,0 +1,205 @@
+"""Circuit breaker for the simulated-network RPC path.
+
+During a §4.9 outage every RPC call burns its full timeout-and-retry
+budget before failing.  A DC flushing a deep report backlog into a dead
+link therefore spends all its time waiting on timeouts.  The breaker
+watches consecutive failures, *opens* after a threshold (calls fail
+immediately, no network traffic), and after a cooling-off period lets
+exactly one *probe* call through (half-open).  A successful probe
+closes the breaker and normal traffic resumes; a failed probe re-opens
+it.
+
+State is driven entirely by an explicit :class:`repro.common.clock.Clock`
+so breaker behaviour is deterministic under the event kernel.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.common.clock import Clock
+from repro.common.errors import NetworkError
+from repro.netsim.rpc import RpcError
+from repro.obs.registry import MetricsRegistry, default_registry
+
+
+class BreakerState(enum.Enum):
+    """The classic three breaker states."""
+
+    CLOSED = "closed"          # normal operation
+    OPEN = "open"              # failing fast, no traffic
+    HALF_OPEN = "half-open"    # one probe allowed through
+
+    @property
+    def level(self) -> int:
+        """Numeric encoding for the state gauge (0 healthy .. 2 open)."""
+        return {"closed": 0, "half-open": 1, "open": 2}[self.value]
+
+
+class BreakerTrippedError(RpcError):
+    """A call was refused locally because the breaker is open."""
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker over consecutive call failures.
+
+    Parameters
+    ----------
+    clock:
+        Time source for the open-state cool-down (simulated clock in
+        whole-system runs).
+    name:
+        Label for metrics and the transition log (e.g. the DC name).
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    open_seconds:
+        Cool-down before an open breaker admits a half-open probe.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        name: str = "",
+        failure_threshold: int = 3,
+        open_seconds: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise NetworkError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if open_seconds <= 0:
+            raise NetworkError(f"open_seconds must be positive, got {open_seconds}")
+        self.clock = clock
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.open_seconds = open_seconds
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = float("-inf")
+        self._probing = False
+        #: (time, from-state, to-state) transition log for resilience reports.
+        self.transitions: list[tuple[float, str, str]] = []
+        reg = metrics if metrics is not None else default_registry()
+        labels = {"breaker": name} if name else {}
+        self._m_state = reg.gauge("supervisor.breaker.state", **labels)
+        self._m_fast_fails = reg.counter("supervisor.breaker.fast_fails", **labels)
+        self._m_trans = {
+            s: reg.counter("supervisor.breaker.transitions", to=s.value, **labels)
+            for s in BreakerState
+        }
+
+    def _set(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self.transitions.append((self.clock.now(), self._state.value, state.value))
+        self._state = state
+        self._m_state.set(state.level)
+        self._m_trans[state].inc()
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, *without* advancing the open→half-open timer."""
+        return self._state
+
+    def allow(self) -> bool:
+        """Would a call issued now be admitted?  Advances open→half-open
+        once the cool-down has elapsed and claims the probe slot."""
+        if self._state is BreakerState.OPEN:
+            if self.clock.now() - self._opened_at >= self.open_seconds:
+                self._set(BreakerState.HALF_OPEN)
+                self._probing = False
+            else:
+                self._m_fast_fails.inc()
+                return False
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probing:
+                self._m_fast_fails.inc()
+                return False
+            self._probing = True
+            return True
+        return True
+
+    def record_success(self) -> None:
+        """A call completed: reset the failure streak, close the breaker."""
+        self._failures = 0
+        self._probing = False
+        self._set(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A call failed after its own retries were exhausted."""
+        if self._state is BreakerState.HALF_OPEN:
+            # The probe failed: back to open, restart the cool-down.
+            self._probing = False
+            self._opened_at = self.clock.now()
+            self._set(BreakerState.OPEN)
+            return
+        if self._state is BreakerState.OPEN:
+            # Late failure from a call issued before the trip; the
+            # cool-down is not extended.
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self.clock.now()
+            self._set(BreakerState.OPEN)
+
+
+class GuardedEndpoint:
+    """An :class:`~repro.netsim.rpc.RpcEndpoint` façade whose ``call``
+    goes through a :class:`CircuitBreaker`.
+
+    Drop-in for the endpoint everywhere a *client* is expected (the
+    report uplink, heartbeat emitters): ``name``/``kernel``/``call`` are
+    provided, everything else delegates to the wrapped endpoint.  When
+    the breaker refuses a call the ``on_error`` callback receives a
+    :class:`BreakerTrippedError` synchronously and no frame is sent.
+    """
+
+    def __init__(self, endpoint: Any, breaker: CircuitBreaker) -> None:
+        self.endpoint = endpoint
+        self.breaker = breaker
+
+    @property
+    def name(self) -> str:
+        return self.endpoint.name
+
+    @property
+    def kernel(self):
+        return self.endpoint.kernel
+
+    @property
+    def metrics(self):
+        return self.endpoint.metrics
+
+    def __getattr__(self, attr: str):
+        return getattr(self.endpoint, attr)
+
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: dict[str, Any],
+        on_reply: Callable[[dict[str, Any]], None] | None = None,
+        on_error: Callable[[RpcError], None] | None = None,
+    ) -> int:
+        """Breaker-guarded :meth:`RpcEndpoint.call`; returns -1 when the
+        call is refused locally."""
+        if not self.breaker.allow():
+            if on_error is not None:
+                on_error(BreakerTrippedError(
+                    f"breaker open: {self.endpoint.name} -> {dst} ({method})"
+                ))
+            return -1
+
+        def wrapped_reply(result: dict[str, Any]) -> None:
+            self.breaker.record_success()
+            if on_reply is not None:
+                on_reply(result)
+
+        def wrapped_error(exc: RpcError) -> None:
+            self.breaker.record_failure()
+            if on_error is not None:
+                on_error(exc)
+
+        return self.endpoint.call(
+            dst, method, payload, on_reply=wrapped_reply, on_error=wrapped_error
+        )

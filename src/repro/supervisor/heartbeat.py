@@ -1,0 +1,176 @@
+"""Per-DC heartbeats and the PDME-side health monitor.
+
+A report-quiet DC is indistinguishable from a dead one: healthy
+machinery legitimately produces no §7 reports for hours.  Heartbeats
+separate "nothing to say" from "nobody home".  Each DC emits a small
+heartbeat RPC on its scheduler; the PDME-side monitor tracks the last
+beat per DC against the simulated clock and classifies every DC as
+ALIVE, SUSPECT, or DOWN.  Transitions are logged (and counted in the
+metrics registry) so a chaos run can assert detection and recovery.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.common.errors import NetworkError
+from repro.obs.registry import MetricsRegistry, default_registry
+
+
+class DcHealth(enum.Enum):
+    """PDME-side view of one DC's liveness."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+    @property
+    def level(self) -> int:
+        """Numeric encoding for the state gauge (0 alive .. 2 down)."""
+        return {"alive": 0, "suspect": 1, "down": 2}[self.value]
+
+
+class HeartbeatEmitter:
+    """DC-side heartbeat source.
+
+    ``emit`` has the scheduler's ``TaskAction`` signature so it can be
+    wired directly as a periodic task.  Delivery failures are ignored
+    here — absence of beats *is* the signal, and the monitor is the
+    party that interprets it.  Routing the emitter through a
+    :class:`~repro.supervisor.breaker.GuardedEndpoint` makes heartbeats
+    double as the breaker's half-open probes.
+    """
+
+    def __init__(
+        self,
+        endpoint: Any,
+        pdme_name: str = "pdme",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.pdme_name = pdme_name
+        self.seq = 0
+        reg = metrics if metrics is not None else default_registry()
+        self._m_sent = reg.counter("supervisor.heartbeat.sent", dc=str(endpoint.name))
+
+    def emit(self, now: float) -> None:
+        """Send one heartbeat (scheduler task action)."""
+        self.seq += 1
+        self._m_sent.inc()
+        self.endpoint.call(
+            self.pdme_name,
+            "heartbeat",
+            {"dc": self.endpoint.name, "seq": self.seq, "t": now},
+            on_error=lambda exc: None,  # silence is the monitor's signal
+        )
+
+
+class HeartbeatMonitor:
+    """PDME-side liveness classification from heartbeat recency.
+
+    Parameters
+    ----------
+    clock:
+        Time source (the kernel's simulated clock in whole-system runs).
+    suspect_after / down_after:
+        Beat ages (seconds) at which a DC is marked SUSPECT and DOWN.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        suspect_after: float = 40.0,
+        down_after: float = 90.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0 < suspect_after < down_after:
+            raise NetworkError(
+                f"need 0 < suspect_after < down_after, got {suspect_after}/{down_after}"
+            )
+        self.clock = clock
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self._last: dict[str, float] = {}
+        self._state: dict[str, DcHealth] = {}
+        #: (time, dc, from-state, to-state) transition log.
+        self.transitions: list[tuple[float, str, str, str]] = []
+        self._reg = metrics if metrics is not None else default_registry()
+        self._gauges: dict[str, Any] = {}
+
+    def _gauge(self, dc: str):
+        gauge = self._gauges.get(dc)
+        if gauge is None:
+            gauge = self._reg.gauge("supervisor.heartbeat.state", dc=dc)
+            self._gauges[dc] = gauge
+        return gauge
+
+    def _set(self, dc: str, state: DcHealth) -> None:
+        old = self._state.get(dc)
+        if old is state:
+            return
+        self._state[dc] = state
+        self._gauge(dc).set(state.level)
+        if old is not None:
+            self.transitions.append(
+                (self.clock.now(), dc, old.value, state.value)
+            )
+            self._reg.counter(
+                "supervisor.heartbeat.transitions", dc=dc, to=state.value
+            ).inc()
+
+    # -- intake -----------------------------------------------------------
+    def register(self, dc: str) -> None:
+        """Start monitoring a DC; it gets full grace from 'now'."""
+        if not dc:
+            raise NetworkError("cannot monitor an unnamed DC")
+        self._last.setdefault(dc, self.clock.now())
+        self._set(dc, self._state.get(dc, DcHealth.ALIVE))
+
+    def beat(self, dc: str) -> None:
+        """Record one heartbeat; an absent or degraded DC recovers."""
+        if not dc:
+            return  # a corrupted beat names nobody — line noise
+        self._last[dc] = self.clock.now()
+        if dc not in self._state:
+            self.register(dc)
+        self._reg.counter("supervisor.heartbeat.received", dc=dc).inc()
+        self._set(dc, DcHealth.ALIVE)
+
+    def serve_on(self, endpoint: Any) -> None:
+        """Expose the ``heartbeat`` method on a PDME RPC endpoint."""
+        endpoint.register("heartbeat", self._rpc_heartbeat)
+
+    def _rpc_heartbeat(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self.beat(str(payload.get("dc", "")))
+        return {"ok": True}
+
+    # -- classification ---------------------------------------------------
+    def sweep(self, now: float | None = None) -> dict[str, DcHealth]:
+        """Re-classify every DC from beat age; returns the state map.
+
+        Wire this as a periodic task so SUSPECT/DOWN transitions appear
+        promptly instead of only when somebody asks.
+        """
+        t = self.clock.now() if now is None else now
+        for dc, last in self._last.items():
+            age = t - last
+            if age >= self.down_after:
+                self._set(dc, DcHealth.DOWN)
+            elif age >= self.suspect_after:
+                self._set(dc, DcHealth.SUSPECT)
+            else:
+                self._set(dc, DcHealth.ALIVE)
+        return dict(self._state)
+
+    def state(self, dc: str) -> DcHealth:
+        """Current classification of one DC (sweeps it first)."""
+        if dc not in self._last:
+            raise NetworkError(f"DC {dc!r} is not monitored")
+        self.sweep()
+        return self._state[dc]
+
+    def states(self) -> dict[str, DcHealth]:
+        """Sweep and return every DC's classification."""
+        return self.sweep()

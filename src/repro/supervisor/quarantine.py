@@ -1,0 +1,119 @@
+"""RMS-alarm-driven sensor quarantine.
+
+§5.8's per-channel RMS detectors provide "real-time and constant
+alarming for all sensors".  A channel that alarms on *every* scan is
+more likely a failed accelerometer (stuck-at, rubbing cable, open
+input) than a machine screaming continuously — and feeding its garbage
+into the algorithm suites poisons every downstream conclusion.  The
+quarantine watches alarm streaks: a channel alarming for
+``consecutive_alarms`` scans in a row is quarantined for ``cooldown``
+seconds.  Quarantined channels drop out of suite inputs; the DC keeps
+reporting (with ``degraded=True``) instead of going silent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.clock import Clock
+from repro.common.errors import AcquisitionError
+from repro.obs.registry import MetricsRegistry, default_registry
+
+
+class SensorQuarantine:
+    """Alarm-streak tracking and channel quarantine windows.
+
+    Parameters
+    ----------
+    clock:
+        Time source for quarantine expiry.
+    consecutive_alarms:
+        RMS scans in a row a channel must alarm before quarantine.
+    cooldown:
+        Quarantine duration in seconds; afterwards the channel gets a
+        fresh chance (and re-quarantines if it keeps alarming).
+    owner:
+        Label for metrics (the DC id).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        consecutive_alarms: int = 3,
+        cooldown: float = 1800.0,
+        metrics: MetricsRegistry | None = None,
+        owner: str = "",
+    ) -> None:
+        if consecutive_alarms < 1:
+            raise AcquisitionError(
+                f"consecutive_alarms must be >= 1, got {consecutive_alarms}"
+            )
+        if cooldown <= 0:
+            raise AcquisitionError(f"cooldown must be positive, got {cooldown}")
+        self.clock = clock
+        self.consecutive_alarms = consecutive_alarms
+        self.cooldown = cooldown
+        self._streak: dict[int, int] = {}
+        self._until: dict[int, float] = {}
+        #: (time, channel, "quarantined" | "released") event log.
+        self.events: list[tuple[float, int, str]] = []
+        reg = metrics if metrics is not None else default_registry()
+        labels = {"dc": owner} if owner else {}
+        self._m_active = reg.gauge("supervisor.quarantine.active", **labels)
+        self._m_events = reg.counter("supervisor.quarantine.events", **labels)
+
+    def _release_expired(self, now: float) -> None:
+        for channel, until in list(self._until.items()):
+            if now >= until:
+                del self._until[channel]
+                self._streak.pop(channel, None)
+                self.events.append((now, channel, "released"))
+                self._m_events.inc()
+        self._m_active.set(len(self._until))
+
+    # -- intake -----------------------------------------------------------
+    def observe(self, alarmed: Iterable[int], now: float | None = None) -> list[int]:
+        """Feed one RMS scan's alarmed channels; returns channels newly
+        quarantined by this observation."""
+        t = self.clock.now() if now is None else now
+        self._release_expired(t)
+        alarmed_set = {int(c) for c in alarmed}
+        fresh: list[int] = []
+        for channel in alarmed_set:
+            if channel in self._until:
+                continue  # already quarantined; streak restarts on release
+            streak = self._streak.get(channel, 0) + 1
+            self._streak[channel] = streak
+            if streak >= self.consecutive_alarms:
+                self._until[channel] = t + self.cooldown
+                self.events.append((t, channel, "quarantined"))
+                self._m_events.inc()
+                fresh.append(channel)
+        # A clean scan breaks the streak: intermittent alarms are real
+        # machinery distress, not sensor failure.
+        for channel in list(self._streak):
+            if channel not in alarmed_set and channel not in self._until:
+                del self._streak[channel]
+        self._m_active.set(len(self._until))
+        return fresh
+
+    # -- queries ----------------------------------------------------------
+    def is_quarantined(self, channel: int, now: float | None = None) -> bool:
+        """Is this channel currently quarantined?"""
+        t = self.clock.now() if now is None else now
+        self._release_expired(t)
+        return channel in self._until
+
+    def active(self, now: float | None = None) -> list[int]:
+        """Sorted list of currently quarantined channels."""
+        t = self.clock.now() if now is None else now
+        self._release_expired(t)
+        return sorted(self._until)
+
+    def release(self, channel: int) -> None:
+        """Manually clear one channel (maintenance replaced the sensor)."""
+        if self._until.pop(channel, None) is not None:
+            self._streak.pop(channel, None)
+            self.events.append((self.clock.now(), channel, "released"))
+            self._m_events.inc()
+            self._m_active.set(len(self._until))

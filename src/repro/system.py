@@ -16,6 +16,7 @@ import numpy as np
 from repro.common.errors import MprosError
 from repro.common.rng import derive_rng, make_rng
 from repro.dc.concentrator import DataConcentrator
+from repro.dc.scheduler import EventScheduler
 from repro.dc.uplink import ReportUplink
 from repro.netsim.kernel import EventKernel
 from repro.netsim.network import LinkConfig, Network
@@ -28,6 +29,13 @@ from repro.pdme.executive import PdmeExecutive
 from repro.pdme.icas import register_icas_interface
 from repro.plant.chiller import ChillerSimulator
 from repro.plant.faults import ActiveFault
+from repro.supervisor import (
+    CircuitBreaker,
+    DcHealth,
+    GuardedEndpoint,
+    HeartbeatEmitter,
+    HeartbeatMonitor,
+)
 
 
 @dataclass
@@ -45,6 +53,14 @@ class MprosSystem:
     _dc_endpoints: list[RpcEndpoint] = field(default_factory=list)
     #: The one registry every subsystem on the DC→PDME path reports to.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Per-DC circuit breakers guarding the DC→PDME RPC path.
+    breakers: list[CircuitBreaker] = field(default_factory=list)
+    #: Per-DC heartbeat emitters (run on each DC's scheduler).
+    heartbeats: list[HeartbeatEmitter] = field(default_factory=list)
+    #: PDME-side liveness monitor (None in hand-assembled systems).
+    monitor: HeartbeatMonitor | None = None
+    #: PDME-side scheduler driving the periodic heartbeat sweep.
+    pdme_scheduler: EventScheduler | None = None
 
     def inject_fault(self, machine_id: str, fault: ActiveFault) -> None:
         """Inject a fault into the simulator monitored as ``machine_id``."""
@@ -91,6 +107,38 @@ class MprosSystem:
         scheduled flush."""
         self.network.set_down(f"dc:{dc_index}", "pdme", down)
 
+    # -- supervised fault tolerance ---------------------------------------
+    def dc_health(self) -> dict[str, DcHealth]:
+        """The PDME's current liveness view of every DC."""
+        return self.monitor.states() if self.monitor is not None else {}
+
+    def crash_dc(self, dc_index: int) -> None:
+        """Kill one DC process: volatile state (uplink queue, in-flight
+        RPCs, backoff) is lost, the scheduler freezes, and the host
+        drops off the network.  Durable state — the unacked uplink
+        backlog and scheduler cursors — survives in the DC database."""
+        dc = self.dcs[dc_index]
+        if dc.scheduler.suspended:
+            raise MprosError(f"dc:{dc_index} is already down")
+        dc.scheduler.suspend()
+        self._dc_endpoints[dc_index].reset()
+        self.uplinks[dc_index].crash()
+        self.network.set_down(f"dc:{dc_index}", "pdme", True)
+
+    def restart_dc(self, dc_index: int) -> int:
+        """Bring a crashed DC back: rejoin the network, reload the
+        persisted uplink backlog (same report ids, so PDME-side dedup
+        keeps delivery exactly-once at the OOSM), restore scheduler
+        cursors, and resume the schedules.  Returns reports recovered."""
+        dc = self.dcs[dc_index]
+        if not dc.scheduler.suspended:
+            raise MprosError(f"dc:{dc_index} is not down")
+        self.network.set_down(f"dc:{dc_index}", "pdme", False)
+        dc.restore_cursors()
+        recovered = self.uplinks[dc_index].recover()
+        dc.scheduler.resume()
+        return recovered
+
 
 def build_mpros_system(
     n_chillers: int = 2,
@@ -98,6 +146,7 @@ def build_mpros_system(
     vibration_period: float = 600.0,
     process_period: float = 60.0,
     link: LinkConfig | None = None,
+    heartbeat_period: float = 15.0,
     metrics: MetricsRegistry | None = None,
 ) -> MprosSystem:
     """Assemble the Figure-1 system.
@@ -108,6 +157,12 @@ def build_mpros_system(
     Every subsystem publishes into ``metrics`` (default: the
     process-wide registry), so ``system.metrics.snapshot()`` is the one
     observability surface for the whole DC→PDME path.
+
+    Supervision: each DC's client RPC traffic (uplink + heartbeats) runs
+    through a per-DC circuit breaker, the PDME classifies DC liveness
+    from heartbeat recency, and each uplink persists its unacked backlog
+    into the DC database so :meth:`MprosSystem.crash_dc` /
+    :meth:`~MprosSystem.restart_dc` lose no reports.
     """
     if n_chillers < 1:
         raise MprosError("need at least one chiller")
@@ -120,18 +175,32 @@ def build_mpros_system(
     pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
     pdme.serve_on(pdme_ep)
     register_icas_interface(pdme, pdme_ep)
+    # PDME-side supervision: classify every DC from heartbeat recency.
+    monitor = HeartbeatMonitor(kernel.clock, metrics=metrics)
+    monitor.serve_on(pdme_ep)
+    pdme_scheduler = EventScheduler(kernel, metrics=metrics, owner="pdme")
+    pdme_scheduler.add_periodic(
+        "heartbeat-check", heartbeat_period, lambda t: monitor.sweep(t)
+    )
 
     dcs: list[DataConcentrator] = []
     simulators: dict[str, ChillerSimulator] = {}
     endpoints: list[RpcEndpoint] = []
     uplinks: list[ReportUplink] = []
+    breakers: list[CircuitBreaker] = []
+    heartbeats: list[HeartbeatEmitter] = []
     for i, unit in enumerate(units):
         dc_name = f"dc:{i}"
         if link is not None:
             network.connect(dc_name, "pdme", link)
         dc_ep = RpcEndpoint(dc_name, network, kernel, metrics=metrics)
         endpoints.append(dc_ep)
-        uplink = ReportUplink(dc_ep, "pdme", metrics=metrics)
+        # All client traffic from this DC (reports *and* heartbeats)
+        # shares one breaker, so heartbeats double as half-open probes.
+        breaker = CircuitBreaker(kernel.clock, name=dc_name, metrics=metrics)
+        breakers.append(breaker)
+        guarded = GuardedEndpoint(dc_ep, breaker)
+        uplink = ReportUplink(guarded, "pdme", metrics=metrics)
         uplinks.append(uplink)
 
         dc = DataConcentrator(
@@ -141,6 +210,8 @@ def build_mpros_system(
             rng=derive_rng(root, "dc", i),
             metrics=metrics,
         )
+        # Durable backlog: unacked reports survive a DC crash.
+        uplink.bind_store(dc.database)
         sim = ChillerSimulator(rng=derive_rng(root, "chiller", i))
         dc.attach_machine(
             unit.motor, f"A/C Compressor Motor {i + 1}", sim, vibration_channel=0
@@ -152,6 +223,12 @@ def build_mpros_system(
         dc.scheduler.add_periodic(
             "uplink-flush", 60.0, lambda t, u=uplink: u.flush()
         )
+        # Liveness: heartbeats ride the DC scheduler, so a crashed
+        # (suspended) DC goes silent exactly like a dead process would.
+        emitter = HeartbeatEmitter(guarded, "pdme", metrics=metrics)
+        heartbeats.append(emitter)
+        monitor.register(dc_name)
+        dc.scheduler.add_periodic("heartbeat", heartbeat_period, emitter.emit)
         # PDME -> DC control path (command tests, download machines).
         dc.serve_on(dc_ep)
         simulators[unit.motor] = sim
@@ -167,4 +244,8 @@ def build_mpros_system(
         uplinks=uplinks,
         _dc_endpoints=endpoints,
         metrics=metrics,
+        breakers=breakers,
+        heartbeats=heartbeats,
+        monitor=monitor,
+        pdme_scheduler=pdme_scheduler,
     )

@@ -1,0 +1,138 @@
+"""Scenario validation and per-fault-kind engine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosAction, ChaosEngine, ChaosScenario
+from repro.common.errors import MprosError
+from repro.obs import MetricsRegistry
+from repro.system import build_mpros_system
+
+
+def scenario(*actions, duration=600.0, seed=3):
+    return ChaosScenario(
+        name="t", duration=duration, actions=tuple(actions), seed=seed
+    )
+
+
+def build(n_chillers=1, seed=3, **kwargs):
+    return build_mpros_system(
+        n_chillers=n_chillers, seed=seed, metrics=MetricsRegistry(), **kwargs
+    )
+
+
+# -- declarative spec validation ---------------------------------------------
+
+def test_unknown_action_kind_rejected():
+    with pytest.raises(MprosError):
+        ChaosAction(at=0.0, kind="earthquake")
+
+
+def test_negative_times_rejected():
+    with pytest.raises(MprosError):
+        ChaosAction(at=-1.0, kind="crash")
+    with pytest.raises(MprosError):
+        ChaosAction(at=0.0, kind="crash", duration=-5.0)
+    with pytest.raises(MprosError):
+        ChaosAction(at=0.0, kind="crash", dc_index=-1)
+
+
+def test_action_overrunning_scenario_rejected():
+    with pytest.raises(MprosError):
+        scenario(ChaosAction(at=500.0, kind="partition", duration=200.0))
+
+
+def test_scenario_shape_validation():
+    with pytest.raises(MprosError):
+        ChaosScenario(name="", duration=600.0, actions=())
+    with pytest.raises(MprosError):
+        ChaosScenario(name="t", duration=0.0, actions=())
+
+
+def test_engine_rejects_out_of_range_dc_index():
+    spec = scenario(ChaosAction(at=0.0, kind="crash", dc_index=5, duration=60.0))
+    with pytest.raises(MprosError):
+        ChaosEngine(build(n_chillers=1), spec)
+
+
+# -- fault kinds the canonical drill does not cover --------------------------
+
+def test_flap_trips_and_recloses_breaker():
+    spec = scenario(
+        ChaosAction(at=60.0, kind="flap", duration=240.0, params={"flaps": 2})
+    )
+    system = build()
+    report = ChaosEngine(system, spec).run()
+    states = [new for _, _, new in system.breakers[0].transitions]
+    assert "open" in states
+    assert report.breakers_closed
+    assert report.lost == 0 and report.duplicated == 0
+
+
+def test_storm_restores_link_config():
+    spec = scenario(
+        ChaosAction(
+            at=60.0, kind="storm", duration=120.0,
+            params={"drop_rate": 1.0, "corrupt_rate": 0.0},
+        )
+    )
+    system = build()
+    before = system.network.link("dc:0", "pdme").config
+    report = ChaosEngine(system, spec).run()
+    assert system.network.link("dc:0", "pdme").config == before
+    assert report.lost == 0 and report.duplicated == 0
+
+
+def test_clock_hold_freezes_then_resumes_reporting():
+    spec = scenario(
+        ChaosAction(at=60.0, kind="clock_hold", duration=120.0), duration=900.0
+    )
+    system = build()
+    report = ChaosEngine(system, spec).run()
+    assert not system.dcs[0].scheduler.suspended
+    # The hold silenced heartbeats long enough for the monitor to
+    # notice, and the resume revived the DC.
+    outcome = report.faults[0]
+    assert outcome.kind == "clock_hold"
+    assert outcome.recovery_seconds is not None
+    assert report.lost == 0 and report.duplicated == 0
+
+
+def test_sensor_dropout_quarantines_channel():
+    spec = scenario(
+        ChaosAction(
+            at=0.0, kind="machinery_fault",
+            params={"fault": "mc:refrigerant-leak", "severity": 0.9},
+        ),
+        ChaosAction(
+            at=60.0, kind="sensor_dropout", duration=1200.0,
+            params={"channel": 0},
+        ),
+        duration=3600.0,
+    )
+    system = build()
+    report = ChaosEngine(system, spec).run()
+    events = [(ch, what) for _, ch, what in system.dcs[0].quarantine.events]
+    assert (0, "quarantined") in events
+    assert report.degraded > 0
+
+
+def test_schedule_is_idempotent():
+    spec = scenario(ChaosAction(at=60.0, kind="partition", duration=60.0))
+    system = build()
+    engine = ChaosEngine(system, spec)
+    engine.schedule()
+    engine.schedule()                   # no double-booking
+    report = engine.run()
+    assert len(report.faults) == 1
+
+
+def test_crash_and_restart_apis_guard_state():
+    system = build()
+    with pytest.raises(MprosError):
+        system.restart_dc(0)            # not down
+    system.crash_dc(0)
+    with pytest.raises(MprosError):
+        system.crash_dc(0)              # already down
+    system.restart_dc(0)
+    assert not system.dcs[0].scheduler.suspended

@@ -85,6 +85,28 @@ def test_rms_detectors_alarm_on_threshold():
     assert bank.last_rms[1] == pytest.approx(1.0)
 
 
+def test_rms_detectors_alarm_below_floor():
+    bank = RmsDetectorBank(4)
+    bank.set_floor(2, 1e-3)
+    blocks = np.ones((4, 100)) * 0.5
+    blocks[2] = 0.0  # open circuit: dead quiet
+    alarms = bank.scan(blocks)
+    assert alarms.tolist() == [False, False, True, False]
+    # A live signal on the same channel clears the alarm.
+    blocks[2] = 0.5
+    assert not bank.scan(blocks).any()
+
+
+def test_rms_detector_floor_validation():
+    bank = RmsDetectorBank(2)
+    with pytest.raises(AcquisitionError):
+        bank.set_floor(5, 1e-3)
+    with pytest.raises(AcquisitionError):
+        bank.set_floor(0, -1e-3)
+    bank.set_floor(0, 0.0)          # zero disables: RMS is never < 0
+    assert not bank.scan(np.zeros((2, 10))).any()
+
+
 def test_rms_detectors_default_disabled():
     bank = RmsDetectorBank(2)
     assert not bank.scan(np.ones((2, 10)) * 100).any()

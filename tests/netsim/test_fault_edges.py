@@ -1,0 +1,122 @@
+"""Edge cases at the fault boundary: in-flight frames vs. outages,
+late duplicate replies, and addressing errors that must name names."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import NetworkError
+from repro.netsim import EventKernel, Network, RpcEndpoint
+from repro.netsim.transport import encode_message
+from repro.obs import MetricsRegistry
+
+
+def make_net(seed=0, metrics=None):
+    kernel = EventKernel(metrics=metrics)
+    return kernel, Network(kernel, np.random.default_rng(seed), metrics=metrics)
+
+
+# -- outage semantics ----------------------------------------------------------
+
+def test_frames_in_flight_survive_set_down():
+    """``Link.down`` is checked at send time only: a frame already on
+    the wire when the link drops still arrives.  A partition cuts new
+    traffic, it does not vaporize photons mid-flight."""
+    kernel, net = make_net()
+    inbox = []
+    net.attach("b", lambda s, f: inbox.append(f))
+    assert net.send("a", "b", b"before")
+    net.set_down("a", "b", True)
+    assert not net.send("a", "b", b"during")
+    kernel.run()
+    assert inbox == [b"before"]
+
+
+def test_send_after_restore_delivers_again():
+    kernel, net = make_net()
+    inbox = []
+    net.attach("b", lambda s, f: inbox.append(f))
+    net.set_down("a", "b", True)
+    assert not net.send("a", "b", b"lost")
+    net.set_down("a", "b", False)
+    assert net.send("a", "b", b"back")
+    kernel.run()
+    assert inbox == [b"back"]
+
+
+# -- addressing errors name both endpoints ------------------------------------
+
+def test_send_to_unattached_endpoint_names_both_ends():
+    _, net = make_net()
+    with pytest.raises(NetworkError) as err:
+        net.send("dc:0", "ghost", b"x")
+    assert "'dc:0'" in str(err.value)
+    assert "'ghost'" in str(err.value)
+    assert "never attached" in str(err.value)
+
+
+def test_invalid_link_pair_names_both_ends():
+    _, net = make_net()
+    for src, dst in [("", "b"), ("a", ""), ("a", "a")]:
+        with pytest.raises(NetworkError) as err:
+            net.link(src, dst)
+        assert repr(src) in str(err.value)
+        assert repr(dst) in str(err.value)
+
+
+# -- late duplicate replies ----------------------------------------------------
+
+@settings(max_examples=25, derandomize=True, deadline=None)
+@given(n_duplicates=st.integers(min_value=1, max_value=4),
+       spacing=st.floats(min_value=0.001, max_value=2.0))
+def test_late_duplicate_reply_is_ignored(n_duplicates, spacing):
+    """However many copies of a reply straggle in after the first, the
+    callback fires once and ``netsim.rpc.in_flight`` stays consistent."""
+    metrics = MetricsRegistry()
+    kernel, net = make_net(metrics=metrics)
+    server = RpcEndpoint("pdme", net, kernel, metrics=metrics)
+    server.register("ping", lambda p: {"pong": True})
+    client = RpcEndpoint("dc:0", net, kernel, metrics=metrics)
+    replies = []
+    req_id = client.call("pdme", "ping", {}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"pong": True}]
+
+    # A retransmitting server (or a mirroring switch) re-sends the
+    # same reply frame; deliver each copy at a different time.
+    frame = encode_message(
+        {"kind": "reply", "id": req_id, "result": {"pong": True}}, metrics
+    )
+    for i in range(n_duplicates):
+        kernel.schedule(i * spacing, lambda: net.send("pdme", "dc:0", frame))
+    kernel.run()
+
+    assert replies == [{"pong": True}]          # on_reply fired exactly once
+    assert not client._pending                  # nothing resurrected
+    gauge = metrics.snapshot()["gauges"]["netsim.rpc.in_flight{endpoint=dc:0}"]
+    assert gauge == 0.0
+
+
+def test_duplicate_reply_racing_a_retry_settles_once():
+    """The nastier interleaving: the original reply was delayed past
+    the timeout, a retry went out, and then *both* replies land."""
+    metrics = MetricsRegistry()
+    kernel, net = make_net(metrics=metrics)
+    calls = []
+    server = RpcEndpoint("pdme", net, kernel, metrics=metrics)
+    server.register("ping", lambda p: calls.append(1) or {"pong": True})
+    client = RpcEndpoint("dc:0", net, kernel, timeout=0.5, retries=2,
+                         metrics=metrics)
+    # Slow the forward path so the first request's reply arrives after
+    # the client has already retried.
+    from dataclasses import replace
+    link = net.link("dc:0", "pdme")
+    link.config = replace(link.config, latency=0.6)
+    replies = []
+    client.call("pdme", "ping", {}, on_reply=replies.append)
+    kernel.run()
+    assert len(calls) >= 2                      # the server really ran twice
+    assert len(replies) == 1                    # the client settled once
+    assert not client._pending
+    gauge = metrics.snapshot()["gauges"]["netsim.rpc.in_flight{endpoint=dc:0}"]
+    assert gauge == 0.0

@@ -1,0 +1,174 @@
+"""Circuit breaker unit tests, driven by an explicit simulated clock."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import NetworkError
+from repro.netsim import EventKernel, Network, RpcEndpoint
+from repro.obs import MetricsRegistry
+from repro.supervisor import (
+    BreakerState,
+    BreakerTrippedError,
+    CircuitBreaker,
+    GuardedEndpoint,
+)
+
+
+def make_breaker(**kwargs):
+    clock = SimulatedClock()
+    defaults = dict(failure_threshold=3, open_seconds=30.0, metrics=MetricsRegistry())
+    defaults.update(kwargs)
+    return clock, CircuitBreaker(clock, name="dc:test", **defaults)
+
+
+def test_starts_closed_and_allows():
+    _, breaker = make_breaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_trips_open_after_consecutive_failures():
+    _, breaker = make_breaker()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_the_failure_streak():
+    _, breaker = make_breaker()
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_admits_exactly_one_probe():
+    clock, breaker = make_breaker()
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.allow()                      # the probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow()                  # second caller refused
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens_and_restarts_cooldown():
+    clock, breaker = make_breaker()
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    clock.advance(29.0)
+    assert not breaker.allow()                  # cool-down restarted
+    clock.advance(1.0)
+    assert breaker.allow()
+
+
+def test_late_failure_while_open_does_not_extend_cooldown():
+    clock, breaker = make_breaker()
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(20.0)
+    breaker.record_failure()                    # straggler from before the trip
+    clock.advance(10.0)
+    assert breaker.allow()                      # original cool-down expired
+
+
+def test_transition_log_is_timestamped():
+    clock, breaker = make_breaker()
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    breaker.allow()
+    breaker.record_success()
+    assert breaker.transitions == [
+        (0.0, "closed", "open"),
+        (30.0, "open", "half-open"),
+        (30.0, "half-open", "closed"),
+    ]
+
+
+def test_validation():
+    clock = SimulatedClock()
+    with pytest.raises(NetworkError):
+        CircuitBreaker(clock, failure_threshold=0, metrics=MetricsRegistry())
+    with pytest.raises(NetworkError):
+        CircuitBreaker(clock, open_seconds=0.0, metrics=MetricsRegistry())
+
+
+# -- GuardedEndpoint over the real RPC stack ---------------------------------
+
+def make_rpc_pair(metrics):
+    kernel = EventKernel(metrics=metrics)
+    network = Network(kernel, np.random.default_rng(0), metrics=metrics)
+    server = RpcEndpoint("pdme", network, kernel, metrics=metrics)
+    server.register("ping", lambda p: {"pong": True})
+    client = RpcEndpoint("dc:0", network, kernel, metrics=metrics)
+    breaker = CircuitBreaker(
+        kernel.clock, name="dc:0", failure_threshold=2, open_seconds=30.0,
+        metrics=metrics,
+    )
+    return kernel, network, GuardedEndpoint(client, breaker), breaker
+
+
+def test_guarded_endpoint_records_success():
+    metrics = MetricsRegistry()
+    kernel, _, guarded, breaker = make_rpc_pair(metrics)
+    replies = []
+    guarded.call("pdme", "ping", {}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"pong": True}]
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_guarded_endpoint_trips_on_outage_and_fails_fast():
+    metrics = MetricsRegistry()
+    kernel, network, guarded, breaker = make_rpc_pair(metrics)
+    network.set_down("dc:0", "pdme", True)
+    errors = []
+    for _ in range(2):
+        guarded.call("pdme", "ping", {}, on_error=errors.append)
+        kernel.run()
+    assert breaker.state is BreakerState.OPEN
+    # Next call is refused locally, synchronously, with no frames sent.
+    sent_before = network.stats()["sent"]
+    req = guarded.call("pdme", "ping", {}, on_error=errors.append)
+    assert req == -1
+    assert isinstance(errors[-1], BreakerTrippedError)
+    assert network.stats()["sent"] == sent_before
+
+
+def test_guarded_endpoint_probe_recloses_after_recovery():
+    metrics = MetricsRegistry()
+    kernel, network, guarded, breaker = make_rpc_pair(metrics)
+    network.set_down("dc:0", "pdme", True)
+    for _ in range(2):
+        guarded.call("pdme", "ping", {})
+        kernel.run()
+    assert breaker.state is BreakerState.OPEN
+    network.set_down("dc:0", "pdme", False)
+    kernel.run_until(kernel.now() + 30.0)
+    replies = []
+    guarded.call("pdme", "ping", {}, on_reply=replies.append)
+    kernel.run()
+    assert replies == [{"pong": True}]
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_guarded_endpoint_delegates_server_side():
+    metrics = MetricsRegistry()
+    _, _, guarded, _ = make_rpc_pair(metrics)
+    assert guarded.name == "dc:0"
+    guarded.register("echo", lambda p: p)      # __getattr__ delegation
+    assert "echo" in guarded.endpoint._methods

@@ -1,0 +1,107 @@
+"""Heartbeat emitter/monitor unit tests on simulated time."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import NetworkError
+from repro.netsim import EventKernel, Network, RpcEndpoint
+from repro.obs import MetricsRegistry
+from repro.supervisor import DcHealth, HeartbeatEmitter, HeartbeatMonitor
+
+
+def make_monitor(**kwargs):
+    clock = SimulatedClock()
+    defaults = dict(suspect_after=40.0, down_after=90.0, metrics=MetricsRegistry())
+    defaults.update(kwargs)
+    return clock, HeartbeatMonitor(clock, **defaults)
+
+
+def test_registered_dc_starts_alive_with_grace():
+    clock, monitor = make_monitor()
+    monitor.register("dc:0")
+    assert monitor.state("dc:0") is DcHealth.ALIVE
+    clock.advance(39.0)
+    assert monitor.state("dc:0") is DcHealth.ALIVE
+
+
+def test_silence_degrades_alive_suspect_down():
+    clock, monitor = make_monitor()
+    monitor.register("dc:0")
+    clock.advance(40.0)
+    assert monitor.state("dc:0") is DcHealth.SUSPECT
+    clock.advance(50.0)
+    assert monitor.state("dc:0") is DcHealth.DOWN
+    assert [(dc, old, new) for _, dc, old, new in monitor.transitions] == [
+        ("dc:0", "alive", "suspect"),
+        ("dc:0", "suspect", "down"),
+    ]
+
+
+def test_beat_revives_a_down_dc():
+    clock, monitor = make_monitor()
+    monitor.register("dc:0")
+    clock.advance(100.0)
+    assert monitor.state("dc:0") is DcHealth.DOWN
+    monitor.beat("dc:0")
+    assert monitor.state("dc:0") is DcHealth.ALIVE
+    assert monitor.transitions[-1][3] == "alive"
+
+
+def test_unknown_dc_raises_and_empty_beat_ignored():
+    _, monitor = make_monitor()
+    with pytest.raises(NetworkError):
+        monitor.state("dc:ghost")
+    monitor.beat("")            # corrupted frame names nobody: no crash
+    assert monitor.states() == {}
+
+
+def test_monitor_validation():
+    clock = SimulatedClock()
+    with pytest.raises(NetworkError):
+        HeartbeatMonitor(clock, suspect_after=90.0, down_after=40.0,
+                         metrics=MetricsRegistry())
+
+
+def test_emitter_beats_over_real_rpc():
+    metrics = MetricsRegistry()
+    kernel = EventKernel(metrics=metrics)
+    network = Network(kernel, np.random.default_rng(0), metrics=metrics)
+    monitor = HeartbeatMonitor(kernel.clock, metrics=metrics)
+    pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
+    monitor.serve_on(pdme_ep)
+    dc_ep = RpcEndpoint("dc:0", network, kernel, metrics=metrics)
+    emitter = HeartbeatEmitter(dc_ep, "pdme", metrics=metrics)
+    monitor.register("dc:0")
+
+    # Beat every 15 s: stays ALIVE indefinitely.
+    for _ in range(10):
+        emitter.emit(kernel.now())
+        kernel.run_until(kernel.now() + 15.0)
+        monitor.sweep()
+    assert monitor.state("dc:0") is DcHealth.ALIVE
+    assert emitter.seq == 10
+
+    # Silence: SUSPECT then DOWN; a resumed beat revives.
+    kernel.run_until(kernel.now() + 200.0)
+    assert monitor.state("dc:0") is DcHealth.DOWN
+    emitter.emit(kernel.now())
+    kernel.run()
+    assert monitor.state("dc:0") is DcHealth.ALIVE
+
+
+def test_emitter_survives_network_outage():
+    metrics = MetricsRegistry()
+    kernel = EventKernel(metrics=metrics)
+    network = Network(kernel, np.random.default_rng(0), metrics=metrics)
+    pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
+    monitor = HeartbeatMonitor(kernel.clock, metrics=metrics)
+    monitor.serve_on(pdme_ep)
+    dc_ep = RpcEndpoint("dc:0", network, kernel, metrics=metrics)
+    emitter = HeartbeatEmitter(dc_ep, "pdme", metrics=metrics)
+    monitor.register("dc:0")
+    network.set_down("dc:0", "pdme", True)
+    emitter.emit(kernel.now())          # delivery fails; must not raise
+    kernel.run()
+    kernel.run_until(100.0)
+    assert monitor.state("dc:0") is DcHealth.DOWN

@@ -1,0 +1,87 @@
+"""Sensor quarantine unit tests on simulated time."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import AcquisitionError
+from repro.obs import MetricsRegistry
+from repro.supervisor import SensorQuarantine
+
+
+def make_quarantine(**kwargs):
+    clock = SimulatedClock()
+    defaults = dict(consecutive_alarms=3, cooldown=1800.0, metrics=MetricsRegistry())
+    defaults.update(kwargs)
+    return clock, SensorQuarantine(clock, **defaults)
+
+
+def test_streak_quarantines_after_threshold():
+    clock, q = make_quarantine()
+    assert q.observe([0]) == []
+    clock.advance(60.0)
+    assert q.observe([0]) == []
+    clock.advance(60.0)
+    assert q.observe([0]) == [0]
+    assert q.is_quarantined(0)
+    assert q.active() == [0]
+
+
+def test_clean_scan_breaks_the_streak():
+    clock, q = make_quarantine()
+    q.observe([0])
+    clock.advance(60.0)
+    q.observe([0])
+    clock.advance(60.0)
+    q.observe([])               # intermittent: machinery, not a dead sensor
+    clock.advance(60.0)
+    q.observe([0])
+    clock.advance(60.0)
+    q.observe([0])
+    assert not q.is_quarantined(0)
+    assert q.observe([0]) == [0]
+
+
+def test_cooldown_releases_and_requires_a_fresh_streak():
+    clock, q = make_quarantine(cooldown=100.0)
+    for _ in range(3):
+        q.observe([0])
+    assert q.is_quarantined(0)
+    clock.advance(100.0)
+    assert not q.is_quarantined(0)
+    assert q.events[-1][2] == "released"
+    # One more alarm is not enough: the streak restarted.
+    assert q.observe([0]) == []
+    assert not q.is_quarantined(0)
+
+
+def test_quarantined_channel_does_not_accumulate_streak():
+    clock, q = make_quarantine(consecutive_alarms=2, cooldown=100.0)
+    q.observe([0])
+    assert q.observe([0]) == [0]
+    q.observe([0])              # alarms while quarantined are ignored
+    clock.advance(100.0)
+    assert q.observe([0]) == []  # needs a new full streak
+
+
+def test_manual_release():
+    clock, q = make_quarantine(consecutive_alarms=1)
+    assert q.observe([3]) == [3]
+    q.release(3)
+    assert not q.is_quarantined(3)
+    assert [what for _, _, what in q.events] == ["quarantined", "released"]
+
+
+def test_independent_channels():
+    _, q = make_quarantine(consecutive_alarms=2)
+    q.observe([0, 1])
+    assert sorted(q.observe([0, 1])) == [0, 1]
+    assert q.active() == [0, 1]
+    assert not q.is_quarantined(2)
+
+
+def test_validation():
+    clock = SimulatedClock()
+    with pytest.raises(AcquisitionError):
+        SensorQuarantine(clock, consecutive_alarms=0, metrics=MetricsRegistry())
+    with pytest.raises(AcquisitionError):
+        SensorQuarantine(clock, cooldown=0.0, metrics=MetricsRegistry())
