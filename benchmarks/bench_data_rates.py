@@ -5,7 +5,7 @@ data points per second" — the accounting rows, plus the vectorized-vs-
 naive feature pipeline ablation and the multiprocessing ship replay.
 """
 
-from benchmarks._util import mean_seconds
+from benchmarks._util import mean_seconds, trimmed_median_seconds
 
 import numpy as np
 import pytest
@@ -69,7 +69,7 @@ def test_sustained_throughput_vs_dc_load(benchmark):
             pipe.process(gen.next_block())
 
     benchmark(run_chunk)
-    rate = 8 * n_channels * block_samples / mean_seconds(benchmark)
+    rate = 8 * n_channels * block_samples / trimmed_median_seconds(benchmark)
     dc_load = fleet_data_rate(FleetConfig()).per_dc
     assert not (rate <= 10 * dc_load)  # NaN-tolerant when timing disabled
     benchmark.extra_info["sustained_points_s"] = f"{rate:,.0f}"

@@ -6,7 +6,7 @@ Measures wall-clock cost per simulated hour and the end-to-end report
 flow for a mixed fault scenario.
 """
 
-from benchmarks._util import mean_seconds
+from benchmarks._util import mean_seconds, sim_per_wall_second
 
 from repro import build_mpros_system
 from repro.netsim.network import LinkConfig
@@ -39,7 +39,7 @@ def test_end_to_end_hour(benchmark):
     assert len(priorities) >= 2
     benchmark.extra_info["reports_received"] = len(reports)
     benchmark.extra_info["sim_hours_per_wall_second"] = round(
-        1.0 / mean_seconds(benchmark), 2
+        sim_per_wall_second(benchmark, 1.0), 2
     )
     benchmark.extra_info["top_priority"] = priorities[0].machine_condition_id
 

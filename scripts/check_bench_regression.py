@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Gate a ``mpros bench`` result against the committed ratio baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH.json benchmarks/baseline.json
+
+Only *ratios* are gated (batched vs legacy from the same run on the same
+machine), never absolute throughput — CI runners vary wildly in speed
+but a within-run ratio is machine-independent.  A measured ratio may
+fall at most 20% below its baseline value before the gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 0.8  # measured >= baseline * TOLERANCE
+
+
+def check(result_path: str, baseline_path: str) -> int:
+    with open(result_path, encoding="utf-8") as fp:
+        result = json.load(fp)
+    with open(baseline_path, encoding="utf-8") as fp:
+        baseline = json.load(fp)
+
+    ratios = result.get("ratios", {})
+    failures = []
+    for name, floor in baseline["ratios"].items():
+        measured = ratios.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from {result_path}")
+            continue
+        limit = floor * TOLERANCE
+        verdict = "ok" if measured >= limit else "REGRESSION"
+        print(f"{name:24s} measured {measured:7.3f}  baseline {floor:6.3f}"
+              f"  floor {limit:6.3f}  {verdict}")
+        if measured < limit:
+            failures.append(
+                f"{name}: {measured:.3f} < {limit:.3f} (baseline {floor:.3f} * {TOLERANCE})"
+            )
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__)
+        raise SystemExit(2)
+    raise SystemExit(check(sys.argv[1], sys.argv[2]))

@@ -16,6 +16,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.common.ids import ObjectId
+from repro.dsp.batch import SpectralView
 from repro.plant.rotating import MachineKinematics
 from repro.protocol.report import FailurePredictionReport
 
@@ -40,6 +41,12 @@ class SourceContext:
         Optional recent process snapshots (oldest first) for trending.
     dc_id:
         The data concentrator issuing the analysis.
+    spectra:
+        Optional precomputed spectral view over ``waveform`` (shared
+        with the other machines of the same scan when the DC runs in
+        batched mode).  Sources that need spectra should prefer it —
+        transforms are computed once per scan instead of once per
+        source per machine.
     """
 
     sensed_object_id: ObjectId
@@ -50,6 +57,7 @@ class SourceContext:
     kinematics: MachineKinematics | None = None
     history: list[dict[str, float]] = field(default_factory=list)
     dc_id: ObjectId = ""
+    spectra: SpectralView | None = None
 
     @property
     def load(self) -> float:

@@ -19,6 +19,7 @@ from repro.algorithms.dli.rules import standard_rulebase
 from repro.algorithms.dli.severity import prognostic_from_grade, score_to_grade
 from repro.common.errors import MprosError
 from repro.common.ids import ObjectId
+from repro.dsp.batch import SpectralView
 from repro.dsp.fft import averaged_spectrum
 from repro.protocol.report import FailurePredictionReport
 
@@ -48,6 +49,11 @@ class DliExpertSystem:
     #: (±3 % search around nameplate).  Real machines drift with load;
     #: order-based rules mis-window without this.
     track_speed: bool = True
+    #: Share spectra across rule frames (and, via ``ctx.spectra``,
+    #: across all machines of a batched DC scan).  ``False`` restores
+    #: the legacy per-frame recomputation — kept as the honest baseline
+    #: for the benchmark harness, not for production use.
+    reuse_spectra: bool = True
 
     def __post_init__(self) -> None:
         if not self.rulebase:
@@ -63,14 +69,26 @@ class DliExpertSystem:
             return []
         if ctx.sample_rate <= 0:
             raise MprosError("vibration context requires a positive sample_rate")
-        spec = averaged_spectrum(ctx.waveform, ctx.sample_rate, self.n_averages)
+        view: SpectralView | None = None
+        if self.reuse_spectra:
+            view = ctx.spectra
+            if view is None:
+                view = SpectralView.from_waveform(ctx.waveform, ctx.sample_rate)
+        if view is not None:
+            spec = view.averaged(self.n_averages)
+        else:
+            spec = averaged_spectrum(ctx.waveform, ctx.sample_rate, self.n_averages)
         kinematics = ctx.kinematics
         if self.track_speed:
             from dataclasses import replace as _replace
 
             from repro.dsp.fft import estimate_shaft_speed, spectrum as _full
 
-            hires = _full(ctx.waveform, ctx.sample_rate)
+            hires = (
+                view.full()
+                if view is not None
+                else _full(ctx.waveform, ctx.sample_rate)
+            )
             actual = estimate_shaft_speed(
                 hires, kinematics.shaft_hz, search_pct=8.0
             )
@@ -79,7 +97,12 @@ class DliExpertSystem:
         reports: list[FailurePredictionReport] = []
         for frame in self.rulebase:
             result = frame.evaluate(
-                spec, ctx.waveform, ctx.sample_rate, kinematics, ctx.process
+                spec,
+                ctx.waveform,
+                ctx.sample_rate,
+                kinematics,
+                ctx.process,
+                spectra=view,
             )
             if not result.fired:
                 continue

@@ -17,19 +17,45 @@ proportionally more signature to alarm.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
 
 from repro.common.errors import MprosError
+from repro.dsp.batch import SpectralView
 from repro.dsp.fft import Spectrum
 from repro.plant.rotating import MachineKinematics
 
-#: Measures signature strength (>= 0; 1.0 ≈ full-scale defect).
+#: Measures signature strength (>= 0; 1.0 ≈ full-scale defect).  May
+#: optionally accept a fifth :class:`SpectralView` argument to share
+#: cached transforms with the other frames of the same analysis.
 StrengthFn = Callable[[Spectrum, np.ndarray, float, MachineKinematics], float]
 #: Maps process variables to a threshold multiplier (>= 1).
 SensitizerFn = Callable[[dict[str, float]], float]
+
+
+@lru_cache(maxsize=256)
+def _accepts_view(fn: Callable) -> bool:
+    """Whether a strength function takes the optional SpectralView arg.
+
+    Inspected once per function so legacy four-argument rules (user
+    rulebases, tests) keep working unmodified.
+    """
+    try:
+        params = list(inspect.signature(fn).parameters.values())
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    if any(p.kind == p.VAR_POSITIONAL for p in params):
+        return True
+    positional = [
+        p
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(positional) >= 5
 
 
 @dataclass(frozen=True)
@@ -95,9 +121,20 @@ class RuleFrame:
         sample_rate: float,
         kinematics: MachineKinematics,
         process: dict[str, float],
+        spectra: SpectralView | None = None,
     ) -> RuleResult:
-        """Apply the frame; returns a result (score 0 if not fired)."""
-        raw = float(self.strength(spectrum, waveform, sample_rate, kinematics))
+        """Apply the frame; returns a result (score 0 if not fired).
+
+        ``spectra`` is an optional shared view over the waveform's
+        cached transforms; frames whose strength function accepts it
+        avoid recomputing the full-resolution spectrum per frame.
+        """
+        if spectra is not None and _accepts_view(self.strength):
+            raw = float(
+                self.strength(spectrum, waveform, sample_rate, kinematics, spectra)
+            )
+        else:
+            raw = float(self.strength(spectrum, waveform, sample_rate, kinematics))
         if raw < 0:
             raw = 0.0
         divisor = 1.0

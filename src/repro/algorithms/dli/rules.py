@@ -14,14 +14,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.dli.frames import RuleFrame, load_sensitizer
+from repro.dsp.batch import SpectralView
 from repro.dsp.envelope import envelope_spectrum
 from repro.dsp.features import kurtosis_excess
 from repro.dsp.fft import Spectrum, order_amplitudes, spectrum as _spectrum
 from repro.plant.rotating import MachineKinematics
 
 
-def _full_spectrum(wave: np.ndarray, fs: float) -> Spectrum:
-    """Full-length (maximum-resolution) spectrum for sideband rules."""
+def _full_spectrum(
+    wave: np.ndarray, fs: float, view: SpectralView | None = None
+) -> Spectrum:
+    """Full-length (maximum-resolution) spectrum for sideband rules.
+
+    With a view, the spectrum comes from the scan-wide cache — one FFT
+    per machine per scan instead of one per rule frame.
+    """
+    if view is not None:
+        return view.full()
     return _spectrum(wave, fs, window="hann")
 
 
@@ -74,7 +83,11 @@ BASELINE_3X = 0.01
 
 
 def _imbalance_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Excess 1x amplitude, requiring 1x to dominate 2x (else it's more
     likely misalignment/looseness).
@@ -83,7 +96,7 @@ def _imbalance_strength(
     rotor-bar pole-pass sidebands (±1-2 Hz off 1x) do not inflate the
     1x reading.
     """
-    hires = _full_spectrum(wave, fs)
+    hires = _full_spectrum(wave, fs, view)
     a1 = hires.amplitude_at(k.shaft_hz, tolerance_bins=2)
     a2 = hires.amplitude_at(2 * k.shaft_hz, tolerance_bins=2)
     excess = max(0.0, a1 - 2 * BASELINE_1X)
@@ -93,7 +106,11 @@ def _imbalance_strength(
 
 
 def _misalignment_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Excess 2x with 2x/1x ratio above the healthy ratio.
 
@@ -101,7 +118,7 @@ def _misalignment_strength(
     near-synchronous motor sits ~1.4 Hz from 2x line frequency, so a
     wide window would swallow the phase-imbalance signature.
     """
-    hires = _full_spectrum(wave, fs)
+    hires = _full_spectrum(wave, fs, view)
     a1 = hires.amplitude_at(k.shaft_hz, tolerance_bins=2)
     a2, _ = _twice_shaft_vs_twice_line(hires, k)
     excess = max(0.0, a2 - 2 * BASELINE_2X)
@@ -111,7 +128,11 @@ def _misalignment_strength(
 
 
 def _looseness_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Harmonic raft (orders 3..8) plus the ½x subharmonic.
 
@@ -125,12 +146,16 @@ def _looseness_strength(
     raft = float(np.sum(np.maximum(0.0, o[2:8] - BASELINE_3X)))
     if int(elevated.sum()) < 3:
         raft *= 0.15
-    sub = _full_spectrum(wave, fs).amplitude_at(0.5 * k.shaft_hz, tolerance_bins=2)
+    sub = _full_spectrum(wave, fs, view).amplitude_at(0.5 * k.shaft_hz, tolerance_bins=2)
     return (raft + 3.0 * sub) / 0.35
 
 
 def _bearing_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Envelope line at BPFO (band-limited demodulation) plus kurtosis.
 
@@ -141,7 +166,10 @@ def _bearing_strength(
     """
     bf = k.bearing_defect_frequencies()
     hi = min(4500.0, fs / 2 * 0.9)
-    es = envelope_spectrum(wave, fs, band=(2000.0, hi))
+    if view is not None:
+        es = view.envelope_spectrum(band=(2000.0, hi))
+    else:
+        es = envelope_spectrum(wave, fs, band=(2000.0, hi))
     line = es.amplitude_at(bf.bpfo, tolerance_bins=3)
     # Local background: same band as BPFO, excluding the line itself.
     lo_f, hi_f = 0.5 * bf.bpfo, 2.0 * bf.bpfo
@@ -180,7 +208,11 @@ def _gear_misalignment_strength(
 
 
 def _rotor_bar_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Pole-pass sidebands around 1x plus 2x line component.
 
@@ -189,7 +221,7 @@ def _rotor_bar_strength(
     averaged one, and requires *both* sidebands (leakage from 1x is
     symmetric, but genuine rotor-bar sidebands are far stronger).
     """
-    hires = _full_spectrum(wave, fs)
+    hires = _full_spectrum(wave, fs, view)
     pp = max(k.pole_pass_hz, 0.5)
     upper = hires.amplitude_at(k.shaft_hz + pp, tolerance_bins=1)
     lower = hires.amplitude_at(k.shaft_hz - pp, tolerance_bins=1)
@@ -206,11 +238,15 @@ def _rotor_bar_strength(
 
 
 def _phase_imbalance_strength(
-    spec: Spectrum, wave: np.ndarray, fs: float, k: MachineKinematics
+    spec: Spectrum,
+    wave: np.ndarray,
+    fs: float,
+    k: MachineKinematics,
+    view: SpectralView | None = None,
 ) -> float:
     """Strong 2x line frequency, with rotor-bar sidebands absent and
     not explainable as 2x shaft (misalignment)."""
-    hires = _full_spectrum(wave, fs)
+    hires = _full_spectrum(wave, fs, view)
     _, raw_line2 = _twice_shaft_vs_twice_line(hires, k)
     line2 = max(0.0, raw_line2 - 0.02)
     pp = max(k.pole_pass_hz, 0.5)

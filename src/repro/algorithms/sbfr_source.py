@@ -4,21 +4,30 @@
 output of other algorithms ... and perform trending analysis, feature
 extraction, and some diagnostics and prognostics."
 
-This adapter runs a persistent :class:`~repro.sbfr.interpreter.SbfrSystem`
-of sustained-level alarm machines over the process channels, with a
-layered count-threshold machine per condition: repeated alarms (the
-trend, not one excursion) produce a §7 report.
+This adapter trends process channels per *sensed object*: each object
+gets its own (level-alarm → count-threshold) machine pair per watch, so
+a fouling condenser on one machine cannot pollute the trend state of
+its neighbours on the same DC.  While only the standard watch pairs are
+running, all objects execute on the vectorized
+:class:`~repro.sbfr.batch.SbfrWatchGrid` — one numpy pass per scan
+instead of ``2 * n_watches * n_objects`` AST walks.  The moment a
+closer-look machine is downloaded (§6.3), every object is migrated —
+state intact — onto a generic :class:`~repro.sbfr.interpreter.SbfrSystem`
+that can host arbitrary specs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.algorithms.base import SourceContext
 from repro.algorithms.dli.severity import prognostic_from_grade, score_to_grade
-from repro.common.errors import MprosError
+from repro.common.errors import MprosError, SbfrError
 from repro.common.ids import ObjectId
 from repro.protocol.report import FailurePredictionReport
+from repro.sbfr.batch import SbfrWatchGrid
 from repro.sbfr.interpreter import SbfrSystem
 from repro.sbfr.library import count_threshold_machine, level_alarm_machine
 
@@ -64,8 +73,9 @@ class SbfrKnowledgeSource:
 
     Each watch gets a level-alarm machine (hold = ``hold_cycles``) and
     a counter machine that fires after ``repeat_count`` alarms — the
-    §6.3 layered architecture.  State persists across ``analyze``
-    calls: each call feeds exactly one new snapshot (one SBFR cycle).
+    §6.3 layered architecture.  Trend state is kept *per sensed object*
+    and persists across ``analyze`` calls: each call feeds exactly one
+    new snapshot (one SBFR cycle) to that object's machines.
     """
 
     def __init__(
@@ -84,22 +94,26 @@ class SbfrKnowledgeSource:
         channels = [w.channel for w in self.watches]
         if len(set(channels)) != len(channels):
             raise MprosError("duplicate watch channels")
-        self._system = SbfrSystem(channels=channels)
-        self._counter_index: dict[SbfrWatch, int] = {}
-        # Downloaded "closer look" machines: index -> (condition, severity).
-        self._custom: dict[int, tuple[ObjectId, float]] = {}
-        for i, w in enumerate(self.watches):
-            # Inverted watches negate the sample, so the level machine
-            # always looks for "above threshold".
-            thr = -w.threshold if w.invert else w.threshold
-            alarm_idx = self._system.add_machine(
-                level_alarm_machine(channel=i, threshold=thr, hold_cycles=hold_cycles)
-            )
-            counter_idx = self._system.add_machine(
-                count_threshold_machine(watched_machine=alarm_idx, count=repeat_count)
-            )
-            self._counter_index[w] = counter_idx
+        self._channels = channels
+        self._chan_index = {c: i for i, c in enumerate(channels)}
+        # Inverted watches negate threshold and sample, so every
+        # machine looks for "above threshold".
+        self._signs = np.array(
+            [-1.0 if w.invert else 1.0 for w in self.watches]
+        )
+        self._grid = SbfrWatchGrid(
+            self._signs * np.array([w.threshold for w in self.watches]),
+            hold_cycles=hold_cycles,
+            repeat_count=repeat_count,
+        )
+        self._rows: dict[ObjectId, int] = {}
+        # Downloaded "closer look" machines, in installation order.
+        self._custom_specs: list[tuple[object, ObjectId, float]] = []
+        # Populated on the first closer-look download; None means every
+        # object still runs on the vectorized grid.
+        self._systems: dict[ObjectId, SbfrSystem] | None = None
 
+    # -- closer-look downloads --------------------------------------------
     def install_machine(
         self, spec, condition_id: ObjectId, severity: float = 0.6
     ) -> int:
@@ -111,6 +125,8 @@ class SbfrKnowledgeSource:
         its data" — the machine's input channel indices refer to this
         source's watch-channel order; when it raises its status bit, a
         report for ``condition_id`` is emitted and the bit is consumed.
+        Every sensed object of this source gets its own instance of the
+        machine (trend state is per object).
 
         Returns the installed machine's index.  The spec's channel /
         local / peer references are validated against this system
@@ -120,77 +136,222 @@ class SbfrKnowledgeSource:
         """
         from repro.sbfr.spec import validate_references
 
+        n_machines = 2 * len(self.watches) + len(self._custom_specs) + 1
         validate_references(
-            spec,
-            n_channels=len(self._system.channels),
-            n_machines=len(self._system.machines) + 1,
+            spec, n_channels=len(self._channels), n_machines=n_machines
         )
-        idx = self._system.add_machine(spec)
-        self._custom[idx] = (condition_id, float(severity))
+        idx = n_machines - 1
+        self._custom_specs.append((spec, condition_id, float(severity)))
+        if self._systems is None:
+            # Promote every grid row onto the general interpreter.
+            self._systems = {
+                oid: self._build_system(row) for oid, row in self._rows.items()
+            }
+        else:
+            for sys_ in self._systems.values():
+                sys_.add_machine(spec)
         return idx
+
+    def _build_system(self, row: int | None) -> SbfrSystem:
+        """A scalar SbfrSystem for one object, seeded from grid ``row``
+        (None builds a fresh one for an object first seen after the
+        closer-look download)."""
+        sys_ = SbfrSystem(channels=list(self._channels))
+        for i, w in enumerate(self.watches):
+            thr = -w.threshold if w.invert else w.threshold
+            alarm_idx = sys_.add_machine(
+                level_alarm_machine(
+                    channel=i, threshold=thr, hold_cycles=self.hold_cycles
+                )
+            )
+            sys_.add_machine(
+                count_threshold_machine(
+                    watched_machine=alarm_idx, count=self.repeat_count
+                )
+            )
+        for spec, _, _ in self._custom_specs:
+            sys_.add_machine(spec)
+        if row is not None:
+            g = self._grid
+            for i in range(len(self.watches)):
+                level = sys_.states[2 * i]
+                level.state = int(g.lstate[row, i])
+                level.status = int(g.lstatus[row, i])
+                level.entered_cycle = int(g.lentered[row, i])
+                counter = sys_.states[2 * i + 1]
+                counter.state = int(g.cstate[row, i])
+                counter.status = int(g.cstatus[row, i])
+                counter.entered_cycle = int(g.centered[row, i])
+                counter.locals[0] = float(g.ccount[row, i])
+            sys_.adopt_inputs(g.inputs[row], int(g.cycles[row]))
+        return sys_
+
+    # -- analysis ----------------------------------------------------------
+    def _signed_sample(
+        self, process: dict[str, float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(values, present) arrays over the watch channels; values are
+        sign-adjusted so inverted watches read as 'above'."""
+        w = len(self.watches)
+        values = np.zeros(w)
+        present = np.zeros(w, dtype=bool)
+        for i, watch in enumerate(self.watches):
+            v = process.get(watch.channel)
+            if v is not None:
+                values[i] = self._signs[i] * float(v)
+                present[i] = True
+        return values, present
+
+    def _watch_report(
+        self, w: SbfrWatch, ctx: SourceContext
+    ) -> FailurePredictionReport:
+        grade = score_to_grade(w.severity)
+        return FailurePredictionReport(
+            knowledge_source_id=self.knowledge_source_id,
+            sensed_object_id=ctx.sensed_object_id,
+            machine_condition_id=w.condition_id,
+            severity=w.severity,
+            belief=0.7,
+            timestamp=ctx.timestamp,
+            dc_id=ctx.dc_id,
+            explanation=(
+                f"SBFR: {self.repeat_count}+ sustained excursions of "
+                f"{w.channel} past {w.threshold}"
+            ),
+            prognostic=prognostic_from_grade(grade),
+        )
+
+    def _custom_report(
+        self, condition_id: ObjectId, severity: float, ctx: SourceContext
+    ) -> FailurePredictionReport:
+        grade = score_to_grade(severity)
+        return FailurePredictionReport(
+            knowledge_source_id=self.knowledge_source_id,
+            sensed_object_id=ctx.sensed_object_id,
+            machine_condition_id=condition_id,
+            severity=severity,
+            belief=0.7,
+            timestamp=ctx.timestamp,
+            dc_id=ctx.dc_id,
+            explanation="SBFR: downloaded closer-look machine fired",
+            prognostic=prognostic_from_grade(grade),
+        )
+
+    def _analyze_scalar(
+        self, ctx: SourceContext, values: np.ndarray, present: np.ndarray
+    ) -> list[FailurePredictionReport]:
+        """One cycle on the per-object interpreter (closer-look mode)."""
+        assert self._systems is not None
+        sys_ = self._systems.get(ctx.sensed_object_id)
+        if sys_ is None:
+            sys_ = self._build_system(None)
+            self._systems[ctx.sensed_object_id] = sys_
+        sample = {
+            self.watches[i].channel: values[i] for i in np.flatnonzero(present)
+        }
+        sys_.cycle(sample)
+        reports: list[FailurePredictionReport] = []
+        base = 2 * len(self.watches)
+        for j, (_, condition_id, severity) in enumerate(self._custom_specs):
+            idx = base + j
+            if sys_.status(idx) & 1:
+                reports.append(self._custom_report(condition_id, severity, ctx))
+                sys_.set_status(idx, 0)
+        for i, w in enumerate(self.watches):
+            counter_idx = 2 * i + 1
+            if sys_.status(counter_idx) & 1:
+                reports.append(self._watch_report(w, ctx))
+                # Consume the flag so the report fires once per episode.
+                sys_.set_status(counter_idx, 0)
+        return reports
 
     def analyze(self, ctx: SourceContext) -> list[FailurePredictionReport]:
         """Feed one snapshot; report every newly fired condition."""
         if not ctx.process:
             return []
-        sample: dict[str, float] = {}
-        for w in self.watches:
-            if w.channel in ctx.process:
-                value = float(ctx.process[w.channel])
-                sample[w.channel] = -value if w.invert else value
-        if not sample:
+        values, present = self._signed_sample(ctx.process)
+        if not present.any():
             return []
-        self._system.cycle(sample)
+        if self._systems is not None:
+            return self._analyze_scalar(ctx, values, present)
+        row = self._rows.get(ctx.sensed_object_id)
+        if row is None:
+            row = self._grid.add_row()
+            self._rows[ctx.sensed_object_id] = row
+        cstatus = self._grid.cycle_rows(
+            np.array([row]), values[np.newaxis, :], present[np.newaxis, :]
+        )[0]
         reports: list[FailurePredictionReport] = []
-        for idx, (condition_id, severity) in self._custom.items():
-            if self._system.status(idx) & 1:
-                grade = score_to_grade(severity)
-                reports.append(
-                    FailurePredictionReport(
-                        knowledge_source_id=self.knowledge_source_id,
-                        sensed_object_id=ctx.sensed_object_id,
-                        machine_condition_id=condition_id,
-                        severity=severity,
-                        belief=0.7,
-                        timestamp=ctx.timestamp,
-                        dc_id=ctx.dc_id,
-                        explanation="SBFR: downloaded closer-look machine fired",
-                        prognostic=prognostic_from_grade(grade),
-                    )
-                )
-                self._system.set_status(idx, 0)
-        for w, counter_idx in self._counter_index.items():
-            if self._system.status(counter_idx) & 1:
-                grade = score_to_grade(w.severity)
-                reports.append(
-                    FailurePredictionReport(
-                        knowledge_source_id=self.knowledge_source_id,
-                        sensed_object_id=ctx.sensed_object_id,
-                        machine_condition_id=w.condition_id,
-                        severity=w.severity,
-                        belief=0.7,
-                        timestamp=ctx.timestamp,
-                        dc_id=ctx.dc_id,
-                        explanation=(
-                            f"SBFR: {self.repeat_count}+ sustained excursions of "
-                            f"{w.channel} past {w.threshold}"
-                        ),
-                        prognostic=prognostic_from_grade(grade),
-                    )
-                )
-                # Consume the flag so the report fires once per episode.
-                self._system.set_status(counter_idx, 0)
+        for i, w in enumerate(self.watches):
+            if cstatus[i] & 1:
+                reports.append(self._watch_report(w, ctx))
+                self._grid.consume(row, i)
         return reports
 
+    def analyze_batch(
+        self, ctxs: list[SourceContext]
+    ) -> list[list[FailurePredictionReport]]:
+        """Feed one snapshot per context, advancing all their objects'
+        machines in a single vectorized grid pass.
+
+        Equivalent to ``[self.analyze(c) for c in ctxs]`` (each context
+        still counts as exactly one cycle for its object); the batched
+        path just moves the per-object loop into numpy.  Falls back to
+        the scalar loop in closer-look mode or when a batch references
+        the same object twice.
+        """
+        eligible: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        out: list[list[FailurePredictionReport]] = [[] for _ in ctxs]
+        if self._systems is None:
+            rows_seen: set[int] = set()
+            duplicate = False
+            for pos, ctx in enumerate(ctxs):
+                if not ctx.process:
+                    continue
+                values, present = self._signed_sample(ctx.process)
+                if not present.any():
+                    continue
+                row = self._rows.get(ctx.sensed_object_id)
+                if row is None:
+                    row = self._grid.add_row()
+                    self._rows[ctx.sensed_object_id] = row
+                if row in rows_seen:
+                    duplicate = True
+                    break
+                rows_seen.add(row)
+                eligible.append((pos, row, values, present))
+            if not duplicate:
+                if not eligible:
+                    return out
+                rows = np.array([e[1] for e in eligible])
+                values = np.stack([e[2] for e in eligible])
+                present = np.stack([e[3] for e in eligible])
+                cstatus = self._grid.cycle_rows(rows, values, present)
+                for k, (pos, row, _, _) in enumerate(eligible):
+                    ctx = ctxs[pos]
+                    for i, w in enumerate(self.watches):
+                        if cstatus[k, i] & 1:
+                            out[pos].append(self._watch_report(w, ctx))
+                            self._grid.consume(row, i)
+                return out
+        return [self.analyze(ctx) for ctx in ctxs]
+
+    # -- inspection / control ----------------------------------------------
     def channel_index(self, name: str) -> int:
         """Index of a watch channel (for authoring downloadable
         machines against this source's channel table)."""
-        return self._system.channel_index(name)
+        try:
+            return self._chan_index[name]
+        except KeyError:
+            raise SbfrError(f"unknown channel {name!r}") from None
 
     def channel_names(self) -> list[str]:
         """The watch-channel table, in index order."""
-        return list(self._system.channels)
+        return list(self._channels)
 
     def reset(self) -> None:
         """Forget all trend state (e.g. after maintenance)."""
-        self._system.reset()
+        self._grid.reset()
+        if self._systems is not None:
+            for sys_ in self._systems.values():
+                sys_.reset()

@@ -176,6 +176,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import summarize, write_bench
+
+    doc = write_bench(args.output, quick=args.quick)
+    print(summarize(doc))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``mpros`` argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -230,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ships", type=int, default=30)
     p.add_argument("--dcs", type=int, default=200)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the scan→report hot path and write a JSON report",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small geometry for CI smoke runs (< ~1 min)")
+    p.add_argument("--output", default="BENCH_pr3.json",
+                   help="path of the JSON result document")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("list-faults", help="injectable machine conditions")
     p.set_defaults(func=_cmd_list_faults)

@@ -171,6 +171,10 @@ class AcquisitionChain:
         self.muxes = [MuxCard(0), MuxCard(1)]
         self.dsp = DspCard(sample_rate)
         self.detectors = RmsDetectorBank(TOTAL_CHANNELS)
+        #: Reused constant-alarming scan buffers keyed by block length
+        #: (bound sources overwrite their rows on every scan, so stale
+        #: data never leaks between scans).
+        self._scan_buffers: dict[int, np.ndarray] = {}
         reg = metrics if metrics is not None else default_registry()
         self._m_banks = reg.counter("dc.acquisition.bank_acquisitions")
         self._m_samples = reg.counter("dc.acquisition.samples_digitized")
@@ -229,7 +233,10 @@ class AcquisitionChain:
 
         Models the analog RMS path that bypasses the MUX entirely.
         """
-        blocks = np.zeros((TOTAL_CHANNELS, n_samples))
+        blocks = self._scan_buffers.get(n_samples)
+        if blocks is None:
+            blocks = np.zeros((TOTAL_CHANNELS, n_samples))
+            self._scan_buffers[n_samples] = blocks
         for board, mux in enumerate(self.muxes):
             for local in range(CHANNELS_PER_MUX):
                 source = mux.source_for(local)

@@ -66,6 +66,14 @@ class DataConcentrator:
         Knowledge sources to run; defaults to DLI + fuzzy + SBFR (the
         WNN source needs training first, so it is opt-in via
         :meth:`add_source`).
+    batch:
+        Run test routines in batched form: one gather of all machines'
+        blocks per scan, one shared spectral cache, and suites offered
+        the whole context list at once (``analyze_batch``).  Produces
+        the same reports in the same order as the scalar path (each
+        simulator still sees the identical draw sequence); ``False``
+        keeps the per-machine loop as an honest ablation baseline for
+        ``mpros bench``.
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class DataConcentrator:
         sample_rate: float = 16384.0,
         sources: list[KnowledgeSource] | None = None,
         metrics: MetricsRegistry | None = None,
+        batch: bool = True,
     ) -> None:
         self.dc_id = dc_id
         self.kernel = kernel
@@ -100,11 +109,13 @@ class DataConcentrator:
         )
         #: Injected instrumentation faults by acquisition channel.
         self._sensor_faults: dict[int, SensorFault] = {}
+        self.batch = batch
         self.machines: dict[ObjectId, MonitoredMachine] = {}
-        #: Block-reduction pipelines keyed by block length (the scalar
-        #: indicators for every vibration test flow through these, so
-        #: ``hpc.pipeline.*`` counts the DC's real reduction workload).
-        self._pipelines: dict[int, FeaturePipeline] = {}
+        #: Block-reduction pipelines keyed by (n_channels, block length)
+        #: (the scalar indicators for every vibration test flow through
+        #: these, so ``hpc.pipeline.*`` counts the DC's real reduction
+        #: workload).
+        self._pipelines: dict[tuple[int, int], FeaturePipeline] = {}
         if sources is None:
             self.sources: list[KnowledgeSource] = [
                 DliExpertSystem(),
@@ -252,21 +263,73 @@ class DataConcentrator:
                 self._m_degraded.inc()
         return reports
 
-    def _pipeline_for(self, n_samples: int) -> FeaturePipeline:
-        """Single-channel reduction pipeline for this block length."""
-        pipe = self._pipelines.get(n_samples)
+    def _pipeline_for(self, n_samples: int, n_channels: int = 1) -> FeaturePipeline:
+        """Reduction pipeline for this block geometry."""
+        key = (n_channels, n_samples)
+        pipe = self._pipelines.get(key)
         if pipe is None:
             pipe = FeaturePipeline(
-                1, n_samples, self.acquisition.dsp.sample_rate, metrics=self.metrics
+                n_channels,
+                n_samples,
+                self.acquisition.dsp.sample_rate,
+                metrics=self.metrics,
             )
-            self._pipelines[n_samples] = pipe
+            self._pipelines[key] = pipe
         return pipe
+
+    def _dispatch_many(
+        self, ctxs: list[SourceContext], degraded: list[bool]
+    ) -> list[FailurePredictionReport]:
+        """Run every suite across a whole scan's contexts at once.
+
+        Report order matches the scalar path exactly (machine-major,
+        source-minor); sources exposing ``analyze_batch`` get the full
+        context list in one call (isolated as a unit — a batch failure
+        silences only that suite for this scan), others fall back to a
+        per-context loop with per-context isolation.
+        """
+        per_ctx: list[list[FailurePredictionReport]] = [[] for _ in ctxs]
+        with self.tracer.span("dc.dispatch", dc=str(self.dc_id)):
+            for source in self.sources:
+                source_id = getattr(source, "knowledge_source_id", repr(source))
+                analyze_batch = getattr(source, "analyze_batch", None)
+                with self.tracer.span(f"suite.{source_id}"):
+                    if analyze_batch is not None:
+                        try:
+                            for pos, rs in enumerate(analyze_batch(ctxs)):
+                                per_ctx[pos].extend(rs)
+                        except Exception as exc:  # noqa: BLE001 - isolation by design
+                            self.source_errors.append((source_id, exc))
+                            self._m_source_errors.inc()
+                        continue
+                    for pos, ctx in enumerate(ctxs):
+                        try:
+                            per_ctx[pos].extend(source.analyze(ctx))
+                        except Exception as exc:  # noqa: BLE001 - isolation by design
+                            self.source_errors.append((source_id, exc))
+                            self._m_source_errors.inc()
+        out: list[FailurePredictionReport] = []
+        for pos, reports in enumerate(per_ctx):
+            if degraded[pos]:
+                reports = [replace(r, degraded=True) for r in reports]
+            for r in reports:
+                self.database.store_report(r)
+                self.sink(r)
+                self.reports_sent += 1
+                self._m_reports.inc()
+                if r.degraded:
+                    self.reports_degraded += 1
+                    self._m_degraded.inc()
+            out.extend(reports)
+        return out
 
     def run_vibration_tests(self, now: float, n_samples: int = 32768) -> int:
         """Acquire a vibration block per machine and run the vibration
         suites; returns reports produced."""
         self._advance_simulators(now)
         self._m_vib_tests.inc()
+        if self.batch:
+            return self._run_vibration_tests_batched(now, n_samples)
         produced = 0
         pipe = self._pipeline_for(n_samples)
         for m in self.machines.values():
@@ -311,12 +374,76 @@ class DataConcentrator:
             produced += len(self._dispatch(ctx))
         return produced
 
+    def _run_vibration_tests_batched(self, now: float, n_samples: int) -> int:
+        """One gathered acquisition pass, one stacked reduction, one
+        shared spectral cache, one suite dispatch over all machines."""
+        ctxs: list[SourceContext] = []
+        degraded: list[bool] = []
+        live: list[tuple[int, MonitoredMachine, np.ndarray]] = []
+        sample_rate = self.acquisition.dsp.sample_rate
+        for m in self.machines.values():
+            if self.quarantine.is_quarantined(m.vibration_channel):
+                # Degraded mode: untrusted accelerometer, process-only
+                # context (same semantics as the scalar path).
+                process = m.simulator.sample_process().values
+                ctxs.append(
+                    SourceContext(
+                        sensed_object_id=m.machine_id,
+                        timestamp=now,
+                        process=process,
+                        history=m.process_history[-16:],
+                        kinematics=m.kinematics,
+                        dc_id=self.dc_id,
+                    )
+                )
+                degraded.append(True)
+                continue
+            # Per machine the draw order (vibration, then process) is
+            # identical to the scalar loop, so simulator streams match.
+            wave = self._read_vibration(m, n_samples)
+            process = m.simulator.sample_process().values
+            live.append((len(ctxs), m, wave))
+            ctxs.append(
+                SourceContext(
+                    sensed_object_id=m.machine_id,
+                    timestamp=now,
+                    waveform=wave,
+                    sample_rate=sample_rate,
+                    process=process,
+                    kinematics=m.kinematics,
+                    history=m.process_history[-16:],
+                    dc_id=self.dc_id,
+                )
+            )
+            degraded.append(False)
+        if live:
+            from dataclasses import replace as _replace
+
+            from repro.dsp.batch import BatchSpectralCache
+
+            waves = np.stack([wave for _, _, wave in live])
+            summary = self._pipeline_for(n_samples, len(live)).process(waves)
+            measurements = []
+            for row, (_, m, _) in enumerate(live):
+                measurements.append(
+                    (now, "rms", float(summary.rms[row]), m.vibration_channel, m.machine_id)
+                )
+                measurements.append(
+                    (now, "peak", float(summary.peak[row]), m.vibration_channel, m.machine_id)
+                )
+            self.database.store_measurements(measurements)
+            cache = BatchSpectralCache(waveforms=waves, sample_rate=sample_rate)
+            for row, (pos, _, _) in enumerate(live):
+                ctxs[pos] = _replace(ctxs[pos], spectra=cache.view(row))
+        return len(self._dispatch_many(ctxs, degraded))
+
     def run_process_scan(self, now: float) -> int:
         """Sample process variables per machine and run the
         non-vibration suites; returns reports produced."""
         self._advance_simulators(now)
         self._m_scans.inc()
         produced = 0
+        ctxs: list[SourceContext] = []
         for m in self.machines.values():
             sample = m.simulator.sample_process()
             m.process_history.append(sample.values)
@@ -336,7 +463,12 @@ class DataConcentrator:
                 kinematics=m.kinematics,
                 dc_id=self.dc_id,
             )
-            produced += len(self._dispatch(ctx))
+            if self.batch:
+                ctxs.append(ctx)
+            else:
+                produced += len(self._dispatch(ctx))
+        if self.batch:
+            produced = len(self._dispatch_many(ctxs, [False] * len(ctxs)))
         return produced
 
     # -- remote control (§5.8, §6.3) -----------------------------------------

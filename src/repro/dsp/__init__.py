@@ -7,6 +7,17 @@ analysis": windowed averaged spectra, order tracking, scalar statistics
 wavelet transform, and envelope analysis for bearing faults.
 """
 
+from repro.dsp.batch import (
+    BatchSpectralCache,
+    SpectralView,
+    SpectrumBatch,
+    batch_averaged_spectrum,
+    batch_cepstrum,
+    batch_envelope,
+    batch_envelope_spectrum,
+    batch_scalar_features,
+    batch_spectrum,
+)
 from repro.dsp.cepstrum import real_cepstrum
 from repro.dsp.dct import dct2, dct_features
 from repro.dsp.envelope import envelope, envelope_spectrum
@@ -19,10 +30,22 @@ from repro.dsp.features import (
     scalar_features,
 )
 from repro.dsp.fft import Spectrum, averaged_spectrum, order_amplitudes, spectrum
+from repro.dsp.plan import FftPlan, get_plan
 from repro.dsp.stft import Spectrogram, stft, transient_events
 from repro.dsp.wavelet import WaveletMap, dwt, dwt_multilevel, idwt, wavedec_energies
 
 __all__ = [
+    "BatchSpectralCache",
+    "SpectralView",
+    "SpectrumBatch",
+    "batch_averaged_spectrum",
+    "batch_cepstrum",
+    "batch_envelope",
+    "batch_envelope_spectrum",
+    "batch_scalar_features",
+    "batch_spectrum",
+    "FftPlan",
+    "get_plan",
     "real_cepstrum",
     "dct2",
     "dct_features",

@@ -59,8 +59,14 @@ def envelope_spectrum(
     """Spectrum of the (mean-removed) envelope.
 
     Defect repetition rates appear as discrete lines here even when the
-    raw spectrum shows only broadband resonance energy.
+    raw spectrum shows only broadband resonance energy.  Delegates to
+    the batched implementation (complex demodulation for band-limited
+    analysis) so scalar and batched results are identical by
+    construction.
     """
-    env = envelope(x, sample_rate, band)
-    env = env - env.mean()
-    return spectrum(env, sample_rate, window="hann")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size < 8:
+        raise MprosError(f"need a 1-D signal of >= 8 samples, got shape {x.shape}")
+    from repro.dsp.batch import batch_envelope_spectrum
+
+    return batch_envelope_spectrum(x[np.newaxis, :], sample_rate, band).row(0)

@@ -42,8 +42,9 @@ def kurtosis_excess(x: np.ndarray, axis: int = -1) -> np.ndarray | float:
     x = np.asarray(x, dtype=np.float64)
     mu = np.mean(x, axis=axis, keepdims=True)
     d = x - mu
-    var = np.mean(d**2, axis=axis)
-    m4 = np.mean(d**4, axis=axis)
+    d2 = d * d  # products, not pow(): ~3x cheaper on large blocks
+    var = np.mean(d2, axis=axis)
+    m4 = np.mean(d2 * d2, axis=axis)
     with np.errstate(divide="ignore", invalid="ignore"):
         out = np.where(var > 0, m4 / np.where(var > 0, var**2, 1.0) - 3.0, 0.0)
     return float(out) if out.ndim == 0 else out

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import MprosError
+from repro.dsp.plan import fast_fft_len, get_plan
 
 
 @dataclass(frozen=True)
@@ -53,11 +54,25 @@ class Spectrum:
         """
         if freq < 0 or freq > self.freqs[-1]:
             return 0.0
-        half_width = tolerance_bins * self.resolution
-        mask = np.abs(self.freqs - freq) <= half_width
+        res = self.resolution
+        half_width = tolerance_bins * res
+        if not np.isfinite(res) or res <= 0:
+            mask = np.abs(self.freqs - freq) <= half_width
+            if not mask.any():
+                return 0.0
+            return float(self.amps[mask].max())
+        # Bins are uniform, so only a small index window can match —
+        # O(tolerance) instead of a mask over the whole spectrum (rule
+        # evaluation makes dozens of these lookups per analysis).
+        lo = max(int(np.floor((freq - half_width) / res)) - 1, 0)
+        hi = min(int(np.ceil((freq + half_width) / res)) + 2, self.freqs.size)
+        if hi <= lo:
+            return 0.0
+        window = self.freqs[lo:hi]
+        mask = np.abs(window - freq) <= half_width
         if not mask.any():
             return 0.0
-        return float(self.amps[mask].max())
+        return float(self.amps[lo:hi][mask].max())
 
     def band_amplitude(self, lo: float, hi: float) -> float:
         """RSS amplitude over the [lo, hi) Hz band."""
@@ -82,19 +97,8 @@ def spectrum(signal: np.ndarray, sample_rate: float, window: str = "hann") -> Sp
         raise MprosError(f"need a 1-D signal of >= 8 samples, got shape {x.shape}")
     if sample_rate <= 0:
         raise MprosError(f"sample_rate must be positive, got {sample_rate}")
-    n = x.size
-    if window == "hann":
-        w = np.hanning(n)
-    elif window == "rect":
-        w = np.ones(n)
-    else:
-        raise MprosError(f"unknown window {window!r}")
-    coherent_gain = w.sum() / n
-    spec = np.fft.rfft(x * w)
-    amps = (2.0 / (n * coherent_gain)) * np.abs(spec)
-    amps[0] /= 2.0  # DC is not doubled
-    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
-    return Spectrum(freqs=freqs, amps=amps, sample_rate=sample_rate)
+    plan = get_plan(x.size, window, sample_rate)
+    return Spectrum(freqs=plan.freqs, amps=plan.amplitudes(x), sample_rate=sample_rate)
 
 
 def averaged_spectrum(
@@ -119,18 +123,24 @@ def averaged_spectrum(
     block = max(8, block)
     if block > x.size:
         raise MprosError(f"signal too short ({x.size}) for {n_averages} averages")
+    block = fast_fft_len(block)
     step = max(1, int(block * (1 - overlap)))
-    acc: np.ndarray | None = None
-    count = 0
-    for start in range(0, x.size - block + 1, step):
-        s = spectrum(x[start : start + block], sample_rate, window)
-        acc = s.amps.copy() if acc is None else acc + s.amps
-        count += 1
-        if count == n_averages:
-            break
-    assert acc is not None
-    freqs = np.fft.rfftfreq(block, d=1.0 / sample_rate)
-    return Spectrum(freqs=freqs, amps=acc / count, sample_rate=sample_rate)
+    starts = segment_starts(x.size, block, step, n_averages)
+    # All segments go through one stacked FFT instead of a Python loop
+    # of per-segment Spectrum objects.
+    segs = x[np.add.outer(np.asarray(starts), np.arange(block))]
+    plan = get_plan(block, window, sample_rate)
+    amps = plan.amplitudes(segs).mean(axis=0)
+    return Spectrum(freqs=plan.freqs, amps=amps, sample_rate=sample_rate)
+
+
+def segment_starts(n: int, block: int, step: int, n_averages: int) -> list[int]:
+    """Segment start offsets used by Welch averaging (shared with the
+    batched implementation so both split signals identically)."""
+    starts = list(range(0, n - block + 1, step))[:n_averages]
+    if not starts:
+        raise MprosError(f"signal too short ({n}) for block {block}")
+    return starts
 
 
 def estimate_shaft_speed(

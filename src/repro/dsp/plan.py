@@ -1,0 +1,130 @@
+"""Cached FFT plans: window, gain correction and bin grid per geometry.
+
+Every windowed spectrum needs the same support arrays — the window
+itself, its coherent gain, the rfft bin frequencies and the one-sided
+amplitude scale.  The DC hot path computes hundreds of same-shaped
+spectra per scan, and rebuilding ``np.hanning(32768)`` (and the bin
+grid) on each call is a measurable fraction of that path, so plans are
+built once per ``(n, window, sample_rate)`` key and reused.
+
+A plan is immutable: its arrays are marked read-only so the many
+:class:`~repro.dsp.fft.Spectrum` instances sharing one ``freqs`` array
+cannot corrupt each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MprosError
+
+#: Plans are tiny relative to waveforms, but the cache is still bounded
+#: so pathological callers (randomized block lengths) cannot grow it
+#: without limit.  Eviction is FIFO over insertion order.
+_MAX_PLANS = 64
+
+_PLANS: dict[tuple[int, str, float], "FftPlan"] = {}
+
+
+@dataclass(frozen=True)
+class FftPlan:
+    """Support arrays for one spectrum geometry.
+
+    Attributes
+    ----------
+    n:
+        Block length in samples.
+    window_name:
+        ``"hann"`` or ``"rect"``.
+    sample_rate:
+        Source sampling rate in Hz.
+    window:
+        The window samples, shape (n,), read-only.
+    coherent_gain:
+        ``window.sum() / n`` — amplitude correction denominator.
+    freqs:
+        rfft bin frequencies, shape (n // 2 + 1,), read-only.
+    amp_scale:
+        One-sided peak-equivalent amplitude scale ``2 / (n * cg)``.
+    """
+
+    n: int
+    window_name: str
+    sample_rate: float
+    window: np.ndarray
+    coherent_gain: float
+    freqs: np.ndarray
+    amp_scale: float
+
+    def amplitudes(self, blocks: np.ndarray) -> np.ndarray:
+        """Window-corrected single-sided amplitudes of ``(..., n)`` blocks.
+
+        The same math as :func:`repro.dsp.fft.spectrum` applied along
+        the last axis: a pure sine of amplitude A shows a peak of ≈A.
+        """
+        spec = np.fft.rfft(blocks * self.window, axis=-1)
+        amps = self.amp_scale * np.abs(spec)
+        amps[..., 0] /= 2.0  # DC is not doubled
+        return amps
+
+
+def fast_fft_len(n: int) -> int:
+    """The largest 13-smooth length <= ``n`` (min 8).
+
+    pocketfft falls back to Rader/Bluestein-style handling for large
+    prime factors, making e.g. a 13107-point transform (factor 257) as
+    slow as a 32768-point one, while 13104 (2^4·3^2·7·13) runs ~4x
+    faster.  Welch segmentation trims its nominal block to the nearest
+    fast length — 13-smooth numbers are dense, so the resolution change
+    stays well under 0.1 %.
+    """
+    if n < 8:
+        return 8
+
+    def _smooth(m: int) -> bool:
+        for p in (2, 3, 5, 7, 11, 13):
+            while m % p == 0:
+                m //= p
+        return m == 1
+
+    m = n
+    while not _smooth(m):
+        m -= 1
+    return m
+
+
+def get_plan(n: int, window: str = "hann", sample_rate: float = 1.0) -> FftPlan:
+    """The (cached) plan for one ``(n, window, sample_rate)`` geometry."""
+    if n < 8:
+        raise MprosError(f"need a block of >= 8 samples, got {n}")
+    if sample_rate <= 0:
+        raise MprosError(f"sample_rate must be positive, got {sample_rate}")
+    key = (int(n), window, float(sample_rate))
+    plan = _PLANS.get(key)
+    if plan is not None:
+        return plan
+    if window == "hann":
+        w = np.hanning(n)
+    elif window == "rect":
+        w = np.ones(n)
+    else:
+        raise MprosError(f"unknown window {window!r}")
+    coherent_gain = w.sum() / n
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    w.flags.writeable = False
+    freqs.flags.writeable = False
+    plan = FftPlan(
+        n=int(n),
+        window_name=window,
+        sample_rate=float(sample_rate),
+        window=w,
+        coherent_gain=float(coherent_gain),
+        freqs=freqs,
+        amp_scale=2.0 / (n * coherent_gain),
+    )
+    if len(_PLANS) >= _MAX_PLANS:
+        _PLANS.pop(next(iter(_PLANS)))
+    _PLANS[key] = plan
+    return plan

@@ -13,7 +13,14 @@ embedded resource budgets for the SBFR footprint/cycle claims.
 
 from repro.hpc.budget import EmbeddedBudget, check_sbfr_budget
 from repro.hpc.datarates import FleetConfig, fleet_data_rate, LoadGenerator
-from repro.hpc.parallel import parallel_feature_extraction, serial_feature_extraction
+from repro.hpc.parallel import (
+    DcReplaySpec,
+    merge_fleet_reports,
+    parallel_feature_extraction,
+    replay_dc,
+    replay_fleet,
+    serial_feature_extraction,
+)
 from repro.hpc.pipeline import ChannelSummary, FeaturePipeline
 
 __all__ = [
@@ -22,6 +29,10 @@ __all__ = [
     "FleetConfig",
     "fleet_data_rate",
     "LoadGenerator",
+    "DcReplaySpec",
+    "merge_fleet_reports",
+    "replay_dc",
+    "replay_fleet",
     "parallel_feature_extraction",
     "serial_feature_extraction",
     "ChannelSummary",

@@ -5,12 +5,15 @@ identifiers, machine condition, severity, belief, human-readable text
 and an optional prognostic vector of (probability, time) pairs.
 """
 
+from repro.protocol.canonical import canonical_json, report_to_dict
 from repro.protocol.prognostic import PrognosticPoint, PrognosticVector
 from repro.protocol.report import FailurePredictionReport, ReportKind
 from repro.protocol.severity import SeverityGrade, grade_from_score, grade_to_horizon
 from repro.protocol.wire import decode_report, encode_report
 
 __all__ = [
+    "canonical_json",
+    "report_to_dict",
     "PrognosticPoint",
     "PrognosticVector",
     "FailurePredictionReport",

@@ -1,0 +1,47 @@
+"""Canonical JSON serialization of report streams.
+
+Golden-master tests and the fleet replay equivalence checks need a
+*byte-stable* rendering of a report list: same reports in, same bytes
+out, across processes and platforms.  Floats are rounded to a fixed
+number of decimals before encoding — enough precision to catch any
+real behavioural change, while immune to last-ulp formatting drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.protocol.report import FailurePredictionReport
+
+#: Decimal places kept for float fields.  12 significant decimals is far
+#: below any physically meaningful tolerance in the pipeline but well
+#: above float32 noise, so a golden mismatch is a genuine change.
+FLOAT_DECIMALS = 12
+
+
+def report_to_dict(report: FailurePredictionReport) -> dict:
+    """One report as a plain, JSON-ready dict (fields in schema order)."""
+    return {
+        "knowledge_source_id": report.knowledge_source_id,
+        "sensed_object_id": report.sensed_object_id,
+        "machine_condition_id": report.machine_condition_id,
+        "severity": round(float(report.severity), FLOAT_DECIMALS),
+        "belief": round(float(report.belief), FLOAT_DECIMALS),
+        "timestamp": round(float(report.timestamp), FLOAT_DECIMALS),
+        "dc_id": report.dc_id,
+        "explanation": report.explanation,
+        "recommendations": report.recommendations,
+        "additional_info": report.additional_info,
+        "prognostic": [
+            [round(float(t), FLOAT_DECIMALS), round(float(p), FLOAT_DECIMALS)]
+            for t, p in zip(report.prognostic.times, report.prognostic.probabilities)
+        ],
+        "degraded": report.degraded,
+    }
+
+
+def canonical_json(reports: Iterable[FailurePredictionReport]) -> str:
+    """Byte-stable JSON document for a report stream (order preserved)."""
+    doc = {"reports": [report_to_dict(r) for r in reports]}
+    return json.dumps(doc, indent=2, sort_keys=True, ensure_ascii=True) + "\n"

@@ -40,6 +40,7 @@ from repro.sbfr.library import (
     count_threshold_machine,
     level_alarm_machine,
 )
+from repro.sbfr.batch import SbfrWatchGrid
 from repro.sbfr.vectorized import VectorizedAlarmBank
 
 __all__ = [
@@ -69,5 +70,6 @@ __all__ = [
     "build_stiction_machine",
     "count_threshold_machine",
     "level_alarm_machine",
+    "SbfrWatchGrid",
     "VectorizedAlarmBank",
 ]

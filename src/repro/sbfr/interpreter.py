@@ -125,6 +125,24 @@ class SbfrSystem:
         self._check_machine(machine)
         self.states[machine].locals[self._check_local(machine, index)] += amount
 
+    def adopt_inputs(self, inputs: np.ndarray, cycle_count: int) -> None:
+        """Adopt mid-run input/cycle state.
+
+        Used when promoting vectorized grid rows onto the interpreter
+        (a §6.3 closer-look download forces the general engine): the
+        next :meth:`cycle` then sees the same previous inputs and ∆T
+        origin the grid row had, so the handover is seamless.
+        """
+        arr = np.asarray(inputs, dtype=np.float64)
+        if arr.shape != self._inputs.shape:
+            raise SbfrError(
+                f"inputs shape {arr.shape} != channel count {self._inputs.shape}"
+            )
+        np.copyto(self._inputs, arr)
+        np.copyto(self._prev_inputs, arr)
+        self.cycle_count = int(cycle_count)
+        self._have_prev = self.cycle_count > 0
+
     # -- execution ---------------------------------------------------------
     def cycle(self, sample: dict[str, float] | np.ndarray) -> list[int]:
         """Advance all machines by one cycle.

@@ -37,17 +37,29 @@ class VectorizedAlarmBank:
         Per-channel alarm thresholds, shape (n_channels,).
     hold_cycles:
         Cycles the signal must stay above threshold (after entering the
-        High state) before the alarm fires.
+        High state) before the alarm fires.  A scalar applies to every
+        channel; an array of shape (n_channels,) gives each machine its
+        own hold (heterogeneous banks, e.g. fast oil-pressure trips next
+        to slow fouling trends).
     """
 
-    def __init__(self, thresholds: np.ndarray, hold_cycles: int = 3) -> None:
+    def __init__(
+        self, thresholds: np.ndarray, hold_cycles: int | np.ndarray = 3
+    ) -> None:
         self.thresholds = np.ascontiguousarray(thresholds, dtype=np.float64)
         if self.thresholds.ndim != 1:
             raise SbfrError("thresholds must be 1-D (one per channel)")
-        if hold_cycles < 0:
-            raise SbfrError("hold_cycles must be >= 0")
         n = self.thresholds.shape[0]
-        self.hold_cycles = int(hold_cycles)
+        holds = np.asarray(hold_cycles, dtype=np.int64)
+        if holds.ndim not in (0, 1):
+            raise SbfrError("hold_cycles must be a scalar or 1-D array")
+        if holds.ndim == 1 and holds.shape[0] != n:
+            raise SbfrError(
+                f"hold_cycles shape {holds.shape} != thresholds shape ({n},)"
+            )
+        if np.any(holds < 0):
+            raise SbfrError("hold_cycles must be >= 0")
+        self.hold_cycles = np.ascontiguousarray(np.broadcast_to(holds, (n,)))
         self.state = np.zeros(n, dtype=np.int8)
         self.status = np.zeros(n, dtype=np.int8)
         self.entered = np.zeros(n, dtype=np.int64)

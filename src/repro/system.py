@@ -16,6 +16,8 @@ import numpy as np
 from repro.common.errors import MprosError
 from repro.common.rng import derive_rng, make_rng
 from repro.dc.concentrator import DataConcentrator
+from repro.hpc.parallel import DcReplaySpec, replay_fleet
+from repro.protocol.report import FailurePredictionReport
 from repro.dc.scheduler import EventScheduler
 from repro.dc.uplink import ReportUplink
 from repro.netsim.kernel import EventKernel
@@ -148,6 +150,7 @@ def build_mpros_system(
     link: LinkConfig | None = None,
     heartbeat_period: float = 15.0,
     metrics: MetricsRegistry | None = None,
+    batch: bool = True,
 ) -> MprosSystem:
     """Assemble the Figure-1 system.
 
@@ -209,6 +212,7 @@ def build_mpros_system(
             sink=uplink.submit,
             rng=derive_rng(root, "dc", i),
             metrics=metrics,
+            batch=batch,
         )
         # Durable backlog: unacked reports survive a DC crash.
         uplink.bind_store(dc.database)
@@ -249,3 +253,69 @@ def build_mpros_system(
         monitor=monitor,
         pdme_scheduler=pdme_scheduler,
     )
+
+
+# -- fleet-scale replay -------------------------------------------------------
+
+def build_fleet_specs(
+    n_dcs: int = 4,
+    machines_per_dc: int = 4,
+    hours: float = 2.0,
+    seed: int = 0,
+    vibration_period: float = 600.0,
+    process_period: float = 60.0,
+    n_samples: int = 32768,
+    batch: bool = True,
+    reuse_spectra: bool = True,
+    faulty_dcs: int = 1,
+) -> list[DcReplaySpec]:
+    """Specs for the standard fleet-scale scenario.
+
+    ``faulty_dcs`` DCs get a progressive motor imbalance on their first
+    machine (onset at 10 % of the run, end-of-life at 90 %); the rest
+    run healthy.  The same spec list replayed serially or across a
+    process pool produces a bit-identical merged report stream.
+    """
+    if n_dcs < 1 or machines_per_dc < 1:
+        raise MprosError("need n_dcs >= 1 and machines_per_dc >= 1")
+    duration = hours * 3600.0
+    specs = []
+    for i in range(n_dcs):
+        fault = i < faulty_dcs
+        specs.append(
+            DcReplaySpec(
+                dc_index=i,
+                seed=seed,
+                n_machines=machines_per_dc,
+                duration_s=duration,
+                vibration_period=vibration_period,
+                process_period=process_period,
+                n_samples=n_samples,
+                fault_kind="MOTOR_IMBALANCE" if fault else None,
+                fault_onset=0.1 * duration,
+                fault_end=0.9 * duration if fault else None,
+                batch=batch,
+                reuse_spectra=reuse_spectra,
+            )
+        )
+    return specs
+
+
+def replay_fleet_to_model(
+    specs: list[DcReplaySpec], n_workers: int = 1
+) -> tuple[ShipModel, list[FailurePredictionReport]]:
+    """Replay a fleet and post the merged stream into a fresh OOSM.
+
+    The PDME-side view of a fleet replay: every machine in the specs
+    becomes a rotating-machine entity, and the deterministically merged
+    reports land in the model oldest-first, exactly as a live DC →
+    network → PDME run would deposit them.
+    """
+    model = ShipModel()
+    for spec in specs:
+        for machine_id in spec.machine_ids():
+            model.create("rotating-machine", id=machine_id, name=machine_id)
+    reports = replay_fleet(specs, n_workers=n_workers)
+    for r in reports:
+        model.post_report(r)
+    return model, reports
