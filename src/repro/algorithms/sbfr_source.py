@@ -134,6 +134,7 @@ class SbfrKnowledgeSource:
         (surfacing as an RPC error to the downloading PDME) rather
         than crashing interpreter cycles later.
         """
+        from repro.analysis.sbfr_verifier import verify_machine
         from repro.sbfr.spec import validate_references
 
         n_machines = 2 * len(self.watches) + len(self._custom_specs) + 1
@@ -141,6 +142,21 @@ class SbfrKnowledgeSource:
             spec, n_channels=len(self._channels), n_machines=n_machines
         )
         idx = n_machines - 1
+        errors = [
+            d
+            for d in verify_machine(
+                spec,
+                self_index=idx,
+                n_channels=len(self._channels),
+                n_machines=n_machines,
+            )
+            if d.severity.name == "ERROR"
+        ]
+        if errors:
+            raise SbfrError(
+                "machine failed static verification: "
+                + "; ".join(d.render() for d in errors)
+            )
         self._custom_specs.append((spec, condition_id, float(severity)))
         if self._systems is None:
             # Promote every grid row onto the general interpreter.
@@ -152,24 +168,37 @@ class SbfrKnowledgeSource:
                 sys_.add_machine(spec)
         return idx
 
+    def deployed_specs(self) -> list:
+        """Every machine spec this source deploys, in index order.
+
+        The watch pairs come first (level alarm at ``2*i``, its counter
+        at ``2*i + 1``), then downloaded closer-look machines in
+        installation order — exactly the layout of the per-object
+        interpreters.  This is the set ``mpros verify`` checks for the
+        default DC deployment.
+        """
+        specs = []
+        for i, w in enumerate(self.watches):
+            thr = -w.threshold if w.invert else w.threshold
+            specs.append(
+                level_alarm_machine(
+                    channel=i, threshold=thr, hold_cycles=self.hold_cycles
+                )
+            )
+            specs.append(
+                count_threshold_machine(
+                    watched_machine=2 * i, count=self.repeat_count
+                )
+            )
+        specs.extend(spec for spec, _, _ in self._custom_specs)
+        return specs
+
     def _build_system(self, row: int | None) -> SbfrSystem:
         """A scalar SbfrSystem for one object, seeded from grid ``row``
         (None builds a fresh one for an object first seen after the
         closer-look download)."""
         sys_ = SbfrSystem(channels=list(self._channels))
-        for i, w in enumerate(self.watches):
-            thr = -w.threshold if w.invert else w.threshold
-            alarm_idx = sys_.add_machine(
-                level_alarm_machine(
-                    channel=i, threshold=thr, hold_cycles=self.hold_cycles
-                )
-            )
-            sys_.add_machine(
-                count_threshold_machine(
-                    watched_machine=alarm_idx, count=self.repeat_count
-                )
-            )
-        for spec, _, _ in self._custom_specs:
+        for spec in self.deployed_specs():
             sys_.add_machine(spec)
         if row is not None:
             g = self._grid

@@ -1,0 +1,73 @@
+"""Static analysis for the DC→PDME stack (``mpros verify``).
+
+Two engines:
+
+- the **SBFR bytecode verifier** (:mod:`repro.analysis.sbfr_verifier`)
+  decodes machines into control-flow graphs (:mod:`repro.analysis.cfg`)
+  and checks reachability, reference ranges, status-register races,
+  timer satisfiability and the paper's byte/cycle budgets — without
+  executing anything;
+- the **determinism & safety linter** (:mod:`repro.analysis.lint`,
+  rules in :mod:`repro.analysis.rules`) walks Python ASTs for
+  wall-clock reads, unseeded randomness, set-ordering iteration, float
+  equality in predicates and bare ``except`` clauses.
+
+Both emit :class:`~repro.analysis.report.Diagnostic` records collected
+into a :class:`~repro.analysis.report.VerificationReport`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import (
+    CfgEdge,
+    ControlFlowGraph,
+    EdgeAccess,
+    build_cfg,
+    dead_timer_compares,
+    static_truth,
+)
+from repro.analysis.lint import (
+    LintRule,
+    allowed_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.report import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerificationReport,
+)
+from repro.analysis.sbfr_verifier import (
+    DEFAULT_BUDGETS,
+    Budgets,
+    cycle_cost_s,
+    verify_bytes,
+    verify_machine,
+    verify_set,
+)
+
+__all__ = [
+    "Budgets",
+    "CfgEdge",
+    "ControlFlowGraph",
+    "DEFAULT_BUDGETS",
+    "Diagnostic",
+    "EdgeAccess",
+    "LintRule",
+    "Location",
+    "Severity",
+    "VerificationReport",
+    "allowed_rules",
+    "build_cfg",
+    "cycle_cost_s",
+    "dead_timer_compares",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "static_truth",
+    "verify_bytes",
+    "verify_machine",
+    "verify_set",
+]

@@ -1,0 +1,276 @@
+"""Control-flow analysis of SBFR machines.
+
+Decodes a :class:`~repro.sbfr.spec.MachineSpec` into a per-state graph
+and answers the questions the verifier's rules need *without executing
+the machine*: which states are reachable from the initial state, which
+transition guards are statically decidable (always true / always
+false), what every transition reads and writes, and how many
+interpreter operations a worst-case cycle costs (the basis of the
+paper's 4 ms budget rule).
+
+The truth analysis is three-valued: ``True`` / ``False`` when the guard
+is decidable from constants alone (including the fact that the elapsed
+∆T timer only takes values 0, 1, 2, ...), ``None`` when it depends on
+runtime inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sbfr.spec import (
+    Action,
+    Always,
+    And,
+    Compare,
+    Condition,
+    Const,
+    Delta,
+    Elapsed,
+    Expr,
+    IncrLocal,
+    Input,
+    Local,
+    MachineSpec,
+    Not,
+    Or,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    Status,
+    Transition,
+    walk_condition,
+)
+
+_CMP_FNS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _elapsed_truth(op: str, c: float) -> bool | None:
+    """Truth of ``Elapsed() <op> c`` over the timer domain {0, 1, 2, ...}.
+
+    Decides satisfiability/tautology where the integer, non-negative,
+    unbounded domain allows it; ``None`` where both outcomes exist.
+    """
+    if math.isnan(c):
+        return op == "!="
+    if op == "<":
+        return False if c <= 0 else None
+    if op == "<=":
+        return False if c < 0 else None
+    if op == ">":
+        return True if c < 0 else None
+    if op == ">=":
+        return True if c <= 0 else None
+    if op == "==":
+        return False if (c < 0 or c != int(c)) else None
+    if op == "!=":
+        return True if (c < 0 or c != int(c)) else None
+    return None
+
+
+def static_truth(cond: Condition) -> bool | None:
+    """Constant-fold a guard; ``None`` when it depends on runtime state."""
+    if isinstance(cond, Always):
+        return True
+    if isinstance(cond, Compare):
+        lhs, rhs = cond.lhs, cond.rhs
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return bool(_CMP_FNS[cond.op](lhs.v, rhs.v))
+        if isinstance(lhs, Elapsed) and isinstance(rhs, Const):
+            return _elapsed_truth(cond.op, rhs.v)
+        if isinstance(lhs, Const) and isinstance(rhs, Elapsed):
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                       "==": "==", "!=": "!="}[cond.op]
+            return _elapsed_truth(flipped, lhs.v)
+        return None
+    if isinstance(cond, And):
+        a, b = static_truth(cond.a), static_truth(cond.b)
+        if a is False or b is False:
+            return False
+        if a is True and b is True:
+            return True
+        return None
+    if isinstance(cond, Or):
+        a, b = static_truth(cond.a), static_truth(cond.b)
+        if a is True or b is True:
+            return True
+        if a is False and b is False:
+            return False
+        return None
+    if isinstance(cond, Not):
+        a = static_truth(cond.a)
+        return None if a is None else (not a)
+    return None
+
+
+def dead_timer_compares(cond: Condition) -> list[Compare]:
+    """Elapsed-timer comparisons inside ``cond`` that can never be true.
+
+    A ``∆T`` guard like ``Elapsed() < 0`` or ``Elapsed() == 2.5`` is a
+    timer that can never expire — the paper's machines lean on ∆T
+    bounds for noise rejection, so an unsatisfiable one silently
+    disables the feature it was meant to time.
+    """
+    dead: list[Compare] = []
+    for node in walk_condition(cond):
+        if not isinstance(node, Compare):
+            continue
+        involves_elapsed = isinstance(node.lhs, Elapsed) or isinstance(
+            node.rhs, Elapsed
+        )
+        if involves_elapsed and static_truth(node) is False:
+            dead.append(node)
+    return dead
+
+
+def _resolve(machine_ref: int, self_index: int) -> int:
+    """Resolve a status-register reference (-1 means 'self')."""
+    return self_index if machine_ref < 0 else machine_ref
+
+
+@dataclass(frozen=True)
+class EdgeAccess:
+    """Everything one transition touches, with self-references resolved."""
+
+    channels_read: frozenset[int]
+    locals_read: frozenset[int]
+    locals_written: frozenset[int]
+    status_read: frozenset[int]
+    status_written: frozenset[int]
+    reads_elapsed: bool
+
+
+@dataclass(frozen=True)
+class CfgEdge:
+    """One transition viewed as a CFG edge."""
+
+    index: int
+    source: int
+    target: int
+    condition: Condition
+    actions: tuple[Action, ...]
+    #: Static truth of the guard (three-valued).
+    verdict: bool | None
+    access: EdgeAccess
+
+    @property
+    def condition_ops(self) -> int:
+        """Interpreter operations to evaluate the guard once."""
+        return sum(1 for _ in walk_condition(self.condition))
+
+    @property
+    def action_ops(self) -> int:
+        """Interpreter operations to run the actions once."""
+        return len(self.actions)
+
+
+def _edge_access(t: Transition, self_index: int) -> EdgeAccess:
+    channels: set[int] = set()
+    locals_read: set[int] = set()
+    status_read: set[int] = set()
+    reads_elapsed = False
+    for node in walk_condition(t.condition):
+        if isinstance(node, (Input, Delta)):
+            channels.add(node.channel)
+        elif isinstance(node, Local):
+            locals_read.add(node.index)
+        elif isinstance(node, Status):
+            status_read.add(_resolve(node.machine, self_index))
+        elif isinstance(node, Elapsed):
+            reads_elapsed = True
+    locals_written: set[int] = set()
+    status_written: set[int] = set()
+    for a in t.actions:
+        if isinstance(a, (SetStatus, OrStatus)):
+            status_written.add(_resolve(a.machine, self_index))
+        elif isinstance(a, (SetLocal, IncrLocal)):
+            locals_written.add(a.index)
+    return EdgeAccess(
+        channels_read=frozenset(channels),
+        locals_read=frozenset(locals_read),
+        locals_written=frozenset(locals_written),
+        status_read=frozenset(status_read),
+        status_written=frozenset(status_written),
+        reads_elapsed=reads_elapsed,
+    )
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """The per-state transition graph of one machine."""
+
+    spec: MachineSpec
+    self_index: int
+    edges: tuple[CfgEdge, ...]
+
+    def out_edges(self, state: int) -> tuple[CfgEdge, ...]:
+        """Edges leaving ``state``, in declaration (= evaluation) order."""
+        return tuple(e for e in self.edges if e.source == state)
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the initial state over non-dead edges."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            s = frontier.pop()
+            for e in self.out_edges(s):
+                if e.verdict is False:
+                    continue
+                if e.target not in seen:
+                    seen.add(e.target)
+                    frontier.append(e.target)
+        return frozenset(seen)
+
+    def worst_cycle_ops(self) -> int:
+        """Worst-case interpreter operations for one cycle of this machine.
+
+        The interpreter evaluates guards out of the current state in
+        order until one fires, then runs that transition's actions; the
+        static worst case is the most expensive state: every guard
+        evaluated plus the priciest action list among them.
+        """
+        worst = 0
+        for s in range(len(self.spec.states)):
+            out = self.out_edges(s)
+            cond_ops = sum(e.condition_ops for e in out)
+            act_ops = max((e.action_ops for e in out), default=0)
+            worst = max(worst, cond_ops + act_ops)
+        return worst
+
+    def status_reads(self) -> frozenset[int]:
+        """Every status register this machine's guards read (resolved)."""
+        return frozenset(r for e in self.edges for r in e.access.status_read)
+
+    def status_writes(self) -> frozenset[int]:
+        """Every status register this machine's actions write (resolved)."""
+        return frozenset(w for e in self.edges for w in e.access.status_written)
+
+
+def build_cfg(spec: MachineSpec, self_index: int = 0) -> ControlFlowGraph:
+    """Decode a machine spec into its control-flow graph.
+
+    ``self_index`` is the slot the machine occupies in its deployed
+    set; negative status references (the spec's "this machine") resolve
+    to it, matching interpreter semantics.
+    """
+    edges = tuple(
+        CfgEdge(
+            index=i,
+            source=t.source,
+            target=t.target,
+            condition=t.condition,
+            actions=t.actions,
+            verdict=static_truth(t.condition),
+            access=_edge_access(t, self_index),
+        )
+        for i, t in enumerate(spec.transitions)
+    )
+    return ControlFlowGraph(spec=spec, self_index=self_index, edges=edges)

@@ -1,0 +1,120 @@
+"""The determinism & safety linter.
+
+An AST pass over Python sources with pluggable rules
+(:mod:`repro.analysis.rules`).  The rules encode the invariants the
+golden-master and bit-identical-replay guarantees silently depend on:
+no wall-clock reads outside :mod:`repro.common.clock`, no unseeded
+randomness outside :mod:`repro.common.rng`, no set-ordering-dependent
+iteration feeding report emission, no float equality in transition
+predicates, no bare ``except`` swallowing recovery-path failures.
+
+False positives are allowlisted inline::
+
+    t0 = time.perf_counter()  # mpros: allow[lint.wall-clock]
+
+The comment names the rule id (or a comma list of ids; ``*`` allows
+everything on the line) and is honored for diagnostics on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.report import Diagnostic, VerificationReport
+from repro.common.errors import AnalysisError
+
+_ALLOW_RE = re.compile(r"#\s*mpros:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One lint rule: a stable id plus a per-module check function.
+
+    ``check`` receives the parsed module, the repo-relative path string
+    and returns diagnostics.  ``exempt`` names path suffixes the rule
+    never applies to (the blessed implementation modules); ``only``,
+    when non-empty, restricts the rule to paths containing one of the
+    given substrings (e.g. the SBFR/fusion predicate modules).
+    """
+
+    rule_id: str
+    check: Callable[[ast.Module, str], Iterable[Diagnostic]]
+    exempt: tuple[str, ...] = ()
+    only: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        if any(norm.endswith(suffix) for suffix in self.exempt):
+            return False
+        if self.only and not any(part in norm for part in self.only):
+            return False
+        return True
+
+
+def allowed_rules(line: str) -> set[str]:
+    """Rule ids allowlisted by ``# mpros: allow[...]`` on a source line."""
+    match = _ALLOW_RE.search(line)
+    if not match:
+        return set()
+    return {token.strip() for token in match.group(1).split(",") if token.strip()}
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[LintRule]
+) -> list[Diagnostic]:
+    """Lint one module's source text; honors inline allow comments."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+    lines = source.splitlines()
+    out: list[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for diag in rule.check(tree, path):
+            line_no = diag.location.line
+            if line_no is not None and 1 <= line_no <= len(lines):
+                allowed = allowed_rules(lines[line_no - 1])
+                if diag.rule_id in allowed or "*" in allowed:
+                    continue
+            out.append(diag)
+    return out
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.is_file():
+            found.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Sequence[LintRule] | None = None
+) -> VerificationReport:
+    """Lint every ``.py`` file under ``paths`` with the given rules.
+
+    With ``rules`` omitted the default determinism/safety rule set
+    (:data:`repro.analysis.rules.DEFAULT_RULES`) runs.
+    """
+    if rules is None:
+        from repro.analysis.rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    diags: list[Diagnostic] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        diags.extend(lint_source(source, str(file), rules))
+    diags.sort(key=lambda d: (d.location.file or "", d.location.line or 0))
+    return VerificationReport(tuple(diags))

@@ -1,0 +1,130 @@
+"""Structured diagnostics for the static-analysis subsystem.
+
+Both engines (the SBFR bytecode verifier and the determinism linter)
+emit the same :class:`Diagnostic` shape so CI logs, the ``mpros
+verify`` CLI and the DC's download-refusal path all speak one format.
+Every diagnostic carries enough location detail to be actionable from
+a CI log alone: the machine name and byte offset for bytecode findings,
+the file and line for lint findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make verification fail (exit code 1; a DC
+    refuses to adopt the machine).  ``WARNING`` findings are reported
+    but only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding lives.
+
+    For bytecode findings ``machine``/``transition``/``byte_offset``
+    are set (the offset is into the machine's encoded form, so a CI
+    log line pinpoints the defective bytes).  For lint findings
+    ``file``/``line`` are set.
+    """
+
+    machine: str | None = None
+    transition: int | None = None
+    state: int | None = None
+    byte_offset: int | None = None
+    file: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.file is not None:
+            where = self.file
+            if self.line is not None:
+                where += f":{self.line}"
+            parts.append(where)
+        if self.machine is not None:
+            where = self.machine
+            if self.transition is not None:
+                where += f"/t{self.transition}"
+            if self.state is not None:
+                where += f"/s{self.state}"
+            if self.byte_offset is not None:
+                where += f"+0x{self.byte_offset:02x}"
+            parts.append(where)
+        return " ".join(parts) if parts else "<unlocated>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier or linter finding."""
+
+    rule_id: str
+    severity: Severity
+    location: Location
+    message: str
+    suggestion: str = ""
+
+    def render(self) -> str:
+        """One CI-log line: severity, rule, location, message, fix."""
+        line = f"{self.severity.value:<7} {self.rule_id:<28} {self.location}: {self.message}"
+        if self.suggestion:
+            line += f"  [fix: {self.suggestion}]"
+        return line
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The outcome of one verification or lint run."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """Findings that block adoption / fail CI."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """Findings reported but non-blocking (unless ``--strict``)."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: 0 clean, 1 errors (or warnings if strict)."""
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+    def merged(self, other: "VerificationReport") -> "VerificationReport":
+        """This report and ``other`` concatenated."""
+        return VerificationReport(self.diagnostics + other.diagnostics)
+
+    def rule_ids(self) -> set[str]:
+        """The distinct rules that fired (corpus tests assert these)."""
+        return {d.rule_id for d in self.diagnostics}
+
+    def render(self) -> str:
+        """Multi-line human/CI rendering with a one-line summary."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)

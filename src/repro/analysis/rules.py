@@ -1,0 +1,263 @@
+"""The determinism & safety lint rules.
+
+Each rule guards one invariant behind the fleet-replay bit-identity
+guarantee (serial vs process-pool replays must emit byte-identical
+report streams) or the supervisor's fault-recovery discipline:
+
+- ``lint.wall-clock`` — wall-clock reads outside ``repro.common.clock``
+  desynchronize replays from the simulated time base.
+- ``lint.unseeded-rng`` — unseeded or module-global randomness outside
+  ``repro.common.rng`` breaks the pure-function-of-the-root-seed tree.
+- ``lint.iteration-order`` — iterating a set feeds hash-ordering
+  (PYTHONHASHSEED-dependent) into whatever consumes the loop, which is
+  fatal when that is report emission.
+- ``lint.float-equality`` — float ``==`` in SBFR/fusion transition
+  predicates flips on the least-significant bit; batched and scalar
+  paths may then disagree.
+- ``lint.bare-except`` — a bare ``except:`` in recovery paths swallows
+  ``KeyboardInterrupt``/``SystemExit`` and hides the failure the
+  supervisor exists to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import LintRule
+from repro.analysis.report import Diagnostic, Location, Severity
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _loc(path: str, node: ast.AST) -> Location:
+    return Location(file=path, line=getattr(node, "lineno", None))
+
+
+# -- lint.wall-clock ---------------------------------------------------------
+
+_WALL_CLOCK_DOTTED = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+#: Bare names unambiguous enough to flag when imported directly.
+_WALL_CLOCK_BARE = {
+    "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+}
+
+
+def _check_wall_clock(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        hit = name in _WALL_CLOCK_BARE or any(
+            name == known or name.endswith("." + known)
+            for known in _WALL_CLOCK_DOTTED
+        )
+        if hit:
+            yield Diagnostic(
+                "lint.wall-clock", Severity.ERROR, _loc(path, node),
+                f"wall-clock read {name}() outside repro.common.clock; "
+                "replay determinism depends on the simulated time base",
+                "hold a repro.common.clock.Clock and call clock.now()",
+            )
+
+
+# -- lint.unseeded-rng -------------------------------------------------------
+
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox", "SFC64", "MT19937",
+}
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "getrandbits",
+}
+
+
+def _unseeded_call(node: ast.Call) -> bool:
+    """True when a generator-constructor call carries no seed."""
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "seed" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    return True
+
+
+def _check_unseeded_rng(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        last = name.rsplit(".", 1)[-1]
+        if last == "default_rng" and _unseeded_call(node):
+            yield Diagnostic(
+                "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
+                f"{name}() without a seed gives a fresh entropy-seeded "
+                "stream every run",
+                "pass a seed, or derive the stream with "
+                "repro.common.rng.make_rng/derive_rng",
+            )
+            continue
+        if name.startswith(_NP_RANDOM_PREFIXES) and last not in _NP_RANDOM_OK:
+            yield Diagnostic(
+                "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
+                f"legacy module-global numpy randomness {name}() is "
+                "unseeded shared state",
+                "draw from an explicit np.random.Generator instead",
+            )
+            continue
+        if name.startswith("random.") and last in _STDLIB_RANDOM_FNS:
+            yield Diagnostic(
+                "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
+                f"stdlib module-global randomness {name}() is unseeded "
+                "shared state",
+                "draw from an explicit np.random.Generator instead",
+            )
+            continue
+        if name in ("random.Random", "Random") and _unseeded_call(node):
+            yield Diagnostic(
+                "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
+                f"{name}() without a seed gives a fresh entropy-seeded "
+                "stream every run",
+                "pass an explicit seed",
+            )
+
+
+# -- lint.iteration-order ----------------------------------------------------
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _check_iteration_order(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    def diag(node: ast.AST) -> Diagnostic:
+        return Diagnostic(
+            "lint.iteration-order", Severity.ERROR, _loc(path, node),
+            "iterating a set feeds hash ordering (PYTHONHASHSEED-dependent) "
+            "downstream; report emission must not depend on it",
+            "iterate sorted(...) for a deterministic order",
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            yield diag(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield diag(gen.iter)
+
+
+# -- lint.float-equality -----------------------------------------------------
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _check_float_equality(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            ops_hit = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            operands = [node.left, *node.comparators]
+            if ops_hit and any(_is_float_literal(o) for o in operands):
+                yield Diagnostic(
+                    "lint.float-equality", Severity.ERROR, _loc(path, node),
+                    "float equality in a transition predicate flips on the "
+                    "least-significant bit; batched and scalar paths may "
+                    "disagree",
+                    "compare with a tolerance, or against integer-quantized "
+                    "values",
+                )
+        elif isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if (
+                name is not None
+                and name.rsplit(".", 1)[-1] == "cmp"
+                and len(node.args) == 3
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in ("==", "!=")
+                and (_is_float_literal(node.args[0])
+                     or _is_float_literal(node.args[2]))
+            ):
+                yield Diagnostic(
+                    "lint.float-equality", Severity.ERROR, _loc(path, node),
+                    "SBFR cmp(..., '==') against a float literal can never "
+                    "fire reliably on real-valued channels",
+                    "use a banded threshold pair instead of exact equality",
+                )
+
+
+# -- lint.bare-except --------------------------------------------------------
+
+def _check_bare_except(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Diagnostic(
+                "lint.bare-except", Severity.ERROR, _loc(path, node),
+                "bare `except:` also swallows KeyboardInterrupt/SystemExit "
+                "and hides recovery-path failures",
+                "catch Exception (or something narrower) explicitly",
+            )
+
+
+WALL_CLOCK = LintRule(
+    "lint.wall-clock", _check_wall_clock, exempt=("repro/common/clock.py",)
+)
+UNSEEDED_RNG = LintRule(
+    "lint.unseeded-rng", _check_unseeded_rng, exempt=("repro/common/rng.py",)
+)
+ITERATION_ORDER = LintRule("lint.iteration-order", _check_iteration_order)
+FLOAT_EQUALITY = LintRule(
+    "lint.float-equality", _check_float_equality,
+    only=("/sbfr/", "/fusion/", "sbfr_source"),
+)
+BARE_EXCEPT = LintRule("lint.bare-except", _check_bare_except)
+
+#: The default rule set `mpros verify --lint` runs.
+DEFAULT_RULES: tuple[LintRule, ...] = (
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    ITERATION_ORDER,
+    FLOAT_EQUALITY,
+    BARE_EXCEPT,
+)

@@ -1,0 +1,411 @@
+"""Static verification of SBFR machines and deployed machine sets.
+
+Proves a machine well-formed and budget-compliant *before* it runs —
+the model-checking-before-deploy discipline the paper's download path
+(§6.3) otherwise lacks.  Three entry points:
+
+- :func:`verify_bytes` — an encoded machine straight off the wire
+  (what a DC sees at download time).  Structural defects are reported
+  with their byte offset.
+- :func:`verify_machine` — a decoded :class:`MachineSpec` in a given
+  system geometry (channel count, peer count).
+- :func:`verify_set` — a whole deployed set: everything per-machine,
+  plus cross-machine status-register race analysis and the paper's
+  aggregate footprint/cycle budgets ("100 state machines ... and their
+  interpreter can fit in less than 32K bytes", "cycle period < 4 ms").
+
+Rule ids are stable strings (``sbfr.*``); the full table lives in
+``docs/TUTORIAL.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg, dead_timer_compares
+from repro.analysis.report import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerificationReport,
+)
+from repro.common.errors import SbfrError
+from repro.sbfr.encode import (
+    SbfrDecodeError,
+    decode_condition,
+    decode_machine,
+    encode_machine,
+    scan_machine,
+)
+from repro.sbfr.spec import (
+    Const,
+    Delta,
+    IncrLocal,
+    Input,
+    Local,
+    MachineSpec,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    Status,
+    walk_condition,
+)
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """The paper's embedded budgets as verifier constants.
+
+    Defaults encode §6.3's published numbers: the spike and stiction
+    machines are 229 and 93 bytes against a 2000-byte per-machine
+    ceiling; 100 machines plus their interpreter must fit in 32 KB
+    (``interpreter_reserve_bytes`` models the interpreter's share); and
+    a full cycle of the deployed set must complete within 4 ms, costed
+    statically at ``op_cost_s`` per interpreter operation plus a fixed
+    per-machine dispatch overhead.
+    """
+
+    machine_bytes: int = 2000
+    aggregate_bytes: int = 32 * 1024
+    interpreter_reserve_bytes: int = 8 * 1024
+    cycle_budget_s: float = 0.004
+    paper_machine_count: int = 100
+    op_cost_s: float = 0.25e-6
+    machine_overhead_s: float = 1.0e-6
+
+    @property
+    def per_machine_cycle_s(self) -> float:
+        """A single machine's share of the paper-scale cycle budget."""
+        return self.cycle_budget_s / self.paper_machine_count
+
+
+DEFAULT_BUDGETS = Budgets()
+
+
+def cycle_cost_s(cfg: ControlFlowGraph, budgets: Budgets = DEFAULT_BUDGETS) -> float:
+    """Static worst-case wall time of one cycle of one machine."""
+    return cfg.worst_cycle_ops() * budgets.op_cost_s + budgets.machine_overhead_s
+
+
+def _transition_offsets(spec: MachineSpec) -> dict[int, int]:
+    """Byte offset of each transition in the machine's canonical encoding.
+
+    Verifying a spec (rather than wire bytes) still yields actionable
+    offsets: the canonical encoding is what would be downloaded.
+    """
+    try:
+        raw = scan_machine(encode_machine(spec))
+    except SbfrError:
+        return {}
+    return {t.index: t.offset for t in raw.transitions}
+
+
+def verify_machine(
+    spec: MachineSpec,
+    *,
+    self_index: int = 0,
+    n_channels: int | None = None,
+    n_machines: int | None = None,
+    budgets: Budgets = DEFAULT_BUDGETS,
+    offsets: Mapping[int, int] | None = None,
+) -> list[Diagnostic]:
+    """All intra-machine rules for one spec; returns its diagnostics.
+
+    ``n_channels`` / ``n_machines`` give the target system's geometry;
+    either may be None to skip the corresponding range rules (e.g. when
+    the deployment is not yet known).  ``offsets`` maps transition
+    index to byte offset; when omitted it is derived from the canonical
+    encoding.
+    """
+    if offsets is None:
+        offsets = _transition_offsets(spec)
+    cfg = build_cfg(spec, self_index=self_index)
+    diags: list[Diagnostic] = []
+
+    def loc(transition: int | None = None, state: int | None = None) -> Location:
+        offset = offsets.get(transition) if transition is not None else None
+        if offset is None and state is not None:
+            out = cfg.out_edges(state)
+            if out:
+                offset = offsets.get(out[0].index)
+        return Location(
+            machine=spec.name, transition=transition, state=state,
+            byte_offset=offset,
+        )
+
+    # -- reference ranges --------------------------------------------------
+    n_locals = max(1, spec.n_locals)
+    for e in cfg.edges:
+        for node in walk_condition(e.condition):
+            if isinstance(node, (Input, Delta)) and n_channels is not None:
+                if not 0 <= node.channel < n_channels:
+                    diags.append(Diagnostic(
+                        "sbfr.channel-range", Severity.ERROR, loc(e.index),
+                        f"references channel {node.channel} but the system "
+                        f"exposes {n_channels} channel(s)",
+                        "author the machine against the DC's channel table "
+                        "(RPC list_channels)",
+                    ))
+            elif isinstance(node, Local) and not 0 <= node.index < n_locals:
+                diags.append(Diagnostic(
+                    "sbfr.local-range", Severity.ERROR, loc(e.index),
+                    f"reads local variable {node.index} but declares "
+                    f"n_locals={spec.n_locals}",
+                    "raise n_locals in the machine header",
+                ))
+            elif isinstance(node, Status) and n_machines is not None:
+                resolved = self_index if node.machine < 0 else node.machine
+                if not 0 <= resolved < n_machines:
+                    diags.append(Diagnostic(
+                        "sbfr.peer-range", Severity.ERROR, loc(e.index),
+                        f"reads status register {resolved} but the deployed "
+                        f"set has {n_machines} machine(s)",
+                        "reference a machine index inside the deployed set",
+                    ))
+        for a in e.actions:
+            if isinstance(a, (SetLocal, IncrLocal)) and not 0 <= a.index < n_locals:
+                diags.append(Diagnostic(
+                    "sbfr.local-range", Severity.ERROR, loc(e.index),
+                    f"writes local variable {a.index} but declares "
+                    f"n_locals={spec.n_locals}",
+                    "raise n_locals in the machine header",
+                ))
+            elif isinstance(a, (SetStatus, OrStatus)) and n_machines is not None:
+                resolved = self_index if a.machine < 0 else a.machine
+                if not 0 <= resolved < n_machines:
+                    diags.append(Diagnostic(
+                        "sbfr.peer-range", Severity.ERROR, loc(e.index),
+                        f"writes status register {resolved} but the deployed "
+                        f"set has {n_machines} machine(s)",
+                        "reference a machine index inside the deployed set",
+                    ))
+
+    # -- guard decidability ------------------------------------------------
+    for e in cfg.edges:
+        for compare in dead_timer_compares(e.condition):
+            bound = compare.rhs if isinstance(compare.rhs, Const) else compare.lhs
+            shown = f"{bound.v:g}" if isinstance(bound, Const) else "?"
+            diags.append(Diagnostic(
+                "sbfr.timer-never-expires", Severity.ERROR, loc(e.index),
+                f"elapsed-time guard (op {compare.op!r}, bound {shown}) can "
+                "never be satisfied (the ∆T timer counts 0, 1, 2, ...)",
+                "use a non-negative integer bound on Elapsed()",
+            ))
+        if e.verdict is False:
+            diags.append(Diagnostic(
+                "sbfr.dead-transition", Severity.ERROR, loc(e.index),
+                f"guard of transition {e.source}->{e.target} is statically "
+                "false; the transition can never fire",
+                "delete the transition or fix its guard",
+            ))
+    for s in range(len(spec.states)):
+        out = cfg.out_edges(s)
+        for pos, e in enumerate(out):
+            if e.verdict is True:
+                for shadowed in out[pos + 1:]:
+                    diags.append(Diagnostic(
+                        "sbfr.shadowed-transition", Severity.WARNING,
+                        loc(shadowed.index),
+                        f"transition {shadowed.source}->{shadowed.target} is "
+                        f"declared after an always-true guard out of state "
+                        f"{s} and can never be reached",
+                        "reorder the transitions or tighten the earlier guard",
+                    ))
+                break
+
+    # -- reachability ------------------------------------------------------
+    reachable = cfg.reachable_states()
+    for s, state in enumerate(spec.states):
+        if s not in reachable:
+            diags.append(Diagnostic(
+                "sbfr.unreachable-state", Severity.ERROR, loc(state=s),
+                f"state {s} ({state.name!r}) is unreachable from the initial "
+                "state",
+                "remove the state or add a live transition into it",
+            ))
+
+    # -- per-machine budgets ----------------------------------------------
+    try:
+        size = len(encode_machine(spec))
+    except SbfrError:
+        size = None
+    if size is not None and size > budgets.machine_bytes:
+        diags.append(Diagnostic(
+            "sbfr.budget-machine-bytes", Severity.ERROR, loc(),
+            f"encoded machine is {size} B, over the {budgets.machine_bytes} B "
+            "per-machine budget",
+            "split the machine or simplify its conditions",
+        ))
+    cost = cycle_cost_s(cfg, budgets)
+    if cost > budgets.per_machine_cycle_s:
+        diags.append(Diagnostic(
+            "sbfr.budget-cycle-time", Severity.ERROR, loc(),
+            f"static worst-case cycle cost {cost * 1e6:.1f} µs exceeds the "
+            f"per-machine share {budgets.per_machine_cycle_s * 1e6:.1f} µs of "
+            f"the {budgets.cycle_budget_s * 1e3:.0f} ms / "
+            f"{budgets.paper_machine_count}-machine budget",
+            "reduce transitions per state or flatten nested conditions",
+        ))
+    return diags
+
+
+def verify_set(
+    specs: Sequence[MachineSpec],
+    *,
+    n_channels: int | None = None,
+    budgets: Budgets = DEFAULT_BUDGETS,
+) -> VerificationReport:
+    """Verify a deployed set: per-machine rules + races + aggregate budgets.
+
+    Machine ``i`` of ``specs`` occupies status-register slot ``i``; the
+    cross-machine rules resolve self-references accordingly.
+    """
+    diags: list[Diagnostic] = []
+    cfgs: list[ControlFlowGraph] = []
+    n = len(specs)
+    for i, spec in enumerate(specs):
+        diags.extend(verify_machine(
+            spec, self_index=i, n_channels=n_channels, n_machines=n,
+            budgets=budgets,
+        ))
+        cfgs.append(build_cfg(spec, self_index=i))
+
+    # -- status-register races across the deployed set ---------------------
+    writers: dict[int, set[int]] = {}
+    for i, cfg in enumerate(cfgs):
+        for reg in cfg.status_writes():
+            writers.setdefault(reg, set()).add(i)
+    for i, cfg in enumerate(cfgs):
+        for reg in cfg.status_reads():
+            if 0 <= reg < n and not writers.get(reg):
+                diags.append(Diagnostic(
+                    "sbfr.status-never-written", Severity.WARNING,
+                    Location(machine=specs[i].name, state=None),
+                    f"reads status register {reg} but no machine in the "
+                    "deployed set ever writes it (the guard sees a constant "
+                    "0 forever)",
+                    "deploy the writer machine alongside, or drop the guard",
+                ))
+    for reg, who in sorted(writers.items()):
+        foreign = sorted(who - {reg})
+        if len(foreign) >= 2:
+            names = ", ".join(specs[m].name for m in foreign)
+            diags.append(Diagnostic(
+                "sbfr.status-write-conflict", Severity.WARNING,
+                Location(machine=specs[reg].name if 0 <= reg < n else None),
+                f"status register {reg} is written by multiple non-owner "
+                f"machines ({names}); the within-cycle outcome depends on "
+                "machine evaluation order",
+                "give the register a single non-owner writer",
+            ))
+
+    # -- aggregate budgets -------------------------------------------------
+    sizes: list[int] = []
+    for spec in specs:
+        try:
+            sizes.append(len(encode_machine(spec)))
+        except SbfrError:
+            pass
+    total = sum(sizes) + budgets.interpreter_reserve_bytes
+    if total > budgets.aggregate_bytes:
+        diags.append(Diagnostic(
+            "sbfr.budget-aggregate", Severity.ERROR, Location(),
+            f"deployed set is {sum(sizes)} B + {budgets.interpreter_reserve_bytes} B "
+            f"interpreter reserve = {total} B, over the "
+            f"{budgets.aggregate_bytes} B aggregate budget",
+            "shrink or drop machines until the set fits",
+        ))
+    set_cost = sum(cycle_cost_s(cfg, budgets) for cfg in cfgs)
+    if set_cost > budgets.cycle_budget_s:
+        diags.append(Diagnostic(
+            "sbfr.budget-cycle-time", Severity.ERROR, Location(),
+            f"static worst-case set cycle cost {set_cost * 1e3:.2f} ms "
+            f"exceeds the {budgets.cycle_budget_s * 1e3:.0f} ms cycle budget",
+            "reduce the deployed set or simplify the costliest machines",
+        ))
+    return VerificationReport(tuple(diags))
+
+
+def verify_bytes(
+    data: bytes,
+    *,
+    name: str = "downloaded",
+    self_index: int = 0,
+    n_channels: int | None = None,
+    n_machines: int | None = None,
+    budgets: Budgets = DEFAULT_BUDGETS,
+) -> VerificationReport:
+    """Verify an encoded machine as received off the wire.
+
+    Structural defects (bad magic, truncation, undefined states,
+    malformed condition bytecode, trailing bytes) are each reported
+    with the byte offset of the offending bytes; a structurally sound
+    machine then flows through every :func:`verify_machine` rule with
+    offsets taken from the real wire form.
+    """
+    def mloc(offset: int | None = None, transition: int | None = None) -> Location:
+        return Location(machine=name, transition=transition, byte_offset=offset)
+
+    try:
+        raw = scan_machine(data)
+    except SbfrDecodeError as exc:
+        return VerificationReport((Diagnostic(
+            "sbfr.malformed", Severity.ERROR, mloc(exc.offset), str(exc),
+            "re-encode the machine with repro.sbfr.encode",
+        ),))
+    diags: list[Diagnostic] = []
+    if raw.trailing:
+        diags.append(Diagnostic(
+            "sbfr.malformed", Severity.ERROR, mloc(raw.size - raw.trailing),
+            f"{raw.trailing} trailing byte(s) after the last transition",
+            "truncate the frame to the encoded machine",
+        ))
+    if raw.n_states == 0:
+        diags.append(Diagnostic(
+            "sbfr.malformed", Severity.ERROR, mloc(3),
+            "machine declares zero states",
+            "a machine needs at least an initial state",
+        ))
+    structurally_sound = not diags
+    for t in raw.transitions:
+        for ref, what in ((t.source, "source"), (t.target, "target")):
+            if ref >= raw.n_states:
+                structurally_sound = False
+                diags.append(Diagnostic(
+                    "sbfr.undefined-state", Severity.ERROR,
+                    mloc(t.offset, t.index),
+                    f"transition {t.index} {what} references state {ref} but "
+                    f"the machine declares {raw.n_states} state(s)",
+                    "fix the dangling state index",
+                ))
+        try:
+            decode_condition(t.cond)
+        except SbfrError as exc:
+            structurally_sound = False
+            diags.append(Diagnostic(
+                "sbfr.malformed-bytecode", Severity.ERROR,
+                mloc(t.cond_offset, t.index),
+                f"transition {t.index} condition bytecode is malformed: {exc}",
+                "re-encode the condition (postfix operand/operator stream)",
+            ))
+    if len(data) > budgets.machine_bytes:
+        diags.append(Diagnostic(
+            "sbfr.budget-machine-bytes", Severity.ERROR, mloc(0),
+            f"encoded machine is {len(data)} B, over the "
+            f"{budgets.machine_bytes} B per-machine budget",
+            "split the machine or simplify its conditions",
+        ))
+    if not structurally_sound:
+        return VerificationReport(tuple(diags))
+    spec = decode_machine(data, name=name)
+    offsets = {t.index: t.offset for t in raw.transitions}
+    spec_diags = verify_machine(
+        spec, self_index=self_index, n_channels=n_channels,
+        n_machines=n_machines, budgets=budgets, offsets=offsets,
+    )
+    # The byte-size rule already ran against the real frame above.
+    diags.extend(
+        d for d in spec_diags if d.rule_id != "sbfr.budget-machine-bytes"
+    )
+    return VerificationReport(tuple(diags))

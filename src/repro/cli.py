@@ -176,6 +176,72 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Static verification: SBFR bytecode and/or determinism lints.
+
+    Exit 0 when clean, 1 when diagnostics fail the gate (errors; also
+    warnings under ``--strict``), 2 on misuse.
+    """
+    from repro.analysis import lint_paths, verify_bytes, verify_set
+    from repro.analysis.report import VerificationReport
+    from repro.common.errors import AnalysisError
+
+    if not (args.all_machines or args.machine or args.lint):
+        print("nothing to verify: pass --all-machines, --machine and/or --lint",
+              file=sys.stderr)
+        return 2
+    reports: list[VerificationReport] = []
+    try:
+        if args.all_machines:
+            from repro.algorithms.sbfr_source import SbfrKnowledgeSource
+            from repro.sbfr.library import canonical_deployments
+
+            for name, (channels, specs) in sorted(canonical_deployments().items()):
+                rep = verify_set(specs, n_channels=len(channels))
+                print(f"deployment {name!r}: {len(specs)} machine(s), "
+                      f"{len(channels)} channel(s): "
+                      f"{'OK' if not rep.errors else 'FAIL'}")
+                reports.append(rep)
+            source = SbfrKnowledgeSource()
+            specs = source.deployed_specs()
+            rep = verify_set(specs, n_channels=len(source.channel_names()))
+            print(f"deployment 'dc-default': {len(specs)} machine(s), "
+                  f"{len(source.channel_names())} channel(s): "
+                  f"{'OK' if not rep.errors else 'FAIL'}")
+            reports.append(rep)
+        for path in args.machine or []:
+            try:
+                with open(path, "rb") as fp:
+                    data = fp.read()
+            except OSError as exc:
+                print(f"cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            rep = verify_bytes(
+                data,
+                name=path,
+                n_channels=args.channels,
+                n_machines=args.peers,
+            )
+            print(f"machine {path}: {len(data)} byte(s): "
+                  f"{'OK' if not rep.errors else 'FAIL'}")
+            reports.append(rep)
+        if args.lint:
+            rep = lint_paths(args.lint)
+            print(f"lint {' '.join(args.lint)}: "
+                  f"{'OK' if not rep.errors else 'FAIL'}")
+            reports.append(rep)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    merged = VerificationReport()
+    for rep in reports:
+        merged = merged.merged(rep)
+    for diag in merged.diagnostics:
+        print(diag.render())
+    print(f"{len(merged.errors)} error(s), {len(merged.warnings)} warning(s)")
+    return merged.exit_code(strict=args.strict)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import summarize, write_bench
 
@@ -249,6 +315,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_pr3.json",
                    help="path of the JSON result document")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "verify",
+        help="static verification: SBFR bytecode checks and determinism lints",
+    )
+    p.add_argument("--all-machines", action="store_true",
+                   help="verify every library deployment and the default "
+                        "DC watch deployment")
+    p.add_argument("--machine", action="append", metavar="FILE",
+                   help="verify an encoded SBFR machine file (repeatable)")
+    p.add_argument("--channels", type=int, default=None,
+                   help="input channel count for --machine range checks")
+    p.add_argument("--peers", type=int, default=None,
+                   help="machine count for --machine peer range checks")
+    p.add_argument("--lint", nargs="+", metavar="PATH",
+                   help="run the determinism/safety linter over these "
+                        "files or directories")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail (exit 1)")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("list-faults", help="injectable machine conditions")
     p.set_defaults(func=_cmd_list_faults)

@@ -42,3 +42,7 @@ class NetworkError(MprosError):
 
 class ObservabilityError(MprosError):
     """Metrics/trace misuse (decreasing counter, conflicting series...)."""
+
+
+class AnalysisError(MprosError):
+    """Static-analysis misuse (unparseable lint target, missing path...)."""

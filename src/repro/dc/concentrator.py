@@ -499,11 +499,31 @@ class DataConcentrator:
     def _rpc_download_machine(self, payload: dict) -> dict:
         import base64
 
+        from repro.analysis.sbfr_verifier import verify_bytes
+        from repro.common.errors import SbfrError
         from repro.sbfr.encode import decode_machine
 
         data = base64.b64decode(str(payload["machine_b64"]))
-        spec = decode_machine(data, name=str(payload.get("name", "downloaded")))
+        name = str(payload.get("name", "downloaded"))
         source = self._sbfr_source()
+        # Static verification is the download gate (§6.3): the wire
+        # bytes are vetted in the slot they would occupy — structural
+        # framing, reference ranges, reachability, timers, budgets —
+        # before anything is decoded into the running source.
+        slot = len(source.deployed_specs())
+        report = verify_bytes(
+            data,
+            name=name,
+            self_index=slot,
+            n_channels=len(source.channel_names()),
+            n_machines=slot + 1,
+        )
+        if report.errors:
+            raise SbfrError(
+                "download refused by static verification: "
+                + "; ".join(d.render() for d in report.errors)
+            )
+        spec = decode_machine(data, name=name)
         idx = source.install_machine(
             spec,
             condition_id=str(payload["condition_id"]),

@@ -25,6 +25,7 @@ target keeps no strings, so decoded machines get synthetic names.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 
 from repro.common.errors import SbfrError
 from repro.sbfr.spec import (
@@ -132,25 +133,163 @@ def encode_machine(spec: MachineSpec) -> bytes:
     """Serialize a machine spec to its compact binary form."""
     out = bytearray()
     out += _MAGIC
-    out += struct.pack(
-        "<BBBB", _VERSION, len(spec.states), spec.n_locals, len(spec.transitions)
-    )
-    for t in spec.transitions:
-        cond = bytearray()
-        _encode_cond(t.condition, cond)
-        if len(cond) > 0xFFFF:
-            raise SbfrError("condition bytecode too long")
-        out += struct.pack("<BBH", t.source, t.target, len(cond))
-        out += cond
-        out += struct.pack("<B", len(t.actions))
-        for a in t.actions:
-            _encode_action(a, out)
+    try:
+        out += struct.pack(
+            "<BBBB", _VERSION, len(spec.states), spec.n_locals,
+            len(spec.transitions),
+        )
+        for t in spec.transitions:
+            cond = bytearray()
+            _encode_cond(t.condition, cond)
+            if len(cond) > 0xFFFF:
+                raise SbfrError("condition bytecode too long")
+            out += struct.pack("<BBH", t.source, t.target, len(cond))
+            out += cond
+            out += struct.pack("<B", len(t.actions))
+            for a in t.actions:
+                _encode_action(a, out)
+    except struct.error as exc:
+        raise SbfrError(
+            f"machine {spec.name!r} does not fit the wire format: {exc}"
+        ) from exc
     return bytes(out)
 
 
 def encoded_size(spec: MachineSpec) -> int:
     """Byte size of the encoded machine (the paper's footprint metric)."""
     return len(encode_machine(spec))
+
+
+class SbfrDecodeError(SbfrError):
+    """A structural defect in an encoded machine.
+
+    Carries the byte offset of the defect so the static verifier (and
+    CI logs downstream of it) can point at the exact bytes.
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (at byte offset 0x{offset:02x})")
+        self.offset = offset
+
+
+@dataclass(frozen=True)
+class RawAction:
+    """One decoded action and where its opcode sat in the stream."""
+
+    offset: int
+    action: Action
+
+
+@dataclass(frozen=True)
+class RawTransition:
+    """One transition scanned from the wire form, offsets preserved.
+
+    ``cond`` holds the still-encoded postfix condition bytes; callers
+    that need the AST run them through :func:`decode_condition` (the
+    verifier does so per transition to localize malformed bytecode).
+    """
+
+    index: int
+    offset: int
+    source: int
+    target: int
+    cond_offset: int
+    cond: bytes
+    actions: tuple[RawAction, ...]
+
+
+@dataclass(frozen=True)
+class RawMachine:
+    """Structural scan of an encoded machine: header + raw transitions.
+
+    Unlike :func:`decode_machine` this never constructs a
+    :class:`MachineSpec`, so out-of-range state indices and similar
+    spec-level defects survive scanning and can be reported as
+    diagnostics (with byte offsets) instead of exceptions.
+    """
+
+    version: int
+    n_states: int
+    n_locals: int
+    transitions: tuple[RawTransition, ...]
+    size: int
+    trailing: int
+
+
+def _need(data: bytes, pos: int, count: int, what: str) -> None:
+    if pos + count > len(data):
+        raise SbfrDecodeError(f"truncated machine: {what}", min(pos, len(data)))
+
+
+def scan_machine(data: bytes) -> RawMachine:
+    """Parse the framing of an encoded machine, keeping byte offsets.
+
+    Raises :class:`SbfrDecodeError` (with the offending offset) on
+    structural impossibilities — bad magic, unknown version, truncation,
+    unknown action opcodes.  Everything that can be *reported* rather
+    than aborted (state ranges, condition bytecode, trailing bytes) is
+    left to the caller.
+    """
+    if data[:2] != _MAGIC:
+        raise SbfrDecodeError("not an SBFR machine (bad magic)", 0)
+    _need(data, 2, 4, "header")
+    version, n_states, n_locals, n_transitions = struct.unpack_from("<BBBB", data, 2)
+    if version != _VERSION:
+        raise SbfrDecodeError(f"unsupported SBFR encoding version {version}", 2)
+    pos = 6
+    transitions: list[RawTransition] = []
+    for index in range(n_transitions):
+        offset = pos
+        _need(data, pos, 4, f"transition {index} header")
+        source, target, cond_len = struct.unpack_from("<BBH", data, pos)
+        pos += 4
+        _need(data, pos, cond_len, f"transition {index} condition")
+        cond_offset = pos
+        cond = data[pos : pos + cond_len]
+        pos += cond_len
+        _need(data, pos, 1, f"transition {index} action count")
+        (n_actions,) = struct.unpack_from("<B", data, pos)
+        pos += 1
+        actions: list[RawAction] = []
+        for _ in range(n_actions):
+            _need(data, pos, 1, f"transition {index} action opcode")
+            op = data[pos]
+            if op == _OP_SET_STATUS:
+                _need(data, pos, 3, "SetStatus operands")
+                _, m, v = struct.unpack_from("<Bbb", data, pos)
+                actions.append(RawAction(pos, SetStatus(m, v))); pos += 3
+            elif op == _OP_OR_STATUS:
+                _need(data, pos, 3, "OrStatus operands")
+                _, m, mask = struct.unpack_from("<BbB", data, pos)
+                actions.append(RawAction(pos, OrStatus(m, mask))); pos += 3
+            elif op == _OP_SET_LOCAL:
+                _need(data, pos, 6, "SetLocal operands")
+                _, i, v = struct.unpack_from("<BBf", data, pos)
+                actions.append(RawAction(pos, SetLocal(i, v))); pos += 6
+            elif op == _OP_INCR_LOCAL:
+                _need(data, pos, 6, "IncrLocal operands")
+                _, i, v = struct.unpack_from("<BBf", data, pos)
+                actions.append(RawAction(pos, IncrLocal(i, v))); pos += 6
+            else:
+                raise SbfrDecodeError(f"unknown action opcode 0x{op:02x}", pos)
+        transitions.append(
+            RawTransition(index, offset, source, target, cond_offset, cond,
+                          tuple(actions))
+        )
+    return RawMachine(
+        version=version,
+        n_states=n_states,
+        n_locals=n_locals,
+        transitions=tuple(transitions),
+        size=len(data),
+        trailing=len(data) - pos,
+    )
+
+
+def decode_condition(buf: bytes) -> Condition:
+    """Decode one postfix condition stream (a ``RawTransition.cond``)."""
+    cond, _ = _decode_cond(buf, 0, len(buf))
+    return cond
 
 
 def _decode_cond(buf: bytes, pos: int, end: int) -> tuple[Condition, int]:
@@ -201,38 +340,17 @@ def decode_machine(data: bytes, name: str = "downloaded") -> MachineSpec:
     Supports the §6.3 download path: "new finite-state machines may be
     downloaded into the smart sensor".
     """
-    if data[:2] != _MAGIC:
-        raise SbfrError("not an SBFR machine (bad magic)")
-    version, n_states, n_locals, n_transitions = struct.unpack_from("<BBBB", data, 2)
-    if version != _VERSION:
-        raise SbfrError(f"unsupported SBFR encoding version {version}")
-    pos = 6
-    transitions: list[Transition] = []
-    for _ in range(n_transitions):
-        source, target, cond_len = struct.unpack_from("<BBH", data, pos)
-        pos += 4
-        cond, pos = _decode_cond(data, pos, pos + cond_len)
-        (n_actions,) = struct.unpack_from("<B", data, pos)
-        pos += 1
-        actions: list[Action] = []
-        for _ in range(n_actions):
-            op = data[pos]
-            if op == _OP_SET_STATUS:
-                _, m, v = struct.unpack_from("<Bbb", data, pos)
-                actions.append(SetStatus(m, v)); pos += 3
-            elif op == _OP_OR_STATUS:
-                _, m, mask = struct.unpack_from("<BbB", data, pos)
-                actions.append(OrStatus(m, mask)); pos += 3
-            elif op == _OP_SET_LOCAL:
-                _, i, v = struct.unpack_from("<BBf", data, pos)
-                actions.append(SetLocal(i, v)); pos += 6
-            elif op == _OP_INCR_LOCAL:
-                _, i, v = struct.unpack_from("<BBf", data, pos)
-                actions.append(IncrLocal(i, v)); pos += 6
-            else:
-                raise SbfrError(f"unknown action opcode 0x{op:02x}")
-        transitions.append(Transition(source, target, cond, tuple(actions)))
-    if pos != len(data):
-        raise SbfrError(f"trailing bytes after machine ({len(data) - pos})")
-    states = tuple(State(f"s{i}") for i in range(n_states))
-    return MachineSpec(name, states, tuple(transitions), n_locals)
+    raw = scan_machine(data)
+    if raw.trailing:
+        raise SbfrError(f"trailing bytes after machine ({raw.trailing})")
+    transitions = tuple(
+        Transition(
+            t.source,
+            t.target,
+            decode_condition(t.cond),
+            tuple(a.action for a in t.actions),
+        )
+        for t in raw.transitions
+    )
+    states = tuple(State(f"s{i}") for i in range(raw.n_states))
+    return MachineSpec(name, states, transitions, raw.n_locals)

@@ -70,6 +70,21 @@ class SbfrSystem:
         except KeyError:
             raise SbfrError(f"unknown channel {name!r}") from None
 
+    def verify(self):
+        """Statically verify the installed machine set.
+
+        Runs the :mod:`repro.analysis` SBFR verifier over every
+        installed machine in its installed slot, so range checks,
+        status-register race analysis and the byte/cycle budgets see
+        exactly this system's wiring.  Returns the
+        :class:`~repro.analysis.report.VerificationReport`.
+        """
+        # Imported here: repro.analysis depends on repro.sbfr, not the
+        # other way around.
+        from repro.analysis.sbfr_verifier import verify_set
+
+        return verify_set(self.machines, n_channels=len(self.channels))
+
     # -- EvalContext protocol ------------------------------------------------
     # All index accesses are bounds-checked with SbfrError: machines can
     # be *downloaded* (§6.3), and a machine referencing a channel, local

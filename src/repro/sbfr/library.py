@@ -30,6 +30,34 @@ from repro.sbfr.spec import (
 )
 
 
+def canonical_deployments() -> dict[str, tuple[tuple[str, ...], tuple[MachineSpec, ...]]]:
+    """Every library machine arranged into its intended deployment.
+
+    Maps a deployment name to ``(channel_names, machine_specs)``; the
+    position of a spec in the tuple is its machine index (its status
+    register address).  This is what ``mpros verify --all-machines``
+    checks: each machine is verified in the context it actually runs
+    in, so cross-machine rules (status-register races, aggregate
+    budgets) see the real wiring.
+    """
+    return {
+        # Figure 3: spike recognizer feeding the stiction counter.
+        "ema": (
+            ("current", "cpos"),
+            (build_spike_machine(0), build_stiction_machine(1, spike_machine=0)),
+        ),
+        # §6.3 layered architecture: sustained-level alarm feeding a
+        # count-threshold machine, the DC watch-pair building block.
+        "layered": (
+            ("cond_pressure_kpa",),
+            (
+                level_alarm_machine(0, threshold=1120.0),
+                count_threshold_machine(watched_machine=0, count=3),
+            ),
+        ),
+    }
+
+
 def build_spike_machine(
     current_channel: int,
     self_index: int = 0,

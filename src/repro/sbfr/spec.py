@@ -13,7 +13,7 @@ back to 0 ... increment local variable 1").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol, Sequence
+from typing import Iterator, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -337,6 +337,25 @@ class MachineSpec:
         raise SbfrError(f"machine {self.name!r} has no state {name!r}")
 
 
+def walk_condition(cond: Condition) -> Iterator[Condition | Expr]:
+    """Yield every node of a condition tree, parents before children.
+
+    The single traversal shared by reference validation, channel
+    discovery and the static verifier's control-flow analysis
+    (:mod:`repro.analysis.cfg`), so a new node type only needs one
+    walker taught about it.
+    """
+    yield cond
+    if isinstance(cond, Compare):
+        yield cond.lhs
+        yield cond.rhs
+    elif isinstance(cond, (And, Or)):
+        yield from walk_condition(cond.a)
+        yield from walk_condition(cond.b)
+    elif isinstance(cond, Not):
+        yield from walk_condition(cond.a)
+
+
 def validate_references(
     spec: MachineSpec, n_channels: int, n_machines: int
 ) -> None:
@@ -346,7 +365,7 @@ def validate_references(
     the wrong channel table must be rejected at the RPC boundary, not
     crash the interpreter cycles later.
     """
-    def check_expr(e: Expr) -> None:
+    def check_node(e: Condition | Expr) -> None:
         if isinstance(e, (Input, Delta)) and not 0 <= e.channel < n_channels:
             raise SbfrError(
                 f"machine {spec.name!r} references channel {e.channel}; "
@@ -363,18 +382,9 @@ def validate_references(
                 f"this system will have {n_machines}"
             )
 
-    def check_cond(c: Condition) -> None:
-        if isinstance(c, Compare):
-            check_expr(c.lhs)
-            check_expr(c.rhs)
-        elif isinstance(c, (And, Or)):
-            check_cond(c.a)
-            check_cond(c.b)
-        elif isinstance(c, Not):
-            check_cond(c.a)
-
     for t in spec.transitions:
-        check_cond(t.condition)
+        for node in walk_condition(t.condition):
+            check_node(node)
         for a in t.actions:
             if isinstance(a, (SetStatus, OrStatus)) and a.machine >= n_machines:
                 raise SbfrError(
@@ -392,22 +402,9 @@ def validate_references(
 
 def referenced_channels(spec: MachineSpec) -> set[int]:
     """All input channels a machine's conditions read."""
-    channels: set[int] = set()
-
-    def walk_expr(e: Expr) -> None:
-        if isinstance(e, (Input, Delta)):
-            channels.add(e.channel)
-
-    def walk_cond(c: Condition) -> None:
-        if isinstance(c, Compare):
-            walk_expr(c.lhs)
-            walk_expr(c.rhs)
-        elif isinstance(c, (And, Or)):
-            walk_cond(c.a)
-            walk_cond(c.b)
-        elif isinstance(c, Not):
-            walk_cond(c.a)
-
-    for t in spec.transitions:
-        walk_cond(t.condition)
-    return channels
+    return {
+        node.channel
+        for t in spec.transitions
+        for node in walk_condition(t.condition)
+        if isinstance(node, (Input, Delta))
+    }

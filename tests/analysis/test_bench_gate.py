@@ -1,0 +1,82 @@
+"""The bench-regression gate script: tolerant of baseline drift.
+
+A result document carrying a stage the committed baseline does not know
+must produce a warning naming the key and exit 0 — not crash with a
+KeyError — so adding a benchmark stage does not break CI until its
+baseline lands.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", REPO / "scripts" / "check_bench_regression.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+def test_known_stages_pass(tmp_path, capsys):
+    gate = load_gate()
+    result = write(tmp_path, "result.json", {"ratios": {"a": 2.0}})
+    baseline = write(tmp_path, "baseline.json", {"ratios": {"a": 1.5}})
+    assert gate.check(result, baseline) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_regression_fails(tmp_path, capsys):
+    gate = load_gate()
+    result = write(tmp_path, "result.json", {"ratios": {"a": 1.0}})
+    baseline = write(tmp_path, "baseline.json", {"ratios": {"a": 2.0}})
+    assert gate.check(result, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_stage_missing_from_baseline_warns_and_exits_zero(tmp_path, capsys):
+    gate = load_gate()
+    result = write(
+        tmp_path, "result.json", {"ratios": {"a": 2.0, "new_stage": 1.1}}
+    )
+    baseline = write(tmp_path, "baseline.json", {"ratios": {"a": 1.5}})
+    assert gate.check(result, baseline) == 0
+    out = capsys.readouterr().out
+    assert "warning" in out
+    assert "new_stage" in out  # the offending key is named
+
+
+def test_baseline_without_ratios_section_does_not_crash(tmp_path, capsys):
+    gate = load_gate()
+    result = write(tmp_path, "result.json", {"ratios": {"a": 2.0}})
+    baseline = write(tmp_path, "baseline.json", {})
+    assert gate.check(result, baseline) == 0
+    assert "warning" in capsys.readouterr().out
+
+
+def test_stage_missing_from_result_still_fails(tmp_path, capsys):
+    gate = load_gate()
+    result = write(tmp_path, "result.json", {"ratios": {}})
+    baseline = write(tmp_path, "baseline.json", {"ratios": {"a": 1.5}})
+    assert gate.check(result, baseline) == 1
+    assert "missing" in capsys.readouterr().out
+
+
+def test_committed_baseline_matches_bench_stages(tmp_path, capsys):
+    # The real baseline file gates a result shaped like `mpros bench`
+    # output: every committed key verifies against itself cleanly.
+    gate = load_gate()
+    baseline_path = REPO / "benchmarks" / "baseline.json"
+    doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    result = write(tmp_path, "result.json", {"ratios": doc["ratios"]})
+    assert gate.check(result, str(baseline_path)) == 0

@@ -1,0 +1,188 @@
+"""The determinism/safety linter: each rule fires, allowlists hold,
+and the shipped tree lints clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.rules import (
+    BARE_EXCEPT,
+    DEFAULT_RULES,
+    FLOAT_EQUALITY,
+    ITERATION_ORDER,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+)
+from repro.common.errors import AnalysisError
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def ids(source, path="src/repro/x.py", rules=DEFAULT_RULES):
+    return [d.rule_id for d in lint_source(source, path, rules)]
+
+
+# -- lint.wall-clock ---------------------------------------------------------
+
+def test_wall_clock_flags_time_and_datetime_reads():
+    src = (
+        "import time, datetime\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+        "c = datetime.datetime.now()\n"
+        "d = datetime.date.today()\n"
+    )
+    assert ids(src, rules=[WALL_CLOCK]) == ["lint.wall-clock"] * 4
+
+
+def test_wall_clock_flags_bare_perf_counter_import():
+    src = "from time import perf_counter\nt0 = perf_counter()\n"
+    assert ids(src, rules=[WALL_CLOCK]) == ["lint.wall-clock"]
+
+
+def test_wall_clock_ignores_simulated_clock_calls():
+    src = "t = self.clock.now()\nu = kernel.now()\n"
+    assert ids(src, rules=[WALL_CLOCK]) == []
+
+
+def test_wall_clock_exempts_the_clock_module():
+    src = "import time\nt = time.time()\n"
+    assert ids(src, "src/repro/common/clock.py", [WALL_CLOCK]) == []
+
+
+# -- lint.unseeded-rng -------------------------------------------------------
+
+def test_unseeded_default_rng_flagged_seeded_ok():
+    assert ids("rng = np.random.default_rng()\n", rules=[UNSEEDED_RNG]) == [
+        "lint.unseeded-rng"
+    ]
+    assert ids("rng = np.random.default_rng(None)\n", rules=[UNSEEDED_RNG]) == [
+        "lint.unseeded-rng"
+    ]
+    assert ids("rng = np.random.default_rng(42)\n", rules=[UNSEEDED_RNG]) == []
+    assert ids("rng = np.random.default_rng(seed)\n", rules=[UNSEEDED_RNG]) == []
+
+
+def test_legacy_numpy_and_stdlib_random_flagged():
+    src = (
+        "x = np.random.normal(0, 1)\n"
+        "y = random.random()\n"
+        "z = random.shuffle(items)\n"
+    )
+    assert ids(src, rules=[UNSEEDED_RNG]) == ["lint.unseeded-rng"] * 3
+
+
+def test_generator_method_calls_not_flagged():
+    # rng.random() on an explicit Generator is the blessed idiom.
+    src = "x = rng.random()\ny = rng.normal(0, 1)\n"
+    assert ids(src, rules=[UNSEEDED_RNG]) == []
+
+
+def test_rng_module_exempt():
+    src = "g = np.random.default_rng()\n"
+    assert ids(src, "src/repro/common/rng.py", [UNSEEDED_RNG]) == []
+
+
+# -- lint.iteration-order ----------------------------------------------------
+
+def test_for_over_set_literal_flagged():
+    assert ids("for x in {1, 2}:\n    pass\n", rules=[ITERATION_ORDER]) == [
+        "lint.iteration-order"
+    ]
+
+
+def test_for_over_set_call_and_comprehension_flagged():
+    src = (
+        "for x in set(names):\n    pass\n"
+        "out = [f(x) for x in {n.id for n in nodes}]\n"
+    )
+    assert ids(src, rules=[ITERATION_ORDER]) == ["lint.iteration-order"] * 2
+
+
+def test_sorted_set_iteration_ok():
+    src = "for x in sorted(set(names)):\n    pass\n"
+    assert ids(src, rules=[ITERATION_ORDER]) == []
+
+
+# -- lint.float-equality -----------------------------------------------------
+
+def test_float_eq_flagged_in_sbfr_paths_only():
+    src = "if x == 0.5:\n    pass\n"
+    assert ids(src, "src/repro/sbfr/foo.py", [FLOAT_EQUALITY]) == [
+        "lint.float-equality"
+    ]
+    assert ids(src, "src/repro/fusion/foo.py", [FLOAT_EQUALITY]) == [
+        "lint.float-equality"
+    ]
+    # Outside the predicate modules the rule is silent.
+    assert ids(src, "src/repro/dc/foo.py", [FLOAT_EQUALITY]) == []
+
+
+def test_float_eq_integer_compare_ok():
+    src = "if n == 3:\n    pass\nif status != 0:\n    pass\n"
+    assert ids(src, "src/repro/sbfr/foo.py", [FLOAT_EQUALITY]) == []
+
+
+def test_cmp_helper_with_float_equality_flagged():
+    src = "g = cmp(Delta(0), '==', 0.5)\n"
+    assert ids(src, "src/repro/sbfr/foo.py", [FLOAT_EQUALITY]) == [
+        "lint.float-equality"
+    ]
+
+
+# -- lint.bare-except --------------------------------------------------------
+
+def test_bare_except_flagged_typed_ok():
+    src = (
+        "try:\n    f()\nexcept:\n    pass\n"
+        "try:\n    g()\nexcept ValueError:\n    pass\n"
+    )
+    assert ids(src, rules=[BARE_EXCEPT]) == ["lint.bare-except"]
+
+
+# -- allowlist comments ------------------------------------------------------
+
+def test_allow_comment_suppresses_named_rule():
+    src = "t0 = time.perf_counter()  # mpros: allow[lint.wall-clock]\n"
+    assert ids(src, rules=[WALL_CLOCK]) == []
+
+
+def test_allow_comment_other_rule_does_not_suppress():
+    src = "t0 = time.perf_counter()  # mpros: allow[lint.bare-except]\n"
+    assert ids(src, rules=[WALL_CLOCK]) == ["lint.wall-clock"]
+
+
+def test_allow_comment_comma_list_and_wildcard():
+    src = (
+        "a = time.time()  # mpros: allow[lint.bare-except, lint.wall-clock]\n"
+        "b = time.time()  # mpros: allow[*]\n"
+        "c = time.time()\n"
+    )
+    diags = lint_source(src, "x.py", [WALL_CLOCK])
+    assert [d.location.line for d in diags] == [3]
+
+
+def test_unparseable_source_raises_analysis_error():
+    with pytest.raises(AnalysisError):
+        lint_source("def broken(:\n", "x.py", DEFAULT_RULES)
+
+
+def test_missing_path_raises_analysis_error():
+    with pytest.raises(AnalysisError):
+        lint_paths([REPO / "no" / "such" / "dir"])
+
+
+# -- the shipped tree --------------------------------------------------------
+
+def test_src_repro_lints_clean():
+    report = lint_paths([REPO / "src" / "repro"])
+    assert report.ok, report.render()
+    assert not report.warnings, report.render()
+
+
+def test_examples_and_scripts_lint_clean():
+    report = lint_paths(
+        [REPO / "examples", REPO / "scripts", REPO / "benchmarks"]
+    )
+    assert report.ok, report.render()

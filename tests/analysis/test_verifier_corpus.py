@@ -1,0 +1,339 @@
+"""Adversarial SBFR corpus: every verifier rule caught by id.
+
+Each corpus program seeds exactly one class of defect and the test
+asserts the verifier reports *that* rule id — not merely "something
+failed" — plus location metadata (machine name, byte offset) rich
+enough to act on from a CI log.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    Budgets,
+    Severity,
+    build_cfg,
+    static_truth,
+    verify_bytes,
+    verify_machine,
+    verify_set,
+)
+from repro.sbfr.encode import encode_machine
+from repro.sbfr.library import (
+    build_spike_machine,
+    build_stiction_machine,
+    canonical_deployments,
+)
+from repro.sbfr.spec import (
+    Always,
+    And,
+    Elapsed,
+    Input,
+    Local,
+    MachineSpec,
+    Not,
+    OrStatus,
+    SetLocal,
+    SetStatus,
+    State,
+    Status,
+    Transition,
+    cmp,
+)
+
+
+def machine(transitions, n_states=2, n_locals=0, name="corpus"):
+    return MachineSpec(
+        name=name,
+        states=tuple(State(f"S{i}") for i in range(n_states)),
+        transitions=tuple(transitions),
+        n_locals=n_locals,
+    )
+
+
+def rule_ids(diags):
+    return {d.rule_id for d in diags}
+
+
+# -- reference-range rules ---------------------------------------------------
+
+def test_channel_out_of_range_fires_channel_range():
+    spec = machine([Transition(0, 1, cmp(Input(99), ">", 0.5))])
+    diags = verify_machine(spec, n_channels=5)
+    assert rule_ids(diags) == {"sbfr.channel-range"}
+    assert "channel 99" in diags[0].message
+
+
+def test_local_out_of_range_fires_local_range():
+    spec = machine(
+        [Transition(0, 1, cmp(Local(3), ">", 1.0), (SetLocal(7, 0.0),))],
+        n_locals=2,
+    )
+    diags = verify_machine(spec, n_channels=1)
+    assert rule_ids(diags) == {"sbfr.local-range"}
+    assert len(diags) == 2  # the read and the write both flagged
+
+
+def test_peer_out_of_range_fires_peer_range():
+    spec = machine(
+        [Transition(0, 1, cmp(Status(9), "!=", 0), (OrStatus(12, 1),))]
+    )
+    diags = verify_machine(spec, n_channels=1, n_machines=3)
+    assert rule_ids(diags) == {"sbfr.peer-range"}
+
+
+def test_self_reference_resolves_against_set_size():
+    # Status(-1) is legal exactly when self_index < n_machines.
+    spec = machine([Transition(0, 1, cmp(Status(-1), "==", 0))])
+    assert not verify_machine(spec, self_index=2, n_channels=1, n_machines=3)
+    diags = verify_machine(spec, self_index=3, n_channels=1, n_machines=3)
+    assert rule_ids(diags) == {"sbfr.peer-range"}
+
+
+# -- guard decidability ------------------------------------------------------
+
+def test_negative_timer_bound_fires_timer_never_expires():
+    spec = machine([Transition(0, 1, cmp(Elapsed(), "<", -1.0))])
+    ids = rule_ids(verify_machine(spec, n_channels=1))
+    assert "sbfr.timer-never-expires" in ids
+
+
+def test_fractional_timer_equality_fires_timer_never_expires():
+    # Elapsed() only takes integer values; == 2.5 can never be true.
+    spec = machine([Transition(0, 1, cmp(Elapsed(), "==", 2.5))])
+    ids = rule_ids(verify_machine(spec, n_channels=1))
+    assert "sbfr.timer-never-expires" in ids
+
+
+def test_statically_false_guard_fires_dead_transition():
+    spec = machine([
+        Transition(0, 1, cmp(Input(0), ">", 0.5)),
+        Transition(0, 1, cmp(1.0, ">", 2.0)),
+    ])
+    diags = verify_machine(spec, n_channels=1)
+    assert rule_ids(diags) == {"sbfr.dead-transition"}
+
+
+def test_transition_after_always_fires_shadowed_transition():
+    spec = machine([
+        Transition(0, 1, Always()),
+        Transition(0, 1, cmp(Input(0), ">", 0.5)),
+    ])
+    diags = verify_machine(spec, n_channels=1)
+    assert "sbfr.shadowed-transition" in rule_ids(diags)
+    shadowed = [d for d in diags if d.rule_id == "sbfr.shadowed-transition"]
+    assert all(d.severity is Severity.WARNING for d in shadowed)
+
+
+# -- reachability ------------------------------------------------------------
+
+def test_orphan_state_fires_unreachable_state():
+    spec = machine(
+        [Transition(0, 1, cmp(Input(0), ">", 0.5)),
+         Transition(2, 0, Always())],
+        n_states=3,
+    )
+    diags = verify_machine(spec, n_channels=1)
+    assert "sbfr.unreachable-state" in rule_ids(diags)
+    hit = [d for d in diags if d.rule_id == "sbfr.unreachable-state"]
+    assert hit[0].location.state == 2
+
+
+def test_state_behind_dead_guard_is_unreachable():
+    # The only edge into state 1 is statically false, so reachability
+    # must not traverse it.
+    spec = machine([Transition(0, 1, cmp(2.0, "<", 1.0))])
+    ids = rule_ids(verify_machine(spec, n_channels=1))
+    assert "sbfr.unreachable-state" in ids
+    assert "sbfr.dead-transition" in ids
+
+
+# -- budgets -----------------------------------------------------------------
+
+def test_oversized_machine_fires_budget_machine_bytes():
+    big = machine(
+        [Transition(0, 0, cmp(Input(0), ">", float(i))) for i in range(60)],
+        n_states=1,
+    )
+    tiny = dataclasses.replace(Budgets(), machine_bytes=100)
+    ids = rule_ids(verify_machine(big, n_channels=1, budgets=tiny))
+    assert "sbfr.budget-machine-bytes" in ids
+
+
+def test_hot_state_fires_budget_cycle_time():
+    # 60 guards out of one state ≈ 240 interpreter ops ≈ 61 µs: far
+    # over the 40 µs per-machine share of the 4 ms / 100-machine budget.
+    hot = machine(
+        [Transition(0, 0, cmp(Input(0), ">", float(i))) for i in range(60)],
+        n_states=1,
+    )
+    ids = rule_ids(verify_machine(hot, n_channels=1))
+    assert "sbfr.budget-cycle-time" in ids
+
+
+def test_aggregate_budget_over_32k_fires_budget_aggregate():
+    # 200 spike machines overflow 32 KB even though each one is tiny.
+    # (Status registers are a signed wire byte, so indices wrap at 100;
+    # each register then has exactly one foreign writer — no race.)
+    specs = [build_spike_machine(0, self_index=i % 100) for i in range(200)]
+    report = verify_set(specs, n_channels=1)
+    assert "sbfr.budget-aggregate" in report.rule_ids()
+
+
+def test_paper_scale_deployment_fits_the_budgets():
+    # 100 spike machines + interpreter reserve stay inside 32 KB and
+    # 4 ms — the paper's headline claim, checked statically.
+    specs = [build_spike_machine(0, self_index=i) for i in range(100)]
+    report = verify_set(specs, n_channels=1)
+    assert not report.errors
+
+
+# -- cross-machine race analysis ---------------------------------------------
+
+def test_read_of_never_written_register_warns():
+    reader = machine([Transition(0, 1, cmp(Status(1), "!=", 0))], name="reader")
+    silent = machine([Transition(0, 1, cmp(Input(0), ">", 0.5))], name="silent")
+    report = verify_set([reader, silent], n_channels=1)
+    assert "sbfr.status-never-written" in report.rule_ids()
+    assert not report.errors  # warning severity: reported, non-blocking
+
+
+def test_two_foreign_writers_fire_write_conflict():
+    owner = machine([Transition(0, 1, cmp(Input(0), ">", 0.5),
+                                (OrStatus(-1, 1),))], name="owner")
+    w1 = machine([Transition(0, 1, cmp(Input(0), ">", 0.5),
+                             (SetStatus(0, 0),))], name="w1")
+    w2 = machine([Transition(0, 1, cmp(Input(0), ">", 0.5),
+                             (SetStatus(0, 2),))], name="w2")
+    report = verify_set([owner, w1, w2], n_channels=1)
+    assert "sbfr.status-write-conflict" in report.rule_ids()
+    conflict = [d for d in report.diagnostics
+                if d.rule_id == "sbfr.status-write-conflict"][0]
+    assert "w1" in conflict.message and "w2" in conflict.message
+
+
+def test_figure3_single_consumer_pattern_is_clean():
+    # Owner ORs its own bit, exactly one non-owner resets it: the
+    # paper's Figure-3 handshake must not trip the race rules.
+    report = verify_set(
+        [build_spike_machine(0), build_stiction_machine(1, spike_machine=0)],
+        n_channels=2,
+    )
+    assert not report.diagnostics
+
+
+# -- wire-format (bytes-level) rules -----------------------------------------
+
+def good_bytes():
+    return encode_machine(build_spike_machine(0))
+
+
+def test_bad_magic_fires_malformed_at_offset_zero():
+    data = b"XX" + good_bytes()[2:]
+    report = verify_bytes(data)
+    assert report.rule_ids() == {"sbfr.malformed"}
+    assert report.diagnostics[0].location.byte_offset == 0
+
+
+def test_truncated_frame_fires_malformed():
+    report = verify_bytes(good_bytes()[:-3])
+    assert report.rule_ids() == {"sbfr.malformed"}
+
+
+def test_trailing_garbage_fires_malformed():
+    report = verify_bytes(good_bytes() + b"\x00\x00")
+    assert "sbfr.malformed" in report.rule_ids()
+
+
+def test_empty_frame_fires_malformed():
+    assert verify_bytes(b"").rule_ids() == {"sbfr.malformed"}
+
+
+def test_dangling_state_index_fires_undefined_state():
+    spec = machine([Transition(0, 1, Always())])
+    data = bytearray(encode_machine(spec))
+    # Header: magic(2) version(1) n_states(1) n_locals(1) n_transitions(1);
+    # first transition's target byte sits at offset 7.
+    data[7] = 200
+    report = verify_bytes(bytes(data))
+    assert "sbfr.undefined-state" in report.rule_ids()
+    hit = [d for d in report.diagnostics
+           if d.rule_id == "sbfr.undefined-state"][0]
+    assert hit.location.byte_offset == 6  # transition starts at 6
+    assert hit.location.machine == "downloaded"
+
+
+def test_corrupt_condition_bytecode_fires_malformed_bytecode():
+    spec = machine([Transition(0, 1, Always())])
+    data = bytearray(encode_machine(spec))
+    # The 1-byte Always() condition starts right after source, target
+    # and the u16 length field: offset 6 + 4 = 10.
+    data[10] = 0x7F  # not an opcode
+    report = verify_bytes(bytes(data))
+    assert "sbfr.malformed-bytecode" in report.rule_ids()
+    hit = [d for d in report.diagnostics
+           if d.rule_id == "sbfr.malformed-bytecode"][0]
+    assert hit.location.byte_offset == 10
+
+
+def test_clean_bytes_pass_then_range_rules_apply():
+    data = encode_machine(machine([Transition(0, 1, cmp(Input(4), ">", 0.0))]))
+    assert verify_bytes(data, n_channels=8).ok
+    report = verify_bytes(data, n_channels=2)
+    assert report.rule_ids() == {"sbfr.channel-range"}
+    # Wire-sourced diagnostics carry the *wire* byte offset.
+    assert report.diagnostics[0].location.byte_offset == 6
+
+
+# -- whole-library gate ------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(canonical_deployments()))
+def test_library_deployment_verifies_clean(name):
+    channels, specs = canonical_deployments()[name]
+    report = verify_set(specs, n_channels=len(channels))
+    assert report.ok, report.render()
+
+
+def test_every_diagnostic_carries_machine_and_offset():
+    # Satellite (a): spec-sourced transition diagnostics still locate
+    # the offending bytes via the canonical encoding.
+    spec = machine(
+        [Transition(0, 1, cmp(Input(9), ">", 0.5))], name="offsety"
+    )
+    diags = verify_machine(spec, n_channels=1)
+    assert diags
+    for d in diags:
+        assert d.location.machine == "offsety"
+        assert d.location.byte_offset is not None
+
+
+# -- static truth folding (unit level) ---------------------------------------
+
+def test_static_truth_three_valued():
+    assert static_truth(Always()) is True
+    assert static_truth(cmp(1.0, "<", 2.0)) is True
+    assert static_truth(cmp(1.0, ">", 2.0)) is False
+    assert static_truth(cmp(Input(0), ">", 2.0)) is None
+    assert static_truth(Not(cmp(1.0, "<", 2.0))) is False
+    assert static_truth(And(Always(), cmp(Input(0), ">", 0.0))) is None
+    assert static_truth(And(cmp(1.0, ">", 2.0), cmp(Input(0), ">", 0.0))) is False
+
+
+def test_static_truth_elapsed_domain():
+    assert static_truth(cmp(Elapsed(), ">=", 0.0)) is True
+    assert static_truth(cmp(Elapsed(), "<", 0.0)) is False
+    assert static_truth(cmp(Elapsed(), "<=", 4.0)) is None
+    assert static_truth(cmp(0.0, ">", Elapsed())) is False  # flipped operand
+    assert static_truth(cmp(Elapsed(), "!=", 0.5)) is True
+
+
+def test_worst_cycle_ops_counts_heaviest_state():
+    spec = build_spike_machine(0)
+    cfg = build_cfg(spec, 0)
+    # P2 evaluates transitions 4, 5, 6 — the heaviest state.
+    p2_edges = cfg.out_edges(2)
+    expect = sum(e.condition_ops for e in p2_edges) + max(
+        e.action_ops for e in p2_edges
+    )
+    assert cfg.worst_cycle_ops() == expect

@@ -1,0 +1,118 @@
+"""Verifier soundness against execution.
+
+Property: any watch-pair deployment the verifier passes executes
+*identically* on the AST interpreter and the vectorized watch grid —
+full state/status/counter trajectories, not just final values.  The
+verifier is the static gate in front of exactly these executors, so a
+machine it blesses must not diverge between them.
+
+Also: the canonical library deployments survive an encode → wire →
+``verify_bytes`` round trip in their deployed slots.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_bytes, verify_set
+from repro.sbfr import (
+    SbfrSystem,
+    SbfrWatchGrid,
+    count_threshold_machine,
+    level_alarm_machine,
+)
+from repro.sbfr.encode import encode_machine
+from repro.sbfr.library import canonical_deployments
+
+
+@st.composite
+def watch_deployments(draw):
+    n_watches = draw(st.integers(min_value=1, max_value=4))
+    thresholds = [
+        draw(st.integers(-8, 8)) / 4.0 for _ in range(n_watches)
+    ]
+    hold = draw(st.integers(min_value=0, max_value=4))
+    repeat = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return thresholds, hold, repeat, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(watch_deployments())
+def test_verified_deployment_runs_identically_on_all_executors(deploy):
+    thresholds, hold, repeat, seed = deploy
+    n = len(thresholds)
+
+    specs = []
+    for i, thr in enumerate(thresholds):
+        specs.append(
+            level_alarm_machine(channel=i, threshold=thr, hold_cycles=hold)
+        )
+        specs.append(
+            count_threshold_machine(watched_machine=2 * i, count=repeat)
+        )
+
+    # The static gate: the deployment must verify clean...
+    report = verify_set(specs, n_channels=n)
+    assert report.ok, report.render()
+
+    # ...and each machine must survive the wire in its deployed slot.
+    for idx, spec in enumerate(specs):
+        wire = verify_bytes(
+            encode_machine(spec),
+            name=spec.name,
+            self_index=idx,
+            n_channels=n,
+            n_machines=len(specs),
+        )
+        assert wire.ok, wire.render()
+
+    # Then the executors must agree cycle for cycle.
+    interp = SbfrSystem(channels=[f"pv{i}" for i in range(n)])
+    for spec in specs:
+        interp.add_machine(spec)
+    assert interp.verify().ok
+
+    grid = SbfrWatchGrid(
+        np.array(thresholds), hold_cycles=hold, repeat_count=repeat
+    )
+    row = grid.add_row()
+
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, 1.5, size=(300, n))
+    present = rng.random(size=(300, n)) < 0.85
+    consume = rng.random(size=(300, n)) < 0.05
+
+    for c in range(300):
+        sample = {
+            f"pv{i}": float(values[c, i]) for i in range(n) if present[c, i]
+        }
+        interp.cycle(sample)
+        cstatus = grid.cycle_rows(
+            np.array([row]), values[c][np.newaxis, :],
+            present[c][np.newaxis, :],
+        )[0]
+        for i in range(n):
+            level, counter = interp.states[2 * i], interp.states[2 * i + 1]
+            where = f"cycle {c} watch {i}"
+            assert grid.lstate[row, i] == level.state, where
+            assert grid.lstatus[row, i] == level.status, where
+            assert grid.cstate[row, i] == counter.state, where
+            assert cstatus[i] == counter.status, where
+            assert grid.ccount[row, i] == counter.locals[0], where
+            if consume[c, i]:
+                interp.set_status(2 * i + 1, 0)
+                grid.consume(row, i)
+
+
+def test_library_machines_round_trip_through_verify_bytes():
+    for name, (channels, specs) in sorted(canonical_deployments().items()):
+        for idx, spec in enumerate(specs):
+            report = verify_bytes(
+                encode_machine(spec),
+                name=f"{name}/{spec.name}",
+                self_index=idx,
+                n_channels=len(channels),
+                n_machines=len(specs),
+            )
+            assert report.ok, report.render()

@@ -78,3 +78,73 @@ def test_metrics_unknown_fault_errors(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- mpros verify ------------------------------------------------------------
+
+def test_verify_all_machines_passes(capsys):
+    assert main(["verify", "--all-machines"]) == 0
+    out = capsys.readouterr().out
+    assert "deployment 'ema'" in out
+    assert "deployment 'dc-default'" in out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_verify_lint_src_repro_passes(capsys):
+    assert main(["verify", "--lint", "src/repro"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_machine_file_flags_defects(capsys, tmp_path):
+    from repro.sbfr import MachineSpec, State, Transition, cmp, encode_machine
+    from repro.sbfr.spec import Input
+
+    bad = MachineSpec(
+        "bad", (State("w"), State("x")),
+        (Transition(0, 1, cmp(Input(9), ">", 0.5)),),
+    )
+    path = tmp_path / "bad.sbfr"
+    path.write_bytes(encode_machine(bad))
+    assert main(["verify", "--machine", str(path), "--channels", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "sbfr.channel-range" in out
+    assert "channel 9" in out
+
+
+def test_verify_machine_file_clean_exits_zero(capsys, tmp_path):
+    from repro.sbfr import build_spike_machine, encode_machine
+
+    path = tmp_path / "spike.sbfr"
+    path.write_bytes(encode_machine(build_spike_machine(0)))
+    assert main(["verify", "--machine", str(path),
+                 "--channels", "1", "--peers", "1"]) == 0
+
+
+def test_verify_strict_promotes_warnings(capsys, tmp_path):
+    # A machine with a warning-only finding (shadowed transition).
+    from repro.sbfr import MachineSpec, State, Transition, cmp, encode_machine
+    from repro.sbfr.spec import Always, Input
+
+    warn_only = MachineSpec(
+        "warny", (State("a"), State("b")),
+        (Transition(0, 1, Always()),
+         Transition(0, 1, cmp(Input(0), ">", 0.5)),
+         Transition(1, 0, Always())),
+    )
+    path = tmp_path / "warny.sbfr"
+    path.write_bytes(encode_machine(warn_only))
+    args = ["verify", "--machine", str(path), "--channels", "1", "--peers", "1"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args + ["--strict"]) == 1
+    assert "sbfr.shadowed-transition" in capsys.readouterr().out
+
+
+def test_verify_without_targets_is_usage_error(capsys):
+    assert main(["verify"]) == 2
+    assert "nothing to verify" in capsys.readouterr().err
+
+
+def test_verify_missing_machine_file_errors(capsys):
+    assert main(["verify", "--machine", "/no/such/file.sbfr"]) == 2
+    assert "cannot read" in capsys.readouterr().err

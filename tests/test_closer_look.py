@@ -176,6 +176,46 @@ def test_misauthored_download_rejected_at_boundary():
     system.run(hours=0.25)
 
 
+def test_statically_defective_download_refused_by_verifier():
+    """A machine that is referentially valid but fails *static
+    verification* (here: a dead transition making a state unreachable)
+    is refused at the download boundary before installation."""
+    from repro.sbfr import MachineSpec, State, Transition, cmp
+    from repro.sbfr.spec import Input
+
+    system = build_mpros_system(n_chillers=1, seed=3)
+    client = pdme_endpoint(system)
+    # The only edge into state 1 has a statically false guard: every
+    # reference is in range, so only the verifier can catch it.
+    bad = MachineSpec(
+        "dead-end",
+        (State("Wait"), State("Never")),
+        (Transition(0, 1, cmp(1.0, ">", 2.0)),),
+    )
+    errors = []
+    acks = []
+    client.call(
+        "dc:0", "download_machine",
+        {
+            "machine_b64": base64.b64encode(encode_machine(bad)).decode(),
+            "condition_id": "mc:x",
+        },
+        on_reply=acks.append,
+        on_error=errors.append,
+    )
+    system.kernel.run_until(system.kernel.now() + 1.0)
+    assert not acks
+    assert errors
+    msg = str(errors[0])
+    assert "static verification" in msg
+    assert "sbfr.dead-transition" in msg
+    assert "sbfr.unreachable-state" in msg
+    # Never installed: the source still runs pure grid mode.
+    source = system.dcs[0]._sbfr_source()
+    assert source._systems is None
+    system.run(hours=0.25)
+
+
 def test_interpreter_bounds_checked():
     import pytest as _pytest
 
