@@ -9,6 +9,12 @@ Only *ratios* are gated (batched vs legacy from the same run on the same
 machine), never absolute throughput — CI runners vary wildly in speed
 but a within-run ratio is machine-independent.  A measured ratio may
 fall at most 20% below its baseline value before the gate fails.
+
+A ratio measured by the benchmark but absent from the baseline is *not*
+a regression — it is a new stage awaiting a baseline entry; the gate
+warns (naming the key) and stays green.  A baseline entry missing from
+the result is a failure: a gated stage silently disappearing from the
+bench is exactly what the gate exists to catch.
 """
 
 from __future__ import annotations
@@ -19,38 +25,72 @@ import sys
 TOLERANCE = 0.8  # measured >= baseline * TOLERANCE
 
 
+class GateReport:
+    """The outcome of evaluating measured ratios against floors."""
+
+    __slots__ = ("lines", "warnings", "failures")
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.warnings: list[str] = []
+        self.failures: list[str] = []
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def evaluate(
+    ratios: dict[str, float],
+    floors: dict[str, float],
+    tolerance: float = TOLERANCE,
+) -> GateReport:
+    """Pure gate logic: compare measured ``ratios`` to baseline ``floors``.
+
+    Per gated name the effective floor is ``baseline * tolerance``.
+    Ungated measured ratios produce warnings; gated-but-unmeasured
+    ratios produce failures.
+    """
+    report = GateReport()
+    for name in sorted(set(ratios) - set(floors)):
+        report.warnings.append(
+            f"stage {name!r} has no baseline entry; "
+            f"skipping (add it to gate this stage)"
+        )
+    for name, floor in floors.items():
+        measured = ratios.get(name)
+        if measured is None:
+            report.failures.append(f"{name}: missing from bench result")
+            continue
+        limit = floor * tolerance
+        verdict = "ok" if measured >= limit else "REGRESSION"
+        report.lines.append(
+            f"{name:24s} measured {measured:7.3f}  baseline {floor:6.3f}"
+            f"  floor {limit:6.3f}  {verdict}"
+        )
+        if measured < limit:
+            report.failures.append(
+                f"{name}: {measured:.3f} < {limit:.3f} "
+                f"(baseline {floor:.3f} * {tolerance})"
+            )
+    return report
+
+
 def check(result_path: str, baseline_path: str) -> int:
     with open(result_path, encoding="utf-8") as fp:
         result = json.load(fp)
     with open(baseline_path, encoding="utf-8") as fp:
         baseline = json.load(fp)
 
-    ratios = result.get("ratios", {})
-    floors = baseline.get("ratios", {})
-    failures = []
-    # A stage measured by the benchmark but absent from the committed
-    # baseline is not a regression — it is a new stage awaiting a
-    # baseline entry.  Warn (naming the key) and keep the gate green.
-    for name in sorted(set(ratios) - set(floors)):
-        print(f"warning: stage {name!r} has no baseline entry in "
-              f"{baseline_path}; skipping (add it to gate this stage)")
-    for name, floor in floors.items():
-        measured = ratios.get(name)
-        if measured is None:
-            failures.append(f"{name}: missing from {result_path}")
-            continue
-        limit = floor * TOLERANCE
-        verdict = "ok" if measured >= limit else "REGRESSION"
-        print(f"{name:24s} measured {measured:7.3f}  baseline {floor:6.3f}"
-              f"  floor {limit:6.3f}  {verdict}")
-        if measured < limit:
-            failures.append(
-                f"{name}: {measured:.3f} < {limit:.3f} (baseline {floor:.3f} * {TOLERANCE})"
-            )
-    if failures:
+    report = evaluate(result.get("ratios", {}), baseline.get("ratios", {}))
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    for line in report.lines:
+        print(line)
+    if not report.passed:
         print("\nbenchmark regression gate FAILED:")
-        for f in failures:
-            print(f"  - {f}")
+        for failure in report.failures:
+            print(f"  - {failure}")
         return 1
     print("\nbenchmark regression gate passed")
     return 0

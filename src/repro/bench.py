@@ -1,8 +1,10 @@
 """The ``mpros bench`` performance harness.
 
 Measures the scan→report hot path at every layer — batched DSP, the
-SBFR watch grid, the DC dispatch loop, and the fleet replay executor —
-and writes a JSON document (default ``BENCH_pr3.json``) with:
+SBFR watch grid, the DC dispatch loop, the fleet replay executor, and
+the fleet-scale report-ingest path (incremental PDME fusion, coalesced
+OOSM logging, the calendar-queue event kernel) — and writes a JSON
+document (default ``BENCH_pr5.json``) with:
 
 * per-stage throughput plus p50/p99 latencies derived from
   :class:`~repro.obs.registry.Histogram` buckets (the same metric type
@@ -347,6 +349,256 @@ def _bench_fleet(registry, quick: bool) -> dict:
     return out
 
 
+def _ingest_workload(quick: bool) -> tuple[list, list[str]]:
+    """A deterministic fleet report stream shared by the PDME-fusion
+    and OOSM-ingest stages, so their stage times are additive and the
+    combined ``report_ingest_speedup`` compares equal volumes."""
+    from repro.protocol.prognostic import PrognosticPoint, PrognosticVector
+    from repro.protocol.report import FailurePredictionReport
+
+    machines, per_machine = (8, 25) if quick else (24, 80)
+    conditions = [
+        "mc:motor-rotor-bar",
+        "mc:motor-stator-winding",
+        "mc:oil-contamination",
+        "mc:motor-imbalance",
+    ]
+    sources = ["ks:dli", "ks:fuzzy", "ks:sbfr"]
+    reports = []
+    report_ids = []
+    i = 0
+    for m in range(machines):
+        for r in range(per_machine):
+            cond = conditions[(m + r) % len(conditions)]
+            t = 1000.0 + r * 60.0 + m
+            base = 0.15 + 0.02 * (r % 5)
+            vec = PrognosticVector(
+                [
+                    PrognosticPoint(3600.0 * (1 + r % 4), min(1.0, base)),
+                    PrognosticPoint(3600.0 * (6 + r % 4), min(1.0, base + 0.3)),
+                    PrognosticPoint(3600.0 * (24 + r % 4), min(1.0, base + 0.6)),
+                ]
+            )
+            reports.append(
+                FailurePredictionReport(
+                    knowledge_source_id=sources[r % len(sources)],
+                    sensed_object_id=f"obj:m{m}",
+                    machine_condition_id=cond,
+                    severity=0.5,
+                    belief=0.2 + 0.01 * (r % 10),
+                    timestamp=t,
+                    dc_id="dc:bench",
+                    prognostic=vec,
+                )
+            )
+            report_ids.append(f"dc:bench#{i}")
+            i += 1
+    return reports, report_ids
+
+
+def _bench_pdme_fusion(registry, quick: bool) -> dict:
+    """Incremental bitmask D-S + lazy prognosis vs the eager pre-PR shape.
+
+    ``legacy`` reproduces the pre-PR per-report cost honestly from the
+    retained oracle pieces: frozenset :class:`MassFunction` combination,
+    a per-report belief/plausibility snapshot, and an eager conservative-
+    envelope recompute over the full prognostic history on every report.
+    ``incremental`` is the live engine path
+    (:meth:`KnowledgeFusionEngine.ingest_batch`): bitmask masses with the
+    memoized combiner, memoized snapshots, and a lazy prognosis thunk
+    that the intake loop never forces.  Final fused states must agree
+    to 12 decimals before the timing is accepted.
+    """
+    from repro.fusion.dempster_shafer import MassFunction, combine
+    from repro.fusion.engine import KnowledgeFusionEngine
+    from repro.fusion.groups import default_chiller_groups
+    from repro.fusion.prognostic import conservative_envelope
+    from repro.obs.registry import MetricsRegistry
+
+    reports, _ = _ingest_workload(quick)
+    reps = 2 if quick else 3
+    registry_groups = default_chiller_groups()
+    now = max(r.timestamp for r in reports)
+
+    legacy_state: dict = {}
+
+    def run_legacy():
+        acc: dict = {}
+        prog_hist: dict = {}
+        for r in reports:
+            group = registry_groups.group_of(r.machine_condition_id)
+            key = (r.sensed_object_id, group.name)
+            evidence = MassFunction(group.frame, {r.machine_condition_id: r.belief})
+            prior = acc.get(key)
+            acc[key] = evidence if prior is None else combine(prior, evidence)
+            # Pre-PR ingest snapshotted beliefs eagerly per report...
+            for c in group.conditions:
+                acc[key].belief(c)
+            # ...and re-fused the full envelope on every report.
+            pkey = (r.sensed_object_id, r.machine_condition_id)
+            prog_hist.setdefault(pkey, []).append(r)
+            rebased = [
+                rr.prognostic.shifted(max(0.0, r.timestamp - rr.timestamp))
+                for rr in prog_hist[pkey]
+            ]
+            conservative_envelope(rebased)
+        legacy_state["diag"] = acc
+        legacy_state["prog"] = prog_hist
+
+    fast_state: dict = {}
+
+    def run_fast():
+        engine = KnowledgeFusionEngine(
+            default_chiller_groups(), metrics=MetricsRegistry()
+        )
+        engine.ingest_batch(reports)
+        fast_state["engine"] = engine
+
+    legacy_t = _timed(run_legacy, reps, registry, "pdme.fusion.legacy")
+    fast_t = _timed(run_fast, reps, registry, "pdme.fusion.incremental")
+
+    # Equal-output check: fused beliefs and fused prognostic vectors
+    # from the two paths must agree before the timing counts.
+    engine = fast_state["engine"]
+    for (obj, gname), legacy_mass in legacy_state["diag"].items():
+        fast_diag = engine.diagnostic.state(obj, gname)
+        for c in registry_groups.get(gname).conditions:
+            if round(fast_diag.beliefs[c], 12) != round(legacy_mass.belief(c), 12):
+                raise MprosError(
+                    f"pdme fusion ablation mismatch: belief({obj}, {c}) "
+                    f"{fast_diag.beliefs[c]!r} != {legacy_mass.belief(c)!r}"
+                )
+    for (obj, cond), hist in legacy_state["prog"].items():
+        rebased = [
+            rr.prognostic.shifted(max(0.0, now - rr.timestamp)) for rr in hist
+        ]
+        want = conservative_envelope(rebased)
+        # Forces the lazy thunk: this is the live fast-path structure.
+        got = engine.prognostic.state(obj, cond, now).vector
+        if not (
+            np.allclose(got.times, want.times, atol=1e-9)
+            and np.allclose(got.probabilities, want.probabilities, atol=1e-9)
+        ):
+            raise MprosError(
+                f"pdme fusion ablation mismatch: prognosis({obj}, {cond})"
+            )
+    n = len(reports)
+    return {
+        "reports": n,
+        "machines": len({r.sensed_object_id for r in reports}),
+        "legacy": {**legacy_t, "reports_per_s": n / legacy_t["median_s"]},
+        "incremental": {**fast_t, "reports_per_s": n / fast_t["median_s"]},
+        "speedup": legacy_t["median_s"] / fast_t["median_s"],
+    }
+
+
+def _bench_oosm_ingest(registry, quick: bool) -> dict:
+    """Write-coalesced :meth:`ReportStore.ingest_batch` vs per-report
+    transactions, on a real (file-backed) database so per-commit fsync
+    cost is represented.  Log contents must be byte-identical (via the
+    canonical wire form) before the timing is accepted.
+    """
+    import os
+    import tempfile
+
+    from repro.oosm.persistence import ReportStore
+    from repro.protocol.canonical import canonical_json
+
+    reports, report_ids = _ingest_workload(quick)
+    reps = 2 if quick else 3
+    batch_size = 64
+
+    with tempfile.TemporaryDirectory(prefix="mpros-bench-") as tmp:
+        counter = [0]
+        canon: dict[str, str] = {}
+
+        def fresh_path() -> str:
+            counter[0] += 1
+            return os.path.join(tmp, f"log{counter[0]}.sqlite")
+
+        def run_scalar():
+            store = ReportStore(fresh_path())
+            for r, rid in zip(reports, report_ids):
+                store.ingest(r, rid)
+            canon["scalar"] = canonical_json(store.all_reports())
+            store.close()
+
+        def run_batched():
+            store = ReportStore(fresh_path())
+            for s in range(0, len(reports), batch_size):
+                store.ingest_batch(
+                    reports[s : s + batch_size], report_ids[s : s + batch_size]
+                )
+            canon["batched"] = canonical_json(store.all_reports())
+            store.close()
+
+        scalar_t = _timed(run_scalar, reps, registry, "oosm.ingest.scalar")
+        batched_t = _timed(run_batched, reps, registry, "oosm.ingest.batched")
+        if canon["scalar"] != canon["batched"]:
+            raise MprosError(
+                "oosm ingest ablation mismatch: batched log differs from scalar"
+            )
+    n = len(reports)
+    return {
+        "reports": n,
+        "batch_size": batch_size,
+        "scalar": {**scalar_t, "reports_per_s": n / scalar_t["median_s"]},
+        "batched": {**batched_t, "reports_per_s": n / batched_t["median_s"]},
+        "speedup": scalar_t["median_s"] / batched_t["median_s"],
+    }
+
+
+def _bench_kernel_dispatch(registry, quick: bool) -> dict:
+    """Calendar-queue event kernel vs the single-heap ablation.
+
+    A fleet-shaped timer workload (periodic heartbeats with staggered
+    phases, rescheduling on every fire) runs to the same horizon on
+    both schedulers; the dispatch traces must be identical before the
+    timing is accepted.
+    """
+    from repro.netsim.kernel import EventKernel
+    from repro.obs.registry import MetricsRegistry
+
+    n_timers, horizon = (2000, 240.0) if quick else (10000, 600.0)
+    reps = 2 if quick else 3
+    traces: dict[str, list] = {}
+
+    def run(scheduler: str):
+        def body():
+            kernel = EventKernel(scheduler=scheduler, metrics=MetricsRegistry())
+            trace: list[tuple[int, float]] = []
+
+            def make(idx: int, period: float):
+                def cb():
+                    trace.append((idx, kernel.now()))
+                    if kernel.now() + period <= horizon:
+                        kernel.schedule(period, cb)
+                return cb
+
+            for i in range(n_timers):
+                period = 30.0 + (i % 997) * 0.31
+                kernel.schedule(period * ((i % 13) + 1) / 13.0, make(i, period))
+            kernel.run_until(horizon)
+            traces[scheduler] = trace
+        return body
+
+    heap_t = _timed(run("heap"), reps, registry, "kernel.dispatch.heap")
+    calendar_t = _timed(run("calendar"), reps, registry, "kernel.dispatch.calendar")
+    if traces["heap"] != traces["calendar"]:
+        raise MprosError(
+            "kernel dispatch ablation mismatch: calendar trace differs from heap"
+        )
+    events = len(traces["heap"])
+    return {
+        "timers": n_timers,
+        "horizon_s": horizon,
+        "events": events,
+        "heap": {**heap_t, "events_per_s": events / heap_t["median_s"]},
+        "calendar": {**calendar_t, "events_per_s": events / calendar_t["median_s"]},
+        "speedup": heap_t["median_s"] / calendar_t["median_s"],
+    }
+
+
 def run_bench(quick: bool = False) -> dict:
     """Run every stage; returns the JSON-ready result document."""
     from repro.obs.registry import MetricsRegistry
@@ -357,12 +609,26 @@ def run_bench(quick: bool = False) -> dict:
         "sbfr": _bench_sbfr(registry, quick),
         "scan_pipeline": _bench_scan_pipeline(registry, quick),
         "fleet": _bench_fleet(registry, quick),
+        "pdme_fusion": _bench_pdme_fusion(registry, quick),
+        "oosm_ingest": _bench_oosm_ingest(registry, quick),
+        "kernel_dispatch": _bench_kernel_dispatch(registry, quick),
     }
+    # The headline fleet-scale claim: fused PDME intake plus durable
+    # OOSM logging over the *same* report stream, slow paths vs fast.
+    fusion = stages["pdme_fusion"]
+    store = stages["oosm_ingest"]
+    report_ingest_speedup = (
+        fusion["legacy"]["median_s"] + store["scalar"]["median_s"]
+    ) / (fusion["incremental"]["median_s"] + store["batched"]["median_s"])
     ratios = {
         "dsp_batch_speedup": stages["dsp"]["speedup"],
         "sbfr_bank_speedup": stages["sbfr"]["speedup"],
         "scan_batch_speedup": stages["scan_pipeline"]["speedup"],
         "fleet_batch_speedup": stages["fleet"]["batched_speedup"],
+        "pdme_fusion_speedup": fusion["speedup"],
+        "oosm_ingest_speedup": store["speedup"],
+        "kernel_dispatch_speedup": stages["kernel_dispatch"]["speedup"],
+        "report_ingest_speedup": report_ingest_speedup,
     }
     scan = stages["scan_pipeline"]["batched"]["analyses_per_s"]
     return {
@@ -395,6 +661,16 @@ def summarize(doc: dict) -> str:
         f"fleet          {s['fleet']['batched_speedup']:.2f}x batched, "
         f"{s['fleet']['parallel_speedup']:.2f}x parallel "
         f"({s['fleet']['reports']} reports, all modes identical)",
+        f"pdme fusion    {s['pdme_fusion']['speedup']:.2f}x incremental "
+        f"({s['pdme_fusion']['incremental']['reports_per_s']:.0f} reports/s, "
+        f"{s['pdme_fusion']['reports']} reports, ablations identical)",
+        f"oosm ingest    {s['oosm_ingest']['speedup']:.2f}x batched "
+        f"({s['oosm_ingest']['batched']['reports_per_s']:.0f} reports/s, "
+        f"log byte-identical)",
+        f"kernel         {s['kernel_dispatch']['speedup']:.2f}x calendar vs heap "
+        f"({s['kernel_dispatch']['events']} events, traces identical)",
+        f"report ingest  {doc['ratios']['report_ingest_speedup']:.2f}x end to end "
+        f"(fusion + durable log, same report stream)",
         f"vs pre-PR      {doc['pre_pr_reference']['scan_pipeline_speedup_vs_pre_pr']:.2f}x "
         f"scan-pipeline throughput (recorded baseline "
         f"{doc['pre_pr_reference']['scan_pipeline_analyses_per_s']} analyses/s)",

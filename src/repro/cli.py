@@ -312,7 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quick", action="store_true",
                    help="small geometry for CI smoke runs (< ~1 min)")
-    p.add_argument("--output", default="BENCH_pr3.json",
+    p.add_argument("--output", default="BENCH_pr5.json",
                    help="path of the JSON result document")
     p.set_defaults(func=_cmd_bench)
 

@@ -283,6 +283,86 @@ class ReportUplink:
             attempts += 1
         return attempts
 
+    def flush_batched(self, force: bool = False, max_batch: int = 64) -> int:
+        """Batched alternative to :meth:`flush`: all eligible reports
+        go up in one ``post_report_batch`` RPC per ``max_batch`` chunk.
+
+        Opt-in — nothing in the default wiring calls this, so existing
+        per-report traces are untouched.  Delivery semantics match
+        :meth:`flush`: per-report acks, per-report backoff on failure,
+        and the PDME's batch intake dedups by the same durable ids, so
+        OOSM state is byte-identical to per-report delivery.
+        """
+        if max_batch < 1:
+            raise NetworkError(f"max_batch must be >= 1, got {max_batch}")
+        now = self.clock.now()
+        eligible: list[int] = []
+        for key in self._queue:
+            if key in self._in_flight:
+                continue
+            if not force and self._next_retry.get(key, float("-inf")) > now:
+                self.stats.deferred += 1
+                self._m_deferred.inc()
+                continue
+            eligible.append(key)
+        for start in range(0, len(eligible), max_batch):
+            self._transmit_batch(eligible[start:start + max_batch])
+        return len(eligible)
+
+    def _transmit_batch(self, keys: list[int]) -> None:
+        payloads = []
+        for key in keys:
+            payload = encode_report(self._queue[key])
+            payload["report_id"] = self.report_id(key)
+            payloads.append(payload)
+            self._in_flight.add(key)
+            if key in self._ever_sent:
+                self.stats.retries += 1
+                self._m_retries.inc()
+            self._ever_sent.add(key)
+
+        def _failed(key: int) -> None:
+            # Keep queued; the next flush retries after backoff.
+            if key not in self._queue:
+                return
+            n = self._attempts.get(key, 0) + 1
+            self._attempts[key] = n
+            self._next_retry[key] = self.clock.now() + self.retry_delay(n)
+
+        def on_reply(result: dict, keys=keys) -> None:
+            results = result.get("results", [])
+            for i, key in enumerate(keys):
+                self._in_flight.discard(key)
+                res = results[i] if i < len(results) else None
+                if res is None:
+                    _failed(key)
+                    continue
+                if key not in self._queue:
+                    continue
+                submitted = self._submit_time.get(key)
+                if res.get("accepted", False):
+                    del self._queue[key]
+                    self.stats.delivered += 1
+                    self._m_delivered.inc()
+                    if submitted is not None:
+                        self._m_ack_latency.observe(self.clock.now() - submitted)
+                else:
+                    del self._queue[key]
+                    self.stats.rejected += 1
+                    self._m_rejected.inc()
+                self._forget(key)
+            self._sync_depth()
+
+        def on_error(exc: RpcError, keys=keys) -> None:
+            for key in keys:
+                self._in_flight.discard(key)
+                _failed(key)
+
+        self.endpoint.call(
+            self.pdme_name, "post_report_batch", {"reports": payloads},
+            on_reply=on_reply, on_error=on_error,
+        )
+
     # -- crash/restart recovery ------------------------------------------
     def crash(self) -> None:
         """Simulate process death: every *volatile* structure is wiped

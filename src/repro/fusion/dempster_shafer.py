@@ -10,6 +10,19 @@ The worked example from §5.3 — m1(A)=0.40 combined with m2(B∨C)=0.75 —
 yields m(A)≈14 %, m(B∨C)≈64 % and ≈21–22 % "assigned to unknown
 possibilities"; :func:`combine` reproduces it exactly (the paper's 22 %
 is 3/14 = 0.2142... rounded).
+
+Two representations live here:
+
+* :class:`MassFunction` — focal elements as frozensets.  Readable,
+  validating, and the *oracle* for every equivalence claim.
+* :class:`BitMass` over a :class:`BitFrame` — focal elements as integer
+  bitmasks.  Set intersection is ``&``, subset is ``(a & ~b) == 0``,
+  and :func:`combine_incremental` folds one new body of evidence into a
+  running fused state without touching the report history.  This is the
+  PDME fusion hot path at fleet scale; a bounded memoized combination
+  cache short-circuits repeated (state, evidence) pairs, which recur
+  whenever fleets of identical machines emit the same discrete belief
+  levels.
 """
 
 from __future__ import annotations
@@ -226,3 +239,228 @@ def from_simple_support(
     if not 0.0 <= belief <= 1.0:
         raise FusionError(f"belief must be in [0, 1], got {belief}")
     return MassFunction(frame, {hypothesis: belief} if belief > 0 else {})
+
+
+# -- integer-bitmask representation (the fleet-scale fast path) ---------------
+
+class BitFrame:
+    """A frame of discernment with each hypothesis assigned a bit.
+
+    Hypotheses are ordered deterministically (sorted by string form) so
+    the same frame always produces the same bit layout regardless of
+    construction order — bit-identical fused state across replays.
+    """
+
+    __slots__ = ("hypotheses", "full", "_bit")
+
+    def __init__(self, hypotheses: Iterable[Hypothesis]) -> None:
+        ordered = sorted(set(hypotheses), key=str)
+        if not ordered:
+            raise FusionError("frame of discernment must be non-empty")
+        self.hypotheses: tuple[Hypothesis, ...] = tuple(ordered)
+        self._bit: dict[Hypothesis, int] = {
+            h: 1 << i for i, h in enumerate(ordered)
+        }
+        #: The Θ mask: every hypothesis bit set.
+        self.full: int = (1 << len(ordered)) - 1
+
+    def __len__(self) -> int:
+        return len(self.hypotheses)
+
+    def __contains__(self, hypothesis: Hypothesis) -> bool:
+        return hypothesis in self._bit
+
+    def bit(self, hypothesis: Hypothesis) -> int:
+        """The single-bit mask of one hypothesis."""
+        try:
+            return self._bit[hypothesis]
+        except KeyError:
+            raise FusionError(
+                f"hypothesis {hypothesis!r} is outside the frame"
+            ) from None
+
+    def mask(self, key: Hypothesis | Iterable[Hypothesis]) -> int:
+        """Bitmask of a focal element (hypothesis or iterable of them)."""
+        if isinstance(key, (set, frozenset, tuple, list)):
+            out = 0
+            for h in key:
+                out |= self.bit(h)
+            if out == 0:
+                raise FusionError("empty focal element is not allowed (no mass on ∅)")
+            return out
+        return self.bit(key)
+
+    def unmask(self, mask: int) -> frozenset:
+        """The frozenset of hypotheses a bitmask stands for."""
+        return frozenset(
+            h for h, b in self._bit.items() if mask & b
+        )
+
+
+#: Memoized BitFrame per frozenset frame — groups are few and reused on
+#: every report, so frame construction happens once per logical group.
+_FRAME_CACHE: dict[frozenset, BitFrame] = {}
+
+
+def bit_frame(frame: Iterable[Hypothesis]) -> BitFrame:
+    """Get-or-create the shared :class:`BitFrame` for a frame."""
+    key = frozenset(frame)
+    cached = _FRAME_CACHE.get(key)
+    if cached is None:
+        cached = BitFrame(key)
+        _FRAME_CACHE[key] = cached
+    return cached
+
+
+class BitMass:
+    """A mass function with integer-bitmask focal elements.
+
+    Construction does *not* validate or normalize (the hot path builds
+    these from already-validated report fields); use
+    :meth:`from_mass_function` to convert a validated
+    :class:`MassFunction`.
+    """
+
+    __slots__ = ("frame", "masses", "conflict_k")
+
+    def __init__(
+        self, frame: BitFrame, masses: dict[int, float], conflict_k: float = 0.0
+    ) -> None:
+        self.frame = frame
+        #: Focal bitmask -> mass.
+        self.masses = masses
+        #: The Dempster conflict K of the combination that produced
+        #: this state (0.0 for fresh evidence).
+        self.conflict_k = conflict_k
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def simple_support(
+        cls, frame: BitFrame, hypothesis: Hypothesis | Iterable[Hypothesis], belief: float
+    ) -> "BitMass":
+        """One report asserting ``hypothesis``; the rest on Θ."""
+        if not 0.0 <= belief <= 1.0:
+            raise FusionError(f"belief must be in [0, 1], got {belief}")
+        mask = frame.mask(hypothesis)
+        if belief <= _EPS:
+            return cls(frame, {frame.full: 1.0})
+        if belief >= 1.0 - _EPS or mask == frame.full:
+            return cls(frame, {mask: 1.0} if mask != frame.full else {frame.full: 1.0})
+        return cls(frame, {mask: belief, frame.full: 1.0 - belief})
+
+    @classmethod
+    def from_mass_function(cls, m: MassFunction) -> "BitMass":
+        """Convert the frozenset oracle form to bitmasks."""
+        frame = bit_frame(m.frame)
+        masses: dict[int, float] = {}
+        for elem, v in m.focal_elements():
+            mask = frame.mask(elem)
+            masses[mask] = masses.get(mask, 0.0) + v
+        return cls(frame, masses)
+
+    def to_mass_function(self) -> MassFunction:
+        """Convert back to the validating frozenset form (the oracle)."""
+        return MassFunction(
+            frozenset(self.frame.hypotheses),
+            {self.frame.unmask(mask): v for mask, v in self.masses.items()},
+        )
+
+    # -- queries ----------------------------------------------------------
+    def mass(self, key: Hypothesis | Iterable[Hypothesis]) -> float:
+        """Mass assigned exactly to one focal element."""
+        return self.masses.get(self.frame.mask(key), 0.0)
+
+    def belief_mask(self, target: int) -> float:
+        """Bel over a bitmask: Σ m(Y) for Y ⊆ target."""
+        inv = ~target
+        return sum(v for e, v in self.masses.items() if not (e & inv))
+
+    def plausibility_mask(self, target: int) -> float:
+        """Pl over a bitmask: Σ m(Y) for Y ∩ target ≠ ∅."""
+        return sum(v for e, v in self.masses.items() if e & target)
+
+    def belief(self, key: Hypothesis | Iterable[Hypothesis]) -> float:
+        """Bel(X) by hypothesis (mirror of :meth:`MassFunction.belief`)."""
+        return self.belief_mask(self.frame.mask(key))
+
+    def plausibility(self, key: Hypothesis | Iterable[Hypothesis]) -> float:
+        """Pl(X) by hypothesis (mirror of the oracle form)."""
+        return self.plausibility_mask(self.frame.mask(key))
+
+    def unknown(self) -> float:
+        """Mass on Θ."""
+        return self.masses.get(self.frame.full, 0.0)
+
+    def total(self) -> float:
+        """Total mass (≈1; exposed for invariants)."""
+        return sum(self.masses.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{{{','.join(sorted(map(str, self.frame.unmask(e))))}}}:{v:.4f}"
+            for e, v in sorted(self.masses.items(), key=lambda kv: -kv[1])
+        )
+        return f"BitMass({parts})"
+
+
+#: Bounded memo for (state, evidence) -> fused state.  Keys are the
+#: exact (frame id, focal items) of both operands; hits occur whenever
+#: an identical evidence sequence recurs — e.g. fleets of identical
+#: machines reporting the same discrete belief levels.
+_COMBINE_CACHE: dict[tuple, BitMass] = {}
+_COMBINE_CACHE_MAX = 4096
+
+
+def _cache_key(m: BitMass) -> tuple:
+    return (id(m.frame), tuple(sorted(m.masses.items())))
+
+
+def combine_incremental(prior: BitMass | None, evidence: BitMass) -> BitMass:
+    """Fold one new body of evidence into a running fused state.
+
+    Dempster's rule on bitmask dicts; with ``prior=None`` the evidence
+    *is* the state.  The returned state carries the conflict K of this
+    combination in :attr:`BitMass.conflict_k`.  Results are memoized
+    (bounded) per (prior, evidence) value pair.
+
+    Raises :class:`FusionError` on frame mismatch or total conflict —
+    identical failure semantics to :func:`combine`.
+    """
+    if prior is None:
+        return evidence
+    if prior.frame is not evidence.frame:
+        raise FusionError("cannot combine mass functions over different frames")
+    key = (_cache_key(prior), _cache_key(evidence))
+    cached = _COMBINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    acc: dict[int, float] = {}
+    k = 0.0
+    for e1, v1 in prior.masses.items():
+        for e2, v2 in evidence.masses.items():
+            inter = e1 & e2
+            w = v1 * v2
+            if inter:
+                acc[inter] = acc.get(inter, 0.0) + w
+            else:
+                k += w
+    if k >= 1.0 - _EPS:
+        raise FusionError("total conflict (K=1): evidence is contradictory")
+    norm = 1.0 / (1.0 - k)
+    fused = BitMass(
+        prior.frame, {e: v * norm for e, v in acc.items()}, conflict_k=k
+    )
+    if len(_COMBINE_CACHE) >= _COMBINE_CACHE_MAX:
+        _COMBINE_CACHE.clear()
+    _COMBINE_CACHE[key] = fused
+    return fused
+
+
+def combine_incremental_many(masses: Iterable[BitMass]) -> BitMass:
+    """Fold :func:`combine_incremental` over a sequence."""
+    acc: BitMass | None = None
+    for m in masses:
+        acc = combine_incremental(acc, m)
+    if acc is None:
+        raise FusionError("combine_incremental_many needs at least one mass function")
+    return acc

@@ -9,6 +9,13 @@ logical group for that component.  It also updates the belief of
 State is kept per (sensed object, logical group): the Dempster-Shafer
 orthogonal sum of every report received so far, discounted by source
 believability where available.
+
+The running state lives in the bitmask representation
+(:class:`~repro.fusion.dempster_shafer.BitMass`) and is updated
+*incrementally* — one :func:`combine_incremental` per report, never a
+re-fold over report history.  The discounted evidence of every report
+is retained so :meth:`DiagnosticFusion.full_recompute` can replay the
+whole history through the frozenset oracle and certify the fast path.
 """
 
 from __future__ import annotations
@@ -18,7 +25,14 @@ from typing import Iterable
 
 from repro.common.errors import FusionError
 from repro.common.ids import ObjectId
-from repro.fusion.dempster_shafer import MassFunction, combine, conflict
+from repro.fusion.dempster_shafer import (
+    BitMass,
+    MassFunction,
+    bit_frame,
+    combine,
+    combine_incremental,
+    conflict,
+)
 from repro.fusion.groups import UNKNOWN, GroupRegistry, LogicalGroup
 from repro.protocol.report import FailurePredictionReport
 
@@ -108,10 +122,23 @@ class DiagnosticFusion:
     ) -> None:
         self._registry = registry
         self._believability = dict(believability or {})
-        self._state: dict[tuple[ObjectId, str], MassFunction] = {}
+        for source, alpha in self._believability.items():
+            if not 0.0 <= alpha <= 1.0:
+                raise FusionError(
+                    f"believability must be in [0, 1], got {alpha} for {source!r}"
+                )
+        self._state: dict[tuple[ObjectId, str], BitMass] = {}
         self._severity: dict[tuple[ObjectId, str], float] = {}
         self._counts: dict[tuple[ObjectId, str], int] = {}
         self._last_conflict: dict[tuple[ObjectId, str], float] = {}
+        #: Retained discounted evidence per key — the oracle's input.
+        self._history: dict[tuple[ObjectId, str], list[tuple[ObjectId, float]]] = {}
+        #: Snapshot memo, dropped per key on every ingest/reset.
+        self._snapshots: dict[tuple[ObjectId, str], FusedDiagnosis] = {}
+        #: Monotone revision counter gating the suspects cache.
+        self._revision = 0
+        self._suspects_rev = -1
+        self._suspects_all: list[tuple[ObjectId, ObjectId, float]] = []
 
     # -- intake ----------------------------------------------------------
     def ingest(self, report: FailurePredictionReport) -> FusedDiagnosis:
@@ -119,19 +146,21 @@ class DiagnosticFusion:
         group = self._registry.group_of(report.machine_condition_id)
         key = (report.sensed_object_id, group.name)
         alpha = self._believability.get(report.knowledge_source_id, 1.0)
-        evidence = discounted_support(
-            group, report.machine_condition_id, report.belief, alpha
+        frame = bit_frame(group.frame)
+        evidence = BitMass.simple_support(
+            frame, report.machine_condition_id, report.belief * alpha
         )
         prior = self._state.get(key)
-        if prior is None:
-            fused = evidence
-            self._last_conflict[key] = 0.0
-        else:
-            self._last_conflict[key] = conflict(prior, evidence)
-            fused = combine(prior, evidence)
+        fused = combine_incremental(prior, evidence)
+        self._last_conflict[key] = fused.conflict_k if prior is not None else 0.0
         self._state[key] = fused
         self._severity[key] = max(self._severity.get(key, 0.0), report.severity)
         self._counts[key] = self._counts.get(key, 0) + 1
+        self._history.setdefault(key, []).append(
+            (report.machine_condition_id, report.belief * alpha)
+        )
+        self._snapshots.pop(key, None)
+        self._revision += 1
         return self._snapshot(report.sensed_object_id, group)
 
     def ingest_many(
@@ -148,11 +177,14 @@ class DiagnosticFusion:
             beliefs = {c: 0.0 for c in group.conditions}
             plaus = {c: 1.0 for c in group.conditions}
             return FusedDiagnosis(obj, group.name, beliefs, plaus, 1.0, 0.0, 0)
+        cached = self._snapshots.get(key)
+        if cached is not None:
+            return cached
         beliefs = {c: mass.belief(c) for c in group.conditions}
         plaus = {c: mass.plausibility(c) for c in group.conditions}
         # "Unknown" per §5.6: explicit UNKNOWN support plus ignorance (Θ).
         unknown = mass.plausibility(UNKNOWN)
-        return FusedDiagnosis(
+        snap = FusedDiagnosis(
             obj,
             group.name,
             beliefs,
@@ -162,6 +194,8 @@ class DiagnosticFusion:
             self._counts.get(key, 0),
             self._last_conflict.get(key, 0.0),
         )
+        self._snapshots[key] = snap
+        return snap
 
     def _resolve_group(self, group_name: str) -> LogicalGroup:
         """Look up a registered group, reconstructing implicit
@@ -186,16 +220,61 @@ class DiagnosticFusion:
         """All (object, condition, belief) with fused belief ≥ threshold,
         strongest first — the raw material of the PDME's prioritized
         maintenance list.
+
+        The full sorted candidate list is memoized per fusion revision
+        (spatial correlation probes it once per ingested conclusion);
+        only the threshold filter runs per call.
         """
-        found: list[tuple[ObjectId, ObjectId, float]] = []
-        for (obj, gname), mass in self._state.items():
-            group = self._resolve_group(gname)
-            for c in group.conditions:
-                b = mass.belief(c)
-                if b >= threshold:
-                    found.append((obj, c, b))
-        found.sort(key=lambda t: -t[2])
-        return found
+        if self._suspects_rev != self._revision:
+            found: list[tuple[ObjectId, ObjectId, float]] = []
+            for (obj, gname), mass in self._state.items():
+                group = self._resolve_group(gname)
+                for c in group.conditions:
+                    found.append((obj, c, mass.belief(c)))
+            found.sort(key=lambda t: -t[2])
+            self._suspects_all = found
+            self._suspects_rev = self._revision
+        return [t for t in self._suspects_all if t[2] >= threshold]
+
+    # -- oracle ------------------------------------------------------------
+    def full_recompute(
+        self, sensed_object_id: ObjectId, group_name: str
+    ) -> FusedDiagnosis:
+        """Replay the retained report history through the frozenset
+        :class:`MassFunction` oracle and return the resulting state.
+
+        This is the reference against which the incremental bitmask
+        path is certified: for any (object, group) pair the snapshot
+        returned here must match :meth:`state` to within float
+        round-off (the property tests pin it to 1e-9).
+        """
+        group = self._resolve_group(group_name)
+        key = (sensed_object_id, group.name)
+        history = self._history.get(key)
+        if not history:
+            return self.state(sensed_object_id, group_name)
+        acc: MassFunction | None = None
+        last_k = 0.0
+        for condition, belief in history:
+            evidence = MassFunction(group.frame, {condition: belief})
+            if acc is None:
+                acc = evidence
+            else:
+                last_k = conflict(acc, evidence)
+                acc = combine(acc, evidence)
+        assert acc is not None
+        beliefs = {c: acc.belief(c) for c in group.conditions}
+        plaus = {c: acc.plausibility(c) for c in group.conditions}
+        return FusedDiagnosis(
+            sensed_object_id,
+            group.name,
+            beliefs,
+            plaus,
+            acc.plausibility(UNKNOWN),
+            self._severity.get(key, 0.0),
+            self._counts.get(key, 0),
+            last_k,
+        )
 
     def reset(self, sensed_object_id: ObjectId, group_name: str) -> None:
         """Forget fused state for an (object, group) pair (maintenance
@@ -204,3 +283,6 @@ class DiagnosticFusion:
         self._severity.pop((sensed_object_id, group_name), None)
         self._counts.pop((sensed_object_id, group_name), None)
         self._last_conflict.pop((sensed_object_id, group_name), None)
+        self._history.pop((sensed_object_id, group_name), None)
+        self._snapshots.pop((sensed_object_id, group_name), None)
+        self._revision += 1

@@ -126,6 +126,22 @@ class KnowledgeFusionEngine:
             self._sink(conclusion)
         return conclusion
 
+    def ingest_batch(
+        self, reports: list[FailurePredictionReport]
+    ) -> list[FusionConclusion]:
+        """Fuse a batch of reports in order; rejected ones are skipped.
+
+        Semantically identical to calling :meth:`ingest` per report —
+        the fused state is incremental either way — but gives callers
+        (the PDME executive's per-kernel-step drain) one call per batch.
+        """
+        out: list[FusionConclusion] = []
+        for report in reports:
+            conclusion = self.ingest(report)
+            if conclusion is not None:
+                out.append(conclusion)
+        return out
+
     # -- convenience queries ----------------------------------------------
     def suspects(self, threshold: float = 0.5):
         """Delegates to :meth:`DiagnosticFusion.suspects`."""

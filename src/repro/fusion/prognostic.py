@@ -24,8 +24,7 @@ Per-input reading, chosen to reproduce the paper's two §5.4 examples:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -121,20 +120,65 @@ def noisy_or_envelope(vectors: Iterable[PrognosticVector]) -> PrognosticVector:
     return PrognosticVector.from_pairs(pairs)
 
 
-@dataclass(frozen=True)
 class FusedPrognosis:
-    """Fused prognostic state for one (object, condition) pair."""
+    """Fused prognostic state for one (object, condition) pair.
 
-    sensed_object_id: ObjectId
-    machine_condition_id: ObjectId
-    vector: PrognosticVector
-    as_of: float
-    report_count: int
+    The fused ``vector`` is evaluated *lazily* on first access: the
+    envelope over the whole rebased report history is the PDME fusion
+    hot spot, and most conclusions flowing through the executive never
+    have their curve inspected (only the priority list and browser
+    pull it, on demand).  The snapshot is pinned at construction —
+    reports ingested later do not leak into an already-issued state.
+    """
+
+    __slots__ = (
+        "sensed_object_id",
+        "machine_condition_id",
+        "as_of",
+        "report_count",
+        "_vector",
+        "_thunk",
+    )
+
+    def __init__(
+        self,
+        sensed_object_id: ObjectId,
+        machine_condition_id: ObjectId,
+        vector: PrognosticVector | None = None,
+        as_of: float = 0.0,
+        report_count: int = 0,
+        *,
+        thunk: Callable[[], PrognosticVector] | None = None,
+    ) -> None:
+        self.sensed_object_id = sensed_object_id
+        self.machine_condition_id = machine_condition_id
+        self.as_of = as_of
+        self.report_count = report_count
+        if vector is None and thunk is None:
+            vector = PrognosticVector.empty()
+        self._vector = vector
+        self._thunk = thunk
+
+    @property
+    def vector(self) -> PrognosticVector:
+        """The fused curve (computed on first access, then pinned)."""
+        if self._vector is None:
+            assert self._thunk is not None
+            self._vector = self._thunk()
+            self._thunk = None
+        return self._vector
 
     def time_to_failure(self, probability: float = 0.5) -> float:
         """Estimated seconds until failure probability reaches the
         given level (the §3.3 "time to failure" estimate)."""
         return self.vector.time_to_probability(probability)
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedPrognosis({self.sensed_object_id!r}, "
+            f"{self.machine_condition_id!r}, as_of={self.as_of}, "
+            f"report_count={self.report_count})"
+        )
 
 
 class PrognosticFusion:
@@ -143,6 +187,15 @@ class PrognosticFusion:
     Every vector is re-based to the current fusion time before
     combination: a report issued at t0 claiming failure within Δ is,
     at time t1 > t0, a claim about Δ − (t1 − t0).
+
+    The conservative envelope is *not* associative (a single-point
+    report level-shifts the prevailing multi-point curve), so exact
+    incrementality is impossible without retaining reports.  Instead
+    the fusion keeps history and evaluates lazily: :meth:`state` hands
+    back a thunk over a pinned (history slice, now) and the computed
+    curve is memoized per pair until the next ingest changes the
+    history or the query time moves.  :meth:`full_recompute` bypasses
+    every cache — the oracle for the equivalence tests.
 
     Parameters
     ----------
@@ -154,6 +207,12 @@ class PrognosticFusion:
     def __init__(self, envelope=conservative_envelope) -> None:
         self._envelope = envelope
         self._reports: dict[tuple[ObjectId, ObjectId], list[FailurePredictionReport]] = {}
+        #: Per-pair memo: (report_count, now) -> fused vector.  Only
+        #: the latest entry is kept; fleets re-query the same (count,
+        #: now) snapshot many times between ingests.
+        self._vector_cache: dict[
+            tuple[ObjectId, ObjectId], tuple[tuple[int, float], PrognosticVector]
+        ] = {}
 
     def ingest(self, report: FailurePredictionReport, now: float | None = None) -> FusedPrognosis:
         """Fuse one prognostic report; returns the updated state.
@@ -166,14 +225,18 @@ class PrognosticFusion:
         self._reports.setdefault(key, []).append(report)
         return self.state(*key, now=now if now is not None else report.timestamp)
 
-    def state(
-        self, sensed_object_id: ObjectId, machine_condition_id: ObjectId, now: float
-    ) -> FusedPrognosis:
-        """Fused prognosis for an (object, condition) pair as of ``now``."""
-        key = (sensed_object_id, machine_condition_id)
-        reports = self._reports.get(key, [])
+    def _fused_vector(
+        self,
+        key: tuple[ObjectId, ObjectId],
+        reports: list[FailurePredictionReport],
+        count: int,
+        now: float,
+    ) -> PrognosticVector:
+        cached = self._vector_cache.get(key)
+        if cached is not None and cached[0] == (count, now):
+            return cached[1]
         rebased = []
-        for r in reports:
+        for r in reports[:count]:
             age = now - r.timestamp
             if age < 0:
                 # Future-stamped report (time-disordered input, §5.1):
@@ -181,7 +244,48 @@ class PrognosticFusion:
                 age = 0.0
             rebased.append(r.prognostic.shifted(age))
         fused = self._envelope(rebased) if rebased else PrognosticVector.empty()
-        return FusedPrognosis(sensed_object_id, machine_condition_id, fused, now, len(reports))
+        self._vector_cache[key] = ((count, now), fused)
+        return fused
+
+    def state(
+        self, sensed_object_id: ObjectId, machine_condition_id: ObjectId, now: float
+    ) -> FusedPrognosis:
+        """Fused prognosis for an (object, condition) pair as of ``now``."""
+        key = (sensed_object_id, machine_condition_id)
+        # Capture the list object itself: a later reset() unlinks it
+        # from the fusion but this snapshot keeps its pinned slice.
+        reports = self._reports.get(key)
+        if not reports:
+            return FusedPrognosis(
+                sensed_object_id, machine_condition_id, None, now, 0
+            )
+        count = len(reports)
+        return FusedPrognosis(
+            sensed_object_id,
+            machine_condition_id,
+            None,
+            now,
+            count,
+            thunk=lambda: self._fused_vector(key, reports, count, now),
+        )
+
+    def full_recompute(
+        self, sensed_object_id: ObjectId, machine_condition_id: ObjectId, now: float
+    ) -> FusedPrognosis:
+        """Recompute the fused state from the retained history with no
+        caching or laziness — the oracle for :meth:`state`."""
+        key = (sensed_object_id, machine_condition_id)
+        reports = self._reports.get(key, [])
+        rebased = []
+        for r in reports:
+            age = now - r.timestamp
+            if age < 0:
+                age = 0.0
+            rebased.append(r.prognostic.shifted(age))
+        fused = self._envelope(rebased) if rebased else PrognosticVector.empty()
+        return FusedPrognosis(
+            sensed_object_id, machine_condition_id, fused, now, len(reports)
+        )
 
     def conditions_for_object(self, sensed_object_id: ObjectId) -> list[ObjectId]:
         """Machine conditions with prognostic evidence on an object."""
@@ -190,3 +294,4 @@ class PrognosticFusion:
     def reset(self, sensed_object_id: ObjectId, machine_condition_id: ObjectId) -> None:
         """Forget prognostic history for a pair (after maintenance)."""
         self._reports.pop((sensed_object_id, machine_condition_id), None)
+        self._vector_cache.pop((sensed_object_id, machine_condition_id), None)

@@ -54,6 +54,13 @@ class EpisodeTracker:
     _episodes: list[Episode] = field(default_factory=list)
     _open_since: float | None = field(default=None)
     _last_time: float = field(default=float("-inf"))
+    # Episode-boundary revision: bumped whenever an episode opens or
+    # closes; gates the intervals/acceleration memos so the per-sample
+    # observe() stays O(1) and queries amortize to O(1) between
+    # boundary events.
+    _rev: int = field(default=0)
+    _iv_cache: tuple[int, np.ndarray] | None = field(default=None)
+    _accel_cache: tuple[int, float] | None = field(default=None)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.clear < self.onset <= 1.0:
@@ -68,9 +75,11 @@ class EpisodeTracker:
         self._last_time = time
         if self._open_since is None and belief >= self.onset:
             self._open_since = time
+            self._rev += 1
         elif self._open_since is not None and belief <= self.clear:
             self._episodes.append(Episode(self._open_since, time))
             self._open_since = None
+            self._rev += 1
 
     @property
     def episodes(self) -> list[Episode]:
@@ -84,10 +93,14 @@ class EpisodeTracker:
 
     def intervals(self) -> np.ndarray:
         """Start-to-start recurrence intervals between episodes."""
+        if self._iv_cache is not None and self._iv_cache[0] == self._rev:
+            return self._iv_cache[1]
         starts = [e.start for e in self._episodes]
         if self._open_since is not None:
             starts.append(self._open_since)
-        return np.diff(np.asarray(starts, dtype=np.float64))
+        iv = np.diff(np.asarray(starts, dtype=np.float64))
+        self._iv_cache = (self._rev, iv)
+        return iv
 
     def acceleration(self) -> float:
         """Per-recurrence shrink factor of the intervals.
@@ -96,11 +109,16 @@ class EpisodeTracker:
         < 1 means episodes recur ever faster (developing fault);
         1.0 means steady; needs >= 2 intervals, else returns 1.0.
         """
+        if self._accel_cache is not None and self._accel_cache[0] == self._rev:
+            return self._accel_cache[1]
         iv = self.intervals()
         if iv.size < 2 or np.any(iv <= 0):
-            return 1.0
-        ratios = iv[1:] / iv[:-1]
-        return float(np.exp(np.mean(np.log(ratios))))
+            accel = 1.0
+        else:
+            ratios = iv[1:] / iv[:-1]
+            accel = float(np.exp(np.mean(np.log(ratios))))
+        self._accel_cache = (self._rev, accel)
+        return accel
 
     def project(self, now: float, min_interval: float = 1.0) -> PrognosticVector:
         """Project the recurrence trend into a prognostic vector.

@@ -39,6 +39,11 @@ def export_jsonl(
     Returns the number of lines written.  Records carry ``t`` (the
     clock's simulated now) when a clock is given, so successive dumps
     interleave into a single orderable stream.
+
+    Histograms that have observed nothing are skipped: a fleet exports
+    one record per bucket-set per dump for months, and never-touched
+    instruments (idle subsystems, error-path latencies) would dominate
+    the flash budget with all-zero lines that merge to nothing.
     """
     t = clock.now() if clock is not None else None
 
@@ -57,6 +62,8 @@ def export_jsonl(
         }
         body = metric.snapshot()
         if isinstance(body, dict):
+            if body.get("count") == 0:
+                continue  # all-zero histogram: nothing to merge shore-side
             record.update(body)
         else:
             record["value"] = body

@@ -51,6 +51,30 @@ def _label_items(labels: dict[str, str]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+#: Validated bucket edges per histogram name.  A histogram name means
+#: the same distribution everywhere (one name, one meaning), so the
+#: float conversion + monotonicity check runs once per *name*, not once
+#: per series — per-label families and per-run registries (bench
+#: iterations, kernel ablations) re-use the cached tuple.
+_EDGE_CACHE: dict[str, tuple[float, ...]] = {}
+
+
+def _edges_for(name: str, edges: tuple[float, ...]) -> tuple[float, ...]:
+    """The validated, float-normalized edge tuple for ``name``."""
+    cached = _EDGE_CACHE.get(name)
+    if cached is not None and (cached is edges or cached == edges):
+        return cached
+    if len(edges) < 1:
+        raise ObservabilityError(f"histogram {name!r} needs at least one edge")
+    normalized = tuple(float(e) for e in edges)
+    if any(b <= a for a, b in zip(normalized, normalized[1:])):
+        raise ObservabilityError(
+            f"histogram {name!r} edges must be strictly increasing: {edges}"
+        )
+    _EDGE_CACHE[name] = normalized
+    return normalized
+
+
 def render_series(name: str, labels: LabelItems) -> str:
     """Render ``name{k=v,...}`` (labels sorted) — the snapshot key."""
     if not labels:
@@ -137,15 +161,9 @@ class Histogram:
     def __init__(
         self, name: str, edges: tuple[float, ...], labels: LabelItems = ()
     ) -> None:
-        if len(edges) < 1:
-            raise ObservabilityError(f"histogram {name!r} needs at least one edge")
-        if any(b <= a for a, b in zip(edges, edges[1:])):
-            raise ObservabilityError(
-                f"histogram {name!r} edges must be strictly increasing: {edges}"
-            )
         self.name = name
         self.labels = labels
-        self.edges = tuple(float(e) for e in edges)
+        self.edges = _edges_for(name, edges)
         self.counts = [0] * (len(edges) + 1)
         self.sum = 0.0
         self.count = 0
@@ -221,8 +239,9 @@ class MetricsRegistry:
         edges: tuple[float, ...] = DEFAULT_TIME_EDGES,
         **labels: str,
     ) -> Histogram:
-        metric = self._get_or_create(Histogram, name, labels, tuple(edges))
-        if metric.edges != tuple(float(e) for e in edges):
+        normalized = _edges_for(name, tuple(edges))
+        metric = self._get_or_create(Histogram, name, labels, normalized)
+        if metric.edges != normalized:
             raise ObservabilityError(
                 f"histogram {name!r} already registered with edges "
                 f"{metric.edges}, requested {tuple(edges)}"

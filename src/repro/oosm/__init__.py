@@ -15,10 +15,11 @@ from repro.oosm.events import (
     PropertyChanged,
     RelationshipAdded,
     RelationshipRemoved,
+    ReportBatchPosted,
     ReportPosted,
 )
 from repro.oosm.model import Entity, Relationship, ShipModel
-from repro.oosm.persistence import load_model, save_model
+from repro.oosm.persistence import ReportStore, load_model, save_model
 from repro.oosm.query import (
     downstream_of,
     parts_closure,
@@ -36,10 +37,12 @@ __all__ = [
     "PropertyChanged",
     "RelationshipAdded",
     "RelationshipRemoved",
+    "ReportBatchPosted",
     "ReportPosted",
     "Entity",
     "Relationship",
     "ShipModel",
+    "ReportStore",
     "load_model",
     "save_model",
     "downstream_of",

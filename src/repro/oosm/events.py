@@ -70,6 +70,19 @@ class ReportPosted:
     report: FailurePredictionReport
 
 
+@dataclass(frozen=True)
+class ReportBatchPosted:
+    """A batch of reports was delivered to the OOSM in one posting.
+
+    Published by :meth:`~repro.oosm.model.ShipModel.post_reports` when
+    a batch subscriber exists; carries the reports in posting order so
+    one batch delivery is semantically identical to that many
+    :class:`ReportPosted` deliveries.
+    """
+
+    reports: tuple[FailurePredictionReport, ...]
+
+
 Event = (
     PropertyChanged
     | RelationshipAdded
@@ -77,6 +90,7 @@ Event = (
     | EntityCreated
     | EntityDeleted
     | ReportPosted
+    | ReportBatchPosted
 )
 Handler = Callable[[Any], None]
 

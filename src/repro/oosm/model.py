@@ -31,6 +31,7 @@ from repro.oosm.events import (
     PropertyChanged,
     RelationshipAdded,
     RelationshipRemoved,
+    ReportBatchPosted,
     ReportPosted,
 )
 from repro.oosm.schema import TypeRegistry, default_types
@@ -283,6 +284,43 @@ class ShipModel:
             )
             self.relate(entity.id, "refers-to", report.sensed_object_id)
         self.bus.publish(ReportPosted(report))
+
+    def post_reports(self, reports: list[FailurePredictionReport]) -> None:
+        """Deliver a batch of reports to the OOSM in one posting.
+
+        Validation of every sensed object happens up front (all-or-
+        nothing: a bad report rejects the whole batch before anything
+        is retained).  If a :class:`ReportBatchPosted` subscriber
+        exists, one batch event is published; otherwise each report is
+        announced through :class:`ReportPosted` exactly as if posted
+        one at a time — subscribers see the same reports in the same
+        order either way.
+        """
+        for report in reports:
+            if report.sensed_object_id not in self._entities:
+                raise OosmError(
+                    f"report references unknown sensed object "
+                    f"{report.sensed_object_id!r}"
+                )
+        if not reports:
+            return
+        self._reports.extend(reports)
+        if self.materialize_reports:
+            for report in reports:
+                entity = self.create(
+                    "failure-prediction-report",
+                    knowledge_source_id=report.knowledge_source_id,
+                    machine_condition_id=report.machine_condition_id,
+                    severity=report.severity,
+                    belief=report.belief,
+                    timestamp=report.timestamp,
+                )
+                self.relate(entity.id, "refers-to", report.sensed_object_id)
+        if self.bus.handler_count(ReportBatchPosted) > 0:
+            self.bus.publish(ReportBatchPosted(tuple(reports)))
+        else:
+            for report in reports:
+                self.bus.publish(ReportPosted(report))
 
     def reports_for(self, sensed_object_id: ObjectId) -> list[FailurePredictionReport]:
         """All retained reports about one sensed object, oldest first."""

@@ -6,6 +6,13 @@ sqlite3: an entity table, a property helper table (one row per
 property), a relationship helper table and a report table.  As in the
 paper, persistence is "entirely managed in the background": callers use
 :func:`save_model` / :func:`load_model` and never see SQL.
+
+For fleet-scale report volume the full-rewrite :func:`save_model` path
+is the wrong shape; :class:`ReportStore` is the incremental append-only
+report log.  Its :meth:`ReportStore.ingest_batch` coalesces a whole
+batch into a single transaction (one ``executemany``, one commit) and
+performs the duplicate-id check against an index loaded once at open —
+not one query per report.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ from __future__ import annotations
 import json
 import sqlite3
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.common.errors import OosmError
 from repro.oosm.model import ShipModel
 from repro.oosm.schema import TypeRegistry
+from repro.protocol.report import FailurePredictionReport
 from repro.protocol.wire import decode_report, encode_report
 
 _SCHEMA = """
@@ -135,3 +144,113 @@ def load_model(path: str | Path) -> ShipModel:
         return model
     finally:
         conn.close()
+
+
+_REPORT_LOG_SCHEMA = """
+CREATE TABLE IF NOT EXISTS report_log (
+    seq       INTEGER PRIMARY KEY AUTOINCREMENT,
+    report_id TEXT UNIQUE,               -- NULL for id-less senders
+    payload   TEXT NOT NULL              -- JSON-encoded wire form
+);
+"""
+
+
+class ReportStore:
+    """Durable append-only report log with exactly-once semantics.
+
+    ``:memory:`` works for tests; any path yields a persistent log.
+    The known-id index is loaded once at open and maintained in memory
+    — duplicate checks never touch the database again.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(_REPORT_LOG_SCHEMA)
+        self._conn.commit()
+        self._seen_ids: set[str] = {
+            rid
+            for (rid,) in self._conn.execute(
+                "SELECT report_id FROM report_log WHERE report_id IS NOT NULL"
+            )
+        }
+
+    # -- writes ----------------------------------------------------------
+    def ingest(
+        self, report: FailurePredictionReport, report_id: str | None = None
+    ) -> bool:
+        """Append one report; returns False if its id was already seen.
+
+        One transaction per call — the scalar ablation for
+        :meth:`ingest_batch`.
+        """
+        if report_id is not None and report_id in self._seen_ids:
+            return False
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO report_log (report_id, payload) VALUES (?, ?)",
+                (report_id, json.dumps(encode_report(report))),
+            )
+        if report_id is not None:
+            self._seen_ids.add(report_id)
+        return True
+
+    def ingest_batch(
+        self,
+        reports: Sequence[FailurePredictionReport],
+        report_ids: Sequence[str | None] | None = None,
+    ) -> int:
+        """Append a batch of reports in one coalesced transaction.
+
+        Duplicate ids (previously stored or repeated within the batch)
+        are skipped.  Returns the number of reports actually written.
+        The log contents are byte-identical to calling :meth:`ingest`
+        once per report in the same order.
+        """
+        if report_ids is None:
+            report_ids = [None] * len(reports)
+        if len(report_ids) != len(reports):
+            raise OosmError(
+                f"got {len(reports)} reports but {len(report_ids)} report ids"
+            )
+        # Single dedup pass against the in-memory index, then one
+        # executemany inside one transaction: per-batch, not per-row.
+        rows: list[tuple[str | None, str]] = []
+        fresh_ids: set[str] = set()
+        for report, rid in zip(reports, report_ids):
+            if rid is not None and (rid in self._seen_ids or rid in fresh_ids):
+                continue
+            if rid is not None:
+                fresh_ids.add(rid)
+            rows.append((rid, json.dumps(encode_report(report))))
+        if rows:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO report_log (report_id, payload) VALUES (?, ?)",
+                    rows,
+                )
+            self._seen_ids |= fresh_ids
+        return len(rows)
+
+    # -- reads -----------------------------------------------------------
+    def all_reports(self) -> list[FailurePredictionReport]:
+        """Every stored report in append order."""
+        return [
+            decode_report(json.loads(payload))
+            for (payload,) in self._conn.execute(
+                "SELECT payload FROM report_log ORDER BY seq"
+            )
+        ]
+
+    def seen(self, report_id: str) -> bool:
+        """Was a report with this id already ingested?"""
+        return report_id in self._seen_ids
+
+    @property
+    def count(self) -> int:
+        """Number of stored reports."""
+        row = self._conn.execute("SELECT COUNT(*) FROM report_log").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._conn.close()

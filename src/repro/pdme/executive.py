@@ -22,7 +22,7 @@ from repro.fusion.groups import GroupRegistry, default_chiller_groups
 from repro.fusion.temporal import TemporalAnalyzer
 from repro.netsim.rpc import RpcEndpoint
 from repro.obs.registry import MetricsRegistry, default_registry
-from repro.oosm.events import ReportPosted
+from repro.oosm.events import ReportBatchPosted, ReportPosted
 from repro.oosm.model import ShipModel
 from repro.pdme.priorities import PriorityEntry, prioritize
 from repro.protocol.report import FailurePredictionReport
@@ -76,14 +76,22 @@ class PdmeExecutive:
         self.temporal = TemporalAnalyzer()
         # §5.1 steps 2-3: KF subscribes to OOSM "new data" events.
         model.bus.subscribe(ReportPosted, self._on_report_posted)
+        model.bus.subscribe(ReportBatchPosted, self._on_report_batch_posted)
 
     # -- intake -----------------------------------------------------------
     def submit(self, report: FailurePredictionReport) -> None:
         """Post one report into the OOSM (which triggers fusion)."""
         self.model.post_report(report)
 
+    def submit_batch(self, reports: list[FailurePredictionReport]) -> None:
+        """Post a batch of reports into the OOSM in one posting."""
+        self.model.post_reports(reports)
+
     def _on_report_posted(self, event: ReportPosted) -> None:
         self.engine.ingest(event.report)
+
+    def _on_report_batch_posted(self, event: ReportBatchPosted) -> None:
+        self.engine.ingest_batch(list(event.reports))
 
     def _on_conclusion(self, conclusion: FusionConclusion) -> None:
         self.conclusions.append(conclusion)
@@ -109,6 +117,7 @@ class PdmeExecutive:
     def serve_on(self, endpoint: RpcEndpoint) -> None:
         """Expose the reporting protocol on an RPC endpoint."""
         endpoint.register("post_report", self._rpc_post_report)
+        endpoint.register("post_report_batch", self._rpc_post_report_batch)
         endpoint.register("ping", lambda p: {"pdme": "ok"})
 
     def _rpc_post_report(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -150,6 +159,96 @@ class PdmeExecutive:
             return {"accepted": False, "error": str(exc)}
         self._m_accepted.inc()
         return {"accepted": True}
+
+    @staticmethod
+    def _fingerprint(report: FailurePredictionReport) -> int:
+        return hash((
+            report.knowledge_source_id,
+            report.sensed_object_id,
+            report.machine_condition_id,
+            report.timestamp,
+            report.severity,
+            report.belief,
+        ))
+
+    def _rpc_post_report_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Batched intake: one dedup pass and one OOSM posting per batch.
+
+        The per-report decisions (duplicate / refused / accepted) are
+        identical to ``post_report`` called once per entry in order —
+        including duplicates *within* the batch — but the dedup-index
+        lookups happen in a single pass and the accepted reports enter
+        the OOSM through one :meth:`submit_batch` posting, which fans
+        out to fusion as one batch.  Replies carry per-report results
+        aligned with the request order.
+        """
+        entries = payload.get("reports")
+        if not isinstance(entries, list):
+            self._m_refused.inc()
+            return {"accepted": False, "error": "reports must be a list"}
+        results: list[dict[str, Any]] = []
+        accept: list[FailurePredictionReport] = []
+        accept_ids: list[str | None] = []
+        accept_fps: list[int] = []
+        batch_ids: set[str] = set()
+        batch_fps: set[int] = set()
+        for entry in entries:
+            if not isinstance(entry, dict):
+                self._m_refused.inc()
+                results.append({"accepted": False, "error": "report must be a mapping"})
+                continue
+            rid = entry.get("report_id")
+            rid = rid if isinstance(rid, str) and rid else None
+            if rid is not None and (
+                rid in self._seen_report_ids or rid in batch_ids
+            ):
+                self.duplicates_dropped += 1
+                self._m_duplicates.inc()
+                results.append({"accepted": True, "duplicate": True})
+                continue
+            try:
+                report = decode_report(entry)
+                fingerprint = self._fingerprint(report)
+                if rid is None and (
+                    fingerprint in self._seen_fingerprints
+                    or fingerprint in batch_fps
+                ):
+                    self.duplicates_dropped += 1
+                    self._m_duplicates.inc()
+                    results.append({"accepted": True, "duplicate": True})
+                    continue
+                # Mirror post_report's refusal point: an unknown sensed
+                # object rejects this report, not the whole batch.
+                if report.sensed_object_id not in self.model:
+                    raise ProtocolError(
+                        f"report references unknown sensed object "
+                        f"{report.sensed_object_id!r}"
+                    )
+            except (ProtocolError, MprosError) as exc:
+                self.intake_errors.append(str(exc))
+                self._m_refused.inc()
+                results.append({"accepted": False, "error": str(exc)})
+                continue
+            if rid is not None:
+                batch_ids.add(rid)
+            else:
+                batch_fps.add(fingerprint)
+            accept.append(report)
+            accept_ids.append(rid)
+            accept_fps.append(fingerprint)
+            results.append({"accepted": True})
+        if accept:
+            self.submit_batch(accept)
+            for rid, fingerprint in zip(accept_ids, accept_fps):
+                self._seen_fingerprints.add(fingerprint)
+                if rid is not None:
+                    self._seen_report_ids.add(rid)
+            self._m_accepted.inc(len(accept))
+        return {
+            "accepted": True,
+            "results": results,
+            "accepted_count": len(accept),
+        }
 
     # -- queries -------------------------------------------------------------
     def priorities(self, now: float | None = None) -> list[PriorityEntry]:

@@ -72,6 +72,32 @@ def test_stage_missing_from_result_still_fails(tmp_path, capsys):
     assert "missing" in capsys.readouterr().out
 
 
+def test_evaluate_is_pure_and_tolerance_bounded():
+    gate = load_gate()
+    # Exactly at the floor (baseline * tolerance) passes; a hair under fails.
+    at_floor = gate.evaluate({"a": 0.8}, {"a": 1.0}, tolerance=0.8)
+    assert at_floor.passed and not at_floor.warnings
+    under = gate.evaluate({"a": 0.7999}, {"a": 1.0}, tolerance=0.8)
+    assert not under.passed
+    assert "a:" in under.failures[0]
+
+
+def test_evaluate_separates_warnings_from_failures():
+    gate = load_gate()
+    report = gate.evaluate({"new": 5.0}, {"gated": 2.0})
+    # The ungated stage warns; the unmeasured gated stage fails.
+    assert any("new" in w for w in report.warnings)
+    assert any("gated" in f for f in report.failures)
+    assert not report.passed
+
+
+def test_evaluate_empty_inputs_pass():
+    gate = load_gate()
+    report = gate.evaluate({}, {})
+    assert report.passed
+    assert report.lines == [] and report.warnings == []
+
+
 def test_committed_baseline_matches_bench_stages(tmp_path, capsys):
     # The real baseline file gates a result shaped like `mpros bench`
     # output: every committed key verifies against itself cleanly.
