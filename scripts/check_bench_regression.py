@@ -14,7 +14,10 @@ A ratio measured by the benchmark but absent from the baseline is *not*
 a regression — it is a new stage awaiting a baseline entry; the gate
 warns (naming the key) and stays green.  A baseline entry missing from
 the result is a failure: a gated stage silently disappearing from the
-bench is exactly what the gate exists to catch.
+bench is exactly what the gate exists to catch — unless the baseline
+lists the name under ``"optional"``, which marks stages newer than some
+result documents still in circulation (the gate warns instead, so a
+pre-PR bench result stays checkable against the current baseline).
 """
 
 from __future__ import annotations
@@ -44,12 +47,15 @@ def evaluate(
     ratios: dict[str, float],
     floors: dict[str, float],
     tolerance: float = TOLERANCE,
+    optional: tuple[str, ...] = (),
 ) -> GateReport:
     """Pure gate logic: compare measured ``ratios`` to baseline ``floors``.
 
     Per gated name the effective floor is ``baseline * tolerance``.
     Ungated measured ratios produce warnings; gated-but-unmeasured
-    ratios produce failures.
+    ratios produce failures — except names listed in ``optional``,
+    which only warn when missing (for result documents predating the
+    stage).
     """
     report = GateReport()
     for name in sorted(set(ratios) - set(floors)):
@@ -60,7 +66,13 @@ def evaluate(
     for name, floor in floors.items():
         measured = ratios.get(name)
         if measured is None:
-            report.failures.append(f"{name}: missing from bench result")
+            if name in optional:
+                report.warnings.append(
+                    f"optional stage {name!r} missing from bench result; "
+                    f"skipping (result predates the stage?)"
+                )
+            else:
+                report.failures.append(f"{name}: missing from bench result")
             continue
         limit = floor * tolerance
         verdict = "ok" if measured >= limit else "REGRESSION"
@@ -82,7 +94,11 @@ def check(result_path: str, baseline_path: str) -> int:
     with open(baseline_path, encoding="utf-8") as fp:
         baseline = json.load(fp)
 
-    report = evaluate(result.get("ratios", {}), baseline.get("ratios", {}))
+    report = evaluate(
+        result.get("ratios", {}),
+        baseline.get("ratios", {}),
+        optional=tuple(baseline.get("optional", [])),
+    )
     for warning in report.warnings:
         print(f"warning: {warning}")
     for line in report.lines:

@@ -10,7 +10,12 @@ vectors.
 from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
 from repro.algorithms.fuzzy.inference import FuzzyRule, MamdaniEngine
 from repro.algorithms.fuzzy.prognosis import trend_prognostic
-from repro.algorithms.fuzzy.rules import chiller_rulebase, chiller_variables
+from repro.algorithms.fuzzy.rules import (
+    chiller_rulebase,
+    chiller_variables,
+    turbine_rulebase,
+    turbine_variables,
+)
 from repro.algorithms.fuzzy.sets import (
     Gaussian,
     LinguisticVariable,
@@ -25,6 +30,8 @@ __all__ = [
     "trend_prognostic",
     "chiller_rulebase",
     "chiller_variables",
+    "turbine_rulebase",
+    "turbine_variables",
     "Gaussian",
     "LinguisticVariable",
     "Trapezoid",

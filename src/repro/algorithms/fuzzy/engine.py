@@ -9,7 +9,12 @@ import numpy as np
 from repro.algorithms.base import SourceContext
 from repro.algorithms.fuzzy.inference import FuzzyRule, MamdaniEngine
 from repro.algorithms.fuzzy.prognosis import trend_prognostic
-from repro.algorithms.fuzzy.rules import chiller_rulebase, chiller_variables
+from repro.algorithms.fuzzy.rules import (
+    chiller_rulebase,
+    chiller_variables,
+    turbine_rulebase,
+    turbine_variables,
+)
 from repro.common.ids import ObjectId
 from repro.protocol.prognostic import PrognosticVector
 from repro.protocol.report import FailurePredictionReport
@@ -53,6 +58,13 @@ class FuzzyDiagnostics:
                 masd = float(np.median(np.abs(np.diff(y))))
                 readings["cond_pressure_std"] = masd / 1.349  # MAD->sigma
         return readings
+
+    @classmethod
+    def for_turbine(cls, **kwargs) -> "FuzzyDiagnostics":
+        """The fuzzy suite wired for the gas-turbine (CODLAG) domain."""
+        return cls(
+            engine=MamdaniEngine(turbine_variables(), turbine_rulebase()), **kwargs
+        )
 
     def analyze(self, ctx: SourceContext) -> list[FailurePredictionReport]:
         """Infer on the current process snapshot; returns §7 reports

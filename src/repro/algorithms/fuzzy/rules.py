@@ -1,8 +1,10 @@
-"""The chiller process rulebase.
+"""Process rulebases: chiller and gas-turbine.
 
-Linguistic variables over the DC's process channels (nominal values
-from :data:`repro.plant.chiller.NOMINALS`) and the Mamdani rules tying
-symptom patterns to the process-visible FMEA failure modes.
+Linguistic variables over a DC's process channels (nominal values from
+:data:`repro.plant.chiller.NOMINALS` /
+:data:`repro.plant.turbine.TURBINE_NOMINALS`) and the Mamdani rules
+tying symptom patterns to the process-visible FMEA failure modes of
+each plant domain.
 """
 
 from __future__ import annotations
@@ -127,5 +129,131 @@ def chiller_rulebase() -> tuple[FuzzyRule, ...]:
             (("cond_pressure_std", "oscillating"),),
             "mc:surge",
             "severe",
+        ),
+    )
+
+
+def turbine_variables() -> dict[str, LinguisticVariable]:
+    """Linguistic terms for the gas-turbine (CODLAG) process channels.
+
+    Membership supports straddle the healthy 0.9-load operating point
+    of :data:`repro.plant.turbine.TURBINE_NOMINALS` on one side and the
+    fully developed fault signatures on the other, so each gas-path
+    decay mode lands in a distinct symptom cell.
+    """
+    v: dict[str, LinguisticVariable] = {}
+    v["egt_c"] = LinguisticVariable(
+        "egt_c",
+        {
+            "normal": Trapezoid(420.0, 480.0, 585.0, 605.0),
+            "high": Trapezoid(590.0, 610.0, 640.0, 665.0),
+            "very_high": Trapezoid(645.0, 670.0, 900.0, 900.0),
+        },
+    )
+    v["compressor_discharge_kpa"] = LinguisticVariable(
+        "compressor_discharge_kpa",
+        {
+            "low": Trapezoid(300.0, 300.0, 880.0, 920.0),
+            "normal": Trapezoid(900.0, 935.0, 1010.0, 1060.0),
+        },
+    )
+    v["fuel_flow_kg_s"] = LinguisticVariable(
+        "fuel_flow_kg_s",
+        {
+            "normal": Trapezoid(0.2, 0.4, 1.10, 1.16),
+            "high": Trapezoid(1.14, 1.20, 2.0, 2.0),
+        },
+    )
+    v["shaft_torque_knm"] = LinguisticVariable(
+        "shaft_torque_knm",
+        {
+            "low": Trapezoid(0.0, 0.0, 106.0, 112.0),
+            "normal": Trapezoid(110.0, 114.0, 125.0, 129.0),
+            "high": Trapezoid(126.0, 130.0, 300.0, 300.0),
+        },
+    )
+    v["lube_oil_pressure_kpa"] = LinguisticVariable(
+        "lube_oil_pressure_kpa",
+        {
+            "low": Trapezoid(0.0, 0.0, 230.0, 270.0),
+            "normal": Trapezoid(260.0, 290.0, 360.0, 390.0),
+        },
+    )
+    v["lube_oil_temp_c"] = LinguisticVariable(
+        "lube_oil_temp_c",
+        {
+            "normal": Trapezoid(50.0, 56.0, 72.0, 76.0),
+            "high": Trapezoid(74.0, 79.0, 120.0, 120.0),
+        },
+    )
+    v["thrust_brg_temp_c"] = LinguisticVariable(
+        "thrust_brg_temp_c",
+        {
+            "normal": Trapezoid(55.0, 62.0, 79.0, 83.0),
+            "high": Trapezoid(81.0, 85.0, 130.0, 130.0),
+        },
+    )
+    return v
+
+
+def turbine_rulebase() -> tuple[FuzzyRule, ...]:
+    """Gas-path symptom patterns → turbine failure modes.
+
+    The discriminating couplings: fouling is the only mode that drops
+    compressor discharge; metering drift over-fuels at *normal*
+    discharge; blade erosion runs the hot section hottest while torque
+    sags.  Thrust-bearing temperature corroborates the
+    vibration-primary bearing wear from the process side.
+    """
+    return (
+        # Compressor fouling: discharge sags while EGT and fuel climb.
+        FuzzyRule(
+            (("compressor_discharge_kpa", "low"), ("egt_c", "high")),
+            "mc:compressor-fouling",
+            "severe",
+        ),
+        FuzzyRule(
+            (("compressor_discharge_kpa", "low"), ("fuel_flow_kg_s", "high")),
+            "mc:compressor-fouling",
+            "moderate",
+        ),
+        # Fuel-metering drift: over-fuelling at healthy discharge.
+        FuzzyRule(
+            (("fuel_flow_kg_s", "high"), ("compressor_discharge_kpa", "normal")),
+            "mc:fuel-metering-drift",
+            "moderate",
+        ),
+        FuzzyRule(
+            (("fuel_flow_kg_s", "high"), ("shaft_torque_knm", "high")),
+            "mc:fuel-metering-drift",
+            "severe",
+        ),
+        # Turbine blade erosion: hot section hottest, torque sagging.
+        FuzzyRule(
+            (("egt_c", "very_high"),),
+            "mc:turbine-blade-erosion",
+            "severe",
+        ),
+        FuzzyRule(
+            (("egt_c", "high"), ("shaft_torque_knm", "low")),
+            "mc:turbine-blade-erosion",
+            "moderate",
+        ),
+        # Lube system.
+        FuzzyRule(
+            (("lube_oil_pressure_kpa", "low"),),
+            "mc:oil-pressure-low",
+            "severe",
+        ),
+        FuzzyRule(
+            (("lube_oil_temp_c", "high"), ("lube_oil_pressure_kpa", "normal")),
+            "mc:oil-contamination",
+            "moderate",
+        ),
+        # Thrust-bearing heat: process-side corroboration of wear.
+        FuzzyRule(
+            (("thrust_brg_temp_c", "high"),),
+            "mc:bearing-wear",
+            "moderate",
         ),
     )

@@ -68,6 +68,28 @@ def default_chiller_watches() -> tuple[SbfrWatch, ...]:
     )
 
 
+def default_turbine_watches() -> tuple[SbfrWatch, ...]:
+    """Trend watches on the gas-turbine (CODLAG) process channels.
+
+    Thresholds sit between the healthy 0.9-load operating point
+    (:data:`repro.plant.turbine.TURBINE_NOMINALS`) and the fully
+    developed fault signature, with at least ~5 sigma of sensor-noise
+    margin on either side so the layered hold/repeat machines trend
+    real excursions, not noise.
+    """
+    return (
+        SbfrWatch("egt_c", 640.0, "mc:turbine-blade-erosion"),
+        SbfrWatch(
+            "compressor_discharge_kpa", 890.0, "mc:compressor-fouling", invert=True
+        ),
+        SbfrWatch("fuel_flow_kg_s", 1.22, "mc:fuel-metering-drift"),
+        SbfrWatch(
+            "lube_oil_pressure_kpa", 240.0, "mc:oil-pressure-low", invert=True
+        ),
+        SbfrWatch("lube_oil_temp_c", 78.0, "mc:oil-contamination"),
+    )
+
+
 class SbfrKnowledgeSource:
     """State-based feature recognition over process snapshots.
 

@@ -599,6 +599,61 @@ def _bench_kernel_dispatch(registry, quick: bool) -> dict:
     }
 
 
+def _bench_scoring(registry, quick: bool) -> dict:
+    """Vectorized bootstrap CI vs the per-resample Python loop.
+
+    The scoring harness bootstraps every scorecard aggregate; both
+    implementations consume the same index stream from the same seed,
+    so the resulting intervals must agree to 12 decimals before the
+    timing is accepted.
+    """
+    from repro.common.rng import make_rng
+    from repro.validation.scoring import (
+        CostModel,
+        bootstrap_ci,
+        bootstrap_ci_loop,
+        maintenance_cost,
+    )
+
+    n_values, n_resamples = (48, 500) if quick else (96, 2000)
+    reps = 3 if quick else 5
+    model = CostModel()
+    grid = np.linspace(-600.0, 3600.0, n_values)
+    costs = [maintenance_cost(float(lead), model) for lead in grid]
+
+    results: dict[str, tuple[float, float]] = {}
+
+    def run_loop():
+        results["loop"] = bootstrap_ci_loop(
+            costs, make_rng(3), n_resamples=n_resamples
+        )
+
+    def run_vectorized():
+        results["vectorized"] = bootstrap_ci(
+            costs, make_rng(3), n_resamples=n_resamples
+        )
+
+    loop_t = _timed(run_loop, reps, registry, "score.bootstrap.loop")
+    vec_t = _timed(run_vectorized, reps, registry, "score.bootstrap.vectorized")
+    want = tuple(round(x, 12) for x in results["loop"])
+    got = tuple(round(x, 12) for x in results["vectorized"])
+    if want != got:
+        raise MprosError(
+            f"scoring bootstrap ablation mismatch: loop {want} != vectorized {got}"
+        )
+    return {
+        "values": n_values,
+        "resamples": n_resamples,
+        "ci": list(got),
+        "loop": {**loop_t, "resamples_per_s": n_resamples / loop_t["median_s"]},
+        "vectorized": {
+            **vec_t,
+            "resamples_per_s": n_resamples / vec_t["median_s"],
+        },
+        "speedup": loop_t["median_s"] / vec_t["median_s"],
+    }
+
+
 def run_bench(quick: bool = False) -> dict:
     """Run every stage; returns the JSON-ready result document."""
     from repro.obs.registry import MetricsRegistry
@@ -612,6 +667,7 @@ def run_bench(quick: bool = False) -> dict:
         "pdme_fusion": _bench_pdme_fusion(registry, quick),
         "oosm_ingest": _bench_oosm_ingest(registry, quick),
         "kernel_dispatch": _bench_kernel_dispatch(registry, quick),
+        "scoring": _bench_scoring(registry, quick),
     }
     # The headline fleet-scale claim: fused PDME intake plus durable
     # OOSM logging over the *same* report stream, slow paths vs fast.
@@ -629,6 +685,7 @@ def run_bench(quick: bool = False) -> dict:
         "oosm_ingest_speedup": store["speedup"],
         "kernel_dispatch_speedup": stages["kernel_dispatch"]["speedup"],
         "report_ingest_speedup": report_ingest_speedup,
+        "score_bootstrap_speedup": stages["scoring"]["speedup"],
     }
     scan = stages["scan_pipeline"]["batched"]["analyses_per_s"]
     return {
@@ -669,6 +726,8 @@ def summarize(doc: dict) -> str:
         f"log byte-identical)",
         f"kernel         {s['kernel_dispatch']['speedup']:.2f}x calendar vs heap "
         f"({s['kernel_dispatch']['events']} events, traces identical)",
+        f"scoring        {s['scoring']['speedup']:.2f}x vectorized bootstrap "
+        f"({s['scoring']['resamples']} resamples, CIs identical)",
         f"report ingest  {doc['ratios']['report_ingest_speedup']:.2f}x end to end "
         f"(fusion + durable log, same report stream)",
         f"vs pre-PR      {doc['pre_pr_reference']['scan_pipeline_speedup_vs_pre_pr']:.2f}x "

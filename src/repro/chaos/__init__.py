@@ -23,6 +23,7 @@ from repro.chaos.scenario import (
     ChaosAction,
     ChaosScenario,
     canonical_scenario,
+    turbine_scenario,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "ResilienceReport",
     "canonical_scenario",
     "run_scenario",
+    "turbine_scenario",
 ]

@@ -202,7 +202,7 @@ class ChaosEngine:
             kind = FaultKind(raw)
         except ValueError:
             kind = FaultKind[raw.upper().replace("-", "_")]
-        machine = self.system.units[action.dc_index].motor
+        machine = self.system.units[action.dc_index].primary
         self.system.inject_fault(
             machine,
             seeded(
@@ -373,6 +373,7 @@ def run_scenario(
     scenario = scenario if scenario is not None else canonical_scenario()
     if n_chillers is None:
         n_chillers = max(2, scenario.max_dc_index() + 1)
+    build_kwargs.setdefault("plant", scenario.plant)
     system = build_mpros_system(
         n_chillers=n_chillers, seed=scenario.seed, **build_kwargs
     )

@@ -80,10 +80,14 @@ class ChaosScenario:
     actions: tuple[ChaosAction, ...]
     seed: int = 0
     description: str = ""
+    #: Plant domain the drill runs against ("chiller" or "turbine").
+    plant: str = "chiller"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise MprosError("scenario needs a name")
+        if self.plant not in ("chiller", "turbine"):
+            raise MprosError(f"unknown scenario plant {self.plant!r}")
         if self.duration <= 0:
             raise MprosError(f"scenario duration must be positive, got {self.duration}")
         object.__setattr__(self, "actions", tuple(self.actions))
@@ -148,5 +152,57 @@ def canonical_scenario(seed: int = 7) -> ChaosScenario:
             # return (4 ms round trip) — the crash eats the acks.
             ChaosAction(at=1200.003, kind="crash", dc_index=1, duration=600.0),
             ChaosAction(at=2400.0, kind="partition", dc_index=0, duration=600.0),
+        ),
+    )
+
+
+def turbine_scenario(seed: int = 11) -> ChaosScenario:
+    """The gas-turbine (CODLAG) survivability drill.
+
+    The same three shipboard failure classes as :func:`canonical_scenario`,
+    replayed against the turbine plant so the domain swap (turbine
+    simulator, fuzzy rulebase, SBFR watch set) is exercised under
+    structural abuse rather than only on the happy path:
+
+    * gas-path degradations seeded at t=0 on both trains (compressor
+      fouling on DC 0, blade erosion on DC 1) keep §7 report traffic
+      flowing for the whole hour,
+    * a stuck accelerometer on DC 0 (t+5 min, 15 min) must drive the
+      quarantine into degraded-mode reporting — fouling is
+      process-visible, so reports keep flowing with ``degraded=True``,
+    * a clock-hold on DC 0 (t+25 min, 10 min) freezes its schedules; the
+      PDME's liveness view must mark it down and recover,
+    * DC 1 crashes at t+30 min, 3 ms after its vibration-test reports
+      went on the wire (acks eaten), and restarts 10 minutes later —
+      the persisted-backlog replay / PDME dedup exactly-once case.
+
+    One hour total; the bar is the same conservation law as the
+    canonical drill: zero lost, zero duplicated, nothing shed, every
+    breaker closed.
+    """
+    return ChaosScenario(
+        name="turbine",
+        seed=seed,
+        duration=3600.0,
+        plant="turbine",
+        description="CODLAG drill: stuck sensor + clock-hold + crash/restart",
+        actions=(
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=0,
+                params={"fault": "mc:compressor-fouling", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=1,
+                params={"fault": "mc:turbine-blade-erosion", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=300.0, kind="sensor_stuck", dc_index=0, duration=900.0,
+                params={"channel": 0, "level": 6.0},
+            ),
+            ChaosAction(at=1500.0, kind="clock_hold", dc_index=0, duration=600.0),
+            # 1800.003: after the t=1800 vibration test's report frames
+            # are delivered but before the acks return — the crash eats
+            # the acks, forcing a backlog replay on restart.
+            ChaosAction(at=1800.003, kind="crash", dc_index=1, duration=600.0),
         ),
     )

@@ -15,6 +15,8 @@ Examples
     mpros metrics --hours 1 --fault mc:motor-imbalance
     mpros list-faults
     mpros chaos --seed 7
+    mpros chaos --scenario turbine --seed 11
+    mpros score --all-scenarios --quick
 """
 
 from __future__ import annotations
@@ -151,13 +153,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     duplicated reports, shedding, or a breaker stuck open), so CI can
     gate on it directly.
     """
-    from repro.chaos import canonical_scenario, run_scenario
+    from repro.chaos import canonical_scenario, run_scenario, turbine_scenario
     from repro.obs.registry import use_registry
 
-    if args.scenario != "canonical":
-        print(f"unknown scenario {args.scenario!r}; know: canonical", file=sys.stderr)
+    factories = {"canonical": canonical_scenario, "turbine": turbine_scenario}
+    if args.scenario not in factories:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"know: {', '.join(sorted(factories))}", file=sys.stderr)
         return 2
-    scenario = canonical_scenario(seed=args.seed)
+    scenario = factories[args.scenario](seed=args.seed)
     with use_registry():
         report = run_scenario(scenario, n_chillers=args.chillers or None)
     print(report.summary())
@@ -202,13 +206,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                       f"{len(channels)} channel(s): "
                       f"{'OK' if not rep.errors else 'FAIL'}")
                 reports.append(rep)
-            source = SbfrKnowledgeSource()
-            specs = source.deployed_specs()
-            rep = verify_set(specs, n_channels=len(source.channel_names()))
-            print(f"deployment 'dc-default': {len(specs)} machine(s), "
-                  f"{len(source.channel_names())} channel(s): "
-                  f"{'OK' if not rep.errors else 'FAIL'}")
-            reports.append(rep)
+            from repro.algorithms.sbfr_source import default_turbine_watches
+
+            for dep_name, source in (
+                ("dc-default", SbfrKnowledgeSource()),
+                ("dc-turbine",
+                 SbfrKnowledgeSource(watches=default_turbine_watches())),
+            ):
+                specs = source.deployed_specs()
+                rep = verify_set(specs, n_channels=len(source.channel_names()))
+                print(f"deployment {dep_name!r}: {len(specs)} machine(s), "
+                      f"{len(source.channel_names())} channel(s): "
+                      f"{'OK' if not rep.errors else 'FAIL'}")
+                reports.append(rep)
         for path in args.machine or []:
             try:
                 with open(path, "rb") as fp:
@@ -240,6 +250,48 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(diag.render())
     print(f"{len(merged.errors)} error(s), {len(merged.warnings)} warning(s)")
     return merged.exit_code(strict=args.strict)
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    """Run the per-scenario prognostic benchmark suite.
+
+    Exit 1 when any scored scenario misses every fault (detection rate
+    0), so CI can gate on a catastrophically broken stack; quality
+    regressions are caught by the golden scorecards instead.
+    """
+    from repro.common.errors import MprosError
+    from repro.validation import get_scenario, run_scenario_suite, scenario_names
+
+    if args.all_scenarios:
+        names = list(scenario_names())
+    elif args.scenario:
+        names = list(args.scenario)
+    else:
+        print("nothing to score: pass --scenario NAME or --all-scenarios",
+              file=sys.stderr)
+        return 2
+    try:
+        specs = [get_scenario(name, quick=args.quick) for name in names]
+    except MprosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cards = []
+    for spec in specs:
+        card = run_scenario_suite(spec, seed=args.seed)
+        cards.append(card)
+        print(card.summary())
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fp:
+            for card in cards:
+                fp.write(card.jsonl_line() + "\n")
+        print(f"wrote {len(cards)} scorecard(s) to {args.jsonl}", file=sys.stderr)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fp:
+            fp.write("## Prognostic scorecards\n\n")
+            for card in cards:
+                fp.write(card.to_markdown() + "\n")
+        print(f"wrote markdown report to {args.markdown}", file=sys.stderr)
+    return 0 if all(card.detection_rate > 0 for card in cards) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -305,6 +357,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ships", type=int, default=30)
     p.add_argument("--dcs", type=int, default=200)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "score",
+        help="score the prognostic benchmark scenarios (validation suite)",
+    )
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="scenario to score (repeatable); see repro.validation")
+    p.add_argument("--all-scenarios", action="store_true",
+                   help="score every registered scenario")
+    p.add_argument("--quick", action="store_true",
+                   help="compressed timelines for CI (same faults, "
+                        "shorter runs)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jsonl", default="",
+                   help="write one compact JSON scorecard per line here")
+    p.add_argument("--markdown", default="",
+                   help="write a markdown scorecard report here")
+    p.set_defaults(func=_cmd_score)
 
     p = sub.add_parser(
         "bench",

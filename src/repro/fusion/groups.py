@@ -166,3 +166,47 @@ def default_chiller_groups() -> GroupRegistry:
         ],
     )
     return reg
+
+
+def default_turbine_groups() -> GroupRegistry:
+    """The logical groups for the gas-turbine (CODLAG) domain.
+
+    The gas-path decay modes (Anđelić et al.) are mutually confusable
+    — all three shift EGT and fuel flow — so they share one D-S frame;
+    the lubricant and drive-train modes keep the same confusability
+    partitions they have on any geared machine.
+    """
+    reg = GroupRegistry()
+    reg.add(
+        "gas-path",
+        [
+            "mc:compressor-fouling",
+            "mc:fuel-metering-drift",
+            "mc:turbine-blade-erosion",
+        ],
+    )
+    reg.add(
+        "lubricant",
+        [
+            "mc:oil-contamination",
+            "mc:oil-pressure-low",
+            "mc:oil-pump-wear",
+        ],
+    )
+    reg.add(
+        "rotating-mechanical",
+        [
+            "mc:motor-imbalance",
+            "mc:shaft-misalignment",
+            "mc:bearing-housing-looseness",
+            "mc:bearing-wear",
+        ],
+    )
+    reg.add(
+        "transmission",
+        [
+            "mc:gear-tooth-wear",
+            "mc:gear-mesh-misalignment",
+        ],
+    )
+    return reg

@@ -103,11 +103,23 @@ def default_types() -> TypeRegistry:
     reg.add("chiller", "machine")
     reg.add("actuator", "machine")
     reg.add("ema", "actuator")
+    # Gas-turbine (CODLAG) propulsion taxonomy.
+    reg.add("propulsion-train", "machine")
+    reg.add("gas-turbine", "rotating-machine")
+    reg.add("gas-generator", "gas-turbine")
+    reg.add("power-turbine", "gas-turbine")
+    reg.add("reduction-gear", "rotating-machine")
+    reg.add("propulsion-motor", "rotating-machine")
+    reg.add("prop-shaft", "rotating-machine")
     reg.add("sensor", "physical")
     reg.add("accelerometer", "sensor")
     reg.add("rtd", "sensor")               # temperature (the RIMS MEMS stand-in)
     reg.add("pressure-transducer", "sensor")
     reg.add("current-probe", "sensor")
+    reg.add("tachometer", "sensor")
+    reg.add("torque-meter", "sensor")
+    reg.add("flow-meter", "sensor")
+    reg.add("thermocouple", "sensor")
     reg.add("data-concentrator", "physical")
     # Abstract items.
     reg.add("abstract")

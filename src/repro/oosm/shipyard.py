@@ -43,6 +43,39 @@ class ChillerUnit:
             self.pump,
         )
 
+    @property
+    def primary(self) -> ObjectId:
+        """The unit's primary monitored machine (the DC attach point)."""
+        return self.motor
+
+
+@dataclass(frozen=True)
+class TurbineUnit:
+    """Ids of one assembled CODLAG propulsion train's components."""
+
+    train: ObjectId
+    gas_generator: ObjectId
+    power_turbine: ObjectId
+    reduction_gear: ObjectId
+    prop_motor: ObjectId
+    shaft: ObjectId
+    sensors: tuple[ObjectId, ...]
+
+    def machines(self) -> tuple[ObjectId, ...]:
+        """The monitored propulsion machinery ids."""
+        return (
+            self.gas_generator,
+            self.power_turbine,
+            self.reduction_gear,
+            self.prop_motor,
+            self.shaft,
+        )
+
+    @property
+    def primary(self) -> ObjectId:
+        """The unit's primary monitored machine (the DC attach point)."""
+        return self.power_turbine
+
 
 def build_chiller(
     model: ShipModel, index: int, deck_id: ObjectId, *, shaft_rpm: float = 3560.0
@@ -132,6 +165,116 @@ def build_chiller(
         pump=pump.id,
         sensors=tuple(sensors),
     )
+
+
+def build_turbine_train(
+    model: ShipModel, index: int, deck_id: ObjectId, *, pt_rpm: float = 5400.0
+) -> TurbineUnit:
+    """Assemble one CODLAG propulsion train on the given deck.
+
+    Gas generator -> power turbine -> reduction gear, cross-connected
+    with an electric propulsion motor onto the propeller shaft (the
+    combined diesel-electric and gas arrangement of the frigate plant
+    behind the Anđelić et al. gas-turbine decay dataset).
+    """
+    n = index + 1
+    train = model.create(
+        "propulsion-train", name=f"CODLAG Train {n}", arrangement="CODLAG"
+    )
+    gas_generator = model.create(
+        "gas-generator",
+        name=f"GT Gas Generator {n}",
+        rated_mw=14.0,
+        design_rpm=9200.0,
+    )
+    power_turbine = model.create(
+        "power-turbine",
+        name=f"GT Power Turbine {n}",
+        design_rpm=pt_rpm,
+        stages=2,
+    )
+    reduction_gear = model.create(
+        "reduction-gear", name=f"Main Reduction Gear {n}", ratio=23.0, teeth_in=23
+    )
+    prop_motor = model.create(
+        "propulsion-motor", name=f"Electric Prop Motor {n}", rated_mw=2.2, poles=2
+    )
+    shaft = model.create(
+        "prop-shaft", name=f"Propeller Shaft {n}", rated_rpm=pt_rpm / 23.0
+    )
+
+    for part in (gas_generator, power_turbine, reduction_gear, prop_motor, shaft):
+        model.relate(part.id, "part-of", train.id)
+    model.relate(train.id, "part-of", deck_id)
+
+    # Power flow through the train (gas and electric paths converge
+    # on the reduction gear, then drive the shaft).
+    model.relate(gas_generator.id, "flow", power_turbine.id)
+    model.relate(power_turbine.id, "flow", reduction_gear.id)
+    model.relate(prop_motor.id, "flow", reduction_gear.id)
+    model.relate(reduction_gear.id, "flow", shaft.id)
+
+    # Engine-room adjacency.
+    model.relate(gas_generator.id, "proximate-to", power_turbine.id)
+    model.relate(power_turbine.id, "proximate-to", reduction_gear.id)
+    model.relate(prop_motor.id, "proximate-to", reduction_gear.id)
+
+    sensors: list[ObjectId] = []
+    for machine, axes in (
+        (power_turbine, ("de-h", "de-v", "nde-h")),
+        (reduction_gear, ("mesh-h",)),
+        (prop_motor, ("de-h",)),
+    ):
+        for axis in axes:
+            s = model.create(
+                "accelerometer",
+                name=f"{machine.get('name')} accel {axis}",
+                axis=axis,
+                sensitivity_mv_per_g=100.0,
+            )
+            model.relate(s.id, "monitors", machine.id)
+            sensors.append(s.id)
+    for machine, kind, prop in (
+        (gas_generator, "tachometer", "gg-speed"),
+        (power_turbine, "tachometer", "pt-speed"),
+        (shaft, "torque-meter", "shaft-torque"),
+        (gas_generator, "flow-meter", "fuel-flow"),
+        (power_turbine, "thermocouple", "exhaust-gas-temp"),
+        (gas_generator, "pressure-transducer", "compressor-discharge-pressure"),
+        (reduction_gear, "rtd", "thrust-bearing-temp"),
+    ):
+        s = model.create(kind, name=f"{machine.get('name')} {prop}", measures=prop)
+        model.relate(s.id, "monitors", machine.id)
+        sensors.append(s.id)
+
+    return TurbineUnit(
+        train=train.id,
+        gas_generator=gas_generator.id,
+        power_turbine=power_turbine.id,
+        reduction_gear=reduction_gear.id,
+        prop_motor=prop_motor.id,
+        shaft=shaft.id,
+        sensors=tuple(sensors),
+    )
+
+
+def build_codlag_ship(
+    model: ShipModel | None = None, n_trains: int = 2
+) -> tuple[ShipModel, Entity, list[TurbineUnit]]:
+    """Build a CODLAG frigate stand-in with its propulsion trains.
+
+    Returns ``(model, ship_entity, turbine_units)``.
+    """
+    model = model if model is not None else ShipModel()
+    ship = model.create("ship", name="CODLAG Frigate", hull="F-590")
+    deck = model.create("deck", name="Engine Room 1")
+    model.relate(deck.id, "part-of", ship.id)
+    units = [build_turbine_train(model, i, deck.id) for i in range(n_trains)]
+    # Trains in the same engine room are mutually proximate.
+    for i in range(len(units)):
+        for j in range(i + 1, len(units)):
+            model.relate(units[i].train, "proximate-to", units[j].train)
+    return model, ship, units
 
 
 def build_chilled_water_ship(

@@ -15,6 +15,7 @@ from repro.plant.chiller import ChillerConfig, ChillerSimulator, ProcessSample
 from repro.plant.ema import EmaSimulator
 from repro.plant.faults import (
     FMEA_CANDIDATES,
+    TURBINE_FMEA_CANDIDATES,
     ActiveFault,
     FaultKind,
     SensorFault,
@@ -28,12 +29,23 @@ from repro.plant.faults import (
 from repro.plant.rotating import BearingGeometry, MachineKinematics, bearing_frequencies
 from repro.plant.sensors import SensorModel
 from repro.plant.signals import VibrationSynthesizer
+from repro.plant.turbine import (
+    TURBINE_KINEMATICS,
+    TURBINE_NOMINALS,
+    TurbineConfig,
+    TurbineSimulator,
+)
 
 __all__ = [
     "ChillerConfig",
     "ChillerSimulator",
     "ProcessSample",
     "EmaSimulator",
+    "TURBINE_FMEA_CANDIDATES",
+    "TURBINE_KINEMATICS",
+    "TURBINE_NOMINALS",
+    "TurbineConfig",
+    "TurbineSimulator",
     "FMEA_CANDIDATES",
     "ActiveFault",
     "FaultKind",

@@ -40,6 +40,11 @@ class FaultKind(enum.Enum):
     OIL_PRESSURE_LOW = "mc:oil-pressure-low"
     OIL_CONTAMINATION = "mc:oil-contamination"
     SURGE = "mc:surge"
+    # Gas-turbine (CODLAG) process faults — the Anđelić et al. decay
+    # modes, visible through the speed/torque/fuel-flow/EGT channels.
+    COMPRESSOR_FOULING = "mc:compressor-fouling"
+    FUEL_METERING_DRIFT = "mc:fuel-metering-drift"
+    TURBINE_BLADE_EROSION = "mc:turbine-blade-erosion"
 
     @property
     def condition_id(self) -> str:
@@ -70,6 +75,9 @@ PROCESS_FAULTS: frozenset[FaultKind] = frozenset(
         FaultKind.OIL_PRESSURE_LOW,
         FaultKind.OIL_CONTAMINATION,
         FaultKind.SURGE,
+        FaultKind.COMPRESSOR_FOULING,
+        FaultKind.FUEL_METERING_DRIFT,
+        FaultKind.TURBINE_BLADE_EROSION,
     }
 )
 
@@ -87,6 +95,20 @@ FMEA_CANDIDATES: tuple[FaultKind, ...] = (
     FaultKind.EVAPORATOR_FOULING,
     FaultKind.OIL_PRESSURE_LOW,
     FaultKind.SURGE,
+)
+
+#: The FMEA candidate set for the gas-turbine (CODLAG) domain: the
+#: gas-path decay modes of Anđelić et al. plus the drive-train and
+#: lube-system modes the turbine shares with any geared machine.
+TURBINE_FMEA_CANDIDATES: tuple[FaultKind, ...] = (
+    FaultKind.COMPRESSOR_FOULING,
+    FaultKind.FUEL_METERING_DRIFT,
+    FaultKind.TURBINE_BLADE_EROSION,
+    FaultKind.OIL_PRESSURE_LOW,
+    FaultKind.OIL_CONTAMINATION,
+    FaultKind.BEARING_WEAR,
+    FaultKind.SHAFT_MISALIGNMENT,
+    FaultKind.GEAR_TOOTH_WEAR,
 )
 
 

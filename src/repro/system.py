@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.algorithms.dli.engine import DliExpertSystem
+from repro.algorithms.fuzzy.engine import FuzzyDiagnostics
+from repro.algorithms.sbfr_source import SbfrKnowledgeSource, default_turbine_watches
 from repro.common.errors import MprosError
 from repro.common.rng import derive_rng, make_rng
 from repro.dc.concentrator import DataConcentrator
@@ -25,12 +28,18 @@ from repro.netsim.network import LinkConfig, Network
 from repro.netsim.rpc import RpcEndpoint
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.oosm.model import ShipModel
-from repro.oosm.shipyard import ChillerUnit, build_chilled_water_ship
+from repro.oosm.shipyard import (
+    ChillerUnit,
+    TurbineUnit,
+    build_chilled_water_ship,
+    build_codlag_ship,
+)
 from repro.pdme.browser import render_machine_screen, render_priority_list
 from repro.pdme.executive import PdmeExecutive
 from repro.pdme.icas import register_icas_interface
 from repro.plant.chiller import ChillerSimulator
 from repro.plant.faults import ActiveFault
+from repro.plant.turbine import TurbineSimulator
 from repro.supervisor import (
     CircuitBreaker,
     DcHealth,
@@ -49,8 +58,8 @@ class MprosSystem:
     model: ShipModel
     pdme: PdmeExecutive
     dcs: list[DataConcentrator]
-    units: list[ChillerUnit]
-    simulators: dict[str, ChillerSimulator]
+    units: list[ChillerUnit] | list[TurbineUnit]
+    simulators: dict[str, ChillerSimulator | TurbineSimulator]
     uplinks: list[ReportUplink] = field(default_factory=list)
     _dc_endpoints: list[RpcEndpoint] = field(default_factory=list)
     #: The one registry every subsystem on the DC→PDME path reports to.
@@ -151,12 +160,17 @@ def build_mpros_system(
     heartbeat_period: float = 15.0,
     metrics: MetricsRegistry | None = None,
     batch: bool = True,
+    plant: str = "chiller",
 ) -> MprosSystem:
     """Assemble the Figure-1 system.
 
-    One DC per chiller; each DC monitors its chiller's drive train
-    through the chiller simulator, runs the standard test schedule and
+    One DC per monitored unit; each DC monitors its unit's drive train
+    through the plant simulator, runs the standard test schedule and
     uplinks §7 reports to the PDME over the simulated ship network.
+    ``plant`` selects the domain: ``"chiller"`` (the paper's prototype
+    chilled-water plant) or ``"turbine"`` (the gas-turbine CODLAG
+    propulsion plant, with its own simulator, fuzzy rulebase and SBFR
+    watch set).
     Every subsystem publishes into ``metrics`` (default: the
     process-wide registry), so ``system.metrics.snapshot()`` is the one
     observability surface for the whole DC→PDME path.
@@ -169,11 +183,17 @@ def build_mpros_system(
     """
     if n_chillers < 1:
         raise MprosError("need at least one chiller")
+    if plant not in ("chiller", "turbine"):
+        raise MprosError(f"unknown plant {plant!r}; expected 'chiller' or 'turbine'")
     metrics = metrics if metrics is not None else default_registry()
     root = make_rng(seed)
     kernel = EventKernel(metrics=metrics)
     network = Network(kernel, derive_rng(root, "network"), metrics=metrics)
-    model, ship, units = build_chilled_water_ship(n_chillers=n_chillers)
+    units: list[ChillerUnit] | list[TurbineUnit]
+    if plant == "turbine":
+        model, ship, units = build_codlag_ship(n_trains=n_chillers)
+    else:
+        model, ship, units = build_chilled_water_ship(n_chillers=n_chillers)
     pdme = PdmeExecutive(model, metrics=metrics)
     pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
     pdme.serve_on(pdme_ep)
@@ -187,7 +207,7 @@ def build_mpros_system(
     )
 
     dcs: list[DataConcentrator] = []
-    simulators: dict[str, ChillerSimulator] = {}
+    simulators: dict[str, ChillerSimulator | TurbineSimulator] = {}
     endpoints: list[RpcEndpoint] = []
     uplinks: list[ReportUplink] = []
     breakers: list[CircuitBreaker] = []
@@ -206,20 +226,44 @@ def build_mpros_system(
         uplink = ReportUplink(guarded, "pdme", metrics=metrics)
         uplinks.append(uplink)
 
-        dc = DataConcentrator(
-            dc_id=dc_name,
-            kernel=kernel,
-            sink=uplink.submit,
-            rng=derive_rng(root, "dc", i),
-            metrics=metrics,
-            batch=batch,
-        )
-        # Durable backlog: unacked reports survive a DC crash.
-        uplink.bind_store(dc.database)
-        sim = ChillerSimulator(rng=derive_rng(root, "chiller", i))
-        dc.attach_machine(
-            unit.motor, f"A/C Compressor Motor {i + 1}", sim, vibration_channel=0
-        )
+        sim: ChillerSimulator | TurbineSimulator
+        if plant == "turbine":
+            # The turbine domain swaps the fuzzy rulebase and SBFR watch
+            # set; the DLI vibration suite is kinematics-driven and
+            # carries over unchanged.
+            dc = DataConcentrator(
+                dc_id=dc_name,
+                kernel=kernel,
+                sink=uplink.submit,
+                rng=derive_rng(root, "dc", i),
+                metrics=metrics,
+                batch=batch,
+                sources=[
+                    DliExpertSystem(),
+                    FuzzyDiagnostics.for_turbine(),
+                    SbfrKnowledgeSource(watches=default_turbine_watches()),
+                ],
+            )
+            uplink.bind_store(dc.database)
+            sim = TurbineSimulator(rng=derive_rng(root, "turbine", i))
+            dc.attach_machine(
+                unit.primary, f"GT Power Turbine {i + 1}", sim, vibration_channel=0
+            )
+        else:
+            dc = DataConcentrator(
+                dc_id=dc_name,
+                kernel=kernel,
+                sink=uplink.submit,
+                rng=derive_rng(root, "dc", i),
+                metrics=metrics,
+                batch=batch,
+            )
+            # Durable backlog: unacked reports survive a DC crash.
+            uplink.bind_store(dc.database)
+            sim = ChillerSimulator(rng=derive_rng(root, "chiller", i))
+            dc.attach_machine(
+                unit.primary, f"A/C Compressor Motor {i + 1}", sim, vibration_channel=0
+            )
         dc.schedule_standard_tests(
             vibration_period=vibration_period, process_period=process_period
         )
@@ -235,7 +279,7 @@ def build_mpros_system(
         dc.scheduler.add_periodic("heartbeat", heartbeat_period, emitter.emit)
         # PDME -> DC control path (command tests, download machines).
         dc.serve_on(dc_ep)
-        simulators[unit.motor] = sim
+        simulators[unit.primary] = sim
         dcs.append(dc)
     return MprosSystem(
         kernel=kernel,

@@ -15,9 +15,41 @@ from repro.validation.metrics import (
     precision_recall,
     prognostic_error,
 )
+from repro.validation.scenarios import (
+    ScenarioSpec,
+    chiller_scenario,
+    get_scenario,
+    run_scenario_suite,
+    scenario_names,
+    turbine_scenario_spec,
+)
+from repro.validation.scoring import (
+    CostModel,
+    RunScore,
+    ScenarioScorecard,
+    bootstrap_ci,
+    maintenance_cost,
+    score_run,
+    score_scenario,
+    timeliness,
+)
 from repro.validation.seeded import CampaignRecord, SeededFaultCampaign
 
 __all__ = [
+    "CostModel",
+    "RunScore",
+    "ScenarioScorecard",
+    "ScenarioSpec",
+    "bootstrap_ci",
+    "chiller_scenario",
+    "get_scenario",
+    "maintenance_cost",
+    "run_scenario_suite",
+    "scenario_names",
+    "score_run",
+    "score_scenario",
+    "timeliness",
+    "turbine_scenario_spec",
     "AnalystDecision",
     "SyntheticAnalyst",
     "MaintenanceRecord",

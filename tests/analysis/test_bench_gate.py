@@ -98,6 +98,53 @@ def test_evaluate_empty_inputs_pass():
     assert report.lines == [] and report.warnings == []
 
 
+def test_optional_stage_missing_from_result_warns(tmp_path, capsys):
+    gate = load_gate()
+    result = write(tmp_path, "result.json", {"ratios": {"a": 2.0}})
+    baseline = write(
+        tmp_path,
+        "baseline.json",
+        {"ratios": {"a": 1.5, "newer": 3.0}, "optional": ["newer"]},
+    )
+    assert gate.check(result, baseline) == 0
+    out = capsys.readouterr().out
+    assert "warning" in out and "newer" in out
+
+
+def test_optional_stage_present_is_still_gated(tmp_path, capsys):
+    gate = load_gate()
+    # Optional only affects absence: a measured regression still fails.
+    result = write(tmp_path, "result.json", {"ratios": {"newer": 1.0}})
+    baseline = write(
+        tmp_path,
+        "baseline.json",
+        {"ratios": {"newer": 3.0}, "optional": ["newer"]},
+    )
+    assert gate.check(result, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_evaluate_optional_param_defaults_to_required():
+    gate = load_gate()
+    report = gate.evaluate({}, {"a": 1.0})
+    assert not report.passed
+    report = gate.evaluate({}, {"a": 1.0}, optional=("a",))
+    assert report.passed
+    assert any("a" in w for w in report.warnings)
+
+
+def test_pre_pr_result_checks_against_committed_baseline(tmp_path, capsys):
+    # A result document from before the scoring stage (no
+    # score_bootstrap_speedup) must still pass the committed baseline.
+    gate = load_gate()
+    baseline_path = REPO / "benchmarks" / "baseline.json"
+    doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    old = {k: v for k, v in doc["ratios"].items() if k not in doc["optional"]}
+    result = write(tmp_path, "result.json", {"ratios": old})
+    assert gate.check(result, str(baseline_path)) == 0
+    assert "warning" in capsys.readouterr().out
+
+
 def test_committed_baseline_matches_bench_stages(tmp_path, capsys):
     # The real baseline file gates a result shaped like `mpros bench`
     # output: every committed key verifies against itself cleanly.

@@ -1,0 +1,79 @@
+"""The turbine-domain chaos drill: the CODLAG plant under the same
+fault storm — conservation, dedup, quarantine and liveness invariants
+must hold exactly as they do for the chiller fleet."""
+
+import pytest
+
+from repro.chaos import ChaosEngine, run_scenario, turbine_scenario
+from repro.obs import use_registry
+from repro.plant.turbine import TurbineSimulator
+from repro.supervisor import BreakerState
+from repro.system import build_mpros_system
+
+
+@pytest.fixture(scope="module")
+def drill():
+    """One turbine drill run, shared by every assertion below."""
+    scenario = turbine_scenario(seed=11)
+    with use_registry() as registry:
+        system = build_mpros_system(
+            n_chillers=2, seed=scenario.seed, plant=scenario.plant
+        )
+        engine = ChaosEngine(system, scenario)
+        report = engine.run()
+    return system, engine, report, registry
+
+
+def test_drill_runs_turbine_plant(drill):
+    system, _, _, _ = drill
+    assert all(
+        isinstance(sim, TurbineSimulator) for sim in system.simulators.values()
+    )
+    # Turbine units expose the power turbine as the monitored primary.
+    assert all(unit.primary.startswith("powerturbine:") for unit in system.units)
+
+
+def test_exactly_once_at_the_oosm(drill):
+    _, _, report, _ = drill
+    assert report.produced > 0
+    assert report.lost == 0
+    assert report.duplicated == 0
+    assert report.shed == 0
+    assert report.at_oosm + report.backlog == report.produced
+    # The mid-flight crash exercised replay: recovered reports were
+    # absorbed PDME-side as duplicate acks, never double-counted.
+    assert report.recovered_reports > 0
+    assert report.duplicate_acks >= report.recovered_reports
+
+
+def test_breakers_reclosed_and_quarantine_released(drill):
+    system, _, report, _ = drill
+    assert report.breakers_closed
+    assert all(b.state is BreakerState.CLOSED for b in system.breakers)
+    assert report.degraded > 0
+    dc = system.dcs[0]
+    events = [(what, channel) for _, channel, what in dc.quarantine.events]
+    assert ("quarantined", 0) in events
+    assert ("released", 0) in events
+    assert not dc.quarantine.active()
+
+
+def test_liveness_saw_hold_and_crash(drill):
+    _, _, report, _ = drill
+    trans = [(dc, old, new) for _, dc, old, new in report.heartbeat_transitions]
+    assert ("dc:1", "suspect", "down") in trans
+    assert ("dc:1", "down", "alive") in trans
+    assert all(f.recovery_seconds is not None for f in report.faults)
+    assert report.ok
+    assert "PASS" in report.summary()
+
+
+def test_turbine_drill_is_deterministic():
+    with use_registry():
+        a = run_scenario(turbine_scenario(seed=11))
+    with use_registry():
+        b = run_scenario(turbine_scenario(seed=11))
+    assert (a.produced, a.at_oosm, a.degraded, a.duplicate_acks) == (
+        b.produced, b.at_oosm, b.degraded, b.duplicate_acks
+    )
+    assert a.heartbeat_transitions == b.heartbeat_transitions

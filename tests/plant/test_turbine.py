@@ -1,0 +1,166 @@
+"""The CODLAG gas-turbine simulator: steady state, fault signatures,
+and duck-type compatibility with the chiller interface every DC,
+campaign and chaos drill consumes."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MprosError
+from repro.plant import (
+    TURBINE_FMEA_CANDIDATES,
+    TURBINE_KINEMATICS,
+    TURBINE_NOMINALS,
+    FaultKind,
+    TurbineConfig,
+    TurbineSimulator,
+)
+from repro.plant.faults import seeded
+
+
+def make_sim(**kwargs):
+    return TurbineSimulator(rng=np.random.default_rng(7), **kwargs)
+
+
+def settle(sim, seconds=600.0, dt=30.0):
+    for _ in range(int(seconds / dt)):
+        sim.step(dt)
+
+
+# -- steady state -------------------------------------------------------------
+
+def test_healthy_steady_state_near_nominals():
+    sim = make_sim()
+    settle(sim)
+    s = sim.sample_process()
+    for key, nominal in TURBINE_NOMINALS.items():
+        assert s[key] == pytest.approx(nominal, rel=0.05), key
+
+
+def test_kinematics_mesh_under_nyquist():
+    # 23-tooth pinion at 90 Hz: the mesh and its first harmonics must
+    # sit under the 16384 Hz acquisition Nyquist.
+    assert TURBINE_KINEMATICS.gear_mesh_hz == pytest.approx(2070.0)
+    assert 3 * TURBINE_KINEMATICS.gear_mesh_hz < 8192.0
+
+
+def test_load_validation_and_setter():
+    with pytest.raises(MprosError):
+        TurbineSimulator(load=1.5)
+    sim = make_sim()
+    with pytest.raises(MprosError):
+        sim.set_load(-0.1)
+    sim.set_load(0.5)
+    assert sim.load == 0.5
+
+
+def test_step_rejects_nonpositive_dt():
+    sim = make_sim()
+    with pytest.raises(MprosError):
+        sim.step(0.0)
+
+
+def test_load_moves_torque_and_egt():
+    hot = make_sim(load=0.95)
+    cool = make_sim(load=0.4)
+    settle(hot)
+    settle(cool)
+    assert hot._state["shaft_torque_knm"] > cool._state["shaft_torque_knm"]
+    assert hot._state["egt_c"] > cool._state["egt_c"]
+
+
+# -- gas-path fault signatures ------------------------------------------------
+
+def faulted_state(kind, severity=0.9):
+    sim = make_sim()
+    sim.inject(seeded(kind, onset=0.0, severity=severity))
+    settle(sim)
+    return sim._state
+
+
+def test_compressor_fouling_signature():
+    s = faulted_state(FaultKind.COMPRESSOR_FOULING)
+    assert s["compressor_discharge_kpa"] < 0.95 * TURBINE_NOMINALS["compressor_discharge_kpa"]
+    assert s["egt_c"] > TURBINE_NOMINALS["egt_c"]
+    assert s["fuel_flow_kg_s"] > TURBINE_NOMINALS["fuel_flow_kg_s"]
+
+
+def test_fuel_metering_drift_signature():
+    s = faulted_state(FaultKind.FUEL_METERING_DRIFT)
+    assert s["fuel_flow_kg_s"] > 1.1 * TURBINE_NOMINALS["fuel_flow_kg_s"]
+    assert s["shaft_torque_knm"] > TURBINE_NOMINALS["shaft_torque_knm"]
+
+
+def test_blade_erosion_signature():
+    s = faulted_state(FaultKind.TURBINE_BLADE_EROSION)
+    assert s["egt_c"] > TURBINE_NOMINALS["egt_c"] + 60.0
+    assert s["shaft_torque_knm"] < TURBINE_NOMINALS["shaft_torque_knm"]
+    assert s["gg_speed_rpm"] > TURBINE_NOMINALS["gg_speed_rpm"]
+
+
+def test_lube_faults_move_lube_channels():
+    s = faulted_state(FaultKind.OIL_PRESSURE_LOW)
+    assert s["lube_oil_pressure_kpa"] < 250.0
+    s = faulted_state(FaultKind.OIL_CONTAMINATION)
+    assert s["lube_oil_temp_c"] > 75.0
+
+
+def test_bearing_wear_warms_thrust_bearing():
+    s = faulted_state(FaultKind.BEARING_WEAR)
+    assert s["thrust_brg_temp_c"] > TURBINE_NOMINALS["thrust_brg_temp_c"] + 5.0
+
+
+# -- fault bookkeeping --------------------------------------------------------
+
+def test_severities_and_clear_faults():
+    sim = make_sim()
+    sim.inject(seeded(FaultKind.COMPRESSOR_FOULING, onset=100.0, severity=0.6))
+    sim.step(50.0)
+    assert sim.severities() == {}
+    sim.step(100.0)
+    assert sim.severities() == {FaultKind.COMPRESSOR_FOULING: 0.6}
+    sim.clear_faults()
+    assert sim.severities() == {}
+
+
+def test_turbine_fmea_candidates_are_distinct_faultkinds():
+    assert len(set(TURBINE_FMEA_CANDIDATES)) == len(TURBINE_FMEA_CANDIDATES)
+    assert FaultKind.COMPRESSOR_FOULING in TURBINE_FMEA_CANDIDATES
+    assert FaultKind.MOTOR_IMBALANCE not in TURBINE_FMEA_CANDIDATES
+
+
+# -- vibration path -----------------------------------------------------------
+
+def test_vibration_block_shape_and_healthy_rms():
+    sim = make_sim()
+    block = sim.sample_vibration(16384)
+    assert block.shape == (16384,)
+    rms = float(np.sqrt(np.mean(block**2)))
+    assert rms < 1.0  # under the DC alarm threshold when healthy
+
+
+def test_bearing_wear_raises_vibration_energy():
+    healthy = make_sim()
+    worn = make_sim()
+    worn.inject(seeded(FaultKind.BEARING_WEAR, onset=0.0, severity=1.0))
+    worn.step(1.0)
+    healthy.step(1.0)
+    rms_h = float(np.sqrt(np.mean(healthy.sample_vibration(16384) ** 2)))
+    rms_w = float(np.sqrt(np.mean(worn.sample_vibration(16384) ** 2)))
+    assert rms_w > rms_h
+
+
+def test_deterministic_under_fixed_rng():
+    a = TurbineSimulator(rng=np.random.default_rng(42))
+    b = TurbineSimulator(rng=np.random.default_rng(42))
+    a.step(60.0)
+    b.step(60.0)
+    assert a.sample_process().values == b.sample_process().values
+    np.testing.assert_array_equal(a.sample_vibration(4096), b.sample_vibration(4096))
+
+
+def test_config_duck_type_fields():
+    # The DC duck type: .config.kinematics, .vibration.sample_rate.
+    sim = make_sim(config=TurbineConfig(name="GT-X"))
+    assert sim.config.name == "GT-X"
+    assert sim.config.kinematics is TURBINE_KINEMATICS
+    assert sim.vibration.sample_rate > 2 * 3 * TURBINE_KINEMATICS.gear_mesh_hz

@@ -148,3 +148,61 @@ def test_verify_without_targets_is_usage_error(capsys):
 def test_verify_missing_machine_file_errors(capsys):
     assert main(["verify", "--machine", "/no/such/file.sbfr"]) == 2
     assert "cannot read" in capsys.readouterr().err
+
+
+# -- mpros score -------------------------------------------------------------
+
+def test_score_single_scenario_quick(capsys, tmp_path):
+    jsonl = tmp_path / "cards.jsonl"
+    md = tmp_path / "cards.md"
+    assert main(["score", "--scenario", "turbine", "--quick",
+                 "--jsonl", str(jsonl), "--markdown", str(md)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("turbine-quick:")
+    assert "detection" in out
+    import json
+
+    lines = jsonl.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1
+    doc = json.loads(lines[0])
+    assert doc["scenario"] == "turbine-quick"
+    assert doc["detection_rate"] == 1.0
+    report = md.read_text(encoding="utf-8")
+    assert "## Prognostic scorecards" in report
+    assert "mc:compressor-fouling" in report
+
+
+def test_score_all_scenarios_quick(capsys):
+    assert main(["score", "--all-scenarios", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "chiller-quick:" in out
+    assert "turbine-quick:" in out
+
+
+def test_score_unknown_scenario_errors(capsys):
+    assert main(["score", "--scenario", "windmill", "--quick"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_score_without_targets_is_usage_error(capsys):
+    assert main(["score"]) == 2
+    assert "nothing to score" in capsys.readouterr().err
+
+
+# -- turbine domain through chaos/verify ------------------------------------
+
+def test_chaos_turbine_scenario_passes(capsys):
+    assert main(["chaos", "--scenario", "turbine", "--seed", "11"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_chaos_unknown_scenario_errors(capsys):
+    assert main(["chaos", "--scenario", "hurricane"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_verify_covers_turbine_deployment(capsys):
+    assert main(["verify", "--all-machines"]) == 0
+    out = capsys.readouterr().out
+    assert "deployment 'dc-turbine'" in out
+    assert "FAIL" not in out

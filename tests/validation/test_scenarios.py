@@ -1,0 +1,134 @@
+"""The scenario registry and benchmark suite runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import MprosError
+from repro.plant.faults import FaultKind
+from repro.validation import (
+    ScenarioSpec,
+    chiller_scenario,
+    get_scenario,
+    run_scenario_suite,
+    scenario_names,
+    turbine_scenario_spec,
+)
+
+
+# -- registry -----------------------------------------------------------------
+
+def test_registry_names_sorted_and_complete():
+    assert scenario_names() == ("chiller", "turbine")
+
+
+def test_get_scenario_roundtrip():
+    spec = get_scenario("turbine")
+    assert spec.name == "turbine"
+    assert spec.plant == "turbine"
+    assert spec == turbine_scenario_spec()
+
+
+def test_get_scenario_unknown_raises():
+    with pytest.raises(MprosError, match="unknown scenario"):
+        get_scenario("windmill")
+
+
+def test_quick_profile_compresses_timeline():
+    full = chiller_scenario()
+    quick = get_scenario("chiller", quick=True)
+    assert quick.name == "chiller-quick"
+    assert quick.faults == full.faults
+    assert quick.duration < full.duration
+    assert quick.onset < quick.failure_time <= quick.duration
+    # Lead margin rescaled to the compressed onset→failure window.
+    assert quick.cost_model.lead_margin < full.cost_model.lead_margin
+    assert quick.cost_model.lead_margin >= 120.0
+
+
+def test_both_plants_build_distinct_stacks():
+    chiller = chiller_scenario()
+    turbine = turbine_scenario_spec()
+    c_names = {type(s).__name__ for s in chiller.build_sources()}
+    t_names = {type(s).__name__ for s in turbine.build_sources()}
+    assert c_names == t_names  # same three source kinds...
+    import numpy as np
+
+    c_sim = chiller.build_simulator(np.random.default_rng(0))
+    t_sim = turbine.build_simulator(np.random.default_rng(0))
+    assert type(c_sim).__name__ != type(t_sim).__name__  # ...different plants
+
+
+# -- spec validation ----------------------------------------------------------
+
+def test_spec_rejects_unknown_plant():
+    with pytest.raises(MprosError, match="plant"):
+        dataclasses.replace(chiller_scenario(), plant="reactor")
+
+
+def test_spec_rejects_empty_faults():
+    with pytest.raises(MprosError, match="fault"):
+        dataclasses.replace(chiller_scenario(), faults=())
+
+
+def test_spec_rejects_inverted_timeline():
+    with pytest.raises(MprosError):
+        dataclasses.replace(chiller_scenario(), onset=4000.0)
+    with pytest.raises(MprosError):
+        dataclasses.replace(chiller_scenario(), duration=100.0)
+
+
+# -- suite runs (quick profiles only; full profiles are golden-pinned) --------
+
+@pytest.fixture(scope="module")
+def turbine_card():
+    return run_scenario_suite(
+        get_scenario("turbine", quick=True), seed=0, n_resamples=200
+    )
+
+
+def test_turbine_quick_suite_detects_every_fault(turbine_card):
+    assert turbine_card.scenario == "turbine-quick"
+    assert turbine_card.detection_rate == 1.0
+    faulty = [r for r in turbine_card.runs if not r.healthy]
+    assert len(faulty) == len(turbine_scenario_spec().faults)
+    for run in faulty:
+        assert run.detected
+        assert run.lead_time > 0
+
+
+def test_turbine_quick_suite_has_healthy_controls(turbine_card):
+    healthy = [r for r in turbine_card.runs if r.healthy]
+    assert len(healthy) == 1
+    assert not healthy[0].detected
+
+
+def test_scorecard_aggregates_are_consistent(turbine_card):
+    card = turbine_card
+    assert 0.0 <= card.mean_timeliness <= 1.0
+    assert card.expected_cost == pytest.approx(
+        sum(r.cost for r in card.runs) / len(card.runs)
+    )
+    lo, hi = card.cost_ci
+    assert lo <= card.expected_cost <= hi
+
+
+def test_suite_is_deterministic():
+    spec = dataclasses.replace(
+        get_scenario("chiller", quick=True),
+        faults=(FaultKind.MOTOR_IMBALANCE,),
+        healthy_controls=0,
+    )
+    a = run_scenario_suite(spec, seed=3, n_resamples=100)
+    b = run_scenario_suite(spec, seed=3, n_resamples=100)
+    assert a.canonical_json() == b.canonical_json()
+
+
+def test_jsonl_and_markdown_render(turbine_card):
+    line = turbine_card.jsonl_line()
+    assert line.count("\n") == 0
+    assert '"scenario"' in line
+    md = turbine_card.to_markdown()
+    assert md.startswith("#")
+    assert "mc:compressor-fouling" in md
+    assert turbine_card.summary().startswith("turbine-quick")

@@ -1,0 +1,63 @@
+"""Golden-master pins on the per-scenario prognostic scorecards.
+
+Both registered scenarios run their quick profiles at a fixed seed and
+are compared byte-for-byte against committed canonical-JSON files.
+Any behavioural drift in the plant models, knowledge sources, fusion,
+RNG derivation or the scoring arithmetic shows up here first.
+
+Regenerate intentionally with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest \\
+        tests/validation/test_scorecard_golden.py
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.validation import get_scenario, run_scenario_suite
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: Cheap-but-stable bootstrap depth for the pinned cards.
+N_RESAMPLES = 500
+
+
+def _check_golden(name: str, payload: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("GOLDEN_REGEN"):
+        path.write_text(payload, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with GOLDEN_REGEN=1"
+    )
+    golden = path.read_text(encoding="utf-8")
+    assert payload == golden, (
+        f"{name} drifted from its golden master; if the change is "
+        "intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+    )
+
+
+@pytest.mark.parametrize("scenario", ["chiller", "turbine"])
+def test_quick_scorecard_is_pinned(scenario):
+    spec = get_scenario(scenario, quick=True)
+    card = run_scenario_suite(spec, seed=0, n_resamples=N_RESAMPLES)
+    _check_golden(f"score_{scenario}.json", card.canonical_json())
+
+
+@pytest.mark.parametrize("scenario", ["chiller", "turbine"])
+def test_committed_golden_claims_full_detection(scenario):
+    # The pinned cards are not just stable — they assert the headline
+    # result: every seeded fault detected, with positive lead time.
+    path = GOLDEN_DIR / f"score_{scenario}.json"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert doc["detection_rate"] == 1.0
+    assert doc["scenario"] == f"{scenario}-quick"
+    faulty = [r for r in doc["runs"] if r["fault"]]
+    assert all(r["detected"] and r["lead_time"] > 0 for r in faulty)

@@ -1,0 +1,132 @@
+"""Property tests for the prognostic scoring harness.
+
+The invariants that make a scorecard trustworthy: cost is monotone in
+warning time, scoring never depends on report arrival order, a perfect
+prediction earns exactly the preventive cost, and every SBFR machine
+the turbine domain deploys passes the static verifier within the
+paper's budgets.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sbfr_source import SbfrKnowledgeSource, default_turbine_watches
+from repro.analysis import verify_set
+from repro.validation import (
+    CostModel,
+    maintenance_cost,
+    score_run,
+    timeliness,
+)
+
+MODEL = CostModel()
+
+lead_times = st.one_of(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.just(-math.inf),
+    st.just(math.inf),
+    st.just(math.nan),
+)
+
+
+# -- cost monotonicity --------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(a=lead_times, b=lead_times)
+def test_cost_monotone_nonincreasing_in_lead_time(a, b):
+    if not (math.isnan(a) or math.isnan(b)) and a <= b:
+        assert maintenance_cost(a, MODEL) >= maintenance_cost(b, MODEL)
+
+
+@settings(max_examples=200, deadline=None)
+@given(lead=lead_times)
+def test_cost_bounded_by_model_extremes(lead):
+    cost = maintenance_cost(lead, MODEL)
+    assert MODEL.preventive_cost <= cost <= MODEL.corrective_cost
+
+
+@settings(max_examples=100, deadline=None)
+@given(lead=lead_times, horizon=st.floats(min_value=1.0, max_value=1e6))
+def test_timeliness_stays_in_unit_interval(lead, horizon):
+    t = timeliness(lead, horizon)
+    assert 0.0 <= t <= 1.0
+
+
+# -- order invariance ---------------------------------------------------------
+
+condition_ids = st.sampled_from(
+    ["mc:compressor-fouling", "mc:bearing-wear", "mc:fuel-metering-drift",
+     "mc:oil-pressure-low", "mc:turbine-blade-erosion"]
+)
+detection_maps = st.dictionaries(
+    condition_ids,
+    st.floats(min_value=0.0, max_value=3300.0, allow_nan=False),
+    max_size=5,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(detections=detection_maps, data=st.data())
+def test_score_run_invariant_to_report_reordering(detections, data):
+    order = data.draw(st.permutations(sorted(detections)))
+    shuffled = {cond: detections[cond] for cond in order}
+    a = score_run("mc:bearing-wear", 3300.0, 300.0, detections, MODEL)
+    b = score_run("mc:bearing-wear", 3300.0, 300.0, shuffled, MODEL)
+    assert a == b
+
+
+# -- perfect prediction bound -------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    onset=st.floats(min_value=0.0, max_value=1000.0),
+    window=st.floats(min_value=1.0, max_value=1e5),
+)
+def test_perfect_prediction_scores_the_bound(onset, window):
+    # Detected at fault onset, zero false alarms: timeliness is exactly
+    # 1.0 and the cost never exceeds a full-margin preventive call.
+    failure = onset + window
+    run = score_run(
+        "mc:bearing-wear", failure, onset, {"mc:bearing-wear": onset}, MODEL
+    )
+    assert run.detected
+    assert run.timeliness == 1.0
+    assert run.false_alarm_conditions == ()
+    assert run.cost >= MODEL.preventive_cost
+    if window >= MODEL.lead_margin:
+        assert run.cost == MODEL.preventive_cost
+
+
+@settings(max_examples=100, deadline=None)
+@given(n_false=st.integers(min_value=0, max_value=5))
+def test_healthy_run_cost_is_false_alarm_charges(n_false):
+    detections = {f"mc:spurious-{i}": 100.0 * i for i in range(n_false)}
+    run = score_run("", 3300.0, 300.0, detections, MODEL)
+    assert run.healthy and not run.detected
+    assert run.cost == MODEL.false_alarm_cost * n_false
+
+
+# -- turbine SBFR machines pass the verifier ----------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_turbine_watch_subsets_verify_within_budgets(data):
+    # Any deployed subset of the turbine watch set — not just the full
+    # five — must produce verifier-clean machines within the paper's
+    # 229 B / 2 KB / 32 KB / 4 ms budgets.
+    watches = default_turbine_watches()
+    subset = tuple(
+        data.draw(
+            st.lists(
+                st.sampled_from(watches), min_size=1, max_size=len(watches),
+                unique_by=lambda w: w.condition_id,
+            )
+        )
+    )
+    source = SbfrKnowledgeSource(watches=subset)
+    report = verify_set(
+        source.deployed_specs(), n_channels=len(source.channel_names())
+    )
+    assert not report.errors, [d.message for d in report.errors]
