@@ -23,6 +23,7 @@ from repro.chaos.scenario import (
     ChaosAction,
     ChaosScenario,
     canonical_scenario,
+    daemon_scenario,
     turbine_scenario,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "ChaosScenario",
     "ResilienceReport",
     "canonical_scenario",
+    "daemon_scenario",
     "run_scenario",
     "turbine_scenario",
 ]

@@ -60,6 +60,8 @@ class ResilienceReport:
     heartbeat_transitions: list[tuple[float, str, str, str]] = field(
         default_factory=list
     )
+    #: Per-DC count of down->alive recoveries (flaps) the monitor saw.
+    heartbeat_flaps: dict[str, int] = field(default_factory=dict)
     quarantine_events: list[tuple[float, str, int, str]] = field(default_factory=list)
     faults: list[FaultOutcome] = field(default_factory=list)
     ack_latency_max: float = 0.0
@@ -95,6 +97,13 @@ class ResilienceReport:
             f"recovered from DC databases: {self.recovered_reports}",
             f"  breakers: {self.breaker_transitions} transitions, "
             f"all closed: {self.breakers_closed}",
+            "  heartbeat flaps: "
+            + (
+                ", ".join(
+                    f"{dc}={n}" for dc, n in sorted(self.heartbeat_flaps.items())
+                )
+                or "none"
+            ),
             f"  max ack latency: {self.ack_latency_max:.3f} s",
         ]
         for t, dc, old, new in self.heartbeat_transitions:
@@ -212,10 +221,36 @@ class ChaosEngine:
             ),
         )
 
+    def _begin_report_storm(self, action: ChaosAction) -> None:
+        """Commanded scan bursts: report production outrunning delivery.
+
+        Uses :meth:`EventScheduler.command`, which bypasses the task's
+        enabled flag — so the storm keeps pumping even while a daemon's
+        backpressure defers the *periodic* scan, which is exactly the
+        overload a backpressure drill needs.
+        """
+        dc = self.system.dcs[action.dc_index]
+        bursts = max(1, int(action.params.get("bursts", 5)))
+        per_burst = max(1, int(action.params.get("per_burst", 4)))
+        spacing = action.duration / bursts if action.duration > 0 else 0.0
+
+        def burst() -> None:
+            if dc.scheduler.suspended:
+                return
+            for _ in range(per_burst):
+                dc.scheduler.command("process-scan")
+
+        for k in range(bursts):
+            self.system.kernel.schedule(k * spacing, burst)
+
     def _begin_crash(self, action: ChaosAction) -> None:
         self.system.crash_dc(action.dc_index)
 
         def restart() -> None:
+            # A supervising daemon may have force-restarted the DC
+            # already; the scheduled restart then has nothing to do.
+            if not self.system.dcs[action.dc_index].scheduler.suspended:
+                return
             self.recovered_reports += self.system.restart_dc(action.dc_index)
 
         self.system.kernel.schedule(action.duration, restart)
@@ -235,6 +270,7 @@ class ChaosEngine:
             "clock_hold": self._begin_clock_hold,
             "crash": self._begin_crash,
             "machinery_fault": self._begin_machinery_fault,
+            "report_storm": self._begin_report_storm,
         }
         start = self.system.kernel.now()
         for action in self.scenario.actions:
@@ -262,9 +298,9 @@ class ChaosEngine:
             return min(cands) - end if cands else None
 
         recovery: float | None
-        if action.kind == "machinery_fault":
-            # Deliberate machine degradation is the drill's *traffic*,
-            # not a disruption the supervisor is expected to heal.
+        if action.kind in ("machinery_fault", "report_storm"):
+            # Deliberate machine degradation / commanded scan bursts are
+            # the drill's *traffic*, not a disruption to heal.
             recovery = 0.0
         elif action.kind in ("crash", "clock_hold"):
             # Recovery = the PDME seeing the DC alive again.
@@ -349,6 +385,9 @@ class ChaosEngine:
             ),
             heartbeat_transitions=list(
                 sys.monitor.transitions if sys.monitor is not None else []
+            ),
+            heartbeat_flaps=(
+                sys.monitor.flap_counts() if sys.monitor is not None else {}
             ),
             quarantine_events=quarantine_events,
             faults=[

@@ -25,6 +25,7 @@ ACTION_KINDS = frozenset(
         "clock_hold",       # DC scheduler frozen for `duration` (hung process)
         "crash",            # DC process dies; restarted after `duration`
         "machinery_fault",  # seeded machine degradation (params: fault, severity)
+        "report_storm",     # commanded scan bursts (params: bursts, per_burst)
     }
 )
 
@@ -204,5 +205,103 @@ def turbine_scenario(seed: int = 11) -> ChaosScenario:
             # are delivered but before the acks return — the crash eats
             # the acks, forcing a backlog replay on restart.
             ChaosAction(at=1800.003, kind="crash", dc_index=1, duration=600.0),
+        ),
+    )
+
+
+def daemon_scenario(seed: int = 13, quick: bool = False) -> ChaosScenario:
+    """The always-on streaming drill: abuse aimed at the daemon's
+    watchdog, backpressure, and bounded catch-up rather than at the
+    algorithm stack.
+
+    Four failure shapes, each targeting one daemon mechanism, with
+    machinery faults seeded at t=0 so every one hits live §7 traffic:
+
+    * a *report storm* (commanded process-scan bursts) under a lossy
+      link spike on DC 0 — report production outruns delivery, the
+      uplink backlog climbs, and backpressure must engage (deferring
+      the periodic process scan, stretching the tick) and then release
+      once the burst drains,
+    * a DC 1 *crash mid-tick*, milliseconds after a vibration test put
+      its reports on the wire.  The chaos schedule would restart it
+      only after a long outage window; the watchdog must get there
+      first — detect the frozen beacons, walk the escalation ladder,
+      and force the full crash/recovery restart, after which catch-up
+      drains the recovered backlog in bounded chunks,
+    * a *clock-hold* on DC 0 (hung process, §4.9) that rung 2 of the
+      ladder — a scheduler resume — must heal without a restart,
+    * a *heartbeat flap* on DC 1's link, long enough per cycle for the
+      monitor to bounce ALIVE→SUSPECT→ALIVE: the flap counters must
+      climb while the watchdog correctly does nothing (beacons keep
+      advancing — restarts must not be the answer to a flaky link).
+
+    ``quick`` compresses the timeline for CI (30 nominal ticks at the
+    default 60 s interval) without dropping any failure shape.
+    """
+    if quick:
+        return ChaosScenario(
+            name="daemon-quick",
+            seed=seed,
+            duration=1800.0,
+            description="streaming-daemon drill: storm + crash + hold + flap (CI)",
+            actions=(
+                ChaosAction(
+                    at=0.0, kind="machinery_fault", dc_index=0,
+                    params={"fault": "mc:refrigerant-leak", "severity": 0.9},
+                ),
+                ChaosAction(
+                    at=0.0, kind="machinery_fault", dc_index=1,
+                    params={"fault": "mc:motor-imbalance", "severity": 0.9},
+                ),
+                ChaosAction(
+                    at=120.0, kind="storm", dc_index=0, duration=180.0,
+                    params={"drop_rate": 0.7, "corrupt_rate": 0.2},
+                ),
+                ChaosAction(
+                    at=120.0, kind="report_storm", dc_index=0, duration=180.0,
+                    params={"bursts": 6, "per_burst": 4},
+                ),
+                # 600.003: just after the t=600 vibration-test frames go
+                # on the wire — the crash eats the acks mid-tick, so the
+                # restart must replay the durable backlog.
+                ChaosAction(at=600.003, kind="crash", dc_index=1, duration=600.0),
+                ChaosAction(at=1080.0, kind="clock_hold", dc_index=0, duration=240.0),
+                ChaosAction(
+                    at=1440.0, kind="flap", dc_index=1, duration=240.0,
+                    params={"flaps": 2},
+                ),
+            ),
+        )
+    return ChaosScenario(
+        name="daemon",
+        seed=seed,
+        duration=3600.0,
+        description="streaming-daemon drill: storm + crash + hold + flap",
+        actions=(
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=0,
+                params={"fault": "mc:refrigerant-leak", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=0.0, kind="machinery_fault", dc_index=1,
+                params={"fault": "mc:motor-imbalance", "severity": 0.9},
+            ),
+            ChaosAction(
+                at=300.0, kind="storm", dc_index=0, duration=300.0,
+                params={"drop_rate": 0.7, "corrupt_rate": 0.2},
+            ),
+            ChaosAction(
+                at=300.0, kind="report_storm", dc_index=0, duration=300.0,
+                params={"bursts": 10, "per_burst": 4},
+            ),
+            # 1200.003: just after the t=1200 vibration-test frames go on
+            # the wire — the crash eats the acks mid-tick, so the restart
+            # must replay the durable backlog.
+            ChaosAction(at=1200.003, kind="crash", dc_index=1, duration=600.0),
+            ChaosAction(at=2100.0, kind="clock_hold", dc_index=0, duration=300.0),
+            ChaosAction(
+                at=2700.0, kind="flap", dc_index=1, duration=480.0,
+                params={"flaps": 2},
+            ),
         ),
     )

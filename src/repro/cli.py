@@ -17,6 +17,8 @@ Examples
     mpros chaos --seed 7
     mpros chaos --scenario turbine --seed 11
     mpros score --all-scenarios --quick
+    mpros daemon --quick
+    mpros daemon --scenario none --ticks 120
 """
 
 from __future__ import annotations
@@ -166,6 +168,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         report = run_scenario(scenario, n_chillers=args.chillers or None)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    """Run the always-on streaming daemon, optionally under chaos.
+
+    With ``--scenario daemon`` (the default) the loop runs the daemon
+    chaos drill — storm + crash + clock-hold + heartbeat flap — and
+    exits 1 unless conservation holds, every DC ends ALIVE, and the
+    worst watchdog recovery beats the ceiling; CI gates on this.  With
+    ``--scenario none`` it runs a plain system (machinery faults only)
+    and always exits 0.
+    """
+    from repro.chaos import daemon_scenario
+    from repro.obs.registry import use_registry
+    from repro.stream import DaemonConfig, StreamDaemon, drill_config, run_daemon_drill
+
+    if args.scenario not in ("daemon", "none"):
+        print(f"unknown scenario {args.scenario!r}; know: daemon, none",
+              file=sys.stderr)
+        return 2
+    ticks = args.ticks if args.ticks > 0 else None
+    if args.scenario == "daemon":
+        scenario = daemon_scenario(seed=args.seed, quick=args.quick)
+        config = drill_config(tick_interval=args.tick_interval)
+        with use_registry():
+            report = run_daemon_drill(
+                scenario=scenario, ticks=ticks, config=config
+            )
+        print(report.summary())
+        return 0 if report.ok else 1
+    from repro import build_mpros_system
+    from repro.plant.faults import FaultKind, seeded
+
+    with use_registry():
+        system = build_mpros_system(
+            n_chillers=max(2, args.chillers), seed=args.seed
+        )
+        system.inject_fault(
+            system.units[0].motor,
+            seeded(FaultKind.MOTOR_IMBALANCE, onset=0.0, severity=0.8),
+        )
+        daemon = StreamDaemon(
+            system, DaemonConfig(tick_interval=args.tick_interval)
+        )
+        daemon_report = daemon.run(ticks if ticks is not None else 60)
+    print(daemon_report.summary())
+    return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -352,6 +401,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chillers", type=int, default=0,
                    help="system size (0 = sized from the scenario)")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "daemon",
+        help="run the always-on streaming daemon (optionally under chaos)",
+    )
+    p.add_argument("--scenario", default="daemon",
+                   help="'daemon' = chaos drill (exit 1 on failure); "
+                        "'none' = plain streaming run")
+    p.add_argument("--ticks", type=int, default=0,
+                   help="exact tick count (0 = cover the scenario window)")
+    p.add_argument("--tick-interval", type=float, default=60.0,
+                   help="nominal seconds of simulated time per tick")
+    p.add_argument("--quick", action="store_true",
+                   help="compressed drill timeline for CI (~30 ticks)")
+    p.add_argument("--seed", type=int, default=13)
+    p.add_argument("--chillers", type=int, default=2,
+                   help="system size for --scenario none")
+    p.set_defaults(func=_cmd_daemon)
 
     p = sub.add_parser("fleet", help="fleet data-rate accounting")
     p.add_argument("--ships", type=int, default=30)

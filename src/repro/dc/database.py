@@ -240,6 +240,22 @@ class DcDatabase:
             self._conn.execute("SELECT COUNT(*) FROM uplink_backlog").fetchone()[0]
         )
 
+    def uplink_oldest_timestamp(self) -> float | None:
+        """Timestamp of the oldest report in the persisted backlog
+        (``None`` when empty).
+
+        Lets a restarting DC size its catch-up window *before* calling
+        ``recover()``: backlog age bounds how much replay is worth doing
+        versus shedding against the staleness cutoff.  Every payload is
+        §7 wire JSON, so the timestamp is extracted in SQL instead of
+        decoding the whole backlog.
+        """
+        row = self._conn.execute(
+            "SELECT MIN(CAST(json_extract(payload, '$.timestamp') AS REAL)) "
+            "FROM uplink_backlog"
+        ).fetchone()
+        return float(row[0]) if row and row[0] is not None else None
+
     # -- scheduler cursors (crash/restart recovery) --------------------------
     def save_scheduler_cursor(self, name: str, runs: int, last_run: float) -> None:
         """Persist one task's progress cursor after a run."""

@@ -69,6 +69,12 @@ class UplinkStats:
     shed: int = 0          # dropped from a full queue during an outage
     retries: int = 0       # re-flushes of previously failed reports
     deferred: int = 0      # flush skips while a report waits out backoff
+    #: Age (seconds) of the *oldest* report ever shed, measured at shed
+    #: time against the report's own timestamp.  ``shed == 10`` alone
+    #: cannot distinguish "dropped 10 fresh duplicates" from "dropped a
+    #: 3-hour backlog"; this number can, and it survives crash/recover
+    #: cycles because report timestamps ride in the durable payload.
+    oldest_shed_age: float = 0.0
 
 
 class ReportUplink:
@@ -142,6 +148,8 @@ class ReportUplink:
         self._m_backlog = reg.gauge("dc.uplink.backlog", dc=dc)
         self._m_recovered = reg.counter("dc.uplink.recovered", dc=dc)
         self._m_ack_latency = reg.histogram("dc.uplink.ack_latency_seconds", dc=dc)
+        self._m_shed_age = reg.histogram("dc.uplink.shed_age_seconds", dc=dc)
+        self._m_oldest_shed = reg.gauge("dc.uplink.oldest_shed_age_seconds", dc=dc)
         self._submit_time: dict[int, float] = {}
 
     # -- backoff ---------------------------------------------------------
@@ -166,6 +174,17 @@ class ReportUplink:
         self._submit_time.pop(key, None)
         if self.store is not None:
             self.store.uplink_delete(self.report_id(key))
+
+    def _account_shed(self, report: FailurePredictionReport) -> None:
+        """Record one shed report's age (report-timestamp based, so the
+        number means the same thing before and after a crash/recover)."""
+        age = max(0.0, self.clock.now() - report.timestamp)
+        self.stats.shed += 1
+        self._m_shed.inc()
+        self._m_shed_age.observe(age)
+        if age > self.stats.oldest_shed_age:
+            self.stats.oldest_shed_age = age
+            self._m_oldest_shed.set(age)
 
     def _sync_depth(self) -> None:
         depth = len(self._queue)
@@ -192,18 +211,16 @@ class ReportUplink:
             # Shed the oldest non-in-flight report.
             for key in self._queue:
                 if key not in self._in_flight:
-                    del self._queue[key]
+                    victim = self._queue.pop(key)
                     self._forget(key)
-                    self.stats.shed += 1
-                    self._m_shed.inc()
+                    self._account_shed(victim)
                     break
             else:
                 # Everything is in flight; shed the eldest anyway.
-                key, _ = self._queue.popitem(last=False)
+                key, victim = self._queue.popitem(last=False)
                 self._in_flight.discard(key)
                 self._forget(key)
-                self.stats.shed += 1
-                self._m_shed.inc()
+                self._account_shed(victim)
         key = self._next_key
         self._next_key += 1
         self._queue[key] = report
@@ -283,7 +300,9 @@ class ReportUplink:
             attempts += 1
         return attempts
 
-    def flush_batched(self, force: bool = False, max_batch: int = 64) -> int:
+    def flush_batched(
+        self, force: bool = False, max_batch: int = 64, limit: int | None = None
+    ) -> int:
         """Batched alternative to :meth:`flush`: all eligible reports
         go up in one ``post_report_batch`` RPC per ``max_batch`` chunk.
 
@@ -292,12 +311,22 @@ class ReportUplink:
         :meth:`flush`: per-report acks, per-report backoff on failure,
         and the PDME's batch intake dedups by the same durable ids, so
         OOSM state is byte-identical to per-report delivery.
+
+        ``limit`` caps eligible reports taken this call (oldest first);
+        the rest stay queued without touching their backoff state.  The
+        streaming daemon uses this to drain an outage backlog in bounded
+        per-tick chunks instead of one giant burst that starves live
+        traffic.
         """
         if max_batch < 1:
             raise NetworkError(f"max_batch must be >= 1, got {max_batch}")
+        if limit is not None and limit < 1:
+            raise NetworkError(f"limit must be >= 1 when given, got {limit}")
         now = self.clock.now()
         eligible: list[int] = []
         for key in self._queue:
+            if limit is not None and len(eligible) >= limit:
+                break
             if key in self._in_flight:
                 continue
             if not force and self._next_retry.get(key, float("-inf")) > now:
@@ -362,6 +391,35 @@ class ReportUplink:
             self.pdme_name, "post_report_batch", {"reports": payloads},
             on_reply=on_reply, on_error=on_error,
         )
+
+    def shed_stale(self, cutoff: float) -> int:
+        """Shed every queued, non-in-flight report older than ``cutoff``
+        seconds (by its own timestamp).  Returns reports shed.
+
+        The hard staleness bound for catch-up after downtime: a report
+        whose condition data is hours old no longer improves the PDME's
+        picture — fresh scans have superseded it — so replaying it only
+        delays live traffic.  Shedding here goes through the same
+        age accounting as capacity shedding, so the conservation law
+        ``produced = delivered + backlog + shed + rejected`` still holds
+        and post-mortems can see exactly how stale the discard was.
+        """
+        if cutoff <= 0:
+            raise NetworkError(f"staleness cutoff must be > 0, got {cutoff}")
+        now = self.clock.now()
+        shed = 0
+        for key in list(self._queue):
+            if key in self._in_flight:
+                continue
+            report = self._queue[key]
+            if now - report.timestamp > cutoff:
+                del self._queue[key]
+                self._forget(key)
+                self._account_shed(report)
+                shed += 1
+        if shed:
+            self._sync_depth()
+        return shed
 
     # -- crash/restart recovery ------------------------------------------
     def crash(self) -> None:

@@ -246,6 +246,45 @@ class EventKernel:
         self.clock.advance_to(t_end)
         return executed
 
+    def run_budgeted(self, t_end: float, max_events: int) -> tuple[int, bool]:
+        """Run events up to ``t_end`` under a hard event budget.
+
+        The deterministic form of a per-stage deadline: a wall-clock
+        budget varies with the host, but an *event* budget is a pure
+        function of the schedule, so a stalled stage (event storm,
+        runaway reschedule loop) is detected identically on every
+        machine.  Returns ``(executed, completed)``; when the budget
+        runs out the clock stays wherever the last event left it (never
+        advanced to ``t_end``) so the caller can grant another budget
+        slice and resume exactly where it stopped.
+        """
+        if t_end < self.now():
+            raise SchedulingError(f"t_end {t_end} is in the past ({self.now()})")
+        if max_events < 1:
+            raise SchedulingError(f"run_budgeted needs max_events >= 1, got {max_events}")
+        executed = 0
+        while executed < max_events:
+            head = self._queue.peek()
+            if head is None:
+                break
+            t, seq, callback = head
+            if t > t_end:
+                break
+            self._queue.pop()
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.clock.advance_to(t)
+            self._m_executed.inc()
+            self._m_pending.set(len(self._queue))
+            callback()
+            executed += 1
+        head = self._queue.peek()
+        completed = head is None or head[0] > t_end
+        if completed:
+            self.clock.advance_to(t_end)
+        return executed, completed
+
     def run(self, max_events: int = 1_000_000) -> int:
         """Drain the queue entirely (bounded); returns events executed."""
         executed = 0

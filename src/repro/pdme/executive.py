@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.common.clock import Clock
 from repro.common.errors import MprosError, ProtocolError
 from repro.common.ids import ObjectId
 from repro.fusion.engine import FusionConclusion, KnowledgeFusionEngine
@@ -43,6 +44,11 @@ class PdmeExecutive:
     on_update:
         Optional display callback invoked with each fusion conclusion
         ("this display is updated as new reports arrive", §3.2).
+    clock:
+        Optional simulated clock; when present, every accepted report's
+        age (intake time minus report timestamp) is observed into the
+        ``pdme.intake.report_age_seconds`` histogram — live traffic
+        lands near zero, catch-up replays show the outage they crossed.
     """
 
     def __init__(
@@ -52,8 +58,10 @@ class PdmeExecutive:
         believability: dict[ObjectId, float] | None = None,
         on_update: Callable[[FusionConclusion], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.model = model
+        self.clock = clock
         self.metrics = metrics if metrics is not None else default_registry()
         self.engine = KnowledgeFusionEngine(
             registry if registry is not None else default_chiller_groups(),
@@ -65,6 +73,7 @@ class PdmeExecutive:
         self._m_duplicates = self.metrics.counter("pdme.duplicates_dropped")
         self._m_refused = self.metrics.counter("pdme.reports_refused")
         self._m_conclusions = self.metrics.counter("pdme.conclusions")
+        self._m_intake_age = self.metrics.histogram("pdme.intake.report_age_seconds")
         self._on_update = on_update
         self.conclusions: list[FusionConclusion] = []
         self.intake_errors: list[str] = []
@@ -79,12 +88,21 @@ class PdmeExecutive:
         model.bus.subscribe(ReportBatchPosted, self._on_report_batch_posted)
 
     # -- intake -----------------------------------------------------------
+    def _observe_intake_age(self, report: FailurePredictionReport) -> None:
+        if self.clock is not None:
+            self._m_intake_age.observe(
+                max(0.0, self.clock.now() - report.timestamp)
+            )
+
     def submit(self, report: FailurePredictionReport) -> None:
         """Post one report into the OOSM (which triggers fusion)."""
+        self._observe_intake_age(report)
         self.model.post_report(report)
 
     def submit_batch(self, reports: list[FailurePredictionReport]) -> None:
         """Post a batch of reports into the OOSM in one posting."""
+        for report in reports:
+            self._observe_intake_age(report)
         self.model.post_reports(reports)
 
     def _on_report_posted(self, event: ReportPosted) -> None:

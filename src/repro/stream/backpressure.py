@@ -1,0 +1,141 @@
+"""Backpressure for the streaming daemon.
+
+The uplink already *survives* overload by shedding its oldest reports —
+but shedding is the failure the daemon exists to avoid, not a control
+strategy.  This controller reads the same ``dc.uplink.backlog`` gauges
+the observability layer exports (one per DC) and reacts *before* the
+queue fills:
+
+* above the high-water utilization (or the moment any uplink sheds),
+  low-priority periodic scans are deferred on the pressured DCs and the
+  daemon's tick interval is stretched, giving each tick a longer drain
+  window per unit of new work;
+* once every DC is back under the low-water mark (hysteresis — a
+  controller that flaps with the queue is worse than none), deferred
+  scans are re-enabled and the tick interval returns to nominal.
+
+What counts as "low-priority" is configuration: the default defers the
+process-variable scan (the high-rate report producer) and never touches
+the RMS alarm scan — constant alarming is the §5 safety function and
+keeps running under any pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import MprosError
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.system import MprosSystem
+
+
+@dataclass(frozen=True)
+class BackpressureEvent:
+    """One engage/release transition."""
+
+    t: float
+    dc: str
+    state: str          # "engaged" | "released"
+    utilization: float  # backlog / capacity at the transition
+    backlog: int
+
+
+class BackpressureController:
+    """Hysteresis controller over the per-DC uplink backlog gauges.
+
+    Parameters
+    ----------
+    high / low:
+        Utilization (backlog / capacity) water marks; engage at or
+        above ``high``, release at or below ``low``.
+    stretch:
+        Tick-interval multiplier while any DC is under pressure.
+    defer_tasks:
+        Scheduler task names to disable on a pressured DC (silently
+        skipped when a DC does not run them).
+    """
+
+    def __init__(
+        self,
+        system: MprosSystem,
+        high: float = 0.5,
+        low: float = 0.2,
+        stretch: float = 2.0,
+        defer_tasks: tuple[str, ...] = ("process-scan",),
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0.0 < low < high <= 1.0:
+            raise MprosError(f"need 0 < low < high <= 1, got low={low} high={high}")
+        if stretch < 1.0:
+            raise MprosError(f"stretch must be >= 1, got {stretch}")
+        self.system = system
+        self.high = high
+        self.low = low
+        self.stretch = stretch
+        self.defer_tasks = tuple(defer_tasks)
+        self.events: list[BackpressureEvent] = []
+        self.ticks_active = 0
+        self._pressured: set[str] = set()
+        self._last_shed: dict[str, int] = {}
+        reg = metrics if metrics is not None else default_registry()
+        self._reg = reg
+        self._m_active = reg.gauge("stream.backpressure.active_dcs")
+        self._m_engaged = reg.counter("stream.backpressure.engaged")
+        self._m_released = reg.counter("stream.backpressure.released")
+
+    @property
+    def active(self) -> bool:
+        """Is any DC currently under backpressure?"""
+        return bool(self._pressured)
+
+    def utilization(self, dc_index: int) -> float:
+        """One DC's backlog gauge reading over its uplink capacity."""
+        uplink = self.system.uplinks[dc_index]
+        dc = str(self.system.dcs[dc_index].dc_id)
+        # Read the published gauge, not the queue, so the controller
+        # sees exactly what a fleet dashboard would see.
+        backlog = self.system.metrics.gauge("dc.uplink.backlog", dc=dc).value
+        return float(backlog) / float(uplink.capacity)
+
+    def _set_deferred(self, dc_index: int, deferred: bool) -> None:
+        scheduler = self.system.dcs[dc_index].scheduler
+        names = {t.name for t in scheduler.tasks()}
+        for task in self.defer_tasks:
+            if task in names:
+                scheduler.enable(task, not deferred)
+
+    def update(self) -> float:
+        """Re-evaluate every DC; returns the tick-interval multiplier.
+
+        Call once per daemon tick, after the sweep.  Shedding since the
+        previous tick engages a DC immediately regardless of the water
+        marks — by the time the queue sheds, "approaching full" is no
+        longer a question.
+        """
+        now = self.system.kernel.now()
+        for i, uplink in enumerate(self.system.uplinks):
+            dc = str(self.system.dcs[i].dc_id)
+            util = self.utilization(i)
+            shed = uplink.stats.shed
+            shedding = shed > self._last_shed.get(dc, 0)
+            self._last_shed[dc] = shed
+            pressured = dc in self._pressured
+            if not pressured and (util >= self.high or shedding):
+                self._pressured.add(dc)
+                self._set_deferred(i, True)
+                self._m_engaged.inc()
+                self.events.append(
+                    BackpressureEvent(now, dc, "engaged", util, uplink.backlog)
+                )
+            elif pressured and util <= self.low and not shedding:
+                self._pressured.discard(dc)
+                self._set_deferred(i, False)
+                self._m_released.inc()
+                self.events.append(
+                    BackpressureEvent(now, dc, "released", util, uplink.backlog)
+                )
+        self._m_active.set(len(self._pressured))
+        if self._pressured:
+            self.ticks_active += 1
+            return self.stretch
+        return 1.0

@@ -1,0 +1,119 @@
+"""Bounded catch-up after downtime.
+
+A DC returning from an outage carries its missed window as a recovered
+uplink backlog.  Replaying all of it at once is the classic recovery
+anti-pattern: the burst competes with live traffic for the link, the
+PDME, and the tick budget — exactly when the system is at its most
+fragile.  This controller drains the backlog through the batched OOSM
+intake (``post_report_batch``, PDME-side dedup by durable report id) in
+*bounded per-tick chunks*, after first applying the hard staleness
+cutoff: reports older than the cutoff are shed (with full age
+accounting, so the loss is visible and attributable) rather than
+replayed, because hours-old condition data has already been superseded
+by fresher scans and replaying it only delays the live ones.
+
+Catch-up is a skipped stage while every backlog sits at or under the
+activation threshold — the threshold separates "normal in-flight tail"
+from "missed window", so steady-state ticks never pay for recovery
+machinery they do not need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import MprosError
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.system import MprosSystem
+
+
+@dataclass
+class CatchupStats:
+    """What bounded catch-up did over a daemon run."""
+
+    #: Reports put on the wire by catch-up chunks.
+    drained: int = 0
+    #: Reports shed by the staleness cutoff instead of replayed.
+    stale_shed: int = 0
+    #: Ticks on which at least one DC was in catch-up.
+    ticks_active: int = 0
+
+
+class CatchupController:
+    """Per-tick bounded drain of outage backlogs.
+
+    Parameters
+    ----------
+    threshold:
+        Backlog size (reports) above which a DC enters catch-up; at or
+        below it the stage is skipped for that DC.
+    chunk:
+        Maximum reports a DC replays per tick — the bound that keeps
+        recovery from starving live traffic.
+    max_batch:
+        Reports per ``post_report_batch`` RPC within a chunk.
+    staleness_cutoff:
+        Hard age bound (seconds, by report timestamp); older reports
+        are shed, not replayed.
+    """
+
+    def __init__(
+        self,
+        system: MprosSystem,
+        threshold: int = 32,
+        chunk: int = 64,
+        max_batch: int = 64,
+        staleness_cutoff: float = 3600.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if threshold < 0:
+            raise MprosError(f"catch-up threshold must be >= 0, got {threshold}")
+        if chunk < 1:
+            raise MprosError(f"catch-up chunk must be >= 1, got {chunk}")
+        if staleness_cutoff <= 0:
+            raise MprosError(
+                f"staleness cutoff must be > 0, got {staleness_cutoff}"
+            )
+        self.system = system
+        self.threshold = threshold
+        self.chunk = chunk
+        self.max_batch = max_batch
+        self.staleness_cutoff = staleness_cutoff
+        self.stats = CatchupStats()
+        reg = metrics if metrics is not None else default_registry()
+        self._m_drained = reg.counter("stream.catchup.drained")
+        self._m_stale = reg.counter("stream.catchup.stale_shed")
+
+    def pending(self) -> bool:
+        """Is any DC over the catch-up threshold?  (The daemon's
+        skip-empty check for this stage.)"""
+        return any(u.backlog > self.threshold for u in self.system.uplinks)
+
+    def update(self) -> int:
+        """Run one bounded catch-up slice; returns reports replayed.
+
+        Order per DC: staleness shed first (never spend the chunk
+        budget on reports the cutoff would discard), then one forced
+        batched flush of at most ``chunk`` reports, oldest first.
+        """
+        drained = 0
+        active = False
+        for uplink in self.system.uplinks:
+            if uplink.backlog <= self.threshold:
+                continue
+            active = True
+            stale = uplink.shed_stale(self.staleness_cutoff)
+            if stale:
+                self.stats.stale_shed += stale
+                self._m_stale.inc(stale)
+            if uplink.backlog <= self.threshold:
+                continue
+            drained += uplink.flush_batched(
+                force=True, max_batch=self.max_batch, limit=self.chunk
+            )
+        if active:
+            self.stats.ticks_active += 1
+        if drained:
+            self.stats.drained += drained
+            self._m_drained.inc(drained)
+        return drained

@@ -1,0 +1,338 @@
+"""The always-on streaming daemon: a wall-tick pipeline loop.
+
+Everything else in the repro is replay-driven — build a system, run the
+kernel to a horizon, inspect the wreckage.  The paper's MPROS is the
+opposite: an unattended shipboard process that must keep the DC
+acquisition → uplink → PDME ingest → fusion loop turning through
+stalls, outages and traffic bursts for months.  :class:`StreamDaemon`
+is that mode: a long-running loop that drives the existing event kernel
+in fixed *ticks*, with a watchdog, backpressure, and bounded catch-up
+wrapped around every one.
+
+Each tick runs four stages:
+
+``advance``
+    One budgeted kernel slice up to the tick boundary.  The per-stage
+    deadline is an *event* budget, not a wall clock — an event budget
+    is a pure function of the schedule, so a runaway stage (event
+    storm, reschedule loop) is detected identically on every host and
+    the detection itself is replayable.  A slice that exhausts its
+    budget gets up to ``retry_slices`` more (the watchdog ladder's
+    rung 0); a tick that still cannot reach its boundary is recorded as
+    stalled and the loop moves on rather than hanging.
+``flush``
+    Backoff-respecting uplink retry for every DC — skipped entirely
+    when no uplink holds a report (skip-empty-stages).
+``catchup``
+    Bounded replay of outage backlogs through the batched OOSM intake,
+    with the hard staleness cutoff (see :mod:`repro.stream.catchup`) —
+    skipped while no backlog exceeds the activation threshold.
+``sweep``
+    Heartbeat-monitor sweep → watchdog escalation ladder → backpressure
+    re-evaluation.  Backpressure's verdict sets the *next* tick's
+    interval stretch and scan deferrals.
+
+Time is simulated throughout, which is what makes the chaos drills and
+the CI recovery gate deterministic: the "wall tick" maps to real time
+only at deployment, where the loop body would be driven by a monotonic
+timer instead of :meth:`EventKernel.run_budgeted`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import MprosError
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.stream.backpressure import BackpressureController, BackpressureEvent
+from repro.stream.catchup import CatchupController, CatchupStats
+from repro.stream.watchdog import Watchdog, WatchdogEvent, WatchdogStats
+from repro.system import MprosSystem
+
+#: Stage names, in per-tick execution order.
+STAGES = ("advance", "flush", "catchup", "sweep")
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Knobs for the streaming loop.
+
+    Per-stage deadline budgets are expressed in deterministic units:
+    kernel events for ``advance`` (``advance_budget`` per slice,
+    ``retry_slices`` extra slices before a tick is declared stalled)
+    and report counts for flush/catch-up (``catchup_chunk`` per tick).
+    """
+
+    tick_interval: float = 60.0
+    advance_budget: int = 200_000
+    retry_slices: int = 3
+    backpressure_high: float = 0.5
+    backpressure_low: float = 0.2
+    stretch_factor: float = 2.0
+    defer_tasks: tuple[str, ...] = ("process-scan",)
+    catchup_threshold: int = 32
+    catchup_chunk: int = 64
+    catchup_max_batch: int = 64
+    staleness_cutoff: float = 3600.0
+    restart_cooldown_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.tick_interval <= 0:
+            raise MprosError(f"tick_interval must be > 0, got {self.tick_interval}")
+        if self.advance_budget < 1:
+            raise MprosError(
+                f"advance_budget must be >= 1, got {self.advance_budget}"
+            )
+        if self.retry_slices < 0:
+            raise MprosError(f"retry_slices must be >= 0, got {self.retry_slices}")
+
+
+@dataclass
+class DaemonReport:
+    """What the loop did over a run — the daemon-side complement to the
+    chaos engine's conservation-law resilience report."""
+
+    ticks: int
+    sim_start: float
+    sim_end: float
+    stage_runs: dict[str, int]
+    stage_skips: dict[str, int]
+    stalled_ticks: int
+    extra_slices: int
+    events_executed: int
+    watchdog: WatchdogStats
+    watchdog_events: list[WatchdogEvent]
+    backpressure_events: list[BackpressureEvent]
+    ticks_under_backpressure: int
+    catchup: CatchupStats
+    #: Completed degradation→recovery cycles per DC (satellite of the
+    #: flap-detection counter in the heartbeat monitor).
+    flap_counts: dict[str, int] = field(default_factory=dict)
+    final_health: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.sim_end - self.sim_start
+
+    @property
+    def all_alive(self) -> bool:
+        """Did the run end with every DC healthy?"""
+        return all(state == "alive" for state in self.final_health.values())
+
+    @property
+    def max_recovery_seconds(self) -> float:
+        """Worst watchdog-handled outage, detection to healthy (0.0
+        when nothing needed healing)."""
+        times = [seconds for _dc, seconds in self.watchdog.recovery_times]
+        return max(times) if times else 0.0
+
+    def summary(self) -> str:
+        """Human-readable daemon report."""
+        lines = [
+            f"daemon: {self.ticks} ticks, {self.sim_seconds:.0f} s simulated "
+            f"[t+{self.sim_start:.0f}s .. t+{self.sim_end:.0f}s], "
+            f"{self.events_executed} kernel events",
+            "  stages: " + "  ".join(
+                f"{name}={self.stage_runs[name]}r/{self.stage_skips[name]}s"
+                for name in STAGES
+            ) + "  (r=ran, s=skipped)",
+            f"  stalls: {self.stalled_ticks} stalled ticks, "
+            f"{self.extra_slices} extra budget slices granted",
+            f"  watchdog: "
+            + ", ".join(
+                f"{rung}={count}"
+                for rung, count in self.watchdog.escalations.items()
+            )
+            + f"; {self.watchdog.restarts} forced restarts, "
+            f"{self.watchdog.recovered_reports} reports recovered",
+            f"  backpressure: {len(self.backpressure_events)} transitions, "
+            f"{self.ticks_under_backpressure} ticks under pressure",
+            f"  catch-up: {self.catchup.drained} reports replayed in bounded "
+            f"chunks, {self.catchup.stale_shed} shed by staleness cutoff, "
+            f"{self.catchup.ticks_active} active ticks",
+        ]
+        for dc, seconds in self.watchdog.recovery_times:
+            lines.append(f"  recovery {dc}: healthy {seconds:.0f} s after detection")
+        if self.flap_counts:
+            flaps = ", ".join(
+                f"{dc}={n}" for dc, n in sorted(self.flap_counts.items())
+            )
+            lines.append(f"  heartbeat flaps: {flaps}")
+        health = ", ".join(
+            f"{dc}={state}" for dc, state in sorted(self.final_health.items())
+        )
+        lines.append(f"  final health: {health or '(no monitor)'}")
+        return "\n".join(lines)
+
+
+class StreamDaemon:
+    """The wall-tick pipeline loop over an assembled system."""
+
+    def __init__(
+        self,
+        system: MprosSystem,
+        config: DaemonConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if system.monitor is None:
+            raise MprosError(
+                "the streaming daemon needs a system with a heartbeat monitor"
+            )
+        self.system = system
+        self.config = config if config is not None else DaemonConfig()
+        reg = metrics if metrics is not None else default_registry()
+        self.watchdog = Watchdog(
+            system,
+            restart_cooldown_ticks=self.config.restart_cooldown_ticks,
+            metrics=reg,
+        )
+        self.backpressure = BackpressureController(
+            system,
+            high=self.config.backpressure_high,
+            low=self.config.backpressure_low,
+            stretch=self.config.stretch_factor,
+            defer_tasks=self.config.defer_tasks,
+            metrics=reg,
+        )
+        self.catchup = CatchupController(
+            system,
+            threshold=self.config.catchup_threshold,
+            chunk=self.config.catchup_chunk,
+            max_batch=self.config.catchup_max_batch,
+            staleness_cutoff=self.config.staleness_cutoff,
+            metrics=reg,
+        )
+        self.ticks = 0
+        self.stalled_ticks = 0
+        self.extra_slices = 0
+        self.events_executed = 0
+        self.stage_runs = {name: 0 for name in STAGES}
+        self.stage_skips = {name: 0 for name in STAGES}
+        self._stretch = 1.0
+        self._sim_start = system.kernel.now()
+        self._m_ticks = reg.counter("stream.ticks")
+        self._m_stalled = reg.counter("stream.stalled_ticks")
+        self._m_stage_runs = {
+            name: reg.counter("stream.stage_runs", stage=name) for name in STAGES
+        }
+        self._m_stage_skips = {
+            name: reg.counter("stream.stage_skips", stage=name) for name in STAGES
+        }
+        self._m_interval = reg.gauge("stream.tick_interval_seconds")
+        self._m_interval.set(self.config.tick_interval)
+
+    def _ran(self, stage: str) -> None:
+        self.stage_runs[stage] += 1
+        self._m_stage_runs[stage].inc()
+
+    def _skipped(self, stage: str) -> None:
+        self.stage_skips[stage] += 1
+        self._m_stage_skips[stage].inc()
+
+    def tick(self) -> None:
+        """Run one full tick: advance → flush → catchup → sweep."""
+        cfg = self.config
+        kernel = self.system.kernel
+        monitor = self.system.monitor
+        assert monitor is not None  # constructor guarantees it
+
+        # -- advance: budgeted kernel slice to the tick boundary ----------
+        interval = cfg.tick_interval * self._stretch
+        self._m_interval.set(interval)
+        target = kernel.now() + interval
+        completed = False
+        for granted in range(cfg.retry_slices + 1):
+            executed, completed = kernel.run_budgeted(target, cfg.advance_budget)
+            self.events_executed += executed
+            if granted > 0:
+                self.extra_slices += 1
+            if completed:
+                break
+        if not completed:
+            # The tick could not reach its boundary under any granted
+            # budget: record the stall and move on — the sweep stage
+            # still runs so the watchdog can act, and the next tick
+            # resumes from wherever the kernel stopped.
+            self.stalled_ticks += 1
+            self._m_stalled.inc()
+        self._ran("advance")
+
+        # -- flush: backoff-respecting retry (skip-empty) ------------------
+        if any(u.backlog for u in self.system.uplinks):
+            for uplink in self.system.uplinks:
+                if uplink.backlog:
+                    uplink.flush()
+            self._ran("flush")
+        else:
+            self._skipped("flush")
+
+        # -- catchup: bounded outage replay (skip-empty) -------------------
+        if self.catchup.pending():
+            self.catchup.update()
+            self._ran("catchup")
+        else:
+            self._skipped("catchup")
+
+        # -- sweep: monitor → watchdog → backpressure ----------------------
+        states = monitor.sweep()
+        self.watchdog.observe(states)
+        self._stretch = self.backpressure.update()
+        self._ran("sweep")
+
+        self.ticks += 1
+        self._m_ticks.inc()
+
+    def run(self, ticks: int) -> DaemonReport:
+        """Run ``ticks`` full ticks and distill the report."""
+        if ticks < 1:
+            raise MprosError(f"ticks must be >= 1, got {ticks}")
+        for _ in range(ticks):
+            self.tick()
+        return self.report()
+
+    def run_for(self, sim_seconds: float) -> DaemonReport:
+        """Run whole ticks until at least ``sim_seconds`` have elapsed.
+
+        Backpressure stretches ticks, so the tick *count* needed to
+        cover a window is not knowable up front; this keeps ticking
+        until the window is covered (a stalled tick still counts toward
+        the loop bound via the stretched clock, so a wedged kernel
+        cannot spin this forever — every tick executes at most
+        ``(retry_slices + 1) * advance_budget`` events).
+        """
+        if sim_seconds <= 0:
+            raise MprosError(f"sim_seconds must be > 0, got {sim_seconds}")
+        end = self.system.kernel.now() + sim_seconds
+        # Worst case every tick stalls without advancing the clock; cap
+        # the loop at the unstretched tick count plus the same again in
+        # stall headroom so a dead kernel terminates with a report.
+        cap = 2 * max(1, math.ceil(sim_seconds / self.config.tick_interval)) + 2
+        for _ in range(cap):
+            self.tick()
+            if self.system.kernel.now() >= end:
+                break
+        return self.report()
+
+    def report(self) -> DaemonReport:
+        """Distill the run so far into a :class:`DaemonReport`."""
+        monitor = self.system.monitor
+        assert monitor is not None
+        final = {dc: state.value for dc, state in monitor.sweep().items()}
+        return DaemonReport(
+            ticks=self.ticks,
+            sim_start=self._sim_start,
+            sim_end=self.system.kernel.now(),
+            stage_runs=dict(self.stage_runs),
+            stage_skips=dict(self.stage_skips),
+            stalled_ticks=self.stalled_ticks,
+            extra_slices=self.extra_slices,
+            events_executed=self.events_executed,
+            watchdog=self.watchdog.stats,
+            watchdog_events=list(self.watchdog.events),
+            backpressure_events=list(self.backpressure.events),
+            ticks_under_backpressure=self.backpressure.ticks_active,
+            catchup=self.catchup.stats,
+            flap_counts=monitor.flap_counts(),
+            final_health=final,
+        )

@@ -1,0 +1,141 @@
+"""The daemon chaos drill: streaming loop under scheduled abuse.
+
+The chaos engine's :class:`~repro.chaos.engine.ResilienceReport` judges
+the *installation* (conservation law, breakers, recovery); the daemon's
+:class:`~repro.stream.daemon.DaemonReport` judges the *loop* (stalls,
+escalations, backpressure, catch-up).  A daemon drill runs both at once
+— the scenario scheduled on the same kernel the daemon ticks — and
+merges the verdicts into one gate CI can trust:
+
+* the conservation law must balance: zero lost, zero duplicated.
+  Shedding is allowed *only* because it is accounted — the daemon's
+  backpressure exists to keep it at zero, and the default drill does —
+  but an unaccounted report is always a failure;
+* every breaker re-closed and every DC ALIVE at the end;
+* the worst watchdog-handled outage recovered within the ceiling
+  (simulated seconds from detection to healthy — deterministic, so the
+  gate never flakes on a loaded CI host).
+
+The drill tunes the daemon for the compressed chaos timeline: low
+backpressure water marks (the scenario's storm backlog is small against
+the uplink's absolute capacity) and a catch-up threshold under the
+crash backlog, so every mechanism actually engages during the run.
+
+One caveat when reading the merged output: the chaos engine's per-fault
+recovery inference assumes the *schedule* performs recovery at the end
+of each fault window.  Under a daemon the watchdog usually heals the DC
+mid-window, so those per-fault lines can read "NOT RECOVERED" while the
+daemon report carries the true detection-to-healthy time — the gated
+number is :attr:`DaemonReport.max_recovery_seconds`, always.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.engine import ChaosEngine, ResilienceReport
+from repro.chaos.scenario import ChaosScenario, daemon_scenario
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.stream.daemon import DaemonConfig, DaemonReport, StreamDaemon
+from repro.system import build_mpros_system
+
+#: Worst acceptable watchdog recovery (simulated seconds, detection to
+#: healthy).  Sweep period 15 s + suspect 40 s / down 90 s thresholds +
+#: three ladder rungs a tick apart fit comfortably inside this.
+RECOVERY_CEILING = 300.0
+
+
+def drill_config(tick_interval: float = 60.0) -> DaemonConfig:
+    """Daemon knobs tuned for the compressed chaos timeline."""
+    return DaemonConfig(
+        tick_interval=tick_interval,
+        # The scenario's storm builds tens of reports against a 512-slot
+        # queue; absolute-capacity water marks would never trip.
+        backpressure_high=0.05,
+        backpressure_low=0.01,
+        # Under the post-crash recovered backlog, over the in-flight tail.
+        catchup_threshold=16,
+        catchup_chunk=32,
+        staleness_cutoff=3600.0,
+    )
+
+
+@dataclass
+class DaemonDrillReport:
+    """Combined verdict: the installation's resilience report plus the
+    daemon's loop report, gated together."""
+
+    resilience: ResilienceReport
+    daemon: DaemonReport
+    recovery_ceiling: float = RECOVERY_CEILING
+
+    @property
+    def ok(self) -> bool:
+        """Did the drill meet the always-on bar?
+
+        Unlike :attr:`ResilienceReport.ok`, accounted shedding does not
+        fail the drill by itself — backpressure and the staleness
+        cutoff shed *deliberately* and visibly — but conservation,
+        breaker state, final liveness, and the recovery ceiling are all
+        hard requirements.
+        """
+        return (
+            self.resilience.lost == 0
+            and self.resilience.duplicated == 0
+            and self.resilience.breakers_closed
+            and self.daemon.ticks > 0
+            and self.daemon.all_alive
+            and self.daemon.max_recovery_seconds <= self.recovery_ceiling
+        )
+
+    def summary(self) -> str:
+        """Both reports plus the merged verdict."""
+        lines = [
+            self.resilience.summary(),
+            self.daemon.summary(),
+            f"  recovery ceiling: {self.daemon.max_recovery_seconds:.0f} s "
+            f"worst observed vs {self.recovery_ceiling:.0f} s allowed",
+            f"  drill verdict: {'PASS' if self.ok else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_daemon_drill(
+    scenario: ChaosScenario | None = None,
+    quick: bool = False,
+    ticks: int | None = None,
+    config: DaemonConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    recovery_ceiling: float = RECOVERY_CEILING,
+) -> DaemonDrillReport:
+    """Run the streaming daemon through a chaos scenario and gate it.
+
+    Builds the system from the scenario's seed, schedules the scenario
+    on the kernel, then lets the daemon tick through the whole window
+    (or exactly ``ticks`` ticks when given).  Fully deterministic: the
+    same (scenario, config) pair replays event-for-event.
+    """
+    scenario = scenario if scenario is not None else daemon_scenario(quick=quick)
+    reg = metrics if metrics is not None else default_registry()
+    system = build_mpros_system(
+        n_chillers=max(2, scenario.max_dc_index() + 1),
+        seed=scenario.seed,
+        plant=scenario.plant,
+        metrics=reg,
+    )
+    engine = ChaosEngine(system, scenario)
+    engine.schedule()
+    cfg = config if config is not None else drill_config()
+    daemon = StreamDaemon(system, cfg, metrics=reg)
+    if ticks is not None:
+        daemon_report = daemon.run(ticks)
+    else:
+        daemon_report = daemon.run_for(scenario.duration)
+    # The engine's accounting must also credit reports the *watchdog*
+    # recovered via forced restarts, not just its own scheduled ones.
+    engine.recovered_reports += daemon.watchdog.stats.recovered_reports
+    return DaemonDrillReport(
+        resilience=engine.report(),
+        daemon=daemon_report,
+        recovery_ceiling=recovery_ceiling,
+    )

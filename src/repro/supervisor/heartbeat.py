@@ -96,6 +96,10 @@ class HeartbeatMonitor:
         self._state: dict[str, DcHealth] = {}
         #: (time, dc, from-state, to-state) transition log.
         self.transitions: list[tuple[float, str, str, str]] = []
+        #: Completed degradation→recovery cycles per DC (flap detection:
+        #: a link that bounces shows up here as a climbing count while
+        #: the state gauge keeps reading a healthy 0).
+        self._flaps: dict[str, int] = {}
         self._reg = metrics if metrics is not None else default_registry()
         self._gauges: dict[str, Any] = {}
 
@@ -119,6 +123,13 @@ class HeartbeatMonitor:
             self._reg.counter(
                 "supervisor.heartbeat.transitions", dc=dc, to=state.value
             ).inc()
+            if state is DcHealth.ALIVE:
+                # A completed degradation cycle (alive -> suspect/down
+                # -> alive).  The *current-state* gauge cannot show a
+                # flapping DC — it reads ALIVE between bounces — so the
+                # cycle count is the flap-detection signal.
+                self._flaps[dc] = self._flaps.get(dc, 0) + 1
+                self._reg.counter("supervisor.heartbeat.flaps", dc=dc).inc()
 
     # -- intake -----------------------------------------------------------
     def register(self, dc: str) -> None:
@@ -174,3 +185,11 @@ class HeartbeatMonitor:
     def states(self) -> dict[str, DcHealth]:
         """Sweep and return every DC's classification."""
         return self.sweep()
+
+    def flap_counts(self) -> dict[str, int]:
+        """Completed degradation→recovery cycles per monitored DC.
+
+        Only DCs that have flapped at least once appear.  Two cycles in
+        one scenario window is an unstable link worth a finding even
+        though the final state reads healthy."""
+        return dict(self._flaps)

@@ -150,6 +150,29 @@ class MprosSystem:
         dc.scheduler.resume()
         return recovered
 
+    def force_restart_dc(self, dc_index: int) -> int:
+        """Watchdog-driven full restart, valid from *any* DC state.
+
+        :meth:`restart_dc` insists the DC is already down — correct for
+        scripted chaos choreography, but a watchdog faces a DC it can
+        only observe: wedged-running, half-crashed, or resumed without
+        recovery.  This path forces the complete crash/recovery cycle —
+        suspend, wipe volatile state, rejoin the network, reload the
+        durable backlog (original report ids, so PDME dedup keeps
+        delivery exactly-once), restore cursors, resume.  Reports in the
+        volatile queue are all persisted unacked, so the wipe loses
+        nothing.  Returns reports recovered."""
+        dc = self.dcs[dc_index]
+        if not dc.scheduler.suspended:
+            dc.scheduler.suspend()
+        self._dc_endpoints[dc_index].reset()
+        self.uplinks[dc_index].crash()
+        self.network.set_down(f"dc:{dc_index}", "pdme", False)
+        dc.restore_cursors()
+        recovered = self.uplinks[dc_index].recover()
+        dc.scheduler.resume()
+        return recovered
+
 
 def build_mpros_system(
     n_chillers: int = 2,
@@ -194,7 +217,7 @@ def build_mpros_system(
         model, ship, units = build_codlag_ship(n_trains=n_chillers)
     else:
         model, ship, units = build_chilled_water_ship(n_chillers=n_chillers)
-    pdme = PdmeExecutive(model, metrics=metrics)
+    pdme = PdmeExecutive(model, metrics=metrics, clock=kernel.clock)
     pdme_ep = RpcEndpoint("pdme", network, kernel, metrics=metrics)
     pdme.serve_on(pdme_ep)
     register_icas_interface(pdme, pdme_ep)

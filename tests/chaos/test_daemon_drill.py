@@ -1,0 +1,94 @@
+"""The streaming-daemon chaos drill: the always-on loop under
+storm + crash + clock-hold + flap, gated on conservation, liveness and
+the deterministic recovery-time ceiling (the CI `mpros daemon --quick`
+job runs exactly this)."""
+
+import pytest
+
+from repro.chaos import ChaosAction, daemon_scenario
+from repro.common.errors import MprosError
+from repro.obs import MetricsRegistry
+from repro.stream import RECOVERY_CEILING, run_daemon_drill
+
+
+@pytest.fixture(scope="module")
+def drill():
+    """One quick daemon drill, shared by every assertion below."""
+    return run_daemon_drill(quick=True, metrics=MetricsRegistry())
+
+
+def test_drill_passes_the_always_on_gate(drill):
+    assert drill.ok
+    assert "drill verdict: PASS" in drill.summary()
+
+
+def test_conservation_law_balances(drill):
+    res = drill.resilience
+    assert res.produced > 0
+    assert res.lost == 0
+    assert res.duplicated == 0
+    # The crash mid-window ate acks: the watchdog's forced restart
+    # replayed the durable backlog, absorbed PDME-side as duplicates.
+    assert res.recovered_reports > 0
+    assert res.duplicate_acks >= 1
+
+
+def test_every_mechanism_actually_engaged(drill):
+    daemon = drill.daemon
+    assert daemon.ticks > 0
+    # The ladder ran all the way to a forced restart for the crash...
+    assert daemon.watchdog.restarts >= 1
+    assert daemon.watchdog.escalations["retry"] >= 1
+    # ...and the clock-hold healed at the stage-restart rung.
+    assert daemon.watchdog.escalations["stage-restart"] >= 1
+    # The report storm tripped backpressure at least once.
+    assert any(e.state == "engaged" for e in daemon.backpressure_events)
+    assert any(e.state == "released" for e in daemon.backpressure_events)
+    # The post-crash backlog drained through bounded catch-up.
+    assert daemon.catchup.drained > 0
+
+
+def test_recovery_beats_the_ceiling_and_ends_alive(drill):
+    daemon = drill.daemon
+    assert daemon.all_alive
+    assert 0.0 < daemon.max_recovery_seconds <= RECOVERY_CEILING
+    # Both abused DCs completed a degradation->recovery cycle.
+    assert drill.resilience.heartbeat_flaps.get("dc:0", 0) >= 1
+    assert drill.resilience.heartbeat_flaps.get("dc:1", 0) >= 1
+    assert "heartbeat flaps" in drill.resilience.summary()
+
+
+def test_daemon_drill_is_deterministic():
+    a = run_daemon_drill(quick=True, metrics=MetricsRegistry())
+    b = run_daemon_drill(quick=True, metrics=MetricsRegistry())
+    assert (a.resilience.produced, a.resilience.at_oosm, a.resilience.shed) == (
+        b.resilience.produced, b.resilience.at_oosm, b.resilience.shed
+    )
+    assert a.daemon.ticks == b.daemon.ticks
+    assert a.daemon.watchdog.escalations == b.daemon.watchdog.escalations
+    assert a.daemon.watchdog.recovery_times == b.daemon.watchdog.recovery_times
+    assert [
+        (e.t, e.dc, e.state) for e in a.daemon.backpressure_events
+    ] == [(e.t, e.dc, e.state) for e in b.daemon.backpressure_events]
+
+
+def test_daemon_scenario_shapes():
+    quick = daemon_scenario(quick=True)
+    full = daemon_scenario()
+    for scenario in (quick, full):
+        kinds = {a.kind for a in scenario.actions}
+        assert {"report_storm", "storm", "crash", "clock_hold", "flap"} <= kinds
+        assert scenario.max_dc_index() == 1
+    assert quick.name == "daemon-quick"
+    assert full.name == "daemon"
+    assert quick.duration < full.duration
+
+
+def test_report_storm_is_a_known_action_kind():
+    action = ChaosAction(
+        at=10.0, kind="report_storm", dc_index=0, duration=60.0,
+        params={"bursts": 3, "per_burst": 2},
+    )
+    assert action.kind == "report_storm"
+    with pytest.raises(MprosError):
+        ChaosAction(at=10.0, kind="report-storm")    # typo'd kind rejected

@@ -133,6 +133,106 @@ def test_bind_store_guards():
         uplink.bind_store(DcDatabase())     # already bound
 
 
+# -- shedding + crash/recover ------------------------------------------------
+
+def make_small_world(capacity=4, seed=0):
+    """A world whose uplink sheds early: durable store + tiny queue."""
+    kernel = EventKernel()
+    net = Network(kernel, np.random.default_rng(seed))
+    dc_ep = RpcEndpoint("dc:0", net, kernel, timeout=0.2, retries=1)
+    pdme_ep = RpcEndpoint("pdme", net, kernel)
+    model, ship, units = build_chilled_water_ship(n_chillers=1)
+    pdme = PdmeExecutive(model)
+    pdme.serve_on(pdme_ep)
+    store = DcDatabase()
+    uplink = ReportUplink(dc_ep, "pdme", capacity=capacity, store=store)
+    return kernel, net, pdme, uplink, store, units[0]
+
+
+def test_recover_after_shedding_keeps_only_the_survivors():
+    """A prolonged outage that overflowed the queue: shed reports are
+    gone from the durable store too, so a crash/recover cycle reloads
+    exactly the post-shed backlog — the conservation accounting
+    (queued = delivered + backlog + shed + rejected) stays intact and
+    nothing shed rises from the dead."""
+    kernel, net, pdme, uplink, store, unit = make_small_world(capacity=4)
+    net.set_down("dc:0", "pdme", True)
+    for i in range(10):
+        uplink.submit(report(unit.motor, i))
+        kernel.run()                        # settle each failed attempt
+    assert uplink.backlog == 4
+    assert uplink.stats.shed == 6
+    assert store.uplink_count() == 4        # shedding purged the store too
+    shed_age_before = uplink.stats.oldest_shed_age
+    assert shed_age_before > 0.0
+
+    uplink.crash()
+    assert uplink.recover() == 4            # only the survivors come back
+    assert uplink.backlog == 4
+    # Shed-age accounting rides the stats object, not the queue, so the
+    # post-mortem signal survives the crash/recover cycle.
+    assert uplink.stats.oldest_shed_age == shed_age_before
+    assert uplink.stats.shed == 6
+
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush(force=True)
+    kernel.run()
+    assert uplink.backlog == 0
+    assert store.uplink_count() == 0
+    # Exactly the four newest reports reach the OOSM — none of the six
+    # shed ones resurrected.
+    assert pdme.report_count() == 4
+    times = sorted(r.timestamp for r in pdme.model.all_reports())
+    assert times == [6.0, 7.0, 8.0, 9.0]
+    # queued counts original submissions plus the recovery reload.
+    assert uplink.stats.queued == 10 + 4
+    assert uplink.stats.delivered == 4
+
+
+def test_recover_does_not_resurrect_acked_reports():
+    """Reports acknowledged before the outage are out of the store;
+    recover() must reload only the unacked tail, and its replay stays
+    exactly-once at the OOSM."""
+    kernel, net, pdme, uplink, store, unit = make_small_world(capacity=8)
+    for i in range(3):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    assert pdme.report_count() == 3
+    assert store.uplink_count() == 0        # acks cleared the store
+    net.set_down("dc:0", "pdme", True)
+    for i in range(3, 5):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    uplink.crash()
+    assert uplink.recover() == 2            # the unacked tail only
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush(force=True)
+    kernel.run()
+    assert pdme.report_count() == 5
+    assert pdme.duplicates_dropped == 0
+
+
+def test_shed_stale_purges_the_durable_store():
+    """The catch-up staleness cutoff must discard durably: a report
+    shed as stale, then a crash/recover, must not bring it back."""
+    kernel, net, pdme, uplink, store, unit = make_small_world(capacity=16)
+    net.set_down("dc:0", "pdme", True)
+    for i in range(4):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    kernel.run_until(kernel.now() + 2000.0)
+    uplink.submit(report(unit.motor, int(kernel.now()) - 1))
+    kernel.run()
+    assert uplink.shed_stale(1000.0) == 4
+    assert store.uplink_count() == 1
+    uplink.crash()
+    assert uplink.recover() == 1
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush(force=True)
+    kernel.run()
+    assert pdme.report_count() == 1
+
+
 # -- scheduler cursors -------------------------------------------------------
 
 def test_cursors_persist_and_restore():

@@ -4,6 +4,7 @@ import pytest
 from repro.common.errors import NetworkError
 from repro.dc.uplink import ReportUplink
 from repro.netsim import EventKernel, LinkConfig, Network, RpcEndpoint
+from repro.obs import MetricsRegistry
 from repro.oosm import build_chilled_water_ship
 from repro.pdme import PdmeExecutive
 from repro.protocol import FailurePredictionReport
@@ -124,6 +125,110 @@ def test_lossy_link_eventually_delivers_with_flushes():
     assert uplink.stats.delivered == 10
     assert pdme.report_count() == 10        # duplicates dropped at intake
     assert pdme.duplicates_dropped >= 0
+
+
+def make_metered_world(capacity=4, latency=0.01):
+    """Like make_world but with a private registry so the shed-age
+    instruments can be asserted without cross-test bleed."""
+    metrics = MetricsRegistry()
+    kernel = EventKernel()
+    net = Network(kernel, np.random.default_rng(0))
+    net.connect("dc:0", "pdme", LinkConfig(latency=latency))
+    dc_ep = RpcEndpoint("dc:0", net, kernel, timeout=0.2, retries=1)
+    pdme_ep = RpcEndpoint("pdme", net, kernel)
+    model, ship, units = build_chilled_water_ship(n_chillers=1)
+    pdme = PdmeExecutive(model)
+    pdme.serve_on(pdme_ep)
+    uplink = ReportUplink(dc_ep, "pdme", capacity=capacity, metrics=metrics)
+    return kernel, net, pdme, uplink, units[0], metrics
+
+
+def test_shed_age_accounting_records_the_oldest_victim():
+    """`shed == 6` alone cannot say how stale the discard was; the
+    shed-age stat/histogram/gauge can."""
+    kernel, net, pdme, uplink, unit, metrics = make_metered_world(capacity=4)
+    net.set_down("dc:0", "pdme", True)
+    kernel.run_until(100.0)                 # reports are already 100 s old
+    for i in range(10):
+        uplink.submit(report(unit.motor, i))
+        kernel.run()                        # settle the failed attempts
+    assert uplink.stats.shed == 6
+    # The first victim carried timestamp 0.0 and was shed after t=100,
+    # so the worst observed age is at least the pre-outage gap.
+    assert uplink.stats.oldest_shed_age >= 100.0
+    assert uplink.stats.oldest_shed_age <= kernel.now()
+    hist = metrics.histogram("dc.uplink.shed_age_seconds", dc="dc:0")
+    assert hist.count == 6
+    gauge = metrics.gauge("dc.uplink.oldest_shed_age_seconds", dc="dc:0")
+    assert gauge.value == uplink.stats.oldest_shed_age
+
+
+def test_shed_stale_sheds_only_old_settled_reports():
+    kernel, net, pdme, uplink, unit, metrics = make_metered_world(capacity=64)
+    net.set_down("dc:0", "pdme", True)
+    for i in range(5):
+        uplink.submit(report(unit.motor, i))     # timestamps 0..4
+    kernel.run()
+    kernel.run_until(1000.0)
+    uplink.submit(report(unit.motor, 999))        # fresh, age ~1 s
+    kernel.run()
+    assert uplink.backlog == 6
+    assert uplink.shed_stale(500.0) == 5
+    assert uplink.backlog == 1
+    assert uplink.stats.shed == 5
+    assert uplink.stats.oldest_shed_age >= 1000.0
+    # The survivor still delivers once the link returns.
+    net.set_down("dc:0", "pdme", False)
+    uplink.flush(force=True)
+    kernel.run()
+    assert pdme.report_count() == 1
+    assert [r.timestamp for r in pdme.model.all_reports()] == [999.0]
+
+
+def test_shed_stale_skips_in_flight_reports_and_validates_cutoff():
+    kernel, net, pdme, uplink, unit, metrics = make_metered_world()
+    net.set_down("dc:0", "pdme", True)
+    kernel.run_until(100.0)
+    uplink.submit(report(unit.motor, 0))
+    # No kernel.run(): the submit's attempt is still in flight, so the
+    # report is pinned even though it is far past the cutoff.
+    assert uplink.shed_stale(10.0) == 0
+    assert uplink.backlog == 1
+    kernel.run()                            # the attempt fails; now settled
+    assert uplink.shed_stale(10.0) == 1
+    assert uplink.backlog == 0
+    with pytest.raises(NetworkError):
+        uplink.shed_stale(0.0)
+    with pytest.raises(NetworkError):
+        uplink.shed_stale(-5.0)
+
+
+def test_flush_batched_limit_takes_oldest_first():
+    kernel, net, pdme, uplink, unit, metrics = make_metered_world(capacity=64)
+    net.set_down("dc:0", "pdme", True)
+    for i in range(6):
+        uplink.submit(report(unit.motor, i))
+    kernel.run()
+    net.set_down("dc:0", "pdme", False)
+    assert uplink.flush_batched(force=True, max_batch=2, limit=3) == 3
+    kernel.run()
+    assert pdme.report_count() == 3
+    # The bounded chunk drained the *oldest* reports; the rest stayed
+    # queued untouched.
+    assert sorted(r.timestamp for r in pdme.model.all_reports()) == [0.0, 1.0, 2.0]
+    assert uplink.backlog == 3
+    assert uplink.flush_batched(force=True, max_batch=8) == 3
+    kernel.run()
+    assert uplink.backlog == 0
+    assert pdme.report_count() == 6
+
+
+def test_flush_batched_validation():
+    kernel, net, pdme, uplink, unit = make_world()
+    with pytest.raises(NetworkError):
+        uplink.flush_batched(max_batch=0)
+    with pytest.raises(NetworkError):
+        uplink.flush_batched(limit=0)
 
 
 def test_lost_ack_retransmission_is_idempotent():

@@ -1,0 +1,89 @@
+"""Budgeted kernel slices: the streaming daemon's deterministic
+per-stage deadline (`EventKernel.run_budgeted`)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.netsim import EventKernel
+
+
+def make_kernel_with_events(n=10, spacing=1.0):
+    k = EventKernel()
+    log = []
+    for i in range(n):
+        t = spacing * (i + 1)
+        k.schedule_at(t, lambda t=t: log.append(t))
+    return k, log
+
+
+def test_budget_exhaustion_stops_without_reaching_the_boundary():
+    k, log = make_kernel_with_events(10)
+    executed, completed = k.run_budgeted(10.0, max_events=3)
+    assert (executed, completed) == (3, False)
+    assert log == [1.0, 2.0, 3.0]
+    # The clock stays at the last executed event, never at t_end, so a
+    # follow-up slice resumes exactly where this one stopped.
+    assert k.now() == 3.0
+    assert k.pending == 7
+
+
+def test_follow_up_slice_resumes_and_completes():
+    k, log = make_kernel_with_events(10)
+    k.run_budgeted(10.0, max_events=3)
+    executed, completed = k.run_budgeted(10.0, max_events=1000)
+    assert (executed, completed) == (7, True)
+    assert log == [float(i) for i in range(1, 11)]
+    assert k.now() == 10.0
+    assert k.pending == 0
+
+
+def test_completion_on_empty_queue_advances_to_t_end():
+    k = EventKernel()
+    assert k.run_budgeted(5.0, max_events=1) == (0, True)
+    assert k.now() == 5.0
+
+
+def test_events_past_the_boundary_are_left_alone():
+    k = EventKernel()
+    fired = []
+    k.schedule_at(20.0, lambda: fired.append(True))
+    executed, completed = k.run_budgeted(10.0, max_events=100)
+    assert (executed, completed) == (0, True)
+    assert k.now() == 10.0
+    assert k.pending == 1
+    assert fired == []
+
+
+def test_cancelled_events_do_not_consume_budget():
+    k = EventKernel()
+    log = []
+    k.schedule_at(1.0, lambda: log.append(1.0))
+    doomed = k.schedule_at(2.0, lambda: log.append(2.0))
+    k.schedule_at(3.0, lambda: log.append(3.0))
+    k.cancel(doomed)
+    executed, completed = k.run_budgeted(5.0, max_events=2)
+    assert (executed, completed) == (2, True)
+    assert log == [1.0, 3.0]
+
+
+def test_run_budgeted_validation():
+    k = EventKernel(start=10.0)
+    with pytest.raises(SchedulingError):
+        k.run_budgeted(5.0, max_events=10)       # t_end in the past
+    with pytest.raises(SchedulingError):
+        k.run_budgeted(20.0, max_events=0)       # no budget at all
+
+
+def test_exhausted_slice_replays_identically():
+    """The budget is a pure function of the schedule: two kernels with
+    the same events slice identically (the property the daemon's stall
+    detection rests on)."""
+    a, log_a = make_kernel_with_events(8, spacing=0.5)
+    b, log_b = make_kernel_with_events(8, spacing=0.5)
+    for kernel in (a, b):
+        while True:
+            _, completed = kernel.run_budgeted(4.0, max_events=3)
+            if completed:
+                break
+    assert log_a == log_b
+    assert a.now() == b.now() == 4.0

@@ -1,0 +1,294 @@
+"""The always-on streaming loop: tick scheduling, the dual-signal
+watchdog ladder, hysteresis backpressure, and bounded catch-up."""
+
+import pytest
+
+from repro.common.errors import MprosError
+from repro.obs import MetricsRegistry
+from repro.plant.faults import FaultKind, seeded
+from repro.protocol import FailurePredictionReport
+from repro.stream import (
+    BackpressureController,
+    CatchupController,
+    DaemonConfig,
+    StreamDaemon,
+    Watchdog,
+)
+from repro.system import build_mpros_system
+
+
+def make_system(seed=5, n_chillers=2, fault=False):
+    system = build_mpros_system(
+        n_chillers=n_chillers, seed=seed, metrics=MetricsRegistry()
+    )
+    if fault:
+        system.inject_fault(
+            system.units[0].motor,
+            seeded(FaultKind.MOTOR_IMBALANCE, onset=0.0, severity=0.8),
+        )
+    return system
+
+
+def make_daemon(config=None, **kwargs):
+    system = make_system(**kwargs)
+    return system, StreamDaemon(system, config, metrics=system.metrics)
+
+
+# -- configuration & validation ---------------------------------------------
+
+def test_daemon_config_validation():
+    with pytest.raises(MprosError):
+        DaemonConfig(tick_interval=0.0)
+    with pytest.raises(MprosError):
+        DaemonConfig(advance_budget=0)
+    with pytest.raises(MprosError):
+        DaemonConfig(retry_slices=-1)
+
+
+def test_controller_validation():
+    system = make_system()
+    with pytest.raises(MprosError):
+        BackpressureController(system, high=0.2, low=0.5)     # inverted marks
+    with pytest.raises(MprosError):
+        BackpressureController(system, stretch=0.5)
+    with pytest.raises(MprosError):
+        CatchupController(system, threshold=-1)
+    with pytest.raises(MprosError):
+        CatchupController(system, chunk=0)
+    with pytest.raises(MprosError):
+        CatchupController(system, staleness_cutoff=0.0)
+    with pytest.raises(MprosError):
+        Watchdog(system, restart_cooldown_ticks=0)
+
+
+def test_daemon_requires_a_monitored_system():
+    system = make_system()
+    system.monitor = None
+    with pytest.raises(MprosError):
+        StreamDaemon(system, metrics=MetricsRegistry())
+
+
+def test_run_arguments_validated():
+    system, daemon = make_daemon()
+    with pytest.raises(MprosError):
+        daemon.run(0)
+    with pytest.raises(MprosError):
+        daemon.run_for(0.0)
+
+
+# -- steady state ------------------------------------------------------------
+
+def test_steady_state_ticks_and_skips_empty_stages():
+    system, daemon = make_daemon()
+    report = daemon.run(30)
+    assert report.ticks == 30
+    assert report.sim_seconds == pytest.approx(30 * 60.0)
+    assert report.stalled_ticks == 0
+    # advance and sweep run every tick; a healthy quiet system never
+    # pays for flush or catch-up machinery.
+    assert report.stage_runs["advance"] == 30
+    assert report.stage_runs["sweep"] == 30
+    assert report.stage_runs["flush"] + report.stage_skips["flush"] == 30
+    assert report.stage_skips["catchup"] == 30
+    assert report.events_executed > 0
+    assert report.all_alive
+    assert report.max_recovery_seconds == 0.0
+    assert report.watchdog.restarts == 0
+    assert report.flap_counts == {}
+    assert "daemon: 30 ticks" in report.summary()
+
+
+def test_run_for_covers_the_window_in_whole_ticks():
+    system, daemon = make_daemon()
+    report = daemon.run_for(150.0)          # 2.5 nominal ticks -> 3 whole
+    assert report.ticks == 3
+    assert system.kernel.now() >= 150.0
+
+
+def test_tick_metrics_are_published():
+    system, daemon = make_daemon()
+    daemon.run(5)
+    reg = system.metrics
+    assert reg.counter("stream.ticks").value == 5
+    assert reg.counter("stream.stage_runs", stage="advance").value == 5
+    assert reg.gauge("stream.tick_interval_seconds").value == 60.0
+
+
+def test_stalled_tick_is_recorded_and_loop_moves_on():
+    """A budget too small for one tick's events: the tick is recorded
+    as stalled, the clock does not jump to the boundary, and the next
+    ticks resume from where the kernel stopped."""
+    system, daemon = make_daemon(
+        config=DaemonConfig(advance_budget=1, retry_slices=0)
+    )
+    daemon.tick()
+    assert daemon.stalled_ticks == 1
+    assert system.kernel.now() < 60.0
+    report = daemon.run(3)
+    assert report.stalled_ticks >= 1
+    assert report.ticks == 4
+
+
+# -- the watchdog ladder -----------------------------------------------------
+
+def test_watchdog_walks_the_ladder_to_a_forced_restart():
+    """A real crash: heartbeats stop AND beacons freeze.  The ladder
+    must escalate retry -> stage-restart -> dc-restart, and the forced
+    restart brings the DC back ALIVE with a bounded recovery time."""
+    system, daemon = make_daemon(fault=True)
+    system.kernel.schedule_at(300.003, lambda: system.crash_dc(1))
+    report = daemon.run_for(900.0)
+    assert report.watchdog.escalations["retry"] >= 1
+    assert report.watchdog.escalations["stage-restart"] >= 1
+    assert report.watchdog.escalations["dc-restart"] == 1
+    assert report.watchdog.restarts == 1
+    assert report.all_alive
+    dcs_recovered = [dc for dc, _ in report.watchdog.recovery_times]
+    assert "dc:1" in dcs_recovered
+    assert 0.0 < report.max_recovery_seconds <= 300.0
+    # The healed DC flapped exactly once through the monitor's view.
+    assert report.flap_counts.get("dc:1", 0) == 1
+
+
+def test_watchdog_heals_a_clock_hold_at_rung_two():
+    """A hung (suspended) scheduler stops both heartbeats and beacons,
+    but the process state is intact — the stage-restart rung's resume
+    must heal it without ever reaching the restart rung."""
+    system, daemon = make_daemon()
+    system.dcs[0].scheduler.suspend()
+    report = daemon.run(8)
+    assert report.watchdog.escalations["retry"] == 1
+    assert report.watchdog.escalations["stage-restart"] == 1
+    assert report.watchdog.escalations["dc-restart"] == 0
+    assert report.watchdog.restarts == 0
+    assert not system.dcs[0].scheduler.suspended
+    assert report.all_alive
+    assert any(dc == "dc:0" for dc, _ in report.watchdog.recovery_times)
+
+
+def test_watchdog_leaves_network_partitions_to_the_breaker():
+    """Degraded on the network but locally progressing: restarting
+    would destroy queue state and 'heal' a partition the daemon does
+    not own.  The ladder must never fire."""
+    system, daemon = make_daemon()
+    system.set_network_outage(0, True)
+    for _ in range(6):
+        daemon.tick()
+    assert sum(daemon.watchdog.stats.escalations.values()) == 0
+    system.set_network_outage(0, False)
+    report = daemon.run(5)
+    assert report.watchdog.restarts == 0
+    assert sum(report.watchdog.escalations.values()) == 0
+    assert report.all_alive
+    # ...but the completed degradation cycle is visible as a flap.
+    assert report.flap_counts.get("dc:0", 0) >= 1
+
+
+# -- backpressure ------------------------------------------------------------
+
+def test_backpressure_hysteresis_and_scan_deferral():
+    system = make_system()
+    bp = BackpressureController(
+        system, high=0.5, low=0.2, stretch=2.0, metrics=system.metrics
+    )
+    gauge = system.metrics.gauge("dc.uplink.backlog", dc="dc:0")
+    task = system.dcs[0].scheduler.task("process-scan")
+
+    gauge.set(300)                          # 300/512 ≈ 0.59 >= high
+    assert bp.update() == 2.0
+    assert bp.active
+    assert task.enabled is False            # low-priority scan deferred
+    assert system.dcs[0].scheduler.task("rms-scan").enabled is True
+
+    gauge.set(200)                          # 0.39: under high, over low
+    assert bp.update() == 2.0               # hysteresis holds it engaged
+
+    gauge.set(50)                           # 0.098 <= low
+    assert bp.update() == 1.0
+    assert not bp.active
+    assert task.enabled is True
+    states = [(e.dc, e.state) for e in bp.events]
+    assert states == [("dc:0", "engaged"), ("dc:0", "released")]
+    assert bp.ticks_active == 2
+
+
+def test_shedding_engages_backpressure_immediately():
+    system = make_system()
+    bp = BackpressureController(
+        system, high=0.9, low=0.1, metrics=system.metrics
+    )
+    assert bp.update() == 1.0
+    # A shed since the last look engages regardless of the water marks.
+    system.uplinks[1].stats.shed += 1
+    assert bp.update() > 1.0
+    assert [e.dc for e in bp.events] == ["dc:1"]
+
+
+# -- bounded catch-up --------------------------------------------------------
+
+def make_report(system, i):
+    return FailurePredictionReport(
+        knowledge_source_id="ks:dli",
+        sensed_object_id=system.units[0].motor,
+        machine_condition_id="mc:motor-imbalance",
+        severity=0.5,
+        belief=0.4,
+        timestamp=float(i),
+    )
+
+
+def fill_outage_backlog(system, n=20):
+    """Queue ``n`` reports on dc:0 during a hard outage, settled (no
+    attempt still in flight)."""
+    # Park the periodic retry task so only the catch-up controller
+    # drains the backlog under test.
+    system.dcs[0].scheduler.enable("uplink-flush", False)
+    system.set_network_outage(0, True)
+    for i in range(n):
+        system.uplinks[0].submit(make_report(system, i))
+    system.kernel.run_until(system.kernel.now() + 120.0)
+    assert system.uplinks[0].backlog == n
+    return system.uplinks[0]
+
+
+def test_catchup_drains_in_bounded_chunks():
+    system = make_system()
+    uplink = fill_outage_backlog(system, 20)
+    system.set_network_outage(0, False)
+
+    cc = CatchupController(
+        system, threshold=4, chunk=5, max_batch=4,
+        staleness_cutoff=1e9, metrics=system.metrics,
+    )
+    assert cc.pending()
+    for _ in range(100):
+        if not cc.pending():
+            break
+        assert cc.update() <= 5             # never more than one chunk
+        # A tick's worth of time: acks land, the breaker's half-open
+        # probes re-close it.
+        system.kernel.run_until(system.kernel.now() + 60.0)
+    assert not cc.pending()
+    assert uplink.backlog <= 4
+    assert cc.stats.ticks_active >= 2       # took several bounded slices
+    assert cc.stats.stale_shed == 0
+    assert system.pdme.report_count() >= 16
+
+
+def test_catchup_sheds_stale_reports_before_spending_the_chunk():
+    system = make_system()
+    uplink = fill_outage_backlog(system, 20)
+    # Jump far past the cutoff: the whole backlog is ancient history.
+    system.kernel.run_until(system.kernel.now() + 7200.0)
+    system.set_network_outage(0, False)
+
+    cc = CatchupController(
+        system, threshold=4, chunk=5, staleness_cutoff=1800.0,
+        metrics=system.metrics,
+    )
+    assert cc.pending()
+    assert cc.update() == 0                 # nothing worth replaying
+    assert cc.stats.stale_shed == 20
+    assert uplink.backlog == 0
+    assert uplink.stats.oldest_shed_age > 1800.0
+    assert not cc.pending()

@@ -63,6 +63,43 @@ def test_monitor_validation():
                          metrics=MetricsRegistry())
 
 
+def test_flap_counts_count_completed_degradation_cycles():
+    """The state gauge reads a healthy 0 between bounces; the flap
+    counter is what actually exposes an unstable link."""
+    reg = MetricsRegistry()
+    clock, monitor = make_monitor(metrics=reg)
+    monitor.register("dc:0")
+    monitor.register("dc:1")
+    assert monitor.flap_counts() == {}      # registration is not a flap
+
+    # dc:0 bounces twice through SUSPECT and once through DOWN; dc:1
+    # degrades but never recovers, so it never completes a cycle.
+    for _ in range(2):
+        clock.advance(45.0)
+        monitor.sweep()
+        assert monitor.state("dc:0") is DcHealth.SUSPECT
+        monitor.beat("dc:0")
+        assert monitor.state("dc:0") is DcHealth.ALIVE
+    clock.advance(100.0)
+    monitor.sweep()
+    assert monitor.state("dc:0") is DcHealth.DOWN
+    monitor.beat("dc:0")
+
+    assert monitor.flap_counts() == {"dc:0": 3}
+    assert reg.counter("supervisor.heartbeat.flaps", dc="dc:0").value == 3
+    assert reg.counter("supervisor.heartbeat.flaps", dc="dc:1").value == 0
+
+
+def test_steady_beats_never_count_as_flaps():
+    clock, monitor = make_monitor()
+    monitor.register("dc:0")
+    for _ in range(10):
+        clock.advance(15.0)
+        monitor.beat("dc:0")
+        monitor.sweep()
+    assert monitor.flap_counts() == {}
+
+
 def test_emitter_beats_over_real_rpc():
     metrics = MetricsRegistry()
     kernel = EventKernel(metrics=metrics)
