@@ -43,6 +43,13 @@ class GateReport:
         return not self.failures
 
 
+def _base_name(name: str) -> str:
+    """Strip stage metadata: ``shard_ingest_speedup@shards=4`` gates
+    against its own baseline key if present, else against the
+    ``shard_ingest_speedup`` base entry."""
+    return name.split("@", 1)[0]
+
+
 def evaluate(
     ratios: dict[str, float],
     floors: dict[str, float],
@@ -55,36 +62,55 @@ def evaluate(
     Ungated measured ratios produce warnings; gated-but-unmeasured
     ratios produce failures — except names listed in ``optional``,
     which only warn when missing (for result documents predating the
-    stage).
+    stage, or per-shard-count ratios a small CI host cannot emit).
+
+    A measured name carrying stage metadata (``name@key=value``) gates
+    against the exactly matching baseline entry when one exists, and
+    otherwise falls back to the metadata-free base name — a per-shard-
+    count measurement is compared, never warned-and-skipped, as long as
+    the baseline knows the stage at all.
     """
     report = GateReport()
-    for name in sorted(set(ratios) - set(floors)):
+    # Measured name -> (floor, the baseline key that supplied it).
+    matched: dict[str, tuple[float, str]] = {}
+    for name in ratios:
+        if name in floors:
+            matched[name] = (floors[name], name)
+        else:
+            base = _base_name(name)
+            if base != name and base in floors:
+                matched[name] = (floors[base], base)
+    for name in sorted(set(ratios) - set(matched)):
         report.warnings.append(
             f"stage {name!r} has no baseline entry; "
             f"skipping (add it to gate this stage)"
         )
-    for name, floor in floors.items():
-        measured = ratios.get(name)
-        if measured is None:
-            if name in optional:
-                report.warnings.append(
-                    f"optional stage {name!r} missing from bench result; "
-                    f"skipping (result predates the stage?)"
-                )
-            else:
-                report.failures.append(f"{name}: missing from bench result")
-            continue
+    for name in sorted(matched):
+        measured = ratios[name]
+        floor, source = matched[name]
         limit = floor * tolerance
         verdict = "ok" if measured >= limit else "REGRESSION"
+        via = "" if source == name else f"  (baseline key {source!r})"
         report.lines.append(
             f"{name:24s} measured {measured:7.3f}  baseline {floor:6.3f}"
-            f"  floor {limit:6.3f}  {verdict}"
+            f"  floor {limit:6.3f}  {verdict}{via}"
         )
         if measured < limit:
             report.failures.append(
                 f"{name}: {measured:.3f} < {limit:.3f} "
                 f"(baseline {floor:.3f} * {tolerance})"
             )
+    covered = set(ratios) | {source for _, source in matched.values()}
+    for name in floors:
+        if name in covered:
+            continue
+        if name in optional:
+            report.warnings.append(
+                f"optional stage {name!r} missing from bench result; "
+                f"skipping (result predates the stage?)"
+            )
+        else:
+            report.failures.append(f"{name}: missing from bench result")
     return report
 
 

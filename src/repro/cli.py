@@ -346,7 +346,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import summarize, write_bench
 
-    doc = write_bench(args.output, quick=args.quick)
+    doc = write_bench(args.output, quick=args.quick, shards=args.shards)
     print(summarize(doc))
     print(f"wrote {args.output}")
     return 0
@@ -451,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small geometry for CI smoke runs (< ~1 min)")
     p.add_argument("--output", default="BENCH_pr5.json",
                    help="path of the JSON result document")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="max worker count for the shard_scaling stage "
+                        "(default: 2 quick, 4 full)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

@@ -208,6 +208,10 @@ class DiagnosticFusion:
         """Current fused state for an (object, group) pair."""
         return self._snapshot(sensed_object_id, self._resolve_group(group_name))
 
+    def keys(self) -> list[tuple[ObjectId, str]]:
+        """Every (object, group) pair with fused state, insertion order."""
+        return list(self._state.keys())
+
     def states_for_object(self, sensed_object_id: ObjectId) -> list[FusedDiagnosis]:
         """All group states touched so far on one sensed object."""
         out = []

@@ -143,9 +143,54 @@ class KnowledgeFusionEngine:
         return out
 
     # -- convenience queries ----------------------------------------------
+    @property
+    def max_seen_time(self) -> float:
+        """Latest report timestamp ingested so far (fusion "now")."""
+        return self._max_seen_time
+
     def suspects(self, threshold: float = 0.5):
         """Delegates to :meth:`DiagnosticFusion.suspects`."""
         return self.diagnostic.suspects(threshold)
+
+    def fused_snapshot(self, as_of: float | None = None) -> dict:
+        """The complete fused model as a plain JSON-ready dict.
+
+        Every (object, group) diagnostic state and every (object,
+        condition) prognostic curve, evaluated at ``as_of`` (default:
+        the latest report timestamp seen by *this* engine).
+
+        Serialize with
+        :func:`repro.protocol.canonical.canonical_dumps` for a
+        byte-stable rendering.  Shard routers must pass the *global*
+        ``as_of`` explicitly: per-shard engines see different local
+        maxima, and prognostic curves age-shift history relative to
+        ``now`` — only an explicit shared evaluation time makes the
+        merged snapshot independent of the shard count.
+        """
+        t = as_of if as_of is not None else self._max_seen_time
+        diagnostic: dict[str, dict] = {}
+        for obj, gname in self.diagnostic.keys():
+            s = self.diagnostic.state(obj, gname)
+            diagnostic[f"{obj}|{gname}"] = {
+                "beliefs": dict(s.beliefs),
+                "plausibilities": dict(s.plausibilities),
+                "unknown": s.unknown,
+                "severity": s.severity,
+                "report_count": s.report_count,
+                "conflict": s.conflict,
+            }
+        prognostic: dict[str, dict] = {}
+        for obj, cond in self.prognostic.keys():
+            s = self.prognostic.state(obj, cond, t)
+            vec = s.vector
+            prognostic[f"{obj}|{cond}"] = {
+                "report_count": s.report_count,
+                "curve": [
+                    [float(kt), float(kp)]
+                    for kt, kp in zip(vec.times, vec.probabilities)
+                ],
+            }
+        return {"as_of": t, "diagnostic": diagnostic, "prognostic": prognostic}
 
     def time_to_failure(
         self, sensed_object_id: ObjectId, machine_condition_id: ObjectId,

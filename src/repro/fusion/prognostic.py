@@ -291,6 +291,10 @@ class PrognosticFusion:
         """Machine conditions with prognostic evidence on an object."""
         return [c for (obj, c) in self._reports if obj == sensed_object_id]
 
+    def keys(self) -> list[tuple[ObjectId, ObjectId]]:
+        """Every (object, condition) pair with history, insertion order."""
+        return list(self._reports.keys())
+
     def reset(self, sensed_object_id: ObjectId, machine_condition_id: ObjectId) -> None:
         """Forget prognostic history for a pair (after maintenance)."""
         self._reports.pop((sensed_object_id, machine_condition_id), None)

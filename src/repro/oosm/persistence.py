@@ -148,9 +148,10 @@ def load_model(path: str | Path) -> ShipModel:
 
 _REPORT_LOG_SCHEMA = """
 CREATE TABLE IF NOT EXISTS report_log (
-    seq       INTEGER PRIMARY KEY AUTOINCREMENT,
-    report_id TEXT UNIQUE,               -- NULL for id-less senders
-    payload   TEXT NOT NULL              -- JSON-encoded wire form
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    report_id  TEXT UNIQUE,              -- NULL for id-less senders
+    payload    TEXT NOT NULL,            -- JSON-encoded wire form
+    intake_seq INTEGER                   -- router-assigned global order
 );
 """
 
@@ -161,11 +162,27 @@ class ReportStore:
     ``:memory:`` works for tests; any path yields a persistent log.
     The known-id index is loaded once at open and maintained in memory
     — duplicate checks never touch the database again.
+
+    A store may serve as one *partition* of a sharded log: the shard
+    router stamps every report with a global ``intake_seq`` at the
+    split point, so the fleet-wide arrival order survives partitioning
+    — merging partitions by ``intake_seq`` reproduces exactly the
+    stream a single store would have logged.
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self._conn = sqlite3.connect(str(path))
         self._conn.executescript(_REPORT_LOG_SCHEMA)
+        # Logs created before the sharded-PDME era predate the
+        # intake_seq column; upgrade them in place (NULL = unknown).
+        cols = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(report_log)")
+        }
+        if "intake_seq" not in cols:
+            self._conn.execute(
+                "ALTER TABLE report_log ADD COLUMN intake_seq INTEGER"
+            )
         self._conn.commit()
         self._seen_ids: set[str] = {
             rid
@@ -198,6 +215,7 @@ class ReportStore:
         self,
         reports: Sequence[FailurePredictionReport],
         report_ids: Sequence[str | None] | None = None,
+        intake_seqs: Sequence[int] | None = None,
     ) -> int:
         """Append a batch of reports in one coalesced transaction.
 
@@ -205,6 +223,10 @@ class ReportStore:
         are skipped.  Returns the number of reports actually written.
         The log contents are byte-identical to calling :meth:`ingest`
         once per report in the same order.
+
+        ``intake_seqs`` optionally stamps each report with the global
+        arrival order assigned by a shard router — partitions of a
+        sharded log merge back into the original stream by this key.
         """
         if report_ids is None:
             report_ids = [None] * len(reports)
@@ -212,20 +234,29 @@ class ReportStore:
             raise OosmError(
                 f"got {len(reports)} reports but {len(report_ids)} report ids"
             )
+        if intake_seqs is not None and len(intake_seqs) != len(reports):
+            raise OosmError(
+                f"got {len(reports)} reports but {len(intake_seqs)} intake seqs"
+            )
         # Single dedup pass against the in-memory index, then one
         # executemany inside one transaction: per-batch, not per-row.
-        rows: list[tuple[str | None, str]] = []
+        rows: list[tuple[str | None, str, int | None]] = []
         fresh_ids: set[str] = set()
-        for report, rid in zip(reports, report_ids):
+        for i, (report, rid) in enumerate(zip(reports, report_ids)):
             if rid is not None and (rid in self._seen_ids or rid in fresh_ids):
                 continue
             if rid is not None:
                 fresh_ids.add(rid)
-            rows.append((rid, json.dumps(encode_report(report))))
+            rows.append((
+                rid,
+                json.dumps(encode_report(report)),
+                intake_seqs[i] if intake_seqs is not None else None,
+            ))
         if rows:
             with self._conn:
                 self._conn.executemany(
-                    "INSERT INTO report_log (report_id, payload) VALUES (?, ?)",
+                    "INSERT INTO report_log (report_id, payload, intake_seq) "
+                    "VALUES (?, ?, ?)",
                     rows,
                 )
             self._seen_ids |= fresh_ids
@@ -238,6 +269,16 @@ class ReportStore:
             decode_report(json.loads(payload))
             for (payload,) in self._conn.execute(
                 "SELECT payload FROM report_log ORDER BY seq"
+            )
+        ]
+
+    def rows(self) -> list[tuple[int | None, str | None, FailurePredictionReport]]:
+        """Every stored ``(intake_seq, report_id, report)`` in append
+        order — the shard migration/merge view of the partition."""
+        return [
+            (seq, rid, decode_report(json.loads(payload)))
+            for seq, rid, payload in self._conn.execute(
+                "SELECT intake_seq, report_id, payload FROM report_log ORDER BY seq"
             )
         ]
 

@@ -9,6 +9,13 @@ to form a prioritized list for the use of maintenance personnel."
 from repro.pdme.browser import render_machine_screen, render_priority_list
 from repro.pdme.executive import PdmeExecutive
 from repro.pdme.priorities import PriorityEntry, prioritize
+from repro.pdme.shard import (
+    ShardedFusionEngine,
+    ShardedPdme,
+    ShardLayout,
+    ShardWorker,
+    parallel_shard_ingest,
+)
 
 __all__ = [
     "render_machine_screen",
@@ -16,4 +23,9 @@ __all__ = [
     "PdmeExecutive",
     "PriorityEntry",
     "prioritize",
+    "ShardLayout",
+    "ShardWorker",
+    "ShardedFusionEngine",
+    "ShardedPdme",
+    "parallel_shard_ingest",
 ]

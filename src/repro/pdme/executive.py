@@ -279,3 +279,9 @@ class PdmeExecutive:
     def report_count(self) -> int:
         """Reports retained in the OOSM."""
         return self.model.report_count
+
+    def fused_model(self, as_of: float | None = None) -> dict:
+        """The complete fused model as a JSON-ready dict — the
+        single-executive form of the sharded router's merged snapshot
+        (see :meth:`repro.pdme.shard.ShardedPdme.fused_snapshot`)."""
+        return self.engine.fused_snapshot(as_of=as_of)

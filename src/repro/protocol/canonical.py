@@ -45,3 +45,30 @@ def canonical_json(reports: Iterable[FailurePredictionReport]) -> str:
     """Byte-stable JSON document for a report stream (order preserved)."""
     doc = {"reports": [report_to_dict(r) for r in reports]}
     return json.dumps(doc, indent=2, sort_keys=True, ensure_ascii=True) + "\n"
+
+
+def _round_tree(value):
+    if isinstance(value, float):
+        # + 0.0 folds -0.0 into 0.0 so sign-of-zero drift between two
+        # arithmetically equal pipelines cannot break byte identity.
+        return round(value, FLOAT_DECIMALS) + 0.0
+    if isinstance(value, dict):
+        return {key: _round_tree(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_tree(v) for v in value]
+    return value
+
+
+def canonical_dumps(doc) -> str:
+    """Byte-stable JSON for an arbitrary JSON-ready tree.
+
+    The generalization of :func:`canonical_json` used by the fused-model
+    snapshots: every float in the tree is rounded to
+    :data:`FLOAT_DECIMALS`, keys are sorted, output is ASCII.  Two
+    pipelines that compute the same values — e.g. a single fusion
+    engine and N sharded engines over the same report stream — produce
+    the same bytes.
+    """
+    return json.dumps(
+        _round_tree(doc), indent=2, sort_keys=True, ensure_ascii=True
+    ) + "\n"

@@ -10,6 +10,7 @@ OOSM → KF exactly as §5.1 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -386,3 +387,29 @@ def replay_fleet_to_model(
     for r in reports:
         model.post_report(r)
     return model, reports
+
+
+def build_sharded_pdme(
+    n_shards: int,
+    plant: str = "chiller",
+    store_dir: str | None = None,
+) -> "ShardedPdme":
+    """A sharded PDME router for the given plant domain.
+
+    With ``store_dir`` the partitions are file-backed (one sqlite file
+    per shard — survives crash/restart drills); without it they live in
+    memory.  The single-executive :func:`build_mpros_system` path stays
+    the ablation/oracle the shard-invariance suite compares against.
+    """
+    from repro.pdme.shard import ShardedPdme, registry_for_plant
+
+    paths = None
+    if store_dir is not None:
+        base = Path(store_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        paths = [base / f"shard-{i}.sqlite" for i in range(n_shards)]
+    return ShardedPdme(
+        n_shards,
+        registry_factory=lambda: registry_for_plant(plant),
+        store_paths=paths,
+    )

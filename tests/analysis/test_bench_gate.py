@@ -145,6 +145,65 @@ def test_pre_pr_result_checks_against_committed_baseline(tmp_path, capsys):
     assert "warning" in capsys.readouterr().out
 
 
+def test_shard_metadata_gates_against_exact_baseline_key():
+    gate = load_gate()
+    # The exactly matching baseline key wins over the base-name entry.
+    report = gate.evaluate(
+        {"shard_ingest_speedup@shards=4": 1.0},
+        {"shard_ingest_speedup": 0.5, "shard_ingest_speedup@shards=4": 2.0},
+        optional=("shard_ingest_speedup",),
+    )
+    assert not report.passed
+    assert "shard_ingest_speedup@shards=4" in report.failures[0]
+
+
+def test_shard_metadata_falls_back_to_base_name():
+    gate = load_gate()
+    # No exact key: the per-shard measurement is compared against the
+    # base-name floor instead of being warned-and-skipped.
+    ok = gate.evaluate(
+        {"shard_ingest_speedup@shards=4": 3.0}, {"shard_ingest_speedup": 2.5}
+    )
+    assert ok.passed and not ok.warnings
+    assert any("baseline key 'shard_ingest_speedup'" in line for line in ok.lines)
+    bad = gate.evaluate(
+        {"shard_ingest_speedup@shards=4": 1.0}, {"shard_ingest_speedup": 2.5}
+    )
+    assert not bad.passed
+
+
+def test_base_floor_covered_by_parameterized_measurements():
+    gate = load_gate()
+    # A baseline base name satisfied only via name@shards=N entries is
+    # not "missing from bench result".
+    report = gate.evaluate(
+        {"shard_ingest_speedup@shards=2": 3.0},
+        {"shard_ingest_speedup": 2.5},
+    )
+    assert report.passed
+    assert not report.failures and not report.warnings
+
+
+def test_unmeasured_shard_count_is_optional_on_small_hosts():
+    gate = load_gate()
+    # A 1-core host emits no shard ratios at all; the optional listing
+    # keeps the gate green with a warning.
+    report = gate.evaluate(
+        {"a": 2.0},
+        {"a": 1.5, "shard_ingest_speedup@shards=4": 2.5},
+        optional=("shard_ingest_speedup@shards=4",),
+    )
+    assert report.passed
+    assert any("shard_ingest_speedup@shards=4" in w for w in report.warnings)
+
+
+def test_metadata_with_unknown_base_still_warns():
+    gate = load_gate()
+    report = gate.evaluate({"mystery@shards=2": 1.0}, {"a": 1.0})
+    assert any("mystery@shards=2" in w for w in report.warnings)
+    assert not report.passed  # 'a' is still missing from the result
+
+
 def test_committed_baseline_matches_bench_stages(tmp_path, capsys):
     # The real baseline file gates a result shaped like `mpros bench`
     # output: every committed key verifies against itself cleanly.

@@ -1,0 +1,27 @@
+"""Shared helpers for the shard-invariance suite.
+
+The matrix dimension is the shard count: ``MPROS_SHARDS`` (a
+comma-separated list, default ``1,2``) selects which counts the
+parametrized tests run at.  CI's shard-matrix job runs the suite at
+``MPROS_SHARDS=1`` and ``MPROS_SHARDS=4``; the tier-1 default keeps the
+local run cheap while still crossing the 1-vs-many boundary.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def shard_counts() -> list[int]:
+    raw = os.environ.get("MPROS_SHARDS", "1,2")
+    counts = sorted({int(tok) for tok in raw.split(",") if tok.strip()})
+    if not counts or any(n < 1 for n in counts):
+        raise ValueError(f"bad MPROS_SHARDS={raw!r}; need positive integers")
+    return counts
+
+
+@pytest.fixture(params=shard_counts(), ids=lambda n: f"shards{n}")
+def n_shards(request) -> int:
+    return request.param
