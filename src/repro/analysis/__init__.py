@@ -1,6 +1,6 @@
-"""Static analysis for the DC→PDME stack (``mpros verify``).
+"""Static analysis for the DC→PDME stack (``mpros verify``/``analyze``).
 
-Two engines:
+Three engines:
 
 - the **SBFR bytecode verifier** (:mod:`repro.analysis.sbfr_verifier`)
   decodes machines into control-flow graphs (:mod:`repro.analysis.cfg`)
@@ -10,14 +10,38 @@ Two engines:
 - the **determinism & safety linter** (:mod:`repro.analysis.lint`,
   rules in :mod:`repro.analysis.rules`) walks Python ASTs for
   wall-clock reads, unseeded randomness, set-ordering iteration, float
-  equality in predicates and bare ``except`` clauses.
+  equality in predicates and bare ``except`` clauses, resolving import
+  aliases through :mod:`repro.analysis.imports`;
+- the **whole-program analyzer** (``mpros analyze``): per-function
+  effect signatures (:mod:`repro.analysis.callgraph`) propagated
+  interprocedurally into flow rules (:mod:`repro.analysis.effects`)
+  and shard/daemon concurrency rules
+  (:mod:`repro.analysis.concurrency`), orchestrated by
+  :mod:`repro.analysis.analyze` with content-hash summary caching
+  (:mod:`repro.analysis.cache`) and baseline/SARIF/JSONL output
+  (:mod:`repro.analysis.output`).
 
-Both emit :class:`~repro.analysis.report.Diagnostic` records collected
+All emit :class:`~repro.analysis.report.Diagnostic` records collected
 into a :class:`~repro.analysis.report.VerificationReport`.
 """
 
 from __future__ import annotations
 
+from repro.analysis.analyze import (
+    AnalyzeConfig,
+    analyze_paths,
+    analyze_sources,
+    build_graph,
+    check_graph,
+)
+from repro.analysis.cache import SummaryCache, content_key
+from repro.analysis.callgraph import (
+    ANALYZER_VERSION,
+    CallGraph,
+    FunctionSummary,
+    ModuleSummary,
+    summarize_source,
+)
 from repro.analysis.cfg import (
     CfgEdge,
     ControlFlowGraph,
@@ -26,12 +50,22 @@ from repro.analysis.cfg import (
     dead_timer_compares,
     static_truth,
 )
+from repro.analysis.concurrency import CONC_RULE_IDS, check_concurrency
+from repro.analysis.effects import FLOW_RULE_IDS, check_flow_rules
+from repro.analysis.imports import ImportTable, module_name_for_path
 from repro.analysis.lint import (
     LintRule,
     allowed_rules,
     iter_python_files,
     lint_paths,
     lint_source,
+)
+from repro.analysis.output import (
+    Baseline,
+    BaselineEntry,
+    diagnostic_fingerprint,
+    render_jsonl,
+    render_sarif,
 )
 from repro.analysis.report import (
     Diagnostic,
@@ -49,24 +83,47 @@ from repro.analysis.sbfr_verifier import (
 )
 
 __all__ = [
+    "ANALYZER_VERSION",
+    "AnalyzeConfig",
+    "Baseline",
+    "BaselineEntry",
     "Budgets",
+    "CONC_RULE_IDS",
+    "CallGraph",
     "CfgEdge",
     "ControlFlowGraph",
     "DEFAULT_BUDGETS",
     "Diagnostic",
     "EdgeAccess",
+    "FLOW_RULE_IDS",
+    "FunctionSummary",
+    "ImportTable",
     "LintRule",
     "Location",
+    "ModuleSummary",
     "Severity",
+    "SummaryCache",
     "VerificationReport",
     "allowed_rules",
+    "analyze_paths",
+    "analyze_sources",
     "build_cfg",
+    "build_graph",
+    "check_concurrency",
+    "check_flow_rules",
+    "check_graph",
+    "content_key",
     "cycle_cost_s",
     "dead_timer_compares",
+    "diagnostic_fingerprint",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "module_name_for_path",
+    "render_jsonl",
+    "render_sarif",
     "static_truth",
+    "summarize_source",
     "verify_bytes",
     "verify_machine",
     "verify_set",

@@ -1,0 +1,105 @@
+"""The ``mpros analyze`` orchestrator: summarize, link, check.
+
+Gathers per-file :class:`~repro.analysis.callgraph.ModuleSummary`
+objects (through the content-hash cache when given), links them into a
+:class:`~repro.analysis.callgraph.CallGraph`, and evaluates the whole-
+program rule sets — ``flow.*`` (:mod:`repro.analysis.effects`) and
+``conc.*`` (:mod:`repro.analysis.concurrency`).
+
+Two entry points: :func:`analyze_paths` for the CLI/CI (reads files),
+and :func:`analyze_sources` for tests (takes ``{path: source}``
+mappings, so a test can delete the seq stamp from a copy of
+``shard.py`` and watch ``conc.single-writer`` fire without touching
+the tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.cache import SummaryCache
+from repro.analysis.callgraph import CallGraph, ModuleSummary, summarize_source
+from repro.analysis.concurrency import (
+    DEFAULT_TICK_EXEMPT,
+    DEFAULT_TICK_ROOTS,
+    check_concurrency,
+)
+from repro.analysis.effects import DEFAULT_FUSION_PREFIXES, check_flow_rules
+from repro.analysis.lint import iter_python_files
+from repro.analysis.report import Diagnostic, VerificationReport
+
+
+@dataclass(frozen=True)
+class AnalyzeConfig:
+    """Sink/root locations for the whole-program rules.
+
+    Defaults fit this tree; tests override to point the rules at
+    corpus modules.
+    """
+
+    fusion_prefixes: tuple[str, ...] = DEFAULT_FUSION_PREFIXES
+    tick_roots: tuple[str, ...] = DEFAULT_TICK_ROOTS
+    tick_exempt: tuple[str, ...] = DEFAULT_TICK_EXEMPT
+
+
+def build_graph(summaries: Sequence[ModuleSummary]) -> CallGraph:
+    """Link summaries into a call graph (thin alias for tests)."""
+    return CallGraph(summaries)
+
+
+def check_graph(
+    graph: CallGraph, config: AnalyzeConfig | None = None
+) -> VerificationReport:
+    """All flow.* and conc.* rules over a linked graph."""
+    cfg = config if config is not None else AnalyzeConfig()
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(check_flow_rules(graph, cfg.fusion_prefixes))
+    diagnostics.extend(
+        check_concurrency(graph, cfg.tick_roots, cfg.tick_exempt)
+    )
+    diagnostics.sort(
+        key=lambda d: (
+            d.rule_id,
+            d.location.file or "",
+            d.location.line or 0,
+        )
+    )
+    return VerificationReport(tuple(diagnostics))
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    config: AnalyzeConfig | None = None,
+    modules: Mapping[str, str] | None = None,
+) -> VerificationReport:
+    """Analyze in-memory sources: ``{path: text}``.
+
+    ``modules`` optionally pins the dotted module name per path (by
+    default it is derived from the path, ``src``-rooted).
+    """
+    summaries = [
+        summarize_source(
+            text, path,
+            modules.get(path) if modules is not None else None,
+        )
+        for path, text in sorted(sources.items())
+    ]
+    return check_graph(build_graph(summaries), config)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    config: AnalyzeConfig | None = None,
+    cache: SummaryCache | None = None,
+) -> VerificationReport:
+    """Analyze every ``.py`` file under ``paths``."""
+    summaries: list[ModuleSummary] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        if cache is not None:
+            summaries.append(cache.summarize(source, str(file)))
+        else:
+            summaries.append(summarize_source(source, str(file)))
+    return check_graph(build_graph(summaries), config)

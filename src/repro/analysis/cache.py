@@ -1,0 +1,82 @@
+"""Content-hash cache for per-file analysis summaries.
+
+Summary extraction (:func:`repro.analysis.callgraph.summarize_source`)
+is the expensive per-file half of ``mpros analyze``; linking is cheap.
+Summaries are pure data keyed by file *content*, so they are cached as
+JSON under a sha256 of the source bytes plus the analyzer version —
+editing one file re-summarizes one file, and a rule change (version
+bump) invalidates everything at once.  A corrupt or stale cache entry
+is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    ANALYZER_VERSION,
+    ModuleSummary,
+    summarize_source,
+)
+
+#: Default cache location (git-ignored).
+DEFAULT_CACHE_DIR = Path(".mpros-cache") / "analysis"
+
+
+def content_key(source: str) -> str:
+    """Cache key: sha256 of the bytes, prefixed by analyzer version."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return f"v{ANALYZER_VERSION}-{digest}"
+
+
+class SummaryCache:
+    """Directory-backed summary cache with hit/miss accounting."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else DEFAULT_CACHE_DIR
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> ModuleSummary | None:
+        """The cached summary for a key, or None on miss/corruption."""
+        path = self._entry_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+            data = json.loads(raw)
+            summary = ModuleSummary.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return summary
+
+    def store(self, key: str, summary: ModuleSummary) -> None:
+        """Persist a summary; I/O failure is silently a no-op."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(key)
+            path.write_text(
+                json.dumps(summary.to_dict(), sort_keys=True),
+                encoding="utf-8",
+            )
+        except OSError:  # pragma: no cover - disk-full / read-only
+            return
+
+    def summarize(
+        self, source: str, path: str, module: str | None = None
+    ) -> ModuleSummary:
+        """Summarize through the cache."""
+        key = content_key(source)
+        cached = self.load(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        summary = summarize_source(source, path, module)
+        self.store(key, summary)
+        return summary

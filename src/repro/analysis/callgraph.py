@@ -1,0 +1,1032 @@
+"""Module-level call graph over Python sources, with alias resolution.
+
+The whole-program half of the static-analysis subsystem: where the
+linter (:mod:`repro.analysis.lint`) judges one AST node at a time, the
+passes built on this module reason about *paths* — a wall-clock read
+five calls below a report producer, a store written from the wrong
+class, a lambda shipped into a process pool.
+
+The design is two-phase so per-file work can be cached by content hash
+(:mod:`repro.analysis.cache`):
+
+1. **Summarize** (:func:`summarize_source`): one file in, one
+   :class:`ModuleSummary` out — imports resolved to fully qualified
+   names, functions with their call sites, classes with inferred
+   attribute types, direct effect origins, store writes, pool-submit
+   sites, and the ``# mpros: allow[...]`` lines.  Summaries are plain
+   data (JSON round-trippable) and never reference another file.
+2. **Link** (:class:`CallGraph`): summaries in, a call graph out —
+   qualified call targets are matched against the indexed functions
+   and classes, constructors link to ``__init__``, unresolved method
+   names walk base classes.
+
+Type inference is deliberately shallow and *syntactic*: a name means
+what an import, a constructor call, an annotation, or a ``self.x = ...``
+assignment says it means.  Anything dynamic resolves to "unknown" and
+simply contributes no edge — the analyzer under-approximates the graph
+rather than guessing, so every edge it does report is real.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis import names as N
+from repro.analysis.imports import ImportTable, module_name_for_path
+from repro.analysis.lint import allowed_rules
+from repro.common.errors import AnalysisError
+
+#: Bump when summary extraction changes shape or semantics — the
+#: content-hash cache includes it, so stale summaries are never reused.
+ANALYZER_VERSION = "1"
+
+#: Effect kinds an origin may carry (see :mod:`repro.analysis.effects`).
+EFFECTS = (
+    "clock", "rng", "order", "fs", "sqlite", "net", "spawn", "sleep",
+    "global-write", "global-read", "report", "canonical",
+)
+
+#: Inline-allow ids that silence an effect *origin* (the taint source).
+#: Annotating the origin line with any of these — or ``*`` — removes the
+#: effect from interprocedural propagation entirely.
+ORIGIN_ALLOW_IDS: Mapping[str, tuple[str, ...]] = {
+    "clock": ("lint.wall-clock", "flow.clock-taints-report"),
+    "rng": ("lint.unseeded-rng", "flow.rng-taints-fusion"),
+    "order": ("lint.iteration-order", "flow.order-taints-canonical"),
+    "fs": ("conc.blocking-in-tick",),
+    "sqlite": ("conc.blocking-in-tick",),
+    "net": ("conc.blocking-in-tick",),
+    "spawn": ("conc.blocking-in-tick",),
+    "sleep": ("conc.blocking-in-tick",),
+    "global-write": ("conc.fork-unsafe-global", "conc.cross-shard-state"),
+    "global-read": ("conc.fork-unsafe-global", "conc.cross-shard-state"),
+}
+
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "remove", "discard", "clear", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft",
+})
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One direct effect in a function body."""
+
+    effect: str
+    line: int
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"effect": self.effect, "line": self.line, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Origin":
+        return cls(str(d["effect"]), int(d["line"]), str(d["detail"]))
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, with its best-effort resolved target."""
+
+    line: int
+    resolved: str | None
+    #: Resolved against the enclosing class — linking may walk bases.
+    self_method: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "resolved": self.resolved,
+                "self_method": self.self_method}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CallSite":
+        res = d["resolved"]
+        return cls(int(d["line"]), None if res is None else str(res),
+                   bool(d["self_method"]))
+
+
+@dataclass(frozen=True)
+class StoreWrite:
+    """One call into the write surface of a partitionable store."""
+
+    line: int
+    method: str
+    #: Receiver shape: ``self-attr`` (the owning class's own partition),
+    #: ``local`` (a store constructed in the same function), or
+    #: ``outside`` (someone else's partition — a second writer).
+    recv: str
+    #: Did the call carry the router's ``intake_seqs`` stamp?
+    stamped: bool
+    #: Does the enclosing function take an ``intake_seqs`` parameter?
+    caller_has_seq_param: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "method": self.method, "recv": self.recv,
+                "stamped": self.stamped,
+                "caller_has_seq_param": self.caller_has_seq_param}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "StoreWrite":
+        return cls(int(d["line"]), str(d["method"]), str(d["recv"]),
+                   bool(d["stamped"]), bool(d["caller_has_seq_param"]))
+
+
+@dataclass(frozen=True)
+class SubmitSite:
+    """One ``pool.submit``/``pool.map`` shipping work across processes."""
+
+    line: int
+    #: ``ok`` (module-level function), ``lambda``, ``nested``,
+    #: ``bound-method``, or ``unknown`` (unresolvable — not flagged).
+    kind: str
+    target: str | None
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "kind": self.kind, "target": self.target,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SubmitSite":
+        target = d["target"]
+        return cls(int(d["line"]), str(d["kind"]),
+                   None if target is None else str(target), str(d["detail"]))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the linker needs to know about one function."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    cls: str | None
+    line: int
+    nested: bool
+    params: tuple[str, ...]
+    calls: tuple[CallSite, ...]
+    origins: tuple[Origin, ...]
+    store_writes: tuple[StoreWrite, ...] = ()
+    submits: tuple[SubmitSite, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "path": self.path, "name": self.name, "cls": self.cls,
+            "line": self.line, "nested": self.nested,
+            "params": list(self.params),
+            "calls": [c.to_dict() for c in self.calls],
+            "origins": [o.to_dict() for o in self.origins],
+            "store_writes": [w.to_dict() for w in self.store_writes],
+            "submits": [s.to_dict() for s in self.submits],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FunctionSummary":
+        raw_cls = d["cls"]
+        return cls(
+            qualname=str(d["qualname"]), module=str(d["module"]),
+            path=str(d["path"]), name=str(d["name"]),
+            cls=None if raw_cls is None else str(raw_cls),
+            line=int(d["line"]), nested=bool(d["nested"]),
+            params=tuple(str(p) for p in d["params"]),
+            calls=tuple(CallSite.from_dict(c) for c in d["calls"]),
+            origins=tuple(Origin.from_dict(o) for o in d["origins"]),
+            store_writes=tuple(
+                StoreWrite.from_dict(w) for w in d["store_writes"]
+            ),
+            submits=tuple(SubmitSite.from_dict(s) for s in d["submits"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One class: bases (qualified) and inferred attribute types."""
+
+    qualname: str
+    module: str
+    line: int
+    bases: tuple[str, ...]
+    attr_types: Mapping[str, str]
+    methods: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "line": self.line, "bases": list(self.bases),
+            "attr_types": dict(self.attr_types),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ClassSummary":
+        return cls(
+            qualname=str(d["qualname"]), module=str(d["module"]),
+            line=int(d["line"]),
+            bases=tuple(str(b) for b in d["bases"]),
+            attr_types={str(k): str(v) for k, v in d["attr_types"].items()},
+            methods=tuple(str(m) for m in d["methods"]),
+        )
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """The cacheable per-file analysis result."""
+
+    module: str
+    path: str
+    functions: tuple[FunctionSummary, ...]
+    classes: tuple[ClassSummary, ...]
+    mutable_globals: tuple[str, ...]
+    allow_lines: Mapping[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module, "path": self.path,
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": [c.to_dict() for c in self.classes],
+            "mutable_globals": list(self.mutable_globals),
+            "allow_lines": {
+                str(line): list(ids) for line, ids in self.allow_lines.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=str(d["module"]), path=str(d["path"]),
+            functions=tuple(
+                FunctionSummary.from_dict(f) for f in d["functions"]
+            ),
+            classes=tuple(ClassSummary.from_dict(c) for c in d["classes"]),
+            mutable_globals=tuple(str(g) for g in d["mutable_globals"]),
+            allow_lines={
+                int(line): tuple(str(i) for i in ids)
+                for line, ids in d["allow_lines"].items()
+            },
+        )
+
+    def allows(self, line: int | None, rule_id: str) -> bool:
+        """Is ``rule_id`` allowlisted on ``line`` of this module?"""
+        if line is None:
+            return False
+        ids = self.allow_lines.get(line, ())
+        return rule_id in ids or "*" in ids
+
+
+def _dotted_text(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_type(node: ast.expr | None, table: ImportTable) -> str | None:
+    """Resolve a simple annotation to a qualified class name.
+
+    Handles ``T``, ``"T"`` (string form), ``T | None``, ``Optional[T]``.
+    Containers and unions of two real types resolve to None — shallow
+    on purpose.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_type(node.left, table)
+        right = _annotation_type(node.right, table)
+        if left is not None and right is None:
+            return left
+        if right is not None and left is None:
+            return right
+        return None
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    if isinstance(node, ast.Subscript):
+        base = _dotted_text(node.value)
+        if base is not None and table.resolve(base).endswith("Optional"):
+            return _annotation_type(node.slice, table)
+        return None
+    dotted = _dotted_text(node)
+    if dotted is None:
+        return None
+    return table.resolve(dotted)
+
+
+def _is_mutable_value(node: ast.expr, table: ImportTable) -> bool:
+    """Is a module-level binding's value a mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted_text(node.func)
+        if dotted is not None and table.resolve(dotted) in N.MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted_text(node.func)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+class _ModuleExtractor:
+    """Single-module summary extraction (two passes over the AST)."""
+
+    def __init__(self, tree: ast.Module, source: str, path: str,
+                 module: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.module = module
+        self.table = ImportTable.from_module(tree, module)
+        self.allow_lines: dict[int, tuple[str, ...]] = {}
+        for i, text in enumerate(source.splitlines(), start=1):
+            ids = allowed_rules(text)
+            if ids:
+                self.allow_lines[i] = tuple(sorted(ids))
+        # Pass 1: module shape.
+        self.class_nodes: dict[str, ast.ClassDef] = {}
+        self.module_functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.mutable_globals: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.class_nodes[node.name] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and _is_mutable_value(
+                        node.value, self.table
+                    ):
+                        self.mutable_globals.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.value is not None
+                    and _is_mutable_value(node.value, self.table)
+                ):
+                    self.mutable_globals.add(node.target.id)
+        # Pass 2a: class attribute types (annotations + self.x = ...).
+        self.attr_types: dict[str, dict[str, str]] = {}
+        for cls_name, cls_node in self.class_nodes.items():
+            self.attr_types[cls_name] = self._class_attr_types(cls_node)
+
+    # -- summary assembly -------------------------------------------------
+
+    def summarize(self) -> ModuleSummary:
+        functions: list[FunctionSummary] = []
+        for fn_node in self.module_functions.values():
+            functions.append(self._function_summary(fn_node, cls_name=None))
+            functions.extend(self._nested_summaries(fn_node, cls_name=None))
+        classes: list[ClassSummary] = []
+        for cls_name, cls_node in self.class_nodes.items():
+            methods: list[str] = []
+            for item in cls_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.append(item.name)
+                    functions.append(
+                        self._function_summary(item, cls_name=cls_name)
+                    )
+                    functions.extend(
+                        self._nested_summaries(item, cls_name=cls_name)
+                    )
+            bases: list[str] = []
+            for base in cls_node.bases:
+                dotted = _dotted_text(base)
+                if dotted is not None:
+                    resolved = self.table.resolve(dotted)
+                    if resolved in self.class_nodes:
+                        resolved = f"{self.module}.{resolved}"
+                    bases.append(resolved)
+            classes.append(ClassSummary(
+                qualname=f"{self.module}.{cls_name}",
+                module=self.module,
+                line=cls_node.lineno,
+                bases=tuple(bases),
+                attr_types=dict(self.attr_types.get(cls_name, {})),
+                methods=tuple(methods),
+            ))
+        return ModuleSummary(
+            module=self.module,
+            path=self.path,
+            functions=tuple(functions),
+            classes=tuple(classes),
+            mutable_globals=tuple(sorted(self.mutable_globals)),
+            allow_lines=dict(self.allow_lines),
+        )
+
+    def _nested_summaries(
+        self, outer: ast.FunctionDef | ast.AsyncFunctionDef, cls_name: str | None
+    ) -> list[FunctionSummary]:
+        out: list[FunctionSummary] = []
+        for node in ast.walk(outer):
+            if node is outer:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(
+                    self._function_summary(
+                        node, cls_name=cls_name, nested_in=outer.name
+                    )
+                )
+        return out
+
+    # -- class attribute typing -------------------------------------------
+
+    def _class_attr_types(self, cls_node: ast.ClassDef) -> dict[str, str]:
+        types: dict[str, str] = {}
+        # Class-level annotations (dataclass fields).
+        for item in cls_node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                t = self._qualify_local(
+                    _annotation_type(item.annotation, self.table)
+                )
+                if t is not None:
+                    types[item.target.id] = t
+        # `self.x = ...` in method bodies.
+        for item in cls_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            param_types = self._param_types(item)
+            for node in ast.walk(item):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    target, value = node.target, node.value
+                    if isinstance(target, ast.Attribute):
+                        t = self._qualify_local(
+                            _annotation_type(node.annotation, self.table)
+                        )
+                        if t is not None and self._is_self_attr(target):
+                            types.setdefault(target.attr, t)
+                if (
+                    target is not None
+                    and value is not None
+                    and self._is_self_attr(target)
+                ):
+                    assert isinstance(target, ast.Attribute)
+                    t = self._value_type(value, param_types, {})
+                    if t is not None:
+                        types.setdefault(target.attr, t)
+        return types
+
+    @staticmethod
+    def _is_self_attr(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _param_types(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        types: dict[str, str] = {}
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        )
+        for arg in args:
+            t = self._qualify_local(_annotation_type(arg.annotation, self.table))
+            if t is not None:
+                types[arg.arg] = t
+        return types
+
+    def _qualify_local(self, name: str | None) -> str | None:
+        """Prefix module-local class names with the module path."""
+        if name is None:
+            return None
+        if name in self.class_nodes:
+            return f"{self.module}.{name}"
+        return name
+
+    def _value_type(
+        self,
+        node: ast.expr,
+        param_types: Mapping[str, str],
+        local_types: Mapping[str, str],
+    ) -> str | None:
+        """Type of an expression, where syntactically evident."""
+        if isinstance(node, ast.Name):
+            t = local_types.get(node.id) or param_types.get(node.id)
+            return t
+        if isinstance(node, ast.Attribute):
+            base = self._value_type(node.value, param_types, local_types)
+            if base is not None:
+                attrs = self._attr_types_for(base)
+                if attrs is not None:
+                    return attrs.get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            target = self._call_target(node, param_types, local_types,
+                                       cls_name=None)
+            if target is None:
+                return None
+            if target in N.SPECIAL_RESULT_TYPES:
+                return N.SPECIAL_RESULT_TYPES[target]
+            local = target.rsplit(".", 1)[-1]
+            if f"{self.module}.{local}" == target and local in self.class_nodes:
+                return target
+            # Heuristic: CapWord targets are constructors.
+            if local[:1].isupper():
+                return target
+            return None
+        return None
+
+    def _attr_types_for(self, cls_qual: str) -> Mapping[str, str] | None:
+        if cls_qual.startswith(self.module + "."):
+            local = cls_qual[len(self.module) + 1 :]
+            if local in self.attr_types:
+                return self.attr_types[local]
+        return None
+
+    # -- call target resolution -------------------------------------------
+
+    def _call_target(
+        self,
+        node: ast.Call,
+        param_types: Mapping[str, str],
+        local_types: Mapping[str, str],
+        cls_name: str | None,
+        local_names: frozenset[str] = frozenset(),
+    ) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in local_names or name in local_types or name in param_types:
+                return None
+            if name in self.module_functions or name in self.class_nodes:
+                return f"{self.module}.{name}"
+            resolved = self.table.qualified(name)
+            if resolved is not None:
+                return resolved
+            if name in ("open", "set", "frozenset", "list", "dict"):
+                return name
+            return None
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and cls_name is not None
+            ):
+                return f"{self.module}.{cls_name}.{func.attr}"
+            recv_type = self._value_type(func.value, param_types, local_types)
+            if recv_type is not None:
+                return f"{recv_type}.{func.attr}"
+            dotted = _dotted_text(func)
+            if dotted is not None:
+                root = dotted.split(".", 1)[0]
+                if (
+                    root not in local_names
+                    and root not in local_types
+                    and root not in param_types
+                    and self.table.qualified(root) is not None
+                ):
+                    return self.table.resolve(dotted)
+            return None
+        return None
+
+    # -- function bodies ----------------------------------------------------
+
+    def _function_summary(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls_name: str | None,
+        nested_in: str | None = None,
+    ) -> FunctionSummary:
+        module_prefix = (
+            f"{self.module}.{cls_name}" if cls_name is not None else self.module
+        )
+        if nested_in is not None:
+            qualname = f"{module_prefix}.{nested_in}.{fn.name}"
+        else:
+            qualname = f"{module_prefix}.{fn.name}"
+        param_types = self._param_types(fn)
+        if cls_name is not None and nested_in is None:
+            param_types.setdefault("self", f"{self.module}.{cls_name}")
+        params = tuple(
+            a.arg
+            for a in (
+                list(fn.args.posonlyargs) + list(fn.args.args)
+                + list(fn.args.kwonlyargs)
+            )
+        )
+        local_names = self._assigned_names(fn)
+        local_types = self._local_types(fn, param_types)
+        body_nodes = self._own_nodes(fn)
+
+        calls: list[CallSite] = []
+        origins: list[Origin] = []
+        store_writes: list[StoreWrite] = []
+        submits: list[SubmitSite] = []
+
+        def add_origin(effect: str, line: int, detail: str) -> None:
+            ids = self.allow_lines.get(line, ())
+            if "*" in ids:
+                return
+            if any(a in ids for a in ORIGIN_ALLOW_IDS.get(effect, ())):
+                return
+            origins.append(Origin(effect, line, detail))
+
+        for node in body_nodes:
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                add_origin("order", node.iter.lineno, "iteration over a set")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        add_origin(
+                            "order", gen.iter.lineno, "iteration over a set"
+                        )
+            elif isinstance(node, ast.Global):
+                for gname in node.names:
+                    add_origin(
+                        "global-write", node.lineno,
+                        f"{self.module}.{gname}",
+                    )
+            elif isinstance(node, ast.Call):
+                self._handle_call(
+                    node, qualname, cls_name, param_types, local_types,
+                    local_names, params, calls, origins, add_origin,
+                    store_writes, submits,
+                )
+            self._handle_global_access(node, local_names, params, add_origin)
+
+        return FunctionSummary(
+            qualname=qualname,
+            module=self.module,
+            path=self.path,
+            name=fn.name,
+            cls=f"{self.module}.{cls_name}" if cls_name is not None else None,
+            line=fn.lineno,
+            nested=nested_in is not None,
+            params=params,
+            calls=tuple(calls),
+            origins=tuple(origins),
+            store_writes=tuple(store_writes),
+            submits=tuple(submits),
+        )
+
+    def _own_nodes(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[ast.AST]:
+        """All AST nodes of ``fn`` excluding nested function bodies
+        (those get their own summaries)."""
+        out: list[ast.AST] = []
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        out.sort(key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)))
+        return out
+
+    @staticmethod
+    def _assigned_names(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> frozenset[str]:
+        names: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn:
+                    names.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+        return frozenset(names)
+
+    def _local_types(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        param_types: Mapping[str, str],
+    ) -> dict[str, str]:
+        local_types: dict[str, str] = {}
+        for node in ast.walk(fn):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                t = self._qualify_local(
+                    _annotation_type(node.annotation, self.table)
+                )
+                if isinstance(target, ast.Name) and t is not None:
+                    local_types[target.id] = t
+                continue
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None and isinstance(
+                    node.optional_vars, ast.Name
+                ):
+                    target, value = node.optional_vars, node.context_expr
+            if (
+                isinstance(target, ast.Name)
+                and value is not None
+                and isinstance(value, ast.Call)
+            ):
+                t = self._value_type(value, param_types, local_types)
+                if t is not None:
+                    local_types[target.id] = t
+        return local_types
+
+    def _handle_call(
+        self,
+        node: ast.Call,
+        qualname: str,
+        cls_name: str | None,
+        param_types: Mapping[str, str],
+        local_types: Mapping[str, str],
+        local_names: frozenset[str],
+        params: tuple[str, ...],
+        calls: list[CallSite],
+        origins: list[Origin],
+        add_origin: Any,
+        store_writes: list[StoreWrite],
+        submits: list[SubmitSite],
+    ) -> None:
+        target = self._call_target(
+            node, param_types, local_types, cls_name, local_names
+        )
+        self_method = (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and cls_name is not None
+        )
+        if target is not None:
+            calls.append(CallSite(node.lineno, target, self_method))
+            # -- effect classification ---------------------------------
+            if N.is_wall_clock(target):
+                add_origin("clock", node.lineno, f"{target}()")
+            rng = N.rng_violation(target, node)
+            if rng is not None:
+                add_origin("rng", node.lineno, rng)
+            blocking = N.blocking_effect(target)
+            if blocking is not None:
+                add_origin(blocking, node.lineno, f"{target}()")
+            if target in N.ORDER_QUALIFIED:
+                add_origin("order", node.lineno, f"{target}()")
+            if target in N.REPORT_CLASSES:
+                add_origin("report", node.lineno, f"{target}(...)")
+            if target in N.CANONICAL_FUNCTIONS:
+                add_origin("canonical", node.lineno, f"{target}(...)")
+            # -- sqlite connection methods ------------------------------
+            head, _, method = target.rpartition(".")
+            if head == "sqlite3.Connection" and (
+                method in N.SQLITE_CONNECTION_METHODS
+            ):
+                add_origin("sqlite", node.lineno, f"Connection.{method}()")
+            # -- store writes -------------------------------------------
+            if head in N.STORE_CLASSES and method in N.STORE_WRITE_METHODS:
+                self._record_store_write(
+                    node, method, param_types, local_types, params,
+                    store_writes,
+                )
+            # -- pool submits -------------------------------------------
+            if head in N.POOL_CLASSES and method in ("submit", "map"):
+                self._record_submit(
+                    node, method, param_types, local_types, local_names,
+                    submits,
+                )
+        else:
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in N.FS_METHOD_NAMES:
+                    add_origin("fs", node.lineno, f".{attr}()")
+                if attr in N.ORDER_METHOD_NAMES:
+                    add_origin("order", node.lineno, f".{attr}()")
+            calls.append(CallSite(node.lineno, None, False))
+        # Mutation of a module global through a method call.
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            recv = node.func.value.id
+            if (
+                node.func.attr in _MUTATING_METHODS
+                and recv in self.mutable_globals
+                and recv not in local_names
+                and recv not in params
+            ):
+                add_origin(
+                    "global-write", node.lineno, f"{self.module}.{recv}"
+                )
+
+    def _record_store_write(
+        self,
+        node: ast.Call,
+        method: str,
+        param_types: Mapping[str, str],
+        local_types: Mapping[str, str],
+        params: tuple[str, ...],
+        store_writes: list[StoreWrite],
+    ) -> None:
+        assert isinstance(node.func, ast.Attribute)
+        recv_expr = node.func.value
+        recv = "outside"
+        if self._is_self_attr(recv_expr):
+            recv = "self-attr"
+        elif isinstance(recv_expr, ast.Name):
+            if recv_expr.id in local_types and recv_expr.id not in param_types:
+                recv = "local"
+        stamped = len(node.args) >= 3 or any(
+            kw.arg == "intake_seqs" for kw in node.keywords
+        )
+        store_writes.append(StoreWrite(
+            line=node.lineno,
+            method=method,
+            recv=recv,
+            stamped=stamped,
+            caller_has_seq_param="intake_seqs" in params,
+        ))
+
+    def _record_submit(
+        self,
+        node: ast.Call,
+        method: str,
+        param_types: Mapping[str, str],
+        local_types: Mapping[str, str],
+        local_names: frozenset[str],
+        submits: list[SubmitSite],
+    ) -> None:
+        if not node.args:
+            return
+        fn_arg = node.args[0]
+        kind = "unknown"
+        target: str | None = None
+        detail = ""
+        if isinstance(fn_arg, ast.Lambda):
+            kind, detail = "lambda", "lambda"
+        elif isinstance(fn_arg, ast.Attribute):
+            dotted = _dotted_text(fn_arg)
+            if dotted is not None and dotted.startswith("self."):
+                kind, detail = "bound-method", dotted
+            else:
+                resolved = self._value_type(fn_arg.value, param_types,
+                                            local_types)
+                if resolved is not None:
+                    kind, detail = "bound-method", dotted or fn_arg.attr
+                elif dotted is not None:
+                    root = dotted.split(".", 1)[0]
+                    if self.table.qualified(root) is not None:
+                        kind, target = "ok", self.table.resolve(dotted)
+        elif isinstance(fn_arg, ast.Name):
+            name = fn_arg.id
+            if name in self.module_functions:
+                kind, target = "ok", f"{self.module}.{name}"
+            elif self.table.qualified(name) is not None:
+                kind, target = "ok", self.table.qualified(name)
+            elif name in local_names:
+                kind, detail = "nested", name
+        # Lambdas anywhere in the payload are equally unpicklable.
+        for extra in node.args[1:]:
+            if isinstance(extra, ast.Lambda):
+                submits.append(SubmitSite(extra.lineno, "lambda", None,
+                                          "lambda argument"))
+        submits.append(SubmitSite(node.lineno, kind, target, detail))
+
+    def _handle_global_access(
+        self,
+        node: ast.AST,
+        local_names: frozenset[str],
+        params: tuple[str, ...],
+        add_origin: Any,
+    ) -> None:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            name = node.id
+            if (
+                name in self.mutable_globals
+                and name not in local_names
+                and name not in params
+            ):
+                add_origin(
+                    "global-read", node.lineno, f"{self.module}.{name}"
+                )
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if isinstance(node.value, ast.Name):
+                name = node.value.id
+                if (
+                    name in self.mutable_globals
+                    and name not in local_names
+                    and name not in params
+                ):
+                    add_origin(
+                        "global-write", node.lineno, f"{self.module}.{name}"
+                    )
+
+
+def summarize_source(
+    source: str, path: str, module: str | None = None
+) -> ModuleSummary:
+    """Extract one file's :class:`ModuleSummary` (the cacheable unit)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+    mod = module if module is not None else module_name_for_path(path)
+    return _ModuleExtractor(tree, source, path, mod).summarize()
+
+
+class CallGraph:
+    """Linked whole-program view over a set of module summaries."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self.functions: dict[str, FunctionSummary] = {}
+        self.classes: dict[str, ClassSummary] = {}
+        for summary in self.modules.values():
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+            for cls in summary.classes:
+                self.classes[cls.qualname] = cls
+        self.edges: dict[str, tuple[tuple[int, str], ...]] = {}
+        self.redges: dict[str, list[tuple[str, int]]] = {}
+        for qualname in sorted(self.functions):
+            fn = self.functions[qualname]
+            out: list[tuple[int, str]] = []
+            for call in fn.calls:
+                callee = self.resolve_call(call)
+                if callee is not None:
+                    out.append((call.line, callee))
+            self.edges[qualname] = tuple(out)
+            for line, callee in out:
+                self.redges.setdefault(callee, []).append((qualname, line))
+        for callers in self.redges.values():
+            callers.sort()
+
+    def resolve_call(self, call: CallSite) -> str | None:
+        """The indexed function a call site lands on, if any."""
+        target = call.resolved
+        if target is None:
+            return None
+        if target in self.functions:
+            return target
+        if target in self.classes:
+            return self._resolve_method(target, "__init__")
+        head, _, method = target.rpartition(".")
+        if head and head in self.classes:
+            return self._resolve_method(head, method)
+        return None
+
+    def _resolve_method(self, cls_qual: str, method: str) -> str | None:
+        """Find ``method`` on a class or its (indexed) bases."""
+        seen: set[str] = set()
+        stack = [cls_qual]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            candidate = f"{current}.{method}"
+            if candidate in self.functions:
+                return candidate
+            cls = self.classes.get(current)
+            if cls is not None:
+                stack.extend(cls.bases)
+        return None
+
+    def module_of(self, qualname: str) -> ModuleSummary | None:
+        """The module summary a function belongs to."""
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return None
+        return self.modules.get(fn.module)
+
+    def store_owner_classes(self) -> list[ClassSummary]:
+        """Classes owning a partitionable store (a store-typed attr)."""
+        owners: list[ClassSummary] = []
+        for qualname in sorted(self.classes):
+            cls = self.classes[qualname]
+            if any(t in N.STORE_CLASSES for t in cls.attr_types.values()):
+                owners.append(cls)
+        return owners
+
+    def functions_sorted(self) -> Iterable[FunctionSummary]:
+        """All indexed functions in deterministic order."""
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]

@@ -1,0 +1,373 @@
+"""The ``conc.*`` rules: shard/daemon discipline, checked statically.
+
+PR 8's sharded PDME is bit-identical to a single-process oracle only
+under three disciplines the golden tests probe but cannot *prove*:
+each SQLite partition has exactly one writer (its ``ShardWorker``),
+every write carries the router's ``intake_seq`` stamp, and nothing
+shipped into a process pool closes over state that differs between
+parent and child.  PR 7's daemon adds a fourth: tick stages must not
+block outside the budgeted kernel slice, or the wall-tick deadline
+accounting is fiction.  This module turns each into a rule over the
+linked call graph:
+
+``conc.single-writer``
+    A ``ReportStore`` write surface (``ingest``/``ingest_batch``) is
+    called on a store the calling code does not own — anything other
+    than ``self.<store attr>`` of a store-owning class or a store
+    constructed locally in the same function — or an owning method
+    that takes ``intake_seqs`` writes without forwarding the stamp.
+
+``conc.cross-shard-state``
+    A function reachable from a process-pool entry point reads a
+    mutable module global that some function mutates: its value in the
+    child depends on fork timing, so shards can disagree.
+
+``conc.unpickleable-capture``
+    A lambda, nested function, or bound method is shipped into a
+    process pool — none survive pickling.
+
+``conc.fork-unsafe-global``
+    A function reachable from a pool entry point *mutates* a module
+    global; the write happens in the child and is silently lost (or
+    worse, survives under fork-start and diverges).
+
+``conc.blocking-in-tick``
+    A daemon tick stage reaches blocking I/O (sleep, filesystem,
+    sqlite, network, process spawn) outside the budgeted kernel slice.
+
+Findings carry the inducing call chain from the entry point down to
+the offending line, and honor ``# mpros: allow[rule-id]`` on that
+line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis import names as N
+from repro.analysis.callgraph import CallGraph, FunctionSummary, Origin
+from repro.analysis.report import Diagnostic, Location, Severity
+
+#: Daemon tick entry points (forward-reach roots for blocking-in-tick).
+DEFAULT_TICK_ROOTS = ("repro.stream.daemon.StreamDaemon.tick",)
+
+#: Call-graph subtrees exempt from blocking-in-tick: the budgeted
+#: kernel slice is *allowed* to dispatch simulated I/O.
+DEFAULT_TICK_EXEMPT = ("repro.netsim.kernel",)
+
+#: Blocking effect kinds for conc.blocking-in-tick.
+BLOCKING_EFFECTS = frozenset({"sleep", "fs", "sqlite", "net", "spawn"})
+
+CONC_RULE_IDS = (
+    "conc.single-writer",
+    "conc.cross-shard-state",
+    "conc.unpickleable-capture",
+    "conc.fork-unsafe-global",
+    "conc.blocking-in-tick",
+)
+
+
+@dataclass(frozen=True)
+class _Pred:
+    caller: str
+    line: int
+
+
+def forward_reach(
+    graph: CallGraph,
+    roots: Sequence[str],
+    exempt_prefixes: Sequence[str] = (),
+) -> dict[str, _Pred | None]:
+    """BFS down the call graph from ``roots``.
+
+    Returns every reached function mapped to the edge it was first
+    reached through (None for roots).  Traversal does not descend into
+    functions whose module matches an exempt prefix — the exempt
+    function itself is reached (so its own effects could be inspected)
+    but its callees are not.
+    """
+
+    def exempt(qualname: str) -> bool:
+        fn = graph.functions.get(qualname)
+        module = fn.module if fn is not None else qualname
+        return any(
+            module == p or module.startswith(p + ".") for p in exempt_prefixes
+        )
+
+    preds: dict[str, _Pred | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in graph.functions and root not in preds:
+            preds[root] = None
+            queue.append(root)
+    while queue:
+        current = queue.popleft()
+        if exempt(current):
+            continue
+        for line, callee in graph.edges.get(current, ()):
+            if callee not in preds:
+                preds[callee] = _Pred(current, line)
+                queue.append(callee)
+    return preds
+
+
+def entry_chain(
+    graph: CallGraph,
+    preds: Mapping[str, _Pred | None],
+    target: str,
+    origin: Origin | None = None,
+) -> tuple[str, ...]:
+    """The call chain from an entry root down to ``target``.
+
+    Each hop reads ``qualname (file:line)`` where the line is the call
+    site into the next hop; the last entry is the target itself at the
+    origin line (when given).
+    """
+    hops: list[tuple[str, int]] = []
+    current = target
+    seen: set[str] = set()
+    while current not in seen:
+        seen.add(current)
+        pred = preds.get(current)
+        if pred is None:
+            break
+        hops.append((pred.caller, pred.line))
+        current = pred.caller
+    chain: list[str] = []
+    for caller, line in reversed(hops):
+        fn = graph.functions[caller]
+        chain.append(f"{caller} ({fn.path}:{line})")
+    fn = graph.functions[target]
+    if origin is not None:
+        chain.append(f"{target} ({fn.path}:{origin.line}): {origin.detail}")
+    else:
+        chain.append(f"{target} ({fn.path}:{fn.line})")
+    return tuple(chain)
+
+
+def _allowed(graph: CallGraph, fn: FunctionSummary, line: int,
+             rule_id: str) -> bool:
+    module = graph.modules.get(fn.module)
+    return module is not None and module.allows(line, rule_id)
+
+
+def _written_globals(graph: CallGraph) -> frozenset[str]:
+    """Module globals some analyzed function mutates."""
+    written: set[str] = set()
+    for fn in graph.functions_sorted():
+        for origin in fn.origins:
+            if origin.effect == "global-write":
+                written.add(origin.detail)
+    return frozenset(written)
+
+
+def _owns_store(graph: CallGraph, cls_qual: str | None) -> bool:
+    if cls_qual is None:
+        return False
+    cls = graph.classes.get(cls_qual)
+    return cls is not None and any(
+        t in N.STORE_CLASSES for t in cls.attr_types.values()
+    )
+
+
+def check_single_writer(graph: CallGraph) -> list[Diagnostic]:
+    """Every store write goes through its owner, stamped."""
+    diagnostics: list[Diagnostic] = []
+    for fn in graph.functions_sorted():
+        if fn.cls is not None and fn.cls in N.STORE_CLASSES:
+            continue  # the store's own internals
+        for write in fn.store_writes:
+            if _allowed(graph, fn, write.line, "conc.single-writer"):
+                continue
+            loc = Location(file=fn.path, line=write.line)
+            if write.recv == "outside":
+                diagnostics.append(Diagnostic(
+                    rule_id="conc.single-writer",
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=(
+                        f"{fn.qualname} writes ({write.method}) to a "
+                        "ReportStore partition it does not own — each "
+                        "partition must have exactly one writer"
+                    ),
+                    suggestion="route the write through the owning "
+                               "ShardWorker",
+                    symbol=fn.qualname,
+                ))
+            elif write.recv == "self-attr" and not _owns_store(graph, fn.cls):
+                diagnostics.append(Diagnostic(
+                    rule_id="conc.single-writer",
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=(
+                        f"{fn.qualname} writes ({write.method}) to a store "
+                        "attribute of a class that does not own a "
+                        "ReportStore partition"
+                    ),
+                    suggestion="give the class its own partition or route "
+                               "through the owner",
+                    symbol=fn.qualname,
+                ))
+            elif (
+                write.recv == "self-attr"
+                and write.caller_has_seq_param
+                and not write.stamped
+            ):
+                diagnostics.append(Diagnostic(
+                    rule_id="conc.single-writer",
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=(
+                        f"{fn.qualname} takes intake_seqs but writes "
+                        f"({write.method}) without forwarding the router's "
+                        "sequence stamp — replay order across shards is "
+                        "lost"
+                    ),
+                    suggestion="pass the intake_seqs stamp through to the "
+                               "store write",
+                    symbol=fn.qualname,
+                ))
+    return diagnostics
+
+
+def pool_entry_points(graph: CallGraph) -> list[str]:
+    """Functions shipped into process pools (resolved submit targets)."""
+    roots: set[str] = set()
+    for fn in graph.functions_sorted():
+        for submit in fn.submits:
+            if submit.kind == "ok" and submit.target is not None:
+                if submit.target in graph.functions:
+                    roots.add(submit.target)
+    return sorted(roots)
+
+
+def check_pool_rules(graph: CallGraph) -> list[Diagnostic]:
+    """unpickleable-capture, fork-unsafe-global, cross-shard-state."""
+    diagnostics: list[Diagnostic] = []
+
+    # Unpicklable payloads, at the submit site.
+    kind_labels = {
+        "lambda": "a lambda",
+        "nested": "a nested function",
+        "bound-method": "a bound method",
+    }
+    for fn in graph.functions_sorted():
+        for submit in fn.submits:
+            label = kind_labels.get(submit.kind)
+            if label is None:
+                continue
+            if _allowed(graph, fn, submit.line, "conc.unpickleable-capture"):
+                continue
+            what = f" ({submit.detail})" if submit.detail else ""
+            diagnostics.append(Diagnostic(
+                rule_id="conc.unpickleable-capture",
+                severity=Severity.ERROR,
+                location=Location(file=fn.path, line=submit.line),
+                message=(
+                    f"{fn.qualname} ships {label}{what} into a process "
+                    "pool — it cannot be pickled"
+                ),
+                suggestion="use a module-level function",
+                symbol=fn.qualname,
+            ))
+
+    # Global state reachable from pool workers.
+    roots = pool_entry_points(graph)
+    if roots:
+        preds = forward_reach(graph, roots)
+        written = _written_globals(graph)
+        for qualname in sorted(preds):
+            fn = graph.functions[qualname]
+            for origin in fn.origins:
+                if origin.effect == "global-write":
+                    rule = "conc.fork-unsafe-global"
+                    message = (
+                        f"{qualname}, reachable from pool entry point(s), "
+                        f"mutates module global {origin.detail} — the "
+                        "write is lost (or diverges) across processes"
+                    )
+                    suggestion = ("pass state explicitly; return results "
+                                  "instead of mutating globals")
+                elif (
+                    origin.effect == "global-read"
+                    and origin.detail in written
+                ):
+                    rule = "conc.cross-shard-state"
+                    message = (
+                        f"{qualname}, reachable from pool entry point(s), "
+                        f"reads mutable module global {origin.detail} "
+                        "(mutated elsewhere) — shards may observe "
+                        "different values"
+                    )
+                    suggestion = ("ship the value with the task payload "
+                                  "instead of reading a mutable global")
+                else:
+                    continue
+                if _allowed(graph, fn, origin.line, rule):
+                    continue
+                diagnostics.append(Diagnostic(
+                    rule_id=rule,
+                    severity=Severity.ERROR,
+                    location=Location(file=fn.path, line=origin.line),
+                    message=message,
+                    suggestion=suggestion,
+                    symbol=qualname,
+                    chain=entry_chain(graph, preds, qualname, origin),
+                ))
+    return diagnostics
+
+
+def check_blocking_in_tick(
+    graph: CallGraph,
+    tick_roots: Sequence[str] = DEFAULT_TICK_ROOTS,
+    tick_exempt: Sequence[str] = DEFAULT_TICK_EXEMPT,
+) -> list[Diagnostic]:
+    """Tick stages must not reach blocking I/O outside the kernel slice."""
+    diagnostics: list[Diagnostic] = []
+    preds = forward_reach(graph, tick_roots, exempt_prefixes=tick_exempt)
+    for qualname in sorted(preds):
+        fn = graph.functions[qualname]
+        if any(
+            fn.module == p or fn.module.startswith(p + ".")
+            for p in tick_exempt
+        ):
+            continue
+        for origin in fn.origins:
+            if origin.effect not in BLOCKING_EFFECTS:
+                continue
+            if _allowed(graph, fn, origin.line, "conc.blocking-in-tick"):
+                continue
+            diagnostics.append(Diagnostic(
+                rule_id="conc.blocking-in-tick",
+                severity=Severity.ERROR,
+                location=Location(file=fn.path, line=origin.line),
+                message=(
+                    f"daemon tick reaches blocking {origin.effect} "
+                    f"({origin.detail}) in {qualname} outside the "
+                    "budgeted kernel slice"
+                ),
+                suggestion="move the work out of the tick path or under "
+                           "the budgeted kernel slice",
+                symbol=qualname,
+                chain=entry_chain(graph, preds, qualname, origin),
+            ))
+    return diagnostics
+
+
+def check_concurrency(
+    graph: CallGraph,
+    tick_roots: Sequence[str] = DEFAULT_TICK_ROOTS,
+    tick_exempt: Sequence[str] = DEFAULT_TICK_EXEMPT,
+) -> list[Diagnostic]:
+    """All conc.* rules over a linked call graph, sorted."""
+    diagnostics = (
+        check_single_writer(graph)
+        + check_pool_rules(graph)
+        + check_blocking_in_tick(graph, tick_roots, tick_exempt)
+    )
+    diagnostics.sort(
+        key=lambda d: (d.rule_id, d.location.file or "", d.location.line or 0)
+    )
+    return diagnostics

@@ -1,0 +1,237 @@
+"""Interprocedural effect propagation and the ``flow.*`` rules.
+
+PR 4's linter flags a ``time.time()`` on the line it occurs.  This pass
+flags it where it *matters*: at the report-producing entry point whose
+output now depends on the host clock, five calls up.  Effects extracted
+per function by :mod:`repro.analysis.callgraph` are propagated along
+reverse call edges, and three flow rules relate effect *origins* to the
+determinism-critical *sinks* of this codebase:
+
+``flow.clock-taints-report``
+    A wall-clock read reaches a function that (directly or through its
+    callees) constructs a ``FailurePredictionReport``.  Report content
+    must be a function of simulated time only — PR 3/PR 8 golden tests
+    compare report bytes.
+
+``flow.rng-taints-fusion``
+    Unseeded randomness reaches the fusion/PDME layer.  Fusion must be
+    a deterministic fold; PR 8's sharded PDME is proven bit-identical
+    against a single-process oracle, which an unseeded draw breaks.
+
+``flow.order-taints-canonical``
+    Hash/filesystem-order iteration reaches canonical (byte-stable)
+    JSON output.  ``canonical_dumps`` sorts keys, but *sequences* built
+    in set/listdir order survive serialization and break golden bytes.
+
+Each finding is anchored at the nearest sink and carries the inducing
+call chain, outermost first, ending at the origin line.  One diagnostic
+is emitted per effect origin — not per (origin, sink) pair — so one
+stray clock read produces one finding, not a finding per caller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.callgraph import CallGraph, Origin
+from repro.analysis.report import Diagnostic, Location, Severity
+
+#: Modules whose functions are fusion sinks for ``flow.rng-taints-fusion``.
+DEFAULT_FUSION_PREFIXES = ("repro.fusion", "repro.pdme")
+
+FLOW_RULE_IDS = (
+    "flow.clock-taints-report",
+    "flow.rng-taints-fusion",
+    "flow.order-taints-canonical",
+)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """How one origin's effect reached a function."""
+
+    dist: int
+    #: The callee this function reaches the origin through (None at the
+    #: origin function itself).
+    next_hop: str | None
+    #: Line of the call into ``next_hop``.
+    call_line: int | None
+
+
+def effect_reach(graph: CallGraph, effect: str) -> frozenset[str]:
+    """Functions carrying ``effect`` directly or through a callee."""
+    seen: set[str] = set()
+    queue: deque[str] = deque()
+    for fn in graph.functions_sorted():
+        if any(o.effect == effect for o in fn.origins):
+            seen.add(fn.qualname)
+            queue.append(fn.qualname)
+    while queue:
+        current = queue.popleft()
+        for caller, _line in graph.redges.get(current, ()):
+            if caller not in seen:
+                seen.add(caller)
+                queue.append(caller)
+    return frozenset(seen)
+
+
+def taint_from(graph: CallGraph, origin_fn: str) -> dict[str, Taint]:
+    """BFS up the reverse call graph from one origin's function.
+
+    Deterministic: reverse edges are pre-sorted, the queue is FIFO, and
+    a function keeps the first (nearest) taint it receives.
+    """
+    taints: dict[str, Taint] = {origin_fn: Taint(0, None, None)}
+    queue: deque[str] = deque([origin_fn])
+    while queue:
+        current = queue.popleft()
+        dist = taints[current].dist
+        for caller, line in graph.redges.get(current, ()):
+            if caller not in taints:
+                taints[caller] = Taint(dist + 1, current, line)
+                queue.append(caller)
+    return taints
+
+
+def witness_chain(
+    graph: CallGraph,
+    taints: Mapping[str, Taint],
+    anchor: str,
+    origin_fn: str,
+    origin: Origin,
+) -> tuple[str, ...]:
+    """The call chain from ``anchor`` down to the origin line."""
+    chain: list[str] = []
+    current = anchor
+    while current != origin_fn:
+        taint = taints[current]
+        fn = graph.functions[current]
+        chain.append(f"{current} ({fn.path}:{taint.call_line})")
+        if taint.next_hop is None:  # pragma: no cover - defensive
+            break
+        current = taint.next_hop
+    fn = graph.functions[origin_fn]
+    chain.append(f"{origin_fn} ({fn.path}:{origin.line}): {origin.detail}")
+    return tuple(chain)
+
+
+def _origins_of(graph: CallGraph, effect: str) -> list[tuple[str, Origin]]:
+    out: list[tuple[str, Origin]] = []
+    for fn in graph.functions_sorted():
+        for origin in fn.origins:
+            if origin.effect == effect:
+                out.append((fn.qualname, origin))
+    return out
+
+
+def _nearest_sink(
+    taints: Mapping[str, Taint], sinks: frozenset[str]
+) -> str | None:
+    """The sink the taint reaches in the fewest hops (ties by name)."""
+    best: tuple[int, str] | None = None
+    for qualname, taint in taints.items():
+        if qualname in sinks:
+            key = (taint.dist, qualname)
+            if best is None or key < best:
+                best = key
+    return None if best is None else best[1]
+
+
+def _flow_diagnostic(
+    graph: CallGraph,
+    rule_id: str,
+    effect_label: str,
+    taints: Mapping[str, Taint],
+    anchor: str,
+    origin_fn: str,
+    origin: Origin,
+    suggestion: str,
+) -> Diagnostic | None:
+    anchor_fn = graph.functions[anchor]
+    anchor_taint = taints[anchor]
+    line = (
+        origin.line if anchor == origin_fn else anchor_taint.call_line
+    )
+    module = graph.module_of(anchor)
+    if module is not None and module.allows(line, rule_id):
+        return None
+    if anchor == origin_fn:
+        via = f"directly at line {origin.line}"
+    else:
+        via = f"through {anchor_taint.dist} call(s)"
+    return Diagnostic(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        location=Location(file=anchor_fn.path, line=line),
+        message=(
+            f"{effect_label} ({origin.detail}) reaches {anchor} {via}"
+        ),
+        suggestion=suggestion,
+        symbol=anchor,
+        chain=witness_chain(graph, taints, anchor, origin_fn, origin),
+    )
+
+
+def check_flow_rules(
+    graph: CallGraph,
+    fusion_prefixes: Sequence[str] = DEFAULT_FUSION_PREFIXES,
+) -> list[Diagnostic]:
+    """Evaluate the three flow rules over a linked call graph."""
+    diagnostics: list[Diagnostic] = []
+
+    report_sinks = effect_reach(graph, "report")
+    canonical_sinks = effect_reach(graph, "canonical")
+    fusion_sinks = frozenset(
+        fn.qualname
+        for fn in graph.functions_sorted()
+        if any(
+            fn.module == p or fn.module.startswith(p + ".")
+            for p in fusion_prefixes
+        )
+    )
+
+    rules: tuple[tuple[str, str, frozenset[str], str, str], ...] = (
+        (
+            "flow.clock-taints-report",
+            "clock",
+            report_sinks,
+            "wall-clock read",
+            "thread the simulated repro.common.clock.Clock through instead",
+        ),
+        (
+            "flow.rng-taints-fusion",
+            "rng",
+            fusion_sinks,
+            "unseeded randomness",
+            "draw from a seeded repro.common.rng stream",
+        ),
+        (
+            "flow.order-taints-canonical",
+            "order",
+            canonical_sinks,
+            "unstable iteration order",
+            "sort before building canonical output",
+        ),
+    )
+
+    for rule_id, effect, sinks, label, suggestion in rules:
+        if not sinks:
+            continue
+        for origin_fn, origin in _origins_of(graph, effect):
+            taints = taint_from(graph, origin_fn)
+            anchor = _nearest_sink(taints, sinks)
+            if anchor is None:
+                continue
+            diag = _flow_diagnostic(
+                graph, rule_id, label, taints, anchor, origin_fn, origin,
+                suggestion,
+            )
+            if diag is not None:
+                diagnostics.append(diag)
+
+    diagnostics.sort(
+        key=lambda d: (d.rule_id, d.location.file or "", d.location.line or 0)
+    )
+    return diagnostics

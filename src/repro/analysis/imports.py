@@ -1,0 +1,128 @@
+"""Alias-resolving import tables.
+
+Every analysis pass that matches calls against known names — the
+node-local determinism lints and the whole-program effect inference —
+must see through Python's aliasing forms, or the match is trivially
+evadable::
+
+    from time import time as now     # evades a naive `time.time` match
+    import numpy.random as npr       # evades a naive `np.random.` match
+
+:class:`ImportTable` records, per module, what every imported local
+name *really* refers to, so ``now()`` resolves to ``time.time`` and
+``npr.normal()`` to ``numpy.random.normal`` before any rule table is
+consulted.  Resolution is purely syntactic — no imports are executed —
+which is what lets a single file be analyzed in isolation: a name
+imported from an unanalyzed module still resolves to its fully
+qualified form.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePath
+
+
+def module_name_for_path(path: str | PurePath) -> str:
+    """Best-effort dotted module name for a source path.
+
+    A path containing a ``src`` component maps the remainder to a
+    package path (``src/repro/pdme/shard.py`` → ``repro.pdme.shard``);
+    otherwise, if the file sits inside a package on disk (parents carry
+    ``__init__.py``), the package chain is used; failing both, the bare
+    stem.  ``__init__.py`` names the package itself.
+    """
+    p = PurePath(path)
+    parts = list(p.parts)
+    if "src" in parts:
+        cut = len(parts) - 1 - parts[::-1].index("src")
+        rel = parts[cut + 1 :]
+        if rel:
+            return _join_module(rel)
+    fs = Path(path)
+    if fs.is_absolute() and fs.exists():
+        rel_parts: list[str] = [fs.name]
+        parent = fs.parent
+        while (parent / "__init__.py").exists():
+            rel_parts.append(parent.name)
+            parent = parent.parent
+        return _join_module(list(reversed(rel_parts)))
+    return _join_module([p.name])
+
+
+def _join_module(parts: list[str]) -> str:
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    names = parts[:-1] + ([last] if last != "__init__" else [])
+    return ".".join(names) if names else last
+
+
+class ImportTable:
+    """What each imported local name means, fully qualified.
+
+    ``import a.b`` binds ``a`` → ``a``; ``import a.b as c`` binds
+    ``c`` → ``a.b``; ``from a.b import c as d`` binds ``d`` → ``a.b.c``.
+    Relative imports resolve against the owning module's package.
+    """
+
+    def __init__(self, module: str = "") -> None:
+        self.module = module
+        self._names: dict[str, str] = {}
+
+    @classmethod
+    def from_module(cls, tree: ast.Module, module: str = "") -> "ImportTable":
+        """Build the table from a parsed module's import statements."""
+        table = cls(module)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        table._names[alias.asname] = alias.name
+                    else:
+                        # `import a.b` binds the *root* name `a`.
+                        root = alias.name.split(".", 1)[0]
+                        table._names[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = table._resolve_from(node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname if alias.asname is not None else alias.name
+                    table._names[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+        return table
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # Relative: drop `level` trailing components from the package.
+        pkg_parts = self.module.split(".")[:-1] if self.module else []
+        keep = len(pkg_parts) - (node.level - 1)
+        parts = pkg_parts[: max(keep, 0)]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts)
+
+    def bound_names(self) -> frozenset[str]:
+        """Every local name the module's imports bind."""
+        return frozenset(self._names)
+
+    def qualified(self, name: str) -> str | None:
+        """The fully qualified target of a bound local name, if any."""
+        return self._names.get(name)
+
+    def resolve(self, dotted: str) -> str:
+        """Rewrite a dotted name's leading alias to its qualified form.
+
+        ``npr.normal`` → ``numpy.random.normal`` when ``npr`` is bound;
+        names whose root is not an import come back unchanged (locals,
+        attributes of unknown objects, shadowed names are the caller's
+        problem — the table only speaks for imports).
+        """
+        root, _, rest = dotted.partition(".")
+        target = self._names.get(root)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target

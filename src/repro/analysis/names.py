@@ -1,0 +1,202 @@
+"""Known-name tables for effect inference and the determinism lints.
+
+One place that says what counts as a wall-clock read, unseeded
+randomness, blocking I/O, a process spawn, and so on — *after* alias
+resolution.  Both the node-local linter (:mod:`repro.analysis.rules`)
+and the whole-program effect pass (:mod:`repro.analysis.effects`)
+consult these tables, so the two layers can never disagree about what
+``from time import time as now`` means.
+
+All matchers take fully qualified dotted names (the output of
+:meth:`repro.analysis.imports.ImportTable.resolve`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+# -- wall clock --------------------------------------------------------------
+
+#: Fully qualified callables that read the host's clock.
+WALL_CLOCK_QUALIFIED = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Suffixes that identify a clock read on a re-exported/odd-rooted
+#: datetime (``dt.datetime.now`` with ``import datetime as dt`` resolves
+#: fully, but ``SomeAlias.now`` on an unresolved receiver does not).
+WALL_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+#: Bare names unambiguous enough to flag even when resolution failed.
+WALL_CLOCK_BARE = frozenset({
+    "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+})
+
+
+def is_wall_clock(qualified: str) -> bool:
+    """Does the resolved name read the host wall clock?"""
+    if qualified in WALL_CLOCK_QUALIFIED:
+        return True
+    return any(
+        qualified == suffix or qualified.endswith("." + suffix)
+        for suffix in WALL_CLOCK_SUFFIXES
+    )
+
+
+# -- randomness --------------------------------------------------------------
+
+#: numpy.random names that are seedable constructors, not draws.
+NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib `random` module-level functions that draw from shared state.
+STDLIB_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "getrandbits",
+})
+
+
+def unseeded_call(node: ast.Call) -> bool:
+    """True when a generator-constructor call carries no seed."""
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "seed" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    return True
+
+
+def rng_violation(qualified: str, node: ast.Call) -> str | None:
+    """A short description when the resolved call is unseeded
+    randomness, else None."""
+    last = qualified.rsplit(".", 1)[-1]
+    if last == "default_rng" and unseeded_call(node):
+        return f"{qualified}() without a seed"
+    if qualified.startswith("numpy.random.") and last not in NP_RANDOM_OK:
+        return f"legacy module-global numpy randomness {qualified}()"
+    if qualified.startswith("random.") and last in STDLIB_RANDOM_FNS:
+        return f"stdlib module-global randomness {qualified}()"
+    if qualified in ("random.Random", "Random") and unseeded_call(node):
+        return f"{qualified}() without a seed"
+    return None
+
+
+# -- blocking I/O & process spawn -------------------------------------------
+
+SLEEP_QUALIFIED = frozenset({"time.sleep"})
+
+FS_QUALIFIED = frozenset({
+    "open",
+    "os.remove", "os.rename", "os.replace", "os.unlink", "os.makedirs",
+    "os.mkdir", "os.rmdir",
+    "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+    "shutil.move", "shutil.rmtree",
+    "tempfile.mkstemp", "tempfile.mkdtemp", "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryDirectory", "tempfile.TemporaryFile",
+})
+
+#: Method names distinctive enough to flag on any receiver (pathlib).
+FS_METHOD_NAMES = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+SQLITE_QUALIFIED = frozenset({"sqlite3.connect"})
+
+#: Methods of an object typed ``sqlite3.Connection``.
+SQLITE_CONNECTION_METHODS = frozenset({
+    "execute", "executemany", "executescript", "commit",
+})
+
+NET_PREFIXES = (
+    "socket.", "urllib.", "http.client.", "requests.", "ftplib.",
+    "smtplib.", "asyncio.open_connection",
+)
+
+SPAWN_QUALIFIED = frozenset({
+    "os.system", "os.fork", "os.popen", "os.posix_spawn",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "multiprocessing.Pool", "multiprocessing.Process",
+})
+
+SPAWN_PREFIXES = ("subprocess.", "os.exec", "os.spawn")
+
+#: Callables whose result order depends on the filesystem/hash state.
+ORDER_QUALIFIED = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+ORDER_METHOD_NAMES = frozenset({"iterdir"})
+
+
+def blocking_effect(qualified: str) -> str | None:
+    """The blocking-I/O effect kind of a resolved call, if any."""
+    if qualified in SLEEP_QUALIFIED:
+        return "sleep"
+    if qualified in FS_QUALIFIED:
+        return "fs"
+    if qualified in SQLITE_QUALIFIED:
+        return "sqlite"
+    if any(qualified.startswith(p) for p in NET_PREFIXES):
+        return "net"
+    if qualified in SPAWN_QUALIFIED or any(
+        qualified.startswith(p) for p in SPAWN_PREFIXES
+    ):
+        return "spawn"
+    return None
+
+
+# -- project sinks -----------------------------------------------------------
+
+#: Constructing one of these == emitting a §7 report (the REPORT mark).
+REPORT_CLASSES = frozenset({
+    "repro.protocol.report.FailurePredictionReport",
+})
+
+#: Calling one of these == producing canonical (byte-stable) output.
+CANONICAL_FUNCTIONS = frozenset({
+    "repro.protocol.canonical.canonical_dumps",
+    "repro.protocol.canonical.canonical_json",
+})
+
+#: Partitionable report-log classes and their write surface.
+STORE_CLASSES = frozenset({
+    "repro.oosm.persistence.ReportStore",
+})
+STORE_WRITE_METHODS = frozenset({"ingest", "ingest_batch"})
+
+#: Pool classes whose ``submit``/``map`` ship objects across processes.
+POOL_CLASSES = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+})
+
+#: Constructors with a well-known (non-class-named) result type.
+SPECIAL_RESULT_TYPES = {
+    "sqlite3.connect": "sqlite3.Connection",
+}
+
+#: The mutable built-in container constructors (module-global state
+#: when assigned at module level).
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque",
+    "collections.OrderedDict", "collections.Counter",
+})

@@ -1,0 +1,181 @@
+"""Machine-readable diagnostic output and the findings baseline.
+
+Three consumers beyond a human reading CI logs:
+
+* ``--format jsonl`` — one JSON object per diagnostic, for scripting.
+* ``--format sarif`` — SARIF 2.1.0, the interchange format code hosts
+  ingest for inline PR annotations.
+* ``analysis/baseline.json`` — a committed suppression file so a new
+  rule can land warn-first: CI fails only on findings *not* in the
+  baseline, and every baseline entry carries a justification.
+
+Baseline entries match on a stable fingerprint (rule id, file, symbol)
+rather than line numbers, so unrelated edits above a finding do not
+invalidate its suppression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.report import Diagnostic
+from repro.common.errors import AnalysisError
+
+
+def diagnostic_fingerprint(diag: Diagnostic) -> tuple[str, str, str]:
+    """The baseline matching key: (rule id, file, symbol)."""
+    return (
+        diag.rule_id,
+        diag.location.file or "",
+        diag.symbol,
+    )
+
+
+def diagnostic_to_dict(diag: Diagnostic) -> dict[str, Any]:
+    """Plain-data form of one diagnostic (the jsonl record)."""
+    return {
+        "rule": diag.rule_id,
+        "severity": diag.severity.value,
+        "file": diag.location.file,
+        "line": diag.location.line,
+        "machine": diag.location.machine,
+        "byte_offset": diag.location.byte_offset,
+        "symbol": diag.symbol,
+        "message": diag.message,
+        "suggestion": diag.suggestion,
+        "chain": list(diag.chain),
+    }
+
+
+def render_jsonl(diagnostics: Sequence[Diagnostic]) -> str:
+    """One compact JSON object per line."""
+    return "\n".join(
+        json.dumps(diagnostic_to_dict(d), sort_keys=True)
+        for d in diagnostics
+    )
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], tool_name: str = "mpros"
+) -> str:
+    """A SARIF 2.1.0 log with one run."""
+    rules: dict[str, dict[str, Any]] = {}
+    results: list[dict[str, Any]] = []
+    for diag in diagnostics:
+        rules.setdefault(diag.rule_id, {
+            "id": diag.rule_id,
+            "shortDescription": {"text": diag.rule_id},
+        })
+        result: dict[str, Any] = {
+            "ruleId": diag.rule_id,
+            "level": "error" if diag.severity.value == "error" else "warning",
+            "message": {"text": diag.message},
+        }
+        if diag.location.file is not None:
+            region: dict[str, Any] = {}
+            if diag.location.line is not None:
+                region["startLine"] = diag.location.line
+            physical: dict[str, Any] = {
+                "artifactLocation": {"uri": diag.location.file},
+            }
+            if region:
+                physical["region"] = region
+            result["locations"] = [{"physicalLocation": physical}]
+        if diag.symbol or diag.chain:
+            props: dict[str, Any] = {}
+            if diag.symbol:
+                props["symbol"] = diag.symbol
+            if diag.chain:
+                props["chain"] = list(diag.chain)
+            result["properties"] = props
+        results.append(result)
+    log = {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "rules": [rules[k] for k in sorted(rules)],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding, with its justification."""
+
+    rule: str
+    file: str
+    symbol: str
+    reason: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.file, self.symbol)
+
+
+class Baseline:
+    """The committed suppression set CI diffs new findings against."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = tuple(entries)
+        self._keys = frozenset(e.key() for e in self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise AnalysisError(f"unreadable baseline {p}: {exc}") from exc
+        raw_entries = data.get("entries", [])
+        entries: list[BaselineEntry] = []
+        for raw in raw_entries:
+            if not isinstance(raw, Mapping):
+                raise AnalysisError(f"malformed baseline entry in {p}: {raw!r}")
+            try:
+                entries.append(BaselineEntry(
+                    rule=str(raw["rule"]),
+                    file=str(raw["file"]),
+                    symbol=str(raw.get("symbol", "")),
+                    reason=str(raw["reason"]),
+                ))
+            except KeyError as exc:
+                raise AnalysisError(
+                    f"baseline entry in {p} missing field {exc}"
+                ) from exc
+        return cls(entries)
+
+    def suppresses(self, diag: Diagnostic) -> bool:
+        """Is this finding covered by a baseline entry?"""
+        return diagnostic_fingerprint(diag) in self._keys
+
+    def split(
+        self, diagnostics: Sequence[Diagnostic]
+    ) -> tuple[tuple[Diagnostic, ...], tuple[Diagnostic, ...]]:
+        """(new findings, baseline-suppressed findings)."""
+        fresh = tuple(d for d in diagnostics if not self.suppresses(d))
+        known = tuple(d for d in diagnostics if self.suppresses(d))
+        return fresh, known
+
+    def to_json(self) -> str:
+        """Canonical serialized form (for regenerating the file)."""
+        return json.dumps({
+            "version": 1,
+            "entries": [
+                {"rule": e.rule, "file": e.file, "symbol": e.symbol,
+                 "reason": e.reason}
+                for e in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }, indent=2, sort_keys=True) + "\n"

@@ -67,19 +67,28 @@ class Location:
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One verifier or linter finding."""
+    """One verifier, linter, or analyzer finding."""
 
     rule_id: str
     severity: Severity
     location: Location
     message: str
     suggestion: str = ""
+    #: Qualified name of the function the finding is anchored in
+    #: (whole-program analyzer findings; empty for node-local lints).
+    symbol: str = ""
+    #: The inducing call chain, outermost first — each entry is
+    #: ``qualname (file:line)`` — for effects that flow across calls.
+    chain: tuple[str, ...] = field(default=())
 
     def render(self) -> str:
         """One CI-log line: severity, rule, location, message, fix."""
         line = f"{self.severity.value:<7} {self.rule_id:<28} {self.location}: {self.message}"
         if self.suggestion:
             line += f"  [fix: {self.suggestion}]"
+        if self.chain:
+            for i, hop in enumerate(self.chain):
+                line += "\n" + "  " * (i + 1) + ("-> " if i else "   via ") + hop
         return line
 
     def __str__(self) -> str:

@@ -17,6 +17,12 @@ report streams) or the supervisor's fault-recovery discipline:
 - ``lint.bare-except`` — a bare ``except:`` in recovery paths swallows
   ``KeyboardInterrupt``/``SystemExit`` and hides the failure the
   supervisor exists to surface.
+
+The name-matching rules resolve aliases through
+:class:`repro.analysis.imports.ImportTable` before consulting the
+shared tables in :mod:`repro.analysis.names`, so ``from time import
+time as now`` and ``import numpy.random as npr`` are seen for what
+they are.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.analysis import names as N
+from repro.analysis.imports import ImportTable, module_name_for_path
 from repro.analysis.lint import LintRule
 from repro.analysis.report import Diagnostic, Location, Severity
 
@@ -44,111 +52,99 @@ def _loc(path: str, node: ast.AST) -> Location:
     return Location(file=path, line=getattr(node, "lineno", None))
 
 
+#: Roots so conventional they are assumed even without an import in
+#: scope (REPL pastes, doc snippets, test corpora).
+_CONVENTIONAL_ROOTS = {"np": "numpy"}
+
+
+def _resolve(table: ImportTable, name: str) -> str:
+    """Resolve a dotted call target through the import table, falling
+    back to the conventional alias table for unbound roots."""
+    resolved = table.resolve(name)
+    root, dot, rest = resolved.partition(".")
+    if (
+        resolved == name
+        and dot
+        and table.qualified(root) is None
+        and root in _CONVENTIONAL_ROOTS
+    ):
+        return f"{_CONVENTIONAL_ROOTS[root]}.{rest}"
+    return resolved
+
+
 # -- lint.wall-clock ---------------------------------------------------------
 
-_WALL_CLOCK_DOTTED = (
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-)
-#: Bare names unambiguous enough to flag when imported directly.
-_WALL_CLOCK_BARE = {
-    "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
-}
+def _shown_name(name: str, resolved: str) -> str:
+    """How to print a call target: the alias plus what it really is."""
+    if resolved == name:
+        return name
+    return f"{name} (= {resolved})"
 
 
 def _check_wall_clock(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    table = ImportTable.from_module(tree, module_name_for_path(path))
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         name = _dotted(node.func)
         if name is None:
             continue
-        hit = name in _WALL_CLOCK_BARE or any(
-            name == known or name.endswith("." + known)
-            for known in _WALL_CLOCK_DOTTED
-        )
-        if hit:
+        resolved = _resolve(table, name)
+        if N.is_wall_clock(resolved) or resolved in N.WALL_CLOCK_BARE:
             yield Diagnostic(
                 "lint.wall-clock", Severity.ERROR, _loc(path, node),
-                f"wall-clock read {name}() outside repro.common.clock; "
-                "replay determinism depends on the simulated time base",
+                f"wall-clock read {_shown_name(name, resolved)}() outside "
+                "repro.common.clock; replay determinism depends on the "
+                "simulated time base",
                 "hold a repro.common.clock.Clock and call clock.now()",
             )
 
 
 # -- lint.unseeded-rng -------------------------------------------------------
 
-_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
-_NP_RANDOM_OK = {
-    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
-    "Philox", "SFC64", "MT19937",
-}
-_STDLIB_RANDOM_FNS = {
-    "random", "randint", "randrange", "uniform", "choice", "choices",
-    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
-    "expovariate", "triangular", "vonmisesvariate", "getrandbits",
-}
-
-
-def _unseeded_call(node: ast.Call) -> bool:
-    """True when a generator-constructor call carries no seed."""
-    if node.args and not (
-        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
-    ):
-        return False
-    for kw in node.keywords:
-        if kw.arg == "seed" and not (
-            isinstance(kw.value, ast.Constant) and kw.value.value is None
-        ):
-            return False
-    return True
-
-
 def _check_unseeded_rng(tree: ast.Module, path: str) -> Iterator[Diagnostic]:
+    table = ImportTable.from_module(tree, module_name_for_path(path))
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         name = _dotted(node.func)
         if name is None:
             continue
-        last = name.rsplit(".", 1)[-1]
-        if last == "default_rng" and _unseeded_call(node):
+        resolved = _resolve(table, name)
+        last = resolved.rsplit(".", 1)[-1]
+        shown = _shown_name(name, resolved)
+        if last == "default_rng" and N.unseeded_call(node):
             yield Diagnostic(
                 "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
-                f"{name}() without a seed gives a fresh entropy-seeded "
+                f"{shown}() without a seed gives a fresh entropy-seeded "
                 "stream every run",
                 "pass a seed, or derive the stream with "
                 "repro.common.rng.make_rng/derive_rng",
             )
             continue
-        if name.startswith(_NP_RANDOM_PREFIXES) and last not in _NP_RANDOM_OK:
+        if (
+            resolved.startswith("numpy.random.")
+            and last not in N.NP_RANDOM_OK
+        ):
             yield Diagnostic(
                 "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
-                f"legacy module-global numpy randomness {name}() is "
+                f"legacy module-global numpy randomness {shown}() is "
                 "unseeded shared state",
                 "draw from an explicit np.random.Generator instead",
             )
             continue
-        if name.startswith("random.") and last in _STDLIB_RANDOM_FNS:
+        if resolved.startswith("random.") and last in N.STDLIB_RANDOM_FNS:
             yield Diagnostic(
                 "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
-                f"stdlib module-global randomness {name}() is unseeded "
+                f"stdlib module-global randomness {shown}() is unseeded "
                 "shared state",
                 "draw from an explicit np.random.Generator instead",
             )
             continue
-        if name in ("random.Random", "Random") and _unseeded_call(node):
+        if resolved in ("random.Random", "Random") and N.unseeded_call(node):
             yield Diagnostic(
                 "lint.unseeded-rng", Severity.ERROR, _loc(path, node),
-                f"{name}() without a seed gives a fresh entropy-seeded "
+                f"{shown}() without a seed gives a fresh entropy-seeded "
                 "stream every run",
                 "pass an explicit seed",
             )

@@ -19,6 +19,9 @@ Examples
     mpros score --all-scenarios --quick
     mpros daemon --quick
     mpros daemon --scenario none --ticks 120
+    mpros verify --all-machines --lint src/repro
+    mpros analyze src/repro
+    mpros analyze src/repro --format sarif
 """
 
 from __future__ import annotations
@@ -229,6 +232,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_formatted(report: "object", fmt: str) -> None:
+    """Print a VerificationReport's diagnostics in the chosen format."""
+    from repro.analysis import render_jsonl, render_sarif
+    from repro.analysis.report import VerificationReport
+
+    assert isinstance(report, VerificationReport)
+    if fmt == "jsonl":
+        text = render_jsonl(report.diagnostics)
+        if text:
+            print(text)
+    elif fmt == "sarif":
+        print(render_sarif(report.diagnostics))
+    else:
+        for diag in report.diagnostics:
+            print(diag.render())
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Static verification: SBFR bytecode and/or determinism lints.
 
@@ -238,6 +258,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis import lint_paths, verify_bytes, verify_set
     from repro.analysis.report import VerificationReport
     from repro.common.errors import AnalysisError
+
+    # Machine-readable formats keep stdout pure: status goes to stderr.
+    status_stream = sys.stdout if args.format == "text" else sys.stderr
 
     if not (args.all_machines or args.machine or args.lint):
         print("nothing to verify: pass --all-machines, --machine and/or --lint",
@@ -253,7 +276,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 rep = verify_set(specs, n_channels=len(channels))
                 print(f"deployment {name!r}: {len(specs)} machine(s), "
                       f"{len(channels)} channel(s): "
-                      f"{'OK' if not rep.errors else 'FAIL'}")
+                      f"{'OK' if not rep.errors else 'FAIL'}",
+                      file=status_stream)
                 reports.append(rep)
             from repro.algorithms.sbfr_source import default_turbine_watches
 
@@ -266,7 +290,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 rep = verify_set(specs, n_channels=len(source.channel_names()))
                 print(f"deployment {dep_name!r}: {len(specs)} machine(s), "
                       f"{len(source.channel_names())} channel(s): "
-                      f"{'OK' if not rep.errors else 'FAIL'}")
+                      f"{'OK' if not rep.errors else 'FAIL'}",
+                      file=status_stream)
                 reports.append(rep)
         for path in args.machine or []:
             try:
@@ -282,12 +307,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 n_machines=args.peers,
             )
             print(f"machine {path}: {len(data)} byte(s): "
-                  f"{'OK' if not rep.errors else 'FAIL'}")
+                  f"{'OK' if not rep.errors else 'FAIL'}",
+                  file=status_stream)
             reports.append(rep)
         if args.lint:
             rep = lint_paths(args.lint)
             print(f"lint {' '.join(args.lint)}: "
-                  f"{'OK' if not rep.errors else 'FAIL'}")
+                  f"{'OK' if not rep.errors else 'FAIL'}",
+                  file=status_stream)
             reports.append(rep)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -295,10 +322,43 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     merged = VerificationReport()
     for rep in reports:
         merged = merged.merged(rep)
-    for diag in merged.diagnostics:
-        print(diag.render())
-    print(f"{len(merged.errors)} error(s), {len(merged.warnings)} warning(s)")
+    _render_formatted(merged, args.format)
+    print(f"{len(merged.errors)} error(s), {len(merged.warnings)} warning(s)",
+          file=status_stream)
     return merged.exit_code(strict=args.strict)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Whole-program effect & concurrency analysis (``flow.*``/``conc.*``).
+
+    Findings already covered by the committed baseline are reported as
+    suppressed and do not fail the run; exit 1 only on *new* errors (or
+    new warnings under ``--strict``), 2 on misuse.
+    """
+    from repro.analysis import Baseline, SummaryCache, analyze_paths
+    from repro.analysis.report import VerificationReport
+    from repro.common.errors import AnalysisError
+
+    status_stream = sys.stdout if args.format == "text" else sys.stderr
+    cache = None if args.no_cache else SummaryCache(args.cache_dir or None)
+    try:
+        report = analyze_paths(args.paths, cache=cache)
+        baseline = Baseline.load(args.baseline)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fresh, known = baseline.split(report.diagnostics)
+    gate = VerificationReport(fresh)
+    _render_formatted(gate, args.format)
+    if cache is not None:
+        print(f"analyze cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+              file=status_stream)
+    print(f"analyze {' '.join(str(p) for p in args.paths)}: "
+          f"{'OK' if not gate.errors else 'FAIL'} "
+          f"({len(gate.errors)} error(s), {len(gate.warnings)} warning(s), "
+          f"{len(known)} baseline-suppressed)",
+          file=status_stream)
+    return gate.exit_code(strict=args.strict)
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
@@ -474,7 +534,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "files or directories")
     p.add_argument("--strict", action="store_true",
                    help="warnings also fail (exit 1)")
+    p.add_argument("--format", choices=("text", "jsonl", "sarif"),
+                   default="text",
+                   help="diagnostic output format (machine formats keep "
+                        "stdout pure; status goes to stderr)")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "analyze",
+        help="whole-program effect & concurrency analysis (flow.*/conc.*)",
+    )
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="files or directories to analyze (e.g. src/repro)")
+    p.add_argument("--format", choices=("text", "jsonl", "sarif"),
+                   default="text",
+                   help="diagnostic output format (machine formats keep "
+                        "stdout pure; status goes to stderr)")
+    p.add_argument("--baseline", default="analysis/baseline.json",
+                   help="committed suppression file; only findings not in "
+                        "it fail the run")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-hash summary cache")
+    p.add_argument("--cache-dir", default="",
+                   help="summary cache directory "
+                        "(default .mpros-cache/analysis)")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail (exit 1)")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("list-faults", help="injectable machine conditions")
     p.set_defaults(func=_cmd_list_faults)

@@ -292,7 +292,10 @@ _REGISTRY_STACK: list[MetricsRegistry] = [MetricsRegistry()]
 
 def default_registry() -> MetricsRegistry:
     """The current process-wide registry (innermost ``use_registry``)."""
-    return _REGISTRY_STACK[-1]
+    # Pool workers see whichever registry their process has; worker-side
+    # metrics are process-local telemetry and never merged into results,
+    # so cross-process divergence here is intentional and harmless.
+    return _REGISTRY_STACK[-1]  # mpros: allow[conc.cross-shard-state]
 
 
 @contextmanager

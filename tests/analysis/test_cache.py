@@ -1,0 +1,59 @@
+"""Content-hash summary cache: hits, misses, and corruption handling."""
+
+from repro.analysis.cache import SummaryCache, content_key
+from repro.analysis.callgraph import ANALYZER_VERSION, summarize_source
+
+SRC_A = "import time\ndef f():\n    return time.time()\n"
+SRC_B = "import time\ndef f():\n    return time.monotonic()\n"
+
+
+def test_key_is_versioned_and_content_addressed():
+    assert content_key(SRC_A).startswith(f"v{ANALYZER_VERSION}-")
+    assert content_key(SRC_A) == content_key(SRC_A)
+    assert content_key(SRC_A) != content_key(SRC_B)
+
+
+def test_first_summarize_misses_then_hits(tmp_path):
+    cache = SummaryCache(tmp_path)
+    first = cache.summarize(SRC_A, "src/myapp/a.py")
+    assert (cache.hits, cache.misses) == (0, 1)
+    second = cache.summarize(SRC_A, "src/myapp/a.py")
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert second == first
+    # The cached round trip preserves extracted origins.
+    (fn,) = second.functions
+    assert [o.effect for o in fn.origins] == ["clock"]
+
+
+def test_cache_survives_across_instances(tmp_path):
+    SummaryCache(tmp_path).summarize(SRC_A, "src/myapp/a.py")
+    fresh = SummaryCache(tmp_path)
+    fresh.summarize(SRC_A, "src/myapp/a.py")
+    assert (fresh.hits, fresh.misses) == (1, 0)
+
+
+def test_different_content_is_a_miss(tmp_path):
+    cache = SummaryCache(tmp_path)
+    cache.summarize(SRC_A, "src/myapp/a.py")
+    cache.summarize(SRC_B, "src/myapp/a.py")
+    assert (cache.hits, cache.misses) == (0, 2)
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = SummaryCache(tmp_path)
+    cache.summarize(SRC_A, "src/myapp/a.py")
+    (entry,) = tmp_path.glob("*.json")
+    entry.write_text("{truncated", encoding="utf-8")
+    again = cache.summarize(SRC_A, "src/myapp/a.py")
+    assert cache.misses == 2
+    (fn,) = again.functions
+    assert fn.qualname == "myapp.a.f"
+
+
+def test_wrong_shape_entry_is_a_miss(tmp_path):
+    cache = SummaryCache(tmp_path)
+    key = content_key(SRC_A)
+    cache.store(key, summarize_source(SRC_A, "src/myapp/a.py"))
+    (entry,) = tmp_path.glob("*.json")
+    entry.write_text('{"module": 42}', encoding="utf-8")
+    assert cache.load(key) is None

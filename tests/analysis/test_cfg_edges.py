@@ -1,0 +1,167 @@
+"""Guard-folding edge cases for the SBFR control-flow analysis.
+
+Pins the three-valued semantics of ``static_truth`` at the Elapsed()
+domain boundaries (∆T only takes values 0, 1, 2, ...) and through
+nested And/Or/Not folds where one side is unknown.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.cfg import (
+    build_cfg,
+    dead_timer_compares,
+    static_truth,
+)
+from repro.sbfr.spec import (
+    Always,
+    And,
+    Compare,
+    Const,
+    Elapsed,
+    Input,
+    MachineSpec,
+    Not,
+    Or,
+    State,
+    Transition,
+)
+
+
+def elapsed(op, c):
+    return Compare(op, Elapsed(), Const(c))
+
+
+# -- Elapsed() boundary semantics --------------------------------------------
+
+@pytest.mark.parametrize(
+    "op, c, expected",
+    [
+        # < : unsatisfiable at and below zero, open above.
+        ("<", 0.0, False),
+        ("<", -1.0, False),
+        ("<", 0.5, None),
+        ("<", 1.0, None),
+        # <= : only strictly-negative bounds are unsatisfiable.
+        ("<=", -0.5, False),
+        ("<=", 0.0, None),
+        # > : tautology for negative bounds, open at zero.
+        (">", -1.0, True),
+        (">", 0.0, None),
+        # >= : tautology at and below zero.
+        (">=", 0.0, True),
+        (">=", -2.5, True),
+        (">=", 0.001, None),
+        # == : negative or fractional constants can never match the
+        # integer timer domain.
+        ("==", -1.0, False),
+        ("==", 2.5, False),
+        ("==", 2.0, None),
+        ("==", 0.0, None),
+        # != : the mirror image.
+        ("!=", -1.0, True),
+        ("!=", 2.5, True),
+        ("!=", 2.0, None),
+    ],
+)
+def test_elapsed_boundaries(op, c, expected):
+    assert static_truth(elapsed(op, c)) is expected
+
+
+@pytest.mark.parametrize(
+    "op, expected",
+    [("<", False), ("<=", False), (">", False), (">=", False),
+     ("==", False), ("!=", True)],
+)
+def test_elapsed_against_nan_is_decided(op, expected):
+    assert static_truth(elapsed(op, math.nan)) is expected
+
+
+def test_const_on_the_left_flips_the_operator():
+    # 0 > Elapsed()  ==  Elapsed() < 0  ==  always false.
+    assert static_truth(Compare(">", Const(0.0), Elapsed())) is False
+    # -1 < Elapsed()  ==  Elapsed() > -1  ==  always true.
+    assert static_truth(Compare("<", Const(-1.0), Elapsed())) is True
+    # 2 == Elapsed() stays open; 2.5 == Elapsed() is dead.
+    assert static_truth(Compare("==", Const(2.0), Elapsed())) is None
+    assert static_truth(Compare("==", Const(2.5), Elapsed())) is False
+
+
+def test_const_const_compare_folds_exactly():
+    assert static_truth(Compare("<=", Const(1.0), Const(1.0))) is True
+    assert static_truth(Compare("!=", Const(1.0), Const(1.0))) is False
+
+
+UNKNOWN = Compare(">", Input(0), Const(5.0))
+
+
+def test_runtime_input_is_unknown():
+    assert static_truth(UNKNOWN) is None
+
+
+# -- nested three-valued folds -----------------------------------------------
+
+def test_and_short_circuits_on_a_false_side():
+    assert static_truth(And(UNKNOWN, elapsed("<", 0.0))) is False
+    assert static_truth(And(elapsed("<", 0.0), UNKNOWN)) is False
+
+
+def test_and_with_a_true_side_stays_unknown():
+    assert static_truth(And(elapsed(">=", 0.0), UNKNOWN)) is None
+
+
+def test_or_short_circuits_on_a_true_side():
+    assert static_truth(Or(UNKNOWN, elapsed(">=", 0.0))) is True
+
+
+def test_or_with_a_false_side_stays_unknown():
+    assert static_truth(Or(elapsed("<", 0.0), UNKNOWN)) is None
+
+
+def test_not_propagates_unknown():
+    assert static_truth(Not(UNKNOWN)) is None
+    assert static_truth(Not(elapsed("<", 0.0))) is True
+    assert static_truth(Not(Always())) is False
+
+
+def test_deep_nested_fold_resolves_through_unknowns():
+    # (unknown AND dead-timer) OR NOT(unknown) -> False OR unknown -> None
+    cond = Or(And(UNKNOWN, elapsed("<", 0.0)), Not(UNKNOWN))
+    assert static_truth(cond) is None
+    # ((unknown OR tautology) AND NOT(dead)) -> True AND True -> True
+    cond = And(Or(UNKNOWN, elapsed(">=", 0.0)), Not(elapsed("==", 2.5)))
+    assert static_truth(cond) is True
+
+
+# -- dead_timer_compares -----------------------------------------------------
+
+def test_dead_timer_compares_finds_nested_unsatisfiable_guards():
+    dead_a = elapsed("<", 0.0)
+    dead_b = elapsed("==", 2.5)
+    cond = Or(And(UNKNOWN, dead_a), Not(dead_b))
+    assert set(dead_timer_compares(cond)) == {dead_a, dead_b}
+
+
+def test_dead_timer_compares_ignores_non_timer_falsehoods():
+    # A constant falsehood with no Elapsed() in it is not a timer bug.
+    cond = And(Compare("<", Const(1.0), Const(0.0)), elapsed(">=", 1.0))
+    assert dead_timer_compares(cond) == []
+
+
+# -- reachability over folded edges ------------------------------------------
+
+def test_dead_edges_do_not_contribute_reachability():
+    spec = MachineSpec(
+        name="m",
+        states=(State("idle"), State("armed"), State("orphan")),
+        transitions=(
+            Transition(0, 1, elapsed(">=", 1.0)),
+            Transition(0, 2, elapsed("<", 0.0)),  # statically dead
+            Transition(1, 0, Always()),
+        ),
+    )
+    cfg = build_cfg(spec)
+    assert cfg.reachable_states() == frozenset({0, 1})
+    verdicts = [e.verdict for e in cfg.edges]
+    assert verdicts == [None, False, True]

@@ -1,0 +1,154 @@
+"""The ``mpros analyze`` command and machine-readable ``--format``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+ROGUE = (
+    "from repro.oosm.persistence import ReportStore\n"
+    "def sneak(store: ReportStore, reports, ids):\n"
+    "    store.ingest_batch(reports, ids, None)\n"
+)
+
+ALIASED_CLOCK = (
+    "from time import time as now\n"
+    "def stamp():\n"
+    "    return now()\n"
+)
+
+
+@pytest.fixture()
+def rogue_file(tmp_path):
+    f = tmp_path / "corpus.py"
+    f.write_text(ROGUE, encoding="utf-8")
+    return f
+
+
+def analyze(*extra, paths, tmp_path):
+    return main([
+        "analyze", *[str(p) for p in paths],
+        "--no-cache",
+        "--baseline", str(tmp_path / "absent-baseline.json"),
+        *extra,
+    ])
+
+
+def test_analyze_flags_a_violation(rogue_file, tmp_path, capsys):
+    rc = analyze(paths=[rogue_file], tmp_path=tmp_path)
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "conc.single-writer" in captured.out
+    assert "FAIL (1 error(s)" in captured.out
+
+
+def test_analyze_jsonl_keeps_stdout_pure(rogue_file, tmp_path, capsys):
+    rc = analyze("--format", "jsonl", paths=[rogue_file], tmp_path=tmp_path)
+    captured = capsys.readouterr()
+    assert rc == 1
+    records = [json.loads(line) for line in captured.out.splitlines() if line]
+    assert [r["rule"] for r in records] == ["conc.single-writer"]
+    # Status lines went to stderr, not stdout.
+    assert "FAIL" in captured.err
+    assert "FAIL" not in captured.out
+
+
+def test_analyze_sarif_is_valid_json(rogue_file, tmp_path, capsys):
+    rc = analyze("--format", "sarif", paths=[rogue_file], tmp_path=tmp_path)
+    captured = capsys.readouterr()
+    assert rc == 1
+    log = json.loads(captured.out)
+    assert log["version"] == "2.1.0"
+    (result,) = log["runs"][0]["results"]
+    assert result["ruleId"] == "conc.single-writer"
+
+
+def test_baseline_suppresses_known_findings(rogue_file, tmp_path, capsys):
+    # First run in jsonl mode to learn the finding's fingerprint...
+    analyze("--format", "jsonl", paths=[rogue_file], tmp_path=tmp_path)
+    (record,) = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{
+            "rule": record["rule"],
+            "file": record["file"],
+            "symbol": record["symbol"],
+            "reason": "known legacy writer, tracked for removal",
+        }],
+    }))
+    # ...then the baselined run passes, and says what it suppressed.
+    rc = main(["analyze", str(rogue_file), "--no-cache",
+               "--baseline", str(baseline)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "1 baseline-suppressed" in captured.out
+    assert "conc.single-writer" not in captured.out.replace(
+        "baseline-suppressed", "")
+
+
+def test_analyze_cache_hits_on_second_run(rogue_file, tmp_path, capsys):
+    argv = ["analyze", str(rogue_file),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--baseline", str(tmp_path / "absent.json")]
+    main(argv)
+    first = capsys.readouterr().out
+    assert "1 miss(es)" in first
+    main(argv)
+    second = capsys.readouterr().out
+    assert "1 hit(s), 0 miss(es)" in second
+
+
+def test_analyze_missing_path_is_usage_error(tmp_path, capsys):
+    rc = main(["analyze", str(tmp_path / "nope"), "--no-cache"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_analyze_src_repro_is_clean(tmp_path, capsys):
+    rc = main(["analyze", str(REPO / "src" / "repro"),
+               "--cache-dir", str(tmp_path / "cache"),
+               "--baseline", str(REPO / "analysis" / "baseline.json")])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.out
+    assert "OK (0 error(s), 0 warning(s)" in captured.out
+
+
+# -- verify --lint --format ---------------------------------------------------
+
+def test_verify_lint_jsonl(tmp_path, capsys):
+    f = tmp_path / "clocky.py"
+    f.write_text(ALIASED_CLOCK, encoding="utf-8")
+    rc = main(["verify", "--lint", str(f), "--format", "jsonl"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    records = [json.loads(line) for line in captured.out.splitlines() if line]
+    assert [r["rule"] for r in records] == ["lint.wall-clock"]
+    assert "error(s)" in captured.err and "error(s)" not in captured.out
+
+
+def test_verify_lint_sarif(tmp_path, capsys):
+    f = tmp_path / "clocky.py"
+    f.write_text(ALIASED_CLOCK, encoding="utf-8")
+    rc = main(["verify", "--lint", str(f), "--format", "sarif"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    log = json.loads(captured.out)
+    assert [r["ruleId"] for r in log["runs"][0]["results"]] == [
+        "lint.wall-clock"
+    ]
+
+
+def test_verify_lint_text_is_unchanged_default(tmp_path, capsys):
+    f = tmp_path / "clocky.py"
+    f.write_text(ALIASED_CLOCK, encoding="utf-8")
+    rc = main(["verify", "--lint", str(f)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "lint.wall-clock" in captured.out
+    assert "1 error(s)" in captured.out

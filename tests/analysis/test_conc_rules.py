@@ -1,0 +1,306 @@
+"""Adversarial corpus for the conc.* rules: firing and non-firing
+cases for every rule id."""
+
+from repro.analysis.analyze import AnalyzeConfig, analyze_sources
+
+STORE_IMPORT = "from repro.oosm.persistence import ReportStore\n"
+POOL_IMPORT = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+def rule_ids(report):
+    return sorted(d.rule_id for d in report.diagnostics)
+
+
+def conc_ids(report):
+    return sorted(
+        d.rule_id for d in report.diagnostics if d.rule_id.startswith("conc.")
+    )
+
+
+# -- conc.single-writer ------------------------------------------------------
+
+OWNER_OK = {
+    "src/myapp/worker.py": (
+        STORE_IMPORT
+        + "class Worker:\n"
+        "    def __init__(self, path):\n"
+        "        self.store = ReportStore(path)\n"
+        "    def ingest_batch(self, reports, ids, intake_seqs):\n"
+        "        self.store.ingest_batch(reports, ids, intake_seqs)\n"
+    ),
+}
+
+
+def test_owner_stamped_write_is_clean():
+    assert conc_ids(analyze_sources(OWNER_OK)) == []
+
+
+def test_write_to_someone_elses_store_fires():
+    sources = {
+        "src/myapp/rogue.py": (
+            STORE_IMPORT
+            + "def sneak(store: ReportStore, reports, ids):\n"
+            "    store.ingest_batch(reports, ids, None)\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert conc_ids(report) == ["conc.single-writer"]
+    (diag,) = report.diagnostics
+    assert "does not own" in diag.message
+
+
+def test_unstamped_write_with_seq_param_fires():
+    sources = {
+        "src/myapp/worker.py": (
+            STORE_IMPORT
+            + "class Worker:\n"
+            "    def __init__(self, path):\n"
+            "        self.store = ReportStore(path)\n"
+            "    def ingest_batch(self, reports, ids, intake_seqs):\n"
+            "        self.store.ingest_batch(reports, ids)\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert conc_ids(report) == ["conc.single-writer"]
+    (diag,) = report.diagnostics
+    assert "sequence stamp" in diag.message
+
+
+def test_function_local_store_is_clean():
+    sources = {
+        "src/myapp/bench.py": (
+            STORE_IMPORT
+            + "def run(path, reports, ids):\n"
+            "    store = ReportStore(path)\n"
+            "    store.ingest_batch(reports, ids, None)\n"
+        ),
+    }
+    assert conc_ids(analyze_sources(sources)) == []
+
+
+def test_single_writer_allow_comment_holds():
+    sources = {
+        "src/myapp/rogue.py": (
+            STORE_IMPORT
+            + "def sneak(store: ReportStore, reports, ids):\n"
+            "    store.ingest_batch(reports, ids, None)"
+            "  # mpros: allow[conc.single-writer]\n"
+        ),
+    }
+    assert conc_ids(analyze_sources(sources)) == []
+
+
+# -- conc.unpickleable-capture -----------------------------------------------
+
+def test_lambda_into_pool_fires():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + 1, items))\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert "conc.unpickleable-capture" in rule_ids(report)
+
+
+def test_bound_method_into_pool_fires():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "class Runner:\n"
+            "    def work(self, x):\n"
+            "        return x\n"
+            "    def run(self, items):\n"
+            "        with ProcessPoolExecutor() as pool:\n"
+            "            return list(pool.map(self.work, items))\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert "conc.unpickleable-capture" in rule_ids(report)
+
+
+def test_nested_function_into_pool_fires():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "def run(items):\n"
+            "    def work(x):\n"
+            "        return x\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert "conc.unpickleable-capture" in rule_ids(report)
+
+
+def test_module_level_worker_into_pool_is_clean():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "def work(x):\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        ),
+    }
+    assert conc_ids(analyze_sources(sources)) == []
+
+
+# -- conc.fork-unsafe-global / conc.cross-shard-state ------------------------
+
+GLOBAL_MUTATING_WORKER = {
+    "src/myapp/par.py": (
+        POOL_IMPORT
+        + "_CACHE = {}\n"
+        "def work(x):\n"
+        "    _CACHE[x] = x + 1\n"
+        "    return _CACHE[x]\n"
+        "def run(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(work, items))\n"
+    ),
+}
+
+
+def test_worker_mutating_module_global_fires_fork_unsafe():
+    report = analyze_sources(GLOBAL_MUTATING_WORKER)
+    ids = rule_ids(report)
+    assert "conc.fork-unsafe-global" in ids
+    fork = [d for d in report.diagnostics
+            if d.rule_id == "conc.fork-unsafe-global"][0]
+    assert "myapp.par._CACHE" in fork.message
+    assert any("work" in hop for hop in fork.chain)
+
+
+def test_worker_reading_mutated_global_fires_cross_shard():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "_LIMITS = {}\n"
+            "def configure(k, v):\n"
+            "    _LIMITS[k] = v\n"
+            "def work(x):\n"
+            "    return _LIMITS.get(x, 0)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert "conc.cross-shard-state" in rule_ids(report)
+
+
+def test_read_only_module_table_is_clean():
+    sources = {
+        "src/myapp/par.py": (
+            POOL_IMPORT
+            + "_TABLE = {1: 'a', 2: 'b'}\n"
+            "def work(x):\n"
+            "    return _TABLE.get(x)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        ),
+    }
+    ids = rule_ids(analyze_sources(sources))
+    assert "conc.cross-shard-state" not in ids
+    assert "conc.fork-unsafe-global" not in ids
+
+
+def test_global_mutation_without_pool_is_clean():
+    sources = {
+        "src/myapp/solo.py": (
+            "_CACHE = {}\n"
+            "def work(x):\n"
+            "    _CACHE[x] = x + 1\n"
+            "    return _CACHE[x]\n"
+        ),
+    }
+    assert conc_ids(analyze_sources(sources)) == []
+
+
+# -- conc.blocking-in-tick ---------------------------------------------------
+
+TICK_CFG = AnalyzeConfig(
+    tick_roots=("myapp.daemon.Daemon.tick",),
+    tick_exempt=("myapp.kernel",),
+)
+
+BLOCKING_TICK = {
+    "src/myapp/daemon.py": (
+        "import time\n"
+        "class Daemon:\n"
+        "    def tick(self):\n"
+        "        self._advance()\n"
+        "    def _advance(self):\n"
+        "        time.sleep(0.1)\n"
+    ),
+}
+
+
+def test_sleep_in_tick_stage_fires_with_chain():
+    report = analyze_sources(BLOCKING_TICK, TICK_CFG)
+    assert rule_ids(report) == ["conc.blocking-in-tick"]
+    (diag,) = report.diagnostics
+    assert diag.symbol == "myapp.daemon.Daemon._advance"
+    assert "myapp.daemon.Daemon.tick" in diag.chain[0]
+    assert "time.sleep" in diag.chain[-1]
+
+
+def test_filesystem_write_in_tick_fires():
+    sources = {
+        "src/myapp/daemon.py": (
+            "class Daemon:\n"
+            "    def tick(self):\n"
+            "        with open('state.json', 'w') as fp:\n"
+            "            fp.write('{}')\n"
+        ),
+    }
+    report = analyze_sources(sources, TICK_CFG)
+    assert rule_ids(report) == ["conc.blocking-in-tick"]
+
+
+def test_blocking_inside_exempt_kernel_slice_is_clean():
+    sources = dict(BLOCKING_TICK)
+    sources["src/myapp/daemon.py"] = (
+        "from myapp.kernel import run_budgeted\n"
+        "class Daemon:\n"
+        "    def tick(self):\n"
+        "        run_budgeted()\n"
+    )
+    sources["src/myapp/kernel.py"] = (
+        "import sqlite3\n"
+        "def run_budgeted():\n"
+        "    return sqlite3.connect(':memory:')\n"
+    )
+    assert rule_ids(analyze_sources(sources, TICK_CFG)) == []
+
+
+def test_blocking_outside_tick_reach_is_clean():
+    sources = {
+        "src/myapp/daemon.py": (
+            "import time\n"
+            "class Daemon:\n"
+            "    def tick(self):\n"
+            "        pass\n"
+            "    def maintenance(self):\n"
+            "        time.sleep(1.0)\n"
+        ),
+    }
+    assert rule_ids(analyze_sources(sources, TICK_CFG)) == []
+
+
+def test_blocking_in_tick_allow_comment_holds():
+    sources = {
+        "src/myapp/daemon.py": (
+            "import time\n"
+            "class Daemon:\n"
+            "    def tick(self):\n"
+            "        time.sleep(0.1)  # mpros: allow[conc.blocking-in-tick]\n"
+        ),
+    }
+    assert rule_ids(analyze_sources(sources, TICK_CFG)) == []

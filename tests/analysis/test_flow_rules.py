@@ -1,0 +1,181 @@
+"""Adversarial corpus for the flow.* rules: each fires on the minimal
+tainted program, stays quiet on the clean twin, and carries the
+inducing call chain."""
+
+import pytest
+
+from repro.analysis.analyze import AnalyzeConfig, analyze_sources
+
+REPORT_IMPORT = "from repro.protocol.report import FailurePredictionReport\n"
+CANON_IMPORT = "from repro.protocol.canonical import canonical_dumps\n"
+
+
+def rule_ids(report):
+    return sorted(d.rule_id for d in report.diagnostics)
+
+
+# -- flow.clock-taints-report ------------------------------------------------
+
+CLOCK_TAINTED = {
+    "src/myapp/leaf.py": (
+        "from time import time as now\n"
+        "def stamp():\n"
+        "    return now()\n"
+    ),
+    "src/myapp/mid.py": (
+        "from myapp.leaf import stamp\n"
+        "def widen():\n"
+        "    return stamp() * 2\n"
+    ),
+    "src/myapp/entry.py": (
+        REPORT_IMPORT
+        + "from myapp.mid import widen\n"
+        "def produce(system):\n"
+        "    t = widen()\n"
+        "    return FailurePredictionReport(system, t)\n"
+    ),
+}
+
+
+def test_clock_taints_report_fires_across_three_modules():
+    report = analyze_sources(CLOCK_TAINTED)
+    assert rule_ids(report) == ["flow.clock-taints-report"]
+    (diag,) = report.diagnostics
+    assert diag.symbol == "myapp.entry.produce"
+    assert diag.location.file == "src/myapp/entry.py"
+    # Chain: entry -> mid -> leaf, ending at the aliased time.time().
+    assert len(diag.chain) == 3
+    assert "myapp.entry.produce" in diag.chain[0]
+    assert "myapp.mid.widen" in diag.chain[1]
+    assert "time.time()" in diag.chain[2]
+
+
+def test_clock_without_report_sink_is_quiet():
+    sources = {k: v for k, v in CLOCK_TAINTED.items() if k != "src/myapp/entry.py"}
+    assert rule_ids(analyze_sources(sources)) == []
+
+
+def test_clock_origin_allow_comment_kills_the_taint():
+    sources = dict(CLOCK_TAINTED)
+    sources["src/myapp/leaf.py"] = (
+        "from time import time as now\n"
+        "def stamp():\n"
+        "    return now()  # mpros: allow[flow.clock-taints-report]\n"
+    )
+    assert rule_ids(analyze_sources(sources)) == []
+
+
+def test_clock_sink_allow_comment_suppresses_the_diagnostic():
+    sources = dict(CLOCK_TAINTED)
+    sources["src/myapp/entry.py"] = (
+        REPORT_IMPORT
+        + "from myapp.mid import widen\n"
+        "def produce(system):\n"
+        "    t = widen()  # mpros: allow[flow.clock-taints-report]\n"
+        "    return FailurePredictionReport(system, t)\n"
+    )
+    assert rule_ids(analyze_sources(sources)) == []
+
+
+# -- flow.rng-taints-fusion --------------------------------------------------
+
+FUSION_CFG = AnalyzeConfig(fusion_prefixes=("myapp.fusion",))
+
+RNG_TAINTED = {
+    "src/myapp/jitter.py": (
+        "import numpy.random as npr\n"
+        "def wobble(x):\n"
+        "    return x + npr.normal()\n"
+    ),
+    "src/myapp/fusion/engine.py": (
+        "from myapp.jitter import wobble\n"
+        "def fuse(masses):\n"
+        "    return [wobble(m) for m in masses]\n"
+    ),
+}
+
+
+def test_rng_taints_fusion_fires_through_the_aliased_import():
+    report = analyze_sources(RNG_TAINTED, FUSION_CFG)
+    assert rule_ids(report) == ["flow.rng-taints-fusion"]
+    (diag,) = report.diagnostics
+    assert diag.symbol == "myapp.fusion.engine.fuse"
+    assert "numpy.random.normal" in diag.chain[-1]
+
+
+def test_seeded_rng_in_fusion_is_quiet():
+    sources = {
+        "src/myapp/fusion/engine.py": (
+            "import numpy as np\n"
+            "def fuse(masses, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.permutation(masses)\n"
+        ),
+    }
+    assert rule_ids(analyze_sources(sources, FUSION_CFG)) == []
+
+
+def test_rng_outside_fusion_reach_is_quiet():
+    sources = dict(RNG_TAINTED)
+    sources["src/myapp/fusion/engine.py"] = (
+        "def fuse(masses):\n"
+        "    return sorted(masses)\n"
+    )
+    assert rule_ids(analyze_sources(sources, FUSION_CFG)) == []
+
+
+# -- flow.order-taints-canonical ---------------------------------------------
+
+ORDER_TAINTED = {
+    "src/myapp/scan.py": (
+        "import os\n"
+        "def names(root):\n"
+        "    return os.listdir(root)\n"
+    ),
+    "src/myapp/export.py": (
+        CANON_IMPORT
+        + "from myapp.scan import names\n"
+        "def dump(root):\n"
+        "    return canonical_dumps({'names': names(root)})\n"
+    ),
+}
+
+
+def test_order_taints_canonical_fires_with_chain():
+    report = analyze_sources(ORDER_TAINTED)
+    assert rule_ids(report) == ["flow.order-taints-canonical"]
+    (diag,) = report.diagnostics
+    assert diag.symbol == "myapp.export.dump"
+    assert "os.listdir" in diag.chain[-1]
+
+
+def test_set_iteration_feeding_canonical_fires():
+    sources = {
+        "src/myapp/export.py": (
+            CANON_IMPORT
+            + "def dump(items):\n"
+            "    rows = [i for i in set(items)]\n"
+            "    return canonical_dumps(rows)\n"
+        ),
+    }
+    report = analyze_sources(sources)
+    assert rule_ids(report) == ["flow.order-taints-canonical"]
+
+
+def test_order_without_canonical_sink_is_quiet():
+    sources = {k: v for k, v in ORDER_TAINTED.items() if k != "src/myapp/export.py"}
+    assert rule_ids(analyze_sources(sources)) == []
+
+
+# -- dedup: one diagnostic per origin, not per sink --------------------------
+
+def test_one_diagnostic_per_origin_even_with_many_callers():
+    sources = dict(CLOCK_TAINTED)
+    sources["src/myapp/entry2.py"] = (
+        REPORT_IMPORT
+        + "from myapp.mid import widen\n"
+        "def produce_other(system):\n"
+        "    return FailurePredictionReport(system, widen())\n"
+    )
+    report = analyze_sources(sources)
+    assert rule_ids(report) == ["flow.clock-taints-report"]

@@ -1,0 +1,62 @@
+"""Alias-resolving import tables: every Python import form resolves."""
+
+import ast
+
+from repro.analysis.imports import ImportTable, module_name_for_path
+
+
+def table(source, module=""):
+    return ImportTable.from_module(ast.parse(source), module)
+
+
+def test_plain_import_binds_root():
+    t = table("import os.path\n")
+    assert t.qualified("os") == "os"
+    assert t.resolve("os.path.join") == "os.path.join"
+
+
+def test_import_as_binds_alias_to_full_target():
+    t = table("import numpy.random as npr\n")
+    assert t.qualified("npr") == "numpy.random"
+    assert t.resolve("npr.normal") == "numpy.random.normal"
+
+
+def test_from_import_and_from_import_as():
+    t = table("from time import time as now, perf_counter\n")
+    assert t.qualified("now") == "time.time"
+    assert t.qualified("perf_counter") == "time.perf_counter"
+    assert t.resolve("now") == "time.time"
+
+
+def test_relative_imports_resolve_against_the_package():
+    t = table("from . import shard\nfrom ..common import clock as ck\n",
+              module="repro.pdme.router")
+    assert t.qualified("shard") == "repro.pdme.shard"
+    assert t.qualified("ck") == "repro.common.clock"
+
+
+def test_function_level_imports_are_seen():
+    t = table("def f():\n    from time import time as now\n    return now()\n")
+    assert t.qualified("now") == "time.time"
+
+
+def test_unbound_roots_resolve_unchanged():
+    t = table("import os\n")
+    assert t.resolve("self.clock.now") == "self.clock.now"
+    assert t.qualified("clock") is None
+
+
+def test_star_imports_are_ignored():
+    t = table("from os.path import *\n")
+    assert t.bound_names() == frozenset()
+
+
+def test_module_name_for_src_rooted_paths():
+    assert module_name_for_path("src/repro/pdme/shard.py") == "repro.pdme.shard"
+    assert module_name_for_path("src/repro/analysis/__init__.py") == (
+        "repro.analysis"
+    )
+
+
+def test_module_name_for_loose_paths_is_the_stem():
+    assert module_name_for_path("corpus.py") == "corpus"

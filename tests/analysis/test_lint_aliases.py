@@ -1,0 +1,127 @@
+"""Regression: aliased imports no longer evade the source lints.
+
+Before the import-table rewrite, ``from time import time as now`` and
+``import numpy.random as npr`` slipped past lint.wall-clock and
+lint.unseeded-rng because the rules matched surface names only.
+"""
+
+from repro.analysis.lint import lint_source
+from repro.analysis.rules import DEFAULT_RULES
+
+
+def diags(source, path="src/repro/x.py"):
+    return lint_source(source, path, DEFAULT_RULES)
+
+
+def ids(source, path="src/repro/x.py"):
+    return [d.rule_id for d in diags(source, path)]
+
+
+# -- lint.wall-clock through aliases ----------------------------------------
+
+def test_from_time_import_time_as_now_is_caught():
+    src = (
+        "from time import time as now\n"
+        "def stamp():\n"
+        "    return now()\n"
+    )
+    assert ids(src) == ["lint.wall-clock"]
+    (d,) = diags(src)
+    # The message names both the alias and what it resolves to.
+    assert "now" in d.message and "time.time" in d.message
+
+
+def test_import_time_as_t_is_caught():
+    src = "import time as t\ndef stamp():\n    return t.time()\n"
+    assert ids(src) == ["lint.wall-clock"]
+
+
+def test_from_datetime_import_datetime_as_dt_is_caught():
+    src = (
+        "from datetime import datetime as dt\n"
+        "def stamp():\n"
+        "    return dt.now()\n"
+    )
+    assert ids(src) == ["lint.wall-clock"]
+
+
+def test_unrelated_local_named_now_is_not_flagged():
+    src = (
+        "def stamp(clock):\n"
+        "    now = clock.now\n"
+        "    return now()\n"
+    )
+    assert ids(src) == []
+
+
+def test_function_level_alias_import_is_caught():
+    src = (
+        "def stamp():\n"
+        "    from time import time as now\n"
+        "    return now()\n"
+    )
+    assert ids(src) == ["lint.wall-clock"]
+
+
+# -- lint.unseeded-rng through aliases --------------------------------------
+
+def test_import_numpy_random_as_npr_is_caught():
+    src = (
+        "import numpy.random as npr\n"
+        "def jitter(x):\n"
+        "    return x + npr.normal()\n"
+    )
+    assert ids(src) == ["lint.unseeded-rng"]
+
+
+def test_from_numpy_import_random_as_nr_is_caught():
+    src = (
+        "from numpy import random as nr\n"
+        "def jitter(x):\n"
+        "    return x + nr.random()\n"
+    )
+    assert ids(src) == ["lint.unseeded-rng"]
+
+
+def test_from_random_import_as_is_caught():
+    src = (
+        "from random import random as roll\n"
+        "def jitter(x):\n"
+        "    return x + roll()\n"
+    )
+    assert ids(src) == ["lint.unseeded-rng"]
+
+
+def test_unbound_np_root_still_means_numpy():
+    # No import in scope (doc snippet / REPL paste): the conventional
+    # `np` root is assumed to be numpy rather than silently skipped.
+    src = "def jitter(x):\n    return x + np.random.normal()\n"
+    assert ids(src) == ["lint.unseeded-rng"]
+
+
+def test_np_bound_to_something_else_wins_over_convention():
+    src = (
+        "from myproject import notnumpy as np\n"
+        "def jitter(x):\n"
+        "    return x + np.random.normal()\n"
+    )
+    assert ids(src) == []
+
+
+def test_aliased_default_rng_is_still_fine():
+    src = (
+        "import numpy.random as npr\n"
+        "def jitter(x, seed):\n"
+        "    rng = npr.default_rng(seed)\n"
+        "    return x + rng.normal()\n"
+    )
+    assert ids(src) == []
+
+
+def test_allow_comment_still_works_on_aliased_calls():
+    src = (
+        "from time import time as now\n"
+        "def stamp():\n"
+        "    return now()  # mpros: allow[lint.wall-clock]\n"
+    )
+    assert ids(src) == []

@@ -1,0 +1,158 @@
+"""Machine-readable output formats and the findings baseline."""
+
+import json
+
+import pytest
+
+from repro.analysis.output import (
+    Baseline,
+    BaselineEntry,
+    diagnostic_fingerprint,
+    render_jsonl,
+    render_sarif,
+)
+from repro.analysis.report import Diagnostic, Location, Severity
+from repro.common.errors import AnalysisError
+
+
+def diag(rule="flow.clock-taints-report", file="src/a.py", line=10,
+         symbol="a.f", severity=Severity.ERROR, chain=()):
+    return Diagnostic(
+        rule_id=rule,
+        severity=severity,
+        location=Location(file=file, line=line),
+        message=f"{rule} fired",
+        suggestion="do the right thing",
+        symbol=symbol,
+        chain=tuple(chain),
+    )
+
+
+# -- fingerprints ------------------------------------------------------------
+
+def test_fingerprint_is_line_independent():
+    a = diag(line=10)
+    b = diag(line=99)
+    assert diagnostic_fingerprint(a) == diagnostic_fingerprint(b)
+
+
+def test_fingerprint_distinguishes_rule_file_and_symbol():
+    base = diagnostic_fingerprint(diag())
+    assert diagnostic_fingerprint(diag(rule="conc.single-writer")) != base
+    assert diagnostic_fingerprint(diag(file="src/b.py")) != base
+    assert diagnostic_fingerprint(diag(symbol="a.g")) != base
+
+
+# -- jsonl -------------------------------------------------------------------
+
+def test_jsonl_is_one_parseable_object_per_line():
+    out = render_jsonl([
+        diag(chain=("a.f (src/a.py:3)", "time.time()")),
+        diag(rule="conc.blocking-in-tick", severity=Severity.WARNING),
+    ])
+    lines = out.splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["rule"] == "flow.clock-taints-report"
+    assert first["file"] == "src/a.py"
+    assert first["line"] == 10
+    assert first["symbol"] == "a.f"
+    assert first["chain"] == ["a.f (src/a.py:3)", "time.time()"]
+    assert json.loads(lines[1])["severity"] == "warning"
+
+
+def test_jsonl_of_nothing_is_empty():
+    assert render_jsonl([]) == ""
+
+
+# -- sarif -------------------------------------------------------------------
+
+def test_sarif_structure_and_levels():
+    out = render_sarif([
+        diag(),
+        diag(rule="conc.blocking-in-tick", severity=Severity.WARNING,
+             chain=("tick (src/a.py:3)",)),
+    ])
+    log = json.loads(out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "mpros"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {"flow.clock-taints-report",
+                             "conc.blocking-in-tick"}
+    first, second = run["results"]
+    assert first["level"] == "error"
+    assert second["level"] == "warning"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/a.py"
+    assert loc["region"]["startLine"] == 10
+    assert second["properties"]["chain"] == ["tick (src/a.py:3)"]
+    assert first["properties"]["symbol"] == "a.f"
+
+
+def test_sarif_without_file_has_no_location():
+    log = json.loads(render_sarif([diag(file=None, line=None)]))
+    (result,) = log["runs"][0]["results"]
+    assert "locations" not in result
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    b = Baseline.load(tmp_path / "nope.json")
+    assert b.entries == ()
+    assert not b.suppresses(diag())
+
+
+def test_baseline_split_by_fingerprint(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "entries": [{
+            "rule": "flow.clock-taints-report",
+            "file": "src/a.py",
+            "symbol": "a.f",
+            "reason": "legacy timestamp, tracked in #12",
+        }],
+    }))
+    b = Baseline.load(path)
+    known_diag = diag(line=123)  # different line, same fingerprint
+    fresh_diag = diag(symbol="a.g")
+    fresh, known = b.split([known_diag, fresh_diag])
+    assert fresh == (fresh_diag,)
+    assert known == (known_diag,)
+
+
+def test_malformed_baseline_raises_analysis_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(AnalysisError, match="unreadable baseline"):
+        Baseline.load(path)
+    path.write_text(json.dumps({"entries": [{"rule": "x"}]}))
+    with pytest.raises(AnalysisError, match="missing field"):
+        Baseline.load(path)
+    path.write_text(json.dumps({"entries": ["just-a-string"]}))
+    with pytest.raises(AnalysisError, match="malformed baseline entry"):
+        Baseline.load(path)
+
+
+def test_baseline_round_trips_through_to_json(tmp_path):
+    entries = [
+        BaselineEntry("conc.single-writer", "src/b.py", "b.g", "bench"),
+        BaselineEntry("flow.clock-taints-report", "src/a.py", "a.f", "legacy"),
+    ]
+    path = tmp_path / "baseline.json"
+    path.write_text(Baseline(entries).to_json())
+    again = Baseline.load(path)
+    assert sorted(again.entries, key=BaselineEntry.key) == sorted(
+        entries, key=BaselineEntry.key
+    )
+
+
+def test_committed_baseline_is_loadable_and_currently_empty():
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    b = Baseline.load(repo / "analysis" / "baseline.json")
+    assert b.entries == ()
