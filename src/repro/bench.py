@@ -829,6 +829,194 @@ def _bench_shard_scaling(registry, quick: bool, shards: int) -> dict:
     }
 
 
+def _bench_gateway(registry, quick: bool) -> dict:
+    """The fleet query gateway serving path: cached vs uncached reads,
+    and tail latency under concurrent readers during sustained ingest.
+
+    Phase 1 (the ablation pair): the same fleet-health query answered
+    by the uncached oracle (full ``fused_snapshot`` re-fusion + fresh
+    canonical serialization per query) and by the versioned snapshot
+    cache (O(1) hit keyed by ``(as_of, intake_watermark)``).  Every
+    cached response is byte-compared against the oracle before any
+    timing is accepted — a fast wrong answer is a bench failure, not a
+    speedup.
+
+    Phase 2 (the serving claim): N reader threads hammer a mixed query
+    workload (fleet health, per-object health, alarm listings, keyset
+    log pages through the read replica) while the main thread sustains
+    ingest through the shard router.  Readers run on read-only WAL
+    connections, so they never contend with the writer; per-request
+    latencies land in the gateway's own ``gateway.request_seconds``
+    histogram and the p50/p99 here are read back from it.  After the
+    dust settles the cached response must again match the uncached
+    oracle byte for byte, and a full keyset drain must see every
+    written report exactly once, in arrival order.
+    """
+    import tempfile
+    import threading
+
+    from repro.gateway import gateway_for_sharded
+    from repro.gateway.service import REQUEST_LATENCY_EDGES
+    from repro.obs.registry import MetricsRegistry
+    from repro.oosm.model import ShipModel
+    from repro.pdme.shard import ShardedPdme
+
+    reports, report_ids = _ingest_workload(quick)
+    reps = 3 if quick else 5
+    queries_per_iter = 50 if quick else 200
+    readers = 2 if quick else 4
+    p99_ceiling_s = 0.25
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pdme = ShardedPdme(
+            2, store_paths=[f"{tmp}/shard-0.sqlite", f"{tmp}/shard-1.sqlite"]
+        )
+        model = ShipModel()
+        objects = sorted({r.sensed_object_id for r in reports})
+        for oid in objects:
+            model.create("rotating-machine", id=oid, name=oid)
+        # Phase-1 state: most of the stream is already fused; the rest
+        # is held back to sustain ingest during the concurrent phase.
+        preload = (len(reports) * 3) // 4
+        pdme.submit_batch(reports[:preload], report_ids[:preload])
+
+        gw_metrics = MetricsRegistry()
+        gw = gateway_for_sharded(
+            model,
+            pdme,
+            metrics=gw_metrics,
+            timer=time.perf_counter,  # mpros: allow[lint.wall-clock]
+        )
+
+        # -- phase 1: cached vs uncached, byte-compared every query --
+        def run_uncached():
+            for _ in range(queries_per_iter):
+                gw.fleet_health_json(use_cache=False)
+
+        oracle = gw.fleet_health_json(use_cache=False)
+        if gw.fleet_health_json() != oracle:
+            raise MprosError(
+                "gateway cache ablation mismatch: cached fleet-health "
+                "response differs from the uncached oracle"
+            )
+
+        def run_cached():
+            for _ in range(queries_per_iter):
+                gw.fleet_health_json()
+
+        uncached = _timed(run_uncached, reps, registry, "gateway.uncached")
+        cached = _timed(run_cached, reps, registry, "gateway.cached")
+        cached_speedup = uncached["median_s"] / cached["median_s"]
+
+        # -- phase 2: concurrent readers during sustained ingest ------
+        hist_before = gw_metrics.histogram(
+            "gateway.request_seconds", edges=REQUEST_LATENCY_EDGES
+        ).snapshot()
+        ingest_done = threading.Event()
+        query_counts = [0] * readers
+        reader_errors: list[BaseException] = []
+
+        def reader(idx: int) -> None:
+            try:
+                while not ingest_done.is_set():
+                    gw.fleet_health_json()
+                    gw.health_json(objects[idx % len(objects)])
+                    gw.alarms_json(0.3)
+                    queries = 4
+                    page = gw.reports(None, 32)
+                    while page.next_cursor is not None and not ingest_done.is_set():
+                        page = gw.reports(page.next_cursor, 32)
+                        queries += 1
+                    query_counts[idx] += queries
+            except BaseException as exc:  # surfaced after join
+                reader_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(readers)
+        ]
+        chunk = 10 if quick else 20
+        t0 = time.perf_counter()  # mpros: allow[lint.wall-clock]
+        for t in threads:
+            t.start()
+        for start in range(preload, len(reports), chunk):
+            pdme.submit_batch(
+                reports[start : start + chunk],
+                report_ids[start : start + chunk],
+            )
+        ingest_done.set()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t0  # mpros: allow[lint.wall-clock]
+        if reader_errors:
+            raise MprosError(
+                f"gateway reader thread failed under concurrent ingest: "
+                f"{reader_errors[0]!r}"
+            )
+
+        # Tail latency from the gateway's own request histogram —
+        # only the requests made during the concurrent phase.
+        hist_after = gw_metrics.histogram(
+            "gateway.request_seconds", edges=REQUEST_LATENCY_EDGES
+        ).snapshot()
+        delta = [
+            a - b
+            for a, b in zip(hist_after["counts"], hist_before["counts"])
+        ]
+        tail = _histogram_stats(tuple(hist_after["edges"]), delta)
+
+        # -- post-conditions: correctness survived the contention -----
+        final_oracle = gw.fleet_health_json(use_cache=False)
+        if gw.fleet_health_json() != final_oracle:
+            raise MprosError(
+                "gateway cache mismatch after concurrent ingest: cached "
+                "response differs from the uncached oracle"
+            )
+        seen_seqs: list[int] = []
+        page = gw.reports(None, 128)
+        while True:
+            seen_seqs.extend(r.intake_seq for r in page.items)
+            if page.next_cursor is None:
+                break
+            page = gw.reports(page.next_cursor, 128)
+        if len(seen_seqs) != len(reports) or seen_seqs != sorted(set(seen_seqs)):
+            raise MprosError(
+                f"gateway keyset drain mismatch: saw {len(seen_seqs)} rows "
+                f"of {len(reports)}, monotone="
+                f"{seen_seqs == sorted(set(seen_seqs))}"
+            )
+        total_queries = sum(query_counts)
+        pdme.close()
+
+    return {
+        "reports": len(reports),
+        "objects": len(objects),
+        "queries_per_iter": queries_per_iter,
+        "uncached": {
+            **uncached,
+            "queries_per_s": queries_per_iter / uncached["median_s"],
+        },
+        "cached": {
+            **cached,
+            "queries_per_s": queries_per_iter / cached["median_s"],
+        },
+        "cached_speedup": cached_speedup,
+        "byte_identical": True,
+        "concurrent": {
+            "readers": readers,
+            "queries": total_queries,
+            "wall_s": wall_s,
+            "queries_per_s": total_queries / wall_s,
+            "p50": tail["p50"],
+            "p99": tail["p99"],
+            "p99_ceiling_s": p99_ceiling_s,
+            "p99_headroom": p99_ceiling_s / tail["p99"],
+            "keyset_drain_ok": True,
+        },
+        "cache": {"hits": gw.cache.hits, "misses": gw.cache.misses},
+    }
+
+
 def run_bench(quick: bool = False, shards: int | None = None) -> dict:
     """Run every stage; returns the JSON-ready result document.
 
@@ -853,6 +1041,7 @@ def run_bench(quick: bool = False, shards: int | None = None) -> dict:
         "scoring": _bench_scoring(registry, quick),
         "daemon": _bench_daemon(registry, quick),
         "shard_scaling": _bench_shard_scaling(registry, quick, shards),
+        "gateway": _bench_gateway(registry, quick),
     }
     # The headline fleet-scale claim: fused PDME intake plus durable
     # OOSM logging over the *same* report stream, slow paths vs fast.
@@ -873,6 +1062,9 @@ def run_bench(quick: bool = False, shards: int | None = None) -> dict:
         "score_bootstrap_speedup": stages["scoring"]["speedup"],
         "daemon_overhead_ratio": stages["daemon"]["overhead_ratio"],
         "daemon_recovery_headroom": stages["daemon"]["recovery_headroom"],
+        "gateway_cached_speedup": stages["gateway"]["cached_speedup"],
+        "gateway_p99_headroom": stages["gateway"]["concurrent"]["p99_headroom"],
+        "gateway_queries_per_s": stages["gateway"]["concurrent"]["queries_per_s"],
     }
     # Per-shard-count speedups, keyed with shard metadata.  Only counts
     # the host can parallelize enter the gated ratios (the stage detail
@@ -938,6 +1130,14 @@ def summarize(doc: dict) -> str:
         )
         + f" ({s['shard_scaling']['host_cores']} host cores, "
         f"fused snapshots byte-identical)",
+        f"gateway        {s['gateway']['cached_speedup']:.2f}x cached reads "
+        f"({s['gateway']['cached']['queries_per_s']:.0f} q/s cached vs "
+        f"{s['gateway']['uncached']['queries_per_s']:.0f} uncached); "
+        f"{s['gateway']['concurrent']['queries_per_s']:.0f} q/s under "
+        f"{s['gateway']['concurrent']['readers']} readers + sustained ingest, "
+        f"p99 {s['gateway']['concurrent']['p99'] * 1e3:.2f} ms vs "
+        f"{s['gateway']['concurrent']['p99_ceiling_s'] * 1e3:.0f} ms ceiling "
+        f"(responses byte-identical to the uncached oracle)",
         f"vs pre-PR      {doc['pre_pr_reference']['scan_pipeline_speedup_vs_pre_pr']:.2f}x "
         f"scan-pipeline throughput (recorded baseline "
         f"{doc['pre_pr_reference']['scan_pipeline_analyses_per_s']} analyses/s)",

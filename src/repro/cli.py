@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -412,6 +413,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the fleet query gateway over HTTP.
+
+    Boots a demo fleet (the deterministic bench workload fused through
+    a file-backed sharded PDME), then serves it: cached fleet-health
+    documents, keyset-paged report listings off read-only replica
+    connections, alarms, per-object health, and bulk report POSTs that
+    funnel through the shard router.  ``--store-dir`` persists the
+    partition logs between runs; without it they live in a temp dir
+    for the lifetime of the process.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.bench import _ingest_workload
+    from repro.gateway import gateway_for_sharded
+    from repro.gateway.server import GatewayHTTPServer
+    from repro.oosm.model import ShipModel
+    from repro.pdme.shard import ShardedPdme
+
+    reports, report_ids = _ingest_workload(quick=args.quick)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(args.store_dir) if args.store_dir else Path(tmp)
+        store_dir.mkdir(parents=True, exist_ok=True)
+        pdme = ShardedPdme(
+            args.shards,
+            store_paths=[
+                store_dir / f"shard-{i}.sqlite" for i in range(args.shards)
+            ],
+        )
+        model = ShipModel()
+        for oid in sorted({r.sensed_object_id for r in reports}):
+            model.create("rotating-machine", id=oid, name=oid)
+        written = pdme.submit_batch(reports, report_ids)
+        gateway = gateway_for_sharded(
+            model,
+            pdme,
+            timer=_time.perf_counter,  # mpros: allow[lint.wall-clock]
+        )
+        server = GatewayHTTPServer((args.host, args.port), gateway)
+        host, port = server.server_address[:2]
+        tail = (
+            f"({args.max_requests} requests, then exit)"
+            if args.max_requests is not None
+            else "(Ctrl-C to stop)"
+        )
+        print(f"serving {written} reports on http://{host}:{port} {tail}",
+              flush=True)
+        try:
+            if args.max_requests is not None:
+                for _ in range(args.max_requests):
+                    server.handle_request()
+            else:
+                server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            pdme.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``mpros`` argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -509,12 +572,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quick", action="store_true",
                    help="small geometry for CI smoke runs (< ~1 min)")
-    p.add_argument("--output", default="BENCH_pr5.json",
+    p.add_argument("--output", default="BENCH_pr10.json",
                    help="path of the JSON result document")
     p.add_argument("--shards", type=int, default=None, metavar="N",
                    help="max worker count for the shard_scaling stage "
                         "(default: 2 quick, 4 full)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the fleet query gateway over HTTP",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="partition count for the file-backed PDME")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persist partition logs here (default: temp dir)")
+    p.add_argument("--quick", action="store_true",
+                   help="small demo fleet (8 machines)")
+    p.add_argument("--max-requests", type=int, default=None, metavar="N",
+                   help="exit after N requests (smoke tests)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "verify",

@@ -46,3 +46,7 @@ class ObservabilityError(MprosError):
 
 class AnalysisError(MprosError):
     """Static-analysis misuse (unparseable lint target, missing path...)."""
+
+
+class GatewayError(MprosError):
+    """Fleet query gateway misuse (bad cursor, unknown resource...)."""

@@ -148,6 +148,18 @@ class KnowledgeFusionEngine:
         """Latest report timestamp ingested so far (fusion "now")."""
         return self._max_seen_time
 
+    @property
+    def intake_watermark(self) -> int:
+        """Monotone count of reports offered to this engine.
+
+        Two snapshot requests at equal ``(as_of, intake_watermark)``
+        are guaranteed equal — the key the gateway's versioned snapshot
+        cache uses.  Rejected reports still advance the watermark
+        (cheaper than proving a reject changed nothing, and a spurious
+        cache miss is only a wasted recompute).
+        """
+        return self.stats.ingested
+
     def suspects(self, threshold: float = 0.5):
         """Delegates to :meth:`DiagnosticFusion.suspects`."""
         return self.diagnostic.suspects(threshold)

@@ -1,0 +1,58 @@
+"""The fleet query gateway: MPROS's high-throughput read path.
+
+A typed resource layer (managed objects, measurements, reports,
+alarms, subscriptions) over the OOSM and fused PDME state, engineered
+for the "millions of users" serving claim: versioned snapshot caching
+keyed by intake watermarks, keyset pagination over the durable report
+log, push subscriptions riding the OOSM event bus, and read replicas
+over the sharded PDME's partition logs so readers never contend with
+ingest.  See :mod:`repro.gateway.service` for the architecture notes.
+"""
+
+from repro.gateway.cache import DEFAULT_MAX_ENTRIES, VersionedCache
+from repro.gateway.pagination import (
+    DEFAULT_PAGE_SIZE,
+    MAX_PAGE_SIZE,
+    Page,
+    clamp_limit,
+    decode_cursor,
+    encode_cursor,
+    page_sequence,
+)
+from repro.gateway.replica import ReadReplica
+from repro.gateway.resources import (
+    Alarm,
+    ManagedObject,
+    Measurement,
+    Report,
+    Subscription,
+)
+from repro.gateway.server import GatewayHTTPServer, serve
+from repro.gateway.service import (
+    FleetGateway,
+    gateway_for_executive,
+    gateway_for_sharded,
+)
+
+__all__ = [
+    "Alarm",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_PAGE_SIZE",
+    "FleetGateway",
+    "GatewayHTTPServer",
+    "ManagedObject",
+    "MAX_PAGE_SIZE",
+    "Measurement",
+    "Page",
+    "ReadReplica",
+    "Report",
+    "Subscription",
+    "VersionedCache",
+    "clamp_limit",
+    "decode_cursor",
+    "encode_cursor",
+    "gateway_for_executive",
+    "gateway_for_sharded",
+    "page_sequence",
+    "serve",
+]

@@ -1,0 +1,102 @@
+"""The versioned snapshot/response cache behind the gateway read path.
+
+The perf problem: every fleet-health query used to re-walk the fused
+model (``fused_snapshot()`` re-evaluates every prognostic curve at
+``as_of``) and re-serialize canonical JSON — O(fleet) work per query,
+repeated for every one of "millions of users" asking the same
+question.  The fix is not time-based expiry (wall clocks are banned in
+this tree, and staleness bugs hide behind TTLs) but *versioned keys*:
+
+* every cache key embeds the version of the state it was derived from
+  — the PDME's ``intake_watermark`` (the next global ``intake_seq``)
+  for fused state, :attr:`ShipModel.version` for entity state;
+* ingest bumps the watermark, so the next query's key simply *misses*
+  and recomputes — invalidation is a consequence of the key, never a
+  side effect someone can forget;
+* repeat queries between ingest batches are O(1) dict hits returning
+  the exact bytes the uncached path would produce (the bench asserts
+  byte-identity every run).
+
+Entries are LRU-evicted at ``max_entries``; superseded versions age
+out of the LRU naturally since nothing ever asks for them again.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.common.errors import GatewayError
+from repro.obs.registry import MetricsRegistry, default_registry
+
+#: Default response-cache capacity.  Keys are (endpoint, params,
+#: version) tuples; one fleet snapshot dominates the byte budget, so
+#: a few hundred entries cover every distinct live query shape.
+DEFAULT_MAX_ENTRIES = 512
+
+
+class VersionedCache:
+    """A bounded LRU for version-keyed responses, with obs counters.
+
+    ``get``/``put`` are the whole interface; the *caller* builds keys
+    that embed the source-state version, which is what makes hits
+    sound.  Metrics land in the shared registry:
+
+    * ``gateway.cache.hits`` / ``gateway.cache.misses`` — hit-rate
+      visibility for capacity planning;
+    * ``gateway.cache.evictions`` — thrash detector (rising evictions
+      at a steady working set means ``max_entries`` is too small).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise GatewayError(
+                f"cache needs at least one entry, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        reg = metrics if metrics is not None else default_registry()
+        self._m_hits = reg.counter("gateway.cache.hits")
+        self._m_misses = reg.counter("gateway.cache.misses")
+        self._m_evictions = reg.counter("gateway.cache.evictions")
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or None; hits refresh LRU recency."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._m_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._m_hits.inc()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Store and return ``value``, evicting the LRU tail if full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+        return value
+
+    def clear(self) -> int:
+        """Drop everything (administrative reset); returns the count."""
+        n = len(self._entries)
+        self._entries.clear()
+        return n
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)

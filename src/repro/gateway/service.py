@@ -1,0 +1,520 @@
+"""The fleet query gateway: a high-throughput read path over the OOSM.
+
+The PDME exists to *serve* fused machinery-health knowledge ("the
+health of a system based on the health of a constituent part"), but
+until this layer every consumer re-walked ``ShipModel`` and re-fused
+``fused_snapshot()`` from scratch.  :class:`FleetGateway` is the one
+front door:
+
+* **typed resources** (:mod:`repro.gateway.resources`) over OOSM
+  entities, the report log, and fused diagnostic/prognostic state;
+* **versioned snapshot caching** (:mod:`repro.gateway.cache`): every
+  response derived from fused state is keyed by ``(as_of,
+  intake_watermark)``, every response derived from entity state by
+  ``ShipModel.version`` — repeat queries during heavy ingest are O(1)
+  dict hits, and invalidation is the key changing, driven by the same
+  OOSM event/watermark machinery ingest already maintains;
+* **keyset pagination** (:mod:`repro.gateway.pagination`): log pages
+  seek on the ``(intake_seq, row)`` index, never OFFSET;
+* **push subscriptions** riding the OOSM event bus (§4.5: "without
+  the need to poll");
+* **bulk read/write**: bulk reads page the replica, bulk writes
+  delegate to the owning PDME router (``submit_batch``) so the
+  single-writer discipline of the partition logs is never bypassed.
+
+Request counters and (optional) latency histograms land in
+:mod:`repro.obs` under ``gateway.*``.  Latency needs a real clock, so
+the gateway takes an injected ``timer`` callable — the bench and the
+HTTP server pass ``time.perf_counter``; library use leaves it None and
+pays nothing.  The gateway itself never reads a wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Sequence
+
+from repro.common.errors import GatewayError
+from repro.common.ids import ObjectId
+from repro.gateway.cache import DEFAULT_MAX_ENTRIES, VersionedCache
+from repro.gateway.pagination import (
+    Page,
+    clamp_limit,
+    decode_cursor,
+    decode_string_cursor,
+    encode_cursor,
+    page_sequence,
+)
+from repro.gateway.replica import ReadReplica
+from repro.gateway.resources import (
+    Alarm,
+    ManagedObject,
+    Measurement,
+    Report,
+    Subscription,
+)
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.oosm.events import ReportBatchPosted, ReportPosted
+from repro.oosm.model import ShipModel
+from repro.oosm.persistence import PageRow, ReportStore
+from repro.protocol.canonical import canonical_dumps
+from repro.protocol.report import FailurePredictionReport
+from repro.protocol.wire import decode_report
+
+#: Sub-millisecond-resolution edges for request latencies (seconds).
+#: Cached hits land in the leading microsecond buckets, uncached
+#: re-fusions in the millisecond range — one histogram shows both.
+REQUEST_LATENCY_EDGES: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0,
+)
+
+
+class FleetGateway:
+    """The typed, cached, paginated serving layer.
+
+    Parameters
+    ----------
+    model:
+        The OOSM holding entities/relationships (and, for the
+        single-process deployment, the retained report list).
+    fused:
+        Fused-state provider: anything with ``fused_snapshot(as_of)``
+        and ``intake_watermark`` — a
+        :class:`~repro.fusion.engine.KnowledgeFusionEngine`, a
+        :class:`~repro.pdme.shard.ShardedPdme`, or the in-process
+        :class:`~repro.pdme.shard.ShardedFusionEngine`.
+    replica:
+        Optional :class:`ReadReplica` for log reads that must not
+        contend with ingest (the sharded deployment).
+    store:
+        Optional :class:`ReportStore` to page log reads from directly
+        (the single-partition deployment; ignored when ``replica`` is
+        given).
+    writer:
+        Optional bulk-write sink ``(reports, report_ids) -> int``.
+        Pass the owning router's ``submit_batch`` — the gateway never
+        opens its own write path to a partition.
+    timer:
+        Optional monotonic-seconds callable for latency histograms.
+    """
+
+    def __init__(
+        self,
+        model: ShipModel,
+        fused,
+        *,
+        replica: ReadReplica | None = None,
+        store: ReportStore | None = None,
+        writer: Callable[..., int] | None = None,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        metrics: MetricsRegistry | None = None,
+        timer: Callable[[], float] | None = None,
+    ) -> None:
+        self.model = model
+        self.fused = fused
+        self.replica = replica
+        self.store = store
+        self._writer = writer
+        # Bulk writes from server threads are serialized here: the
+        # partition logs stay single-writer even when N HTTP workers
+        # POST concurrently.
+        self._write_lock = threading.Lock()
+        self._timer = timer
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.cache = VersionedCache(cache_entries, metrics=self.metrics)
+        self._m_latency = self.metrics.histogram(
+            "gateway.request_seconds", edges=REQUEST_LATENCY_EDGES
+        )
+        self._m_pushes = self.metrics.counter("gateway.subscription_pushes")
+        self._m_bulk_written = self.metrics.counter("gateway.bulk_reports_written")
+        self._subscriptions: dict[str, Subscription] = {}
+        self._next_subscription = 0
+        # Push fan-out rides the OOSM event model: one bus handler per
+        # event class, delivering to matching subscriptions.
+        model.bus.subscribe(ReportPosted, self._push_report)
+        model.bus.subscribe(ReportBatchPosted, self._push_report_batch)
+
+    # -- internals --------------------------------------------------------
+    def _count(self, endpoint: str) -> Callable[[], None]:
+        """Count a request; returns a closure observing its latency."""
+        self.metrics.counter("gateway.requests", endpoint=endpoint).inc()
+        if self._timer is None:
+            return lambda: None
+        t0 = self._timer()
+        return lambda: self._m_latency.observe(max(0.0, self._timer() - t0))
+
+    def _now(self) -> float:
+        as_of = getattr(self.fused, "as_of", None)
+        if as_of is not None:
+            return float(as_of)
+        return float(self.fused.max_seen_time)
+
+    def _fused_key(self, *parts) -> tuple:
+        return (*parts, self._now(), self.fused.intake_watermark)
+
+    def _snapshot(self, as_of: float) -> dict:
+        """The fused snapshot at ``as_of``, cached by the watermark."""
+        key = ("snapshot", as_of, self.fused.intake_watermark)
+        snap = self.cache.get(key)
+        if snap is None:
+            snap = self.cache.put(key, self.fused.fused_snapshot(as_of=as_of))
+        return snap
+
+    # -- managed objects --------------------------------------------------
+    def managed_object(self, object_id: ObjectId) -> ManagedObject:
+        """One entity as a typed resource."""
+        done = self._count("managed_object")
+        try:
+            if object_id not in self.model:
+                raise GatewayError(f"no managed object {object_id!r}")
+            return ManagedObject.from_entity(self.model, object_id)
+        finally:
+            done()
+
+    def managed_objects(
+        self,
+        type_name: str | None = None,
+        kind_of: str | None = None,
+        after: str | None = None,
+        limit: int | None = None,
+    ) -> Page:
+        """Entities, id-ordered, keyset-paginated by id."""
+        done = self._count("managed_objects")
+        try:
+            size = clamp_limit(limit)
+            key = (
+                "managed_objects", type_name, kind_of, self.model.version,
+            )
+            ids = self.cache.get(key)
+            if ids is None:
+                ids = self.cache.put(key, sorted(
+                    e.id for e in self.model.entities(
+                        type_name=type_name, kind_of=kind_of
+                    )
+                ))
+            page = page_sequence(
+                ids, lambda i: i, decode_string_cursor(after), size
+            )
+            return Page(
+                items=tuple(
+                    ManagedObject.from_entity(self.model, i) for i in page.items
+                ),
+                next_cursor=page.next_cursor,
+            )
+        finally:
+            done()
+
+    def managed_object_json(self, object_id: ObjectId) -> str:
+        """Canonical bytes for one object, cached by model version."""
+        key = ("managed_object_json", object_id, self.model.version)
+        doc = self.cache.get(key)
+        if doc is None:
+            doc = self.cache.put(
+                key, canonical_dumps(self.managed_object(object_id).to_json())
+            )
+        return doc
+
+    # -- measurements -----------------------------------------------------
+    def measurements(
+        self,
+        object_id: ObjectId,
+        after: str | None = None,
+        limit: int | None = None,
+    ) -> Page:
+        """The (severity, belief) series for one object, oldest first.
+
+        Backed by the OOSM's retained report list; the list is
+        append-only, so the positional key is stable and keyset pages
+        never skip or duplicate under concurrent posting.
+        """
+        done = self._count("measurements")
+        try:
+            if object_id not in self.model:
+                raise GatewayError(f"no managed object {object_id!r}")
+            size = clamp_limit(limit)
+            series = [
+                (f"{i:012d}", Measurement.from_report(r))
+                for i, r in enumerate(self.model.reports_for(object_id))
+            ]
+            page = page_sequence(
+                series, lambda pair: pair[0], decode_string_cursor(after), size
+            )
+            return Page(
+                items=tuple(m for _, m in page.items),
+                next_cursor=page.next_cursor,
+            )
+        finally:
+            done()
+
+    # -- reports (the durable log) ----------------------------------------
+    def reports(
+        self, after: str | None = None, limit: int | None = None
+    ) -> Page:
+        """One keyset page of the durable report log, arrival order.
+
+        Served from the read replica when one is attached (zero
+        contention with ingest), else from the attached store.
+        """
+        done = self._count("reports")
+        try:
+            size = clamp_limit(limit)
+            rows = self._page_rows(decode_cursor(after), size)
+            items = tuple(
+                Report(
+                    intake_seq=row[0],
+                    row_id=row[1],
+                    report_id=row[2],
+                    report=decode_report(json.loads(row[3])),
+                )
+                for row in rows
+            )
+            cursor = None
+            if len(rows) == size:
+                last = rows[-1]
+                cursor = encode_cursor(
+                    (last[0] if last[0] is not None else -1, last[1])
+                )
+            return Page(items=items, next_cursor=cursor)
+        finally:
+            done()
+
+    def _page_rows(
+        self, after: tuple[int, int] | None, limit: int
+    ) -> list[PageRow]:
+        if self.replica is not None:
+            return self.replica.page_after(after, limit)
+        if self.store is not None:
+            return self.store.page_after(after, limit)
+        raise GatewayError(
+            "no report log attached: pass replica= or store= to serve "
+            "report pages"
+        )
+
+    # -- fused health -----------------------------------------------------
+    def fleet_health(self) -> dict:
+        """The complete fused model document (cached by watermark)."""
+        done = self._count("fleet_health")
+        try:
+            return self._snapshot(self._now())
+        finally:
+            done()
+
+    def fleet_health_json(self, use_cache: bool = True) -> str:
+        """Canonical bytes of :meth:`fleet_health`.
+
+        ``use_cache=False`` recomputes snapshot *and* serialization
+        from scratch — the oracle the bench compares cached responses
+        against, byte for byte.
+        """
+        done = self._count("fleet_health_json")
+        try:
+            as_of = self._now()
+            if not use_cache:
+                return canonical_dumps(self.fused.fused_snapshot(as_of=as_of))
+            key = self._fused_key("fleet_health_json")
+            doc = self.cache.get(key)
+            if doc is None:
+                doc = self.cache.put(
+                    key, canonical_dumps(self._snapshot(as_of))
+                )
+            return doc
+        finally:
+            done()
+
+    def health(self, object_id: ObjectId) -> dict:
+        """The fused health slice for one object (§10.1 multi-level:
+        includes every entry of the object's part-of closure, so a
+        system's health reflects its constituent parts)."""
+        done = self._count("health")
+        try:
+            if object_id not in self.model:
+                raise GatewayError(f"no managed object {object_id!r}")
+            key = self._fused_key("health", object_id, self.model.version)
+            doc = self.cache.get(key)
+            if doc is not None:
+                return doc
+            scope = {object_id} | self.model.parts_closure_ids(object_id)
+            snap = self._snapshot(self._now())
+            doc = {
+                "object": object_id,
+                "as_of": snap["as_of"],
+                "diagnostic": {
+                    k: v
+                    for k, v in snap["diagnostic"].items()
+                    if k.split("|", 1)[0] in scope
+                },
+                "prognostic": {
+                    k: v
+                    for k, v in snap["prognostic"].items()
+                    if k.split("|", 1)[0] in scope
+                },
+            }
+            return self.cache.put(key, doc)
+        finally:
+            done()
+
+    def health_json(self, object_id: ObjectId) -> str:
+        key = self._fused_key("health_json", object_id, self.model.version)
+        doc = self.cache.get(key)
+        if doc is None:
+            doc = self.cache.put(key, canonical_dumps(self.health(object_id)))
+        return doc
+
+    # -- alarms -----------------------------------------------------------
+    def alarms(self, threshold: float = 0.5) -> tuple[Alarm, ...]:
+        """Fused diagnostic states at or above ``threshold`` severity,
+        ordered (object, group, condition)."""
+        done = self._count("alarms")
+        try:
+            key = self._fused_key("alarms", round(float(threshold), 12))
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            snap = self._snapshot(self._now())
+            raised = []
+            for series_key in sorted(snap["diagnostic"]):
+                state = snap["diagnostic"][series_key]
+                if state["severity"] < threshold:
+                    continue
+                obj, group = series_key.split("|", 1)
+                beliefs = state["beliefs"]
+                top = max(sorted(beliefs), key=lambda c: beliefs[c])
+                raised.append(
+                    Alarm(
+                        object_id=obj,
+                        group=group,
+                        condition_id=top,
+                        severity=state["severity"],
+                        belief=beliefs[top],
+                        status="ACTIVE",
+                    )
+                )
+            return self.cache.put(key, tuple(raised))
+        finally:
+            done()
+
+    def alarms_json(self, threshold: float = 0.5) -> str:
+        key = self._fused_key("alarms_json", round(float(threshold), 12))
+        doc = self.cache.get(key)
+        if doc is None:
+            doc = self.cache.put(key, canonical_dumps(
+                {"alarms": [a.to_json() for a in self.alarms(threshold)]}
+            ))
+        return doc
+
+    # -- subscriptions ----------------------------------------------------
+    def subscribe(
+        self,
+        handler: Callable[[FailurePredictionReport], None],
+        object_id: ObjectId | None = None,
+    ) -> Subscription:
+        """Push reports to ``handler`` as they post — no polling.
+
+        ``object_id`` filters to one sensed object (None = firehose).
+        The returned handle's :meth:`Subscription.cancel` detaches.
+        """
+        done = self._count("subscribe")
+        try:
+            if object_id is not None and object_id not in self.model:
+                raise GatewayError(f"no managed object {object_id!r}")
+            sid = f"sub:{self._next_subscription}"
+            self._next_subscription += 1
+            sub = Subscription(id=sid, object_id=object_id, handler=handler)
+            sub._detach = lambda: self._subscriptions.pop(sid, None)
+            self._subscriptions[sid] = sub
+            return sub
+        finally:
+            done()
+
+    def _deliver(self, report: FailurePredictionReport) -> None:
+        for sub in list(self._subscriptions.values()):
+            if sub.object_id is not None and sub.object_id != report.sensed_object_id:
+                continue
+            sub.handler(report)
+            sub.delivered += 1
+            self._m_pushes.inc()
+
+    def _push_report(self, event: ReportPosted) -> None:
+        self._deliver(event.report)
+
+    def _push_report_batch(self, event: ReportBatchPosted) -> None:
+        for report in event.reports:
+            self._deliver(report)
+
+    # -- bulk write -------------------------------------------------------
+    def post_reports(
+        self,
+        reports: Sequence[FailurePredictionReport],
+        report_ids: Sequence[str | None] | None = None,
+    ) -> int:
+        """Bulk-ingest through the owning router; returns written count.
+
+        Lands as coalesced per-shard ``ingest_batch`` transactions —
+        the gateway never writes a partition itself, so the logs'
+        single-writer discipline survives having a serving layer.
+        """
+        done = self._count("post_reports")
+        try:
+            if self._writer is None:
+                raise GatewayError(
+                    "no writer attached: pass writer= (e.g. a ShardedPdme's "
+                    "submit_batch) to accept bulk writes"
+                )
+            with self._write_lock:
+                written = int(self._writer(list(reports), report_ids))
+            self._m_bulk_written.inc(written)
+            return written
+        finally:
+            done()
+
+    # -- diagnostics ------------------------------------------------------
+    def stats(self) -> dict:
+        """Gateway-local serving stats (cache + subscription state)."""
+        return {
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "subscriptions": len(self._subscriptions),
+            "watermark": self.fused.intake_watermark,
+            "model_version": self.model.version,
+        }
+
+
+def gateway_for_sharded(
+    model: ShipModel,
+    pdme,
+    metrics: MetricsRegistry | None = None,
+    timer: Callable[[], float] | None = None,
+) -> FleetGateway:
+    """The sharded deployment: replica reads, router writes."""
+    return FleetGateway(
+        model,
+        pdme,
+        replica=ReadReplica.for_pdme(pdme),
+        writer=pdme.submit_batch,
+        metrics=metrics,
+        timer=timer,
+    )
+
+
+def gateway_for_executive(
+    executive,
+    metrics: MetricsRegistry | None = None,
+    timer: Callable[[], float] | None = None,
+) -> FleetGateway:
+    """The single-process deployment over a live PdmeExecutive."""
+
+    def write(reports, report_ids=None):
+        executive.submit_batch(list(reports))
+        return len(reports)
+
+    return FleetGateway(
+        executive.model,
+        executive.engine,
+        writer=write,
+        metrics=metrics,
+        timer=timer,
+    )

@@ -99,6 +99,18 @@ class ShipModel:
         self._in: dict[tuple[ObjectId, str], set[ObjectId]] = {}
         self._reports: list[FailurePredictionReport] = []
         self._ids = IdAllocator()
+        #: Monotone structural version: bumped on every mutation that
+        #: changes what a query against this model could observe
+        #: (entities, properties, relationships, retained reports).
+        #: Caches key derived views — the networkx export, gateway
+        #: response documents — by this number: equal version, equal
+        #: answer.
+        self._version = 0
+        #: Version-keyed memo for derived views (see
+        #: :func:`repro.oosm.query.to_graph`).  Maps an arbitrary cache
+        #: key to ``(version, value)``; consumers must treat cached
+        #: values as read-only.
+        self.derived_cache: dict[Any, tuple[int, Any]] = {}
         #: §4.2 lists "a failure prediction report" among the OOSM's
         #: abstract objects.  When enabled, every posted report also
         #: becomes a `failure-prediction-report` entity with a
@@ -107,6 +119,14 @@ class ShipModel:
         #: runs accumulate thousands of reports and most installations
         #: only need the list view.
         self.materialize_reports = materialize_reports
+
+    @property
+    def version(self) -> int:
+        """Current structural version (see ``_version``)."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # -- instances (§4.4: create/retrieve/delete) -------------------------
     def create(
@@ -123,6 +143,7 @@ class ShipModel:
             raise OosmError(f"entity id {eid!r} already exists")
         entity = Entity(eid, type_name, dict(properties))
         self._entities[eid] = entity
+        self._bump()
         self.bus.publish(EntityCreated(eid, type_name))
         return entity
 
@@ -148,6 +169,7 @@ class ShipModel:
             for other in list(self._in.get((entity_id, kind), ())):
                 self.unrelate(other, kind, entity_id)
         del self._entities[entity_id]
+        self._bump()
         self.bus.publish(EntityDeleted(entity_id, entity.type_name))
 
     def entities(self, type_name: str | None = None, kind_of: str | None = None) -> Iterator[Entity]:
@@ -177,6 +199,7 @@ class ShipModel:
         if old == value:
             return
         entity.properties[name] = value
+        self._bump()
         self.bus.publish(PropertyChanged(entity_id, name, old, value))
 
     def get_property(self, entity_id: ObjectId, name: str, default: Any = None) -> Any:
@@ -206,6 +229,7 @@ class ShipModel:
         if kind == "proximate-to":
             self._out.setdefault((target_id, kind), set()).add(source_id)
             self._in.setdefault((source_id, kind), set()).add(target_id)
+        self._bump()
         self.bus.publish(RelationshipAdded(kind, source_id, target_id))
 
     def unrelate(self, source_id: ObjectId, kind: str, target_id: ObjectId) -> None:
@@ -219,6 +243,7 @@ class ShipModel:
         if kind == "proximate-to":
             self._out.get((target_id, kind), set()).discard(source_id)
             self._in.get((source_id, kind), set()).discard(target_id)
+        self._bump()
         self.bus.publish(RelationshipRemoved(kind, source_id, target_id))
 
     def related(self, entity_id: ObjectId, kind: str) -> frozenset[ObjectId]:
@@ -273,6 +298,7 @@ class ShipModel:
                 f"report references unknown sensed object {report.sensed_object_id!r}"
             )
         self._reports.append(report)
+        self._bump()
         if self.materialize_reports:
             entity = self.create(
                 "failure-prediction-report",
@@ -305,6 +331,7 @@ class ShipModel:
         if not reports:
             return
         self._reports.extend(reports)
+        self._bump()
         if self.materialize_reports:
             for report in reports:
                 entity = self.create(

@@ -155,6 +155,39 @@ CREATE TABLE IF NOT EXISTS report_log (
 );
 """
 
+#: Keyset-pagination index: seeks on ``(intake_seq, seq)`` must never
+#: scan.  ``IFNULL(intake_seq, -1)`` folds pre-shard-era rows (NULL
+#: stamp) ahead of every stamped row, matching the rebalance sort.
+_REPORT_LOG_KEYSET_INDEX = (
+    "CREATE INDEX IF NOT EXISTS report_log_keyset "
+    "ON report_log (IFNULL(intake_seq, -1), seq)"
+)
+
+#: One page row: ``(intake_seq, seq, report_id, payload)``.  The
+#: payload stays in wire-JSON form so a serving layer can hand it out
+#: without a decode/re-encode round trip.
+PageRow = tuple[int | None, int, str | None, str]
+
+_PAGE_SQL = (
+    "SELECT intake_seq, seq, report_id, payload FROM report_log "
+    "WHERE IFNULL(intake_seq, -1) > ? "
+    "   OR (IFNULL(intake_seq, -1) = ? AND seq > ?) "
+    "ORDER BY IFNULL(intake_seq, -1), seq LIMIT ?"
+)
+
+
+def _page_after(
+    conn: sqlite3.Connection, after: tuple[int, int] | None, limit: int
+) -> list[PageRow]:
+    """Keyset seek shared by the writer store and read-only replicas."""
+    if limit < 1:
+        raise OosmError(f"page limit must be positive, got {limit}")
+    key, seq = after if after is not None else (-(2**62), -1)
+    return [
+        (row[0], row[1], row[2], row[3])
+        for row in conn.execute(_PAGE_SQL, (key, key, seq, limit))
+    ]
+
 
 class ReportStore:
     """Durable append-only report log with exactly-once semantics.
@@ -171,7 +204,19 @@ class ReportStore:
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._conn = sqlite3.connect(str(path))
+        # check_same_thread=False: the gateway's bulk-write endpoint
+        # reaches the owning router from HTTP worker threads.  SQLite's
+        # serialized threading mode makes cross-thread use safe as long
+        # as writes are externally serialized — which the single-writer
+        # discipline (one store object, one owner, gateway write lock)
+        # already guarantees.
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        if str(path) != ":memory:":
+            # WAL lets read-replica connections (the gateway's serving
+            # path) read committed pages while this single writer keeps
+            # appending — readers never block the writer or vice versa.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
         self._conn.executescript(_REPORT_LOG_SCHEMA)
         # Logs created before the sharded-PDME era predate the
         # intake_seq column; upgrade them in place (NULL = unknown).
@@ -183,6 +228,10 @@ class ReportStore:
             self._conn.execute(
                 "ALTER TABLE report_log ADD COLUMN intake_seq INTEGER"
             )
+        # The keyset index arrived with the gateway read path; creating
+        # it here auto-upgrades pre-gateway logs on open, the same
+        # pattern the intake_seq column upgrade uses.
+        self._conn.execute(_REPORT_LOG_KEYSET_INDEX)
         self._conn.commit()
         self._seen_ids: set[str] = {
             rid
@@ -282,6 +331,33 @@ class ReportStore:
             )
         ]
 
+    def page_after(
+        self, after: tuple[int, int] | None, limit: int
+    ) -> list[PageRow]:
+        """One keyset page of ``(intake_seq, seq, report_id, payload)``.
+
+        ``after`` is the last row key of the previous page as
+        ``(IFNULL(intake_seq, -1), seq)`` — ``None`` starts from the
+        beginning.  The seek runs on the ``report_log_keyset`` index
+        (never OFFSET), so page N costs the same as page 0 no matter
+        how deep the log is, and rows appended after a pagination pass
+        started can only appear *beyond* the already-served keys:
+        in-flight paginations never skip or duplicate a row.
+        """
+        return _page_after(self._conn, after, limit)
+
+    def last_key(self) -> tuple[int, int] | None:
+        """The largest pagination key currently in the log, or None.
+
+        A reader that wants "everything present now, then stop" pages
+        until it passes this watermark.
+        """
+        row = self._conn.execute(
+            "SELECT IFNULL(intake_seq, -1), seq FROM report_log "
+            "ORDER BY IFNULL(intake_seq, -1) DESC, seq DESC LIMIT 1"
+        ).fetchone()
+        return (int(row[0]), int(row[1])) if row is not None else None
+
     def seen(self, report_id: str) -> bool:
         """Was a report with this id already ingested?"""
         return report_id in self._seen_ids
@@ -294,4 +370,41 @@ class ReportStore:
 
     def close(self) -> None:
         """Close the underlying database connection."""
+        self._conn.close()
+
+
+class ReportLogReader:
+    """A read-only view of one :class:`ReportStore` partition file.
+
+    The gateway's serving path opens the partition through SQLite's
+    ``mode=ro`` URI so a reader *cannot* become a second writer — the
+    shard's single-writer discipline is enforced by the connection
+    itself, not by convention.  WAL journaling (enabled by the writer)
+    means these readers see every committed batch without ever taking
+    a lock the writer waits on.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        p = Path(path)
+        if str(path) == ":memory:" or not p.exists():
+            raise OosmError(
+                f"no report log at {path!r} (replica readers need a "
+                f"file-backed partition)"
+            )
+        self._conn = sqlite3.connect(f"file:{p}?mode=ro", uri=True)
+        self._conn.execute("PRAGMA busy_timeout=5000")
+
+    def page_after(
+        self, after: tuple[int, int] | None, limit: int
+    ) -> list[PageRow]:
+        """Same keyset contract as :meth:`ReportStore.page_after`."""
+        return _page_after(self._conn, after, limit)
+
+    @property
+    def count(self) -> int:
+        """Committed reports visible to this reader right now."""
+        row = self._conn.execute("SELECT COUNT(*) FROM report_log").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
         self._conn.close()

@@ -17,7 +17,20 @@ from repro.oosm.model import ShipModel
 
 
 def to_graph(model: ShipModel, kinds: tuple[str, ...] | None = None) -> nx.MultiDiGraph:
-    """Export the model as a networkx multigraph (edges keyed by kind)."""
+    """Export the model as a networkx multigraph (edges keyed by kind).
+
+    The export is memoized against the model's structural version: a
+    hot query path (gateway topology endpoints, repeated
+    :func:`flow_path` calls) rebuilding the full ``MultiDiGraph`` per
+    call was pure waste, since the model rarely changes between reads.
+    Any mutation bumps :attr:`ShipModel.version` and the next call
+    rebuilds.  The returned graph is shared — treat it as read-only;
+    callers that need to mutate must ``.copy()`` it.
+    """
+    key = ("to_graph", kinds)
+    cached = model.derived_cache.get(key)
+    if cached is not None and cached[0] == model.version:
+        return cached[1]
     g = nx.MultiDiGraph()
     for e in model.entities():
         g.add_node(e.id, type=e.type_name, **e.properties)
@@ -26,6 +39,7 @@ def to_graph(model: ShipModel, kinds: tuple[str, ...] | None = None) -> nx.Multi
             g.add_edge(r.source_id, r.target_id, key=r.kind, kind=r.kind)
             if r.kind == "proximate-to":
                 g.add_edge(r.target_id, r.source_id, key=r.kind, kind=r.kind)
+    model.derived_cache[key] = (model.version, g)
     return g
 
 

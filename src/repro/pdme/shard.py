@@ -182,6 +182,11 @@ class ShardedFusionEngine:
         """Global fusion "now": max over the shard-local maxima."""
         return max(e.max_seen_time for e in self.engines)
 
+    @property
+    def intake_watermark(self) -> int:
+        """Reports offered across all shards (snapshot-cache key)."""
+        return sum(e.intake_watermark for e in self.engines)
+
     def time_to_failure(
         self, sensed_object_id: ObjectId, machine_condition_id: ObjectId,
         probability: float = 0.5, now: float | None = None,
@@ -356,6 +361,30 @@ class ShardedPdme:
     def as_of(self) -> float:
         """Global fusion "now": max timestamp across all intake."""
         return self._as_of
+
+    @property
+    def intake_watermark(self) -> int:
+        """Monotone count of reports routed (the next global
+        ``intake_seq``) — the snapshot-cache version key, advancing on
+        every submit whether or not the shard deduped it."""
+        return self._next_seq
+
+    def partition_paths(self) -> list[str]:
+        """The per-shard report-log paths, in shard order.
+
+        Read replicas (:class:`repro.gateway.replica.ReadReplica`) open
+        these files read-only to serve queries without ever touching
+        the single-writer connections.  Raises for ``:memory:``
+        partitions — there is no file for a second process to read.
+        """
+        paths = [w._store_path for w in self.workers]
+        missing = [p for p in paths if p == ":memory:"]
+        if missing:
+            raise MprosError(
+                "in-memory partitions have no replica-readable file; "
+                "build the ShardedPdme with store_paths to serve replicas"
+            )
+        return paths
 
     @property
     def report_count(self) -> int:

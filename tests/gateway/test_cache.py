@@ -1,0 +1,81 @@
+"""Versioned-cache semantics: hits, LRU eviction, key-driven
+invalidation through watermarks and model versions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GatewayError
+from repro.gateway.cache import VersionedCache
+from repro.obs.registry import MetricsRegistry
+
+
+def test_get_put_and_counters():
+    cache = VersionedCache(4, metrics=MetricsRegistry())
+    assert cache.get(("a", 1)) is None
+    cache.put(("a", 1), "payload")
+    assert cache.get(("a", 1)) == "payload"
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_evicts_oldest_first():
+    cache = VersionedCache(2, metrics=MetricsRegistry())
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes recency: b is now LRU
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_put_returns_value_and_clear_empties():
+    cache = VersionedCache(8, metrics=MetricsRegistry())
+    assert cache.put("k", [1, 2]) == [1, 2]
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(GatewayError):
+        VersionedCache(0, metrics=MetricsRegistry())
+
+
+def test_watermark_invalidates_fused_responses(fleet, gateway):
+    """Ingest bumps the watermark; the next query misses and refuses
+    stale bytes — invalidation with no explicit purge anywhere."""
+    model, pdme, reports, _ = fleet
+    before = gateway.fleet_health_json()
+    assert gateway.fleet_health_json() == before  # steady state: hit
+
+    extra = reports[0].__class__(
+        knowledge_source_id="ks:new",
+        sensed_object_id=reports[0].sensed_object_id,
+        machine_condition_id="mc:oil-contamination",
+        severity=0.95,
+        belief=0.9,
+        timestamp=max(r.timestamp for r in reports) + 60.0,
+        dc_id="dc:new",
+    )
+    pdme.submit_batch([extra], ["dc:new#1"])
+    after = gateway.fleet_health_json()
+    assert after != before
+    assert after == gateway.fleet_health_json(use_cache=False)
+
+
+def test_model_version_invalidates_entity_responses(fleet, gateway):
+    model, pdme, reports, _ = fleet
+    first = sorted({r.sensed_object_id for r in reports})[0]
+    before = gateway.managed_object_json(first)
+    model.set_property(first, "location", "engine room 2")
+    after = gateway.managed_object_json(first)
+    assert after != before
+    assert "engine room 2" in after
+
+
+def test_cached_bytes_identical_to_uncached_oracle(gateway):
+    oracle = gateway.fleet_health_json(use_cache=False)
+    assert gateway.fleet_health_json() == oracle
+    assert gateway.fleet_health_json() == oracle

@@ -1,0 +1,115 @@
+"""Read-replica semantics: merge order, read-only enforcement,
+per-thread connections."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import GatewayError, OosmError
+from repro.gateway.replica import ReadReplica
+from repro.oosm.persistence import ReportLogReader, ReportStore
+from repro.protocol.report import FailurePredictionReport
+
+
+def _report(i: int) -> FailurePredictionReport:
+    return FailurePredictionReport(
+        knowledge_source_id="ks:rep",
+        sensed_object_id=f"obj:m{i % 3}",
+        machine_condition_id="mc:motor-imbalance",
+        severity=0.4,
+        belief=0.3,
+        timestamp=float(i),
+        dc_id="dc:rep",
+    )
+
+
+@pytest.fixture
+def partitions(tmp_path):
+    """Two partition logs holding interleaved global intake_seqs."""
+    paths = [tmp_path / "p0.sqlite", tmp_path / "p1.sqlite"]
+    stores = [ReportStore(p) for p in paths]
+    # Even seqs to shard 0, odd to shard 1 — a merge must interleave.
+    for shard in (0, 1):
+        seqs = [s for s in range(20) if s % 2 == shard]
+        stores[shard].ingest_batch(
+            [_report(s) for s in seqs],
+            [f"dc:rep#{s}" for s in seqs],
+            intake_seqs=seqs,
+        )
+    return paths
+
+
+def test_merge_reproduces_global_arrival_order(partitions):
+    replica = ReadReplica(partitions)
+    rows = replica.page_after(None, 100)
+    assert [r[0] for r in rows] == list(range(20))
+    assert replica.count == 20
+
+
+def test_pages_resume_exactly_across_partitions(partitions):
+    replica = ReadReplica(partitions)
+    seen = []
+    after = None
+    while True:
+        page = replica.page_after(after, 7)
+        if not page:
+            break
+        seen.extend(r[0] for r in page)
+        after = (page[-1][0], page[-1][1])
+    assert seen == list(range(20))
+
+
+def test_replica_is_read_only(partitions):
+    reader = ReportLogReader(partitions[0])
+    with pytest.raises(Exception):  # sqlite3.OperationalError: readonly
+        reader._conn.execute("DELETE FROM report_log")
+    reader.close()
+
+
+def test_per_thread_connections(partitions):
+    replica = ReadReplica(partitions)
+    counts = []
+
+    def worker():
+        counts.append(len(replica.page_after(None, 100)))
+        replica.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counts == [20, 20, 20, 20]
+
+
+def test_replica_rejects_empty_and_memory_and_missing(tmp_path):
+    with pytest.raises(GatewayError):
+        ReadReplica([])
+    with pytest.raises(OosmError):
+        ReportLogReader(":memory:")
+    with pytest.raises(OosmError):
+        ReportLogReader(tmp_path / "does-not-exist.sqlite")
+    replica = ReadReplica([tmp_path / "also-missing.sqlite"])
+    with pytest.raises(OosmError):
+        replica.page_after(None, 1)
+    with pytest.raises(GatewayError):
+        ReadReplica([tmp_path]).page_after(None, 0)
+
+
+def test_reader_sees_writer_appends_without_reopen(tmp_path):
+    """WAL: committed batches become visible to an already-open
+    read-only connection — the live-serving property."""
+    path = tmp_path / "live.sqlite"
+    store = ReportStore(path)
+    store.ingest_batch([_report(0)], ["dc:rep#0"], intake_seqs=[0])
+    replica = ReadReplica([path])
+    assert replica.count == 1
+    store.ingest_batch(
+        [_report(1), _report(2)],
+        ["dc:rep#1", "dc:rep#2"],
+        intake_seqs=[1, 2],
+    )
+    assert replica.count == 3
+    assert [r[0] for r in replica.page_after(None, 10)] == [0, 1, 2]

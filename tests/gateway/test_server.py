@@ -1,0 +1,146 @@
+"""HTTP round trips through the stdlib gateway server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.gateway.server import GatewayHTTPServer
+from repro.protocol.wire import encode_report
+
+
+@pytest.fixture
+def http_fleet(fleet, gateway):
+    server = GatewayHTTPServer(("127.0.0.1", 0), gateway)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield fleet, gateway, f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def test_get_routes_round_trip(http_fleet):
+    fleet, gateway, base = http_fleet
+    model, _, reports, _ = fleet
+    first = sorted({r.sensed_object_id for r in reports})[0]
+    model.post_reports([r for r in reports if r.sensed_object_id == first][:4])
+
+    status, health = _get(base, "/fleet/health")
+    assert status == 200 and set(health) == {"as_of", "diagnostic", "prognostic"}
+    # The HTTP body is exactly the gateway's canonical rendering.
+    with urllib.request.urlopen(base + "/fleet/health") as resp:
+        assert resp.read().decode() == gateway.fleet_health_json()
+
+    status, page = _get(base, "/objects?limit=3")
+    assert status == 200 and len(page["items"]) == 3 and page["nextCursor"]
+
+    status, one = _get(base, f"/objects/{first}")
+    assert status == 200 and one["id"] == first
+
+    status, slice_doc = _get(base, f"/objects/{first}/health")
+    assert status == 200 and slice_doc["object"] == first
+
+    status, series = _get(base, f"/objects/{first}/measurements?limit=2")
+    assert status == 200 and len(series["items"]) == 2
+
+    status, logs = _get(base, "/reports?limit=5")
+    assert status == 200 and len(logs["items"]) == 5
+    status, logs2 = _get(base, f"/reports?limit=5&cursor={logs['nextCursor']}")
+    assert status == 200
+    assert logs2["items"][0]["intakeSeq"] == logs["items"][-1]["intakeSeq"] + 1
+
+    status, alarms = _get(base, "/alarms?threshold=0.4")
+    assert status == 200 and "alarms" in alarms
+
+    status, stats = _get(base, "/stats")
+    assert status == 200 and stats["watermark"] == len(reports)
+
+
+def test_error_statuses(http_fleet):
+    _, _, base = http_fleet
+    for path, code in (
+        ("/objects/obj:nope", 404),
+        ("/no/such/route", 404),
+        ("/reports?cursor=garbage", 400),
+        ("/reports?limit=zero", 400),
+        ("/alarms?threshold=hot", 400),
+    ):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, path)
+        assert err.value.code == code, path
+        assert "error" in json.loads(err.value.read())
+
+
+def test_serve_handles_bounded_requests_then_returns(fleet, gateway):
+    """serve(max_requests=N) answers N requests and exits — the shape
+    the CLI smoke path and CI use."""
+    import socket
+
+    from repro.gateway.server import serve
+
+    # Reserve an ephemeral port for the bounded server to bind.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    results = []
+
+    def client():
+        for _ in range(50):  # the server thread binds asynchronously
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/stats"
+                ) as resp:
+                    results.append(resp.status)
+                return
+            except OSError:
+                threading.Event().wait(0.05)
+
+    t = threading.Thread(target=client, daemon=True)
+    t.start()
+    serve(gateway, "127.0.0.1", port, max_requests=1)
+    t.join(timeout=10)
+    assert results == [200]
+
+
+def test_bulk_post_writes_through_router(http_fleet):
+    fleet, gateway, base = http_fleet
+    _, pdme, reports, ids = fleet
+    fresh = reports[0].__class__(
+        knowledge_source_id="ks:http",
+        sensed_object_id=reports[0].sensed_object_id,
+        machine_condition_id="mc:oil-contamination",
+        severity=0.8,
+        belief=0.7,
+        timestamp=88888.0,
+        dc_id="dc:http",
+    )
+    body = json.dumps(
+        {"reports": [encode_report(fresh)], "reportIds": ["dc:http#1"]}
+    ).encode()
+    req = urllib.request.Request(base + "/reports", data=body, method="POST")
+    with urllib.request.urlopen(req) as resp:
+        assert json.loads(resp.read()) == {"written": 1}
+    # A replay of the same id is absorbed (exactly-once).
+    with urllib.request.urlopen(
+        urllib.request.Request(base + "/reports", data=body, method="POST")
+    ) as resp:
+        assert json.loads(resp.read()) == {"written": 0}
+
+    bad = urllib.request.Request(
+        base + "/reports", data=b'{"nope": 1}', method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(bad)
+    assert err.value.code == 400

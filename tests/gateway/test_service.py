@@ -1,0 +1,186 @@
+"""FleetGateway endpoint behaviour: paging, health slices, alarms,
+subscriptions, bulk writes, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GatewayError
+from repro.gateway import FleetGateway, gateway_for_executive
+from repro.obs.registry import MetricsRegistry
+
+
+def _first_object(reports):
+    return sorted({r.sensed_object_id for r in reports})[0]
+
+
+def test_managed_objects_drain_matches_model(fleet, gateway):
+    model, _, _, _ = fleet
+    seen = []
+    cursor = None
+    while True:
+        page = gateway.managed_objects(after=cursor, limit=3)
+        seen.extend(m.id for m in page.items)
+        if page.next_cursor is None:
+            break
+        cursor = page.next_cursor
+    assert seen == sorted(e.id for e in model.entities())
+
+
+def test_managed_object_resource_fields(fleet, gateway):
+    model, _, reports, _ = fleet
+    first = _first_object(reports)
+    mo = gateway.managed_object(first)
+    assert mo.id == first
+    assert mo.type == "rotating-machine"
+    assert mo.system == first  # no part-of edges in this fleet
+    doc = mo.to_json()
+    assert set(doc) == {
+        "id", "type", "name", "properties", "parent", "system",
+        "childAssets", "proximate", "flowsTo", "monitoredBy",
+    }
+
+
+def test_measurements_page_over_retained_series(fleet, gateway):
+    model, _, reports, _ = fleet
+    first = _first_object(reports)
+    mine = [r for r in reports if r.sensed_object_id == first]
+    model.post_reports(mine)
+    page = gateway.measurements(first, limit=10)
+    assert [m.time for m in page.items] == [r.timestamp for r in mine[:10]]
+    rest = gateway.measurements(
+        first, after=page.next_cursor and page.next_cursor, limit=1000
+    )
+    assert len(page.items) + len(rest.items) == len(mine)
+
+
+def test_reports_drain_is_global_arrival_order(fleet, gateway):
+    _, _, reports, _ = fleet
+    seqs = []
+    cursor = None
+    while True:
+        page = gateway.reports(cursor, 37)
+        seqs.extend(r.intake_seq for r in page.items)
+        if page.next_cursor is None:
+            break
+        cursor = page.next_cursor
+    assert seqs == list(range(len(reports)))
+
+
+def test_health_slice_restricted_to_object(fleet, gateway):
+    _, _, reports, _ = fleet
+    first = _first_object(reports)
+    doc = gateway.health(first)
+    assert doc["object"] == first
+    assert doc["diagnostic"]  # this object has fused state
+    for key in list(doc["diagnostic"]) + list(doc["prognostic"]):
+        assert key.split("|", 1)[0] == first
+
+
+def test_alarm_threshold_monotone(gateway):
+    low = gateway.alarms(0.1)
+    high = gateway.alarms(0.9)
+    assert len(low) >= len(high)
+    assert all(a.severity >= 0.5 for a in gateway.alarms(0.5))
+    assert all(a.status == "ACTIVE" for a in low)
+
+
+def test_subscription_filter_and_cancel(fleet, gateway):
+    model, _, reports, _ = fleet
+    first = _first_object(reports)
+    other = [r for r in reports if r.sensed_object_id != first][0]
+    mine: list = []
+    everything: list = []
+    sub = gateway.subscribe(mine.append, object_id=first)
+    fire = gateway.subscribe(everything.append)
+    model.post_report(next(r for r in reports if r.sensed_object_id == first))
+    model.post_report(other)
+    assert len(mine) == 1 and sub.delivered == 1
+    assert len(everything) == 2 and fire.delivered == 2
+    sub.cancel()
+    assert not sub.active
+    model.post_report(other)
+    assert len(mine) == 1  # detached
+    assert len(everything) == 3
+
+
+def test_batch_post_fans_out_to_subscribers(fleet, gateway):
+    model, _, reports, _ = fleet
+    got: list = []
+    gateway.subscribe(got.append)
+    model.post_reports(reports[:5])
+    assert len(got) == 5
+
+
+def test_post_reports_routes_through_writer_with_dedup(fleet, gateway):
+    _, pdme, reports, ids = fleet
+    before = pdme.intake_watermark
+    # Replays of already-written ids are absorbed: exactly-once fusion.
+    assert gateway.post_reports(reports[:5], ids[:5]) == 0
+    fresh = [
+        reports[0].__class__(
+            knowledge_source_id="ks:gw",
+            sensed_object_id=reports[0].sensed_object_id,
+            machine_condition_id="mc:oil-contamination",
+            severity=0.7,
+            belief=0.6,
+            timestamp=99999.0,
+            dc_id="dc:gw",
+        )
+    ]
+    assert gateway.post_reports(fresh, ["dc:gw#1"]) == 1
+    assert pdme.intake_watermark > before
+
+
+def test_unknown_object_and_missing_backends_raise(fleet, gateway):
+    model, pdme, _, _ = fleet
+    for call in (
+        lambda: gateway.managed_object("obj:nope"),
+        lambda: gateway.measurements("obj:nope"),
+        lambda: gateway.health("obj:nope"),
+        lambda: gateway.subscribe(lambda r: None, "obj:nope"),
+    ):
+        with pytest.raises(GatewayError):
+            call()
+    bare = FleetGateway(model, pdme, metrics=MetricsRegistry())
+    with pytest.raises(GatewayError):
+        bare.reports(None, 10)
+    with pytest.raises(GatewayError):
+        bare.post_reports([], [])
+
+
+def test_request_metrics_accumulate(gateway):
+    gateway.fleet_health()
+    gateway.fleet_health()
+    gateway.alarms(0.5)
+    counters = gateway.metrics.snapshot()["counters"]
+    assert counters["gateway.requests{endpoint=fleet_health}"] == 2
+    assert counters["gateway.requests{endpoint=alarms}"] == 1
+
+
+def test_executive_deployment_serves_and_accepts_writes(workload):
+    from repro.pdme.executive import PdmeExecutive
+
+    reports, _ = workload
+    executive = _build_executive(reports)
+    gw = gateway_for_executive(executive, metrics=MetricsRegistry())
+    oracle = gw.fleet_health_json(use_cache=False)
+    assert gw.fleet_health_json() == oracle
+    n = len(executive.model.reports_for(reports[0].sensed_object_id))
+    assert gw.post_reports([reports[0]]) == 1
+    assert (
+        len(executive.model.reports_for(reports[0].sensed_object_id)) == n + 1
+    )
+
+
+def _build_executive(reports):
+    from repro.fusion.groups import default_chiller_groups
+    from repro.oosm.model import ShipModel
+    from repro.pdme.executive import PdmeExecutive
+
+    model = ShipModel()
+    for oid in sorted({r.sensed_object_id for r in reports}):
+        model.create("rotating-machine", id=oid, name=oid)
+    executive = PdmeExecutive(model, default_chiller_groups())
+    executive.submit_batch(list(reports))
+    return executive
